@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench doc clean quickstart experiment
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+quickstart:
+	dune exec examples/quickstart.exe
+
+experiment:
+	dune exec bin/rbp.exe -- experiment
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean
