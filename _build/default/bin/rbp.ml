@@ -1,0 +1,420 @@
+(* rbp — register-bank partitioning driver.
+
+   A command-line front end over the whole library: inspect suite loops or
+   user-written IR files, software-pipeline them on configurable clustered
+   machines, dump RCG/DDG graphs, and run the paper's experiments. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let loop_arg =
+  let doc =
+    "Loop to operate on: a suite loop name (see $(b,rbp list)) or a path to a textual IR \
+     file (see the README for the syntax)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LOOP" ~doc)
+
+let clusters_arg =
+  let doc = "Number of clusters (register banks); must divide 16." in
+  Arg.(value & opt int 4 & info [ "clusters"; "c" ] ~docv:"N" ~doc)
+
+let model_arg =
+  let doc = "Copy model: $(b,embedded) or $(b,copy-unit)." in
+  let model_conv =
+    Arg.enum [ ("embedded", Mach.Machine.Embedded); ("copy-unit", Mach.Machine.Copy_unit) ]
+  in
+  Arg.(value & opt model_conv Mach.Machine.Embedded & info [ "model"; "m" ] ~docv:"MODEL" ~doc)
+
+let partitioner_arg =
+  let doc = "Partitioner: $(b,greedy) (the paper's), $(b,bug) or $(b,uas)." in
+  let part_conv =
+    Arg.enum
+      [ ("greedy", Partition.Driver.Greedy Rcg.Weights.default);
+        ("bug", Partition.Driver.Bug); ("uas", Partition.Driver.Uas) ]
+  in
+  Arg.(
+    value
+    & opt part_conv (Partition.Driver.Greedy Rcg.Weights.default)
+    & info [ "partitioner"; "p" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "Suite generation seed." in
+  Arg.(value & opt int 1995 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let dot_arg =
+  let doc = "Emit Graphviz DOT instead of text." in
+  Arg.(value & flag & info [ "dot" ] ~doc)
+
+let load_loop ~seed name =
+  if Sys.file_exists name then begin
+    let ic = open_in name in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Ir.Parse.loop_of_string text with
+    | Ok loop -> Ok loop
+    | Error e -> Error (Printf.sprintf "%s: %s" name e)
+  end
+  else
+    match Workload.Suite.by_name ~seed name with
+    | Some loop -> Ok loop
+    | None ->
+        Error
+          (Printf.sprintf
+             "unknown loop %S: not a file and not a suite loop (try `rbp list`)" name)
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("rbp: " ^ e);
+      exit 1
+
+let machine_of ~clusters ~model =
+  try Ok (Mach.Machine.paper_clustered ~clusters ~copy_model:model)
+  with Invalid_argument m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+
+let list_cmd =
+  let run seed verbose =
+    let loops = Workload.Suite.loops ~seed () in
+    let t =
+      Util.Table.create ~title:"Suite loops"
+        ~header:
+          (if verbose then [ "name"; "ops"; "regs"; "MinII"; "RecMII"; "ideal IPC" ]
+           else [ "name"; "ops" ])
+    in
+    List.iter
+      (fun loop ->
+        if verbose then begin
+          let ddg = Ddg.Graph.of_loop loop in
+          let rec_mii = Ddg.Minii.rec_mii ddg in
+          let mii = Ddg.Minii.min_ii ~width:16 ddg in
+          Util.Table.add_row t
+            [
+              Ir.Loop.name loop;
+              string_of_int (Ir.Loop.size loop);
+              string_of_int (Ir.Vreg.Set.cardinal (Ir.Loop.vregs loop));
+              string_of_int mii;
+              string_of_int rec_mii;
+              Util.Table.cell_float ~decimals:2
+                (float_of_int (Ir.Loop.size loop) /. float_of_int mii);
+            ]
+        end
+        else
+          Util.Table.add_row t [ Ir.Loop.name loop; string_of_int (Ir.Loop.size loop) ])
+      loops;
+    Util.Table.print t
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Also analyse each loop (slower).")
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the experimental loop suite")
+    Term.(const run $ seed_arg $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                *)
+
+let show_cmd =
+  let run seed name =
+    let loop = or_die (load_loop ~seed name) in
+    Format.printf "%a@." Ir.Loop.pp loop;
+    let ddg = Ddg.Graph.of_loop loop in
+    Format.printf "MinII (16-wide) = %d   RecMII = %d   critical path = %d cycles@."
+      (Ddg.Minii.min_ii ~width:16 ddg)
+      (Ddg.Minii.rec_mii ddg)
+      (Ddg.Graph.critical_path_length ddg);
+    match Sched.Modulo.ideal ~machine:Mach.Machine.paper_ideal ddg with
+    | None -> print_endline "ideal pipeline: FAILED"
+    | Some o ->
+        Format.printf "@.--- ideal 16-wide kernel ---@.%a@." Sched.Kernel.pp
+          o.Sched.Modulo.kernel
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a loop's body, dependence bounds, and ideal kernel")
+    Term.(const run $ seed_arg $ loop_arg)
+
+(* ------------------------------------------------------------------ *)
+(* pipeline                                                            *)
+
+let scheduler_arg =
+  let doc = "Modulo scheduler: $(b,rau) (the paper's) or $(b,swing) (lifetime-sensitive)." in
+  let sched_conv =
+    Arg.enum [ ("rau", Partition.Driver.Rau); ("swing", Partition.Driver.Swing) ]
+  in
+  Arg.(value & opt sched_conv Partition.Driver.Rau & info [ "scheduler"; "s" ] ~docv:"S" ~doc)
+
+let unroll_arg =
+  let doc = "Unroll the loop by $(docv) before the framework runs." in
+  Arg.(value & opt int 1 & info [ "unroll"; "u" ] ~docv:"FACTOR" ~doc)
+
+let pipeline_cmd =
+  let run seed name clusters model partitioner scheduler unroll trips =
+    let loop = or_die (load_loop ~seed name) in
+    let loop =
+      if unroll <= 1 then loop
+      else begin
+        let loop', _ = Ir.Unroll.loop ~factor:unroll loop in
+        Format.printf "(unrolled %dx: %d ops)@." unroll (Ir.Loop.size loop');
+        loop'
+      end
+    in
+    let machine = or_die (machine_of ~clusters ~model) in
+    let r = or_die (Partition.Driver.pipeline ~partitioner ~scheduler ~machine loop) in
+    Format.printf "=== %a ===@." Mach.Machine.pp machine;
+    Format.printf "@.--- ideal kernel (II=%d) ---@.%a@." r.Partition.Driver.ideal.Sched.Modulo.ii
+      Sched.Kernel.pp r.Partition.Driver.ideal.Sched.Modulo.kernel;
+    Format.printf "--- bank assignment ---@.%a@." Partition.Assign.pp r.Partition.Driver.assignment;
+    Format.printf "--- rewritten body (%d copies) ---@.%a@." r.Partition.Driver.n_copies
+      Ir.Loop.pp r.Partition.Driver.rewritten;
+    Format.printf "--- clustered kernel (II=%d) ---@.%a@."
+      r.Partition.Driver.clustered.Sched.Modulo.ii Sched.Kernel.pp
+      r.Partition.Driver.clustered.Sched.Modulo.kernel;
+    Format.printf "degradation %.0f (100 = ideal), IPC %.2f -> %.2f@." r.Partition.Driver.degradation
+      r.Partition.Driver.ipc_ideal r.Partition.Driver.ipc_clustered;
+    if trips > 0 then begin
+      let code =
+        Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+          ~loop:r.Partition.Driver.rewritten ~trips
+      in
+      Format.printf "@.--- expanded pipeline (%d trips, %d cycles, speedup %.2fx) ---@." trips
+        code.Sched.Expand.total_cycles
+        (Sched.Expand.speedup code ~latency:machine.Mach.Machine.latency
+           ~loop:r.Partition.Driver.rewritten);
+      List.iter
+        (fun (x : Sched.Expand.instance) ->
+          Format.printf "  %4d: it%-2d %s@." x.cycle x.iteration (Ir.Op.to_string x.op))
+        code.Sched.Expand.instances
+    end
+  in
+  let trips =
+    Arg.(
+      value & opt int 0
+      & info [ "expand" ] ~docv:"TRIPS"
+          ~doc:"Also print the fully expanded pipeline for $(docv) iterations.")
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Run the full partition + software-pipelining framework on one loop")
+    Term.(
+      const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ partitioner_arg
+      $ scheduler_arg $ unroll_arg $ trips)
+
+(* ------------------------------------------------------------------ *)
+(* rcg / ddg                                                           *)
+
+let rcg_cmd =
+  let run seed name clusters dot =
+    let loop = or_die (load_loop ~seed name) in
+    let g = Rcg.Build.of_loop ~machine:Mach.Machine.paper_ideal loop in
+    if dot then begin
+      let a = Partition.Greedy.partition ~banks:clusters g in
+      print_string (Rcg.Graph.to_dot ~assignment:(fun r -> Partition.Assign.bank_opt a r) g)
+    end
+    else begin
+      Format.printf "%a@." Rcg.Graph.pp g;
+      Format.printf "components: %d@." (List.length (Rcg.Graph.components g))
+    end
+  in
+  Cmd.v
+    (Cmd.info "rcg" ~doc:"Build and print a loop's register component graph")
+    Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ dot_arg)
+
+let ddg_cmd =
+  let run seed name dot =
+    let loop = or_die (load_loop ~seed name) in
+    let ddg = Ddg.Graph.of_loop loop in
+    if dot then print_string (Ddg.Graph.to_dot ddg)
+    else Format.printf "%a@." Ddg.Graph.pp ddg
+  in
+  Cmd.v
+    (Cmd.info "ddg" ~doc:"Build and print a loop's data dependence graph")
+    Term.(const run $ seed_arg $ loop_arg $ dot_arg)
+
+(* ------------------------------------------------------------------ *)
+(* alloc                                                               *)
+
+let alloc_cmd =
+  let run seed name clusters model regs =
+    let loop = or_die (load_loop ~seed name) in
+    let machine0 = or_die (machine_of ~clusters ~model) in
+    let machine =
+      Mach.Machine.make ~regs_per_bank:regs ~clusters
+        ~fus_per_cluster:machine0.Mach.Machine.fus_per_cluster ~copy_model:model ()
+    in
+    let r = or_die (Partition.Driver.pipeline ~machine loop) in
+    match
+      Regalloc.Alloc.allocate_loop ~machine ~assignment:r.Partition.Driver.assignment
+        r.Partition.Driver.rewritten
+    with
+    | Error e -> or_die (Error e)
+    | Ok alloc ->
+        Format.printf "allocated in %d round(s), %d spills@." alloc.Regalloc.Alloc.rounds
+          alloc.Regalloc.Alloc.spill_count;
+        Array.iteri
+          (fun b p -> Format.printf "bank %d: pressure %d / %d registers@." b p regs)
+          alloc.Regalloc.Alloc.pressure;
+        Ir.Vreg.Map.iter
+          (fun reg (bank, idx) ->
+            Format.printf "  %-12s -> bank %d, reg %d@." (Ir.Vreg.to_string reg) bank idx)
+          alloc.Regalloc.Alloc.mapping
+  in
+  let regs =
+    Arg.(
+      value & opt int 32
+      & info [ "regs" ] ~docv:"K" ~doc:"Architectural registers per bank.")
+  in
+  Cmd.v
+    (Cmd.info "alloc"
+       ~doc:"Partition, pipeline and Chaitin/Briggs-allocate one loop, reporting pressure")
+    Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ regs)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let run seed n =
+    let loops = Workload.Suite.loops ~seed ~n () in
+    let runs = Core.Experiment.run_all ~loops () in
+    let ipc = Core.Experiment.ideal_ipc ~loops () in
+    Util.Table.print (Core.Report.table1 ~ideal_ipc:ipc runs);
+    print_newline ();
+    Util.Table.print (Core.Report.table2 runs);
+    print_newline ();
+    List.iter
+      (fun clusters ->
+        let e =
+          List.find
+            (fun (r : Core.Experiment.run) ->
+              r.config.clusters = clusters && r.config.copy_model = Mach.Machine.Embedded)
+            runs
+        and c =
+          List.find
+            (fun (r : Core.Experiment.run) ->
+              r.config.clusters = clusters && r.config.copy_model = Mach.Machine.Copy_unit)
+            runs
+        in
+        Util.Table.print
+          (Core.Report.figure_histogram e c
+             ~title:(Printf.sprintf "Degradation histogram, %d clusters" clusters));
+        print_newline ())
+      [ 2; 4; 8 ];
+    print_string "failures:\n";
+    print_string (Core.Report.failures_summary runs)
+  in
+  let n =
+    Arg.(
+      value
+      & opt int Workload.Suite.size
+      & info [ "loops"; "n" ] ~docv:"N" ~doc:"Number of suite loops to pipeline.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const run $ seed_arg $ n)
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+
+let compare_cmd =
+  let run seed name clusters model =
+    let loop = or_die (load_loop ~seed name) in
+    let machine = or_die (machine_of ~clusters ~model) in
+    let t =
+      Util.Table.create
+        ~title:(Printf.sprintf "Partitioners on %s, %s" (Ir.Loop.name loop)
+                  machine.Mach.Machine.name)
+        ~header:[ "partitioner"; "ideal II"; "II"; "degradation"; "copies"; "IPC" ]
+    in
+    let entry label partitioner =
+      match Partition.Driver.pipeline ~partitioner ~machine loop with
+      | Error e -> Util.Table.add_row t [ label; "-"; "-"; "FAILED: " ^ e ]
+      | Ok r ->
+          Util.Table.add_row t
+            [
+              label;
+              string_of_int r.Partition.Driver.ideal.Sched.Modulo.ii;
+              string_of_int r.Partition.Driver.clustered.Sched.Modulo.ii;
+              Util.Table.cell_float ~decimals:0 r.Partition.Driver.degradation;
+              string_of_int r.Partition.Driver.n_copies;
+              Util.Table.cell_float ~decimals:2 r.Partition.Driver.ipc_clustered;
+            ]
+    in
+    entry "greedy (paper)" (Partition.Driver.Greedy Rcg.Weights.default);
+    entry "greedy + refinement" (Partition.Refine.partitioner Rcg.Weights.default);
+    entry "BUG" Partition.Driver.Bug;
+    entry "UAS" Partition.Driver.Uas;
+    entry "NE-style"
+      (Partition.Driver.Custom (fun machine ddg _ -> Partition.Ne.partition ~machine ddg));
+    Util.Table.print t
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare every partitioner on one loop")
+    Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sim                                                                 *)
+
+let sim_cmd =
+  let run seed name clusters model trips =
+    let loop = or_die (load_loop ~seed name) in
+    let machine = or_die (machine_of ~clusters ~model) in
+    let r = or_die (Partition.Driver.pipeline ~machine loop) in
+    let code =
+      Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+        ~loop:r.Partition.Driver.rewritten ~trips
+    in
+    let pre, steady, post = Sched.Sim.stage_counts code in
+    Format.printf "expanded %d iterations: %d cycles (%d prelude / %d steady / %d postlude ops)@."
+      trips code.Sched.Expand.total_cycles pre steady post;
+    match Sched.Sim.run ~latency:machine.Mach.Machine.latency code with
+    | Ok _ ->
+        Format.printf "cycle-accurate simulation: OK (no latency violations)@.";
+        Format.printf "speedup over sequential issue: %.2fx@."
+          (Sched.Expand.speedup code ~latency:machine.Mach.Machine.latency
+             ~loop:r.Partition.Driver.rewritten)
+    | Error v ->
+        Format.printf "VIOLATION at cycle %d, %s: %s@." v.Sched.Sim.cycle
+          (Ir.Op.to_string v.Sched.Sim.op) v.Sched.Sim.what;
+        exit 1
+  in
+  let trips =
+    Arg.(value & opt int 8 & info [ "trips" ] ~docv:"N" ~doc:"Iterations to simulate.")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Cycle-accurately simulate the partitioned software pipeline of one loop")
+    Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ trips)
+
+(* ------------------------------------------------------------------ *)
+(* csv                                                                 *)
+
+let csv_cmd =
+  let run seed n =
+    let loops = Workload.Suite.loops ~seed ~n () in
+    let runs = Core.Experiment.run_all ~loops () in
+    print_string (Core.Report.to_csv runs)
+  in
+  let n =
+    Arg.(
+      value
+      & opt int Workload.Suite.size
+      & info [ "loops"; "n" ] ~docv:"N" ~doc:"Number of suite loops.")
+  in
+  Cmd.v
+    (Cmd.info "csv" ~doc:"Dump per-loop experiment results as CSV on stdout")
+    Term.(const run $ seed_arg $ n)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let doc = "register assignment for software pipelining with partitioned register banks" in
+  Cmd.group
+    (Cmd.info "rbp" ~version:"1.0" ~doc)
+    [ list_cmd; show_cmd; pipeline_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; sim_cmd;
+      experiment_cmd; csv_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/machine_sweep.ml: Array Format Ir List Mach Partition Printf Sched Sys Util Workload

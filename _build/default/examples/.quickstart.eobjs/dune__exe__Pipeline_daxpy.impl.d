@@ -1,0 +1,1 @@
+examples/pipeline_daxpy.ml: Format Ir Mach Partition Sched

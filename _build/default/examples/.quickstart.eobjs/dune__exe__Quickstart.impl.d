@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddg Format Hashtbl Ir Latency List Mach Machine Opcode Partition Rcg Rclass Sched

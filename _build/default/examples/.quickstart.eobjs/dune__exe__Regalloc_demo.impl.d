@@ -1,0 +1,1 @@
+examples/regalloc_demo.ml: Array Format Ir List Mach Partition Regalloc Sched String Workload

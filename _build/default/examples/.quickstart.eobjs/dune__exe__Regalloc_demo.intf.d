@@ -1,0 +1,1 @@
+examples/regalloc_demo.mli:

@@ -1,0 +1,1 @@
+examples/retarget.ml: Format Ir Mach Partition Rcg

@@ -1,0 +1,1 @@
+examples/scheduler_compare.ml: Array Ddg Format Ir Mach Printf Regalloc Sched Sys Workload

@@ -1,0 +1,1 @@
+examples/whole_function.ml: Format Ir List Mach Partition

@@ -1,0 +1,40 @@
+(* Sweep one loop across every paper machine configuration and print the
+   achieved II, degradation, copy count and IPC side by side — a compact
+   view of the Table 1/Table 2 trade-off on a single kernel. *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "hydro-u4" in
+  let loop =
+    match Workload.Suite.by_name name with
+    | Some l -> l
+    | None ->
+        Printf.eprintf "unknown suite loop %s\n" name;
+        exit 1
+  in
+  Format.printf "sweeping %s (%d ops) over the 16-wide cluster configurations@.@."
+    (Ir.Loop.name loop) (Ir.Loop.size loop);
+  let t =
+    Util.Table.create ~title:"Machine sweep"
+      ~header:[ "machine"; "ideal II"; "II"; "degradation"; "copies"; "IPC" ]
+  in
+  List.iter
+    (fun (clusters, model) ->
+      let machine = Mach.Machine.paper_clustered ~clusters ~copy_model:model in
+      match Partition.Driver.pipeline ~machine loop with
+      | Error e -> Format.printf "%s: FAILED (%s)@." machine.Mach.Machine.name e
+      | Ok r ->
+          Util.Table.add_row t
+            [
+              machine.Mach.Machine.name;
+              string_of_int r.Partition.Driver.ideal.Sched.Modulo.ii;
+              string_of_int r.Partition.Driver.clustered.Sched.Modulo.ii;
+              Util.Table.cell_float ~decimals:0 r.Partition.Driver.degradation;
+              string_of_int r.Partition.Driver.n_copies;
+              Util.Table.cell_float ~decimals:2 r.Partition.Driver.ipc_clustered;
+            ])
+    [
+      (2, Mach.Machine.Embedded); (2, Mach.Machine.Copy_unit);
+      (4, Mach.Machine.Embedded); (4, Mach.Machine.Copy_unit);
+      (8, Mach.Machine.Embedded); (8, Mach.Machine.Copy_unit);
+    ];
+  Util.Table.print t

@@ -1,0 +1,42 @@
+(* Step 5 of the framework: per-bank Chaitin/Briggs register assignment.
+   Pipelines a complex-multiply kernel on the 4x4 machine, allocates each
+   bank's registers, then shrinks the banks until spill code appears, to
+   show the colour/spill/retry loop working. *)
+
+let () =
+  let loop = Workload.Kernels.cmul ~unroll:4 in
+  let base = Mach.Machine.paper_clustered ~clusters:4 ~copy_model:Mach.Machine.Embedded in
+  match Partition.Driver.pipeline ~machine:base loop with
+  | Error e ->
+      prerr_endline e;
+      exit 1
+  | Ok r ->
+      Format.printf "loop %s partitioned: II %d -> %d, %d copies@.@." (Ir.Loop.name loop)
+        r.Partition.Driver.ideal.Sched.Modulo.ii r.Partition.Driver.clustered.Sched.Modulo.ii
+        r.Partition.Driver.n_copies;
+      List.iter
+        (fun regs_per_bank ->
+          let machine =
+            Mach.Machine.make ~regs_per_bank ~clusters:4 ~fus_per_cluster:4
+              ~copy_model:Mach.Machine.Embedded ()
+          in
+          match
+            Regalloc.Alloc.allocate_loop ~machine ~assignment:r.Partition.Driver.assignment
+              r.Partition.Driver.rewritten
+          with
+          | Error e -> Format.printf "%2d regs/bank: %s@." regs_per_bank e
+          | Ok a ->
+              Format.printf
+                "%2d regs/bank: %d round(s), %d spills, pressure per bank [%s]@."
+                regs_per_bank a.Regalloc.Alloc.rounds a.Regalloc.Alloc.spill_count
+                (String.concat "; "
+                   (Array.to_list (Array.map string_of_int a.Regalloc.Alloc.pressure)));
+              if regs_per_bank = 32 then begin
+                Format.printf "@.final mapping at 32 regs/bank:@.";
+                Ir.Vreg.Map.iter
+                  (fun reg (bank, idx) ->
+                    Format.printf "  %-10s -> R%d.%d@." (Ir.Vreg.to_string reg) bank idx)
+                  a.Regalloc.Alloc.mapping;
+                Format.printf "@."
+              end)
+        [ 32; 6; 4; 3; 2 ]

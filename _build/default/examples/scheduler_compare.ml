@@ -1,0 +1,33 @@
+(* Rau iterative modulo scheduling vs Swing modulo scheduling on one
+   loop: same II, different register footprints. Swing's backward
+   placement pulls definitions toward their uses, shortening lifetimes —
+   the Section 6.3 "lifetime-sensitive" contrast made concrete. *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "hydro-u2" in
+  let loop =
+    match Workload.Suite.by_name name with
+    | Some l -> l
+    | None ->
+        Printf.eprintf "unknown suite loop %s\n" name;
+        exit 1
+  in
+  let machine = Mach.Machine.paper_ideal in
+  let ddg = Ddg.Graph.of_loop loop in
+  let show label outcome =
+    match outcome with
+    | None -> Format.printf "%s: scheduling failed@." label
+    | Some (o : Sched.Modulo.outcome) ->
+        let kernel = o.Sched.Modulo.kernel in
+        let maxlive = Sched.Pressure.max_live ~kernel ~loop in
+        let regs =
+          (Regalloc.Kernel_alloc.requirements ~kernel ~loop ~banks:1 ~bank_of:(fun _ -> 0))
+            .Regalloc.Kernel_alloc.total
+        in
+        Format.printf "=== %s: II=%d, MaxLive=%d, registers needed=%d ===@.%a@." label
+          o.Sched.Modulo.ii maxlive regs Sched.Kernel.pp kernel
+  in
+  Format.printf "loop %s (%d ops), MinII=%d@.@." (Ir.Loop.name loop) (Ir.Loop.size loop)
+    (Ddg.Minii.min_ii ~width:16 ddg);
+  show "Rau IMS" (Sched.Modulo.ideal ~machine ddg);
+  show "Swing" (Sched.Swing.ideal ~machine ddg)

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Ddg Ir Lazy List Mach Metrics Partition Printf Sched Util Workload

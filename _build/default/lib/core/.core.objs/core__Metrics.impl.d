@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Float Ir List Partition Sched Util

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Experiment List Metrics Printf String Util

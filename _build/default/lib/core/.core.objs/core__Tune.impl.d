@@ -1,0 +1,1 @@
+lib/core/tune.ml: Float List Partition Rcg Util

@@ -1,0 +1,1 @@
+lib/core/tune.mli: Ir Mach Rcg

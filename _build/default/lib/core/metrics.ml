@@ -1,0 +1,44 @@
+type loop_metrics = {
+  name : string;
+  ideal_ii : int;
+  clustered_ii : int;
+  degradation : float;
+  ipc_ideal : float;
+  ipc_clustered : float;
+  n_copies : int;
+  n_ops : int;
+}
+
+let of_result (r : Partition.Driver.result) =
+  {
+    name = Ir.Loop.name r.Partition.Driver.loop;
+    ideal_ii = r.Partition.Driver.ideal.Sched.Modulo.ii;
+    clustered_ii = r.Partition.Driver.clustered.Sched.Modulo.ii;
+    degradation = r.Partition.Driver.degradation;
+    ipc_ideal = r.Partition.Driver.ipc_ideal;
+    ipc_clustered = r.Partition.Driver.ipc_clustered;
+    n_copies = r.Partition.Driver.n_copies;
+    n_ops = Ir.Loop.size r.Partition.Driver.loop;
+  }
+
+let mean_ipc_ideal ms = Util.Stats.mean (List.map (fun m -> m.ipc_ideal) ms)
+let mean_ipc_clustered ms = Util.Stats.mean (List.map (fun m -> m.ipc_clustered) ms)
+
+let arithmetic_mean_degradation ms = Util.Stats.mean (List.map (fun m -> m.degradation) ms)
+
+let harmonic_mean_degradation ms =
+  Util.Stats.harmonic_mean (List.map (fun m -> m.degradation) ms)
+
+let degradation_histogram ms =
+  Util.Stats.histogram ~edges:Util.Stats.degradation_edges
+    (List.map (fun m -> Float.max 0.0 (m.degradation -. 100.0)) ms)
+
+let histogram_labels =
+  [ "0.00%"; "<10%"; "<20%"; "<30%"; "<40%"; "<50%"; "<60%"; "<70%"; "<80%"; "<90%"; ">90%" ]
+
+let pct_no_degradation ms =
+  match ms with
+  | [] -> nan
+  | _ ->
+      let zero = List.length (List.filter (fun m -> m.degradation <= 100.0) ms) in
+      100.0 *. float_of_int zero /. float_of_int (List.length ms)

@@ -1,0 +1,35 @@
+(** Aggregate metrics over a set of pipelined loops — the quantities the
+    paper's evaluation section reports. *)
+
+type loop_metrics = {
+  name : string;
+  ideal_ii : int;
+  clustered_ii : int;
+  degradation : float;    (** 100 · clustered/ideal; 100 = no degradation *)
+  ipc_ideal : float;
+  ipc_clustered : float;
+  n_copies : int;
+  n_ops : int;
+}
+
+val of_result : Partition.Driver.result -> loop_metrics
+
+val mean_ipc_ideal : loop_metrics list -> float
+val mean_ipc_clustered : loop_metrics list -> float
+
+val arithmetic_mean_degradation : loop_metrics list -> float
+(** Table 2's arithmetic mean (normalized, 100 = ideal). *)
+
+val harmonic_mean_degradation : loop_metrics list -> float
+(** Table 2's harmonic mean. *)
+
+val degradation_histogram : loop_metrics list -> Util.Stats.histogram
+(** Figures 5-7: buckets 0%, (0,10), [10,20) … [80,90), >=90 over
+    [degradation - 100]. *)
+
+val histogram_labels : string list
+(** ["0.00%"; "<10%"; …; ">90%"], matching the figures' x axis. *)
+
+val pct_no_degradation : loop_metrics list -> float
+(** Share of loops scheduled at the ideal II — the number Nystrom and
+    Eichenberger report (Section 6.3). *)

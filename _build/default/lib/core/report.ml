@@ -1,0 +1,89 @@
+let table1 ~ideal_ipc runs =
+  let t =
+    Util.Table.create ~title:"Table 1. IPC of Clustered Software Pipelines"
+      ~header:("Model" :: List.map (fun (r : Experiment.run) -> r.config.label) runs)
+  in
+  Util.Table.add_row t
+    ("Ideal" :: List.map (fun _ -> Util.Table.cell_float ideal_ipc) runs);
+  Util.Table.add_row t
+    ("Clustered"
+    :: List.map
+         (fun (r : Experiment.run) ->
+           Util.Table.cell_float (Metrics.mean_ipc_clustered r.metrics))
+         runs);
+  t
+
+let table2 runs =
+  let t =
+    Util.Table.create ~title:"Table 2. Degradation Over Ideal Schedules - Normalized"
+      ~header:("Average" :: List.map (fun (r : Experiment.run) -> r.config.label) runs)
+  in
+  Util.Table.add_row t
+    ("Arithmetic Mean"
+    :: List.map
+         (fun (r : Experiment.run) ->
+           Util.Table.cell_float ~decimals:0 (Metrics.arithmetic_mean_degradation r.metrics))
+         runs);
+  Util.Table.add_row t
+    ("Harmonic Mean"
+    :: List.map
+         (fun (r : Experiment.run) ->
+           Util.Table.cell_float ~decimals:0 (Metrics.harmonic_mean_degradation r.metrics))
+         runs);
+  t
+
+let histogram_percents (run : Experiment.run) =
+  Util.Stats.histogram_percent (Metrics.degradation_histogram run.metrics)
+
+let figure_histogram embedded copy_unit ~title =
+  let t = Util.Table.create ~title ~header:("Degradation" :: Metrics.histogram_labels) in
+  let row label (run : Experiment.run) =
+    Util.Table.add_row t
+      (label
+      :: (Array.to_list (histogram_percents run) |> List.map (Util.Table.cell_float ~decimals:1)))
+  in
+  row "Embedded" embedded;
+  row "Copy Unit" copy_unit;
+  t
+
+let ascii_histogram embedded copy_unit ~title =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let pe = histogram_percents embedded and pc = histogram_percents copy_unit in
+  List.iteri
+    (fun idx label ->
+      let bar p = String.make (int_of_float (p /. 2.0)) '#' in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-6s E %5.1f%% |%-40s\n         C %5.1f%% |%-40s\n" label pe.(idx)
+           (bar pe.(idx)) pc.(idx) (bar pc.(idx))))
+    Metrics.histogram_labels;
+  Buffer.contents buf
+
+let to_csv runs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "config,loop,ops,ideal_ii,clustered_ii,degradation,ipc_ideal,ipc_clustered,copies\n";
+  List.iter
+    (fun (r : Experiment.run) ->
+      List.iter
+        (fun (m : Metrics.loop_metrics) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%d,%d,%d,%.2f,%.3f,%.3f,%d\n" r.config.label
+               m.Metrics.name m.Metrics.n_ops m.Metrics.ideal_ii m.Metrics.clustered_ii
+               m.Metrics.degradation m.Metrics.ipc_ideal m.Metrics.ipc_clustered
+               m.Metrics.n_copies))
+        r.metrics)
+    runs;
+  Buffer.contents buf
+
+let failures_summary runs =
+  let buf = Buffer.create 128 in
+  List.iter
+    (fun (r : Experiment.run) ->
+      List.iter
+        (fun (name, err) ->
+          Buffer.add_string buf (Printf.sprintf "  [%s] %s: %s\n" r.config.label name err))
+        r.failures)
+    runs;
+  if Buffer.length buf = 0 then "  (none)\n" else Buffer.contents buf

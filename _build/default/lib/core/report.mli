@@ -1,0 +1,25 @@
+(** Rendering of the paper's tables and figures from experiment runs. *)
+
+val table1 : ideal_ipc:float -> Experiment.run list -> Util.Table.t
+(** "IPC of Clustered Software Pipelines": one column per configuration,
+    an Ideal row and a Clustered row. *)
+
+val table2 : Experiment.run list -> Util.Table.t
+(** "Degradation Over Ideal Schedules — Normalized": arithmetic and
+    harmonic mean rows. *)
+
+val figure_histogram : Experiment.run -> Experiment.run -> title:string -> Util.Table.t
+(** One of Figures 5-7: per-bucket percentage of loops for the embedded
+    and copy-unit runs of one cluster count. *)
+
+val ascii_histogram : Experiment.run -> Experiment.run -> title:string -> string
+(** The same data as a bar chart for terminal reading. *)
+
+val failures_summary : Experiment.run list -> string
+(** Human-readable list of loops that failed to pipeline (expected to be
+    empty). *)
+
+val to_csv : Experiment.run list -> string
+(** Per-loop results of every run as CSV (header line included): columns
+    config, loop, ops, ideal_ii, clustered_ii, degradation, ipc_ideal,
+    ipc_clustered, copies. For plotting outside the repo. *)

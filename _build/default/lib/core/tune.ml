@@ -1,0 +1,77 @@
+type result = {
+  weights : Rcg.Weights.t;
+  score : float;
+  evaluations : int;
+  trace : (int * float) list;
+}
+
+let evaluate ~machine ~loops weights =
+  let scores =
+    List.map
+      (fun loop ->
+        match
+          Partition.Driver.pipeline ~partitioner:(Partition.Driver.Greedy weights) ~machine
+            loop
+        with
+        | Ok r -> r.Partition.Driver.degradation
+        | Error _ -> 300.0)
+      loops
+  in
+  Util.Stats.mean scores
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let random_weights rng : Rcg.Weights.t =
+  let log_uniform lo hi =
+    exp (log lo +. Util.Prng.float rng (log hi -. log lo))
+  in
+  {
+    Rcg.Weights.depth_base = log_uniform 1.0 20.0;
+    critical_boost = log_uniform 0.5 4.0;
+    attract_scale = Util.Prng.float rng 2.0;
+    repel_scale = Util.Prng.float rng 2.0;
+    balance = Util.Prng.float rng 2.0;
+  }
+
+let random_search ?(budget = 40) ?(seed = 7) ~machine ~loops () =
+  let rng = Util.Prng.create seed in
+  let best = ref Rcg.Weights.default in
+  let best_score = ref (evaluate ~machine ~loops !best) in
+  let trace = ref [ (1, !best_score) ] in
+  for i = 2 to budget do
+    let w = random_weights rng in
+    let s = evaluate ~machine ~loops w in
+    if s < !best_score then begin
+      best := w;
+      best_score := s;
+      trace := (i, s) :: !trace
+    end
+  done;
+  { weights = !best; score = !best_score; evaluations = budget; trace = List.rev !trace }
+
+let mutate rng (w : Rcg.Weights.t) : Rcg.Weights.t =
+  let factor () = exp (Util.Prng.float rng (2.0 *. log 2.0) -. log 2.0) in
+  match Util.Prng.int rng 5 with
+  | 0 -> { w with Rcg.Weights.depth_base = clamp 1.0 50.0 (w.Rcg.Weights.depth_base *. factor ()) }
+  | 1 ->
+      { w with Rcg.Weights.critical_boost = clamp 0.25 8.0 (w.Rcg.Weights.critical_boost *. factor ()) }
+  | 2 ->
+      { w with Rcg.Weights.attract_scale = clamp 0.0 4.0 (w.Rcg.Weights.attract_scale *. factor ()) }
+  | 3 -> { w with Rcg.Weights.repel_scale = clamp 0.0 4.0 (w.Rcg.Weights.repel_scale *. factor ()) }
+  | _ -> { w with Rcg.Weights.balance = clamp 0.0 4.0 (w.Rcg.Weights.balance *. factor ()) }
+
+let hill_climb ?(budget = 40) ?(seed = 7) ?(init = Rcg.Weights.default) ~machine ~loops () =
+  let rng = Util.Prng.create seed in
+  let best = ref init in
+  let best_score = ref (evaluate ~machine ~loops !best) in
+  let trace = ref [ (1, !best_score) ] in
+  for i = 2 to budget do
+    let w = mutate rng !best in
+    let s = evaluate ~machine ~loops w in
+    if s <= !best_score then begin
+      if s < !best_score then trace := (i, s) :: !trace;
+      best := w;
+      best_score := s
+    end
+  done;
+  { weights = !best; score = !best_score; evaluations = budget; trace = List.rev !trace }

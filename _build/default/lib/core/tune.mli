@@ -1,0 +1,51 @@
+(** Off-line stochastic tuning of the RCG weight heuristic.
+
+    Section 7: "we will investigate fine-tuning our greedy heuristic by
+    using off-line stochastic optimization techniques" (the authors had
+    already done so for scheduling heuristics with genetic algorithms
+    [Beaty et al. 1996]). This module implements two such tuners over
+    {!Rcg.Weights.t}: pure random search and a (1+1) hill climber with
+    multiplicative mutations. The objective is the arithmetic-mean
+    degradation of a training set of loops on a target machine — lower is
+    better.
+
+    Tuning is deterministic given the seed. Evaluations dominate cost
+    (each is a full partition + modulo schedule of every training loop),
+    so budgets are counted in evaluations. *)
+
+type result = {
+  weights : Rcg.Weights.t;
+  score : float;       (** mean degradation achieved, 100 = no loss *)
+  evaluations : int;
+  trace : (int * float) list;
+      (** (evaluation index, best-so-far score) at every improvement *)
+}
+
+val evaluate :
+  machine:Mach.Machine.t -> loops:Ir.Loop.t list -> Rcg.Weights.t -> float
+(** The objective: arithmetic mean degradation; loops that fail to
+    pipeline (none in practice) count as 300. *)
+
+val random_search :
+  ?budget:int ->
+  ?seed:int ->
+  machine:Mach.Machine.t ->
+  loops:Ir.Loop.t list ->
+  unit ->
+  result
+(** Sample weights log-uniformly from sensible ranges (depth base 1-20,
+    boosts 0.5-4, scales 0-2, balance 0-2); keep the best. [budget]
+    defaults to 40 evaluations; the default weights are always evaluated
+    first so the tuner can only improve on them. *)
+
+val hill_climb :
+  ?budget:int ->
+  ?seed:int ->
+  ?init:Rcg.Weights.t ->
+  machine:Mach.Machine.t ->
+  loops:Ir.Loop.t list ->
+  unit ->
+  result
+(** (1+1) evolution strategy: mutate one field by a random factor in
+    [0.5, 2], accept on improvement-or-equal. [init] defaults to
+    {!Rcg.Weights.default}. *)

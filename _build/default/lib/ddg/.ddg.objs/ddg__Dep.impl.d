@@ -1,0 +1,1 @@
+lib/ddg/dep.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/ddg/dep.mli: Format

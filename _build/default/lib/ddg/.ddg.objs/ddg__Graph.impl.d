@@ -1,0 +1,1 @@
+lib/ddg/graph.ml: Array Buffer Dep Format Graphlib Hashtbl Ir List Mach Memdep Printf String

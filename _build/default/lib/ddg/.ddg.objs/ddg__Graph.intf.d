@@ -1,0 +1,1 @@
+lib/ddg/graph.mli: Dep Format Graphlib Hashtbl Ir Mach

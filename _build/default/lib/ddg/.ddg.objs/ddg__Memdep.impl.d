@@ -1,0 +1,1 @@
+lib/ddg/memdep.ml: Dep Ir Mach

@@ -1,0 +1,1 @@
+lib/ddg/memdep.mli: Dep Ir

@@ -1,0 +1,1 @@
+lib/ddg/minii.ml: Array Dep Graph Graphlib List Mach

@@ -1,0 +1,1 @@
+lib/ddg/minii.mli: Graph Mach

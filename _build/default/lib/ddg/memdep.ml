@@ -1,0 +1,33 @@
+type verdict = No_dep | Dep_at of int | Dep_all
+
+let test ~earlier ~later =
+  let e : Ir.Addr.t = earlier and l : Ir.Addr.t = later in
+  if not (Ir.Addr.same_base e l) then No_dep
+  else if e.stride = l.stride then begin
+    (* Equal scalar references conflict in every iteration pair. *)
+    if e.stride = 0 then if e.offset = l.offset then Dep_all else No_dep
+    else
+      let diff = e.offset - l.offset in
+      if diff mod e.stride <> 0 then No_dep
+      else
+        let d = diff / e.stride in
+        if d >= 0 then Dep_at d else No_dep
+  end
+  else Dep_all
+
+let ordering_dep ~earlier ~later =
+  let is_store op = Mach.Opcode.equal (Ir.Op.opcode op) Mach.Opcode.Store in
+  match (Ir.Op.addr earlier, Ir.Op.addr later) with
+  | Some ae, Some al when is_store earlier || is_store later ->
+      let kind : Dep.kind_mem =
+        match (is_store earlier, is_store later) with
+        | true, false -> Dep.Mem_flow
+        | false, true -> Dep.Mem_anti
+        | true, true -> Dep.Mem_output
+        | false, false -> assert false
+      in
+      (match test ~earlier:ae ~later:al with
+      | No_dep -> None
+      | Dep_at d -> Some (kind, d)
+      | Dep_all -> Some (kind, 0))
+  | _ -> None

@@ -1,0 +1,35 @@
+(** Affine memory-dependence testing.
+
+    Two references to the same base, [a\[s·i + o1\]] (earlier in the body)
+    and [a\[s·i + o2\]], conflict when [s·i1 + o1 = s·i2 + o2] has a
+    solution with [i2 >= i1] (the later iteration executes the later
+    textual op, or the same iteration when textual order suffices). For
+    equal strides the distance is [(o1 - o2) / s] when integral; distinct
+    bases never alias (Fortran-style no-alias assumption, matching the
+    paper's loop extraction pipeline). *)
+
+type verdict =
+  | No_dep                  (** provably independent *)
+  | Dep_at of int           (** dependence at this non-negative distance *)
+  | Dep_all                 (** conservatively: dependence at every distance >= the given floor *)
+
+val test : earlier:Ir.Addr.t -> later:Ir.Addr.t -> verdict
+(** [test ~earlier ~later]: verdict for a dependence from the textually
+    earlier reference to the later one within a single-block loop.
+    Returns the smallest dependence distance:
+
+    - different bases → [No_dep]
+    - same stride [s <> 0]: distance [d = (o_earlier - o_later) / s] if
+      integral and [>= 0] (a negative or fractional d means the later
+      reference can never see the earlier one going forward) → [Dep_at d]
+      or [No_dep]
+    - both scalar ([s = 0]): same offset → [Dep_all] (the same location is
+      touched every iteration); different offsets → [No_dep]
+    - differing strides → [Dep_all] (conservative) *)
+
+val ordering_dep :
+  earlier:Ir.Op.t -> later:Ir.Op.t -> (Dep.kind_mem * int) option
+(** Memory-ordering dependence between two ops if both are memory ops, at
+    least one is a store, and the address test does not disprove it.
+    Returns kind and distance. The conservative [Dep_all] verdict is
+    represented as distance of the verdict's floor (0 or 1). *)

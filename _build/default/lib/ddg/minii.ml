@@ -1,0 +1,61 @@
+let div_ceil a b = (a + b - 1) / b
+
+let res_mii ~width n_ops =
+  if width <= 0 then invalid_arg "Minii.res_mii: width must be positive";
+  max 1 (div_ceil (max n_ops 0) width)
+
+let res_mii_clustered ~machine ~ops_per_cluster ~copies_per_cluster =
+  let m : Mach.Machine.t = machine in
+  if Array.length ops_per_cluster <> m.clusters || Array.length copies_per_cluster <> m.clusters
+  then invalid_arg "Minii.res_mii_clustered: array length mismatch";
+  let per_cluster c =
+    match m.copy_model with
+    | Mach.Machine.Embedded ->
+        div_ceil (ops_per_cluster.(c) + copies_per_cluster.(c)) m.fus_per_cluster
+    | Mach.Machine.Copy_unit ->
+        let fu_bound = div_ceil ops_per_cluster.(c) m.fus_per_cluster in
+        let port_bound =
+          if copies_per_cluster.(c) = 0 then 1
+          else if m.copy_ports = 0 then max_int / 2
+          else div_ceil copies_per_cluster.(c) m.copy_ports
+        in
+        max fu_bound port_bound
+  in
+  let cluster_bound =
+    Array.to_list (Array.init m.clusters per_cluster) |> List.fold_left max 1
+  in
+  match m.copy_model with
+  | Mach.Machine.Embedded -> cluster_bound
+  | Mach.Machine.Copy_unit ->
+      let total_copies = Array.fold_left ( + ) 0 copies_per_cluster in
+      let bus_bound =
+        if total_copies = 0 then 1
+        else if m.busses = 0 then max_int / 2
+        else div_ceil total_copies m.busses
+      in
+      max cluster_bound bus_bound
+
+let upper_bound ddg =
+  1 + List.fold_left (fun acc op -> acc + Graph.latency_of ddg op) 0 (Graph.ops_in_order ddg)
+
+let feasible ddg ii =
+  not
+    (Graphlib.Cycles.has_positive_cycle
+       ~weight:(fun (e : Dep.t Graphlib.Digraph.edge) ->
+         Dep.latency e.label - (ii * Dep.distance e.label))
+       (Graph.graph ddg))
+
+let rec_mii ddg =
+  (* Cycle weight Σlat − II·Σdist is strictly decreasing in II for any
+     circuit (every circuit carries distance >= 1 in a well-formed body),
+     so feasibility is monotone and binary search applies. *)
+  let hi = upper_bound ddg in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if feasible ddg mid then search lo mid else search (mid + 1) hi
+  in
+  search 1 hi
+
+let min_ii ~width ddg = max (res_mii ~width (Graph.size ddg)) (rec_mii ddg)

@@ -1,0 +1,31 @@
+(** Minimum initiation interval analysis.
+
+    Modulo scheduling repeats one kernel schedule every II cycles; II is
+    bounded below by resource pressure (ResMII) and by recurrence circuits
+    (RecMII). Rau's iterative modulo scheduler starts at
+    [MinII = max ResMII RecMII] and increases II until a legal schedule is
+    found. *)
+
+val res_mii : width:int -> int -> int
+(** [res_mii ~width n_ops]: with fully general functional units,
+    ⌈n_ops / width⌉ (at least 1). *)
+
+val res_mii_clustered :
+  machine:Mach.Machine.t -> ops_per_cluster:int array -> copies_per_cluster:int array -> int
+(** Cluster-aware resource bound. For the embedded model a cluster's load
+    is its operations plus the copies it receives; for the copy-unit model
+    copies instead bound II through per-cluster copy ports and through the
+    global busses (Σ copies / busses). *)
+
+val rec_mii : Graph.t -> int
+(** Smallest II such that no recurrence circuit C has
+    Σ latency(C) > II · Σ distance(C); 1 when the DDG is acyclic.
+    Computed by binary search with positive-cycle detection under edge
+    weight [latency − II·distance]. *)
+
+val min_ii : width:int -> Graph.t -> int
+(** [max (res_mii ...) (rec_mii ...)]. *)
+
+val upper_bound : Graph.t -> int
+(** A trivially schedulable II: total latency of all operations, plus 1.
+    Any II at or above this admits a sequential schedule. *)

@@ -1,0 +1,1 @@
+lib/graphlib/cycles.ml: Digraph Hashtbl List

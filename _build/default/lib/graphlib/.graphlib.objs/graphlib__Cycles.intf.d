@@ -1,0 +1,1 @@
+lib/graphlib/cycles.mli: Digraph Hashtbl

@@ -1,0 +1,1 @@
+lib/graphlib/topo.ml: Digraph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/graphlib/topo.mli: Digraph Hashtbl

@@ -1,0 +1,1 @@
+lib/graphlib/ungraph.ml: Hashtbl Int List Option

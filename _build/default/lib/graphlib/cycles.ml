@@ -1,0 +1,48 @@
+(* Longest-path Bellman-Ford: relax upward; if an edge still relaxes after
+   |V| rounds a positive cycle exists. All nodes start at 0 (virtual super
+   source), which detects a positive cycle anywhere in the graph. *)
+
+let has_positive_cycle ~weight g =
+  let dist = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace dist n 0) (Digraph.nodes g);
+  let n = Digraph.node_count g in
+  let relax_once () =
+    let changed = ref false in
+    Digraph.iter_edges
+      (fun e ->
+        let d = Hashtbl.find dist e.src + weight e in
+        if d > Hashtbl.find dist e.dst then begin
+          Hashtbl.replace dist e.dst d;
+          changed := true
+        end)
+      g;
+    !changed
+  in
+  let rec run i = if i > n then true else if relax_once () then run (i + 1) else false in
+  run 1
+
+let longest_distances ~weight ~source g =
+  if not (Digraph.mem_node g source) then invalid_arg "Cycles.longest_distances: unknown source";
+  let dist = Hashtbl.create 64 in
+  Hashtbl.replace dist source 0;
+  let n = Digraph.node_count g in
+  let relax_once () =
+    let changed = ref false in
+    Digraph.iter_edges
+      (fun e ->
+        match Hashtbl.find_opt dist e.src with
+        | None -> ()
+        | Some ds ->
+            let d = ds + weight e in
+            let better =
+              match Hashtbl.find_opt dist e.dst with None -> true | Some dd -> d > dd
+            in
+            if better then begin
+              Hashtbl.replace dist e.dst d;
+              changed := true
+            end)
+      g;
+    !changed
+  in
+  let rec run i = if i > n then None else if relax_once () then run (i + 1) else Some dist in
+  run 1

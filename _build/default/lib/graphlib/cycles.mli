@@ -1,0 +1,15 @@
+(** Cycle-sensitive path queries used by MinII analysis.
+
+    Modulo scheduling asks: for a candidate initiation interval II, does
+    the DDG contain a recurrence circuit whose total latency exceeds
+    II × total dependence distance? Equivalently, with edge weight
+    [latency - II·distance], does a positive-weight cycle exist? *)
+
+val has_positive_cycle : weight:('e Digraph.edge -> int) -> 'e Digraph.t -> bool
+(** Bellman-Ford style detection of a positive-weight cycle under the
+    given edge weighting. *)
+
+val longest_distances :
+  weight:('e Digraph.edge -> int) -> source:int -> 'e Digraph.t -> (int, int) Hashtbl.t option
+(** Longest distance from [source] to every reachable node under the
+    weighting, or [None] if a positive cycle is reachable from [source]. *)

@@ -1,0 +1,22 @@
+(** Strongly connected components (Tarjan) and derived queries.
+
+    RecMII computation needs the recurrence circuits of the DDG; every
+    circuit lives inside one SCC, so MinII analysis runs per non-trivial
+    component. *)
+
+val tarjan : 'e Digraph.t -> int list list
+(** SCCs in reverse topological order (a component appears before any
+    component it has edges into... specifically, Tarjan emission order:
+    every edge leaving a component goes to an earlier-emitted component).
+    Each component's nodes are sorted ascending. *)
+
+val nontrivial : 'e Digraph.t -> int list list
+(** Components that contain a cycle: more than one node, or a single node
+    with a self-edge. *)
+
+val condensation : 'e Digraph.t -> int array * unit Digraph.t
+(** [comp_of, dag]: [comp_of] maps a node position in [nodes g]... rather,
+    returns an array indexed by component id plus the component DAG. The
+    first array maps node id -> component id (dense ids from 0); nodes
+    absent from the graph map to -1. The DAG has one node per component
+    and a (deduplicated) edge per cross-component edge. *)

@@ -1,0 +1,17 @@
+(** Topological ordering and DAG longest paths. *)
+
+val sort : 'e Digraph.t -> int list option
+(** Topological order of an acyclic graph; [None] when a cycle exists. *)
+
+val sort_exn : 'e Digraph.t -> int list
+(** Like {!sort} but raises [Invalid_argument] on a cycle. *)
+
+val is_dag : 'e Digraph.t -> bool
+
+val longest_paths : weight:('e Digraph.edge -> int) -> 'e Digraph.t -> (int, int) Hashtbl.t
+(** For an acyclic graph, the longest weighted distance from any source
+    (in-degree 0) node to each node; sources are at distance 0. Raises
+    [Invalid_argument] on a cycle. *)
+
+val critical_path : weight:('e Digraph.edge -> int) -> 'e Digraph.t -> int
+(** Largest entry of {!longest_paths}; 0 for the empty graph. *)

@@ -1,0 +1,86 @@
+type t = {
+  adj : (int, (int, float) Hashtbl.t) Hashtbl.t;
+  node_w : (int, float) Hashtbl.t;
+}
+
+let create ?(size_hint = 64) () =
+  { adj = Hashtbl.create size_hint; node_w = Hashtbl.create size_hint }
+
+let add_node t n =
+  if not (Hashtbl.mem t.adj n) then begin
+    Hashtbl.replace t.adj n (Hashtbl.create 4);
+    Hashtbl.replace t.node_w n 0.0
+  end
+
+let add_node_weight t n w =
+  add_node t n;
+  Hashtbl.replace t.node_w n (Hashtbl.find t.node_w n +. w)
+
+let add_edge_weight t a b w =
+  if a = b then invalid_arg "Ungraph.add_edge_weight: self edge";
+  add_node t a;
+  add_node t b;
+  let bump x y =
+    let tbl = Hashtbl.find t.adj x in
+    let cur = Option.value ~default:0.0 (Hashtbl.find_opt tbl y) in
+    Hashtbl.replace tbl y (cur +. w)
+  in
+  bump a b;
+  bump b a
+
+let mem_node t n = Hashtbl.mem t.adj n
+
+let nodes t = List.sort Int.compare (Hashtbl.fold (fun n _ acc -> n :: acc) t.adj [])
+
+let node_count t = Hashtbl.length t.adj
+
+let node_weight t n = Option.value ~default:0.0 (Hashtbl.find_opt t.node_w n)
+
+let edge_weight t a b =
+  match Hashtbl.find_opt t.adj a with
+  | None -> 0.0
+  | Some tbl -> Option.value ~default:0.0 (Hashtbl.find_opt tbl b)
+
+let mem_edge t a b =
+  match Hashtbl.find_opt t.adj a with None -> false | Some tbl -> Hashtbl.mem tbl b
+
+let neighbors t n =
+  match Hashtbl.find_opt t.adj n with
+  | None -> []
+  | Some tbl ->
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Hashtbl.fold (fun m w acc -> (m, w) :: acc) tbl [])
+
+let degree t n = match Hashtbl.find_opt t.adj n with None -> 0 | Some tbl -> Hashtbl.length tbl
+
+let edge_count t =
+  Hashtbl.fold (fun _ tbl acc -> acc + Hashtbl.length tbl) t.adj 0 / 2
+
+let edges t =
+  List.concat_map
+    (fun a -> List.filter_map (fun (b, w) -> if a < b then Some (a, b, w) else None) (neighbors t a))
+    (nodes t)
+
+let components t =
+  let visited = Hashtbl.create 64 in
+  let comp_of n =
+    let acc = ref [] in
+    let rec dfs v =
+      if not (Hashtbl.mem visited v) then begin
+        Hashtbl.add visited v ();
+        acc := v :: !acc;
+        List.iter (fun (m, _) -> dfs m) (neighbors t v)
+      end
+    in
+    dfs n;
+    List.sort Int.compare !acc
+  in
+  List.filter_map
+    (fun n -> if Hashtbl.mem visited n then None else Some (comp_of n))
+    (nodes t)
+
+let copy t =
+  { adj = Hashtbl.fold (fun n tbl acc -> Hashtbl.replace acc n (Hashtbl.copy tbl); acc)
+            t.adj (Hashtbl.create (Hashtbl.length t.adj));
+    node_w = Hashtbl.copy t.node_w }

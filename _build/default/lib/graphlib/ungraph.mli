@@ -1,0 +1,47 @@
+(** Undirected graphs with accumulating float weights on nodes and edges —
+    the shape of the register component graph.
+
+    Repeated {!add_edge_weight} calls on the same (unordered) pair sum into
+    a single weight, exactly as the paper's "either add a new edge in the
+    RCG with value w, or add w to the current value of the edge". Weights
+    may be negative (repulsion) or infinite (hard machine constraints). *)
+
+type t
+
+val create : ?size_hint:int -> unit -> t
+val add_node : t -> int -> unit
+
+val add_node_weight : t -> int -> float -> unit
+(** Accumulates onto the node's weight (adds the node if new). *)
+
+val add_edge_weight : t -> int -> int -> float -> unit
+(** Accumulates onto the unordered edge's weight (adds endpoints if new).
+    Self-edges are rejected with [Invalid_argument]. *)
+
+val mem_node : t -> int -> bool
+val nodes : t -> int list
+(** Ascending order. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val node_weight : t -> int -> float
+(** 0 for unknown nodes. *)
+
+val edge_weight : t -> int -> int -> float
+(** 0 when no edge exists. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> (int * float) list
+(** Adjacent nodes with edge weights, ascending by node id. *)
+
+val degree : t -> int -> int
+
+val edges : t -> (int * int * float) list
+(** Each undirected edge once, with [fst < snd], sorted. *)
+
+val components : t -> int list list
+(** Connected components, each sorted ascending, ordered by smallest
+    member. *)
+
+val copy : t -> t

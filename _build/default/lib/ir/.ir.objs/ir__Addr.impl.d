@@ -1,0 +1,1 @@
+lib/ir/addr.ml: Format Int Printf String

@@ -1,0 +1,1 @@
+lib/ir/addr.mli: Format

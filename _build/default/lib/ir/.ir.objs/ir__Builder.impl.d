@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Func List Loop Mach Op Vreg

@@ -1,0 +1,1 @@
+lib/ir/distribute.ml: Addr Array Hashtbl List Loop Mach Op Option Printf Vreg

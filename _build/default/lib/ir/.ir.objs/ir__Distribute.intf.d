@@ -1,0 +1,1 @@
+lib/ir/distribute.mli: Loop

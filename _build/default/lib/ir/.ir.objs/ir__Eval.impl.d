@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Addr Float Format Hashtbl Int Int64 List Loop Mach Op Option Printf String Vreg

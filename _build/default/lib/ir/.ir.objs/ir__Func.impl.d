@@ -1,0 +1,1 @@
+lib/ir/func.ml: Block Format Hashtbl List Op Printf String Vreg

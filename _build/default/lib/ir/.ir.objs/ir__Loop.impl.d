@@ -1,0 +1,1 @@
+lib/ir/loop.ml: Format Hashtbl List Op Option Printf Vreg

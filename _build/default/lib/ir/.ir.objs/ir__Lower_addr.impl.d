@@ -1,0 +1,1 @@
+lib/ir/lower_addr.ml: Addr Int List Loop Mach Map Op Printf Vreg

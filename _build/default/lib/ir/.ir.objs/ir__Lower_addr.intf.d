@@ -1,0 +1,1 @@
+lib/ir/lower_addr.mli: Loop Vreg

@@ -1,0 +1,1 @@
+lib/ir/op.ml: Addr Buffer Format Int List Mach Map Option Printf Set String Vreg

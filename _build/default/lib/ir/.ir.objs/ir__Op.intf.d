@@ -1,0 +1,1 @@
+lib/ir/op.mli: Addr Format Mach Map Set Vreg

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Addr Buffer Hashtbl List Loop Mach Op Printf Result String Vreg

@@ -1,0 +1,1 @@
+lib/ir/superblock.ml: Block Func List

@@ -1,0 +1,1 @@
+lib/ir/superblock.mli: Func

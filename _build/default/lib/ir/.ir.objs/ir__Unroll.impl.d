@@ -1,0 +1,1 @@
+lib/ir/unroll.ml: Addr Array Hashtbl List Loop Op Option Printf Vreg

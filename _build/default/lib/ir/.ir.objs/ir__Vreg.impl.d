@@ -1,0 +1,1 @@
+lib/ir/vreg.ml: Format Hashtbl Int Mach Map Set

@@ -1,0 +1,25 @@
+type t = { base : string; offset : int; stride : int }
+
+let make ?(offset = 0) ?(stride = 0) base =
+  if base = "" then invalid_arg "Addr.make: empty base";
+  { base; offset; stride }
+
+let scalar base = make base
+let element ?(offset = 0) base = make ~offset ~stride:1 base
+let same_base a b = String.equal a.base b.base
+let equal a b = same_base a b && a.offset = b.offset && a.stride = b.stride
+
+let compare a b =
+  let c = String.compare a.base b.base in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.offset b.offset in
+    if c <> 0 then c else Int.compare a.stride b.stride
+
+let to_string t =
+  if t.stride = 0 && t.offset = 0 then t.base
+  else if t.stride = 0 then Printf.sprintf "%s[%d]" t.base t.offset
+  else if t.offset = 0 then Printf.sprintf "%s[%d*i]" t.base t.stride
+  else Printf.sprintf "%s[%d*i%+d]" t.base t.stride t.offset
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,29 @@
+(** Symbolic memory addresses for affine array accesses.
+
+    A memory operation in iteration [i] of a loop touches
+    [base\[stride * i + offset\]]. This is the information a Fortran77
+    front end would hand the dependence analyzer for the paper's
+    single-block innermost loops, and it is enough to compute exact
+    dependence distances between references to the same base (see
+    [Ddg.Memdep]). Scalars are [stride = 0] accesses. *)
+
+type t = private {
+  base : string;  (** array or scalar symbol, the aliasing unit *)
+  offset : int;
+  stride : int;
+}
+
+val make : ?offset:int -> ?stride:int -> string -> t
+(** [make base] defaults to a scalar access ([offset = 0], [stride = 0]). *)
+
+val scalar : string -> t
+(** Scalar symbol: [stride = 0], [offset = 0]. *)
+
+val element : ?offset:int -> string -> t
+(** Unit-stride array element [base\[i + offset\]]. *)
+
+val same_base : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

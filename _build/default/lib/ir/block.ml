@@ -1,0 +1,31 @@
+type t = { label : string; depth : int; ops : Op.t list }
+
+let make ?(depth = 0) ~label ops =
+  if label = "" then invalid_arg "Block.make: empty label";
+  if depth < 0 then invalid_arg "Block.make: negative depth";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      let id = Op.id op in
+      if Hashtbl.mem seen id then
+        invalid_arg (Printf.sprintf "Block %s: duplicate op id %d" label id);
+      Hashtbl.add seen id ())
+    ops;
+  { label; depth; ops }
+
+let label t = t.label
+let depth t = t.depth
+let ops t = t.ops
+let size t = List.length t.ops
+
+let vregs t =
+  List.fold_left
+    (fun acc op ->
+      let acc = List.fold_left (fun s r -> Vreg.Set.add r s) acc (Op.defs op) in
+      List.fold_left (fun s r -> Vreg.Set.add r s) acc (Op.uses op))
+    Vreg.Set.empty t.ops
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s (depth %d):@," t.label t.depth;
+  List.iter (fun op -> Format.fprintf ppf "  %a@," Op.pp op) t.ops;
+  Format.fprintf ppf "@]"

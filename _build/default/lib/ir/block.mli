@@ -1,0 +1,23 @@
+(** Basic blocks for the whole-function code path.
+
+    The paper's framework is "global in nature": the RCG is built across
+    every basic block of a function and partitioned once. A block is a
+    straight-line op list at some loop-nesting depth; unlike {!Loop}, uses
+    never read across iterations. *)
+
+type t = private {
+  label : string;
+  depth : int;     (** loop-nesting depth of this block *)
+  ops : Op.t list;
+}
+
+val make : ?depth:int -> label:string -> Op.t list -> t
+(** [depth] defaults to 0. Raises [Invalid_argument] on duplicate op ids
+    or an empty label. An empty op list is allowed (join blocks). *)
+
+val label : t -> string
+val depth : t -> int
+val ops : t -> Op.t list
+val size : t -> int
+val vregs : t -> Vreg.Set.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,86 @@
+type t = {
+  mutable next_vreg : int;
+  mutable next_op : int;
+  mutable current : Op.t list;         (* reversed *)
+  mutable current_label : string;
+  mutable current_depth : int;
+  mutable finished : Block.t list;     (* reversed *)
+}
+
+let create () =
+  { next_vreg = 1; next_op = 0; current = []; current_label = "entry"; current_depth = 0;
+    finished = [] }
+
+let fresh ?name t cls =
+  let id = t.next_vreg in
+  t.next_vreg <- id + 1;
+  Vreg.make ?name ~id ~cls ()
+
+let emit t op = t.current <- op :: t.current
+
+let next_op_id t =
+  let id = t.next_op in
+  t.next_op <- id + 1;
+  id
+
+let load ?name ?index t cls addr =
+  let dst = fresh ?name t cls in
+  let srcs = match index with Some i -> [ i ] | None -> [] in
+  emit t (Op.make ~dst ~srcs ~addr ~id:(next_op_id t) ~opcode:Mach.Opcode.Load ~cls ());
+  dst
+
+let store ?index t cls addr value =
+  let srcs = value :: (match index with Some i -> [ i ] | None -> []) in
+  emit t (Op.make ~srcs ~addr ~id:(next_op_id t) ~opcode:Mach.Opcode.Store ~cls ())
+
+let unop ?name t opcode cls a =
+  let dst = fresh ?name t cls in
+  emit t (Op.make ~dst ~srcs:[ a ] ~id:(next_op_id t) ~opcode ~cls ());
+  dst
+
+let binop ?name t opcode cls a b =
+  let dst = fresh ?name t cls in
+  emit t (Op.make ~dst ~srcs:[ a; b ] ~id:(next_op_id t) ~opcode ~cls ());
+  dst
+
+let ternop ?name t opcode cls a b c =
+  let dst = fresh ?name t cls in
+  emit t (Op.make ~dst ~srcs:[ a; b; c ] ~id:(next_op_id t) ~opcode ~cls ());
+  dst
+
+let define t opcode cls ~into srcs =
+  emit t (Op.make ~dst:into ~srcs ~id:(next_op_id t) ~opcode ~cls ())
+
+let const ?name t cls v =
+  let dst = fresh ?name t cls in
+  emit t (Op.make ~dst ~imm:v ~id:(next_op_id t) ~opcode:Mach.Opcode.Const ~cls ());
+  dst
+
+let copy ?name t src =
+  let cls = Vreg.cls src in
+  let dst = fresh ?name t cls in
+  emit t (Op.make ~dst ~srcs:[ src ] ~id:(next_op_id t) ~opcode:Mach.Opcode.Copy ~cls ());
+  dst
+
+let op_count t = List.length t.current + List.fold_left (fun a b -> a + Block.size b) 0 t.finished
+
+let loop ?depth ?(live_out = []) ?trip_count t ~name () =
+  if t.finished <> [] then invalid_arg "Builder.loop: blocks were started; use Builder.func";
+  let ops = List.rev t.current in
+  let live_out = List.fold_left (fun s r -> Vreg.Set.add r s) Vreg.Set.empty live_out in
+  Loop.make ?depth ~live_out ?trip_count ~name ops
+
+let close_current t =
+  let ops = List.rev t.current in
+  if ops <> [] then
+    t.finished <- Block.make ~depth:t.current_depth ~label:t.current_label ops :: t.finished;
+  t.current <- []
+
+let start_block ?(depth = 0) t label =
+  close_current t;
+  t.current_label <- label;
+  t.current_depth <- depth
+
+let func t ~name ~edges =
+  close_current t;
+  Func.make ~name ~blocks:(List.rev t.finished) ~edges

@@ -1,0 +1,60 @@
+(** Imperative construction of IR.
+
+    A builder hands out fresh virtual registers and operation ids and
+    accumulates operations in program order, mirroring how a front end
+    would lower source statements. One builder produces either a single
+    {!Loop} or a multi-block {!Func}.
+
+    Typical use (the paper's Section 4.2 example):
+    {[
+      let b = Builder.create () in
+      let xvel = Builder.load b Float (Addr.scalar "xvel") in
+      let t = Builder.load b Float (Addr.scalar "t") in
+      let r5 = Builder.binop b Mul Float xvel t in
+      ...
+      Builder.store b Float (Addr.scalar "xpos") r10;
+      let loop = Builder.loop b ~name:"example" ()
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val fresh : ?name:string -> t -> Mach.Rclass.t -> Vreg.t
+(** A fresh virtual register that has not been defined yet; define it with
+    {!define} or use it as a loop-invariant input. *)
+
+val load : ?name:string -> ?index:Vreg.t -> t -> Mach.Rclass.t -> Addr.t -> Vreg.t
+(** Emit a load and return its destination. *)
+
+val store : ?index:Vreg.t -> t -> Mach.Rclass.t -> Addr.t -> Vreg.t -> unit
+
+val unop : ?name:string -> t -> Mach.Opcode.t -> Mach.Rclass.t -> Vreg.t -> Vreg.t
+val binop : ?name:string -> t -> Mach.Opcode.t -> Mach.Rclass.t -> Vreg.t -> Vreg.t -> Vreg.t
+val ternop :
+  ?name:string -> t -> Mach.Opcode.t -> Mach.Rclass.t -> Vreg.t -> Vreg.t -> Vreg.t -> Vreg.t
+
+val define : t -> Mach.Opcode.t -> Mach.Rclass.t -> into:Vreg.t -> Vreg.t list -> unit
+(** Emit an operation that (re)defines an existing register — needed for
+    recurrences, e.g. [s = s + x]. *)
+
+val const : ?name:string -> t -> Mach.Rclass.t -> int -> Vreg.t
+(** Materialize an integer immediate (coerced for float destinations). *)
+
+val copy : ?name:string -> t -> Vreg.t -> Vreg.t
+(** Emit an explicit register copy. *)
+
+val op_count : t -> int
+
+val loop :
+  ?depth:int -> ?live_out:Vreg.t list -> ?trip_count:int -> t -> name:string -> unit -> Loop.t
+(** Finish as a single-block loop of everything emitted so far. *)
+
+(** {2 Multi-block construction} *)
+
+val start_block : ?depth:int -> t -> string -> unit
+(** Close the current block (if any ops were emitted without a block, they
+    form an implicit entry block ["entry"]) and start a new one. *)
+
+val func : t -> name:string -> edges:(string * string) list -> Func.t
+(** Finish as a function of all blocks emitted. *)

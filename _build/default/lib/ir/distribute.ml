@@ -1,0 +1,73 @@
+(* Union-find over op positions, joined by shared registers or
+   same-base memory references involving a store — a sound
+   over-approximation of the DDG's weak connectivity that avoids a
+   dependence-library dependency cycle (Ddg depends on Ir). *)
+
+let split src =
+  let ops = Array.of_list (Loop.ops src) in
+  let n = Array.length ops in
+  let parent = Array.init n (fun idx -> idx) in
+  let rec find x = if parent.(x) = x then x else (parent.(x) <- find parent.(x); find parent.(x)) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  (* registers join their defining and using ops *)
+  let by_reg : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  Array.iteri
+    (fun idx op ->
+      List.iter
+        (fun r ->
+          match Hashtbl.find_opt by_reg (Vreg.id r) with
+          | Some first -> union first idx
+          | None -> Hashtbl.replace by_reg (Vreg.id r) idx)
+        (Op.defs op @ Op.uses op))
+    ops;
+  (* a store joins everything touching its base *)
+  let store_bases =
+    Array.to_list ops
+    |> List.filter_map (fun op ->
+           if Mach.Opcode.equal (Op.opcode op) Mach.Opcode.Store then
+             Option.map (fun (a : Addr.t) -> a.Addr.base) (Op.addr op)
+           else None)
+    |> List.sort_uniq compare
+  in
+  let by_base : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun idx op ->
+      match Op.addr op with
+      | Some a when List.mem a.Addr.base store_bases -> (
+          match Hashtbl.find_opt by_base a.Addr.base with
+          | Some first -> union first idx
+          | None -> Hashtbl.replace by_base a.Addr.base idx)
+      | Some _ | None -> ())
+    ops;
+  (* collect pieces in order of first member *)
+  let groups : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  for idx = n - 1 downto 0 do
+    let r = find idx in
+    Hashtbl.replace groups r (idx :: Option.value ~default:[] (Hashtbl.find_opt groups r))
+  done;
+  let roots =
+    Hashtbl.fold (fun r members acc -> (List.hd members, r, members) :: acc) groups []
+    |> List.sort compare
+  in
+  match roots with
+  | [ _ ] | [] -> [ src ]
+  | _ ->
+      List.mapi
+        (fun k (_, _, members) ->
+          let body = List.map (fun idx -> ops.(idx)) members in
+          let regs =
+            List.fold_left
+              (fun acc op ->
+                List.fold_left (fun s r -> Vreg.Set.add r s) acc (Op.defs op @ Op.uses op))
+              Vreg.Set.empty body
+          in
+          let live_out = Vreg.Set.inter (Loop.live_out src) regs in
+          Loop.make ~depth:(Loop.depth src) ~live_out ~trip_count:(Loop.trip_count src)
+            ~name:(Printf.sprintf "%s/%d" (Loop.name src) k)
+            body)
+        roots
+
+let is_distributable src = List.length (split src) > 1

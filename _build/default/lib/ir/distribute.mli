@@ -1,0 +1,22 @@
+(** Loop distribution (fission).
+
+    Splitting a loop into independent loops — one per weakly-connected
+    component of its dependence structure — is one of the "loop
+    optimizations that can increase data-independent parallelism" the
+    paper's future work names. Each piece pipelines with a smaller, often
+    less recurrence-bound kernel, and partitions trivially (pieces share
+    no registers).
+
+    Two operations end up in the same piece when any dependence (register
+    or memory, any distance) connects them, so executing the pieces one
+    after another — each for the full trip count — computes exactly what
+    the original interleaving computed (interpreter-verified). *)
+
+val split : Loop.t -> Loop.t list
+(** The distributed pieces in body order of their first operation; a
+    connected loop yields [\[loop\]] unchanged. Ops keep their ids (ids
+    stay unique per piece); live-outs are routed to the piece defining
+    them. Piece names get ["/0"], ["/1"], … suffixes. *)
+
+val is_distributable : Loop.t -> bool
+(** More than one piece? *)

@@ -1,0 +1,127 @@
+type value = I of int | F of float
+
+type state = {
+  regs : (int, value) Hashtbl.t;
+  mem : (string * int, value) Hashtbl.t;
+}
+
+let create () = { regs = Hashtbl.create 64; mem = Hashtbl.create 64 }
+
+(* Deterministic "uninitialized" contents: a small hash, identical across
+   equivalent programs. *)
+let hash_int seed = (Hashtbl.hash seed mod 2003) - 1001
+
+let set_reg st r v = Hashtbl.replace st.regs (Vreg.id r) v
+
+let get_reg st r =
+  match Hashtbl.find_opt st.regs (Vreg.id r) with
+  | Some v -> v
+  | None -> (
+      let h = hash_int ("reg", Vreg.id r) in
+      match Vreg.cls r with
+      | Mach.Rclass.Int -> I h
+      | Mach.Rclass.Float -> F (float_of_int h /. 16.0))
+
+let set_mem st ~base ~index v = Hashtbl.replace st.mem (base, index) v
+
+let get_mem st ~base ~index =
+  match Hashtbl.find_opt st.mem (base, index) with
+  | Some v -> v
+  | None -> I (hash_int ("mem", base, index))
+
+let mem_snapshot st =
+  Hashtbl.fold (fun (b, i) v acc -> (b, i, v) :: acc) st.mem []
+  |> List.sort (fun (b1, i1, _) (b2, i2, _) ->
+         let c = String.compare b1 b2 in
+         if c <> 0 then c else Int.compare i1 i2)
+
+let as_int = function
+  | I x -> x
+  | F x -> if Float.is_finite x then int_of_float x else 0
+
+let as_float = function I x -> float_of_int x | F x -> x
+
+let coerce cls v =
+  match cls with Mach.Rclass.Int -> I (as_int v) | Mach.Rclass.Float -> F (as_float v)
+
+let int2 f a b = I (f (as_int a) (as_int b))
+let float2 f a b = F (f (as_float a) (as_float b))
+
+let arith cls fi ff a b =
+  match cls with Mach.Rclass.Int -> int2 fi a b | Mach.Rclass.Float -> float2 ff a b
+
+let shift_mask n = n land 62
+
+let address ~iteration (a : Addr.t) extra = (a.stride * iteration) + a.offset + extra
+
+let exec_op st ~iteration (op : Op.t) =
+  let cls = Op.cls op in
+  let src n =
+    match List.nth_opt (Op.srcs op) n with
+    | Some r -> get_reg st r
+    | None -> invalid_arg (Printf.sprintf "Eval: %s missing operand %d" (Op.to_string op) n)
+  in
+  let put v =
+    match Op.dst op with
+    | Some d -> set_reg st d (coerce (Vreg.cls d) v)
+    | None -> invalid_arg (Printf.sprintf "Eval: %s has no destination" (Op.to_string op))
+  in
+  match Op.opcode op with
+  | Mach.Opcode.Nop -> ()
+  | Mach.Opcode.Load ->
+      let a = Option.get (Op.addr op) in
+      let extra = match Op.srcs op with [] -> 0 | idx :: _ -> as_int (get_reg st idx) in
+      put (coerce cls (get_mem st ~base:a.Addr.base ~index:(address ~iteration a extra)))
+  | Mach.Opcode.Store ->
+      let a = Option.get (Op.addr op) in
+      let extra =
+        match Op.srcs op with _ :: idx :: _ -> as_int (get_reg st idx) | _ -> 0
+      in
+      set_mem st ~base:a.Addr.base ~index:(address ~iteration a extra) (coerce cls (src 0))
+  | Mach.Opcode.Add -> put (arith cls ( + ) ( +. ) (src 0) (src 1))
+  | Mach.Opcode.Sub -> put (arith cls ( - ) ( -. ) (src 0) (src 1))
+  | Mach.Opcode.Mul -> put (arith cls ( * ) ( *. ) (src 0) (src 1))
+  | Mach.Opcode.Div ->
+      let safe_div a b = if b = 0 then 0 else a / b in
+      put (arith cls safe_div ( /. ) (src 0) (src 1))
+  | Mach.Opcode.Neg ->
+      put
+        (match coerce cls (src 0) with
+        | I x -> I (-x)
+        | F x -> F (-.x))
+  | Mach.Opcode.Abs ->
+      put (match coerce cls (src 0) with I x -> I (abs x) | F x -> F (Float.abs x))
+  | Mach.Opcode.Min -> put (arith cls min Float.min (src 0) (src 1))
+  | Mach.Opcode.Max -> put (arith cls max Float.max (src 0) (src 1))
+  | Mach.Opcode.And -> put (int2 ( land ) (src 0) (src 1))
+  | Mach.Opcode.Or -> put (int2 ( lor ) (src 0) (src 1))
+  | Mach.Opcode.Xor -> put (int2 ( lxor ) (src 0) (src 1))
+  | Mach.Opcode.Shl -> put (int2 (fun a b -> a lsl shift_mask b) (src 0) (src 1))
+  | Mach.Opcode.Shr -> put (int2 (fun a b -> a asr shift_mask b) (src 0) (src 1))
+  | Mach.Opcode.Cmp -> put (I (compare (as_float (src 0)) (as_float (src 1))))
+  | Mach.Opcode.Select -> put (if as_int (src 0) <> 0 then src 1 else src 2)
+  | Mach.Opcode.Madd ->
+      let m = arith cls ( * ) ( *. ) (src 0) (src 1) in
+      put (arith cls ( + ) ( +. ) m (src 2))
+  | Mach.Opcode.Convert -> put (coerce cls (src 0))
+  | Mach.Opcode.Copy -> put (src 0)
+  | Mach.Opcode.Const -> put (coerce cls (I (Option.get (Op.imm op))))
+
+let run_ops st ?(iteration = 0) ops = List.iter (exec_op st ~iteration) ops
+
+let run_loop st ~trips loop =
+  for i = 0 to trips - 1 do
+    run_ops st ~iteration:i (Loop.ops loop)
+  done
+
+let value_equal a b =
+  match (a, b) with
+  | I x, I y -> x = y
+  | F x, F y ->
+      Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+      || (Float.is_nan x && Float.is_nan y)
+  | I _, F _ | F _, I _ -> false
+
+let pp_value ppf = function
+  | I x -> Format.fprintf ppf "%d" x
+  | F x -> Format.fprintf ppf "%h" x

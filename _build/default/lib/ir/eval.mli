@@ -1,0 +1,47 @@
+(** Reference interpreter for the IR.
+
+    Executes operation lists with sequential semantics over a register
+    environment and a word-addressed symbolic memory. Used by the test
+    suite to prove transformations sound: running a loop body [n] times
+    sequentially must leave the same memory and live-out values as
+    running the software-pipelined, partitioned, copy-rewritten,
+    register-allocated expansion of it.
+
+    Values are typed ints and floats. Loads of never-written locations
+    read a deterministic hash of (base, address), so two executions agree
+    on "uninitialized" data without any setup. *)
+
+type value = I of int | F of float
+
+type state
+
+val create : unit -> state
+
+val set_reg : state -> Vreg.t -> value -> unit
+val get_reg : state -> Vreg.t -> value
+(** Unset registers read as a deterministic hash of their id and class
+    (so uninitialized inputs agree across equivalent programs that
+    preserve register names for live-ins). *)
+
+val set_mem : state -> base:string -> index:int -> value -> unit
+val get_mem : state -> base:string -> index:int -> value
+
+val mem_snapshot : state -> (string * int * value) list
+(** All written locations, sorted — for equivalence checks. *)
+
+val exec_op : state -> iteration:int -> Op.t -> unit
+(** Execute one operation; [iteration] resolves affine addresses
+    ([stride*iteration + offset], plus the index register for indexed
+    access). Raises [Invalid_argument] for malformed operations. *)
+
+val run_ops : state -> ?iteration:int -> Op.t list -> unit
+(** Sequential execution ([iteration] defaults to 0 — flat code). *)
+
+val run_loop : state -> trips:int -> Loop.t -> unit
+(** Execute the loop body [trips] times with the iteration counter
+    advancing, the reference semantics of a single-block loop. *)
+
+val value_equal : value -> value -> bool
+(** Exact on ints; on floats, bitwise or both-NaN. *)
+
+val pp_value : Format.formatter -> value -> unit

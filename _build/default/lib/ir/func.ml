@@ -1,0 +1,58 @@
+type t = { name : string; blocks : Block.t list; edges : (string * string) list }
+
+let make ~name ~blocks ~edges =
+  if blocks = [] then invalid_arg "Func.make: no blocks";
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let l = Block.label b in
+      if Hashtbl.mem labels l then
+        invalid_arg (Printf.sprintf "Func %s: duplicate block label %s" name l);
+      Hashtbl.add labels l ())
+    blocks;
+  let ids = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun op ->
+          let id = Op.id op in
+          if Hashtbl.mem ids id then
+            invalid_arg (Printf.sprintf "Func %s: duplicate op id %d across blocks" name id);
+          Hashtbl.add ids id ())
+        (Block.ops b))
+    blocks;
+  List.iter
+    (fun (a, b) ->
+      if not (Hashtbl.mem labels a && Hashtbl.mem labels b) then
+        invalid_arg (Printf.sprintf "Func %s: edge %s->%s mentions unknown block" name a b))
+    edges;
+  { name; blocks; edges }
+
+let name t = t.name
+let blocks t = t.blocks
+let edges t = t.edges
+
+let entry t =
+  match t.blocks with b :: _ -> b | [] -> assert false
+
+let block t label =
+  match List.find_opt (fun b -> String.equal (Block.label b) label) t.blocks with
+  | Some b -> b
+  | None -> raise Not_found
+
+let successors t label =
+  List.filter_map (fun (a, b) -> if String.equal a label then Some b else None) t.edges
+
+let predecessors t label =
+  List.filter_map (fun (a, b) -> if String.equal b label then Some a else None) t.edges
+
+let size t = List.fold_left (fun acc b -> acc + Block.size b) 0 t.blocks
+
+let vregs t =
+  List.fold_left (fun acc b -> Vreg.Set.union acc (Block.vregs b)) Vreg.Set.empty t.blocks
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>func %s:@," t.name;
+  List.iter (fun b -> Format.fprintf ppf "%a@," Block.pp b) t.blocks;
+  List.iter (fun (a, b) -> Format.fprintf ppf "  edge %s -> %s@," a b) t.edges;
+  Format.fprintf ppf "@]"

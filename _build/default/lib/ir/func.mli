@@ -1,0 +1,31 @@
+(** Whole functions: a control-flow graph of basic blocks.
+
+    Used by the whole-program partitioning path (the paper applies the same
+    greedy method to entire functions in [Hiser et al. 1999]); our
+    experiments centre on loops, but the RCG builder, list scheduler and
+    register allocator all accept functions. *)
+
+type t = private {
+  name : string;
+  blocks : Block.t list;          (** entry block first *)
+  edges : (string * string) list; (** CFG edges between block labels *)
+}
+
+val make : name:string -> blocks:Block.t list -> edges:(string * string) list -> t
+(** Raises [Invalid_argument] when blocks is empty, labels collide, op ids
+    collide across blocks, or an edge mentions an unknown label. *)
+
+val name : t -> string
+val blocks : t -> Block.t list
+val edges : t -> (string * string) list
+val entry : t -> Block.t
+val block : t -> string -> Block.t
+(** Raises [Not_found]. *)
+
+val successors : t -> string -> string list
+val predecessors : t -> string -> string list
+val size : t -> int
+(** Total operation count. *)
+
+val vregs : t -> Vreg.Set.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t = {
+  name : string;
+  ops : Op.t list;
+  depth : int;
+  live_out : Vreg.Set.t;
+  trip_count : int;
+}
+
+let validate name ops =
+  if ops = [] then invalid_arg (Printf.sprintf "Loop %s: empty body" name);
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun op ->
+      let id = Op.id op in
+      if Hashtbl.mem seen id then
+        invalid_arg (Printf.sprintf "Loop %s: duplicate op id %d" name id);
+      Hashtbl.add seen id ())
+    ops
+
+let make ?(depth = 1) ?(live_out = Vreg.Set.empty) ?(trip_count = 100) ~name ops =
+  validate name ops;
+  if depth < 0 then invalid_arg "Loop.make: negative depth";
+  if trip_count < 1 then invalid_arg "Loop.make: trip_count must be >= 1";
+  { name; ops; depth; live_out; trip_count }
+
+let name t = t.name
+let ops t = t.ops
+let depth t = t.depth
+let live_out t = t.live_out
+let trip_count t = t.trip_count
+let size t = List.length t.ops
+
+let op_by_id t id =
+  match List.find_opt (fun op -> Op.id op = id) t.ops with
+  | Some op -> op
+  | None -> raise Not_found
+
+let vregs t =
+  List.fold_left
+    (fun acc op ->
+      let acc = List.fold_left (fun s r -> Vreg.Set.add r s) acc (Op.defs op) in
+      List.fold_left (fun s r -> Vreg.Set.add r s) acc (Op.uses op))
+    Vreg.Set.empty t.ops
+
+let defs_of t =
+  List.fold_left
+    (fun acc op ->
+      List.fold_left
+        (fun acc d ->
+          let prev = Option.value ~default:[] (Vreg.Map.find_opt d acc) in
+          Vreg.Map.add d (prev @ [ op ]) acc)
+        acc (Op.defs op))
+    Vreg.Map.empty t.ops
+
+let invariants t =
+  let defined =
+    List.fold_left
+      (fun acc op -> List.fold_left (fun s r -> Vreg.Set.add r s) acc (Op.defs op))
+      Vreg.Set.empty t.ops
+  in
+  List.fold_left
+    (fun acc op ->
+      List.fold_left
+        (fun acc u -> if Vreg.Set.mem u defined then acc else Vreg.Set.add u acc)
+        acc (Op.uses op))
+    Vreg.Set.empty t.ops
+
+let max_op_id t = List.fold_left (fun acc op -> max acc (Op.id op)) (-1) t.ops
+
+let max_vreg_id t =
+  Vreg.Set.fold (fun r acc -> max acc (Vreg.id r)) (vregs t) (-1)
+
+let with_ops t ops =
+  validate t.name ops;
+  { t with ops }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>loop %s (depth %d, %d ops):@," t.name t.depth (size t);
+  List.iter (fun op -> Format.fprintf ppf "  %a@," Op.pp op) t.ops;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,58 @@
+(** Single-block innermost loops — the experimental unit of the paper.
+
+    A loop is an ordered list of operations forming the body of an
+    innermost loop with no control flow inside; iteration is implicit.
+    Register dependences may be loop-carried: a use of a register that is
+    (re)defined later in the body reads the value produced by the previous
+    iteration (distance 1), exactly as in the paper's recurrence loops.
+
+    [live_out] lists registers whose final values are consumed after the
+    loop (e.g. a reduction sum); they constrain register allocation and
+    anti-dependences. [depth] is the loop-nesting depth used by the RCG
+    weight heuristic (innermost loops extracted from real programs sit at
+    depth >= 1). *)
+
+type t = private {
+  name : string;
+  ops : Op.t list;
+  depth : int;
+  live_out : Vreg.Set.t;
+  trip_count : int;  (** assumed iteration count for pipeline expansion *)
+}
+
+val make : ?depth:int -> ?live_out:Vreg.Set.t -> ?trip_count:int -> name:string -> Op.t list -> t
+(** [depth] defaults to 1, [live_out] to empty, [trip_count] to 100.
+    Raises [Invalid_argument] when op ids are not distinct, a source
+    register is never defined in the body and not flagged as loop
+    invariant (any register with no defining op is treated as loop
+    invariant — this is permitted), or the list is empty. *)
+
+val name : t -> string
+val ops : t -> Op.t list
+val depth : t -> int
+val live_out : t -> Vreg.Set.t
+val trip_count : t -> int
+val size : t -> int
+(** Number of operations. *)
+
+val op_by_id : t -> int -> Op.t
+(** Raises [Not_found] for an unknown id. *)
+
+val vregs : t -> Vreg.Set.t
+(** Every register appearing as a def or use. *)
+
+val defs_of : t -> Op.t list Vreg.Map.t
+(** Map from register to the operations defining it, in body order. *)
+
+val invariants : t -> Vreg.Set.t
+(** Registers used but never defined in the body (loop invariants /
+    incoming values). *)
+
+val max_op_id : t -> int
+val max_vreg_id : t -> int
+(** Largest ids in use; fresh ids during copy insertion start above these. *)
+
+val with_ops : t -> Op.t list -> t
+(** Replace the body (re-validates). *)
+
+val pp : Format.formatter -> t -> unit

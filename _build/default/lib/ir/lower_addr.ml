@@ -1,0 +1,82 @@
+module IntMap = Map.Make (Int)
+
+let loop src =
+  List.iter
+    (fun op ->
+      match (Op.opcode op, Op.addr op, Op.srcs op) with
+      | Mach.Opcode.Load, Some _, _ :: _ ->
+          invalid_arg "Lower_addr.loop: loop already uses indexed loads"
+      | Mach.Opcode.Store, Some _, _ :: _ :: _ ->
+          invalid_arg "Lower_addr.loop: loop already uses indexed stores"
+      | _ -> ())
+    (Loop.ops src);
+  let strides =
+    List.fold_left
+      (fun acc op ->
+        match Op.addr op with
+        | Some a when a.Addr.stride <> 0 -> IntMap.add a.Addr.stride () acc
+        | Some _ | None -> acc)
+      IntMap.empty (Loop.ops src)
+  in
+  if IntMap.is_empty strides then (src, [])
+  else begin
+    let next_vreg = ref (Loop.max_vreg_id src + 1) in
+    let next_op = ref (Loop.max_op_id src + 1) in
+    let fresh name =
+      let r = Vreg.make ~name ~id:!next_vreg ~cls:Mach.Rclass.Int () in
+      incr next_vreg;
+      r
+    in
+    let ivs =
+      IntMap.mapi (fun s () -> fresh (Printf.sprintf "iv%d" s)) strides
+    in
+    let steps =
+      IntMap.mapi (fun s () -> fresh (Printf.sprintf "step%d" s)) strides
+    in
+    (* Body: original ops with strided accesses indexed by iv, then the
+       step constants and the iv updates at the bottom (so iteration 0
+       reads the incoming iv value, 0). *)
+    let rewritten =
+      List.map
+        (fun op ->
+          match Op.addr op with
+          | Some a when a.Addr.stride <> 0 -> (
+              let iv = IntMap.find a.Addr.stride ivs in
+              let addr = Addr.make ~offset:a.Addr.offset a.Addr.base in
+              match Op.opcode op with
+              | Mach.Opcode.Load ->
+                  Op.make ?dst:(Op.dst op) ~srcs:[ iv ] ~addr ~id:(Op.id op)
+                    ~opcode:Mach.Opcode.Load ~cls:(Op.cls op) ()
+              | Mach.Opcode.Store ->
+                  Op.make
+                    ~srcs:(Op.srcs op @ [ iv ])
+                    ~addr ~id:(Op.id op) ~opcode:Mach.Opcode.Store ~cls:(Op.cls op) ()
+              | _ -> op)
+          | Some _ | None -> op)
+        (Loop.ops src)
+    in
+    let tail =
+      IntMap.fold
+        (fun s () acc ->
+          let iv = IntMap.find s ivs and step = IntMap.find s steps in
+          let cop =
+            Op.make ~dst:step ~imm:s ~id:!next_op ~opcode:Mach.Opcode.Const
+              ~cls:Mach.Rclass.Int ()
+          in
+          incr next_op;
+          let upd =
+            Op.make ~dst:iv ~srcs:[ iv; step ] ~id:!next_op ~opcode:Mach.Opcode.Add
+              ~cls:Mach.Rclass.Int ()
+          in
+          incr next_op;
+          acc @ [ cop; upd ])
+        strides []
+    in
+    let live_out =
+      IntMap.fold (fun _ iv acc -> Vreg.Set.add iv acc) ivs (Loop.live_out src)
+    in
+    ( Loop.make ~depth:(Loop.depth src) ~live_out ~trip_count:(Loop.trip_count src)
+        ~name:(Loop.name src ^ "-lowered")
+        (rewritten @ tail),
+      IntMap.fold (fun _ iv acc -> (iv, 0) :: acc) ivs [] )
+  end

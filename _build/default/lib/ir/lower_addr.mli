@@ -1,0 +1,23 @@
+(** Addressing lowering: from abstract affine addresses to explicit
+    induction-variable arithmetic.
+
+    The analyses work on symbolic addresses [base\[stride·i + offset\]];
+    real machines compute addresses in integer registers. This pass makes
+    that explicit: one integer induction variable per distinct stride,
+    advanced at the bottom of the body ([iv += step], with the step
+    materialized by a [Const]), and every strided memory operation
+    rewritten to an indexed access [base\[offset\]] + iv.
+
+    The lowered loop is ordinary IR — more (integer) operations, more
+    dependences, an II that reflects address arithmetic — and computes
+    exactly the same memory state (interpreter-verified in the tests),
+    provided the returned induction variables enter the loop holding 0,
+    the preheader code a front end would emit. *)
+
+val loop : Loop.t -> Loop.t * (Vreg.t * int) list
+(** Lower every strided access; scalars (stride 0) are untouched and a
+    loop with no strided accesses is returned unchanged. The second
+    component lists required entry values — each induction variable and
+    its initial value (always 0). The result's name gains a ["-lowered"]
+    suffix. Raises [Invalid_argument] if the loop already uses indexed
+    accesses (one index register per access is the machine limit). *)

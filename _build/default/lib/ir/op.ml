@@ -1,0 +1,88 @@
+type t = {
+  id : int;
+  opcode : Mach.Opcode.t;
+  cls : Mach.Rclass.t;
+  dst : Vreg.t option;
+  srcs : Vreg.t list;
+  addr : Addr.t option;
+  imm : int option;
+}
+
+let shape_ok opcode ~dst ~srcs ~addr ~imm =
+  let nsrc = List.length srcs in
+  let dst_ok = Mach.Opcode.has_dest opcode = Option.is_some dst in
+  let addr_ok = Mach.Opcode.is_memory opcode = Option.is_some addr in
+  let imm_ok = Mach.Opcode.equal opcode Mach.Opcode.Const = Option.is_some imm in
+  let srcs_ok =
+    match opcode with
+    | Mach.Opcode.Load -> nsrc <= 1
+    | Mach.Opcode.Store -> nsrc >= 1 && nsrc <= 2
+    | Mach.Opcode.Nop | Mach.Opcode.Const -> nsrc = 0
+    | _ -> nsrc >= 1 && nsrc <= Mach.Opcode.arity opcode
+  in
+  dst_ok && addr_ok && srcs_ok && imm_ok
+
+let make ?dst ?(srcs = []) ?addr ?imm ~id ~opcode ~cls () =
+  if id < 0 then invalid_arg "Op.make: negative id";
+  if not (shape_ok opcode ~dst ~srcs ~addr ~imm) then
+    invalid_arg
+      (Printf.sprintf "Op.make: inconsistent shape for %s (dst=%b, %d srcs, addr=%b, imm=%b)"
+         (Mach.Opcode.to_string opcode) (Option.is_some dst) (List.length srcs)
+         (Option.is_some addr) (Option.is_some imm));
+  { id; opcode; cls; dst; srcs; addr; imm }
+
+let id t = t.id
+let opcode t = t.opcode
+let cls t = t.cls
+let dst t = t.dst
+let srcs t = t.srcs
+let addr t = t.addr
+let imm t = t.imm
+let defs t = match t.dst with Some d -> [ d ] | None -> []
+let uses t = t.srcs
+let latency table t = table t.opcode t.cls
+let is_memory t = Mach.Opcode.is_memory t.opcode
+let is_copy t = Mach.Opcode.is_copy t.opcode
+let with_id t id = { t with id }
+
+let subst_reg map r = match Vreg.Map.find_opt r map with Some r' -> r' | None -> r
+
+let substitute t map = { t with srcs = List.map (subst_reg map) t.srcs }
+
+let substitute_all t map =
+  { t with srcs = List.map (subst_reg map) t.srcs; dst = Option.map (subst_reg map) t.dst }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+
+let to_string t =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (Mach.Opcode.to_string t.opcode);
+  (match t.cls with
+  | Mach.Rclass.Float -> Buffer.add_string buf ".f"
+  | Mach.Rclass.Int -> ());
+  Buffer.add_char buf ' ';
+  let operands =
+    (match t.dst with Some d -> [ Vreg.to_string d ] | None -> [])
+    @ (match (t.opcode, t.addr) with
+      | Mach.Opcode.Store, Some a -> [ Addr.to_string a ]
+      | _ -> [])
+    @ List.map Vreg.to_string t.srcs
+    @ (match (t.opcode, t.addr) with
+      | Mach.Opcode.Load, Some a -> [ Addr.to_string a ]
+      | _ -> [])
+    @ (match t.imm with Some v -> [ "#" ^ string_of_int v ] | None -> [])
+  in
+  Buffer.add_string buf (String.concat ", " operands);
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,75 @@
+(** IR operations.
+
+    One atomic machine operation: an opcode, at most one destination
+    register, a list of register sources, and — for memory operations — a
+    symbolic address. Identity is the integer [id], unique within a loop or
+    function (the {!Builder} guarantees this); all graph structures (DDG,
+    schedules, RCG construction) key on it. *)
+
+type t = private {
+  id : int;
+  opcode : Mach.Opcode.t;
+  cls : Mach.Rclass.t;       (** class the latency table is consulted with *)
+  dst : Vreg.t option;
+  srcs : Vreg.t list;
+  addr : Addr.t option;      (** present iff the opcode is a memory op *)
+  imm : int option;          (** present iff the opcode is [Const] *)
+}
+
+val make :
+  ?dst:Vreg.t ->
+  ?srcs:Vreg.t list ->
+  ?addr:Addr.t ->
+  ?imm:int ->
+  id:int ->
+  opcode:Mach.Opcode.t ->
+  cls:Mach.Rclass.t ->
+  unit ->
+  t
+(** Raises [Invalid_argument] when the shape is inconsistent with the
+    opcode: destination present iff [Opcode.has_dest]; address present iff
+    [Opcode.is_memory]; immediate present iff the opcode is [Const];
+    loads take at most one register source (an index), stores one or two
+    (value, optional index), [Nop] and [Const] none, and other opcodes
+    between one and [Opcode.arity opcode] sources. *)
+
+val id : t -> int
+val opcode : t -> Mach.Opcode.t
+val cls : t -> Mach.Rclass.t
+val dst : t -> Vreg.t option
+val srcs : t -> Vreg.t list
+val addr : t -> Addr.t option
+val imm : t -> int option
+
+val defs : t -> Vreg.t list
+(** Registers defined: [dst] as a (0|1)-element list. *)
+
+val uses : t -> Vreg.t list
+(** Registers read ([srcs]). *)
+
+val latency : Mach.Latency.t -> t -> int
+(** Result latency under the given table. *)
+
+val is_memory : t -> bool
+val is_copy : t -> bool
+
+val with_id : t -> int -> t
+(** Same operation under a new id (used when splicing op lists). *)
+
+val substitute : t -> Vreg.t Vreg.Map.t -> t
+(** Rewrite source operands through the map (dst unchanged); registers not
+    in the map are kept. Used by copy insertion and modulo variable
+    expansion. *)
+
+val substitute_all : t -> Vreg.t Vreg.Map.t -> t
+(** Like {!substitute} but also rewrites the destination. *)
+
+val equal : t -> t -> bool
+(** Identity ([id]) equality. *)
+
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,274 @@
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let opcode_of_string s =
+  List.find_opt (fun op -> String.equal (Mach.Opcode.to_string op) s) Mach.Opcode.all
+
+let strip s = String.trim s
+
+let split_comma s = List.map strip (String.split_on_char ',' s)
+
+(* base | base[3] | base[4*i] | base[4*i+2] | base[1*i-1] *)
+let parse_addr s =
+  match String.index_opt s '[' with
+  | None ->
+      if s = "" then Error "empty address" else Ok (Addr.scalar s)
+  | Some lb ->
+      if String.length s = 0 || s.[String.length s - 1] <> ']' then
+        Error (Printf.sprintf "malformed address %S" s)
+      else begin
+        let base = String.sub s 0 lb in
+        let inner = String.sub s (lb + 1) (String.length s - lb - 2) in
+        if base = "" then Error (Printf.sprintf "malformed address %S" s)
+        else
+          match String.index_opt inner 'i' with
+          | None -> (
+              match int_of_string_opt inner with
+              | Some off -> Ok (Addr.make ~offset:off base)
+              | None -> Error (Printf.sprintf "bad offset in %S" s))
+          | Some ipos -> (
+              (* <stride>*i<+/-offset> *)
+              let stride_part = String.sub inner 0 ipos in
+              let stride_part =
+                match String.index_opt stride_part '*' with
+                | Some star -> String.sub stride_part 0 star
+                | None -> stride_part
+              in
+              let rest = String.sub inner (ipos + 1) (String.length inner - ipos - 1) in
+              let* stride =
+                match int_of_string_opt (strip stride_part) with
+                | Some v -> Ok v
+                | None -> Error (Printf.sprintf "bad stride in %S" s)
+              in
+              match strip rest with
+              | "" -> Ok (Addr.make ~stride base)
+              | r -> (
+                  match int_of_string_opt r with
+                  | Some off -> Ok (Addr.make ~offset:off ~stride base)
+                  | None -> Error (Printf.sprintf "bad offset in %S" s)))
+      end
+
+let looks_like_addr s = String.contains s '['
+
+let parse_reg ~next_vreg ~regs ~default_cls token =
+  let name, cls =
+    match String.rindex_opt token ':' with
+    | Some c when c = String.length token - 2 -> (
+        let suffix = token.[String.length token - 1] in
+        let base = String.sub token 0 c in
+        match suffix with
+        | 'i' -> (base, Mach.Rclass.Int)
+        | 'f' -> (base, Mach.Rclass.Float)
+        | _ -> (token, default_cls))
+    | Some _ | None -> (token, default_cls)
+  in
+  if name = "" then Error "empty register name"
+  else
+    match Hashtbl.find_opt regs name with
+    | Some r -> Ok (r, !next_vreg)
+    | None ->
+        let r = Vreg.make ~name ~id:!next_vreg ~cls () in
+        incr next_vreg;
+        Hashtbl.replace regs name r;
+        Ok (r, !next_vreg)
+
+let op_of_string ~next_vreg ~regs ~id line =
+  let next = ref next_vreg in
+  let line = strip line in
+  match String.index_opt line ' ' with
+  | None -> Error (Printf.sprintf "missing operands in %S" line)
+  | Some sp ->
+      let mnemonic = String.sub line 0 sp in
+      let rest = String.sub line sp (String.length line - sp) in
+      let opname, cls =
+        match String.index_opt mnemonic '.' with
+        | Some d when String.sub mnemonic (d + 1) (String.length mnemonic - d - 1) = "f" ->
+            (String.sub mnemonic 0 d, Mach.Rclass.Float)
+        | Some _ | None -> (mnemonic, Mach.Rclass.Int)
+      in
+      let* opcode =
+        match opcode_of_string opname with
+        | Some o -> Ok o
+        | None -> Error (Printf.sprintf "unknown opcode %S" opname)
+      in
+      let operands = split_comma rest in
+      let reg tok =
+        let* r, _ = parse_reg ~next_vreg:next ~regs ~default_cls:cls tok in
+        Ok r
+      in
+      let regs_of toks =
+        List.fold_left
+          (fun acc tok ->
+            let* l = acc in
+            let* r = reg tok in
+            Ok (r :: l))
+          (Ok []) toks
+        |> Result.map List.rev
+      in
+      let* op =
+        match (opcode, operands) with
+        | Mach.Opcode.Load, _ -> (
+            match List.rev operands with
+            | addr_tok :: rev_front when looks_like_addr addr_tok || List.length rev_front >= 1
+              -> (
+                let* addr = parse_addr addr_tok in
+                match List.rev rev_front with
+                | dst_tok :: idx_toks -> (
+                    let* dst = reg dst_tok in
+                    let* idx =
+                      regs_of
+                        (List.map
+                           (fun tok -> if String.contains tok ':' then tok else tok ^ ":i")
+                           idx_toks)
+                    in
+                    try Ok (Op.make ~dst ~srcs:idx ~addr ~id ~opcode ~cls ())
+                    with Invalid_argument m -> Error m)
+                | [] -> Error "load needs a destination")
+            | _ -> Error "load needs an address")
+        | Mach.Opcode.Store, addr_tok :: src_toks -> (
+            let* addr = parse_addr addr_tok in
+            let* srcs = regs_of src_toks in
+            try Ok (Op.make ~srcs ~addr ~id ~opcode ~cls ())
+            with Invalid_argument m -> Error m)
+        | Mach.Opcode.Store, [] -> Error "store needs operands"
+        | Mach.Opcode.Nop, _ -> (
+            try Ok (Op.make ~id ~opcode ~cls ()) with Invalid_argument m -> Error m)
+        | Mach.Opcode.Const, [ dst_tok; imm_tok ] -> (
+            let* dst = reg dst_tok in
+            let imm_tok =
+              if String.length imm_tok > 0 && imm_tok.[0] = '#' then
+                String.sub imm_tok 1 (String.length imm_tok - 1)
+              else imm_tok
+            in
+            match int_of_string_opt imm_tok with
+            | Some v -> (
+                try Ok (Op.make ~dst ~imm:v ~id ~opcode ~cls ())
+                with Invalid_argument m -> Error m)
+            | None -> Error (Printf.sprintf "bad immediate %S" imm_tok))
+        | Mach.Opcode.Const, _ -> Error "const needs a destination and an immediate"
+        | _, dst_tok :: src_toks -> (
+            let* dst = reg dst_tok in
+            (* a conversion reads the opposite class *)
+            let src_toks =
+              match opcode with
+              | Mach.Opcode.Convert ->
+                  let suffix =
+                    match cls with Mach.Rclass.Float -> ":i" | Mach.Rclass.Int -> ":f"
+                  in
+                  List.map
+                    (fun tok -> if String.contains tok ':' then tok else tok ^ suffix)
+                    src_toks
+              | _ -> src_toks
+            in
+            let* srcs = regs_of src_toks in
+            try Ok (Op.make ~dst ~srcs ~id ~opcode ~cls ())
+            with Invalid_argument m -> Error m)
+        | _, [] -> Error "missing operands"
+      in
+      Ok (op, !next)
+
+let loop_of_string text =
+  let lines = String.split_on_char '\n' text in
+  let regs : (string, Vreg.t) Hashtbl.t = Hashtbl.create 32 in
+  let next_vreg = ref 1 in
+  let name = ref "anonymous" in
+  let depth = ref 1 in
+  let trip = ref 100 in
+  let live_out = ref [] in
+  let ops = ref [] in
+  let next_op = ref 0 in
+  let error = ref None in
+  List.iteri
+    (fun lineno raw ->
+      if !error = None then begin
+        (* '#' starts a comment unless it introduces an immediate (#5, #-3) *)
+        let comment_start =
+          let n = String.length raw in
+          let rec find i =
+            if i >= n then None
+            else if
+              raw.[i] = '#'
+              && not (i + 1 < n && (raw.[i + 1] = '-' || (raw.[i + 1] >= '0' && raw.[i + 1] <= '9')))
+            then Some i
+            else find (i + 1)
+          in
+          find 0
+        in
+        let line =
+          match comment_start with
+          | Some h -> strip (String.sub raw 0 h)
+          | None -> strip raw
+        in
+        if line <> "" then
+          if String.length line >= 5 && String.sub line 0 5 = "loop " then begin
+            let words =
+              List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
+            in
+            let rec scan = function
+              | "loop" :: n :: rest ->
+                  name := n;
+                  scan rest
+              | "depth" :: d :: rest ->
+                  (match int_of_string_opt d with
+                  | Some v -> depth := v
+                  | None -> error := Some (lineno + 1, "bad depth"));
+                  scan rest
+              | "trip" :: t :: rest ->
+                  (match int_of_string_opt t with
+                  | Some v -> trip := v
+                  | None -> error := Some (lineno + 1, "bad trip"));
+                  scan rest
+              | [] -> ()
+              | w :: _ -> error := Some (lineno + 1, Printf.sprintf "unexpected %S" w)
+            in
+            scan words
+          end
+          else if String.length line >= 9 && String.sub line 0 9 = "live_out:" then begin
+            let names =
+              List.filter (fun w -> w <> "")
+                (String.split_on_char ' ' (String.sub line 9 (String.length line - 9)))
+            in
+            List.iter
+              (fun n ->
+                match Hashtbl.find_opt regs n with
+                | Some r -> live_out := r :: !live_out
+                | None -> error := Some (lineno + 1, Printf.sprintf "unknown live-out %S" n))
+              names
+          end
+          else
+            match op_of_string ~next_vreg:!next_vreg ~regs ~id:!next_op line with
+            | Ok (op, nv) ->
+                next_vreg := nv;
+                incr next_op;
+                ops := op :: !ops
+            | Error m -> error := Some (lineno + 1, m)
+      end)
+    lines;
+  match !error with
+  | Some (lineno, m) -> Error (Printf.sprintf "line %d: %s" lineno m)
+  | None -> (
+      match List.rev !ops with
+      | [] -> Error "no operations"
+      | body -> (
+          try
+            let live_out =
+              List.fold_left (fun s r -> Vreg.Set.add r s) Vreg.Set.empty !live_out
+            in
+            Ok (Loop.make ~depth:!depth ~live_out ~trip_count:!trip ~name:!name body)
+          with Invalid_argument m -> Error m))
+
+let loop_to_string loop =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "loop %s depth %d trip %d\n" (Loop.name loop) (Loop.depth loop)
+       (Loop.trip_count loop));
+  List.iter
+    (fun op -> Buffer.add_string buf (Printf.sprintf "  %s\n" (Op.to_string op)))
+    (Loop.ops loop);
+  if not (Vreg.Set.is_empty (Loop.live_out loop)) then begin
+    Buffer.add_string buf "live_out:";
+    Vreg.Set.iter
+      (fun r -> Buffer.add_string buf (Printf.sprintf " %s" (Vreg.to_string r)))
+      (Loop.live_out loop);
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Textual IR: parse loops in the same surface syntax {!Op.to_string}
+    prints, so dumps round-trip and users can hand the CLI their own
+    kernels.
+
+    {v
+    loop daxpy depth 1 trip 100
+      load.f x0, x[1*i]
+      load.f y0, y[1*i]
+      mul.f ax, a, x0
+      add.f s0, y0, ax
+      store.f y[1*i], s0
+    live_out: s0
+    v}
+
+    - One operation per line; [#] starts a comment (except [#5] / [#-3],
+      which is an immediate — e.g. [const c, #8]).
+    - Opcode suffix [.f] selects the float class, no suffix is integer.
+    - Operand order mirrors the printer: destination first; stores put
+      the address first, loads put it last.
+    - Registers are bare identifiers and default to the operation's
+      class; an explicit [name:i] / [name:f] suffix overrides (e.g. the
+      integer index of an indexed float load).
+    - Addresses: [base] (scalar), [base\[3\]] (constant offset),
+      [base\[4*i+2\]] (affine in the iteration counter).
+    - The header line ([loop NAME \[depth D\] \[trip T\]]) and the
+      trailing [live_out:] line are optional; defaults are name
+      ["anonymous"], depth 1, trip 100, no live-outs. *)
+
+val loop_of_string : string -> (Loop.t, string) result
+(** Parse a whole loop; errors carry a line number and message. *)
+
+val loop_to_string : Loop.t -> string
+(** Print in the accepted syntax (header, body, live_out). *)
+
+val op_of_string :
+  next_vreg:int ->
+  regs:(string, Vreg.t) Hashtbl.t ->
+  id:int ->
+  string ->
+  (Op.t * int, string) result
+(** Parse one operation line. [regs] maps names already seen to their
+    registers and is extended in place; [next_vreg] seeds fresh ids and
+    the bumped value is returned. Exposed for tests. *)

@@ -1,0 +1,55 @@
+let mergeable func =
+  List.find_opt
+    (fun b ->
+      let a = Block.label b in
+      match Func.successors func a with
+      | [ s ] -> (
+          s <> a
+          && (match Func.predecessors func s with [ p ] -> p = a | _ -> false)
+          && Block.depth b = Block.depth (Func.block func s))
+      | _ -> false)
+    (Func.blocks func)
+
+let merge_once func a_label =
+  let s_label = List.hd (Func.successors func a_label) in
+  let a = Func.block func a_label and s = Func.block func s_label in
+  let merged =
+    Block.make ~depth:(Block.depth a) ~label:a_label (Block.ops a @ Block.ops s)
+  in
+  let blocks =
+    List.filter_map
+      (fun b ->
+        let l = Block.label b in
+        if l = s_label then None else if l = a_label then Some merged else Some b)
+      (Func.blocks func)
+  in
+  let edges =
+    List.filter_map
+      (fun (x, y) ->
+        if x = a_label && y = s_label then None
+        else
+          let x = if x = s_label then a_label else x in
+          let y = if y = s_label then a_label else y in
+          Some (x, y))
+      (Func.edges func)
+    |> List.sort_uniq compare
+  in
+  Func.make ~name:(Func.name func) ~blocks ~edges
+
+let rec merge_chains func =
+  match mergeable func with
+  | None -> func
+  | Some b -> merge_chains (merge_once func (Block.label b))
+
+let chain_count func =
+  List.length
+    (List.filter
+       (fun b ->
+         let a = Block.label b in
+         match Func.successors func a with
+         | [ s ] -> (
+             s <> a
+             && (match Func.predecessors func s with [ p ] -> p = a | _ -> false)
+             && Block.depth b = Block.depth (Func.block func s))
+         | _ -> false)
+       (Func.blocks func))

@@ -1,0 +1,19 @@
+(** Superblock formation: merging straight-line block chains.
+
+    The list scheduler cannot move operations across block boundaries, so
+    a chain A → B where A is B's only predecessor and B is A's only
+    successor wastes ILP at the seam. Merging such chains into one block
+    is the degenerate, always-safe case of trace/superblock scheduling —
+    the "any scheduling method (e.g. trace scheduling)" avenue the paper
+    mentions — and measurably shortens whole-function schedules.
+
+    Only same-depth neighbours merge, so the frequency-weighted cycle
+    model of [Partition.Func_driver] keeps meaning. *)
+
+val merge_chains : Func.t -> Func.t
+(** Repeatedly merge every A → B with unique successor/predecessor and
+    equal depth; the merged block keeps A's label and A's position. CFG
+    edges are rewritten accordingly. Idempotent once stable. *)
+
+val chain_count : Func.t -> int
+(** Number of mergeable seams (0 after {!merge_chains}); for tests. *)

@@ -1,0 +1,141 @@
+let loop ~factor src =
+  if factor < 1 then invalid_arg "Unroll.loop: factor must be >= 1";
+  if factor = 1 then
+    ( src,
+      Vreg.Set.fold (fun r acc -> Vreg.Map.add r r acc) (Loop.live_out src) Vreg.Map.empty )
+  else begin
+    let body = Array.of_list (Loop.ops src) in
+    let n = Array.length body in
+    let defs_of =
+      let acc = ref Vreg.Map.empty in
+      Array.iteri
+        (fun idx op ->
+          List.iter
+            (fun d ->
+              let prev = Option.value ~default:[] (Vreg.Map.find_opt d !acc) in
+              acc := Vreg.Map.add d (prev @ [ idx ]) !acc)
+            (Op.defs op))
+        body;
+      !acc
+    in
+    (* Registers read across the back edge are genuine recurrences: their
+       chain is serial whichever names it runs through, and renaming the
+       copies would sever the live-in value. They keep their name; only
+       iteration-local temporaries get per-copy instances. *)
+    let recurrent =
+      let acc = ref Vreg.Set.empty in
+      Array.iteri
+        (fun q op ->
+          List.iter
+            (fun r ->
+              match Vreg.Map.find_opt r defs_of with
+              | None | Some [] -> ()
+              | Some positions ->
+                  if not (List.exists (fun p -> p < q) positions) then
+                    acc := Vreg.Set.add r !acc)
+            (Op.uses op))
+        body;
+      !acc
+    in
+    let next_vreg = ref (Loop.max_vreg_id src + 1) in
+    let renames : (int * int, Vreg.t) Hashtbl.t = Hashtbl.create 64 in
+    let renamed j r =
+      if (not (Vreg.Map.mem r defs_of)) || Vreg.Set.mem r recurrent then r
+      else
+        match Hashtbl.find_opt renames (j, Vreg.id r) with
+        | Some r' -> r'
+        | None ->
+            let r' =
+              Vreg.make
+                ~name:(Printf.sprintf "%s.%d" (Vreg.to_string r) j)
+                ~id:!next_vreg ~cls:(Vreg.cls r) ()
+            in
+            incr next_vreg;
+            Hashtbl.replace renames (j, Vreg.id r) r';
+            r'
+    in
+    let next_op = ref 0 in
+    let instance j q =
+      let op = body.(q) in
+      let srcs =
+        List.map
+          (fun r ->
+            match Vreg.Map.find_opt r defs_of with
+            | None | Some [] -> r
+            | Some positions ->
+                if List.exists (fun p -> p < q) positions then renamed j r
+                else renamed ((j + factor - 1) mod factor) r)
+          (Op.srcs op)
+      in
+      let dst = Option.map (renamed j) (Op.dst op) in
+      let addr =
+        Option.map
+          (fun (a : Addr.t) ->
+            Addr.make ~offset:(a.offset + (a.stride * j)) ~stride:(a.stride * factor) a.base)
+          (Op.addr op)
+      in
+      let id = !next_op in
+      incr next_op;
+      Op.make ?dst ~srcs ?addr ~id ~opcode:(Op.opcode op) ~cls:(Op.cls op) ()
+    in
+    (* explicit loops: instance allocation order must follow body order *)
+    let ops = ref [] in
+    for j = 0 to factor - 1 do
+      for q = 0 to n - 1 do
+        ops := instance j q :: !ops
+      done
+    done;
+    let ops = List.rev !ops in
+    let live_map =
+      Vreg.Set.fold
+        (fun r acc -> Vreg.Map.add r (renamed (factor - 1) r) acc)
+        (Loop.live_out src) Vreg.Map.empty
+    in
+    let live_out =
+      Vreg.Map.fold (fun _ r' acc -> Vreg.Set.add r' acc) live_map Vreg.Set.empty
+    in
+    let trip = (Loop.trip_count src + factor - 1) / factor in
+    ( Loop.make ~depth:(Loop.depth src) ~live_out ~trip_count:trip
+        ~name:(Printf.sprintf "%s-x%d" (Loop.name src) factor)
+        ops,
+      live_map )
+  end
+
+let shift_iterations ~by src =
+  let ops =
+    List.map
+      (fun op ->
+        match Op.addr op with
+        | Some a ->
+            let addr =
+              Addr.make ~offset:(a.Addr.offset + (a.Addr.stride * by)) ~stride:a.Addr.stride
+                a.Addr.base
+            in
+            Op.make ?dst:(Op.dst op) ~srcs:(Op.srcs op) ~addr ?imm:(Op.imm op) ~id:(Op.id op)
+              ~opcode:(Op.opcode op) ~cls:(Op.cls op) ()
+        | None -> op)
+      (Loop.ops src)
+  in
+  Loop.make ~depth:(Loop.depth src) ~live_out:(Loop.live_out src)
+    ~trip_count:(max 1 (Loop.trip_count src - by))
+    ~name:(Printf.sprintf "%s+%d" (Loop.name src) by)
+    ops
+
+type pieces = {
+  main : Loop.t;
+  main_trips : int;
+  live_map : Vreg.t Vreg.Map.t;
+  remainder : Loop.t option;
+  remainder_trips : int;
+}
+
+let with_remainder ~factor ~trips src =
+  if factor < 1 then invalid_arg "Unroll.with_remainder: factor must be >= 1";
+  if trips < 0 then invalid_arg "Unroll.with_remainder: negative trips";
+  let main, live_map = loop ~factor src in
+  let main_trips = trips / factor in
+  let rem = trips mod factor in
+  let remainder =
+    if rem = 0 then None else Some (shift_iterations ~by:(main_trips * factor) src)
+  in
+  { main; main_trips; live_map; remainder; remainder_trips = rem }

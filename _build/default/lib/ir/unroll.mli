@@ -1,0 +1,46 @@
+(** Loop unrolling.
+
+    Replicates a single-block loop body [factor] times, renaming each
+    copy's registers and adjusting affine addresses (stride × factor,
+    offset + stride·j), so one iteration of the result performs [factor]
+    source iterations. Recurrences chain through the copies: a
+    loop-carried use in copy j reads copy j-1's value, and copy 0 reads
+    the previous (unrolled) iteration's last copy. This increases
+    data-independent parallelism exactly as the paper's Section 7
+    suggests ("loop optimizations that can increase data-independent
+    parallelism in innermost loops").
+
+    The transformation is semantics-preserving: running the result
+    [t] times equals running the source [factor·t] times (the test suite
+    checks this with the interpreter). *)
+
+val loop : factor:int -> Loop.t -> Loop.t * Vreg.t Vreg.Map.t
+(** Returns the unrolled loop and the map from each source live-out
+    register to the register holding its value in the unrolled loop
+    (the last copy's instance). Trip count is divided (rounded up);
+    [factor = 1] returns the loop unchanged with an identity map.
+    Raises [Invalid_argument] when [factor < 1]. *)
+
+val shift_iterations : by:int -> Loop.t -> Loop.t
+(** The loop whose iteration [i] performs the source's iteration
+    [i + by]: every affine address gains [stride·by]. Registers are
+    untouched, so recurrences flow into the shifted loop from whatever
+    executed the preceding iterations. The basis of peeling and
+    remainder generation. *)
+
+type pieces = {
+  main : Loop.t;              (** the [factor]-way unrolled body *)
+  main_trips : int;           (** iterations of [main] to run *)
+  live_map : Vreg.t Vreg.Map.t;  (** source live-out -> main's register *)
+  remainder : Loop.t option;  (** tail loop, shifted to the right start *)
+  remainder_trips : int;
+}
+
+val with_remainder : factor:int -> trips:int -> Loop.t -> pieces
+(** Production unrolling for an arbitrary trip count: run [main]
+    [main_trips] times, then [remainder] [remainder_trips] times —
+    together exactly [trips] source iterations (interpreter-verified in
+    the tests). Recurrence registers keep their names across both loops,
+    so values flow from main into the remainder; [remainder] is [None]
+    when [factor] divides [trips]. Raises [Invalid_argument] when
+    [factor < 1] or [trips < 0]. *)

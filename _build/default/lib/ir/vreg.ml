@@ -1,0 +1,36 @@
+type t = { id : int; cls : Mach.Rclass.t; name : string option }
+
+let make ?name ~id ~cls () =
+  if id < 0 then invalid_arg "Vreg.make: negative id";
+  { id; cls; name }
+
+let id t = t.id
+let cls t = t.cls
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash t = t.id
+
+let to_string t =
+  match t.name with
+  | Some n -> n
+  | None ->
+      let prefix = match t.cls with Mach.Rclass.Int -> "r" | Mach.Rclass.Float -> "f" in
+      prefix ^ string_of_int t.id
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,28 @@
+(** Virtual (symbolic) registers.
+
+    The compiler front end generates code against an infinite register file;
+    every value is a [Vreg.t]. Partitioning assigns each virtual register to
+    a register bank, and Chaitin/Briggs later maps it to an architectural
+    register within that bank. Identity is the integer [id]; the class and
+    optional name ride along for latency lookup and printing. *)
+
+type t = private {
+  id : int;
+  cls : Mach.Rclass.t;
+  name : string option;  (** human-readable label, e.g. ["r5"] or ["xvel"] *)
+}
+
+val make : ?name:string -> id:int -> cls:Mach.Rclass.t -> unit -> t
+(** Raises [Invalid_argument] on negative [id]. *)
+
+val id : t -> int
+val cls : t -> Mach.Rclass.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

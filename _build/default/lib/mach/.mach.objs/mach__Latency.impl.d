@@ -1,0 +1,1 @@
+lib/mach/latency.ml: List Opcode Rclass

@@ -1,0 +1,1 @@
+lib/mach/latency.mli: Opcode Rclass

@@ -1,0 +1,1 @@
+lib/mach/machine.ml: Format Latency List Opcode Printf Rclass

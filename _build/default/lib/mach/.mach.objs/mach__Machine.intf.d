@@ -1,0 +1,1 @@
+lib/mach/machine.mli: Format Latency Opcode Rclass

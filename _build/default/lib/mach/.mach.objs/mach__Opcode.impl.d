@@ -1,0 +1,1 @@
+lib/mach/opcode.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/mach/opcode.mli: Format

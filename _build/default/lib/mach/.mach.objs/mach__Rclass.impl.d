@@ -1,0 +1,1 @@
+lib/mach/rclass.ml: Format

@@ -1,0 +1,27 @@
+type t = Opcode.t -> Rclass.t -> int
+
+let paper (op : Opcode.t) (cls : Rclass.t) =
+  match (op, cls) with
+  | Opcode.Copy, Rclass.Int -> 2
+  | Opcode.Copy, Rclass.Float -> 3
+  | Opcode.Const, _ -> 1
+  | Opcode.Load, _ -> 2
+  | Opcode.Store, _ -> 4
+  | (Opcode.Mul | Opcode.Madd), Rclass.Int -> 5
+  | Opcode.Div, Rclass.Int -> 12
+  | _, Rclass.Int -> 1
+  | _, Rclass.Float -> 2
+
+let unit (_ : Opcode.t) (_ : Rclass.t) = 1
+
+let override base entries op cls =
+  let rec find = function
+    | [] -> base op cls
+    | (o, c, l) :: rest -> if Opcode.equal o op && Rclass.equal c cls then l else find rest
+  in
+  find entries
+
+let max_latency t =
+  List.fold_left
+    (fun acc op -> List.fold_left (fun acc cls -> max acc (t op cls)) acc Rclass.all)
+    1 Opcode.all

@@ -1,0 +1,29 @@
+(** Operation latencies.
+
+    Default table is exactly Section 6.1 of the paper:
+
+    - integer copies: 2 cycles; floating copies: 3 cycles
+    - loads: 2 cycles; stores: 4 cycles
+    - integer multiply: 5; integer divide: 12; other integer: 1
+    - floating multiply: 2; floating divide: 2; other floating: 2
+
+    A latency table is a plain function so alternative targets (for the
+    retargetability examples) can override individual entries. *)
+
+type t = Opcode.t -> Rclass.t -> int
+(** Cycles from issue until the result may be consumed (>= 1). *)
+
+val paper : t
+(** The Section 6.1 table above. *)
+
+val unit : t
+(** All operations take one cycle; used by the paper's Section 4.2 worked
+    example ("for simplicity we assume unit latency"). *)
+
+val override : t -> (Opcode.t * Rclass.t * int) list -> t
+(** [override base entries] returns [base] with the given entries
+    replaced. *)
+
+val max_latency : t -> int
+(** Largest latency over all opcodes and classes; a safe horizon bound for
+    schedulers. *)

@@ -1,0 +1,94 @@
+type copy_model = Embedded | Copy_unit
+
+type fu_class = General | Integer | Float_fu | Memory
+
+type t = {
+  name : string;
+  clusters : int;
+  fus_per_cluster : int;
+  fu_mix : (fu_class * int) list;
+  copy_model : copy_model;
+  copy_ports : int;
+  busses : int;
+  regs_per_bank : int;
+  latency : Latency.t;
+}
+
+let copy_model_name = function Embedded -> "embedded" | Copy_unit -> "copy-unit"
+
+let ilog2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let make ?name ?copy_ports ?busses ?(regs_per_bank = 32) ?(latency = Latency.paper) ?fu_mix
+    ~clusters ~fus_per_cluster ~copy_model () =
+  if clusters < 1 then invalid_arg "Machine.make: clusters must be >= 1";
+  if fus_per_cluster < 1 then invalid_arg "Machine.make: fus_per_cluster must be >= 1";
+  if regs_per_bank < 1 then invalid_arg "Machine.make: regs_per_bank must be >= 1";
+  let fu_mix =
+    match fu_mix with None -> [ (General, fus_per_cluster) ] | Some m -> m
+  in
+  let classes = List.map fst fu_mix in
+  if List.length classes <> List.length (List.sort_uniq compare classes) then
+    invalid_arg "Machine.make: duplicate class in fu_mix";
+  List.iter
+    (fun (_, n) -> if n < 1 then invalid_arg "Machine.make: non-positive count in fu_mix")
+    fu_mix;
+  if List.fold_left (fun acc (_, n) -> acc + n) 0 fu_mix <> fus_per_cluster then
+    invalid_arg "Machine.make: fu_mix must sum to fus_per_cluster";
+  let copy_ports = match copy_ports with Some p -> p | None -> max 1 (ilog2 clusters) in
+  let busses = match busses with Some b -> b | None -> clusters in
+  if copy_ports < 0 then invalid_arg "Machine.make: copy_ports must be >= 0";
+  if busses < 0 then invalid_arg "Machine.make: busses must be >= 0";
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        Printf.sprintf "%dx%d-%s" clusters fus_per_cluster (copy_model_name copy_model)
+  in
+  { name; clusters; fus_per_cluster; fu_mix; copy_model; copy_ports; busses; regs_per_bank;
+    latency }
+
+let ideal ?name ?(regs_per_bank = 128) ?(latency = Latency.paper) ~width () =
+  let name = match name with Some n -> n | None -> Printf.sprintf "ideal-%dwide" width in
+  make ~name ~clusters:1 ~fus_per_cluster:width ~copy_model:Embedded ~copy_ports:0 ~busses:0
+    ~regs_per_bank ~latency ()
+
+let paper_ideal = ideal ~name:"ideal-16wide" ~width:16 ()
+
+let monolithic_of t =
+  let width = t.clusters * t.fus_per_cluster in
+  let fu_mix = List.map (fun (c, n) -> (c, n * t.clusters)) t.fu_mix in
+  make ~name:(t.name ^ "-ideal") ~latency:t.latency ~regs_per_bank:(t.regs_per_bank * t.clusters)
+    ~fu_mix ~clusters:1 ~fus_per_cluster:width ~copy_model:Embedded ~copy_ports:0 ~busses:0 ()
+
+let paper_clustered ~clusters ~copy_model =
+  if clusters < 1 || 16 mod clusters <> 0 then
+    invalid_arg "Machine.paper_clustered: clusters must divide 16";
+  make ~clusters ~fus_per_cluster:(16 / clusters) ~copy_model ()
+
+let ozer_cluster_mix = [ (Float_fu, 1); (Memory, 1); (Integer, 2) ]
+
+let is_general_only t =
+  List.for_all (fun (c, _) -> c = General) t.fu_mix
+
+let allowed_classes (op : Opcode.t) (cls : Rclass.t) =
+  if Opcode.is_memory op then [ Memory ]
+  else
+    match cls with Rclass.Float -> [ Float_fu ] | Rclass.Int -> [ Integer ]
+
+let fu_class_name = function
+  | General -> "general"
+  | Integer -> "integer"
+  | Float_fu -> "float"
+  | Memory -> "memory"
+
+let width t = t.clusters * t.fus_per_cluster
+let is_monolithic t = t.clusters = 1
+let copy_latency t cls = t.latency Opcode.Copy cls
+let valid_cluster t c = c >= 0 && c < t.clusters
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d clusters x %d FUs, %s, %d copy ports, %d busses, %d regs/bank)"
+    t.name t.clusters t.fus_per_cluster (copy_model_name t.copy_model) t.copy_ports t.busses
+    t.regs_per_bank

@@ -1,0 +1,112 @@
+(** Clustered-VLIW machine descriptions.
+
+    The paper's meta-model is a 16-wide ILP machine whose functional units
+    are grouped into [clusters] clusters of [fus_per_cluster] general-purpose
+    units, one multi-ported register bank per cluster. Two mechanisms move
+    values between banks:
+
+    - {b Embedded}: an explicit [Copy] operation occupies an issue slot of
+      one of the destination cluster's functional units.
+    - {b Copy-unit}: copies issue on dedicated per-cluster copy ports and
+      travel over one of [busses] global busses; no functional-unit slot is
+      consumed. Following the prose of Section 6.1/6.2 (the printed port
+      formula is OCR-garbled but fixes 1 port/cluster at N=2 and 3 at N=8)
+      we provision [log2 N] copy ports per cluster and [N] busses, each bus
+      busy for one cycle per copy initiation.
+
+    The {b ideal} machine is the same width with a single monolithic bank:
+    modelled as one cluster as wide as the machine with no copy cost. *)
+
+type copy_model =
+  | Embedded
+  | Copy_unit
+
+(** Functional-unit classes. The paper's machine is all {!General}
+    ("general-purpose functional units ... make the partitioning more
+    difficult"); the comparison studies it discusses use specialized
+    mixes (Ozer et al.: "a floating-point unit, a load/store unit and 2
+    integer units with each register bank"). *)
+type fu_class =
+  | General   (** executes anything *)
+  | Integer   (** integer arithmetic/logic *)
+  | Float_fu  (** floating-point arithmetic *)
+  | Memory    (** loads and stores *)
+
+type t = private {
+  name : string;
+  clusters : int;            (** number of register banks / clusters, >= 1 *)
+  fus_per_cluster : int;     (** total FUs per cluster, >= 1 *)
+  fu_mix : (fu_class * int) list;
+      (** per-cluster unit mix; counts sum to [fus_per_cluster]. The
+          default is all-[General], the paper's model. *)
+  copy_model : copy_model;
+  copy_ports : int;          (** per-cluster copy issue ports (copy-unit model) *)
+  busses : int;              (** global inter-cluster busses (copy-unit model) *)
+  regs_per_bank : int;       (** architectural registers per bank, for Chaitin/Briggs *)
+  latency : Latency.t;
+}
+
+val make :
+  ?name:string ->
+  ?copy_ports:int ->
+  ?busses:int ->
+  ?regs_per_bank:int ->
+  ?latency:Latency.t ->
+  ?fu_mix:(fu_class * int) list ->
+  clusters:int ->
+  fus_per_cluster:int ->
+  copy_model:copy_model ->
+  unit ->
+  t
+(** Build a machine. [copy_ports] defaults to [max 1 (log2 clusters)],
+    [busses] to [clusters], [regs_per_bank] to 32, [latency] to
+    {!Latency.paper}, [fu_mix] to [[General, fus_per_cluster]]. Raises
+    [Invalid_argument] on non-positive geometry, a mix with non-positive
+    counts or duplicate classes, or a mix not summing to
+    [fus_per_cluster]. *)
+
+val ozer_cluster_mix : (fu_class * int) list
+(** Ozer et al.'s 4-unit cluster: 1 FP, 1 load/store, 2 integer. *)
+
+val is_general_only : t -> bool
+(** True when every unit is {!General} (the paper's model) — schedulers
+    use the cheaper untyped resource path. *)
+
+val allowed_classes : Opcode.t -> Rclass.t -> fu_class list
+(** Which specialized unit classes can execute an operation (besides
+    {!General}, which always can): memory ops need [Memory], float
+    arithmetic [Float_fu], everything else [Integer]. *)
+
+val fu_class_name : fu_class -> string
+
+val ideal : ?name:string -> ?regs_per_bank:int -> ?latency:Latency.t -> width:int -> unit -> t
+(** Monolithic machine of the given issue width: one cluster, no copies
+    ever needed. *)
+
+val monolithic_of : t -> t
+(** The paper's "ideal" counterpart of a clustered machine: same total
+    width, same latencies, same functional-unit mix (all clusters' units
+    pooled), but a single register bank. *)
+
+val paper_ideal : t
+(** The paper's 16-wide single-bank reference machine. *)
+
+val paper_clustered : clusters:int -> copy_model:copy_model -> t
+(** The paper's 16-wide machine as [clusters] ∈ {2,4,8} clusters of
+    16/clusters units with the given copy mechanism. Raises
+    [Invalid_argument] if [clusters] does not divide 16. *)
+
+val width : t -> int
+(** Total functional units = clusters × fus_per_cluster. *)
+
+val is_monolithic : t -> bool
+(** True when the machine has a single bank (no partitioning needed). *)
+
+val copy_latency : t -> Rclass.t -> int
+(** Latency of an inter-cluster copy of the given class. *)
+
+val valid_cluster : t -> int -> bool
+(** Whether a cluster index is in range. *)
+
+val copy_model_name : copy_model -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type t =
+  | Load
+  | Store
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Neg
+  | Abs
+  | Min
+  | Max
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Cmp
+  | Select
+  | Madd
+  | Convert
+  | Copy
+  | Const
+  | Nop
+
+let all =
+  [ Load; Store; Add; Sub; Mul; Div; Neg; Abs; Min; Max; And; Or; Xor; Shl; Shr; Cmp;
+    Select; Madd; Convert; Copy; Const; Nop ]
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let to_string = function
+  | Load -> "load"
+  | Store -> "store"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Neg -> "neg"
+  | Abs -> "abs"
+  | Min -> "min"
+  | Max -> "max"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Cmp -> "cmp"
+  | Select -> "select"
+  | Madd -> "madd"
+  | Convert -> "convert"
+  | Copy -> "copy"
+  | Const -> "const"
+  | Nop -> "nop"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let is_memory = function Load | Store -> true | _ -> false
+let is_copy = function Copy -> true | _ -> false
+
+let arity = function
+  | Nop | Const -> 0
+  | Load | Neg | Abs | Copy | Convert -> 1
+  | Store | Add | Sub | Mul | Div | Min | Max | And | Or | Xor | Shl | Shr | Cmp -> 2
+  | Select | Madd -> 3
+
+let has_dest = function Store | Nop -> false | _ -> true

@@ -1,0 +1,50 @@
+(** Operation codes of the target meta-architecture.
+
+    The paper's evaluation machine has 16 *general-purpose* functional
+    units: any unit can execute any opcode, so opcodes only matter for
+    latency (via {!Latency}) and for dependence construction (memory ops,
+    copies). The set below covers the operations appearing in SPEC95-style
+    inner loops plus the [Copy] operation inserted for cross-bank moves. *)
+
+type t =
+  | Load        (** memory read; 2 cycles *)
+  | Store       (** memory write; 4 cycles; has no destination register *)
+  | Add
+  | Sub
+  | Mul         (** int 5 cycles, float 2 *)
+  | Div         (** int 12 cycles, float 2 *)
+  | Neg
+  | Abs
+  | Min
+  | Max
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Cmp
+  | Select      (** conditional select, models IF-converted code *)
+  | Madd        (** fused multiply-add; costed like a multiply *)
+  | Convert     (** int<->float conversion *)
+  | Copy        (** inter-cluster register move; int 2 cycles, float 3 *)
+  | Const       (** materialize an immediate into a register; 1 cycle *)
+  | Nop
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val is_memory : t -> bool
+(** [Load] or [Store]. *)
+
+val is_copy : t -> bool
+
+val arity : t -> int
+(** Number of register source operands the opcode consumes ([Load] uses an
+    address register; [Store] an address and a value; [Nop] none). *)
+
+val has_dest : t -> bool
+(** All opcodes define a register except [Store] and [Nop]. *)
+
+val all : t list

@@ -1,0 +1,13 @@
+type t = Int | Float
+
+let equal a b = match (a, b) with Int, Int | Float, Float -> true | (Int | Float), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int, Int | Float, Float -> 0
+  | Int, Float -> -1
+  | Float, Int -> 1
+
+let to_string = function Int -> "int" | Float -> "float"
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let all = [ Int; Float ]

@@ -1,0 +1,13 @@
+(** Register classes.
+
+    The paper's machine distinguishes integer values from floating-point
+    values: they have different operation latencies and different
+    inter-cluster copy latencies (2 cycles for integers, 3 for floats). *)
+
+type t = Int | Float
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val all : t list

@@ -1,0 +1,1 @@
+lib/partition/assign.ml: Array Format Hashtbl Ir List Printf

@@ -1,0 +1,1 @@
+lib/partition/assign.mli: Format Ir

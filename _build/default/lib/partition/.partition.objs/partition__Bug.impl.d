@@ -1,0 +1,1 @@
+lib/partition/bug.ml: Array Assign Ddg Hashtbl Int Ir List Mach Option Sched

@@ -1,0 +1,1 @@
+lib/partition/bug.mli: Assign Ddg Mach

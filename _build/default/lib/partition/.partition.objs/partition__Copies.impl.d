@@ -1,0 +1,1 @@
+lib/partition/copies.ml: Array Assign Hashtbl Int Ir List Mach Option Printf

@@ -1,0 +1,1 @@
+lib/partition/copies.mli: Assign Ir Mach

@@ -1,0 +1,1 @@
+lib/partition/driver.ml: Assign Bug Copies Ddg Greedy Hashtbl Ir List Mach Printf Rcg Sched Uas

@@ -1,0 +1,1 @@
+lib/partition/driver.mli: Assign Ddg Ir Mach Rcg Sched Stdlib

@@ -1,0 +1,1 @@
+lib/partition/func_driver.ml: Assign Copies Ddg Greedy Hashtbl Ir List Mach Printf Rcg Sched

@@ -1,0 +1,1 @@
+lib/partition/func_driver.mli: Assign Ir Mach Rcg Stdlib

@@ -1,0 +1,1 @@
+lib/partition/greedy.ml: Array Assign Hashtbl Ir List Printf Rcg

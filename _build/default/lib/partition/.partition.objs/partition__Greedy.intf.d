@@ -1,0 +1,1 @@
+lib/partition/greedy.mli: Assign Ir Rcg

@@ -1,0 +1,1 @@
+lib/partition/ne.ml: Array Assign Ddg Graphlib Hashtbl Int Ir List Mach Option

@@ -1,0 +1,1 @@
+lib/partition/ne.mli: Assign Ddg Ir Mach

@@ -1,0 +1,1 @@
+lib/partition/refine.ml: Array Assign Ddg Driver Greedy Hashtbl Ir List Mach Rcg

@@ -1,0 +1,1 @@
+lib/partition/refine.mli: Assign Driver Ir Mach Rcg

@@ -1,0 +1,1 @@
+lib/partition/uas.ml: Array Assign Ddg Graphlib Hashtbl Ir List Mach Option Sched

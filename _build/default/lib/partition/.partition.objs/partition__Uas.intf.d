@@ -1,0 +1,1 @@
+lib/partition/uas.mli: Assign Ddg Mach

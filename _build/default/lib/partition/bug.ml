@@ -1,0 +1,57 @@
+let partition ?(load_factor = 1.0) ~machine ddg =
+  let m : Mach.Machine.t = machine in
+  let banks = m.clusters in
+  let slack = Sched.Slack.analyze ddg in
+  (* Bottom-up greedy visits critical operations first: deepest tail
+     first, i.e. smallest ALAP. *)
+  let order =
+    List.sort
+      (fun a b ->
+        let c = Int.compare (Sched.Slack.alap slack (Ir.Op.id a)) (Sched.Slack.alap slack (Ir.Op.id b)) in
+        if c <> 0 then c else Int.compare (Ir.Op.id a) (Ir.Op.id b))
+      (Ddg.Graph.ops_in_order ddg)
+  in
+  let location : (int, int) Hashtbl.t = Hashtbl.create 64 in (* vreg id -> bank *)
+  let load = Array.make banks 0 in
+  let cost_of op c =
+    let copy_cost =
+      List.fold_left
+        (fun acc r ->
+          match Hashtbl.find_opt location (Ir.Vreg.id r) with
+          | Some b when b <> c -> acc +. float_of_int (Mach.Machine.copy_latency m (Ir.Vreg.cls r))
+          | Some _ | None -> acc)
+        0.0 (Ir.Op.uses op)
+    in
+    copy_cost
+    +. (load_factor *. float_of_int load.(c) /. float_of_int m.fus_per_cluster)
+  in
+  List.iter
+    (fun op ->
+      let best = ref 0 and best_cost = ref infinity in
+      for c = 0 to banks - 1 do
+        let v = cost_of op c in
+        if v < !best_cost then begin
+          best_cost := v;
+          best := c
+        end
+      done;
+      let c = !best in
+      load.(c) <- load.(c) + 1;
+      List.iter (fun d -> Hashtbl.replace location (Ir.Vreg.id d) c) (Ir.Op.defs op);
+      (* First consumer claims still-unplaced (invariant) sources. *)
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem location (Ir.Vreg.id r)) then
+            Hashtbl.replace location (Ir.Vreg.id r) c)
+        (Ir.Op.uses op))
+    order;
+  let all_regs =
+    List.fold_left
+      (fun acc op ->
+        List.fold_left (fun s r -> Ir.Vreg.Set.add r s) acc (Ir.Op.defs op @ Ir.Op.uses op))
+      Ir.Vreg.Set.empty (Ddg.Graph.ops_in_order ddg)
+  in
+  Assign.of_list
+    (List.map
+       (fun r -> (r, Option.value ~default:0 (Hashtbl.find_opt location (Ir.Vreg.id r))))
+       (Ir.Vreg.Set.elements all_regs))

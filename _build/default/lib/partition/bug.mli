@@ -1,0 +1,21 @@
+(** BUG — Ellis's bottom-up greedy partitioner (baseline).
+
+    Reconstruction of the Bulldog partitioner the paper compares against
+    in Section 3: operations are visited in critical-path (height)
+    priority order and each is assigned to the cluster minimizing an
+    estimated cost of executing it there — copy latency for every
+    non-local source operand plus a load-balancing term for the cluster's
+    current population. The destination register inherits the chosen
+    cluster; loop-invariant sources are placed in the cluster of their
+    first consumer. Unlike the RCG method this is intimately tied to
+    machine details (copy latencies, FU counts), which is exactly the
+    contrast the paper draws. *)
+
+val partition :
+  ?load_factor:float ->
+  machine:Mach.Machine.t ->
+  Ddg.Graph.t ->
+  Assign.t
+(** [load_factor] (default 1.0) scales the balance term, in cycles per
+    (ops already assigned / FUs per cluster). The assignment covers every
+    register of the DDG. *)

@@ -1,0 +1,200 @@
+type result = {
+  loop : Ir.Loop.t;
+  assignment : Assign.t;
+  n_copies : int;
+  copies_per_cluster : int array;
+  ops_per_cluster : int array;
+}
+
+(* Which value of register r does a use at body position q read? *)
+type reaching = Invariant | Carried | Same_iter of int
+
+let classify ~defs_of r q =
+  match Ir.Vreg.Map.find_opt r defs_of with
+  | None | Some [] -> Invariant
+  | Some positions ->
+      let before = List.filter (fun p -> p < q) positions in
+      (match List.rev before with
+      | [] -> Carried
+      | p :: _ -> Same_iter p)
+
+let copy_name r cluster = Printf.sprintf "%s@c%d" (Ir.Vreg.to_string r) cluster
+
+let insert_loop ~machine ~assignment loop =
+  let m : Mach.Machine.t = machine in
+  let banks = m.clusters in
+  let ops = Array.of_list (Ir.Loop.ops loop) in
+  let n = Array.length ops in
+  if Mach.Machine.is_monolithic m then
+    { loop; assignment; n_copies = 0; copies_per_cluster = [| 0 |];
+      ops_per_cluster = [| n |] }
+  else begin
+    (* Positions (not op ids) of defs per register. *)
+    let defs_of =
+      let acc = ref Ir.Vreg.Map.empty in
+      Array.iteri
+        (fun i op ->
+          List.iter
+            (fun d ->
+              let prev = Option.value ~default:[] (Ir.Vreg.Map.find_opt d !acc) in
+              acc := Ir.Vreg.Map.add d (prev @ [ i ]) !acc)
+            (Ir.Op.defs op))
+        ops;
+      !acc
+    in
+    let next_vreg = ref (Ir.Loop.max_vreg_id loop + 1) in
+    let next_op = ref (Ir.Loop.max_op_id loop + 1) in
+    let extra_assign = ref [] in
+    (* (reg id, cluster, reaching) -> (copy op, copy dst) *)
+    let cache : (int * int * reaching, Ir.Op.t * Ir.Vreg.t) Hashtbl.t = Hashtbl.create 16 in
+    let get_copy r cluster reaching =
+      let key = (Ir.Vreg.id r, cluster, reaching) in
+      match Hashtbl.find_opt cache key with
+      | Some (_, dst) -> dst
+      | None ->
+          let dst =
+            Ir.Vreg.make ~name:(copy_name r cluster) ~id:!next_vreg ~cls:(Ir.Vreg.cls r) ()
+          in
+          incr next_vreg;
+          let cop =
+            Ir.Op.make ~dst ~srcs:[ r ] ~id:!next_op ~opcode:Mach.Opcode.Copy
+              ~cls:(Ir.Vreg.cls r) ()
+          in
+          incr next_op;
+          extra_assign := (dst, cluster) :: !extra_assign;
+          Hashtbl.add cache key (cop, dst);
+          dst
+    in
+    (* Pass 1: create all copies and record per-use rewrites. *)
+    let rewrites = Array.make n Ir.Vreg.Map.empty in
+    Array.iteri
+      (fun q op ->
+        let cluster = Assign.cluster_of_op assignment op in
+        if not (Mach.Machine.valid_cluster m cluster) then
+          invalid_arg "Copies.insert_loop: assignment names an out-of-range bank";
+        List.iter
+          (fun r ->
+            if Assign.bank assignment r <> cluster then begin
+              let reaching = classify ~defs_of r q in
+              let dst = get_copy r cluster reaching in
+              rewrites.(q) <- Ir.Vreg.Map.add r dst rewrites.(q)
+            end)
+          (Ir.Op.uses op))
+      ops;
+    (* Pass 2: emit — header copies first, then each op preceded by
+       nothing and followed by the copies anchored to its position. *)
+    let header = ref [] in
+    let after = Array.make n [] in
+    Hashtbl.iter
+      (fun (_, _, reaching) (cop, _) ->
+        match reaching with
+        | Invariant | Carried -> header := cop :: !header
+        | Same_iter p -> after.(p) <- cop :: after.(p))
+      cache;
+    let sort_ops = List.sort (fun a b -> Int.compare (Ir.Op.id a) (Ir.Op.id b)) in
+    let body = ref [] in
+    List.iter (fun c -> body := c :: !body) (sort_ops !header);
+    Array.iteri
+      (fun q op ->
+        body := Ir.Op.substitute op rewrites.(q) :: !body;
+        List.iter (fun c -> body := c :: !body) (sort_ops after.(q)))
+      ops;
+    let new_ops = List.rev !body in
+    let assignment =
+      List.fold_left (fun acc (r, b) -> Ir.Vreg.Map.add r b acc) assignment !extra_assign
+    in
+    let copies_per_cluster = Array.make banks 0 in
+    let ops_per_cluster = Array.make banks 0 in
+    List.iter
+      (fun op ->
+        let c = Assign.cluster_of_op assignment op in
+        if Ir.Op.is_copy op then copies_per_cluster.(c) <- copies_per_cluster.(c) + 1
+        else ops_per_cluster.(c) <- ops_per_cluster.(c) + 1)
+      new_ops;
+    {
+      loop = Ir.Loop.with_ops loop new_ops;
+      assignment;
+      n_copies = Hashtbl.length cache;
+      copies_per_cluster;
+      ops_per_cluster;
+    }
+  end
+
+let insert_block ~machine ~assignment ~fresh_vreg ~fresh_op block =
+  let m : Mach.Machine.t = machine in
+  if Mach.Machine.is_monolithic m then (block, assignment, 0)
+  else begin
+    let ops = Array.of_list (Ir.Block.ops block) in
+    let n = Array.length ops in
+    let defs_of =
+      let acc = ref Ir.Vreg.Map.empty in
+      Array.iteri
+        (fun i op ->
+          List.iter
+            (fun d ->
+              let prev = Option.value ~default:[] (Ir.Vreg.Map.find_opt d !acc) in
+              acc := Ir.Vreg.Map.add d (prev @ [ i ]) !acc)
+            (Ir.Op.defs op))
+        ops;
+      !acc
+    in
+    let next_vreg = ref fresh_vreg in
+    let next_op = ref fresh_op in
+    let assignment = ref assignment in
+    let cache = Hashtbl.create 16 in
+    let get_copy r cluster reaching =
+      let key = (Ir.Vreg.id r, cluster, reaching) in
+      match Hashtbl.find_opt cache key with
+      | Some (_, dst) -> dst
+      | None ->
+          let dst =
+            Ir.Vreg.make ~name:(copy_name r cluster) ~id:!next_vreg ~cls:(Ir.Vreg.cls r) ()
+          in
+          incr next_vreg;
+          let cop =
+            Ir.Op.make ~dst ~srcs:[ r ] ~id:!next_op ~opcode:Mach.Opcode.Copy
+              ~cls:(Ir.Vreg.cls r) ()
+          in
+          incr next_op;
+          assignment := Ir.Vreg.Map.add dst cluster !assignment;
+          Hashtbl.add cache key (cop, dst);
+          dst
+    in
+    let rewrites = Array.make n Ir.Vreg.Map.empty in
+    Array.iteri
+      (fun q op ->
+        let cluster = Assign.cluster_of_op !assignment op in
+        List.iter
+          (fun r ->
+            if Assign.bank !assignment r <> cluster then begin
+              let reaching =
+                match classify ~defs_of r q with
+                | Invariant | Carried -> Invariant (* blocks have no carried values *)
+                | Same_iter p -> Same_iter p
+              in
+              let dst = get_copy r cluster reaching in
+              rewrites.(q) <- Ir.Vreg.Map.add r dst rewrites.(q)
+            end)
+          (Ir.Op.uses op))
+      ops;
+    let header = ref [] in
+    let after = Array.make n [] in
+    Hashtbl.iter
+      (fun (_, _, reaching) (cop, _) ->
+        match reaching with
+        | Invariant | Carried -> header := cop :: !header
+        | Same_iter p -> after.(p) <- cop :: after.(p))
+      cache;
+    let sort_ops = List.sort (fun a b -> Int.compare (Ir.Op.id a) (Ir.Op.id b)) in
+    let body = ref [] in
+    List.iter (fun c -> body := c :: !body) (sort_ops !header);
+    Array.iteri
+      (fun q op ->
+        body := Ir.Op.substitute op rewrites.(q) :: !body;
+        List.iter (fun c -> body := c :: !body) (sort_ops after.(q)))
+      ops;
+    ( Ir.Block.make ~depth:(Ir.Block.depth block) ~label:(Ir.Block.label block)
+        (List.rev !body),
+      !assignment,
+      Hashtbl.length cache )
+  end

@@ -1,0 +1,45 @@
+(** Cross-bank copy insertion (step 4 of the paper's framework).
+
+    Given a bank assignment, every operation executes on its destination's
+    cluster; each source register living in a different bank must first be
+    copied into a fresh register of the consuming cluster. One copy per
+    (source register, consuming cluster, reaching value) is inserted and
+    shared by all consumers of that value in that cluster.
+
+    Placement in the rewritten body:
+    - copies of loop invariants and of loop-carried values go to the top
+      of the body (a carried copy placed before the register's first
+      in-body definition reads the previous iteration's value, which is
+      exactly what its consumers consumed before rewriting);
+    - copies of in-body values are placed immediately after the defining
+      operation.
+
+    The rewritten body is ordinary IR: rebuilding the DDG over it yields
+    all copy dependences with no special cases, and the clustered modulo
+    scheduler runs unchanged. *)
+
+type result = {
+  loop : Ir.Loop.t;              (** body with copies spliced in *)
+  assignment : Assign.t;         (** input assignment + copy destinations *)
+  n_copies : int;
+  copies_per_cluster : int array;(** arriving copies per cluster *)
+  ops_per_cluster : int array;   (** non-copy ops per cluster *)
+}
+
+val insert_loop : machine:Mach.Machine.t -> assignment:Assign.t -> Ir.Loop.t -> result
+(** Raises [Invalid_argument] if the assignment misses a register of the
+    loop or names an out-of-range bank. On a monolithic machine the loop
+    is returned unchanged. *)
+
+val insert_block :
+  machine:Mach.Machine.t ->
+  assignment:Assign.t ->
+  fresh_vreg:int ->
+  fresh_op:int ->
+  Ir.Block.t ->
+  Ir.Block.t * Assign.t * int
+(** Straight-line variant for the whole-function path: copies of values
+    defined earlier in the block follow their definition; values entering
+    the block are copied at block start. [fresh_vreg]/[fresh_op] seed new
+    ids (caller keeps them unique across the function). Returns the
+    rewritten block, the extended assignment and the number of copies. *)

@@ -1,0 +1,115 @@
+type partitioner =
+  | Greedy of Rcg.Weights.t
+  | Bug
+  | Uas
+  | Custom of (Mach.Machine.t -> Ddg.Graph.t -> Rcg.Graph.t option -> Assign.t)
+
+type result = {
+  loop : Ir.Loop.t;
+  machine : Mach.Machine.t;
+  ideal : Sched.Modulo.outcome;
+  clustered : Sched.Modulo.outcome;
+  assignment : Assign.t;
+  rewritten : Ir.Loop.t;
+  n_copies : int;
+  degradation : float;
+  ipc_ideal : float;
+  ipc_clustered : float;
+}
+
+let cluster_map assignment loop =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun op -> Hashtbl.replace tbl (Ir.Op.id op) (Assign.cluster_of_op assignment op))
+    (Ir.Loop.ops loop);
+  fun id ->
+    match Hashtbl.find_opt tbl id with Some c -> c | None -> raise Not_found
+
+let choose_partition partitioner ~machine ~ddg ~ideal_kernel ~depth =
+  match partitioner with
+  | Bug -> Bug.partition ~machine ddg
+  | Uas -> Uas.partition ~machine ddg
+  | Greedy weights ->
+      let src = Rcg.Build.source_of_kernel ~ddg ~depth ideal_kernel in
+      let rcg = Rcg.Build.build ~weights src in
+      Greedy.partition ~weights ~banks:machine.Mach.Machine.clusters rcg
+  | Custom f ->
+      let src = Rcg.Build.source_of_kernel ~ddg ~depth ideal_kernel in
+      let rcg = Rcg.Build.build src in
+      f machine ddg (Some rcg)
+
+type scheduler = Rau | Swing
+
+let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?budget_ratio
+    ~machine loop =
+  let m : Mach.Machine.t = machine in
+  let schedule_ideal ddg =
+    match scheduler with
+    | Rau -> Sched.Modulo.ideal ?budget_ratio ~machine:m ddg
+    | Swing -> Sched.Swing.ideal ~machine:m ddg
+  in
+  let schedule_clustered ~cluster_of ~mii ddg =
+    match scheduler with
+    | Rau -> Sched.Modulo.schedule ?budget_ratio ~cluster_of ~machine:m ~mii ddg
+    | Swing -> Sched.Swing.schedule ~cluster_of ~machine:m ~mii ddg
+  in
+  let ddg = Ddg.Graph.of_loop ~latency:m.latency loop in
+  match schedule_ideal ddg with
+  | None -> Error (Printf.sprintf "loop %s: ideal pipeline failed" (Ir.Loop.name loop))
+  | Some ideal ->
+      let n_ops = Ir.Loop.size loop in
+      let ipc_ideal = float_of_int n_ops /. float_of_int ideal.Sched.Modulo.ii in
+      if Mach.Machine.is_monolithic m then
+        Ok
+          {
+            loop; machine = m; ideal; clustered = ideal;
+            assignment =
+              Assign.of_list
+                (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Loop.vregs loop)));
+            rewritten = loop; n_copies = 0; degradation = 100.0; ipc_ideal;
+            ipc_clustered = ipc_ideal;
+          }
+      else begin
+        let assignment =
+          choose_partition partitioner ~machine:m ~ddg
+            ~ideal_kernel:ideal.Sched.Modulo.kernel ~depth:(Ir.Loop.depth loop)
+        in
+        (* Registers the RCG may have missed (none in practice) park in 0. *)
+        let assignment =
+          Ir.Vreg.Set.fold
+            (fun r acc -> if Ir.Vreg.Map.mem r acc then acc else Ir.Vreg.Map.add r 0 acc)
+            (Ir.Loop.vregs loop) assignment
+        in
+        let ins = Copies.insert_loop ~machine:m ~assignment loop in
+        let ddg' = Ddg.Graph.of_loop ~latency:m.latency ins.Copies.loop in
+        let cluster_of = cluster_map ins.Copies.assignment ins.Copies.loop in
+        let mii =
+          max
+            (Ddg.Minii.res_mii_clustered ~machine:m
+               ~ops_per_cluster:ins.Copies.ops_per_cluster
+               ~copies_per_cluster:ins.Copies.copies_per_cluster)
+            (Ddg.Minii.rec_mii ddg')
+        in
+        match schedule_clustered ~cluster_of ~mii ddg' with
+        | None ->
+            Error (Printf.sprintf "loop %s: clustered pipeline failed" (Ir.Loop.name loop))
+        | Some clustered ->
+            let count_op (op : Ir.Op.t) =
+              match m.copy_model with
+              | Mach.Machine.Embedded -> true
+              | Mach.Machine.Copy_unit -> not (Ir.Op.is_copy op)
+            in
+            let ipc_clustered =
+              Sched.Kernel.ipc ~count:count_op clustered.Sched.Modulo.kernel
+            in
+            Ok
+              {
+                loop; machine = m; ideal; clustered;
+                assignment = ins.Copies.assignment; rewritten = ins.Copies.loop;
+                n_copies = ins.Copies.n_copies;
+                degradation =
+                  100.0 *. float_of_int clustered.Sched.Modulo.ii
+                  /. float_of_int ideal.Sched.Modulo.ii;
+                ipc_ideal; ipc_clustered;
+              }
+      end

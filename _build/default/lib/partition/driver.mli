@@ -1,0 +1,56 @@
+(** End-to-end code generation for one software-pipelined loop — the
+    five-step framework of Section 4:
+
+    1. intermediate code over an infinite register file (the input loop);
+    2. DDG + ideal modulo schedule on the monolithic machine;
+    3. register partitioning (greedy RCG by default; BUG/UAS baselines);
+    4. copy insertion, DDG rebuild, clustered modulo rescheduling;
+    5. (separately, see [Regalloc]) per-bank Chaitin/Briggs colouring.
+
+    Degradation is achieved-II over ideal-II, normalized to 100 as in the
+    paper's Table 2. *)
+
+type partitioner =
+  | Greedy of Rcg.Weights.t  (** the paper's method *)
+  | Bug
+  | Uas
+  | Custom of (Mach.Machine.t -> Ddg.Graph.t -> Rcg.Graph.t option -> Assign.t)
+      (** receives the target machine, the loop DDG and (for RCG-based
+          methods) the built RCG *)
+
+type result = {
+  loop : Ir.Loop.t;                 (** original body *)
+  machine : Mach.Machine.t;
+  ideal : Sched.Modulo.outcome;     (** monolithic pipeline *)
+  clustered : Sched.Modulo.outcome; (** partitioned pipeline (with copies) *)
+  assignment : Assign.t;            (** final banks incl. copy registers *)
+  rewritten : Ir.Loop.t;            (** body with copies *)
+  n_copies : int;
+  degradation : float;   (** 100 · II_clustered / II_ideal (100 = none) *)
+  ipc_ideal : float;     (** ops / II on the ideal pipeline *)
+  ipc_clustered : float;
+      (** kernel ops / II; copies count under the embedded model and are
+          excluded under the copy-unit model, as in Table 1 *)
+}
+
+type scheduler = Rau | Swing
+(** Which modulo scheduler drives both the ideal and the clustered
+    pipelines: Rau's iterative scheme (the paper's) or Swing
+    (lifetime-sensitive; what Nystrom & Eichenberger use). *)
+
+val pipeline :
+  ?partitioner:partitioner ->
+  ?scheduler:scheduler ->
+  ?budget_ratio:int ->
+  machine:Mach.Machine.t ->
+  Ir.Loop.t ->
+  (result, string) Stdlib.result
+(** Runs the whole framework. [partitioner] defaults to
+    [Greedy Rcg.Weights.default], [scheduler] to [Rau]. Errors (ideal or
+    clustered scheduling failure) are reported, never raised. On a
+    monolithic machine the "clustered" leg equals the ideal one and
+    degradation is 100. *)
+
+val cluster_map : Assign.t -> Ir.Loop.t -> int -> int
+(** [cluster_map assignment loop] is the op-id -> cluster function the
+    schedulers consume. Raises [Not_found] on unknown op ids. *)

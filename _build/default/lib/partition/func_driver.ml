@@ -1,0 +1,113 @@
+type block_result = {
+  label : string;
+  depth : int;
+  ideal_len : int;
+  clustered_len : int;
+  n_copies : int;
+}
+
+type result = {
+  func : Ir.Func.t;
+  machine : Mach.Machine.t;
+  blocks : block_result list;
+  assignment : Assign.t;
+  rewritten : Ir.Func.t;
+  n_copies : int;
+  ideal_cycles : float;
+  clustered_cycles : float;
+  degradation : float;
+}
+
+let weight_of_depth depth = 10.0 ** float_of_int depth
+
+let pipeline ?(weights = Rcg.Weights.default) ~machine func =
+  let m : Mach.Machine.t = machine in
+  let rcg = Rcg.Build.of_func ~weights ~machine:m func in
+  let assignment0 =
+    if Mach.Machine.is_monolithic m then
+      Assign.of_list (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Func.vregs func)))
+    else Greedy.partition ~weights ~banks:m.clusters rcg
+  in
+  (* Registers appearing only in empty-block corner cases park in 0. *)
+  let assignment0 =
+    Ir.Vreg.Set.fold
+      (fun r acc -> if Ir.Vreg.Map.mem r acc then acc else Ir.Vreg.Map.add r 0 acc)
+      (Ir.Func.vregs func) assignment0
+  in
+  let next_vreg = ref (1 + Ir.Vreg.Set.fold (fun r a -> max a (Ir.Vreg.id r))
+                         (Ir.Func.vregs func) 0)
+  in
+  let next_op =
+    ref
+      (1
+      + List.fold_left
+          (fun acc b ->
+            List.fold_left (fun acc op -> max acc (Ir.Op.id op)) acc (Ir.Block.ops b))
+          0 (Ir.Func.blocks func))
+  in
+  let assignment = ref assignment0 in
+  let results = ref [] in
+  let rewritten_blocks = ref [] in
+  let total_copies = ref 0 in
+  let error = ref None in
+  List.iter
+    (fun block ->
+      if !error = None then
+        if Ir.Block.ops block = [] then begin
+          rewritten_blocks := block :: !rewritten_blocks;
+          results :=
+            { label = Ir.Block.label block; depth = Ir.Block.depth block; ideal_len = 0;
+              clustered_len = 0; n_copies = 0 }
+            :: !results
+        end
+        else begin
+          let ddg = Ddg.Graph.of_block ~latency:m.latency block in
+          let ideal = Sched.List_sched.ideal ~machine:m ddg in
+          let block', assignment', n =
+            Copies.insert_block ~machine:m ~assignment:!assignment ~fresh_vreg:!next_vreg
+              ~fresh_op:!next_op block
+          in
+          assignment := assignment';
+          next_vreg := !next_vreg + n;
+          next_op := !next_op + n;
+          total_copies := !total_copies + n;
+          let ddg' = Ddg.Graph.of_block ~latency:m.latency block' in
+          let tbl = Hashtbl.create 32 in
+          List.iter
+            (fun op ->
+              Hashtbl.replace tbl (Ir.Op.id op) (Assign.cluster_of_op !assignment op))
+            (Ir.Block.ops block');
+          let cluster_of id = Hashtbl.find tbl id in
+          match Sched.List_sched.schedule ~cluster_of ~machine:m ddg' with
+          | sched ->
+              rewritten_blocks := block' :: !rewritten_blocks;
+              results :=
+                { label = Ir.Block.label block; depth = Ir.Block.depth block;
+                  ideal_len = Sched.Schedule.issue_length ideal;
+                  clustered_len = Sched.Schedule.issue_length sched; n_copies = n }
+                :: !results
+          | exception Invalid_argument msg ->
+              error := Some (Printf.sprintf "block %s: %s" (Ir.Block.label block) msg)
+        end)
+    (Ir.Func.blocks func);
+  match !error with
+  | Some e -> Error e
+  | None ->
+      let blocks = List.rev !results in
+      let weighted f =
+        List.fold_left (fun acc b -> acc +. (weight_of_depth b.depth *. float_of_int (f b)))
+          0.0 blocks
+      in
+      let ideal_cycles = weighted (fun b -> b.ideal_len) in
+      let clustered_cycles = weighted (fun b -> b.clustered_len) in
+      let rewritten =
+        Ir.Func.make ~name:(Ir.Func.name func) ~blocks:(List.rev !rewritten_blocks)
+          ~edges:(Ir.Func.edges func)
+      in
+      Ok
+        {
+          func; machine = m; blocks; assignment = !assignment; rewritten;
+          n_copies = !total_copies; ideal_cycles; clustered_cycles;
+          degradation =
+            (if ideal_cycles <= 0.0 then 100.0 else 100.0 *. clustered_cycles /. ideal_cycles);
+        }

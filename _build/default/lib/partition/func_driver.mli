@@ -1,0 +1,42 @@
+(** Whole-function partitioning — the paper's other experiment.
+
+    The framework is "applicable to entire programs": the RCG is built
+    globally over every basic block and partitioned once, so values keep
+    one home bank across the function ([Hiser et al. 1999] measured ~11%
+    degradation on 4-bank machines this way). Here each block is
+    list-scheduled (no pipelining — blocks execute straight-line), copies
+    are inserted per block, and blocks are rescheduled under cluster
+    constraints.
+
+    Cycle counts are weighted by estimated execution frequency
+    [10^depth], the same frequency model the RCG weights use, so inner
+    blocks dominate the degradation figure exactly as they dominate run
+    time. *)
+
+type block_result = {
+  label : string;
+  depth : int;
+  ideal_len : int;      (** issue cycles, monolithic machine *)
+  clustered_len : int;  (** issue cycles after partitioning + copies *)
+  n_copies : int;
+}
+
+type result = {
+  func : Ir.Func.t;
+  machine : Mach.Machine.t;
+  blocks : block_result list;
+  assignment : Assign.t;       (** global banks, incl. copy registers *)
+  rewritten : Ir.Func.t;       (** function with copies spliced in *)
+  n_copies : int;
+  ideal_cycles : float;        (** Σ 10^depth · ideal_len *)
+  clustered_cycles : float;
+  degradation : float;         (** 100 · clustered/ideal *)
+}
+
+val pipeline :
+  ?weights:Rcg.Weights.t ->
+  machine:Mach.Machine.t ->
+  Ir.Func.t ->
+  (result, string) Stdlib.result
+(** Raises nothing; scheduling failures are reported as [Error]. On a
+    monolithic machine degradation is 100 and no copies are inserted. *)

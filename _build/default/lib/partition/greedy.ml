@@ -1,0 +1,46 @@
+let benefit ~balance_penalty ~placed ~counts g node bank =
+  let from_edges =
+    List.fold_left
+      (fun acc (m, w) -> if placed m = Some bank then acc +. w else acc)
+      0.0
+      (Rcg.Graph.neighbors g node)
+  in
+  from_edges -. (balance_penalty *. float_of_int counts.(bank))
+
+let partition ?(weights = Rcg.Weights.default) ~banks g =
+  if banks < 1 then invalid_arg "Greedy.partition: banks must be >= 1";
+  let n = Rcg.Graph.node_count g in
+  let expected_per_bank = max 1.0 (float_of_int n /. float_of_int banks) in
+  let balance_penalty =
+    weights.Rcg.Weights.balance *. Rcg.Graph.mean_positive_edge_weight g /. expected_per_bank
+  in
+  let assignment = Hashtbl.create n in
+  let counts = Array.make banks 0 in
+  let placed r = Hashtbl.find_opt assignment (Ir.Vreg.id r) in
+  let place r b =
+    Hashtbl.replace assignment (Ir.Vreg.id r) b;
+    counts.(b) <- counts.(b) + 1
+  in
+  List.iter
+    (fun node ->
+      match Rcg.Graph.pinned g node with
+      | Some b ->
+          if b < 0 || b >= banks then
+            invalid_arg
+              (Printf.sprintf "Greedy.partition: %s pinned to bank %d (of %d)"
+                 (Ir.Vreg.to_string node) b banks);
+          place node b
+      | None ->
+          let best = ref 0 in
+          let best_benefit = ref neg_infinity in
+          for b = 0 to banks - 1 do
+            let v = benefit ~balance_penalty ~placed ~counts g node b in
+            if v > !best_benefit then begin
+              best_benefit := v;
+              best := b
+            end
+          done;
+          place node !best)
+    (Rcg.Graph.by_weight_desc g);
+  Assign.of_list
+    (List.map (fun r -> (r, Hashtbl.find assignment (Ir.Vreg.id r))) (Rcg.Graph.registers g))

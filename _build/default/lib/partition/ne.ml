@@ -1,0 +1,104 @@
+let recurrence_groups ddg =
+  let g = Ddg.Graph.graph ddg in
+  let comps = Graphlib.Scc.nontrivial g in
+  let group_of comp =
+    let regs =
+      List.fold_left
+        (fun acc id ->
+          let op = Ddg.Graph.op ddg id in
+          List.fold_left (fun s r -> Ir.Vreg.Set.add r s) acc (Ir.Op.defs op))
+        Ir.Vreg.Set.empty comp
+    in
+    let crit =
+      List.fold_left (fun acc id -> acc + Ddg.Graph.latency_of ddg (Ddg.Graph.op ddg id)) 0 comp
+    in
+    (regs, crit)
+  in
+  let groups = List.map group_of comps in
+  (* Merge groups sharing a register (an op can sit on two recurrences). *)
+  let rec merge acc = function
+    | [] -> acc
+    | (regs, crit) :: rest ->
+        let overlapping, disjoint =
+          List.partition (fun (r2, _) -> not (Ir.Vreg.Set.disjoint regs r2)) acc
+        in
+        let merged =
+          List.fold_left
+            (fun (r, c) (r2, c2) -> (Ir.Vreg.Set.union r r2, c + c2))
+            (regs, crit) overlapping
+        in
+        merge (merged :: disjoint) rest
+  in
+  merge [] groups
+  |> List.sort (fun (_, c1) (_, c2) -> Int.compare c2 c1)
+  |> List.map fst
+
+let partition ~machine ddg =
+  let m : Mach.Machine.t = machine in
+  let banks = m.clusters in
+  let location : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let load = Array.make banks 0 in
+  (* Phase 1: recurrences, most critical first, on the least-loaded bank. *)
+  List.iter
+    (fun group ->
+      let bank = ref 0 in
+      for b = 1 to banks - 1 do
+        if load.(b) < load.(!bank) then bank := b
+      done;
+      Ir.Vreg.Set.iter
+        (fun r ->
+          if not (Hashtbl.mem location (Ir.Vreg.id r)) then begin
+            Hashtbl.replace location (Ir.Vreg.id r) !bank;
+            load.(!bank) <- load.(!bank) + 1
+          end)
+        group)
+    (recurrence_groups ddg);
+  (* Phase 2: remaining ops in body order; destination goes to the bank
+     minimizing (copies needed, load). *)
+  List.iter
+    (fun op ->
+      let unplaced_dst =
+        List.filter (fun d -> not (Hashtbl.mem location (Ir.Vreg.id d))) (Ir.Op.defs op)
+      in
+      if unplaced_dst <> [] || Ir.Op.defs op = [] then begin
+        let copies c =
+          List.length
+            (List.filter
+               (fun r ->
+                 match Hashtbl.find_opt location (Ir.Vreg.id r) with
+                 | Some b -> b <> c
+                 | None -> false)
+               (Ir.Op.uses op))
+        in
+        let best = ref 0 in
+        for b = 1 to banks - 1 do
+          if (copies b, load.(b)) < (copies !best, load.(!best)) then best := b
+        done;
+        List.iter
+          (fun d ->
+            Hashtbl.replace location (Ir.Vreg.id d) !best;
+            load.(!best) <- load.(!best) + 1)
+          unplaced_dst
+      end;
+      (* invariants join their first consumer *)
+      let home =
+        match Ir.Op.defs op with
+        | d :: _ -> Hashtbl.find_opt location (Ir.Vreg.id d)
+        | [] -> None
+      in
+      List.iter
+        (fun r ->
+          if not (Hashtbl.mem location (Ir.Vreg.id r)) then
+            Hashtbl.replace location (Ir.Vreg.id r) (Option.value ~default:0 home))
+        (Ir.Op.uses op))
+    (Ddg.Graph.ops_in_order ddg);
+  let all_regs =
+    List.fold_left
+      (fun acc op ->
+        List.fold_left (fun s r -> Ir.Vreg.Set.add r s) acc (Ir.Op.defs op @ Ir.Op.uses op))
+      Ir.Vreg.Set.empty (Ddg.Graph.ops_in_order ddg)
+  in
+  Assign.of_list
+    (List.map
+       (fun r -> (r, Option.value ~default:0 (Hashtbl.find_opt location (Ir.Vreg.id r))))
+       (Ir.Vreg.Set.elements all_regs))

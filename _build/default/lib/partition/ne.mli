@@ -1,0 +1,23 @@
+(** Recurrence-aware partitioning in the style of Nystrom and
+    Eichenberger (MICRO-31), the Section 6.3 comparator.
+
+    Their "chief design goal ... is to add copies such that maximal
+    recurrence cycle(s) in the data dependence graph are not lengthened
+    if at all possible". Reconstruction: every recurrence (non-trivial
+    SCC of the DDG) is treated as an atomic group whose registers must
+    share a bank — a cross-bank copy inside a recurrence adds its copy
+    latency to the cycle and raises RecMII directly. Groups are placed
+    most-critical-first on the least-loaded bank; the remaining
+    straight-line operations are then assigned in body order to the bank
+    minimizing (copy count, load), BUG-style.
+
+    Combined with {!Refine} this approximates their iterative scheme; the
+    ablation bench compares it against the paper's RCG greedy method. *)
+
+val partition : machine:Mach.Machine.t -> Ddg.Graph.t -> Assign.t
+(** Covers every register of the DDG. *)
+
+val recurrence_groups : Ddg.Graph.t -> Ir.Vreg.Set.t list
+(** The register groups induced by non-trivial SCCs, most critical
+    first (criticality = total latency of the component's ops). Groups
+    sharing a register are merged. Exposed for tests. *)

@@ -1,0 +1,77 @@
+let per_cluster_loads ~machine ~ops assignment =
+  let m : Mach.Machine.t = machine in
+  let ops_per_cluster = Array.make m.clusters 0 in
+  let copies_per_cluster = Array.make m.clusters 0 in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun op ->
+      let c = Assign.cluster_of_op assignment op in
+      ops_per_cluster.(c) <- ops_per_cluster.(c) + 1;
+      List.iter
+        (fun r ->
+          let b = Assign.bank assignment r in
+          if b <> c && not (Hashtbl.mem seen (Ir.Vreg.id r, c)) then begin
+            Hashtbl.add seen (Ir.Vreg.id r, c) ();
+            copies_per_cluster.(c) <- copies_per_cluster.(c) + 1
+          end)
+        (Ir.Op.uses op))
+    ops;
+  (ops_per_cluster, copies_per_cluster)
+
+let cost ~machine ~loop ~rec_mii ~copy_weight assignment =
+  let ops = Ir.Loop.ops loop in
+  let ops_per_cluster, copies_per_cluster = per_cluster_loads ~machine ~ops assignment in
+  let res = Ddg.Minii.res_mii_clustered ~machine ~ops_per_cluster ~copies_per_cluster in
+  let n_copies = Array.fold_left ( + ) 0 copies_per_cluster in
+  float_of_int (max res rec_mii) +. (copy_weight *. float_of_int n_copies)
+
+let refine ?(max_sweeps = 4) ?(copy_weight = 0.05) ~machine ~loop ~rcg assignment =
+  let m : Mach.Machine.t = machine in
+  if Mach.Machine.is_monolithic m then (assignment, 0)
+  else begin
+    let rec_mii = Ddg.Minii.rec_mii (Ddg.Graph.of_loop ~latency:m.latency loop) in
+    let order = Rcg.Graph.by_weight_desc rcg in
+    let moves = ref 0 in
+    let current = ref assignment in
+    let current_cost = ref (cost ~machine ~loop ~rec_mii ~copy_weight !current) in
+    let sweep () =
+      let improved = ref false in
+      List.iter
+        (fun r ->
+          if Rcg.Graph.pinned rcg r = None then begin
+            let home = Assign.bank !current r in
+            for b = 0 to m.clusters - 1 do
+              if b <> home && Assign.bank !current r = home then begin
+                let candidate = Ir.Vreg.Map.add r b !current in
+                let c = cost ~machine ~loop ~rec_mii ~copy_weight candidate in
+                if c < !current_cost -. 1e-9 then begin
+                  current := candidate;
+                  current_cost := c;
+                  incr moves;
+                  improved := true
+                end
+              end
+            done
+          end)
+        order;
+      !improved
+    in
+    let rec go n = if n > 0 && sweep () then go (n - 1) in
+    go max_sweeps;
+    (!current, !moves)
+  end
+
+let partitioner ?max_sweeps ?copy_weight weights =
+  Driver.Custom
+    (fun machine ddg rcg_opt ->
+      let rcg =
+        match rcg_opt with
+        | Some g -> g
+        | None -> invalid_arg "Refine.partitioner: driver did not supply an RCG"
+      in
+      let base = Greedy.partition ~weights ~banks:machine.Mach.Machine.clusters rcg in
+      (* Rebuild a loop view for the cost model from the DDG's op order;
+         depth and live-outs do not matter to the objective. *)
+      let loop = Ir.Loop.make ~name:"refine" (Ddg.Graph.ops_in_order ddg) in
+      let refined, _ = refine ?max_sweeps ?copy_weight ~machine ~loop ~rcg base in
+      refined)

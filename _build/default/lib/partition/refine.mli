@@ -1,0 +1,42 @@
+(** Iterative partition refinement — the paper's future-work direction.
+
+    Section 6.3 credits Nystrom and Eichenberger's better results partly to
+    iteration and observes that "our greedy algorithm can be thought of as
+    an initial phase before iteration is performed". This module is that
+    second phase: steepest-descent moves of single registers between banks,
+    accepted when they lower a cheap cost model of the clustered loop:
+
+    cost = max(cluster-aware ResMII under the induced copies, RecMII)
+           + copy_weight × copies needed
+
+    RecMII is partition-independent (copies never join recurrences off the
+    critical path in this model), so it is computed once. The move loop
+    visits registers in decreasing RCG node-weight order and stops after a
+    full sweep without improvement or [max_sweeps]. Pinned registers never
+    move. *)
+
+val cost :
+  machine:Mach.Machine.t ->
+  loop:Ir.Loop.t ->
+  rec_mii:int ->
+  copy_weight:float ->
+  Assign.t ->
+  float
+(** The objective described above, exposed for tests. *)
+
+val refine :
+  ?max_sweeps:int ->
+  ?copy_weight:float ->
+  machine:Mach.Machine.t ->
+  loop:Ir.Loop.t ->
+  rcg:Rcg.Graph.t ->
+  Assign.t ->
+  Assign.t * int
+(** [refine ~machine ~loop ~rcg assignment] returns the improved
+    assignment and the number of accepted moves. [max_sweeps] defaults to
+    4, [copy_weight] to 0.05 (one copy is worth a twentieth of an II
+    cycle, enough to break ties without fighting the II term). *)
+
+val partitioner :
+  ?max_sweeps:int -> ?copy_weight:float -> Rcg.Weights.t -> Driver.partitioner
+(** Greedy followed by refinement, packaged for {!Driver.pipeline}. *)

@@ -1,0 +1,79 @@
+let partition ~machine ddg =
+  let m : Mach.Machine.t = machine in
+  let banks = m.clusters in
+  let g = Ddg.Graph.loop_independent ddg in
+  let slack = Sched.Slack.analyze ddg in
+  let location : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let earliest = Hashtbl.create 64 in
+  let pending = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace earliest id 0;
+      Hashtbl.replace pending id (Graphlib.Digraph.in_degree g id))
+    (Graphlib.Digraph.nodes g);
+  let total = Ddg.Graph.size ddg in
+  let scheduled = ref 0 in
+  let cycle = ref 0 in
+  let ready = ref [] in
+  let waiting =
+    ref (List.filter (fun id -> Hashtbl.find pending id = 0) (Graphlib.Digraph.nodes g))
+  in
+  let priority id = (Sched.Slack.alap slack id, Sched.Slack.asap slack id, id) in
+  let slots_used = Array.make banks 0 in
+  while !scheduled < total do
+    Array.fill slots_used 0 banks 0;
+    let now, later = List.partition (fun id -> Hashtbl.find earliest id <= !cycle) !waiting in
+    waiting := later;
+    ready := List.sort (fun a b -> compare (priority a) (priority b)) (!ready @ now);
+    let leftover = ref [] in
+    List.iter
+      (fun id ->
+        let op = Ddg.Graph.op ddg id in
+        let copies_from c =
+          List.length
+            (List.filter
+               (fun r ->
+                 match Hashtbl.find_opt location (Ir.Vreg.id r) with
+                 | Some b -> b <> c
+                 | None -> false)
+               (Ir.Op.uses op))
+        in
+        let candidates =
+          List.init banks (fun c -> c)
+          |> List.filter (fun c -> slots_used.(c) < m.fus_per_cluster)
+          |> List.sort (fun a b ->
+                 compare (copies_from a, slots_used.(a), a) (copies_from b, slots_used.(b), b))
+        in
+        match candidates with
+        | [] -> leftover := id :: !leftover
+        | c :: _ ->
+            slots_used.(c) <- slots_used.(c) + 1;
+            incr scheduled;
+            List.iter (fun d -> Hashtbl.replace location (Ir.Vreg.id d) c) (Ir.Op.defs op);
+            List.iter
+              (fun r ->
+                if not (Hashtbl.mem location (Ir.Vreg.id r)) then
+                  Hashtbl.replace location (Ir.Vreg.id r) c)
+              (Ir.Op.uses op);
+            List.iter
+              (fun (e : Ddg.Dep.t Graphlib.Digraph.edge) ->
+                let lat = Ddg.Dep.latency e.label in
+                Hashtbl.replace earliest e.dst (max (Hashtbl.find earliest e.dst) (!cycle + lat));
+                let p = Hashtbl.find pending e.dst - 1 in
+                Hashtbl.replace pending e.dst p;
+                if p = 0 then waiting := e.dst :: !waiting)
+              (Graphlib.Digraph.succs g id))
+      !ready;
+    ready := List.rev !leftover;
+    incr cycle
+  done;
+  let all_regs =
+    List.fold_left
+      (fun acc op ->
+        List.fold_left (fun s r -> Ir.Vreg.Set.add r s) acc (Ir.Op.defs op @ Ir.Op.uses op))
+      Ir.Vreg.Set.empty (Ddg.Graph.ops_in_order ddg)
+  in
+  Assign.of_list
+    (List.map
+       (fun r -> (r, Option.value ~default:0 (Hashtbl.find_opt location (Ir.Vreg.id r))))
+       (Ir.Vreg.Set.elements all_regs))

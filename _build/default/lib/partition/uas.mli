@@ -1,0 +1,16 @@
+(** UAS — unified assign-and-schedule (Ozer et al., MICRO-31) baseline.
+
+    Reconstruction: partitioning happens *during* list scheduling rather
+    than before it. A cycle-driven scheduler walks the loop body's
+    loop-independent DDG; when an operation becomes ready, the clusters
+    are ranked by (copies its sources would need, current cycle load,
+    index) and the op is placed in the best cluster with a free issue
+    slot this cycle — schedule-time resource checking, UAS's advertised
+    advantage over BUG. The destination register inherits the cluster.
+    The schedule itself is discarded; only the register assignment is
+    kept, so the common evaluation pipeline (copy insertion + clustered
+    modulo rescheduling) stays identical across partitioners. *)
+
+val partition : machine:Mach.Machine.t -> Ddg.Graph.t -> Assign.t
+(** Covers every register of the DDG; invariant sources join their first
+    consumer's cluster. *)

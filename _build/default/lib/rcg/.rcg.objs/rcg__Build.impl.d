@@ -1,0 +1,1 @@
+lib/rcg/build.ml: Ddg Graph Ir List Mach Option Sched Weights

@@ -1,0 +1,1 @@
+lib/rcg/build.mli: Ddg Graph Ir Mach Sched Weights

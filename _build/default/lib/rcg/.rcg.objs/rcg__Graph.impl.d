@@ -1,0 +1,1 @@
+lib/rcg/graph.ml: Array Buffer Float Format Graphlib Hashtbl Int Ir List Printf

@@ -1,0 +1,1 @@
+lib/rcg/graph.mli: Format Ir

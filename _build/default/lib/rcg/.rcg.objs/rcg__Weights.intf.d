@@ -1,0 +1,1 @@
+lib/rcg/weights.mli:

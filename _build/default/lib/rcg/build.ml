@@ -1,0 +1,123 @@
+type source = {
+  instructions : Ir.Op.t list list;
+  flexibility : int -> int;
+  depth : int -> int;
+  density : int -> float;
+}
+
+let op_factor w src (op : Ir.Op.t) =
+  let id = Ir.Op.id op in
+  Weights.contribution w ~flexibility:(src.flexibility id) ~depth:(src.depth id)
+    ~density:(src.density id)
+
+let build ?(weights = Weights.default) src =
+  let g = Graph.create () in
+  let w = weights in
+  List.iter
+    (fun row ->
+      (* Attraction: defs and uses of one operation. *)
+      List.iter
+        (fun op ->
+          List.iter (Graph.add_register g) (Ir.Op.defs op);
+          List.iter (Graph.add_register g) (Ir.Op.uses op);
+          let f = w.Weights.attract_scale *. op_factor w src op in
+          if f <> 0.0 then
+            List.iter
+              (fun d ->
+                List.iter
+                  (fun u ->
+                    if not (Ir.Vreg.equal d u) then begin
+                      Graph.add_edge_weight g d u f;
+                      Graph.add_node_weight g d f;
+                      Graph.add_node_weight g u f
+                    end)
+                  (Ir.Op.uses op))
+              (Ir.Op.defs op))
+        row;
+      (* Repulsion: defs of distinct operations sharing the instruction. *)
+      if w.Weights.repel_scale <> 0.0 then begin
+        let rec pairs = function
+          | [] -> ()
+          | o1 :: rest ->
+              List.iter
+                (fun o2 ->
+                  let f =
+                    w.Weights.repel_scale *. (op_factor w src o1 +. op_factor w src o2) /. 2.0
+                  in
+                  List.iter
+                    (fun d1 ->
+                      List.iter
+                        (fun d2 ->
+                          if not (Ir.Vreg.equal d1 d2) then begin
+                            Graph.add_edge_weight g d1 d2 (-.f);
+                            Graph.add_node_weight g d1 f;
+                            Graph.add_node_weight g d2 f
+                          end)
+                        (Ir.Op.defs o2))
+                    (Ir.Op.defs o1))
+                rest;
+              pairs rest
+        in
+        pairs row
+      end)
+    src.instructions;
+  g
+
+let source_of_kernel ~ddg ~depth (kernel : Sched.Kernel.t) =
+  let slack = Sched.Slack.analyze ddg in
+  let dens =
+    float_of_int (Sched.Kernel.op_count kernel) /. float_of_int (Sched.Kernel.ii kernel)
+  in
+  {
+    instructions = List.map snd (Sched.Kernel.kernel_rows kernel);
+    flexibility = (fun id -> Sched.Slack.flexibility slack id);
+    depth = (fun _ -> depth);
+    density = (fun _ -> dens);
+  }
+
+let source_of_schedule ~ddg ~depth (sched : Sched.Schedule.t) =
+  let slack = Sched.Slack.analyze ddg in
+  let il = max 1 (Sched.Schedule.issue_length sched) in
+  let dens = float_of_int (Sched.Schedule.op_count sched) /. float_of_int il in
+  {
+    instructions = List.map snd (Sched.Schedule.instructions sched);
+    flexibility = (fun id -> Sched.Slack.flexibility slack id);
+    depth = (fun _ -> depth);
+    density = (fun _ -> dens);
+  }
+
+let of_loop ?weights ~machine loop =
+  let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency loop in
+  match Sched.Modulo.ideal ~machine ddg with
+  | None -> invalid_arg "Rcg.Build.of_loop: ideal pipeline failed"
+  | Some outcome ->
+      build ?weights
+        (source_of_kernel ~ddg ~depth:(Ir.Loop.depth loop) outcome.Sched.Modulo.kernel)
+
+let of_func ?weights ~machine func =
+  (* One source per block; merge by building into a fresh graph from the
+     concatenation — flexibility and density are per-block. *)
+  let g = Graph.create () in
+  let weights = Option.value ~default:Weights.default weights in
+  List.iter
+    (fun block ->
+      if Ir.Block.ops block <> [] then begin
+        let ddg = Ddg.Graph.of_block ~latency:machine.Mach.Machine.latency block in
+        let sched = Sched.List_sched.ideal ~machine ddg in
+        let src = source_of_schedule ~ddg ~depth:(Ir.Block.depth block) sched in
+        let sub = build ~weights src in
+        List.iter
+          (fun r ->
+            Graph.add_register g r;
+            Graph.add_node_weight g r (Graph.node_weight sub r))
+          (Graph.registers sub);
+        List.iter
+          (fun r ->
+            List.iter
+              (fun (m, wgt) ->
+                if Ir.Vreg.compare r m < 0 then Graph.add_edge_weight g r m wgt)
+              (Graph.neighbors sub r))
+          (Graph.registers sub)
+      end)
+    (Ir.Func.blocks func);
+  g

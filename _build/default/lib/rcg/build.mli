@@ -1,0 +1,45 @@
+(** RCG construction from an ideal schedule (Section 5).
+
+    Walking the ideal schedule instruction by instruction:
+
+    - every (defined, used) register pair within one operation adds a
+      positive edge — keeping them in one bank avoids a copy;
+    - every pair of registers defined by two different operations of the
+      same instruction adds a negative edge — the ideal schedule proved
+      they can issue simultaneously, which clustered hardware can only do
+      when they sit in different banks.
+
+    Each contribution is the operation's {!Weights.contribution} factor
+    (nesting depth, DDD density, flexibility); the absolute value also
+    accumulates onto the endpoint node weights, ordering greedy
+    placement. *)
+
+type source = {
+  instructions : Ir.Op.t list list;
+      (** rows of the ideal schedule (kernel rows for pipelined loops) *)
+  flexibility : int -> int;  (** op id -> Flexibility(O) >= 1 *)
+  depth : int -> int;        (** op id -> loop-nesting depth *)
+  density : int -> float;    (** op id -> DDD density of its block *)
+}
+
+val build : ?weights:Weights.t -> source -> Graph.t
+
+val source_of_kernel :
+  ddg:Ddg.Graph.t -> depth:int -> Sched.Kernel.t -> source
+(** Ideal-kernel source for a software-pipelined loop: flexibility from
+    {!Sched.Slack} over the loop's DDG, constant depth, density = ops/II. *)
+
+val source_of_schedule :
+  ddg:Ddg.Graph.t -> depth:int -> Sched.Schedule.t -> source
+(** Flat-schedule source for straight-line code: density =
+    ops / issue-length. *)
+
+val of_loop :
+  ?weights:Weights.t -> machine:Mach.Machine.t -> Ir.Loop.t -> Graph.t
+(** Convenience: ideal-pipeline the loop on the monolithic machine of the
+    same width and build the RCG from the resulting kernel. *)
+
+val of_func :
+  ?weights:Weights.t -> machine:Mach.Machine.t -> Ir.Func.t -> Graph.t
+(** Whole-function RCG: each block is ideal-list-scheduled and all blocks
+    contribute to one graph — the global view the paper advertises. *)

@@ -1,0 +1,58 @@
+(** The register component graph (RCG).
+
+    Nodes are symbolic registers; accumulated edge weights encode how
+    strongly two registers want to share a bank (positive) or be split
+    apart (negative). Node weights order the greedy partitioner's
+    placement. [pins] carry hard pre-colouring constraints (Section 4.1's
+    idiosyncratic-architecture support): a pinned register must land in
+    its bank, and infinitely negative edges keep registers apart. *)
+
+type t
+
+val create : unit -> t
+
+val add_register : t -> Ir.Vreg.t -> unit
+(** Idempotent. *)
+
+val add_node_weight : t -> Ir.Vreg.t -> float -> unit
+val add_edge_weight : t -> Ir.Vreg.t -> Ir.Vreg.t -> float -> unit
+(** Accumulate (same-pair contributions sum). Self edges are ignored (a
+    register trivially shares a bank with itself). *)
+
+val pin : t -> Ir.Vreg.t -> int -> unit
+(** Force the register into the given bank. Raises [Invalid_argument] on
+    conflicting pins. *)
+
+val pinned : t -> Ir.Vreg.t -> int option
+
+val keep_apart : t -> Ir.Vreg.t -> Ir.Vreg.t -> unit
+(** Infinitely negative edge: the partitioner never benefits from placing
+    these together (e.g. [A = B op C] with per-bank operand rules). *)
+
+val registers : t -> Ir.Vreg.t list
+(** Ascending by register id. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val node_weight : t -> Ir.Vreg.t -> float
+val edge_weight : t -> Ir.Vreg.t -> Ir.Vreg.t -> float
+val neighbors : t -> Ir.Vreg.t -> (Ir.Vreg.t * float) list
+
+val components : t -> Ir.Vreg.t list list
+(** Connected components — the paper's natural units of bank assignment
+    ("values that are not connected in the graph are good candidates to
+    be assigned to separate register banks"). *)
+
+val mean_positive_edge_weight : t -> float
+(** Average over positive-weight edges; 1.0 when there are none. The
+    partitioner scales its balance penalty by this. *)
+
+val by_weight_desc : t -> Ir.Vreg.t list
+(** Registers in decreasing node-weight order (ties: ascending id) — the
+    greedy placement order of Figure 4. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?assignment:(Ir.Vreg.t -> int option) -> t -> string
+(** Graphviz rendering: solid edges attract (weight as label), dashed
+    edges repel; nodes are coloured by bank when [assignment] is given. *)

@@ -1,0 +1,20 @@
+type t = {
+  depth_base : float;
+  critical_boost : float;
+  attract_scale : float;
+  repel_scale : float;
+  balance : float;
+}
+
+let default =
+  { depth_base = 10.0; critical_boost = 2.0; attract_scale = 1.0; repel_scale = 0.5;
+    balance = 0.5 }
+
+let contribution t ~flexibility ~depth ~density =
+  if flexibility < 1 then invalid_arg "Weights.contribution: flexibility must be >= 1";
+  let base = (t.depth_base ** float_of_int depth) *. density in
+  if flexibility = 1 then base *. t.critical_boost else base /. float_of_int flexibility
+
+let no_repulsion = { default with repel_scale = 0.0 }
+
+let flat = { default with depth_base = 1.0; critical_boost = 1.0 }

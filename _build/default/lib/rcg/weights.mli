@@ -1,0 +1,40 @@
+(** Tunables of the RCG weighting heuristic (Section 5).
+
+    The paper's printed formulas are OCR-garbled; the prose fixes their
+    structure: each operation contributes weight proportional to
+    [depth_base ^ nesting-depth] times the DDD density of its block,
+    boosted when the operation is on a critical path (Flexibility = 1)
+    and otherwise divided by its Flexibility. Def/use pairs within one
+    operation attract (positive edge weight: same bank keeps the operation
+    local); def/def pairs within one instruction of the ideal schedule
+    repel (negative edge weight: different banks let them issue in
+    parallel). The paper calls both its characteristics and weights
+    "ad hoc" and suggests off-line tuning; the ablation bench sweeps
+    these knobs. *)
+
+type t = {
+  depth_base : float;
+      (** multiplier per nesting level; deeper code dominates (default 10) *)
+  critical_boost : float;
+      (** factor applied when Flexibility(O) = 1 (default 2) *)
+  attract_scale : float;  (** scale of def/use same-operation edges (default 1) *)
+  repel_scale : float;    (** scale of def/def same-instruction edges (default 0.5) *)
+  balance : float;
+      (** bank-balance penalty used by the greedy partitioner's
+          "ThisBenefit -= assigned(RB)·…" term, as a fraction of the mean
+          positive edge weight (default 0.5) *)
+}
+
+val default : t
+
+val contribution : t -> flexibility:int -> depth:int -> density:float -> float
+(** The per-operation factor
+    [depth_base^depth · density · (critical_boost when flexibility = 1,
+    else 1/flexibility)]. [flexibility] must be >= 1. *)
+
+val no_repulsion : t
+(** [default] with [repel_scale = 0] — ablation: attraction only. *)
+
+val flat : t
+(** All structural signals off: depth_base 1, no critical boost —
+    ablation: pure connectivity. *)

@@ -1,0 +1,1 @@
+lib/regalloc/alloc.ml: Array Color Interference Ir List Liveness Mach Partition Printf Spill String

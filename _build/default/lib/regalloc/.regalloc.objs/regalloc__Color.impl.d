@@ -1,0 +1,1 @@
+lib/regalloc/color.ml: Hashtbl Interference Ir List Printf

@@ -1,0 +1,1 @@
+lib/regalloc/color.mli: Interference Ir Stdlib

@@ -1,0 +1,1 @@
+lib/regalloc/cyclic.ml: Hashtbl Int List Option Printf

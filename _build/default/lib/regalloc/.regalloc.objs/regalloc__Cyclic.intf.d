@@ -1,0 +1,1 @@
+lib/regalloc/cyclic.mli:

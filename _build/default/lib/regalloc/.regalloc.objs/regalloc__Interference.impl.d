@@ -1,0 +1,1 @@
+lib/regalloc/interference.ml: Array Format Hashtbl Ir List Liveness Option

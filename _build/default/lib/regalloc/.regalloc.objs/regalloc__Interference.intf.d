@@ -1,0 +1,1 @@
+lib/regalloc/interference.mli: Format Ir

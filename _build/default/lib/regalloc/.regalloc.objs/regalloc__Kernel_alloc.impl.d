@@ -1,0 +1,1 @@
+lib/regalloc/kernel_alloc.ml: Array Cyclic Hashtbl Ir List Sched

@@ -1,0 +1,1 @@
+lib/regalloc/kernel_alloc.mli: Ir Sched

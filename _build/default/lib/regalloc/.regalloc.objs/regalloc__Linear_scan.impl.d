@@ -1,0 +1,1 @@
+lib/regalloc/linear_scan.ml: Array Hashtbl Int Ir List Option

@@ -1,0 +1,1 @@
+lib/regalloc/linear_scan.mli: Ir

@@ -1,0 +1,1 @@
+lib/regalloc/liveness.ml: Array Hashtbl Ir List Printf

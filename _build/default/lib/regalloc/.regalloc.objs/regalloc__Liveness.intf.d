@@ -1,0 +1,1 @@
+lib/regalloc/liveness.mli: Ir

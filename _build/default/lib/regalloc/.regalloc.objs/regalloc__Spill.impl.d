@@ -1,0 +1,1 @@
+lib/regalloc/spill.ml: Ir List Mach Printf

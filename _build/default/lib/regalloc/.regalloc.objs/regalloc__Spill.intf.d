@@ -1,0 +1,1 @@
+lib/regalloc/spill.mli: Ir

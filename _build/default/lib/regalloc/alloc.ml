@@ -1,0 +1,117 @@
+type t = {
+  code : Ir.Op.t list;
+  mapping : (int * int) Ir.Vreg.Map.t;
+  assignment : Partition.Assign.t;
+  spill_count : int;
+  rounds : int;
+  pressure : int array;
+  live_out : Ir.Vreg.Set.t;
+}
+
+let code_registers ops =
+  List.fold_left
+    (fun acc op ->
+      List.fold_left (fun s r -> Ir.Vreg.Set.add r s) acc (Ir.Op.defs op @ Ir.Op.uses op))
+    Ir.Vreg.Set.empty ops
+
+let allocate ?(max_rounds = 8) ~machine ~assignment ~live_out ops =
+  let m : Mach.Machine.t = machine in
+  let banks = m.clusters in
+  let k = m.regs_per_bank in
+  let missing =
+    Ir.Vreg.Set.filter
+      (fun r -> Partition.Assign.bank_opt assignment r = None)
+      (code_registers ops)
+  in
+  if not (Ir.Vreg.Set.is_empty missing) then
+    Error
+      (Printf.sprintf "Alloc.allocate: unassigned registers: %s"
+         (String.concat ", "
+            (List.map Ir.Vreg.to_string (Ir.Vreg.Set.elements missing))))
+  else begin
+    let rec round ops assignment ~live_out spill_count n =
+      if n > max_rounds then
+        Error (Printf.sprintf "Alloc.allocate: still spilling after %d rounds" max_rounds)
+      else begin
+        let pressure = Array.make banks 0 in
+        let results =
+          List.init banks (fun b ->
+              let keep r = Partition.Assign.bank_opt assignment r = Some b in
+              let g = Interference.build_filtered ~keep ops ~live_out in
+              pressure.(b) <- Interference.max_clique_lower_bound g;
+              (b, Color.color ~k g))
+        in
+        let spilled = List.concat_map (fun (_, (r : Color.result)) -> r.spilled) results in
+        if spilled = [] then begin
+          let mapping =
+            List.fold_left
+              (fun acc (b, (r : Color.result)) ->
+                Ir.Vreg.Map.fold
+                  (fun reg c acc -> Ir.Vreg.Map.add reg (b, c) acc)
+                  r.Color.colors acc)
+              Ir.Vreg.Map.empty results
+          in
+          Ok { code = ops; mapping; assignment; spill_count; rounds = n; pressure; live_out }
+        end
+        else begin
+          let fresh_vreg =
+            1 + Ir.Vreg.Set.fold (fun r acc -> max acc (Ir.Vreg.id r)) (code_registers ops) 0
+          in
+          let fresh_op = 1 + List.fold_left (fun acc op -> max acc (Ir.Op.id op)) 0 ops in
+          let rw = Spill.rewrite ~spilled ~fresh_vreg ~fresh_op ops in
+          let assignment =
+            List.fold_left
+              (fun acc (tmp, orig) ->
+                Ir.Vreg.Map.add tmp (Partition.Assign.bank acc orig) acc)
+              assignment rw.Spill.temps
+          in
+          (* A spilled register now lives in its memory slot: it must not
+             stay live-out or it would be "spilled" again every round. *)
+          let live_out =
+            List.fold_left (fun acc r -> Ir.Vreg.Set.remove r acc) live_out spilled
+          in
+          round rw.Spill.ops assignment ~live_out
+            (spill_count + List.length spilled)
+            (n + 1)
+        end
+      end
+    in
+    round ops assignment ~live_out 0 1
+  end
+
+let allocate_loop ?max_rounds ~machine ~assignment loop =
+  allocate ?max_rounds ~machine ~assignment
+    ~live_out:(Liveness.loop_live_out loop)
+    (Ir.Loop.ops loop)
+
+let check ~machine t =
+  let m : Mach.Machine.t = machine in
+  let regs = code_registers t.code in
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* () =
+    Ir.Vreg.Set.fold
+      (fun r acc ->
+        let* () = acc in
+        match Ir.Vreg.Map.find_opt r t.mapping with
+        | None -> Error (Printf.sprintf "register %s unmapped" (Ir.Vreg.to_string r))
+        | Some (b, c) ->
+            if not (Mach.Machine.valid_cluster m b) then
+              Error (Printf.sprintf "register %s in invalid bank %d" (Ir.Vreg.to_string r) b)
+            else if c < 0 || c >= m.regs_per_bank then
+              Error (Printf.sprintf "register %s index %d out of range" (Ir.Vreg.to_string r) c)
+            else Ok ())
+      regs (Ok ())
+  in
+  (* Interference re-check per bank on the final code. *)
+  let live_out = t.live_out in
+  List.fold_left
+    (fun acc b ->
+      let* () = acc in
+      let keep r = match Ir.Vreg.Map.find_opt r t.mapping with Some (b', _) -> b' = b | None -> false in
+      let g = Interference.build_filtered ~keep t.code ~live_out in
+      Color.check g
+        (Ir.Vreg.Map.filter_map
+           (fun _ (b', c) -> if b' = b then Some c else None)
+           t.mapping))
+    (Ok ())
+    (List.init m.clusters (fun b -> b))

@@ -1,0 +1,47 @@
+(** Per-bank register allocation — step 5 of the paper's framework.
+
+    "With functional units specified and registers allocated to banks,
+    perform standard Chaitin/Briggs graph colouring register assignment
+    for each register bank." Each bank's registers are coloured
+    independently against that bank's [regs_per_bank] architectural
+    registers; actual spills trigger the Chaitin spill-everywhere rewrite
+    (spill temporaries stay in their register's bank) and another round.
+
+    [allocate] works on any straight-line op list; [allocate_loop] feeds
+    a loop body with its wrap-around live-out. Allocating a software
+    pipeline's overlapped kernel requires modulo variable expansion
+    first — pass the ops of [Sched.Expand.flatten]. *)
+
+type t = {
+  code : Ir.Op.t list;  (** input code, plus spill code if any round spilled *)
+  mapping : (int * int) Ir.Vreg.Map.t;
+      (** register -> (bank, architectural register index within bank) *)
+  assignment : Partition.Assign.t;  (** extended to spill temporaries *)
+  spill_count : int;    (** total registers actually spilled *)
+  rounds : int;         (** colouring rounds until spill-free *)
+  pressure : int array; (** per-bank max simultaneous live registers *)
+  live_out : Ir.Vreg.Set.t;  (** the live-out the allocation ran with *)
+}
+
+val allocate :
+  ?max_rounds:int ->
+  machine:Mach.Machine.t ->
+  assignment:Partition.Assign.t ->
+  live_out:Ir.Vreg.Set.t ->
+  Ir.Op.t list ->
+  (t, string) result
+(** [max_rounds] defaults to 8; exceeding it returns [Error] (a bank
+    smaller than the code's irreducible pressure). The assignment must
+    cover every register of the code. *)
+
+val allocate_loop :
+  ?max_rounds:int ->
+  machine:Mach.Machine.t ->
+  assignment:Partition.Assign.t ->
+  Ir.Loop.t ->
+  (t, string) result
+
+val check : machine:Mach.Machine.t -> t -> (unit, string) result
+(** Re-verify: every register mapped, banks within range, register
+    indices within [regs_per_bank], and no two registers of the same bank
+    with overlapping live ranges sharing an index. *)

@@ -1,0 +1,82 @@
+type result = { colors : int Ir.Vreg.Map.t; spilled : Ir.Vreg.t list }
+
+let default_cost g r =
+  let d = max 1 (Interference.degree g r) in
+  float_of_int (Interference.occurrences g r) /. float_of_int d
+
+let color ?cost ?(precolored = Ir.Vreg.Map.empty) ~k g =
+  if k < 1 then invalid_arg "Color.color: k must be >= 1";
+  Ir.Vreg.Map.iter
+    (fun r c ->
+      if c < 0 || c >= k then
+        invalid_arg (Printf.sprintf "Color.color: precolour %d out of range for %s" c
+                       (Ir.Vreg.to_string r)))
+    precolored;
+  let cost = match cost with Some f -> f | None -> default_cost g in
+  let nodes = List.filter (fun r -> not (Ir.Vreg.Map.mem r precolored)) (Interference.registers g) in
+  let removed = Hashtbl.create 64 in
+  let live_degree r =
+    List.length
+      (List.filter (fun m -> not (Hashtbl.mem removed (Ir.Vreg.id m))) (Interference.neighbors g r))
+  in
+  let stack = ref [] in
+  let remaining = ref nodes in
+  while !remaining <> [] do
+    let low, high =
+      List.partition (fun r -> live_degree r < k) !remaining
+    in
+    match low with
+    | r :: _ ->
+        Hashtbl.replace removed (Ir.Vreg.id r) ();
+        stack := r :: !stack;
+        remaining := List.filter (fun m -> not (Ir.Vreg.equal m r)) !remaining
+    | [] ->
+        (* Optimistic push of the cheapest spill candidate. *)
+        let victim =
+          List.fold_left
+            (fun best r ->
+              match best with
+              | None -> Some r
+              | Some b -> if cost r < cost b then Some r else best)
+            None high
+        in
+        (match victim with
+        | Some r ->
+            Hashtbl.replace removed (Ir.Vreg.id r) ();
+            stack := r :: !stack;
+            remaining := List.filter (fun m -> not (Ir.Vreg.equal m r)) !remaining
+        | None -> assert false)
+  done;
+  (* Select phase. *)
+  let colors = ref precolored in
+  let spilled = ref [] in
+  List.iter
+    (fun r ->
+      let used =
+        List.filter_map (fun m -> Ir.Vreg.Map.find_opt m !colors) (Interference.neighbors g r)
+      in
+      let rec first_free c = if List.mem c used then first_free (c + 1) else c in
+      let c = first_free 0 in
+      if c < k then colors := Ir.Vreg.Map.add r c !colors else spilled := r :: !spilled)
+    !stack;
+  { colors = !colors; spilled = List.rev !spilled }
+
+let check g colors =
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | Error _ as e -> e
+      | Ok () ->
+          List.fold_left
+            (fun acc m ->
+              match acc with
+              | Error _ as e -> e
+              | Ok () -> (
+                  match (Ir.Vreg.Map.find_opt r colors, Ir.Vreg.Map.find_opt m colors) with
+                  | Some cr, Some cm when cr = cm ->
+                      Error
+                        (Printf.sprintf "%s and %s interfere but share colour %d"
+                           (Ir.Vreg.to_string r) (Ir.Vreg.to_string m) cr)
+                  | _ -> Ok ()))
+            (Ok ()) (Interference.neighbors g r))
+    (Ok ()) (Interference.registers g)

@@ -1,0 +1,73 @@
+type arc = { id : int; start : int; len : int }
+
+let normalize ~circumference a =
+  { a with start = ((a.start mod circumference) + circumference) mod circumference }
+
+let overlaps ~circumference a b =
+  (* arcs [s, s+len) on the circle; test pairwise slot intersection *)
+  if a.len = 0 || b.len = 0 then false
+  else if a.len >= circumference || b.len >= circumference then true
+  else begin
+    (* distance from a.start to b.start going forward *)
+    let d = ((b.start - a.start) mod circumference + circumference) mod circumference in
+    d < a.len || circumference - d < b.len
+  end
+
+let color ~circumference arcs =
+  if circumference <= 0 then invalid_arg "Cyclic.color: circumference must be positive";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      if a.len > circumference then
+        invalid_arg
+          (Printf.sprintf "Cyclic.color: arc %d longer (%d) than the circle (%d)" a.id a.len
+             circumference);
+      if a.len < 0 then invalid_arg "Cyclic.color: negative length";
+      if Hashtbl.mem seen a.id then invalid_arg "Cyclic.color: duplicate arc id";
+      Hashtbl.add seen a.id ())
+    arcs;
+  let arcs = List.map (normalize ~circumference) arcs in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.start b.start in
+        if c <> 0 then c else Int.compare b.len a.len)
+      (List.filter (fun a -> a.len > 0) arcs)
+  in
+  let by_color : (int, arc list) Hashtbl.t = Hashtbl.create 16 in
+  let assignment = ref [] in
+  let n_colors = ref 0 in
+  List.iter
+    (fun a ->
+      let fits c =
+        List.for_all
+          (fun b -> not (overlaps ~circumference a b))
+          (Option.value ~default:[] (Hashtbl.find_opt by_color c))
+      in
+      let rec first c = if fits c then c else first (c + 1) in
+      let c = first 0 in
+      Hashtbl.replace by_color c (a :: Option.value ~default:[] (Hashtbl.find_opt by_color c));
+      assignment := (a.id, c) :: !assignment;
+      if c + 1 > !n_colors then n_colors := c + 1)
+    sorted;
+  (* zero-length arcs take colour 0 by convention *)
+  List.iter
+    (fun a -> if a.len = 0 then assignment := (a.id, 0) :: !assignment)
+    arcs;
+  (List.rev !assignment, !n_colors)
+
+let check ~circumference arcs coloring =
+  let arcs = List.map (normalize ~circumference) arcs in
+  let color_of id = List.assoc_opt id coloring in
+  let rec pairs = function
+    | [] -> true
+    | a :: rest ->
+        List.for_all
+          (fun b ->
+            (not (overlaps ~circumference a b))
+            || color_of a.id <> color_of b.id
+            || color_of a.id = None)
+          rest
+        && pairs rest
+  in
+  pairs arcs

@@ -1,0 +1,24 @@
+(** Circular-arc interval colouring.
+
+    A software-pipelined kernel repeats every II cycles; after modulo
+    variable expansion by factor u, each value's lifetime is an arc on a
+    circle of circumference u·II, and the registers a bank must provide
+    equal the number of colours needed for the arc family. First-fit in
+    start order is the classic heuristic (optimal for interval graphs;
+    within one colour of the load bound here in practice). *)
+
+type arc = { id : int; start : int; len : int }
+(** An occupied span [start, start+len) taken modulo the circumference.
+    [len] may not exceed the circumference; [len = 0] arcs take no
+    colour. *)
+
+val color :
+  circumference:int -> arc list -> (int * int) list * int
+(** [color ~circumference arcs] assigns each arc id a colour such that
+    same-coloured arcs never overlap on the circle; returns the
+    (id, colour) pairs and the number of colours used. Raises
+    [Invalid_argument] on a non-positive circumference, duplicate ids, or
+    an arc longer than the circle. *)
+
+val check : circumference:int -> arc list -> (int * int) list -> bool
+(** Do the coloured arcs really avoid overlap? For tests. *)

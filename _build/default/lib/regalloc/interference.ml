@@ -1,0 +1,87 @@
+type t = {
+  adj : (int, Ir.Vreg.Set.t) Hashtbl.t;
+  regs : (int, Ir.Vreg.t) Hashtbl.t;
+  occ : (int, int) Hashtbl.t;
+  pressure : int;
+}
+
+let add_node t r =
+  let id = Ir.Vreg.id r in
+  if not (Hashtbl.mem t.adj id) then Hashtbl.replace t.adj id Ir.Vreg.Set.empty;
+  Hashtbl.replace t.regs id r
+
+let add_edge t a b =
+  if not (Ir.Vreg.equal a b) then begin
+    add_node t a;
+    add_node t b;
+    Hashtbl.replace t.adj (Ir.Vreg.id a) (Ir.Vreg.Set.add b (Hashtbl.find t.adj (Ir.Vreg.id a)));
+    Hashtbl.replace t.adj (Ir.Vreg.id b) (Ir.Vreg.Set.add a (Hashtbl.find t.adj (Ir.Vreg.id b)))
+  end
+
+let bump_occ t r =
+  let id = Ir.Vreg.id r in
+  Hashtbl.replace t.occ id (1 + Option.value ~default:0 (Hashtbl.find_opt t.occ id))
+
+let build_filtered ~keep ops ~live_out =
+  let t = { adj = Hashtbl.create 64; regs = Hashtbl.create 64; occ = Hashtbl.create 64;
+            pressure = 0 }
+  in
+  let live_before = Liveness.backward ops ~live_out in
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let live_after i = if i + 1 < n then live_before.(i + 1) else live_out in
+  Ir.Vreg.Set.iter (fun r -> if keep r then add_node t r) live_out;
+  let pressure = ref 0 in
+  for i = 0 to n - 1 do
+    let op = arr.(i) in
+    List.iter (fun r -> if keep r then (add_node t r; bump_occ t r)) (Ir.Op.defs op);
+    List.iter (fun r -> if keep r then (add_node t r; bump_occ t r)) (Ir.Op.uses op);
+    let after = Ir.Vreg.Set.filter keep (live_after i) in
+    pressure := max !pressure (Ir.Vreg.Set.cardinal (Ir.Vreg.Set.filter keep live_before.(i)));
+    let exempt =
+      if Ir.Op.is_copy op then
+        match Ir.Op.srcs op with s :: _ -> Some s | [] -> None
+      else None
+    in
+    List.iter
+      (fun d ->
+        if keep d then
+          Ir.Vreg.Set.iter
+            (fun l ->
+              let is_exempt = match exempt with Some s -> Ir.Vreg.equal s l | None -> false in
+              if not is_exempt then add_edge t d l)
+            after)
+      (Ir.Op.defs op)
+  done;
+  { t with pressure = !pressure }
+
+let build ops ~live_out = build_filtered ~keep:(fun _ -> true) ops ~live_out
+
+let registers t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.regs [] |> List.sort Ir.Vreg.compare
+
+let interferes t a b =
+  match Hashtbl.find_opt t.adj (Ir.Vreg.id a) with
+  | Some s -> Ir.Vreg.Set.mem b s
+  | None -> false
+
+let neighbors t r =
+  match Hashtbl.find_opt t.adj (Ir.Vreg.id r) with
+  | Some s -> Ir.Vreg.Set.elements s
+  | None -> []
+
+let degree t r = List.length (neighbors t r)
+
+let occurrences t r = Option.value ~default:0 (Hashtbl.find_opt t.occ (Ir.Vreg.id r))
+
+let max_clique_lower_bound t = t.pressure
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>interference (%d nodes):@," (Hashtbl.length t.adj);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %s:" (Ir.Vreg.to_string r);
+      List.iter (fun m -> Format.fprintf ppf " %s" (Ir.Vreg.to_string m)) (neighbors t r);
+      Format.fprintf ppf "@,")
+    (registers t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,33 @@
+(** Interference graphs for graph-colouring register allocation.
+
+    Chaitin's construction: walking the code backwards, each definition
+    interferes with every register live after it (except itself, and —
+    for copies — except the copy source, enabling coalescing-friendly
+    colourings). The graph also records def/use counts for spill-cost
+    estimation. *)
+
+type t
+
+val build : Ir.Op.t list -> live_out:Ir.Vreg.Set.t -> t
+(** Straight-line or loop-body code (pass the appropriate live-out, see
+    {!Liveness.loop_live_out}). Registers live-in but never mentioned by
+    the ops still appear as nodes when they occur in [live_out]. *)
+
+val build_filtered :
+  keep:(Ir.Vreg.t -> bool) -> Ir.Op.t list -> live_out:Ir.Vreg.Set.t -> t
+(** Restrict the graph to registers satisfying [keep] — the per-bank view
+    used by partitioned allocation (registers in other banks neither
+    appear nor interfere). *)
+
+val registers : t -> Ir.Vreg.t list
+val interferes : t -> Ir.Vreg.t -> Ir.Vreg.t -> bool
+val neighbors : t -> Ir.Vreg.t -> Ir.Vreg.t list
+val degree : t -> Ir.Vreg.t -> int
+val occurrences : t -> Ir.Vreg.t -> int
+(** Static def+use count — the numerator of Chaitin's spill cost. *)
+
+val max_clique_lower_bound : t -> int
+(** Max over program points of simultaneously live kept registers — a
+    lower bound on the chromatic number (exact register pressure). *)
+
+val pp : Format.formatter -> t -> unit

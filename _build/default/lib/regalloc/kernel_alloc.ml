@@ -1,0 +1,48 @@
+type t = {
+  mve_factor : int;
+  per_bank : int array;
+  total : int;
+  colors : (Ir.Vreg.t * int * int) list;
+}
+
+let requirements ~kernel ~loop ~banks ~bank_of =
+  let ii = Sched.Kernel.ii kernel in
+  let u = Sched.Expand.mve_factor ~kernel ~loop in
+  let circumference = u * ii in
+  let lifetimes = Sched.Pressure.lifetimes ~kernel ~loop in
+  let per_bank = Array.make banks 0 in
+  let colors = ref [] in
+  for b = 0 to banks - 1 do
+    (* One arc per MVE instance of each lifetime homed in this bank. *)
+    let arcs = ref [] in
+    let arc_reg : (int, Ir.Vreg.t) Hashtbl.t = Hashtbl.create 32 in
+    let next = ref 0 in
+    List.iter
+      (fun (r, c, e) ->
+        if bank_of r = b then
+          for k = 0 to u - 1 do
+            let id = !next in
+            incr next;
+            Hashtbl.replace arc_reg id r;
+            arcs :=
+              { Cyclic.id; start = (c + (k * ii)) mod circumference;
+                len = min (e - c) circumference }
+              :: !arcs
+          done)
+      lifetimes;
+    let coloring, n = Cyclic.color ~circumference (List.rev !arcs) in
+    (* Record the colour of each register's instance 0. *)
+    List.iter
+      (fun (id, col) ->
+        if id mod u = 0 then colors := (Hashtbl.find arc_reg id, b, col) :: !colors)
+      coloring;
+    let invariants =
+      Ir.Vreg.Set.cardinal
+        (Ir.Vreg.Set.filter (fun r -> bank_of r = b) (Ir.Loop.invariants loop))
+    in
+    per_bank.(b) <- n + invariants
+  done;
+  { mve_factor = u; per_bank; total = Array.fold_left ( + ) 0 per_bank;
+    colors = List.rev !colors }
+
+let fits t ~regs_per_bank = Array.for_all (fun n -> n <= regs_per_bank) t.per_bank

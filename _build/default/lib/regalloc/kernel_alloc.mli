@@ -1,0 +1,30 @@
+(** Register requirements of a software-pipelined kernel.
+
+    Combines {!Sched.Pressure} lifetimes with modulo variable expansion
+    and {!Cyclic} colouring: unroll the kernel by the MVE factor u, place
+    each value instance's lifetime as an arc on the u·II-cycle steady
+    state, colour per bank, and add one dedicated register per
+    loop-invariant. The result is the number of architectural registers a
+    bank actually needs to run the pipeline without spilling — the
+    quantity to compare against the machine's [regs_per_bank], and the
+    metric by which Swing scheduling beats Rau's. *)
+
+type t = {
+  mve_factor : int;
+  per_bank : int array;      (** registers needed in each bank *)
+  total : int;               (** Σ per_bank *)
+  colors : (Ir.Vreg.t * int * int) list;
+      (** (register, bank, register index) for each value instance-class *)
+}
+
+val requirements :
+  kernel:Sched.Kernel.t ->
+  loop:Ir.Loop.t ->
+  banks:int ->
+  bank_of:(Ir.Vreg.t -> int) ->
+  t
+(** [bank_of] maps every register of the loop to its bank (use a
+    constant function for monolithic analyses). *)
+
+val fits : t -> regs_per_bank:int -> bool
+(** Does every bank fit in the architectural file? *)

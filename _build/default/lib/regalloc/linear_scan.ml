@@ -1,0 +1,123 @@
+type interval = { reg : Ir.Vreg.t; start : int; stop : int; starts_with_def : bool }
+
+type result = {
+  colors : int Ir.Vreg.Map.t;
+  spilled : Ir.Vreg.t list;
+  intervals : interval list;
+  used : int;
+}
+
+let intervals_of ops ~live_out =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let first_def = Hashtbl.create 32 in
+  let last_touch = Hashtbl.create 32 in
+  let regs = Hashtbl.create 32 in
+  Array.iteri
+    (fun idx op ->
+      List.iter
+        (fun d ->
+          Hashtbl.replace regs (Ir.Vreg.id d) d;
+          if not (Hashtbl.mem first_def (Ir.Vreg.id d)) then
+            Hashtbl.replace first_def (Ir.Vreg.id d) idx;
+          Hashtbl.replace last_touch (Ir.Vreg.id d) idx)
+        (Ir.Op.defs op);
+      List.iter
+        (fun u ->
+          Hashtbl.replace regs (Ir.Vreg.id u) u;
+          Hashtbl.replace last_touch (Ir.Vreg.id u) idx)
+        (Ir.Op.uses op))
+    arr;
+  let interval_of _ r =
+    let id = Ir.Vreg.id r in
+    let live_in =
+      (* used before any def — including by the defining op itself
+         (read-modify-write reads the incoming value) — or never defined *)
+      match Hashtbl.find_opt first_def id with
+      | None -> true
+      | Some fd ->
+          Array.exists
+            (fun op -> List.exists (Ir.Vreg.equal r) (Ir.Op.uses op))
+            (Array.sub arr 0 (min n (fd + 1)))
+    in
+    let start = if live_in then 0 else Hashtbl.find first_def id in
+    let stop =
+      if Ir.Vreg.Set.mem r live_out then n
+      else Option.value ~default:start (Hashtbl.find_opt last_touch id)
+    in
+    { reg = r; start; stop; starts_with_def = not live_in }
+  in
+  Hashtbl.fold (fun id r acc -> interval_of id r :: acc) regs []
+  |> List.sort (fun a b ->
+         let c = Int.compare a.start b.start in
+         if c <> 0 then c else Ir.Vreg.compare a.reg b.reg)
+
+let allocate ~k ops ~live_out =
+  if k < 1 then invalid_arg "Linear_scan.allocate: k must be >= 1";
+  let intervals = intervals_of ops ~live_out in
+  let free = ref (List.init k (fun c -> c)) in
+  let active = ref [] in (* (interval, color), sorted by stop asc *)
+  let colors = ref Ir.Vreg.Map.empty in
+  let spilled = ref [] in
+  let used = ref 0 in
+  let insert_active entry =
+    let rec ins = function
+      | [] -> [ entry ]
+      | (i, _) :: _ as l when (fst entry).stop <= i.stop -> entry :: l
+      | e :: rest -> e :: ins rest
+    in
+    active := ins !active
+  in
+  List.iter
+    (fun iv ->
+      (* Expire intervals ending at or before this start: positions are
+         op indices and an op reads its sources before writing its
+         destination, so a last use at p and a def at p may share a
+         register. *)
+      let expired, alive =
+        List.partition
+          (fun (i, _) ->
+            if iv.starts_with_def then i.stop <= iv.start else i.stop < iv.start)
+          !active
+      in
+      active := alive;
+      List.iter (fun (_, c) -> free := c :: !free) expired;
+      match !free with
+      | c :: rest ->
+          free := rest;
+          colors := Ir.Vreg.Map.add iv.reg c !colors;
+          used := max !used (c + 1);
+          insert_active (iv, c)
+      | [] -> (
+          (* spill the interval ending furthest away *)
+          match List.rev !active with
+          | (victim, c) :: _ when victim.stop > iv.stop ->
+              active := List.filter (fun (i, _) -> not (Ir.Vreg.equal i.reg victim.reg)) !active;
+              colors := Ir.Vreg.Map.remove victim.reg !colors;
+              spilled := victim.reg :: !spilled;
+              colors := Ir.Vreg.Map.add iv.reg c !colors;
+              insert_active (iv, c)
+          | _ -> spilled := iv.reg :: !spilled))
+    intervals;
+  { colors = !colors; spilled = List.rev !spilled; intervals; used = !used }
+
+let check r =
+  let assigned =
+    List.filter_map
+      (fun iv ->
+        Option.map (fun c -> (iv, c)) (Ir.Vreg.Map.find_opt iv.reg r.colors))
+      r.intervals
+  in
+  let rec pairs = function
+    | [] -> true
+    | (a, ca) :: rest ->
+        List.for_all
+          (fun (b, cb) ->
+            let disjoint a b =
+              a.stop < b.start || (a.stop = b.start && b.starts_with_def)
+            in
+            ca <> cb || disjoint a b || disjoint b a)
+          rest
+        && pairs rest
+  in
+  pairs assigned

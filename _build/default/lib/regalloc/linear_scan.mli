@@ -1,0 +1,32 @@
+(** Linear-scan register allocation (Poletto & Sarkar), as a fast
+    baseline against Chaitin/Briggs.
+
+    Live ranges are approximated by one contiguous interval per register
+    — from its first definition (or position 0 when live-in) to its last
+    use (or the end when live-out). Intervals are walked in start order
+    with an active set; when all [k] registers are busy the interval
+    ending furthest away is spilled. Coarser than colouring (interval
+    holes are wasted) but one pass; the test suite checks it never beats
+    Chaitin/Briggs on register count yet always produces a valid
+    assignment. *)
+
+type interval = { reg : Ir.Vreg.t; start : int; stop : int; starts_with_def : bool }
+(** Positions are op indices; the value is live in [\[start, stop\]].
+    [starts_with_def] distinguishes values born at [start] (whose
+    register may be shared with one dying there — reads precede writes
+    within an op) from live-in values. *)
+
+type result = {
+  colors : int Ir.Vreg.Map.t;
+  spilled : Ir.Vreg.t list;
+  intervals : interval list;   (** in start order, for inspection *)
+  used : int;                  (** registers actually used *)
+}
+
+val intervals_of : Ir.Op.t list -> live_out:Ir.Vreg.Set.t -> interval list
+
+val allocate : k:int -> Ir.Op.t list -> live_out:Ir.Vreg.Set.t -> result
+(** Raises [Invalid_argument] when [k < 1]. *)
+
+val check : result -> bool
+(** No two same-coloured intervals overlap. *)

@@ -1,0 +1,75 @@
+let def_use op =
+  let defs = List.fold_left (fun s r -> Ir.Vreg.Set.add r s) Ir.Vreg.Set.empty (Ir.Op.defs op) in
+  let uses = List.fold_left (fun s r -> Ir.Vreg.Set.add r s) Ir.Vreg.Set.empty (Ir.Op.uses op) in
+  (defs, uses)
+
+let backward ops ~live_out =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let live = Array.make (n + 1) live_out in
+  for i = n - 1 downto 0 do
+    let defs, uses = def_use arr.(i) in
+    live.(i) <- Ir.Vreg.Set.union uses (Ir.Vreg.Set.diff live.(i + 1) defs)
+  done;
+  Array.sub live 0 n
+
+let live_in ops ~live_out =
+  match backward ops ~live_out with
+  | [||] -> live_out
+  | arr -> arr.(0)
+
+let loop_live_out loop =
+  let ops = Ir.Loop.ops loop in
+  (* Carried registers: used at q with no def strictly before q but
+     defined somewhere in the body. *)
+  let arr = Array.of_list ops in
+  let defined_before = Hashtbl.create 32 in
+  let carried = ref Ir.Vreg.Set.empty in
+  let defined_anywhere =
+    List.fold_left
+      (fun s op -> List.fold_left (fun s d -> Ir.Vreg.Set.add d s) s (Ir.Op.defs op))
+      Ir.Vreg.Set.empty ops
+  in
+  Array.iter
+    (fun op ->
+      List.iter
+        (fun u ->
+          if
+            Ir.Vreg.Set.mem u defined_anywhere
+            && not (Hashtbl.mem defined_before (Ir.Vreg.id u))
+          then carried := Ir.Vreg.Set.add u !carried)
+        (Ir.Op.uses op);
+      List.iter (fun d -> Hashtbl.replace defined_before (Ir.Vreg.id d) ()) (Ir.Op.defs op))
+    arr;
+  Ir.Vreg.Set.union
+    (Ir.Loop.live_out loop)
+    (Ir.Vreg.Set.union !carried (Ir.Loop.invariants loop))
+
+let func_live_out func =
+  let table : (string, Ir.Vreg.Set.t) Hashtbl.t = Hashtbl.create 16 in
+  let blocks = Ir.Func.blocks func in
+  List.iter (fun b -> Hashtbl.replace table (Ir.Block.label b) Ir.Vreg.Set.empty) blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        let label = Ir.Block.label b in
+        let out =
+          List.fold_left
+            (fun acc succ ->
+              let succ_block = Ir.Func.block func succ in
+              let succ_out = Hashtbl.find table succ in
+              Ir.Vreg.Set.union acc (live_in (Ir.Block.ops succ_block) ~live_out:succ_out))
+            Ir.Vreg.Set.empty (Ir.Func.successors func label)
+        in
+        if not (Ir.Vreg.Set.equal out (Hashtbl.find table label)) then begin
+          Hashtbl.replace table label out;
+          changed := true
+        end)
+      blocks
+  done;
+  fun label ->
+    match Hashtbl.find_opt table label with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Liveness.func_live_out: unknown block %s" label)

@@ -1,0 +1,67 @@
+type rewrite_result = {
+  ops : Ir.Op.t list;
+  next_vreg : int;
+  next_op : int;
+  temps : (Ir.Vreg.t * Ir.Vreg.t) list;
+}
+
+let slot_base r = Printf.sprintf "spill.%d" (Ir.Vreg.id r)
+
+let rewrite ~spilled ~fresh_vreg ~fresh_op ops =
+  let is_spilled r = List.exists (Ir.Vreg.equal r) spilled in
+  let next_vreg = ref fresh_vreg in
+  let next_op = ref fresh_op in
+  let temps = ref [] in
+  let fresh_like r =
+    let v =
+      Ir.Vreg.make
+        ~name:(Printf.sprintf "%s.t%d" (Ir.Vreg.to_string r) !next_vreg)
+        ~id:!next_vreg ~cls:(Ir.Vreg.cls r) ()
+    in
+    incr next_vreg;
+    temps := (v, r) :: !temps;
+    v
+  in
+  let emit_load r tmp =
+    let op =
+      Ir.Op.make ~dst:tmp ~addr:(Ir.Addr.scalar (slot_base r)) ~id:!next_op
+        ~opcode:Mach.Opcode.Load ~cls:(Ir.Vreg.cls r) ()
+    in
+    incr next_op;
+    op
+  in
+  let emit_store r src =
+    let op =
+      Ir.Op.make ~srcs:[ src ] ~addr:(Ir.Addr.scalar (slot_base r)) ~id:!next_op
+        ~opcode:Mach.Opcode.Store ~cls:(Ir.Vreg.cls r) ()
+    in
+    incr next_op;
+    op
+  in
+  let out = ref [] in
+  List.iter
+    (fun op ->
+      (* Loads before: one temp per distinct spilled use in this op. *)
+      let subst = ref Ir.Vreg.Map.empty in
+      List.iter
+        (fun u ->
+          if is_spilled u && not (Ir.Vreg.Map.mem u !subst) then begin
+            let tmp = fresh_like u in
+            out := emit_load u tmp :: !out;
+            subst := Ir.Vreg.Map.add u tmp !subst
+          end)
+        (Ir.Op.uses op);
+      (* The op itself: spilled defs also get a temp, stored right after. *)
+      let def_subst = ref Ir.Vreg.Map.empty in
+      List.iter
+        (fun d ->
+          if is_spilled d then def_subst := Ir.Vreg.Map.add d (fresh_like d) !def_subst)
+        (Ir.Op.defs op);
+      let rewritten = Ir.Op.substitute op !subst in
+      let rewritten = Ir.Op.substitute_all rewritten !def_subst in
+      let rewritten = Ir.Op.with_id rewritten !next_op in
+      incr next_op;
+      out := rewritten :: !out;
+      Ir.Vreg.Map.iter (fun d tmp -> out := emit_store d tmp :: !out) !def_subst)
+    ops;
+  { ops = List.rev !out; next_vreg = !next_vreg; next_op = !next_op; temps = List.rev !temps }

@@ -1,0 +1,30 @@
+(** Spill code insertion.
+
+    Each spilled register gets a dedicated memory slot
+    (["spill.<id>"]); every definition is followed by a store and every
+    use is preceded by a load into a fresh short-lived temporary, the
+    classic Chaitin spill-everywhere rewrite. Fresh temporaries keep live
+    ranges one-op long, so the rewritten code is strictly easier to
+    colour and the allocate/spill loop terminates. *)
+
+type rewrite_result = {
+  ops : Ir.Op.t list;
+  next_vreg : int;
+  next_op : int;
+  temps : (Ir.Vreg.t * Ir.Vreg.t) list;
+      (** (fresh temporary, spilled register it stands for) — lets callers
+          extend bank assignments to the new registers *)
+}
+
+val rewrite :
+  spilled:Ir.Vreg.t list ->
+  fresh_vreg:int ->
+  fresh_op:int ->
+  Ir.Op.t list ->
+  rewrite_result
+(** Spilled registers that are live-in (used before any def) are loaded
+    from their slot at first use like any other use, so callers that
+    materialize live-in values must pre-store them (tests do). *)
+
+val slot_base : Ir.Vreg.t -> string
+(** The memory base the register spills to. *)

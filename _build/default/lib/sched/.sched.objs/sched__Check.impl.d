@@ -1,0 +1,1 @@
+lib/sched/check.ml: Ddg Graphlib Hashtbl Ir Kernel List Mach Option Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/check.mli: Ddg Kernel Mach Schedule

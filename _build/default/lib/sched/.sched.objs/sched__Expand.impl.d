@@ -1,0 +1,1 @@
+lib/sched/expand.ml: Array Hashtbl Int Ir Kernel List Option Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/expand.mli: Ir Kernel Mach

@@ -1,0 +1,1 @@
+lib/sched/kernel.ml: Format Hashtbl Int Ir List Schedule String

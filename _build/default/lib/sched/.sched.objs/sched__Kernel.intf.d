@@ -1,0 +1,1 @@
+lib/sched/kernel.mli: Format Ir Schedule

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Ddg Graphlib Hashtbl List Mach Restab Schedule Slack

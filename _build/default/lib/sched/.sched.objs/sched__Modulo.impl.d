@@ -1,0 +1,1 @@
+lib/sched/modulo.ml: Ddg Graphlib Hashtbl Kernel List Mach Restab Schedule

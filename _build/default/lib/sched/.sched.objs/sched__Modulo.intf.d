@@ -1,0 +1,1 @@
+lib/sched/modulo.mli: Ddg Kernel Mach

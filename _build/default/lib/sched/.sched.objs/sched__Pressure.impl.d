@@ -1,0 +1,1 @@
+lib/sched/pressure.ml: Array Hashtbl Ir Kernel List Option

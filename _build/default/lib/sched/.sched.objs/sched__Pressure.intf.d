@@ -1,0 +1,1 @@
+lib/sched/pressure.mli: Ir Kernel

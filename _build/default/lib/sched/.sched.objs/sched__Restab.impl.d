@@ -1,0 +1,1 @@
+lib/sched/restab.ml: Hashtbl Int Ir List Mach Option

@@ -1,0 +1,1 @@
+lib/sched/restab.mli: Ir Mach

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Format Hashtbl Int Ir List String

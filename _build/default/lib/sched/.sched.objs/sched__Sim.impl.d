@@ -1,0 +1,1 @@
+lib/sched/sim.ml: Expand Hashtbl Ir Kernel List Mach Printf

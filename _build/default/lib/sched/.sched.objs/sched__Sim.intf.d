@@ -1,0 +1,1 @@
+lib/sched/sim.mli: Expand Ir Mach Stdlib

@@ -1,0 +1,1 @@
+lib/sched/slack.ml: Ddg Graphlib Hashtbl List

@@ -1,0 +1,1 @@
+lib/sched/swing.ml: Ddg Graphlib Hashtbl Kernel List Mach Modulo Option Restab Schedule

@@ -1,0 +1,1 @@
+lib/sched/swing.mli: Ddg Mach Modulo

@@ -1,0 +1,122 @@
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let check_coverage ~ddg lookup =
+  List.fold_left
+    (fun acc op ->
+      let* () = acc in
+      let id = Ir.Op.id op in
+      match lookup id with
+      | Some _ -> Ok ()
+      | None -> Error (Printf.sprintf "op %d (%s) not scheduled" id (Ir.Op.to_string op)))
+    (Ok ()) (Ddg.Graph.ops_in_order ddg)
+
+let check_edges ~ddg ~ii lookup =
+  Graphlib.Digraph.fold_edges
+    (fun (e : Ddg.Dep.t Graphlib.Digraph.edge) acc ->
+      let* () = acc in
+      match (lookup e.src, lookup e.dst) with
+      | Some ts, Some td ->
+          let need = Ddg.Dep.latency e.label - (ii * Ddg.Dep.distance e.label) in
+          if td - ts >= need then Ok ()
+          else
+            Error
+              (Printf.sprintf "edge %d->%d %s violated: %d - %d < %d" e.src e.dst
+                 (Ddg.Dep.to_string e.label) td ts need)
+      | None, _ | _, None -> Error "edge endpoint unscheduled")
+    (Ddg.Graph.graph ddg) (Ok ())
+
+(* Count resource usage per (normalized cycle): functional units per
+   cluster (for specialized unit mixes, feasibility is Hall's condition —
+   each class's overflow beyond its dedicated units must fit in the
+   General pool); copy ports per cluster and busses under the copy-unit
+   model. *)
+let check_resources ~machine ~cluster_of ~normalize placements =
+  let m : Mach.Machine.t = machine in
+  (* (cluster, cycle, fu_class) -> demand for that specialized class *)
+  let fu = Hashtbl.create 64 in
+  let fu_slots = Hashtbl.create 64 in (* (cluster, cycle) -> total fu ops *)
+  let port = Hashtbl.create 16 in
+  let bus = Hashtbl.create 16 in
+  let bump tbl key cap what =
+    let v = 1 + Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key v;
+    if v > cap then Error (Printf.sprintf "%s oversubscribed at %s" what "slot") else Ok ()
+  in
+  let cap_of fc = Option.value ~default:0 (List.assoc_opt fc m.fu_mix) in
+  let general_cap = cap_of Mach.Machine.General in
+  let* () =
+    List.fold_left
+      (fun acc (p : Schedule.placement) ->
+        let* () = acc in
+        let id = Ir.Op.id p.op in
+        let c = cluster_of id in
+        if not (Mach.Machine.valid_cluster m c) then
+          Error (Printf.sprintf "op %d on invalid cluster %d" id c)
+        else
+          let cyc = normalize p.cycle in
+          match (m.copy_model, Ir.Op.is_copy p.op) with
+          | Mach.Machine.Copy_unit, true ->
+              let* () = bump port (c, cyc) m.copy_ports "copy ports" in
+              bump bus cyc m.busses "busses"
+          | (Mach.Machine.Embedded | Mach.Machine.Copy_unit), _ ->
+              let* () = bump fu_slots (c, cyc) m.fus_per_cluster "functional units" in
+              if Mach.Machine.is_general_only m then Ok ()
+              else begin
+                List.iter
+                  (fun fc ->
+                    let key = (c, cyc, fc) in
+                    Hashtbl.replace fu key
+                      (1 + Option.value ~default:0 (Hashtbl.find_opt fu key)))
+                  (Mach.Machine.allowed_classes (Ir.Op.opcode p.op) (Ir.Op.cls p.op));
+                Ok ()
+              end)
+      (Ok ()) placements
+  in
+  if Mach.Machine.is_general_only m then Ok ()
+  else begin
+    (* Hall's condition per (cluster, cycle): Σ_k max(0, demand_k - cap_k)
+       must fit in the General units. *)
+    let by_slot = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun (c, cyc, fc) n ->
+        let key = (c, cyc) in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_slot key) in
+        Hashtbl.replace by_slot key ((fc, n) :: cur))
+      fu;
+    Hashtbl.fold
+      (fun (c, cyc) demands acc ->
+        let* () = acc in
+        let overflow =
+          List.fold_left (fun acc (fc, n) -> acc + max 0 (n - cap_of fc)) 0 demands
+        in
+        if overflow <= general_cap then Ok ()
+        else
+          Error
+            (Printf.sprintf "specialized units oversubscribed in cluster %d at slot %d" c cyc))
+      by_slot (Ok ())
+  end
+
+let flat ~machine ~cluster_of ~ddg sched =
+  let lookup id = try Some (Schedule.cycle_of sched id) with Not_found -> None in
+  let* () = check_coverage ~ddg lookup in
+  let g0 = Ddg.Graph.loop_independent ddg in
+  let* () =
+    Graphlib.Digraph.fold_edges
+      (fun (e : Ddg.Dep.t Graphlib.Digraph.edge) acc ->
+        let* () = acc in
+        match (lookup e.src, lookup e.dst) with
+        | Some ts, Some td ->
+            if td - ts >= Ddg.Dep.latency e.label then Ok ()
+            else Error (Printf.sprintf "flat edge %d->%d violated" e.src e.dst)
+        | None, _ | _, None -> Error "edge endpoint unscheduled")
+      g0 (Ok ())
+  in
+  check_resources ~machine ~cluster_of ~normalize:(fun c -> c) (Schedule.placements sched)
+
+let kernel ~machine ~cluster_of ~ddg k =
+  let lookup id = try Some (Kernel.cycle_of k id) with Not_found -> None in
+  let* () = check_coverage ~ddg lookup in
+  let* () = check_edges ~ddg ~ii:(Kernel.ii k) lookup in
+  check_resources ~machine ~cluster_of
+    ~normalize:(fun c -> c mod Kernel.ii k)
+    (Kernel.placements k)

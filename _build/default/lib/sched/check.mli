@@ -1,0 +1,27 @@
+(** Schedule validity checking.
+
+    Independent re-verification used by the test suite and examples: a
+    schedule produced by any of our schedulers must respect every
+    dependence edge and never oversubscribe a machine resource. Checks are
+    written directly from the definitions, not by reusing scheduler
+    internals, so they catch scheduler bugs. *)
+
+val flat :
+  machine:Mach.Machine.t ->
+  cluster_of:(int -> int) ->
+  ddg:Ddg.Graph.t ->
+  Schedule.t ->
+  (unit, string) result
+(** Straight-line schedule: every op placed exactly once; distance-0 edges
+    satisfied ([t(dst) - t(src) >= latency]); per-cycle resource usage
+    within capacity. *)
+
+val kernel :
+  machine:Mach.Machine.t ->
+  cluster_of:(int -> int) ->
+  ddg:Ddg.Graph.t ->
+  Kernel.t ->
+  (unit, string) result
+(** Modulo schedule: every edge satisfied as
+    [t(dst) - t(src) >= latency - II*distance]; modulo resource usage
+    (cycles folded by II) within capacity. *)

@@ -1,0 +1,167 @@
+type instance = { iteration : int; source_id : int; op : Ir.Op.t; cycle : int }
+
+type code = {
+  instances : instance list;
+  total_cycles : int;
+  trips : int;
+  kernel : Kernel.t;
+  final : Ir.Vreg.t Ir.Vreg.Map.t;
+}
+
+(* Which value of register r does a use at body position q read? Mirrors
+   the dependence builder's reaching logic. *)
+type reaching = Invariant | Carried | Same_iter
+
+let classify defs_of r q =
+  match Ir.Vreg.Map.find_opt r defs_of with
+  | None | Some [] -> Invariant
+  | Some positions -> if List.exists (fun p -> p < q) positions then Same_iter else Carried
+
+let flatten ~kernel ~loop ~trips =
+  if trips < 1 then invalid_arg "Expand.flatten: trips must be >= 1";
+  let body = Array.of_list (Ir.Loop.ops loop) in
+  let n = Array.length body in
+  let pos_of_id = Hashtbl.create n in
+  Array.iteri (fun idx op -> Hashtbl.replace pos_of_id (Ir.Op.id op) idx) body;
+  if Kernel.op_count kernel <> n then
+    invalid_arg "Expand.flatten: kernel does not cover the loop body";
+  List.iter
+    (fun (p : Schedule.placement) ->
+      if not (Hashtbl.mem pos_of_id (Ir.Op.id p.op)) then
+        invalid_arg "Expand.flatten: kernel schedules an op outside the loop")
+    (Kernel.placements kernel);
+  let defs_of =
+    let acc = ref Ir.Vreg.Map.empty in
+    Array.iteri
+      (fun idx op ->
+        List.iter
+          (fun d ->
+            let prev = Option.value ~default:[] (Ir.Vreg.Map.find_opt d !acc) in
+            acc := Ir.Vreg.Map.add d (prev @ [ idx ]) !acc)
+          (Ir.Op.defs op))
+      body;
+    !acc
+  in
+  let ii = Kernel.ii kernel in
+  (* Per-iteration rename tables. iteration -1 stands for loop entry:
+     registers keep their source names there. *)
+  let next_vreg = ref (Ir.Loop.max_vreg_id loop + 1) in
+  let renames : (int * int, Ir.Vreg.t) Hashtbl.t = Hashtbl.create 64 in
+  let renamed i r =
+    if i < 0 || not (Ir.Vreg.Map.mem r defs_of) then r
+    else
+      match Hashtbl.find_opt renames (i, Ir.Vreg.id r) with
+      | Some r' -> r'
+      | None ->
+          let r' =
+            Ir.Vreg.make
+              ~name:(Printf.sprintf "%s#%d" (Ir.Vreg.to_string r) i)
+              ~id:!next_vreg ~cls:(Ir.Vreg.cls r) ()
+          in
+          incr next_vreg;
+          Hashtbl.replace renames (i, Ir.Vreg.id r) r';
+          r'
+  in
+  let next_op = ref 0 in
+  let make_instance i (p : Schedule.placement) =
+    let q = Hashtbl.find pos_of_id (Ir.Op.id p.op) in
+    let op = body.(q) in
+    let srcs =
+      List.map
+        (fun r ->
+          match classify defs_of r q with
+          | Invariant -> r
+          | Same_iter -> renamed i r
+          | Carried -> renamed (i - 1) r)
+        (Ir.Op.srcs op)
+    in
+    let dst = Option.map (renamed i) (Ir.Op.dst op) in
+    let addr =
+      Option.map
+        (fun (a : Ir.Addr.t) ->
+          Ir.Addr.make ~offset:(a.offset + (a.stride * i)) ~stride:0 a.base)
+        (Ir.Op.addr op)
+    in
+    let id = !next_op in
+    incr next_op;
+    let op' = Ir.Op.make ?dst ~srcs ?addr ~id ~opcode:(Ir.Op.opcode op) ~cls:(Ir.Op.cls op) () in
+    { iteration = i; source_id = Ir.Op.id op; op = op'; cycle = (i * ii) + p.cycle }
+  in
+  let instances =
+    List.concat_map
+      (fun i -> List.map (make_instance i) (Kernel.placements kernel))
+      (List.init trips (fun i -> i))
+  in
+  let instances =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.cycle b.cycle in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.iteration b.iteration in
+          if c <> 0 then c
+          else
+            Int.compare
+              (Hashtbl.find pos_of_id a.source_id)
+              (Hashtbl.find pos_of_id b.source_id))
+      instances
+  in
+  let total_cycles = 1 + List.fold_left (fun acc x -> max acc x.cycle) 0 instances in
+  let final =
+    Ir.Vreg.Set.fold
+      (fun r acc -> Ir.Vreg.Map.add r (renamed (trips - 1) r) acc)
+      (Ir.Loop.live_out loop) Ir.Vreg.Map.empty
+  in
+  { instances; total_cycles; trips; kernel; final }
+
+let ops code = List.map (fun x -> x.op) code.instances
+
+let live_out_map code = code.final
+
+let speedup code ~latency ~loop =
+  let seq_one =
+    List.fold_left (fun acc op -> acc + Ir.Op.latency latency op) 0 (Ir.Loop.ops loop)
+  in
+  float_of_int (seq_one * code.trips) /. float_of_int code.total_cycles
+
+let mve_factor ~kernel ~loop =
+  let body = Array.of_list (Ir.Loop.ops loop) in
+  let defs_of =
+    let acc = ref Ir.Vreg.Map.empty in
+    Array.iteri
+      (fun idx op ->
+        List.iter
+          (fun d ->
+            let prev = Option.value ~default:[] (Ir.Vreg.Map.find_opt d !acc) in
+            acc := Ir.Vreg.Map.add d (prev @ [ idx ]) !acc)
+          (Ir.Op.defs op))
+      body;
+    !acc
+  in
+  let ii = Kernel.ii kernel in
+  let cycle_at idx = Kernel.cycle_of kernel (Ir.Op.id body.(idx)) in
+  let factor = ref 1 in
+  Array.iteri
+    (fun q op ->
+      List.iter
+        (fun r ->
+          match Ir.Vreg.Map.find_opt r defs_of with
+          | None | Some [] -> ()
+          | Some positions -> (
+              (* The reaching def: the last one before q (same iteration),
+                 or the body's last def one iteration back. *)
+              match classify defs_of r q with
+              | Invariant -> ()
+              | Same_iter ->
+                  let dpos =
+                    List.fold_left (fun acc p -> if p < q then p else acc) q positions
+                  in
+                  let lifetime = cycle_at q - cycle_at dpos in
+                  if lifetime > 0 then factor := max !factor ((lifetime + ii - 1) / ii)
+              | Carried ->
+                  let dpos = List.nth positions (List.length positions - 1) in
+                  let lifetime = cycle_at q + ii - cycle_at dpos in
+                  if lifetime > 0 then factor := max !factor ((lifetime + ii - 1) / ii)))
+        (Ir.Op.uses op))
+    body;
+  !factor

@@ -1,0 +1,52 @@
+(** Pipeline expansion: prelude, steady state, postlude.
+
+    A modulo-scheduled kernel only describes one iteration's placements;
+    executing the loop overlaps [n_stages] iterations. [flatten] emits the
+    complete flat code for a given trip count: iteration [i] issues each
+    kernel op at cycle [i*II + cycle], registers are renamed per iteration
+    (modulo variable expansion taken to its full-unroll limit), carried
+    uses read the previous iteration's instance, and affine addresses are
+    resolved to absolute offsets. Cycles before the first full kernel
+    window form the prelude, cycles after the last one the postlude.
+
+    The expansion is sequentially faithful: reading the emitted list top
+    to bottom with ordinary sequential semantics computes exactly what
+    [trips] iterations of the source loop compute, which is what the
+    interpreter-based equivalence tests check. *)
+
+type instance = {
+  iteration : int;
+  source_id : int;   (** op id within the loop body *)
+  op : Ir.Op.t;      (** renamed instance *)
+  cycle : int;
+}
+
+type code = private {
+  instances : instance list;  (** issue order: cycle, then iteration, then body position *)
+  total_cycles : int;         (** last issue cycle + 1 *)
+  trips : int;
+  kernel : Kernel.t;
+  final : Ir.Vreg.t Ir.Vreg.Map.t;  (** see {!live_out_map} *)
+}
+
+val flatten : kernel:Kernel.t -> loop:Ir.Loop.t -> trips:int -> code
+(** Raises [Invalid_argument] when [trips < 1] or the kernel does not
+    cover exactly the loop's ops. Registers in [Ir.Loop.live_out loop] map
+    to their last iteration's instance; loop-invariant registers keep
+    their names. *)
+
+val ops : code -> Ir.Op.t list
+(** The straight-line instruction stream. *)
+
+val live_out_map : code -> Ir.Vreg.t Ir.Vreg.Map.t
+(** For each live-out register of the source loop, the instance register
+    holding its final value. *)
+
+val speedup : code -> latency:Mach.Latency.t -> loop:Ir.Loop.t -> float
+(** Sequential-schedule length of [trips] iterations divided by the
+    pipelined [total_cycles] — the classic software-pipelining win. *)
+
+val mve_factor : kernel:Kernel.t -> loop:Ir.Loop.t -> int
+(** Modulo-variable-expansion unroll factor: the largest
+    ⌈lifetime/II⌉ over the loop's non-invariant registers — how many
+    kernel copies a rotating-register-free implementation must emit. *)

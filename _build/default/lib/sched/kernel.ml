@@ -1,0 +1,65 @@
+type t = { placements : Schedule.placement list; ii : int; n_stages : int }
+
+let make ~ii placements =
+  if ii < 1 then invalid_arg "Kernel.make: ii must be >= 1";
+  if placements = [] then invalid_arg "Kernel.make: empty kernel";
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Schedule.placement) ->
+      let id = Ir.Op.id p.op in
+      if Hashtbl.mem seen id then invalid_arg "Kernel.make: duplicate op";
+      Hashtbl.add seen id ())
+    placements;
+  let min_cycle =
+    List.fold_left (fun acc (p : Schedule.placement) -> min acc p.cycle) max_int placements
+  in
+  let placements =
+    List.map (fun (p : Schedule.placement) -> { p with Schedule.cycle = p.cycle - min_cycle }) placements
+  in
+  let max_cycle =
+    List.fold_left (fun acc (p : Schedule.placement) -> max acc p.cycle) 0 placements
+  in
+  let n_stages = (max_cycle / ii) + 1 in
+  let placements =
+    List.sort
+      (fun (a : Schedule.placement) (b : Schedule.placement) ->
+        let c = Int.compare a.cycle b.cycle in
+        if c <> 0 then c else Int.compare (Ir.Op.id a.op) (Ir.Op.id b.op))
+      placements
+  in
+  { placements; ii; n_stages }
+
+let ii t = t.ii
+let n_stages t = t.n_stages
+let placements t = t.placements
+let op_count t = List.length t.placements
+
+let find t id =
+  match List.find_opt (fun (p : Schedule.placement) -> Ir.Op.id p.op = id) t.placements with
+  | Some p -> p
+  | None -> raise Not_found
+
+let cycle_of t id = (find t id).cycle
+let slot_of t id = cycle_of t id mod t.ii
+let stage_of t id = cycle_of t id / t.ii
+let cluster_of t id = (find t id).cluster
+
+let kernel_rows t =
+  List.init t.ii (fun slot ->
+      ( slot,
+        List.filter_map
+          (fun (p : Schedule.placement) -> if p.cycle mod t.ii = slot then Some p.op else None)
+          t.placements ))
+
+let ipc ?(count = fun _ -> true) t =
+  let n = List.length (List.filter (fun (p : Schedule.placement) -> count p.op) t.placements) in
+  float_of_int n /. float_of_int t.ii
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>kernel (II=%d, %d stages, %d ops):@," t.ii t.n_stages (op_count t);
+  List.iter
+    (fun (slot, ops) ->
+      Format.fprintf ppf "  %2d: %s@," slot
+        (String.concat " | " (List.map Ir.Op.to_string ops)))
+    (kernel_rows t);
+  Format.fprintf ppf "@]"

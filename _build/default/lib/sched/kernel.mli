@@ -1,0 +1,45 @@
+(** Modulo-schedule kernels.
+
+    A kernel is a flat placement of one iteration's operations over
+    [n_stages × ii] cycles that is legal when re-initiated every [ii]
+    cycles: operation placed at cycle [t] occupies kernel slot [t mod ii]
+    in stage [t / ii]. The steady-state loop body is [ii] instructions
+    long; degradation in the paper is measured on achieved II. *)
+
+type t = private {
+  placements : Schedule.placement list;  (** sorted; min cycle is 0 *)
+  ii : int;
+  n_stages : int;
+}
+
+val make : ii:int -> Schedule.placement list -> t
+(** Normalizes cycles so the earliest is 0 and computes the stage count.
+    Raises [Invalid_argument] on an empty placement list, duplicate ops or
+    [ii < 1]. *)
+
+val ii : t -> int
+val n_stages : t -> int
+val placements : t -> Schedule.placement list
+val op_count : t -> int
+
+val cycle_of : t -> int -> int
+(** Flat cycle of an op id. Raises [Not_found]. *)
+
+val slot_of : t -> int -> int
+(** Kernel row ([cycle mod ii]) of an op id. *)
+
+val stage_of : t -> int -> int
+(** Pipeline stage ([cycle / ii]) of an op id. *)
+
+val cluster_of : t -> int -> int
+
+val kernel_rows : t -> (int * Ir.Op.t list) list
+(** The steady-state kernel: for each slot 0..ii-1, the ops issuing there
+    (across all stages), in slot order. *)
+
+val ipc : ?count:(Ir.Op.t -> bool) -> t -> float
+(** Operations per cycle of the steady-state kernel: counted ops / II.
+    [count] filters (the paper excludes copies from IPC under the
+    copy-unit model); defaults to counting everything. *)
+
+val pp : Format.formatter -> t -> unit

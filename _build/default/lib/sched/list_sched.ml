@@ -1,0 +1,69 @@
+let schedule ?cluster_of ~machine ddg =
+  let m : Mach.Machine.t = machine in
+  let cluster_of =
+    match cluster_of with
+    | Some f -> f
+    | None ->
+        if m.clusters > 1 then
+          invalid_arg "List_sched.schedule: multi-cluster machine needs cluster_of";
+        fun _ -> 0
+  in
+  let g = Ddg.Graph.loop_independent ddg in
+  let sl = Slack.analyze ddg in
+  let tab = Restab.create_flat m in
+  let earliest = Hashtbl.create 64 in
+  let pending_preds = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      Hashtbl.replace earliest id 0;
+      Hashtbl.replace pending_preds id (Graphlib.Digraph.in_degree g id))
+    (Graphlib.Digraph.nodes g);
+  let priority id = (Slack.alap sl id, Slack.asap sl id, id) in
+  let compare_prio a b = compare (priority a) (priority b) in
+  let placements = ref [] in
+  let n = Ddg.Graph.size ddg in
+  let scheduled = ref 0 in
+  let cycle = ref 0 in
+  let ready = ref [] in
+  let waiting = ref (List.filter (fun id -> Hashtbl.find pending_preds id = 0) (Graphlib.Digraph.nodes g)) in
+  (* [waiting] holds dependence-released ops whose earliest cycle may still
+     be in the future; [ready] those issuable now. *)
+  while !scheduled < n do
+    let now, later = List.partition (fun id -> Hashtbl.find earliest id <= !cycle) !waiting in
+    waiting := later;
+    ready := List.sort compare_prio (!ready @ now);
+    let still_ready = ref [] in
+    List.iter
+      (fun id ->
+        let op = Ddg.Graph.op ddg id in
+        let req = Restab.request_for m ~cluster:(cluster_of id) op in
+        if not (Restab.satisfiable tab req) then
+          invalid_arg "List_sched.schedule: unsatisfiable resource request";
+        if Restab.fits tab ~cycle:!cycle req then begin
+          Restab.reserve tab ~cycle:!cycle ~op:id req;
+          placements :=
+            { Schedule.op; cycle = !cycle; cluster = cluster_of id } :: !placements;
+          incr scheduled;
+          List.iter
+            (fun (e : Ddg.Dep.t Graphlib.Digraph.edge) ->
+              let lat = Ddg.Dep.latency e.label in
+              let cur = Hashtbl.find earliest e.dst in
+              Hashtbl.replace earliest e.dst (max cur (!cycle + lat));
+              let p = Hashtbl.find pending_preds e.dst - 1 in
+              Hashtbl.replace pending_preds e.dst p;
+              if p = 0 then waiting := e.dst :: !waiting)
+            (Graphlib.Digraph.succs g id)
+        end
+        else still_ready := id :: !still_ready)
+      !ready;
+    ready := List.rev !still_ready;
+    incr cycle
+  done;
+  Schedule.make !placements ddg.Ddg.Graph.latency
+
+let ideal ~machine ddg =
+  let m =
+    Mach.Machine.ideal ~name:(machine.Mach.Machine.name ^ "-ideal")
+      ~latency:machine.Mach.Machine.latency ~width:(Mach.Machine.width machine) ()
+  in
+  schedule ~machine:m ddg

@@ -1,0 +1,24 @@
+(** Cycle-driven list scheduling for straight-line code.
+
+    Produces the paper's "ideal schedule" when run on the monolithic
+    machine, and clustered flat schedules (whole-function path) when given
+    a cluster assignment. Only loop-independent (distance-0) dependences
+    constrain a flat schedule; loop-carried edges are the modulo
+    scheduler's business.
+
+    Priority: smallest ALAP first (deadline order), ties broken by
+    smallest ASAP then op id — deterministic. *)
+
+val schedule :
+  ?cluster_of:(int -> int) ->
+  machine:Mach.Machine.t ->
+  Ddg.Graph.t ->
+  Schedule.t
+(** [cluster_of] maps op ids to clusters and defaults to cluster 0
+    everywhere, which is only valid on monolithic machines — passing a
+    multi-cluster machine without [cluster_of] raises
+    [Invalid_argument]. *)
+
+val ideal : machine:Mach.Machine.t -> Ddg.Graph.t -> Schedule.t
+(** Ideal schedule: same width and latencies, one monolithic bank. Always
+    schedules on a 1-cluster machine of [Machine.width machine] units. *)

@@ -1,0 +1,173 @@
+type outcome = {
+  kernel : Kernel.t;
+  ii : int;
+  mii : int;
+  placements_tried : int;
+}
+
+(* Height-based priority for a given II: H(v) = max over out-edges of
+   H(dst) + latency - II*distance (at least 0). Converges iff the
+   II-adjusted graph has no positive cycle, i.e. II >= RecMII. *)
+let heights ddg ~ii =
+  let g = Ddg.Graph.graph ddg in
+  let n = Graphlib.Digraph.node_count g in
+  let h = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace h id 0) (Graphlib.Digraph.nodes g);
+  let relax () =
+    let changed = ref false in
+    Graphlib.Digraph.iter_edges
+      (fun e ->
+        let w = Ddg.Dep.latency e.label - (ii * Ddg.Dep.distance e.label) in
+        let cand = Hashtbl.find h e.dst + w in
+        if cand > Hashtbl.find h e.src then begin
+          Hashtbl.replace h e.src cand;
+          changed := true
+        end)
+      g;
+    !changed
+  in
+  let rec run i = if i > n + 1 then None else if relax () then run (i + 1) else Some h in
+  run 0
+
+let self_edges_feasible ddg ~ii =
+  List.for_all
+    (fun (e : Ddg.Dep.t Graphlib.Digraph.edge) ->
+      e.src <> e.dst || Ddg.Dep.latency e.label <= ii * Ddg.Dep.distance e.label)
+    (Graphlib.Digraph.edges (Ddg.Graph.graph ddg))
+
+(* One attempt at the given II. Returns the op->cycle map on success. *)
+let try_ii ~cluster_of ~budget ~machine ~ii ddg tried =
+  match heights ddg ~ii with
+  | None -> None
+  | Some h ->
+      if not (self_edges_feasible ddg ~ii) then None
+      else begin
+        let g = Ddg.Graph.graph ddg in
+        let ids = Graphlib.Digraph.nodes g in
+        let time : (int, int) Hashtbl.t = Hashtbl.create 64 in
+        let last_time = Hashtbl.create 64 in
+        let mrt = Restab.create_modulo machine ~ii in
+        let request id =
+          Restab.request_for machine ~cluster:(cluster_of id) (Ddg.Graph.op ddg id)
+        in
+        let unscheduled = Hashtbl.create 64 in
+        List.iter (fun id -> Hashtbl.replace unscheduled id ()) ids;
+        let pick () =
+          Hashtbl.fold
+            (fun id () best ->
+              match best with
+              | None -> Some id
+              | Some b ->
+                  let hb = Hashtbl.find h b and hid = Hashtbl.find h id in
+                  if hid > hb || (hid = hb && id < b) then Some id else best)
+            unscheduled None
+        in
+        let unschedule id =
+          Restab.release_op mrt ~op:id;
+          Hashtbl.remove time id;
+          Hashtbl.replace unscheduled id ()
+        in
+        let budget = ref budget in
+        let ok = ref true in
+        let running = ref true in
+        while !running do
+          match pick () with
+          | None -> running := false
+          | Some id ->
+              if !budget <= 0 then begin
+                ok := false;
+                running := false
+              end
+              else begin
+                decr budget;
+                incr tried;
+                let estart =
+                  List.fold_left
+                    (fun acc (e : Ddg.Dep.t Graphlib.Digraph.edge) ->
+                      match Hashtbl.find_opt time e.src with
+                      | None -> acc
+                      | Some tp ->
+                          max acc
+                            (tp + Ddg.Dep.latency e.label - (ii * Ddg.Dep.distance e.label)))
+                    0
+                    (Graphlib.Digraph.preds g id)
+                in
+                let start =
+                  match Hashtbl.find_opt last_time id with
+                  | None -> estart
+                  | Some prev -> max estart (prev + 1)
+                in
+                let req = request id in
+                if not (Restab.satisfiable mrt req) then begin
+                  ok := false;
+                  running := false
+                end
+                else begin
+                  let rec first_fit k =
+                    if k >= ii then None
+                    else if Restab.fits mrt ~cycle:(start + k) req then Some (start + k)
+                    else first_fit (k + 1)
+                  in
+                  let t = match first_fit 0 with Some t -> t | None -> start in
+                  if not (Restab.fits mrt ~cycle:t req) then
+                    List.iter unschedule (Restab.conflicting_ops mrt ~cycle:t req);
+                  Restab.reserve mrt ~cycle:t ~op:id req;
+                  Hashtbl.replace time id t;
+                  Hashtbl.replace last_time id t;
+                  Hashtbl.remove unscheduled id;
+                  (* Evict scheduled successors whose dependence from us is
+                     now violated (predecessor constraints hold because
+                     t >= estart). *)
+                  List.iter
+                    (fun (e : Ddg.Dep.t Graphlib.Digraph.edge) ->
+                      if e.dst <> id then
+                        match Hashtbl.find_opt time e.dst with
+                        | None -> ()
+                        | Some ts ->
+                            let need =
+                              t + Ddg.Dep.latency e.label - (ii * Ddg.Dep.distance e.label)
+                            in
+                            if ts < need then unschedule e.dst)
+                    (Graphlib.Digraph.succs g id)
+                end
+              end
+        done;
+        if !ok && Hashtbl.length unscheduled = 0 then Some time else None
+      end
+
+let schedule ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
+  let m : Mach.Machine.t = machine in
+  let cluster_of =
+    match cluster_of with
+    | Some f -> f
+    | None ->
+        if m.clusters > 1 then
+          invalid_arg "Modulo.schedule: multi-cluster machine needs cluster_of";
+        fun _ -> 0
+  in
+  if mii < 1 then invalid_arg "Modulo.schedule: mii must be >= 1";
+  let max_ii = match max_ii with Some x -> x | None -> max mii (Ddg.Minii.upper_bound ddg) in
+  let n = Ddg.Graph.size ddg in
+  let tried = ref 0 in
+  let rec attempt ii =
+    if ii > max_ii then None
+    else
+      match try_ii ~cluster_of ~budget:(budget_ratio * n) ~machine:m ~ii ddg tried with
+      | Some time ->
+          let placements =
+            Hashtbl.fold
+              (fun id t acc ->
+                { Schedule.op = Ddg.Graph.op ddg id; cycle = t; cluster = cluster_of id }
+                :: acc)
+              time []
+          in
+          Some { kernel = Kernel.make ~ii placements; ii; mii; placements_tried = !tried }
+      | None -> attempt (ii + 1)
+  in
+  attempt mii
+
+let ideal ?budget_ratio ~machine ddg =
+  let m : Mach.Machine.t = machine in
+  let mono = Mach.Machine.monolithic_of m in
+  let mii = Ddg.Minii.min_ii ~width:(Mach.Machine.width m) ddg in
+  schedule ?budget_ratio ~machine:mono ~mii ddg

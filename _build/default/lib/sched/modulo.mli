@@ -1,0 +1,39 @@
+(** Rau's iterative modulo scheduling (Micro-27, 1994) — the paper's
+    software pipeliner.
+
+    For a candidate II (starting at MinII), operations are scheduled in
+    height-priority order. Each op gets the first legal slot in
+    [estart, estart + II - 1] where [estart] honours scheduled
+    predecessors; when no slot has free resources the op is force-placed
+    and conflicting ops (resource holders, plus any successor whose
+    dependence became violated) are evicted and rescheduled. A budget of
+    [budget_ratio × n_ops] placements bounds the effort per II; on
+    exhaustion II is bumped and everything restarts, exactly as Rau
+    specifies. *)
+
+type outcome = {
+  kernel : Kernel.t;
+  ii : int;           (** achieved initiation interval *)
+  mii : int;          (** the lower bound scheduling started from *)
+  placements_tried : int;  (** total placement steps across all IIs *)
+}
+
+val schedule :
+  ?cluster_of:(int -> int) ->
+  ?budget_ratio:int ->
+  ?max_ii:int ->
+  machine:Mach.Machine.t ->
+  mii:int ->
+  Ddg.Graph.t ->
+  outcome option
+(** [cluster_of] as in {!List_sched.schedule} (defaults to cluster 0,
+    multi-cluster machines must pass it). [budget_ratio] defaults to 10.
+    [max_ii] defaults to {!Ddg.Minii.upper_bound} of the DDG; [None] is
+    returned only if no II up to that bound yields a schedule (impossible
+    for well-formed DDGs unless resources are unsatisfiable). *)
+
+val ideal :
+  ?budget_ratio:int -> machine:Mach.Machine.t -> Ddg.Graph.t -> outcome option
+(** Software-pipeline on the monolithic single-bank machine of the same
+    width: the paper's ideal pipeline whose II all degradations are
+    measured against. *)

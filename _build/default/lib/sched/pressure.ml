@@ -1,0 +1,89 @@
+(* Which def position does a use at body position q of register r read?
+   Same reaching logic as the dependence builder. *)
+let reaching_def positions q =
+  match List.rev (List.filter (fun p -> p < q) positions) with
+  | p :: _ -> `Same_iter p
+  | [] -> `Carried (List.nth positions (List.length positions - 1))
+
+let lifetimes ~kernel ~loop =
+  let body = Array.of_list (Ir.Loop.ops loop) in
+  let ii = Kernel.ii kernel in
+  let defs_of =
+    let acc = ref Ir.Vreg.Map.empty in
+    Array.iteri
+      (fun idx op ->
+        List.iter
+          (fun d ->
+            let prev = Option.value ~default:[] (Ir.Vreg.Map.find_opt d !acc) in
+            acc := Ir.Vreg.Map.add d (prev @ [ idx ]) !acc)
+          (Ir.Op.defs op))
+      body;
+    !acc
+  in
+  let cycle_at idx = Kernel.cycle_of kernel (Ir.Op.id body.(idx)) in
+  (* last use cycle per (register, def position) *)
+  let last_use : (int * int, int) Hashtbl.t = Hashtbl.create 32 in
+  Array.iteri
+    (fun q op ->
+      List.iter
+        (fun r ->
+          match Ir.Vreg.Map.find_opt r defs_of with
+          | None | Some [] -> () (* invariant *)
+          | Some positions ->
+              let dpos, extra =
+                match reaching_def positions q with
+                | `Same_iter p -> (p, 0)
+                | `Carried p -> (p, ii)
+              in
+              let use_cycle = cycle_at q + extra in
+              let key = (Ir.Vreg.id r, dpos) in
+              let cur = Option.value ~default:min_int (Hashtbl.find_opt last_use key) in
+              if use_cycle > cur then Hashtbl.replace last_use key use_cycle)
+        (Ir.Op.uses op))
+    body;
+  let out = ref [] in
+  Ir.Vreg.Map.iter
+    (fun r positions ->
+      List.iter
+        (fun dpos ->
+          let c = cycle_at dpos in
+          let e =
+            match Hashtbl.find_opt last_use (Ir.Vreg.id r, dpos) with
+            | Some u when u > c -> u
+            | Some _ | None -> c + 1
+          in
+          out := (r, c, e) :: !out)
+        positions)
+    defs_of;
+  List.rev !out
+
+let coverage ~ii lifetimes_list =
+  let cover = Array.make ii 0 in
+  List.iter
+    (fun (_, c, e) ->
+      let len = e - c in
+      let base = len / ii and rem = len mod ii in
+      Array.iteri (fun s v -> cover.(s) <- v + base) cover;
+      for k = 0 to rem - 1 do
+        let s = (c + k) mod ii in
+        cover.(s) <- cover.(s) + 1
+      done)
+    lifetimes_list;
+  cover
+
+let max_live ~kernel ~loop =
+  let ii = Kernel.ii kernel in
+  let cover = coverage ~ii (lifetimes ~kernel ~loop) in
+  let invariants = Ir.Vreg.Set.cardinal (Ir.Loop.invariants loop) in
+  Array.fold_left max 0 cover + invariants
+
+let per_bank_max_live ~kernel ~loop ~banks ~bank_of =
+  let ii = Kernel.ii kernel in
+  let lts = lifetimes ~kernel ~loop in
+  Array.init banks (fun b ->
+      let mine = List.filter (fun (r, _, _) -> bank_of r = b) lts in
+      let cover = coverage ~ii mine in
+      let invariants =
+        Ir.Vreg.Set.cardinal (Ir.Vreg.Set.filter (fun r -> bank_of r = b) (Ir.Loop.invariants loop))
+      in
+      Array.fold_left max 0 cover + invariants)

@@ -1,0 +1,27 @@
+(** Register requirements of modulo schedules.
+
+    Software pipelining's appetite for registers is the paper's core
+    motivation, and the Section 6.3 comparison turns on it: Nystrom and
+    Eichenberger schedule with Swing modulo scheduling precisely because
+    it is "lifetime-sensitive". MaxLive — the maximum number of
+    simultaneously live values in the steady state — is the standard
+    measure; a kernel needs at least MaxLive registers (after modulo
+    variable expansion) regardless of allocation quality. *)
+
+val lifetimes : kernel:Kernel.t -> loop:Ir.Loop.t -> (Ir.Vreg.t * int * int) list
+(** For each register defined in the body: (register, def cycle, last-use
+    cycle) in flat kernel coordinates, where a use at distance d counts
+    as [cycle + d·II]. Loop invariants are excluded (they are live
+    throughout and bank-resident once). Registers with no uses get a
+    one-cycle lifetime ending at [def + 1]. *)
+
+val max_live : kernel:Kernel.t -> loop:Ir.Loop.t -> int
+(** MaxLive of the steady state: for each kernel slot s in [0, II), the
+    number of lifetimes covering s modulo II (a lifetime of length len
+    starting at cycle c covers ⌈len/II⌉ instances), maximized over
+    slots, plus the always-live invariant count. *)
+
+val per_bank_max_live :
+  kernel:Kernel.t -> loop:Ir.Loop.t -> banks:int -> bank_of:(Ir.Vreg.t -> int) -> int array
+(** MaxLive split by register bank — the quantity each partition's
+    Chaitin/Briggs run is up against. *)

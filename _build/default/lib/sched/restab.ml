@@ -1,0 +1,127 @@
+type request =
+  | Fu of int
+  | Fu_typed of int * Mach.Machine.fu_class list
+  | Copy_to of int
+
+type klass = KFu of int * Mach.Machine.fu_class | KPort of int | KBus
+
+type t = {
+  machine : Mach.Machine.t;
+  ii : int option;
+  (* (class, normalized cycle) -> holding ops, most recent first *)
+  held : (klass * int, int list) Hashtbl.t;
+  (* op -> slots it holds *)
+  by_op : (int, (klass * int) list) Hashtbl.t;
+}
+
+let create_flat machine = { machine; ii = None; held = Hashtbl.create 64; by_op = Hashtbl.create 64 }
+
+let create_modulo machine ~ii =
+  if ii < 1 then invalid_arg "Restab.create_modulo: ii must be >= 1";
+  { machine; ii = Some ii; held = Hashtbl.create 64; by_op = Hashtbl.create 64 }
+
+let ii t = t.ii
+
+let norm t cycle =
+  if cycle < 0 then invalid_arg "Restab: negative cycle";
+  match t.ii with None -> cycle | Some ii -> cycle mod ii
+
+let fu_capacity t fu_class =
+  match List.assoc_opt fu_class t.machine.Mach.Machine.fu_mix with
+  | Some n -> n
+  | None -> 0
+
+let capacity t = function
+  | KFu (_, fc) -> fu_capacity t fc
+  | KPort _ -> t.machine.Mach.Machine.copy_ports
+  | KBus -> t.machine.Mach.Machine.busses
+
+let holders t klass cycle =
+  Option.value ~default:[] (Hashtbl.find_opt t.held (klass, cycle))
+
+let has_room t klass cycle = List.length (holders t klass cycle) < capacity t klass
+
+(* Acceptable unit classes in reservation preference order: specialized
+   units first, General as the fallback, so General slots stay free for
+   operations that have no specialized home. *)
+let fu_alternatives cluster = function
+  | Fu _ -> [ KFu (cluster, Mach.Machine.General) ]
+  | Fu_typed (_, alts) ->
+      List.map (fun a -> KFu (cluster, a)) alts @ [ KFu (cluster, Mach.Machine.General) ]
+  | Copy_to _ -> invalid_arg "Restab.fu_alternatives: not an FU request"
+
+let fits t ~cycle req =
+  let cycle = norm t cycle in
+  match req with
+  | Fu c | Fu_typed (c, _) -> List.exists (fun k -> has_room t k cycle) (fu_alternatives c req)
+  | Copy_to c -> has_room t (KPort c) cycle && has_room t KBus cycle
+
+let claim t klass cycle op =
+  Hashtbl.replace t.held (klass, cycle) (op :: holders t klass cycle);
+  let slots = Option.value ~default:[] (Hashtbl.find_opt t.by_op op) in
+  Hashtbl.replace t.by_op op ((klass, cycle) :: slots)
+
+let reserve t ~cycle ~op req =
+  if not (fits t ~cycle req) then invalid_arg "Restab.reserve: does not fit";
+  let cycle = norm t cycle in
+  match req with
+  | Fu c | Fu_typed (c, _) ->
+      let klass =
+        List.find (fun k -> has_room t k cycle) (fu_alternatives c req)
+      in
+      claim t klass cycle op
+  | Copy_to c ->
+      claim t (KPort c) cycle op;
+      claim t KBus cycle op
+
+let release_op t ~op =
+  match Hashtbl.find_opt t.by_op op with
+  | None -> ()
+  | Some slots ->
+      List.iter
+        (fun (klass, cycle) ->
+          let rest = List.filter (fun o -> o <> op) (holders t klass cycle) in
+          Hashtbl.replace t.held (klass, cycle) rest)
+        slots;
+      Hashtbl.remove t.by_op op
+
+(* Victims whose release makes the request fit: for FU requests, the most
+   recently placed holder among the acceptable classes; for copies, one
+   victim per saturated resource. *)
+let conflicting_ops t ~cycle req =
+  if fits t ~cycle req then []
+  else
+    let cycle = norm t cycle in
+    match req with
+    | Fu c | Fu_typed (c, _) ->
+        let rec first_victim = function
+          | [] -> []
+          | klass :: rest -> (
+              match holders t klass cycle with
+              | victim :: _ when capacity t klass > 0 -> [ victim ]
+              | _ -> first_victim rest)
+        in
+        first_victim (fu_alternatives c req)
+    | Copy_to c ->
+        List.filter_map
+          (fun klass ->
+            if has_room t klass cycle then None
+            else match holders t klass cycle with v :: _ -> Some v | [] -> None)
+          [ KPort c; KBus ]
+        |> List.sort_uniq Int.compare
+
+let satisfiable t req =
+  match req with
+  | Fu c | Fu_typed (c, _) ->
+      List.exists (fun k -> capacity t k > 0) (fu_alternatives c req)
+  | Copy_to _ ->
+      t.machine.Mach.Machine.copy_ports > 0 && t.machine.Mach.Machine.busses > 0
+
+let request_for machine ~cluster (op : Ir.Op.t) =
+  if not (Mach.Machine.valid_cluster machine cluster) then
+    invalid_arg "Restab.request_for: bad cluster";
+  match (machine.Mach.Machine.copy_model, Ir.Op.is_copy op) with
+  | Mach.Machine.Copy_unit, true -> Copy_to cluster
+  | (Mach.Machine.Embedded | Mach.Machine.Copy_unit), _ ->
+      if Mach.Machine.is_general_only machine then Fu cluster
+      else Fu_typed (cluster, Mach.Machine.allowed_classes (Ir.Op.opcode op) (Ir.Op.cls op))

@@ -1,0 +1,63 @@
+type placement = { op : Ir.Op.t; cycle : int; cluster : int }
+
+type t = { placements : placement list; length : int }
+
+let compare_placement a b =
+  let c = Int.compare a.cycle b.cycle in
+  if c <> 0 then c else Int.compare (Ir.Op.id a.op) (Ir.Op.id b.op)
+
+let make placements latency =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      if p.cycle < 0 then invalid_arg "Schedule.make: negative cycle";
+      let id = Ir.Op.id p.op in
+      if Hashtbl.mem seen id then invalid_arg "Schedule.make: duplicate op";
+      Hashtbl.add seen id ())
+    placements;
+  let placements = List.sort compare_placement placements in
+  let length =
+    List.fold_left (fun acc p -> max acc (p.cycle + Ir.Op.latency latency p.op)) 0 placements
+  in
+  { placements; length }
+
+let placements t = t.placements
+let length t = t.length
+
+let issue_length t =
+  1 + List.fold_left (fun acc p -> max acc p.cycle) (-1) t.placements
+
+let find t id =
+  match List.find_opt (fun p -> Ir.Op.id p.op = id) t.placements with
+  | Some p -> p
+  | None -> raise Not_found
+
+let cycle_of t id = (find t id).cycle
+let cluster_of t id = (find t id).cluster
+
+let instruction_at t cycle =
+  List.filter_map (fun p -> if p.cycle = cycle then Some p.op else None) t.placements
+
+let instructions t =
+  let rec group = function
+    | [] -> []
+    | p :: _ as l ->
+        let same, rest = List.partition (fun q -> q.cycle = p.cycle) l in
+        (p.cycle, List.map (fun q -> q.op) same) :: group rest
+  in
+  group t.placements
+
+let op_count t = List.length t.placements
+
+let ipc t =
+  let il = issue_length t in
+  if il = 0 then 0.0 else float_of_int (op_count t) /. float_of_int il
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule (%d ops, %d cycles):@," (op_count t) t.length;
+  List.iter
+    (fun (cycle, ops) ->
+      Format.fprintf ppf "  %3d: %s@," cycle
+        (String.concat " | " (List.map Ir.Op.to_string ops)))
+    (instructions t);
+  Format.fprintf ppf "@]"

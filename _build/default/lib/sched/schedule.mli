@@ -1,0 +1,41 @@
+(** Flat (acyclic) schedules.
+
+    A schedule places each operation at a cycle on a cluster. The "ideal
+    schedule" of the paper is such a schedule produced with the machine's
+    real width and latencies but a single monolithic register bank. *)
+
+type placement = { op : Ir.Op.t; cycle : int; cluster : int }
+
+type t = private {
+  placements : placement list;  (** sorted by cycle, then op id *)
+  length : int;                 (** cycles until every result is ready *)
+}
+
+val make : placement list -> Mach.Latency.t -> t
+(** Length is computed as max over placements of cycle + latency. Raises
+    [Invalid_argument] on duplicate ops or negative cycles. *)
+
+val placements : t -> placement list
+val length : t -> int
+val issue_length : t -> int
+(** Number of instruction slots actually spanned: last issue cycle + 1
+    (the paper counts schedule *instructions*, i.e. issue cycles). *)
+
+val cycle_of : t -> int -> int
+(** Issue cycle of an op id. Raises [Not_found]. *)
+
+val cluster_of : t -> int -> int
+(** Cluster of an op id. Raises [Not_found]. *)
+
+val instruction_at : t -> int -> Ir.Op.t list
+(** Ops issuing at the given cycle (every cluster), by op id. *)
+
+val instructions : t -> (int * Ir.Op.t list) list
+(** Non-empty issue cycles in order. *)
+
+val op_count : t -> int
+
+val ipc : t -> float
+(** Operations per issue cycle over {!issue_length}. *)
+
+val pp : Format.formatter -> t -> unit

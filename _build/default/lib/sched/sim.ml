@@ -1,0 +1,79 @@
+type violation = { cycle : int; op : Ir.Op.t; what : string }
+
+let run ?state ~latency code =
+  let st = match state with Some s -> s | None -> Ir.Eval.create () in
+  let reg_ready : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let mem_ready : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let error = ref None in
+  let address ~iteration:_ (a : Ir.Addr.t) extra = a.offset + extra in
+  List.iter
+    (fun (x : Expand.instance) ->
+      if !error = None then begin
+        let op = x.op in
+        let cycle = x.cycle in
+        let fail what = error := Some { cycle; op; what } in
+        (* register operand readiness *)
+        List.iter
+          (fun r ->
+            match Hashtbl.find_opt reg_ready (Ir.Vreg.id r) with
+            | Some ready when ready > cycle ->
+                fail
+                  (Printf.sprintf "register %s ready at %d, read at %d" (Ir.Vreg.to_string r)
+                     ready cycle)
+            | Some _ | None -> ())
+          (Ir.Op.uses op);
+        (* memory operand readiness (expanded addresses have stride 0) *)
+        (match (Ir.Op.opcode op, Ir.Op.addr op) with
+        | Mach.Opcode.Load, Some a ->
+            let extra =
+              match Ir.Op.srcs op with
+              | [] -> 0
+              | idx :: _ -> (
+                  match Ir.Eval.get_reg st idx with
+                  | Ir.Eval.I v -> v
+                  | Ir.Eval.F v -> int_of_float v)
+            in
+            let key = (a.Ir.Addr.base, address ~iteration:0 a extra) in
+            (match Hashtbl.find_opt mem_ready key with
+            | Some ready when ready > cycle ->
+                fail
+                  (Printf.sprintf "%s[%d] ready at %d, loaded at %d" (fst key) (snd key) ready
+                     cycle)
+            | Some _ | None -> ())
+        | _ -> ());
+        if !error = None then begin
+          Ir.Eval.exec_op st ~iteration:0 op;
+          let lat = Ir.Op.latency latency op in
+          List.iter
+            (fun d -> Hashtbl.replace reg_ready (Ir.Vreg.id d) (cycle + lat))
+            (Ir.Op.defs op);
+          match (Ir.Op.opcode op, Ir.Op.addr op) with
+          | Mach.Opcode.Store, Some a ->
+              let extra =
+                match Ir.Op.srcs op with
+                | _ :: idx :: _ -> (
+                    match Ir.Eval.get_reg st idx with
+                    | Ir.Eval.I v -> v
+                    | Ir.Eval.F v -> int_of_float v)
+                | _ -> 0
+              in
+              Hashtbl.replace mem_ready
+                (a.Ir.Addr.base, address ~iteration:0 a extra)
+                (cycle + lat)
+          | _ -> ()
+        end
+      end)
+    code.Expand.instances;
+  match !error with Some v -> Error v | None -> Ok st
+
+let stage_counts code =
+  let ii = Kernel.ii code.Expand.kernel in
+  let stages = Kernel.n_stages code.Expand.kernel in
+  let steady_start = (stages - 1) * ii in
+  let steady_end = code.Expand.trips * ii in
+  List.fold_left
+    (fun (pre, steady, post) (x : Expand.instance) ->
+      if x.cycle < steady_start then (pre + 1, steady, post)
+      else if x.cycle < steady_end then (pre, steady + 1, post)
+      else (pre, steady, post + 1))
+    (0, 0, 0) code.Expand.instances

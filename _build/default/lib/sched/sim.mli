@@ -1,0 +1,33 @@
+(** Cycle-accurate execution of expanded pipelines.
+
+    A third, dynamic line of validation (besides the static checker
+    {!Check} and the sequential interpreter [Ir.Eval]): execute a
+    flattened pipeline instance by instance at its scheduled cycles, with
+    every value carrying the cycle at which its producer's latency
+    elapses. Reading a register or memory cell before it is ready is a
+    latency violation the static checker should have caught — here it is
+    caught by the data itself. On success the final architectural state
+    equals sequential execution.
+
+    Values are the interpreter's; the simulator delegates each
+    operation's semantics to [Ir.Eval] on a scratch state and only adds
+    the timing layer. *)
+
+type violation = {
+  cycle : int;
+  op : Ir.Op.t;
+  what : string;  (** e.g. ["register f5 ready at 7, read at 5"] *)
+}
+
+val run :
+  ?state:Ir.Eval.state ->
+  latency:Mach.Latency.t ->
+  Expand.code ->
+  (Ir.Eval.state, violation) Stdlib.result
+(** Execute the whole expansion. [state] seeds live-in registers and
+    memory (defaults to a fresh state); on success the same state, now
+    holding the final values, is returned. *)
+
+val stage_counts : Expand.code -> int * int * int
+(** (prelude, steady-state, postlude) instance counts: instances issued
+    before the first full-kernel window, within it, and after it. *)

@@ -1,0 +1,39 @@
+type t = {
+  asap : (int, int) Hashtbl.t;
+  alap : (int, int) Hashtbl.t;
+  critical_path : int;
+}
+
+(* ASAP is a forward longest path with each edge weighted by its
+   dependence latency. The tail below a node v is
+   max(lat v, max over out-edges (weight e + tail (dst e))): the span from
+   v's issue to the last completion it transitively delays. Then
+   cp = max (asap + tail) and alap v = cp - tail v. *)
+let analyze ddg =
+  let g = Ddg.Graph.loop_independent ddg in
+  let weight (e : Ddg.Dep.t Graphlib.Digraph.edge) = Ddg.Dep.latency e.Graphlib.Digraph.label in
+  let asap = Graphlib.Topo.longest_paths ~weight g in
+  let order = Graphlib.Topo.sort_exn g in
+  let tail = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      let own = Ddg.Graph.latency_of ddg (Ddg.Graph.op ddg id) in
+      let best =
+        List.fold_left
+          (fun acc (e : Ddg.Dep.t Graphlib.Digraph.edge) ->
+            max acc (weight e + Hashtbl.find tail e.dst))
+          own (Graphlib.Digraph.succs g id)
+      in
+      Hashtbl.replace tail id best)
+    (List.rev order);
+  let cp = Hashtbl.fold (fun id d acc -> max acc (d + Hashtbl.find tail id)) asap 0 in
+  let alap = Hashtbl.create 64 in
+  Hashtbl.iter (fun id tl -> Hashtbl.replace alap id (cp - tl)) tail;
+  { asap; alap; critical_path = cp }
+
+let asap t id = Hashtbl.find t.asap id
+let alap t id = Hashtbl.find t.alap id
+let slack t id = alap t id - asap t id
+let flexibility t id = slack t id + 1
+let is_critical t id = slack t id = 0
+let critical_path t = t.critical_path

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    The experiment suite must be reproducible across runs and OCaml
+    versions, so we ship our own splitmix64 generator instead of relying on
+    [Stdlib.Random]'s unspecified algorithm. State is explicit and cheap to
+    copy; all draws are pure functions of the seed and the draw sequence. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds yield equal draw
+    sequences. *)
+
+val copy : t -> t
+(** Independent snapshot of the current state. *)
+
+val split : t -> t
+(** [split t] draws from [t] to seed a new, statistically independent
+    generator. Useful to give each generated loop its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly in [\[lo, hi\]] (inclusive). Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly in [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0,1\]]). *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform draw from a non-empty list. Raises [Invalid_argument] on []. *)
+
+val weighted : t -> ('a * float) list -> 'a
+(** Draw from a non-empty list of (value, weight) pairs with probability
+    proportional to weight. Weights must be non-negative and not all zero. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Uniform random permutation. *)

@@ -1,0 +1,75 @@
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let harmonic_mean = function
+  | [] -> nan
+  | l ->
+      let inv_sum =
+        List.fold_left
+          (fun acc x ->
+            if x <= 0.0 then invalid_arg "Stats.harmonic_mean: non-positive element"
+            else acc +. (1.0 /. x))
+          0.0 l
+      in
+      float_of_int (List.length l) /. inv_sum
+
+let geometric_mean = function
+  | [] -> nan
+  | l ->
+      let log_sum =
+        List.fold_left
+          (fun acc x ->
+            if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive element"
+            else acc +. log x)
+          0.0 l
+      in
+      exp (log_sum /. float_of_int (List.length l))
+
+let median = function
+  | [] -> nan
+  | l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let stddev = function
+  | [] -> nan
+  | l ->
+      let m = mean l in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) l) in
+      sqrt var
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: rest ->
+      List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) rest
+
+type histogram = { bucket_edges : float list; counts : int array; total : int }
+
+let histogram ~edges values =
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | [ _ ] | [] -> true
+  in
+  if not (strictly_increasing edges) then
+    invalid_arg "Stats.histogram: edges must be strictly increasing";
+  let earr = Array.of_list edges in
+  let n = Array.length earr in
+  let counts = Array.make (n + 1) 0 in
+  let bucket v =
+    let rec find i = if i >= n then n else if v < earr.(i) then i else find (i + 1) in
+    find 0
+  in
+  List.iter (fun v -> counts.(bucket v) <- counts.(bucket v) + 1) values;
+  { bucket_edges = edges; counts; total = List.length values }
+
+let histogram_percent h =
+  Array.map
+    (fun c -> if h.total = 0 then 0.0 else 100.0 *. float_of_int c /. float_of_int h.total)
+    h.counts
+
+(* Bucket 0 holds exactly-zero degradation; then <10 .. <90, overflow >=90.
+   A tiny epsilon as first edge separates "no degradation" from "(0,10)". *)
+let degradation_edges = [ 1e-9; 10.; 20.; 30.; 40.; 50.; 60.; 70.; 80.; 90. ]

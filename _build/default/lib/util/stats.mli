@@ -1,0 +1,45 @@
+(** Small statistics helpers used by the experiment harness.
+
+    The paper reports arithmetic and harmonic means of normalized
+    degradations (Table 2) and bucketed histograms of per-loop degradation
+    (Figures 5-7); these are the exact reductions implemented here. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Returns [nan] on the empty list. *)
+
+val harmonic_mean : float list -> float
+(** Harmonic mean, n / Σ(1/x). Returns [nan] on the empty list; requires
+    every element to be positive. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean (exp of mean log). Returns [nan] on the empty list. *)
+
+val median : float list -> float
+(** Median (average of middle two for even length). [nan] on empty. *)
+
+val stddev : float list -> float
+(** Population standard deviation. [nan] on empty. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element. Raises [Invalid_argument] on []. *)
+
+type histogram = {
+  bucket_edges : float list;  (** upper edges of all but the last bucket *)
+  counts : int array;         (** length = |bucket_edges| + 1 *)
+  total : int;
+}
+(** A histogram over [len edges + 1] buckets: value [v] lands in the first
+    bucket whose upper edge is [> v]; values ≥ the last edge land in the
+    overflow bucket. *)
+
+val histogram : edges:float list -> float list -> histogram
+(** Bucket values by [edges] (must be strictly increasing). *)
+
+val histogram_percent : histogram -> float array
+(** Per-bucket share of the total, in percent. Zeros when [total = 0]. *)
+
+val degradation_edges : float list
+(** The paper's Figure 5-7 bucket edges over degradation percentage:
+    (0], (0,10), [10,20) ... [80,90), [90,∞). Encoded for use with
+    {!histogram} on values [max 0 (degradation - 100)] — see
+    [Core.Metrics]. *)

@@ -1,0 +1,52 @@
+type t = { title : string; header : string list; mutable rows : string list list }
+
+let create ~title ~header = { title; header; rows = [] }
+
+let add_row t row = t.rows <- t.rows @ [ row ]
+
+let pad_to n row =
+  let len = List.length row in
+  if len >= n then row else row @ List.init (n - len) (fun _ -> "")
+
+let render t =
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) (List.length t.header) t.rows in
+  let header = pad_to ncols t.header in
+  let rows = List.map (pad_to ncols) t.rows in
+  let widths = Array.make ncols 0 in
+  let measure row = List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row in
+  measure header;
+  List.iter measure rows;
+  let buf = Buffer.create 256 in
+  let line ch =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) ch);
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let row_out row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (widths.(i) - String.length c + 1) ' ');
+        Buffer.add_char buf '|')
+      row;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  line '-';
+  row_out header;
+  line '=';
+  List.iter row_out rows;
+  line '-';
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 1) f = Printf.sprintf "%.*f" decimals f
+let cell_pct f = Printf.sprintf "%.1f%%" f

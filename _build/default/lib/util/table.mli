@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Prints aligned, boxed ASCII tables in the spirit of the paper's Table 1
+    and Table 2 so the bench output can be compared side-by-side with the
+    published numbers. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+(** A table with a caption row and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row; short rows are padded with empty cells. *)
+
+val render : t -> string
+(** Render the whole table to a string (trailing newline included). *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell ([decimals] defaults to 1). *)
+
+val cell_pct : float -> string
+(** Format a percentage cell with one decimal and a ['%']. *)

@@ -1,0 +1,1 @@
+lib/workload/funcgen.ml: Ir List Mach Printf Util

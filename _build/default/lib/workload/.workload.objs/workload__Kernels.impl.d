@@ -1,0 +1,1 @@
+lib/workload/kernels.ml: Array Ir List Mach Option Printf

@@ -1,0 +1,1 @@
+lib/workload/loopgen.ml: Ir List Mach Printf Util

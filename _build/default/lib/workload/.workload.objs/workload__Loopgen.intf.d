@@ -1,0 +1,1 @@
+lib/workload/loopgen.mli: Ir

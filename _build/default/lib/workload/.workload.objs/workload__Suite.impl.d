@@ -1,0 +1,1 @@
+lib/workload/suite.ml: Ir Kernels List Loopgen String

@@ -1,0 +1,53 @@
+let generate ?(seed = 1995) ~index () =
+  let rng = Util.Prng.create ((seed * 2_000_033) + index) in
+  let cls =
+    if Util.Prng.chance rng 0.7 then Mach.Rclass.Float else Mach.Rclass.Int
+  in
+  let b = Ir.Builder.create () in
+  (* Entry: load a handful of scalars that later blocks consume. *)
+  let n_globals = Util.Prng.int_in rng 2 5 in
+  let globals =
+    List.init n_globals (fun k ->
+        Ir.Builder.load b cls (Ir.Addr.scalar (Printf.sprintf "g%d" k)))
+  in
+  let n_body = Util.Prng.int_in rng 1 3 in
+  let carried = ref globals in
+  let edges = ref [] in
+  let prev = ref "entry" in
+  for blk = 0 to n_body - 1 do
+    let label = Printf.sprintf "body%d" blk in
+    let depth = Util.Prng.int_in rng 1 2 in
+    Ir.Builder.start_block ~depth b label;
+    edges := (!prev, label) :: !edges;
+    prev := label;
+    let exprs = Util.Prng.int_in rng 2 4 in
+    let produced = ref [] in
+    for e = 0 to exprs - 1 do
+      let x =
+        Ir.Builder.load b cls
+          (Ir.Addr.make ~offset:e ~stride:1 (Printf.sprintf "a%d_%d" blk e))
+      in
+      let g = Util.Prng.choose rng !carried in
+      let opc =
+        Util.Prng.weighted rng
+          [ (Mach.Opcode.Add, 3.0); (Mach.Opcode.Sub, 2.0); (Mach.Opcode.Mul, 3.0) ]
+      in
+      let v = Ir.Builder.binop b opc cls x g in
+      if Util.Prng.chance rng 0.5 then
+        Ir.Builder.store b cls
+          (Ir.Addr.make ~offset:e ~stride:1 (Printf.sprintf "o%d_%d" blk e))
+          v
+      else produced := v :: !produced
+    done;
+    if !produced <> [] then carried := !produced @ !carried
+  done;
+  Ir.Builder.start_block b "exit";
+  edges := (!prev, "exit") :: !edges;
+  List.iteri
+    (fun k v -> Ir.Builder.store b cls (Ir.Addr.scalar (Printf.sprintf "out%d" k)) v)
+    (match !carried with
+    | a :: b' :: _ -> [ a; b' ]
+    | l -> l);
+  Ir.Builder.func b ~name:(Printf.sprintf "fn%d" index) ~edges:(List.rev !edges)
+
+let suite ?seed ~n () = List.init n (fun index -> generate ?seed ~index ())

@@ -1,0 +1,13 @@
+(** Seeded random whole functions for the whole-program experiment.
+
+    A generated function has the shape of a numeric routine: an entry
+    block loading globals/arguments, a chain of loop-nest body blocks at
+    depths 1..2 computing over arrays and entry-defined values, and an
+    exit block storing results. Values defined in one block are used in
+    later ones, which is precisely what makes global (cross-block)
+    partitioning matter. *)
+
+val generate : ?seed:int -> index:int -> unit -> Ir.Func.t
+(** Deterministic in (seed, index); seed defaults to 1995. *)
+
+val suite : ?seed:int -> n:int -> unit -> Ir.Func.t list

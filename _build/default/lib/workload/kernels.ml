@@ -1,0 +1,412 @@
+let f = Mach.Rclass.Float
+let i = Mach.Rclass.Int
+
+(* Array reference for iteration-slice [j] of an [unroll]-way unrolled
+   body: base[unroll*i + j + shift]. *)
+let aref ~unroll ~j ?(shift = 0) base = Ir.Addr.make ~offset:(j + shift) ~stride:unroll base
+
+let with_unroll ~unroll ~name body =
+  if unroll < 1 then invalid_arg "Kernels: unroll must be >= 1";
+  let b = Ir.Builder.create () in
+  let extra = body b in
+  let name = Printf.sprintf "%s-u%d" name unroll in
+  match extra with
+  | [] -> Ir.Builder.loop b ~name ()
+  | live_out -> Ir.Builder.loop b ~live_out ~name ()
+
+let each_slice ~unroll g = List.init unroll g |> List.iter (fun k -> k ())
+
+let vcopy ~unroll =
+  with_unroll ~unroll ~name:"vcopy" (fun b ->
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          Ir.Builder.store b f (aref ~unroll ~j "y") x);
+      [])
+
+let scale ~unroll =
+  with_unroll ~unroll ~name:"scale" (fun b ->
+      let a = Ir.Builder.fresh ~name:"a" b f in
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          let ax = Ir.Builder.binop b Mach.Opcode.Mul f a x in
+          Ir.Builder.store b f (aref ~unroll ~j "y") ax);
+      [])
+
+let daxpy ~unroll =
+  with_unroll ~unroll ~name:"daxpy" (fun b ->
+      let a = Ir.Builder.fresh ~name:"a" b f in
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          let y = Ir.Builder.load b f (aref ~unroll ~j "y") in
+          let ax = Ir.Builder.binop b Mach.Opcode.Mul f a x in
+          let s = Ir.Builder.binop b Mach.Opcode.Add f y ax in
+          Ir.Builder.store b f (aref ~unroll ~j "y") s);
+      [])
+
+let dot ~unroll =
+  with_unroll ~unroll ~name:"dot" (fun b ->
+      let s = Ir.Builder.fresh ~name:"s" b f in
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          let y = Ir.Builder.load b f (aref ~unroll ~j "y") in
+          let xy = Ir.Builder.binop b Mach.Opcode.Mul f x y in
+          Ir.Builder.define b Mach.Opcode.Add f ~into:s [ s; xy ]);
+      [ s ])
+
+let isum ~unroll =
+  with_unroll ~unroll ~name:"isum" (fun b ->
+      let s = Ir.Builder.fresh ~name:"s" b i in
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b i (aref ~unroll ~j "ix") in
+          Ir.Builder.define b Mach.Opcode.Add i ~into:s [ s; x ]);
+      [ s ])
+
+let stencil3 ~unroll =
+  with_unroll ~unroll ~name:"stencil3" (fun b ->
+      let a = Ir.Builder.fresh ~name:"a" b f in
+      let c1 = Ir.Builder.fresh ~name:"b" b f in
+      let c2 = Ir.Builder.fresh ~name:"c" b f in
+      each_slice ~unroll (fun j () ->
+          let xm = Ir.Builder.load b f (aref ~unroll ~j ~shift:(-1) "x") in
+          let x0 = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          let xp = Ir.Builder.load b f (aref ~unroll ~j ~shift:1 "x") in
+          let t1 = Ir.Builder.binop b Mach.Opcode.Mul f a xm in
+          let t2 = Ir.Builder.binop b Mach.Opcode.Mul f c1 x0 in
+          let t3 = Ir.Builder.binop b Mach.Opcode.Mul f c2 xp in
+          let s1 = Ir.Builder.binop b Mach.Opcode.Add f t1 t2 in
+          let s2 = Ir.Builder.binop b Mach.Opcode.Add f s1 t3 in
+          Ir.Builder.store b f (aref ~unroll ~j "y") s2);
+      [])
+
+let first_order_rec ~unroll =
+  with_unroll ~unroll ~name:"rec1" (fun b ->
+      let a = Ir.Builder.fresh ~name:"a" b f in
+      let x = Ir.Builder.fresh ~name:"xprev" b f in
+      each_slice ~unroll (fun j () ->
+          let y = Ir.Builder.load b f (aref ~unroll ~j "y") in
+          let ax = Ir.Builder.binop b Mach.Opcode.Mul f a x in
+          Ir.Builder.define b Mach.Opcode.Add f ~into:x [ ax; y ];
+          Ir.Builder.store b f (aref ~unroll ~j "x") x);
+      [ x ])
+
+let tridiag ~unroll =
+  with_unroll ~unroll ~name:"tridiag" (fun b ->
+      let x = Ir.Builder.fresh ~name:"xprev" b f in
+      each_slice ~unroll (fun j () ->
+          let z = Ir.Builder.load b f (aref ~unroll ~j "z") in
+          let y = Ir.Builder.load b f (aref ~unroll ~j "y") in
+          let d = Ir.Builder.binop b Mach.Opcode.Sub f y x in
+          Ir.Builder.define b Mach.Opcode.Mul f ~into:x [ z; d ];
+          Ir.Builder.store b f (aref ~unroll ~j "x") x);
+      [ x ])
+
+let hydro ~unroll =
+  with_unroll ~unroll ~name:"hydro" (fun b ->
+      let q = Ir.Builder.fresh ~name:"q" b f in
+      let r = Ir.Builder.fresh ~name:"r" b f in
+      let t = Ir.Builder.fresh ~name:"t" b f in
+      each_slice ~unroll (fun j () ->
+          let z10 = Ir.Builder.load b f (aref ~unroll ~j ~shift:10 "z") in
+          let z11 = Ir.Builder.load b f (aref ~unroll ~j ~shift:11 "z") in
+          let y = Ir.Builder.load b f (aref ~unroll ~j "y") in
+          let rz = Ir.Builder.binop b Mach.Opcode.Mul f r z10 in
+          let tz = Ir.Builder.binop b Mach.Opcode.Mul f t z11 in
+          let sum = Ir.Builder.binop b Mach.Opcode.Add f rz tz in
+          let ys = Ir.Builder.binop b Mach.Opcode.Mul f y sum in
+          let x = Ir.Builder.binop b Mach.Opcode.Add f q ys in
+          Ir.Builder.store b f (aref ~unroll ~j "x") x);
+      [])
+
+let iccg_like ~unroll =
+  with_unroll ~unroll ~name:"iccg" (fun b ->
+      let xp = Ir.Builder.fresh ~name:"xprev" b f in
+      each_slice ~unroll (fun j () ->
+          let z = Ir.Builder.load b f (aref ~unroll ~j "z") in
+          let w = Ir.Builder.load b f (aref ~unroll ~j "w") in
+          let xn = Ir.Builder.load b f (aref ~unroll ~j ~shift:1 "x") in
+          let x0 = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          let t1 = Ir.Builder.binop b Mach.Opcode.Mul f z xp in
+          let t2 = Ir.Builder.binop b Mach.Opcode.Mul f w xn in
+          let d1 = Ir.Builder.binop b Mach.Opcode.Sub f x0 t1 in
+          Ir.Builder.define b Mach.Opcode.Sub f ~into:xp [ d1; t2 ];
+          Ir.Builder.store b f (aref ~unroll ~j "xout") xp);
+      [ xp ])
+
+let horner4 ~unroll =
+  with_unroll ~unroll ~name:"horner4" (fun b ->
+      let c = Array.init 5 (fun k -> Ir.Builder.fresh ~name:(Printf.sprintf "c%d" k) b f) in
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          let acc = ref c.(4) in
+          for k = 3 downto 0 do
+            let m = Ir.Builder.binop b Mach.Opcode.Mul f !acc x in
+            acc := Ir.Builder.binop b Mach.Opcode.Add f m c.(k)
+          done;
+          Ir.Builder.store b f (aref ~unroll ~j "y") !acc);
+      [])
+
+let cmul ~unroll =
+  with_unroll ~unroll ~name:"cmul" (fun b ->
+      each_slice ~unroll (fun j () ->
+          let ar = Ir.Builder.load b f (aref ~unroll ~j "ar") in
+          let ai = Ir.Builder.load b f (aref ~unroll ~j "ai") in
+          let br = Ir.Builder.load b f (aref ~unroll ~j "br") in
+          let bi = Ir.Builder.load b f (aref ~unroll ~j "bi") in
+          let rr = Ir.Builder.binop b Mach.Opcode.Mul f ar br in
+          let ii = Ir.Builder.binop b Mach.Opcode.Mul f ai bi in
+          let ri = Ir.Builder.binop b Mach.Opcode.Mul f ar bi in
+          let ir = Ir.Builder.binop b Mach.Opcode.Mul f ai br in
+          let re = Ir.Builder.binop b Mach.Opcode.Sub f rr ii in
+          let im = Ir.Builder.binop b Mach.Opcode.Add f ri ir in
+          Ir.Builder.store b f (aref ~unroll ~j "cr") re;
+          Ir.Builder.store b f (aref ~unroll ~j "ci") im);
+      [])
+
+let rgb2gray ~unroll =
+  with_unroll ~unroll ~name:"rgb2gray" (fun b ->
+      let wr = Ir.Builder.fresh ~name:"wr" b i in
+      let wg = Ir.Builder.fresh ~name:"wg" b i in
+      let wb = Ir.Builder.fresh ~name:"wb" b i in
+      let eight = Ir.Builder.fresh ~name:"eight" b i in
+      each_slice ~unroll (fun j () ->
+          let r = Ir.Builder.load b i (aref ~unroll ~j "r") in
+          let g = Ir.Builder.load b i (aref ~unroll ~j "g") in
+          let bl = Ir.Builder.load b i (aref ~unroll ~j "b") in
+          let tr = Ir.Builder.binop b Mach.Opcode.Mul i r wr in
+          let tg = Ir.Builder.binop b Mach.Opcode.Mul i g wg in
+          let tb = Ir.Builder.binop b Mach.Opcode.Mul i bl wb in
+          let s1 = Ir.Builder.binop b Mach.Opcode.Add i tr tg in
+          let s2 = Ir.Builder.binop b Mach.Opcode.Add i s1 tb in
+          let sh = Ir.Builder.binop b Mach.Opcode.Shr i s2 eight in
+          Ir.Builder.store b i (aref ~unroll ~j "gray") sh);
+      [])
+
+let maxloc ~unroll =
+  with_unroll ~unroll ~name:"maxloc" (fun b ->
+      let m = Ir.Builder.fresh ~name:"m" b f in
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          Ir.Builder.define b Mach.Opcode.Max f ~into:m [ m; x ]);
+      [ m ])
+
+let int_filter ~unroll =
+  with_unroll ~unroll ~name:"ifilter" (fun b ->
+      let two = Ir.Builder.fresh ~name:"two" b i in
+      each_slice ~unroll (fun j () ->
+          let xm = Ir.Builder.load b i (aref ~unroll ~j ~shift:(-1) "x") in
+          let x0 = Ir.Builder.load b i (aref ~unroll ~j "x") in
+          let xp = Ir.Builder.load b i (aref ~unroll ~j ~shift:1 "x") in
+          let x2 = Ir.Builder.binop b Mach.Opcode.Shl i x0 two in
+          let s1 = Ir.Builder.binop b Mach.Opcode.Add i xm x2 in
+          let s2 = Ir.Builder.binop b Mach.Opcode.Add i s1 xp in
+          let y = Ir.Builder.binop b Mach.Opcode.Shr i s2 two in
+          Ir.Builder.store b i (aref ~unroll ~j "y") y);
+      [])
+
+let mixed_convert ~unroll =
+  with_unroll ~unroll ~name:"mixed" (fun b ->
+      let a = Ir.Builder.fresh ~name:"a" b f in
+      let c = Ir.Builder.fresh ~name:"c" b f in
+      each_slice ~unroll (fun j () ->
+          let ix = Ir.Builder.load b i (aref ~unroll ~j "ix") in
+          let fx = Ir.Builder.unop b Mach.Opcode.Convert f ix in
+          let m = Ir.Builder.binop b Mach.Opcode.Mul f fx a in
+          let y = Ir.Builder.binop b Mach.Opcode.Add f m c in
+          Ir.Builder.store b f (aref ~unroll ~j "y") y);
+      [])
+
+let gather ~unroll =
+  with_unroll ~unroll ~name:"gather" (fun b ->
+      let a = Ir.Builder.fresh ~name:"a" b f in
+      each_slice ~unroll (fun j () ->
+          let idx = Ir.Builder.load b i (aref ~unroll ~j "idx") in
+          let x = Ir.Builder.load ~index:idx b f (Ir.Addr.make ~stride:0 "xtab") in
+          let y = Ir.Builder.binop b Mach.Opcode.Add f x a in
+          Ir.Builder.store b f (aref ~unroll ~j "y") y);
+      [])
+
+let state_update ~unroll =
+  with_unroll ~unroll ~name:"state" (fun b ->
+      let r = Ir.Builder.fresh ~name:"r" b f in
+      let t = Ir.Builder.fresh ~name:"t" b f in
+      each_slice ~unroll (fun j () ->
+          let u0 = Ir.Builder.load b f (aref ~unroll ~j "u") in
+          let u3 = Ir.Builder.load b f (aref ~unroll ~j ~shift:3 "u") in
+          let u6 = Ir.Builder.load b f (aref ~unroll ~j ~shift:6 "u") in
+          let t1 = Ir.Builder.binop b Mach.Opcode.Mul f r u3 in
+          let t2 = Ir.Builder.binop b Mach.Opcode.Mul f t u6 in
+          let s1 = Ir.Builder.binop b Mach.Opcode.Add f u0 t1 in
+          let s2 = Ir.Builder.binop b Mach.Opcode.Add f s1 t2 in
+          Ir.Builder.store b f (aref ~unroll ~j "xout") s2);
+      [])
+
+let euler_step ~unroll =
+  with_unroll ~unroll ~name:"euler" (fun b ->
+      let dt = Ir.Builder.fresh ~name:"dt" b f in
+      let v = Ir.Builder.fresh ~name:"v" b f in
+      let p = Ir.Builder.fresh ~name:"p" b f in
+      each_slice ~unroll (fun j () ->
+          let acc = Ir.Builder.load b f (aref ~unroll ~j "acc") in
+          let adt = Ir.Builder.binop b Mach.Opcode.Mul f acc dt in
+          Ir.Builder.define b Mach.Opcode.Add f ~into:v [ v; adt ];
+          let vdt = Ir.Builder.binop b Mach.Opcode.Mul f v dt in
+          Ir.Builder.define b Mach.Opcode.Add f ~into:p [ p; vdt ];
+          Ir.Builder.store b f (aref ~unroll ~j "pos") p);
+      [ v; p ])
+
+let division_heavy ~unroll =
+  with_unroll ~unroll ~name:"divides" (fun b ->
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b i (aref ~unroll ~j "x") in
+          let z = Ir.Builder.load b i (aref ~unroll ~j "z") in
+          let w = Ir.Builder.load b i (aref ~unroll ~j "w") in
+          let q = Ir.Builder.binop b Mach.Opcode.Div i x z in
+          let y = Ir.Builder.binop b Mach.Opcode.Add i q w in
+          Ir.Builder.store b i (aref ~unroll ~j "y") y);
+      [])
+
+let all =
+  [
+    ("vcopy", vcopy);
+    ("scale", scale);
+    ("daxpy", daxpy);
+    ("dot", dot);
+    ("isum", isum);
+    ("stencil3", stencil3);
+    ("rec1", first_order_rec);
+    ("tridiag", tridiag);
+    ("hydro", hydro);
+    ("iccg", iccg_like);
+    ("horner4", horner4);
+    ("cmul", cmul);
+    ("rgb2gray", rgb2gray);
+    ("maxloc", maxloc);
+    ("ifilter", int_filter);
+    ("mixed", mixed_convert);
+    ("gather", gather);
+    ("state", state_update);
+    ("euler", euler_step);
+    ("divides", division_heavy);
+  ]
+
+let fir5 ~unroll =
+  with_unroll ~unroll ~name:"fir5" (fun b ->
+      let c = Array.init 5 (fun k -> Ir.Builder.fresh ~name:(Printf.sprintf "c%d" k) b f) in
+      each_slice ~unroll (fun j () ->
+          let acc = ref None in
+          for k = 0 to 4 do
+            let x = Ir.Builder.load b f (aref ~unroll ~j ~shift:k "x") in
+            let t = Ir.Builder.binop b Mach.Opcode.Mul f c.(k) x in
+            acc :=
+              Some
+                (match !acc with
+                | None -> t
+                | Some a -> Ir.Builder.binop b Mach.Opcode.Add f a t)
+          done;
+          Ir.Builder.store b f (aref ~unroll ~j "y") (Option.get !acc));
+      [])
+
+let select_threshold ~unroll =
+  with_unroll ~unroll ~name:"ifconv" (fun b ->
+      let t = Ir.Builder.fresh ~name:"t" b f in
+      let a = Ir.Builder.fresh ~name:"a" b f in
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          let cmp = Ir.Builder.binop b Mach.Opcode.Cmp f x t in
+          let ax = Ir.Builder.binop b Mach.Opcode.Mul f a x in
+          let y = Ir.Builder.ternop b Mach.Opcode.Select f cmp ax x in
+          Ir.Builder.store b f (aref ~unroll ~j "y") y);
+      [])
+
+let clip ~unroll =
+  with_unroll ~unroll ~name:"clip" (fun b ->
+      let lo = Ir.Builder.fresh ~name:"lo" b i in
+      let hi = Ir.Builder.fresh ~name:"hi" b i in
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b i (aref ~unroll ~j "x") in
+          let m = Ir.Builder.binop b Mach.Opcode.Max i x lo in
+          let y = Ir.Builder.binop b Mach.Opcode.Min i m hi in
+          Ir.Builder.store b i (aref ~unroll ~j "y") y);
+      [])
+
+let sad ~unroll =
+  with_unroll ~unroll ~name:"sad" (fun b ->
+      let s = Ir.Builder.fresh ~name:"s" b i in
+      each_slice ~unroll (fun j () ->
+          let a = Ir.Builder.load b i (aref ~unroll ~j "a") in
+          let c = Ir.Builder.load b i (aref ~unroll ~j "b") in
+          let d = Ir.Builder.binop b Mach.Opcode.Sub i a c in
+          let ad = Ir.Builder.unop b Mach.Opcode.Abs i d in
+          Ir.Builder.define b Mach.Opcode.Add i ~into:s [ s; ad ]);
+      [ s ])
+
+let lerp ~unroll =
+  with_unroll ~unroll ~name:"lerp" (fun b ->
+      let t = Ir.Builder.fresh ~name:"t" b f in
+      each_slice ~unroll (fun j () ->
+          let a = Ir.Builder.load b f (aref ~unroll ~j "a") in
+          let c = Ir.Builder.load b f (aref ~unroll ~j "b") in
+          let d = Ir.Builder.binop b Mach.Opcode.Sub f c a in
+          let y = Ir.Builder.ternop b Mach.Opcode.Madd f t d a in
+          Ir.Builder.store b f (aref ~unroll ~j "y") y);
+      [])
+
+let madd_horner ~unroll =
+  with_unroll ~unroll ~name:"madd-horner" (fun b ->
+      let c = Array.init 4 (fun k -> Ir.Builder.fresh ~name:(Printf.sprintf "c%d" k) b f) in
+      each_slice ~unroll (fun j () ->
+          let x = Ir.Builder.load b f (aref ~unroll ~j "x") in
+          let acc = ref c.(3) in
+          for k = 2 downto 0 do
+            acc := Ir.Builder.ternop b Mach.Opcode.Madd f !acc x c.(k)
+          done;
+          Ir.Builder.store b f (aref ~unroll ~j "y") !acc);
+      [])
+
+let alpha_blend ~unroll =
+  with_unroll ~unroll ~name:"blend" (fun b ->
+      let alpha = Ir.Builder.fresh ~name:"alpha" b i in
+      let inv = Ir.Builder.fresh ~name:"inv" b i in
+      let eight = Ir.Builder.fresh ~name:"eight" b i in
+      each_slice ~unroll (fun j () ->
+          let p = Ir.Builder.load b i (aref ~unroll ~j "p") in
+          let q = Ir.Builder.load b i (aref ~unroll ~j "q") in
+          let ap = Ir.Builder.binop b Mach.Opcode.Mul i alpha p in
+          let aq = Ir.Builder.binop b Mach.Opcode.Mul i inv q in
+          let s = Ir.Builder.binop b Mach.Opcode.Add i ap aq in
+          let o = Ir.Builder.binop b Mach.Opcode.Shr i s eight in
+          Ir.Builder.store b i (aref ~unroll ~j "o") o);
+      [])
+
+let complex_norm2 ~unroll =
+  with_unroll ~unroll ~name:"cnorm2" (fun b ->
+      let s = Ir.Builder.fresh ~name:"s" b f in
+      each_slice ~unroll (fun j () ->
+          let re = Ir.Builder.load b f (aref ~unroll ~j "re") in
+          let im = Ir.Builder.load b f (aref ~unroll ~j "im") in
+          let r2 = Ir.Builder.binop b Mach.Opcode.Mul f re re in
+          let m = Ir.Builder.ternop b Mach.Opcode.Madd f im im r2 in
+          Ir.Builder.define b Mach.Opcode.Add f ~into:s [ s; m ]);
+      [ s ])
+
+let mem_rec3 ~unroll =
+  with_unroll ~unroll ~name:"memrec3" (fun b ->
+      let a = Ir.Builder.fresh ~name:"a" b f in
+      each_slice ~unroll (fun j () ->
+          let prev = Ir.Builder.load b f (aref ~unroll ~j ~shift:(-3) "x") in
+          let v = Ir.Builder.binop b Mach.Opcode.Mul f a prev in
+          Ir.Builder.store b f (aref ~unroll ~j "x") v);
+      [])
+
+let extra =
+  [
+    ("fir5", fir5);
+    ("memrec3", mem_rec3);
+    ("ifconv", select_threshold);
+    ("clip", clip);
+    ("sad", sad);
+    ("lerp", lerp);
+    ("madd-horner", madd_horner);
+    ("blend", alpha_blend);
+    ("cnorm2", complex_norm2);
+  ]

@@ -1,0 +1,118 @@
+(** Hand-written classic inner loops.
+
+    The paper pipelines 211 single-block innermost loops extracted from
+    SPEC95 Fortran. These kernels are the canonical shapes such loops
+    take — streaming array arithmetic, reductions, first/second-order
+    recurrences, stencils, Livermore-style fragments — written against
+    the builder DSL. [unroll] repeats the body with stride-adjusted
+    addresses, the standard way those extracted loops reach the ILP the
+    paper reports (ideal IPC ≈ 8.6 on a 16-wide machine).
+
+    Reductions and recurrences thread one accumulator across iterations
+    (a loop-carried dependence), so their achievable II is recurrence
+    bound, exactly the hard case for partitioning that Nystrom and
+    Eichenberger optimize for. *)
+
+val vcopy : unroll:int -> Ir.Loop.t
+(** y\[i\] = x\[i\] *)
+
+val scale : unroll:int -> Ir.Loop.t
+(** y\[i\] = a·x\[i\] *)
+
+val daxpy : unroll:int -> Ir.Loop.t
+(** y\[i\] = y\[i\] + a·x\[i\] *)
+
+val dot : unroll:int -> Ir.Loop.t
+(** s += x\[i\]·y\[i\] — float reduction *)
+
+val isum : unroll:int -> Ir.Loop.t
+(** s += x\[i\] — integer reduction *)
+
+val stencil3 : unroll:int -> Ir.Loop.t
+(** y\[i\] = a·x\[i-1\] + b·x\[i\] + c·x\[i+1\] *)
+
+val first_order_rec : unroll:int -> Ir.Loop.t
+(** x\[i\] = a·x\[i-1\] + y\[i\] — Livermore K11-style recurrence *)
+
+val tridiag : unroll:int -> Ir.Loop.t
+(** x\[i\] = z\[i\]·(y\[i\] − x\[i-1\]) — Livermore K5 *)
+
+val hydro : unroll:int -> Ir.Loop.t
+(** x\[i\] = q + y\[i\]·(r·z\[i+10\] + t·z\[i+11\]) — Livermore K1 *)
+
+val iccg_like : unroll:int -> Ir.Loop.t
+(** x\[i\] = x\[i\] − z\[i\]·x\[i-1\] − w\[i\]·x\[i+1\] fragment *)
+
+val horner4 : unroll:int -> Ir.Loop.t
+(** y\[i\] = ((c4·x+c3)·x+c2)·x+c1)·x+c0 per element *)
+
+val cmul : unroll:int -> Ir.Loop.t
+(** complex multiply: (ar+i·ai)(br+i·bi) element-wise *)
+
+val rgb2gray : unroll:int -> Ir.Loop.t
+(** integer weighted sum with shifts *)
+
+val maxloc : unroll:int -> Ir.Loop.t
+(** m = max(m, x\[i\]) via compare+select — IF-converted reduction *)
+
+val int_filter : unroll:int -> Ir.Loop.t
+(** y\[i\] = (x\[i-1\] + 2·x\[i\] + x\[i+1\]) >> 2, integer stencil *)
+
+val mixed_convert : unroll:int -> Ir.Loop.t
+(** y\[i\] = float(ix\[i\])·a + b with int index arithmetic *)
+
+val gather : unroll:int -> Ir.Loop.t
+(** y\[i\] = x\[idx\[i\]\] + a — indirect access through an index load *)
+
+val state_update : unroll:int -> Ir.Loop.t
+(** banded state equation fragment (Livermore K7 flavour) *)
+
+val euler_step : unroll:int -> Ir.Loop.t
+(** v += a·dt; p += v·dt — two coupled float recurrences *)
+
+val division_heavy : unroll:int -> Ir.Loop.t
+(** y\[i\] = x\[i\] / z\[i\] + w\[i\] — long-latency int divides *)
+
+val all : (string * (unroll:int -> Ir.Loop.t)) list
+(** The twenty kernels above with their names. The 211-loop experimental
+    suite is built from exactly this list (plus generated loops), so it
+    stays fixed; newer kernels go in {!extra}. *)
+
+(** {2 Extended kernel set}
+
+    Additional shapes exercising the rest of the opcode set — fused
+    multiply-add, IF-converted [Select] code (the paper's input loops had
+    IF-conversion applied), saturation and sum-of-absolute-differences
+    idioms. Used by tests and available to the CLI, but deliberately not
+    part of the calibrated suite. *)
+
+val fir5 : unroll:int -> Ir.Loop.t
+(** 5-tap FIR filter: y\[i\] = Σ c_k·x\[i+k\] *)
+
+val select_threshold : unroll:int -> Ir.Loop.t
+(** IF-converted: y\[i\] = (x\[i\] > t) ? a·x\[i\] : x\[i\] via Cmp+Select *)
+
+val clip : unroll:int -> Ir.Loop.t
+(** y\[i\] = min(max(x\[i\], lo), hi) — integer saturation *)
+
+val sad : unroll:int -> Ir.Loop.t
+(** s += |a\[i\] − b\[i\]| — sum of absolute differences reduction *)
+
+val lerp : unroll:int -> Ir.Loop.t
+(** y\[i\] = a\[i\] + t·(b\[i\] − a\[i\]) *)
+
+val madd_horner : unroll:int -> Ir.Loop.t
+(** Horner evaluation using fused multiply-add operations *)
+
+val alpha_blend : unroll:int -> Ir.Loop.t
+(** integer o\[i\] = (α·p\[i\] + (256−α)·q\[i\]) >> 8 *)
+
+val complex_norm2 : unroll:int -> Ir.Loop.t
+(** s += re\[i\]² + im\[i\]² — reduction over complex magnitudes *)
+
+val mem_rec3 : unroll:int -> Ir.Loop.t
+(** x\[i\] = a·x\[i-3\] — a distance-3 {e memory} recurrence: three
+    independent chains interleave, so RecMII = ⌈chain latency / 3⌉ *)
+
+val extra : (string * (unroll:int -> Ir.Loop.t)) list
+(** The extended kernels with their names. *)

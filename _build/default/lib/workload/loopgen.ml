@@ -1,0 +1,118 @@
+type profile = {
+  min_exprs : int;
+  max_exprs : int;
+  min_depth : int;
+  max_depth : int;
+  float_ratio : float;
+  reduction_prob : float;
+  recurrence_prob : float;
+  min_unroll : int;
+  max_unroll : int;
+}
+
+let spec95 =
+  {
+    min_exprs = 1;
+    max_exprs = 3;
+    min_depth = 1;
+    max_depth = 3;
+    float_ratio = 0.7;
+    reduction_prob = 0.35;
+    recurrence_prob = 0.42;
+    min_unroll = 1;
+    max_unroll = 6;
+  }
+
+(* Binary operator mix of numeric inner loops: adds/subs dominate,
+   multiplies frequent, divides rare. *)
+let binop_mix : (Mach.Opcode.t * float) list =
+  [
+    (Mach.Opcode.Add, 4.0);
+    (Mach.Opcode.Sub, 2.0);
+    (Mach.Opcode.Mul, 3.0);
+    (Mach.Opcode.Div, 0.3);
+    (Mach.Opcode.Min, 0.3);
+    (Mach.Opcode.Max, 0.3);
+  ]
+
+let int_extra_mix : (Mach.Opcode.t * float) list =
+  [ (Mach.Opcode.And, 0.5); (Mach.Opcode.Or, 0.5); (Mach.Opcode.Shl, 0.7); (Mach.Opcode.Shr, 0.7) ]
+
+(* A leaf is a load from one of the loop's input streams (mostly) or a
+   loop-invariant scalar. Streams are shared across expressions of the
+   same loop, as real loops re-read the same arrays. *)
+let make_leaf rng b cls ~unroll ~j ~streams ~invariants =
+  if Util.Prng.chance rng 0.8 then begin
+    let base = Util.Prng.choose rng streams in
+    let shift = if Util.Prng.chance rng 0.15 then Util.Prng.int_in rng (-1) 1 else 0 in
+    Ir.Builder.load b cls (Ir.Addr.make ~offset:(j + shift) ~stride:unroll base)
+  end
+  else Util.Prng.choose rng invariants
+
+let rec make_expr rng b cls ~depth ~unroll ~j ~streams ~invariants =
+  if depth <= 0 then make_leaf rng b cls ~unroll ~j ~streams ~invariants
+  else begin
+    let l = make_expr rng b cls ~depth:(depth - 1) ~unroll ~j ~streams ~invariants in
+    let r = make_expr rng b cls ~depth:(depth - 1) ~unroll ~j ~streams ~invariants in
+    let mix =
+      match cls with
+      | Mach.Rclass.Float -> binop_mix
+      | Mach.Rclass.Int -> binop_mix @ int_extra_mix
+    in
+    Ir.Builder.binop b (Util.Prng.weighted rng mix) cls l r
+  end
+
+let generate ?(profile = spec95) ~seed ~index () =
+  let rng = Util.Prng.create ((seed * 1_000_003) + index) in
+  let cls =
+    if Util.Prng.chance rng profile.float_ratio then Mach.Rclass.Float else Mach.Rclass.Int
+  in
+  let unroll = Util.Prng.int_in rng profile.min_unroll profile.max_unroll in
+  let n_exprs = Util.Prng.int_in rng profile.min_exprs profile.max_exprs in
+  let n_streams = Util.Prng.int_in rng 1 (max 1 (n_exprs + 1)) in
+  let streams = List.init n_streams (Printf.sprintf "a%d") in
+  let b = Ir.Builder.create () in
+  let invariants =
+    List.init
+      (Util.Prng.int_in rng 1 3)
+      (fun k -> Ir.Builder.fresh ~name:(Printf.sprintf "inv%d" k) b cls)
+  in
+  let reduction =
+    if Util.Prng.chance rng profile.reduction_prob then
+      Some (Ir.Builder.fresh ~name:"racc" b cls)
+    else None
+  in
+  let recurrence =
+    if Util.Prng.chance rng profile.recurrence_prob then
+      Some (Ir.Builder.fresh ~name:"xrec" b cls)
+    else None
+  in
+  for j = 0 to unroll - 1 do
+    for k = 0 to n_exprs - 1 do
+      let depth = Util.Prng.int_in rng profile.min_depth profile.max_depth in
+      let v = make_expr rng b cls ~depth ~unroll ~j ~streams ~invariants in
+      Ir.Builder.store b cls (Ir.Addr.make ~offset:j ~stride:unroll (Printf.sprintf "out%d" k)) v
+    done;
+    (match reduction with
+    | Some acc ->
+        let v =
+          make_expr rng b cls ~depth:1 ~unroll ~j ~streams ~invariants
+        in
+        Ir.Builder.define b Mach.Opcode.Add cls ~into:acc [ acc; v ]
+    | None -> ());
+    match recurrence with
+    | Some x ->
+        let v = make_leaf rng b cls ~unroll ~j ~streams ~invariants in
+        let scaled = Ir.Builder.binop b Mach.Opcode.Mul cls x v in
+        Ir.Builder.define b Mach.Opcode.Add cls ~into:x [ scaled; v ];
+        Ir.Builder.store b cls (Ir.Addr.make ~offset:j ~stride:unroll "xout") x
+    | None -> ()
+  done;
+  let live_out =
+    (match reduction with Some r -> [ r ] | None -> [])
+    @ (match recurrence with Some x -> [ x ] | None -> [])
+  in
+  let name = Printf.sprintf "gen%d" index in
+  match live_out with
+  | [] -> Ir.Builder.loop b ~name ()
+  | l -> Ir.Builder.loop b ~live_out:l ~name ()

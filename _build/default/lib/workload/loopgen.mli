@@ -1,0 +1,29 @@
+(** Seeded random generation of SPEC95-style innermost loops.
+
+    Produces single-block loops with the statistical shape of extracted
+    Fortran inner loops: a few loaded array streams, arithmetic DAGs over
+    them (FP-heavy with an integer minority), optional reductions and
+    short recurrences, and one store per computed value. [unroll]
+    replicates independent slices, which is how high ideal IPC arises.
+    Every parameter is drawn from the given {!Util.Prng.t}, so a seed
+    fully determines the loop. *)
+
+type profile = {
+  min_exprs : int;        (** independent expression trees per slice *)
+  max_exprs : int;
+  min_depth : int;        (** operator-tree depth of each expression *)
+  max_depth : int;
+  float_ratio : float;    (** probability a loop is floating point *)
+  reduction_prob : float; (** probability the loop carries a reduction *)
+  recurrence_prob : float;(** probability of a first-order recurrence *)
+  min_unroll : int;
+  max_unroll : int;
+}
+
+val spec95 : profile
+(** Tuned so the 16-wide ideal pipelines of a generated suite average an
+    IPC close to the paper's reported 8.6. *)
+
+val generate : ?profile:profile -> seed:int -> index:int -> unit -> Ir.Loop.t
+(** One random loop named ["gen<index>"]. Equal (seed, index) pairs yield
+    identical loops. *)

@@ -1,0 +1,19 @@
+let size = 211
+
+let unroll_factors = [ 1; 2; 4; 8 ]
+
+let kernels () =
+  List.concat_map
+    (fun (_, make) -> List.map (fun unroll -> make ~unroll) unroll_factors)
+    Kernels.all
+
+let loops ?(seed = 1995) ?(n = size) () =
+  let base = kernels () in
+  let n_base = List.length base in
+  if n <= n_base then List.filteri (fun i _ -> i < n) base
+  else
+    base
+    @ List.init (n - n_base) (fun i -> Loopgen.generate ~seed ~index:i ())
+
+let by_name ?seed name =
+  List.find_opt (fun l -> String.equal (Ir.Loop.name l) name) (loops ?seed ())

@@ -1,0 +1,21 @@
+(** The experimental loop suite.
+
+    The paper pipelines 211 loops extracted from SPEC95. Ours are the
+    {!Kernels} classics (at several unroll factors, covering both
+    recurrence-bound and resource-bound regimes) topped up with seeded
+    {!Loopgen} loops to exactly 211. The suite is a pure function of
+    [seed], so every table and figure in the bench harness is
+    reproducible. *)
+
+val size : int
+(** 211, as in the paper. *)
+
+val kernels : unit -> Ir.Loop.t list
+(** The hand-written kernels at unroll factors 1, 2, 4 and 8. *)
+
+val loops : ?seed:int -> ?n:int -> unit -> Ir.Loop.t list
+(** [n] loops ([size] by default): every kernel variant, then generated
+    loops. [seed] defaults to 1995. *)
+
+val by_name : ?seed:int -> string -> Ir.Loop.t option
+(** Find a suite loop by name (e.g. ["daxpy-u4"], ["gen17"]). *)

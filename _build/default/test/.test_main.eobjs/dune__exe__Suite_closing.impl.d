@@ -1,0 +1,1 @@
+test/suite_closing.ml: Alcotest Core Ddg Graphlib Ir List Mach QCheck2 Sched String Testlib Util Workload

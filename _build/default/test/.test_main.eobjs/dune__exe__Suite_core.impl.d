@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Core Ir List Mach Partition Rcg Sched String Testlib Util Workload

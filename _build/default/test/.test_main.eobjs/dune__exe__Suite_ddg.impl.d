@@ -1,0 +1,1 @@
+test/suite_ddg.ml: Alcotest Ddg Graphlib Ir List Mach Testlib Workload

@@ -1,0 +1,1 @@
+test/suite_driver_matrix.ml: Alcotest Ddg Ir List Mach Partition Printf QCheck2 Rcg Sched Testlib Workload

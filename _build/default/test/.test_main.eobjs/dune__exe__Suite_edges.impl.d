@@ -1,0 +1,1 @@
+test/suite_edges.ml: Alcotest Array Ddg Float Format Graphlib Hashtbl Ir List Mach Partition QCheck2 Rcg Regalloc Sched String Testlib Util Workload

@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Alcotest Core Ddg Ir List Mach Partition Printf Rcg Testlib Util Workload

@@ -1,0 +1,1 @@
+test/suite_final.ml: Alcotest Core Ddg Ir List Mach Option Partition Rcg Regalloc Sched String Testlib Workload

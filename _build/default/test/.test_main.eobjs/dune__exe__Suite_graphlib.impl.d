@@ -1,0 +1,1 @@
+test/suite_graphlib.ml: Alcotest Graphlib Hashtbl Int List Option QCheck2 Testlib

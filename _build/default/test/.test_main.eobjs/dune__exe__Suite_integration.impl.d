@@ -1,0 +1,1 @@
+test/suite_integration.ml: Alcotest Core Ddg Hashtbl Ir List Mach Partition Printf Rcg Regalloc Sched Testlib Workload

@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Ddg Ir List Mach Option Partition Printf QCheck2 Sched Testlib Workload

@@ -1,0 +1,1 @@
+test/suite_mach.ml: Alcotest Latency List Mach Machine Opcode Printf Rclass Testlib

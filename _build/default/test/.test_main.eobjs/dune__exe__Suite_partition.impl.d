@@ -1,0 +1,1 @@
+test/suite_partition.ml: Alcotest Array Ddg Ir List Mach Partition Printf Rcg Sched Testlib Workload

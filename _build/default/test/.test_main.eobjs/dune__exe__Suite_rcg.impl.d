@@ -1,0 +1,1 @@
+test/suite_rcg.ml: Alcotest Ir List Mach Rcg Testlib Workload

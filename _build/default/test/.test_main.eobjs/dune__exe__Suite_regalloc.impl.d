@@ -1,0 +1,1 @@
+test/suite_regalloc.ml: Alcotest Array Ir List Mach Partition Rcg Regalloc String Testlib Workload

@@ -1,0 +1,1 @@
+test/suite_sched.ml: Alcotest Ddg Ir List Mach Sched Testlib Workload

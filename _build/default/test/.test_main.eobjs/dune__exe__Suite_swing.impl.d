@@ -1,0 +1,1 @@
+test/suite_swing.ml: Alcotest Array Ddg Ir List Mach Partition Printf QCheck2 Regalloc Sched Testlib Workload

@@ -1,0 +1,1 @@
+test/suite_typed_fu.ml: Alcotest Ddg Ir List Mach Partition Sched Testlib Workload

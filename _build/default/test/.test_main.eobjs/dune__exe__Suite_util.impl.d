@@ -1,0 +1,1 @@
+test/suite_util.ml: Alcotest Array Float Hashtbl List QCheck2 Testlib Util

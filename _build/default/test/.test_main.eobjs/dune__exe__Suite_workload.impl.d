@@ -1,0 +1,1 @@
+test/suite_workload.ml: Alcotest Core Ddg Graphlib Ir List Mach Partition Printf QCheck2 Sched Testlib Workload

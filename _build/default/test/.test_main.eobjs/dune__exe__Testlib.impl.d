@@ -1,0 +1,1 @@
+test/testlib.ml: Alcotest Format Hashtbl Ir List Mach Partition Printf QCheck2 QCheck_alcotest Random String Workload

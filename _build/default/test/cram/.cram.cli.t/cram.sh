@@ -1,0 +1,14 @@
+  $ rbp show vcopy-u1
+  $ rbp pipeline vcopy-u1 -c 2 | tail -n 1
+  $ rbp show no-such-loop
+  $ cat > saxpy.ir <<'IREOF'
+  > loop saxpy depth 1 trip 100
+  >   load.f x0, x[1*i]
+  >   load.f y0, y[1*i]
+  >   mul.f ax, a, x0
+  >   add.f s0, y0, ax
+  >   store.f y[1*i], s0
+  > IREOF
+  $ rbp ddg saxpy.ir | head -n 3
+  $ printf '  bogus a, b\n' > bad.ir
+  $ rbp show bad.ir

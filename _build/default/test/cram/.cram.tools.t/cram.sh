@@ -1,0 +1,4 @@
+  $ rbp compare vcopy-u2 -c 2 | head -n 6
+  $ rbp rcg vcopy-u1 --dot | head -n 4
+  $ rbp alloc vcopy-u2 -c 2 --regs 8 | head -n 4
+  $ rbp sim vcopy-u2 -c 2 --trips 4 | tail -n 2

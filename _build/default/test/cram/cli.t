@@ -1,0 +1,46 @@
+The CLI inspects suite loops:
+
+  $ rbp show vcopy-u1
+  loop vcopy-u1 (depth 1, 2 ops):
+    load.f f1, x[1*i]
+    store.f y[1*i], f1
+  
+  MinII (16-wide) = 1   RecMII = 1   critical path = 6 cycles
+  
+  --- ideal 16-wide kernel ---
+  kernel (II=1, 3 stages, 2 ops):
+     0: load.f f1, x[1*i] | store.f y[1*i], f1
+  
+
+Pipelining a tiny loop on a 2-cluster machine:
+
+  $ rbp pipeline vcopy-u1 -c 2 | tail -n 1
+  degradation 100 (100 = ideal), IPC 2.00 -> 2.00
+
+Unknown loops are reported helpfully:
+
+  $ rbp show no-such-loop
+  rbp: unknown loop "no-such-loop": not a file and not a suite loop (try `rbp list`)
+  [1]
+
+Textual IR files parse and pipeline:
+
+  $ cat > saxpy.ir <<'IREOF'
+  > loop saxpy depth 1 trip 100
+  >   load.f x0, x[1*i]
+  >   load.f y0, y[1*i]
+  >   mul.f ax, a, x0
+  >   add.f s0, y0, ax
+  >   store.f y[1*i], s0
+  > IREOF
+  $ rbp ddg saxpy.ir | head -n 3
+  ddg (5 ops, 5 edges):
+    load.f x0, x[1*i]
+      -> op2 flow(lat=2,dist=0)
+
+Parse errors carry line numbers:
+
+  $ printf '  bogus a, b\n' > bad.ir
+  $ rbp show bad.ir
+  rbp: bad.ir: line 1: unknown opcode "bogus"
+  [1]

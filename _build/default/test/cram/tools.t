@@ -1,0 +1,31 @@
+Partitioner comparison on one loop:
+
+  $ rbp compare vcopy-u2 -c 2 | head -n 6
+  Partitioners on vcopy-u2, 2x8-embedded
+  +---------------------+----------+----+-------------+--------+------+
+  | partitioner         | ideal II | II | degradation | copies | IPC  |
+  +=====================+==========+====+=============+========+======+
+  | greedy (paper)      | 1        | 1  | 100         | 0      | 4.00 |
+  | greedy + refinement | 1        | 1  | 100         | 0      | 4.00 |
+
+RCG Graphviz export is well-formed DOT:
+
+  $ rbp rcg vcopy-u1 --dot | head -n 4
+  graph rcg {
+    node [shape=ellipse, style=filled];
+    1 [label="f1\nw=0.0", fillcolor=lightblue];
+  }
+
+Register allocation report:
+
+  $ rbp alloc vcopy-u2 -c 2 --regs 8 | head -n 4
+  allocated in 1 round(s), 0 spills
+  bank 0: pressure 1 / 8 registers
+  bank 1: pressure 1 / 8 registers
+    f1           -> bank 0, reg 0
+
+Cycle-accurate simulation:
+
+  $ rbp sim vcopy-u2 -c 2 --trips 4 | tail -n 2
+  cycle-accurate simulation: OK (no latency violations)
+  speedup over sequential issue: 8.00x

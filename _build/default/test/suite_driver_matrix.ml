@@ -1,0 +1,204 @@
+open Testlib
+
+(* Cross-product checks: both schedulers × several machines × several
+   partitioners, all through the public driver, each result re-verified
+   and executed. *)
+
+let schedulers = [ ("rau", Partition.Driver.Rau); ("swing", Partition.Driver.Swing) ]
+
+let partitioners =
+  [
+    ("greedy", Partition.Driver.Greedy Rcg.Weights.default);
+    ("bug", Partition.Driver.Bug);
+    ("uas", Partition.Driver.Uas);
+    ("ne", Partition.Driver.Custom (fun machine ddg _ -> Partition.Ne.partition ~machine ddg));
+    ("refined", Partition.Refine.partitioner Rcg.Weights.default);
+  ]
+
+let verify_result machine loop (r : Partition.Driver.result) label =
+  let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency r.Partition.Driver.rewritten in
+  let cluster_of =
+    Partition.Driver.cluster_map r.Partition.Driver.assignment r.Partition.Driver.rewritten
+  in
+  (match
+     Sched.Check.kernel ~machine ~cluster_of ~ddg r.Partition.Driver.clustered.Sched.Modulo.kernel
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invalid kernel: %s" label e);
+  let trips = 4 in
+  let code =
+    Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+      ~loop:r.Partition.Driver.rewritten ~trips
+  in
+  let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+  seed_state sa loop;
+  seed_state sb loop;
+  Ir.Eval.run_loop sa ~trips loop;
+  Ir.Eval.run_ops sb (Sched.Expand.ops code);
+  if not (mem_equal sa sb) then Alcotest.failf "%s: diverges" label
+
+let matrix_tests =
+  [
+    slow_case "schedulers-x-partitioners-x-machines" (fun () ->
+        let loops =
+          [ Workload.Kernels.daxpy ~unroll:4; Workload.Kernels.dot ~unroll:2;
+            Workload.Kernels.tridiag ~unroll:1; Workload.Kernels.cmul ~unroll:2 ]
+        in
+        List.iter
+          (fun (sname, scheduler) ->
+            List.iter
+              (fun (pname, partitioner) ->
+                List.iter
+                  (fun machine ->
+                    List.iter
+                      (fun loop ->
+                        let label =
+                          Printf.sprintf "%s/%s/%s/%s" sname pname
+                            machine.Mach.Machine.name (Ir.Loop.name loop)
+                        in
+                        match
+                          Partition.Driver.pipeline ~partitioner ~scheduler ~machine loop
+                        with
+                        | Error e -> Alcotest.failf "%s: %s" label e
+                        | Ok r -> verify_result machine loop r label)
+                      loops)
+                  [ m2x8e; m4x4c; m8x2e ])
+              partitioners)
+          schedulers);
+    case "swing-scheduler-through-driver" (fun () ->
+        let loop = Workload.Kernels.hydro ~unroll:4 in
+        match
+          Partition.Driver.pipeline ~scheduler:Partition.Driver.Swing ~machine:m4x4e loop
+        with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            check Alcotest.bool "ii >= mii" true
+              (r.Partition.Driver.clustered.Sched.Modulo.ii
+              >= r.Partition.Driver.clustered.Sched.Modulo.mii));
+  ]
+
+let restab_props =
+  [
+    qcheck ~count:200 "reserve-then-release-restores-fit"
+      QCheck2.Gen.(pair (int_range 0 30) (int_range 1 8))
+      (fun (cycle, ii) ->
+        let t = Sched.Restab.create_modulo m4x4e ~ii in
+        let req = Sched.Restab.Fu (cycle mod 4) in
+        let before = Sched.Restab.fits t ~cycle req in
+        Sched.Restab.reserve t ~cycle ~op:1 req;
+        Sched.Restab.release_op t ~op:1;
+        before && Sched.Restab.fits t ~cycle req);
+    qcheck ~count:200 "capacity-is-exact"
+      QCheck2.Gen.(int_range 1 8)
+      (fun ii ->
+        let t = Sched.Restab.create_modulo m4x4e ~ii in
+        let req = Sched.Restab.Fu 2 in
+        let rec fill k =
+          if Sched.Restab.fits t ~cycle:0 req then begin
+            Sched.Restab.reserve t ~cycle:0 ~op:k req;
+            fill (k + 1)
+          end
+          else k
+        in
+        fill 0 = m4x4e.Mach.Machine.fus_per_cluster);
+    qcheck ~count:100 "conflicts-empty-iff-fits"
+      QCheck2.Gen.(int_range 0 6)
+      (fun pre ->
+        let t = Sched.Restab.create_modulo m8x2e ~ii:2 in
+        for op = 0 to pre - 1 do
+          if Sched.Restab.fits t ~cycle:0 (Sched.Restab.Fu 0) then
+            Sched.Restab.reserve t ~cycle:0 ~op (Sched.Restab.Fu 0)
+        done;
+        let fits = Sched.Restab.fits t ~cycle:0 (Sched.Restab.Fu 0) in
+        let conflicts = Sched.Restab.conflicting_ops t ~cycle:0 (Sched.Restab.Fu 0) in
+        fits = (conflicts = []));
+  ]
+
+let expand_props =
+  [
+    qcheck ~count:30 "instance-count-and-cycle-bounds" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> false
+        | Some o ->
+            let trips = 3 in
+            let code = Sched.Expand.flatten ~kernel:o.Sched.Modulo.kernel ~loop ~trips in
+            let ii = Sched.Kernel.ii o.Sched.Modulo.kernel in
+            let stages = Sched.Kernel.n_stages o.Sched.Modulo.kernel in
+            List.length code.Sched.Expand.instances = trips * Ir.Loop.size loop
+            && code.Sched.Expand.total_cycles <= ((trips + stages) * ii) + 1
+            && List.for_all
+                 (fun (x : Sched.Expand.instance) ->
+                   x.cycle >= 0 && x.iteration >= 0 && x.iteration < trips)
+                 code.Sched.Expand.instances);
+    qcheck ~count:30 "expansion-issue-order-sorted" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> false
+        | Some o ->
+            let code = Sched.Expand.flatten ~kernel:o.Sched.Modulo.kernel ~loop ~trips:4 in
+            let rec sorted = function
+              | (a : Sched.Expand.instance) :: (b :: _ as rest) ->
+                  a.cycle <= b.cycle && sorted rest
+              | [ _ ] | [] -> true
+            in
+            sorted code.Sched.Expand.instances);
+  ]
+
+(* The two independent validators (static Check, dynamic Sim) and the
+   interpreter must agree on driver output. *)
+let cross_validation =
+  [
+    qcheck ~count:25 "check-and-sim-agree-on-driver-output" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        match Partition.Driver.pipeline ~machine:m4x4e loop with
+        | Error _ -> false
+        | Ok r -> (
+            let machine = m4x4e in
+            let ddg =
+              Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency
+                r.Partition.Driver.rewritten
+            in
+            let cluster_of =
+              Partition.Driver.cluster_map r.Partition.Driver.assignment
+                r.Partition.Driver.rewritten
+            in
+            let static_ok =
+              Sched.Check.kernel ~machine ~cluster_of ~ddg
+                r.Partition.Driver.clustered.Sched.Modulo.kernel
+              = Ok ()
+            in
+            let code =
+              Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+                ~loop:r.Partition.Driver.rewritten ~trips:4
+            in
+            let st = Ir.Eval.create () in
+            seed_state st loop;
+            match Sched.Sim.run ~state:st ~latency:machine.Mach.Machine.latency code with
+            | Ok _ -> static_ok
+            | Error _ -> false));
+    qcheck ~count:20 "swing-driver-output-simulates" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        match
+          Partition.Driver.pipeline ~scheduler:Partition.Driver.Swing ~machine:m8x2c loop
+        with
+        | Error _ -> false
+        | Ok r -> (
+            let code =
+              Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+                ~loop:r.Partition.Driver.rewritten ~trips:3
+            in
+            match Sched.Sim.run ~latency:m8x2c.Mach.Machine.latency code with
+            | Ok _ -> true
+            | Error _ -> false));
+  ]
+
+let suite =
+  [
+    ("driver.matrix", matrix_tests);
+    ("driver.cross-validation", cross_validation);
+    ("sched.restab-props", restab_props);
+    ("sched.expand-props", expand_props);
+  ]

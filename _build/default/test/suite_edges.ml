@@ -1,0 +1,280 @@
+open Testlib
+
+(* Second-tranche edge cases across all libraries. *)
+
+let f = Mach.Rclass.Float
+let i = Mach.Rclass.Int
+
+let util_edges =
+  [
+    qcheck ~count:100 "weighted-respects-support"
+      QCheck2.Gen.(int_range 0 1000)
+      (fun seed ->
+        let rng = Util.Prng.create seed in
+        let v = Util.Prng.weighted rng [ ("a", 1.0); ("b", 2.0); ("c", 0.0) ] in
+        v = "a" || v = "b");
+    case "weighted-all-zero-raises" (fun () ->
+        let rng = Util.Prng.create 1 in
+        Alcotest.check_raises "zero" (Invalid_argument "Prng.weighted: weights sum to zero")
+          (fun () -> ignore (Util.Prng.weighted rng [ ("a", 0.0) ])));
+    qcheck ~count:100 "geometric-le-arithmetic"
+      QCheck2.Gen.(list_size (int_range 1 10) (float_range 0.1 100.0))
+      (fun l -> Util.Stats.geometric_mean l <= Util.Stats.mean l +. 1e-9);
+    case "table-empty-rows-renders" (fun () ->
+        let t = Util.Table.create ~title:"empty" ~header:[ "a" ] in
+        check Alcotest.bool "renders" true (String.length (Util.Table.render t) > 0));
+    case "min-max-singleton" (fun () ->
+        let lo, hi = Util.Stats.min_max [ 4.0 ] in
+        check (Alcotest.float 0.0) "lo" 4.0 lo;
+        check (Alcotest.float 0.0) "hi" 4.0 hi);
+  ]
+
+let ir_edges =
+  [
+    case "func-rejects-unknown-edge" (fun () ->
+        let blk = Ir.Block.make ~label:"a" [] in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Ir.Func.make ~name:"t" ~blocks:[ blk ] ~edges:[ ("a", "nope") ]);
+             false
+           with Invalid_argument _ -> true));
+    case "func-rejects-duplicate-labels" (fun () ->
+        let blk = Ir.Block.make ~label:"a" [] in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Ir.Func.make ~name:"t" ~blocks:[ blk; blk ] ~edges:[]);
+             false
+           with Invalid_argument _ -> true));
+    case "func-rejects-cross-block-op-id-clash" (fun () ->
+        let op l = Ir.Op.make ~dst:(vreg 1) ~addr:(Ir.Addr.scalar l) ~id:0
+            ~opcode:Mach.Opcode.Load ~cls:f ()
+        in
+        let b1 = Ir.Block.make ~label:"a" [ op "x" ] in
+        let b2 = Ir.Block.make ~label:"b" [ op "y" ] in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Ir.Func.make ~name:"t" ~blocks:[ b1; b2 ] ~edges:[]);
+             false
+           with Invalid_argument _ -> true));
+    case "eval-shift-semantics" (fun () ->
+        let st = Ir.Eval.create () in
+        let a = vreg ~cls:i 1 and b = vreg ~cls:i 2 and c = vreg ~cls:i 3 in
+        Ir.Eval.set_reg st a (Ir.Eval.I 5);
+        Ir.Eval.set_reg st b (Ir.Eval.I 2);
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~dst:c ~srcs:[ a; b ] ~id:0 ~opcode:Mach.Opcode.Shl ~cls:i ());
+        check Alcotest.bool "5<<2=20" true (Ir.Eval.value_equal (Ir.Eval.I 20) (Ir.Eval.get_reg st c)));
+    case "eval-madd" (fun () ->
+        let st = Ir.Eval.create () in
+        let a = vreg 1 and b = vreg 2 and c = vreg 3 and d = vreg 4 in
+        Ir.Eval.set_reg st a (Ir.Eval.F 2.0);
+        Ir.Eval.set_reg st b (Ir.Eval.F 3.0);
+        Ir.Eval.set_reg st c (Ir.Eval.F 1.0);
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~dst:d ~srcs:[ a; b; c ] ~id:0 ~opcode:Mach.Opcode.Madd ~cls:f ());
+        check Alcotest.bool "2*3+1" true (Ir.Eval.value_equal (Ir.Eval.F 7.0) (Ir.Eval.get_reg st d)));
+    case "eval-convert-truncates" (fun () ->
+        let st = Ir.Eval.create () in
+        let x = vreg 1 and y = vreg ~cls:i 2 in
+        Ir.Eval.set_reg st x (Ir.Eval.F 3.9);
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~dst:y ~srcs:[ x ] ~id:0 ~opcode:Mach.Opcode.Convert ~cls:i ());
+        check Alcotest.bool "3" true (Ir.Eval.value_equal (Ir.Eval.I 3) (Ir.Eval.get_reg st y)));
+    case "value-equal-nan" (fun () ->
+        check Alcotest.bool "nan=nan" true (Ir.Eval.value_equal (Ir.Eval.F nan) (Ir.Eval.F nan));
+        check Alcotest.bool "int/float differ" false
+          (Ir.Eval.value_equal (Ir.Eval.I 1) (Ir.Eval.F 1.0)));
+    case "parse-unknown-live-out" (fun () ->
+        match Ir.Parse.loop_of_string "  load.f a, x\nlive_out: ghost\n" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error e -> check Alcotest.bool "mentions ghost" true (contains e "ghost"));
+    case "parse-malformed-address" (fun () ->
+        check Alcotest.bool "error" true
+          (match Ir.Parse.loop_of_string "  load.f a, x[\n" with
+          | Error _ -> true
+          | Ok _ -> false));
+    case "builder-op-count" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.scalar "x") in
+        ignore (Ir.Builder.copy b x);
+        check Alcotest.int "2" 2 (Ir.Builder.op_count b));
+  ]
+
+let graphlib_edges =
+  [
+    case "copy-is-independent" (fun () ->
+        let g = Graphlib.Digraph.create () in
+        Graphlib.Digraph.add_edge g ~src:1 ~dst:2 ();
+        let h = Graphlib.Digraph.copy g in
+        Graphlib.Digraph.add_edge g ~src:2 ~dst:3 ();
+        check Alcotest.int "h unchanged" 1 (Graphlib.Digraph.edge_count h);
+        check Alcotest.int "g grew" 2 (Graphlib.Digraph.edge_count g));
+    case "longest-paths-multi-source" (fun () ->
+        let g = Graphlib.Digraph.create () in
+        Graphlib.Digraph.add_edge g ~src:1 ~dst:3 5;
+        Graphlib.Digraph.add_edge g ~src:2 ~dst:3 9;
+        let d = Graphlib.Topo.longest_paths ~weight:(fun e -> e.Graphlib.Digraph.label) g in
+        check Alcotest.int "max path wins" 9 (Hashtbl.find d 3));
+    case "ungraph-copy-independent" (fun () ->
+        let g = Graphlib.Ungraph.create () in
+        Graphlib.Ungraph.add_edge_weight g 1 2 1.0;
+        let h = Graphlib.Ungraph.copy g in
+        Graphlib.Ungraph.add_edge_weight g 1 2 1.0;
+        check (Alcotest.float 1e-9) "h keeps 1" 1.0 (Graphlib.Ungraph.edge_weight h 1 2));
+    case "scc-empty-graph" (fun () ->
+        check Alcotest.int "no comps" 0
+          (List.length (Graphlib.Scc.tarjan (Graphlib.Digraph.create ()))));
+  ]
+
+let sched_edges =
+  [
+    case "kernel-normalizes-min-cycle" (fun () ->
+        let op = Ir.Op.make ~dst:(vreg 1) ~addr:(Ir.Addr.scalar "x") ~id:0
+            ~opcode:Mach.Opcode.Load ~cls:f ()
+        in
+        let k = Sched.Kernel.make ~ii:2 [ { Sched.Schedule.op; cycle = 7; cluster = 0 } ] in
+        check Alcotest.int "cycle 0" 0 (Sched.Kernel.cycle_of k 0);
+        check Alcotest.int "1 stage" 1 (Sched.Kernel.n_stages k));
+    case "kernel-rows-cover-all-ops" (fun () ->
+        let loop = Workload.Kernels.hydro ~unroll:2 in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o ->
+            let k = o.Sched.Modulo.kernel in
+            let total =
+              List.fold_left (fun acc (_, ops) -> acc + List.length ops) 0
+                (Sched.Kernel.kernel_rows k)
+            in
+            check Alcotest.int "all ops in rows" (Sched.Kernel.op_count k) total);
+    case "tiny-budget-still-valid" (fun () ->
+        (* budget_ratio 1 forces II escalation; result must stay valid *)
+        let loop = Workload.Kernels.cmul ~unroll:2 in
+        let ddg = Ddg.Graph.of_loop loop in
+        let mii = Ddg.Minii.min_ii ~width:16 ddg in
+        match
+          Sched.Modulo.schedule ~budget_ratio:1 ~machine:ideal16 ~mii ddg
+        with
+        | None -> Alcotest.fail "expected a schedule eventually"
+        | Some o ->
+            check Alcotest.bool "valid" true
+              (Sched.Check.kernel ~machine:ideal16 ~cluster_of:all_zero_clusters ~ddg
+                 o.Sched.Modulo.kernel
+              = Ok ()));
+    case "modulo-rejects-bad-mii" (fun () ->
+        let ddg = Ddg.Graph.of_loop (Workload.Kernels.vcopy ~unroll:1) in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Sched.Modulo.schedule ~machine:ideal16 ~mii:0 ddg);
+             false
+           with Invalid_argument _ -> true));
+    case "slack-positive-for-wide-loop" (fun () ->
+        (* independent slices: plenty of slack somewhere *)
+        let ddg = Ddg.Graph.of_loop (Workload.Kernels.division_heavy ~unroll:2) in
+        let sl = Sched.Slack.analyze ddg in
+        check Alcotest.bool "some slack > 0" true
+          (List.exists
+             (fun op -> Sched.Slack.slack sl (Ir.Op.id op) > 0)
+             (Ddg.Graph.ops_in_order ddg)));
+  ]
+
+let partition_edges =
+  [
+    case "driver-fails-gracefully-on-unsatisfiable" (fun () ->
+        (* copy-unit machine with zero busses cannot route any copy *)
+        let machine =
+          Mach.Machine.make ~busses:0 ~copy_ports:1 ~clusters:4 ~fus_per_cluster:4
+            ~copy_model:Mach.Machine.Copy_unit ()
+        in
+        let loop = Workload.Kernels.daxpy ~unroll:4 in
+        match Partition.Driver.pipeline ~machine loop with
+        | Error _ -> () (* expected: no II can route copies *)
+        | Ok r ->
+            (* acceptable only if the partition produced no copies at all *)
+            check Alcotest.int "then zero copies" 0 r.Partition.Driver.n_copies);
+    case "greedy-balance-zero-allows-skew" (fun () ->
+        let g = Rcg.Graph.create () in
+        for k = 1 to 6 do
+          Rcg.Graph.add_node_weight g (vreg k) (float_of_int k)
+        done;
+        (* all nodes attracted to node 1: with balance 0 everything piles up *)
+        for k = 2 to 6 do
+          Rcg.Graph.add_edge_weight g (vreg 1) (vreg k) 10.0
+        done;
+        let w0 = { Rcg.Weights.default with Rcg.Weights.balance = 0.0 } in
+        let a = Partition.Greedy.partition ~weights:w0 ~banks:2 g in
+        let counts = Partition.Assign.counts ~banks:2 a in
+        check Alcotest.bool "one bank has all" true (counts.(0) = 6 || counts.(1) = 6));
+    case "copies-insert-on-copy-unit-counts-ports" (fun () ->
+        let loop = Workload.Kernels.stencil3 ~unroll:2 in
+        let g = Rcg.Build.of_loop ~machine:ideal16 loop in
+        let a = Partition.Greedy.partition ~banks:4 g in
+        let r = Partition.Copies.insert_loop ~machine:m4x4c ~assignment:a loop in
+        (* same counting regardless of model *)
+        check Alcotest.int "copies total"
+          (Array.fold_left ( + ) 0 r.Partition.Copies.copies_per_cluster)
+          r.Partition.Copies.n_copies);
+    case "assign-counts-rejects-out-of-range" (fun () ->
+        let a = Partition.Assign.of_list [ (vreg 1, 9) ] in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Partition.Assign.counts ~banks:4 a);
+             false
+           with Invalid_argument _ -> true));
+    case "refine-cost-decreases-with-fewer-copies" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let all0 =
+          Partition.Assign.of_list
+            (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Loop.vregs loop)))
+        in
+        let rec_mii = Ddg.Minii.rec_mii (Ddg.Graph.of_loop loop) in
+        let c_all0 =
+          Partition.Refine.cost ~machine:m4x4e ~loop ~rec_mii ~copy_weight:0.05 all0
+        in
+        (* all in one bank: zero copies but saturated cluster; splitting a
+           load off can only change cost consistently with the model *)
+        check Alcotest.bool "cost finite" true (Float.is_finite c_all0));
+  ]
+
+let regalloc_edges =
+  [
+    case "func-live-out-unknown-block-raises" (fun () ->
+        let blk = Ir.Block.make ~label:"a" [] in
+        let fn = Ir.Func.make ~name:"t" ~blocks:[ blk ] ~edges:[] in
+        let lo = Regalloc.Liveness.func_live_out fn in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (lo "ghost");
+             false
+           with Invalid_argument _ -> true));
+    case "color-with-cost-override" (fun () ->
+        (* force a specific spill victim via the cost function *)
+        let ops =
+          let b = Ir.Builder.create () in
+          let x = Ir.Builder.load b f (Ir.Addr.scalar "x") in
+          let y = Ir.Builder.load b f (Ir.Addr.scalar "y") in
+          let z = Ir.Builder.binop b Mach.Opcode.Add f x y in
+          Ir.Builder.store b f (Ir.Addr.scalar "o") z;
+          Ir.Loop.ops (Ir.Builder.loop b ~name:"t" ())
+        in
+        let g = Regalloc.Interference.build ops ~live_out:Ir.Vreg.Set.empty in
+        let cheap = List.hd (Regalloc.Interference.registers g) in
+        let cost r = if Ir.Vreg.equal r cheap then 0.0 else 100.0 in
+        let r = Regalloc.Color.color ~cost ~k:1 g in
+        check Alcotest.bool "cheap spilled first" true
+          (match r.Regalloc.Color.spilled with v :: _ -> Ir.Vreg.equal v cheap | [] -> false));
+    case "interference-pp-smoke" (fun () ->
+        let g = Regalloc.Interference.build [] ~live_out:(Ir.Vreg.Set.singleton (vreg 1)) in
+        check Alcotest.bool "prints" true
+          (String.length (Format.asprintf "%a" Regalloc.Interference.pp g) > 0));
+  ]
+
+let suite =
+  [
+    ("edges.util", util_edges);
+    ("edges.ir", ir_edges);
+    ("edges.graphlib", graphlib_edges);
+    ("edges.sched", sched_edges);
+    ("edges.partition", partition_edges);
+    ("edges.regalloc", regalloc_edges);
+  ]

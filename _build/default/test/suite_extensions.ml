@@ -1,0 +1,219 @@
+open Testlib
+
+let refine_tests =
+  [
+    case "refine-never-worsens-cost" (fun () ->
+        List.iter
+          (fun loop ->
+            let rcg = Rcg.Build.of_loop ~machine:ideal16 loop in
+            let base = Partition.Greedy.partition ~banks:4 rcg in
+            let rec_mii = Ddg.Minii.rec_mii (Ddg.Graph.of_loop loop) in
+            let cost a =
+              Partition.Refine.cost ~machine:m4x4e ~loop ~rec_mii ~copy_weight:0.05 a
+            in
+            let refined, moves =
+              Partition.Refine.refine ~machine:m4x4e ~loop ~rcg base
+            in
+            check Alcotest.bool (Ir.Loop.name loop) true (cost refined <= cost base);
+            check Alcotest.bool "moves >= 0" true (moves >= 0))
+          (sample_loops ~n:16 ()));
+    case "refine-keeps-assignment-total" (fun () ->
+        let loop = Workload.Kernels.cmul ~unroll:4 in
+        let rcg = Rcg.Build.of_loop ~machine:ideal16 loop in
+        let base = Partition.Greedy.partition ~banks:4 rcg in
+        let refined, _ = Partition.Refine.refine ~machine:m4x4e ~loop ~rcg base in
+        check Alcotest.bool "in range" true (Partition.Assign.all_in_range ~banks:4 refined);
+        check Alcotest.int "same domain" (Ir.Vreg.Map.cardinal base)
+          (Ir.Vreg.Map.cardinal refined));
+    case "refine-monolithic-is-identity" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:1 in
+        let rcg = Rcg.Build.of_loop ~machine:ideal16 loop in
+        let base = Partition.Greedy.partition ~banks:1 rcg in
+        let refined, moves = Partition.Refine.refine ~machine:ideal16 ~loop ~rcg base in
+        check Alcotest.int "no moves" 0 moves;
+        check Alcotest.bool "unchanged" true (Ir.Vreg.Map.equal ( = ) base refined));
+    case "refine-respects-pins" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let rcg = Rcg.Build.of_loop ~machine:ideal16 loop in
+        let pinned_reg = List.hd (Rcg.Graph.by_weight_desc rcg) in
+        Rcg.Graph.pin rcg pinned_reg 3;
+        let base = Partition.Greedy.partition ~banks:4 rcg in
+        let refined, _ = Partition.Refine.refine ~machine:m4x4e ~loop ~rcg base in
+        check Alcotest.int "still pinned" 3 (Partition.Assign.bank refined pinned_reg));
+    case "refined-partitioner-pipeline-not-worse-on-average" (fun () ->
+        let loops = sample_loops ~n:12 () in
+        let deg partitioner =
+          Util.Stats.mean
+            (List.filter_map
+               (fun loop ->
+                 match Partition.Driver.pipeline ~partitioner ~machine:m4x4e loop with
+                 | Ok r -> Some r.Partition.Driver.degradation
+                 | Error _ -> None)
+               loops)
+        in
+        let base = deg (Partition.Driver.Greedy Rcg.Weights.default) in
+        let refined = deg (Partition.Refine.partitioner Rcg.Weights.default) in
+        (* the cost model is a proxy, so allow a small regression margin *)
+        check Alcotest.bool
+          (Printf.sprintf "refined %.1f <= base %.1f + 5" refined base)
+          true
+          (refined <= base +. 5.0));
+  ]
+
+let tune_tests =
+  [
+    case "evaluate-default-weights" (fun () ->
+        let loops = sample_loops ~n:6 () in
+        let s = Core.Tune.evaluate ~machine:m4x4e ~loops Rcg.Weights.default in
+        check Alcotest.bool "sane range" true (s >= 100.0 && s < 300.0));
+    case "random-search-never-worse-than-default" (fun () ->
+        let loops = sample_loops ~n:6 () in
+        let r = Core.Tune.random_search ~budget:6 ~machine:m4x4e ~loops () in
+        let default_score = Core.Tune.evaluate ~machine:m4x4e ~loops Rcg.Weights.default in
+        check Alcotest.bool "<= default" true (r.Core.Tune.score <= default_score +. 1e-9);
+        check Alcotest.int "budget respected" 6 r.Core.Tune.evaluations);
+    case "hill-climb-monotone-trace" (fun () ->
+        let loops = sample_loops ~n:6 () in
+        let r = Core.Tune.hill_climb ~budget:8 ~machine:m4x4e ~loops () in
+        let rec monotone = function
+          | (_, a) :: ((_, b) :: _ as rest) -> a >= b && monotone rest
+          | [ _ ] | [] -> true
+        in
+        check Alcotest.bool "monotone" true (monotone r.Core.Tune.trace);
+        check Alcotest.bool "trace nonempty" true (r.Core.Tune.trace <> []));
+    case "deterministic-under-seed" (fun () ->
+        let loops = sample_loops ~n:4 () in
+        let a = Core.Tune.random_search ~budget:5 ~seed:3 ~machine:m4x4e ~loops () in
+        let b = Core.Tune.random_search ~budget:5 ~seed:3 ~machine:m4x4e ~loops () in
+        check (Alcotest.float 1e-12) "same score" a.Core.Tune.score b.Core.Tune.score);
+  ]
+
+let func_tests =
+  [
+    case "funcgen-well-formed" (fun () ->
+        List.iter
+          (fun fn ->
+            check Alcotest.bool (Ir.Func.name fn) true (Ir.Func.size fn > 0);
+            (* every edge endpoint exists — Func.make already validates;
+               entry block must be first *)
+            check Alcotest.string "entry first" "entry"
+              (Ir.Block.label (Ir.Func.entry fn)))
+          (Workload.Funcgen.suite ~n:12 ()));
+    case "funcgen-deterministic" (fun () ->
+        let a = Workload.Funcgen.generate ~index:4 () in
+        let b = Workload.Funcgen.generate ~index:4 () in
+        check Alcotest.int "same size" (Ir.Func.size a) (Ir.Func.size b));
+    case "func-pipeline-monolithic-100" (fun () ->
+        let fn = Workload.Funcgen.generate ~index:0 () in
+        match Partition.Func_driver.pipeline ~machine:ideal16 fn with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            check (Alcotest.float 1e-9) "100" 100.0 r.Partition.Func_driver.degradation;
+            check Alcotest.int "no copies" 0 r.Partition.Func_driver.n_copies);
+    case "func-pipeline-clustered" (fun () ->
+        List.iter
+          (fun fn ->
+            match Partition.Func_driver.pipeline ~machine:m4x4e fn with
+            | Error e -> Alcotest.failf "%s: %s" (Ir.Func.name fn) e
+            | Ok r ->
+                check Alcotest.bool "degradation >= 100" true
+                  (r.Partition.Func_driver.degradation >= 100.0 -. 1e-9);
+                (* weighted cycles positive *)
+                check Alcotest.bool "cycles > 0" true (r.Partition.Func_driver.ideal_cycles > 0.0))
+          (Workload.Funcgen.suite ~n:10 ()));
+    case "func-pipeline-semantics" (fun () ->
+        (* executing the rewritten function block by block must equal the
+           original (blocks are straight-line; CFG here is a chain) *)
+        let fn = Workload.Funcgen.generate ~index:2 () in
+        match Partition.Func_driver.pipeline ~machine:m4x4e fn with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            let run f =
+              let st = Ir.Eval.create () in
+              List.iter (fun blk -> Ir.Eval.run_ops st (Ir.Block.ops blk)) (Ir.Func.blocks f);
+              st
+            in
+            let sa = run fn and sb = run r.Partition.Func_driver.rewritten in
+            check Alcotest.bool "memory equal" true (mem_equal sa sb));
+    case "func-whole-program-band" (fun () ->
+        (* [16] reports ~11% on 4 banks for whole programs; accept a broad
+           band around it for the synthetic functions *)
+        let fns = Workload.Funcgen.suite ~n:20 () in
+        let degs =
+          List.filter_map
+            (fun fn ->
+              match Partition.Func_driver.pipeline ~machine:m4x4e fn with
+              | Ok r -> Some r.Partition.Func_driver.degradation
+              | Error _ -> None)
+            fns
+        in
+        let mean = Util.Stats.mean degs in
+        check Alcotest.bool (Printf.sprintf "100 <= %.1f <= 140" mean) true
+          (mean >= 100.0 && mean <= 140.0));
+  ]
+
+let superblock_tests =
+  [
+    case "merges-linear-same-depth-chain" (fun () ->
+        let f = Mach.Rclass.Float in
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.scalar "x") in
+        Ir.Builder.start_block b "mid";
+        let y = Ir.Builder.unop b Mach.Opcode.Neg f x in
+        Ir.Builder.start_block b "end";
+        Ir.Builder.store b f (Ir.Addr.scalar "o") y;
+        let fn = Ir.Builder.func b ~name:"chain" ~edges:[ ("entry", "mid"); ("mid", "end") ] in
+        check Alcotest.int "2 seams" 2 (Ir.Superblock.chain_count fn);
+        let merged = Ir.Superblock.merge_chains fn in
+        check Alcotest.int "1 block" 1 (List.length (Ir.Func.blocks merged));
+        check Alcotest.int "0 seams" 0 (Ir.Superblock.chain_count merged);
+        check Alcotest.int "ops preserved" (Ir.Func.size fn) (Ir.Func.size merged);
+        (* semantics unchanged *)
+        let run f =
+          let st = Ir.Eval.create () in
+          List.iter (fun blk -> Ir.Eval.run_ops st (Ir.Block.ops blk)) (Ir.Func.blocks f);
+          st
+        in
+        check Alcotest.bool "memory equal" true (mem_equal (run fn) (run merged)));
+    case "depth-mismatch-not-merged" (fun () ->
+        let f = Mach.Rclass.Float in
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.scalar "x") in
+        Ir.Builder.start_block ~depth:1 b "loopy";
+        Ir.Builder.store b f (Ir.Addr.scalar "o") x;
+        let fn = Ir.Builder.func b ~name:"t" ~edges:[ ("entry", "loopy") ] in
+        let merged = Ir.Superblock.merge_chains fn in
+        check Alcotest.int "still 2 blocks" 2 (List.length (Ir.Func.blocks merged)));
+    case "branchy-cfg-untouched" (fun () ->
+        let f = Mach.Rclass.Float in
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.scalar "x") in
+        Ir.Builder.start_block b "then";
+        Ir.Builder.store b f (Ir.Addr.scalar "a") x;
+        Ir.Builder.start_block b "else";
+        Ir.Builder.store b f (Ir.Addr.scalar "c") x;
+        let fn =
+          Ir.Builder.func b ~name:"t" ~edges:[ ("entry", "then"); ("entry", "else") ]
+        in
+        check Alcotest.int "3 blocks stay" 3
+          (List.length (Ir.Func.blocks (Ir.Superblock.merge_chains fn))));
+    case "merging-never-lengthens-schedules" (fun () ->
+        List.iter
+          (fun fn ->
+            let merged = Ir.Superblock.merge_chains fn in
+            let cycles f =
+              match Partition.Func_driver.pipeline ~machine:ideal16 f with
+              | Ok r -> r.Partition.Func_driver.ideal_cycles
+              | Error e -> Alcotest.fail e
+            in
+            check Alcotest.bool (Ir.Func.name fn) true (cycles merged <= cycles fn))
+          (Workload.Funcgen.suite ~n:10 ()));
+  ]
+
+let suite =
+  [
+    ("ext.superblock", superblock_tests);
+    ("ext.refine", refine_tests);
+    ("ext.tune", tune_tests);
+    ("ext.funcdriver", func_tests);
+  ]

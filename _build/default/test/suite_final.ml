@@ -1,0 +1,169 @@
+open Testlib
+
+let f = Mach.Rclass.Float
+
+let properties =
+  [
+    qcheck ~count:40 "lifetimes-well-formed" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> false
+        | Some o ->
+            let lts = Sched.Pressure.lifetimes ~kernel:o.Sched.Modulo.kernel ~loop in
+            List.for_all (fun (_, c, e) -> e > c && c >= 0) lts
+            && Sched.Pressure.max_live ~kernel:o.Sched.Modulo.kernel ~loop >= 0);
+    qcheck ~count:40 "kernel-alloc-covers-maxlive" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> false
+        | Some o ->
+            let req =
+              Regalloc.Kernel_alloc.requirements ~kernel:o.Sched.Modulo.kernel ~loop ~banks:1
+                ~bank_of:(fun _ -> 0)
+            in
+            req.Regalloc.Kernel_alloc.total
+            >= Sched.Pressure.max_live ~kernel:o.Sched.Modulo.kernel ~loop);
+    qcheck ~count:30 "parse-roundtrip-random-loops" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        match Ir.Parse.loop_of_string (Ir.Parse.loop_to_string loop) with
+        | Error _ -> false
+        | Ok loop' ->
+            List.for_all2
+              (fun a b -> Ir.Op.to_string a = Ir.Op.to_string b)
+              (Ir.Loop.ops loop) (Ir.Loop.ops loop'));
+    qcheck ~count:30 "unrolled-driver-pipeline-equivalence" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let unrolled, _ = Ir.Unroll.loop ~factor:2 loop in
+        match Partition.Driver.pipeline ~machine:m2x8e unrolled with
+        | Error _ -> false
+        | Ok r ->
+            let trips = 3 in
+            let code =
+              Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+                ~loop:r.Partition.Driver.rewritten ~trips
+            in
+            let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+            seed_state sa loop;
+            seed_state sb loop;
+            Ir.Eval.run_loop sa ~trips:(2 * trips) loop;
+            Ir.Eval.run_ops sb (Sched.Expand.ops code);
+            mem_equal sa sb);
+    qcheck ~count:40 "ne-groups-are-disjoint" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let groups = Partition.Ne.recurrence_groups (Ddg.Graph.of_loop loop) in
+        let rec disjoint = function
+          | [] -> true
+          | g :: rest ->
+              List.for_all (fun h -> Ir.Vreg.Set.is_empty (Ir.Vreg.Set.inter g h)) rest
+              && disjoint rest
+        in
+        disjoint groups);
+  ]
+
+let unit_cases =
+  [
+    case "monolithic-of-preserves-width-and-mix" (fun () ->
+        let ozer =
+          Mach.Machine.make ~fu_mix:Mach.Machine.ozer_cluster_mix ~clusters:4
+            ~fus_per_cluster:4 ~copy_model:Mach.Machine.Copy_unit ()
+        in
+        let mono = Mach.Machine.monolithic_of ozer in
+        check Alcotest.int "width" 16 (Mach.Machine.width mono);
+        check Alcotest.bool "monolithic" true (Mach.Machine.is_monolithic mono);
+        check Alcotest.bool "still specialized" false (Mach.Machine.is_general_only mono);
+        check Alcotest.int "4 memory units"
+          4
+          (Option.value ~default:0
+             (List.assoc_opt Mach.Machine.Memory mono.Mach.Machine.fu_mix)));
+    case "monolithic-of-general-machine" (fun () ->
+        let mono = Mach.Machine.monolithic_of m4x4e in
+        check Alcotest.bool "general" true (Mach.Machine.is_general_only mono);
+        check Alcotest.int "width" 16 (Mach.Machine.width mono));
+    case "kernel-ipc-filter" (fun () ->
+        let mkop id =
+          Ir.Op.make ~dst:(vreg (id + 1)) ~addr:(Ir.Addr.element "x") ~id
+            ~opcode:Mach.Opcode.Load ~cls:f ()
+        in
+        let k =
+          Sched.Kernel.make ~ii:2
+            [ { Sched.Schedule.op = mkop 0; cycle = 0; cluster = 0 };
+              { Sched.Schedule.op = mkop 1; cycle = 1; cluster = 0 } ]
+        in
+        check (Alcotest.float 1e-9) "all" 1.0 (Sched.Kernel.ipc k);
+        check (Alcotest.float 1e-9) "none" 0.0 (Sched.Kernel.ipc ~count:(fun _ -> false) k));
+    case "csv-contains-all-loops" (fun () ->
+        let loops = sample_loops ~n:4 () in
+        let runs =
+          [ Core.Experiment.run_config ~loops
+              (Core.Experiment.config_for ~clusters:4 ~copy_model:Mach.Machine.Embedded) ]
+        in
+        let csv = Core.Report.to_csv runs in
+        List.iter
+          (fun loop ->
+            check Alcotest.bool (Ir.Loop.name loop) true (contains csv (Ir.Loop.name loop)))
+          loops;
+        check Alcotest.int "line count" (1 + List.length loops)
+          (List.length (List.filter (fun s -> s <> "") (String.split_on_char '\n' csv))));
+    case "expand-live-out-map-values" (fun () ->
+        let loop = Workload.Kernels.dot ~unroll:2 in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o ->
+            let trips = 5 in
+            let code = Sched.Expand.flatten ~kernel:o.Sched.Modulo.kernel ~loop ~trips in
+            let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+            seed_state sa loop;
+            seed_state sb loop;
+            Ir.Eval.run_loop sa ~trips loop;
+            Ir.Eval.run_ops sb (Sched.Expand.ops code);
+            Ir.Vreg.Map.iter
+              (fun src inst ->
+                check Alcotest.bool (Ir.Vreg.to_string src) true
+                  (Ir.Eval.value_equal (Ir.Eval.get_reg sa src) (Ir.Eval.get_reg sb inst)))
+              (Sched.Expand.live_out_map code));
+    case "loopgen-profile-override" (fun () ->
+        let tiny =
+          { Workload.Loopgen.spec95 with
+            Workload.Loopgen.min_exprs = 1; max_exprs = 1; min_depth = 1; max_depth = 1;
+            min_unroll = 1; max_unroll = 1; reduction_prob = 0.0; recurrence_prob = 0.0 }
+        in
+        let loop = Workload.Loopgen.generate ~profile:tiny ~seed:3 ~index:0 () in
+        check Alcotest.bool "small" true (Ir.Loop.size loop <= 8));
+    case "tune-hill-climb-beats-or-matches-init" (fun () ->
+        let loops = sample_loops ~n:5 () in
+        let bad =
+          { Rcg.Weights.default with Rcg.Weights.repel_scale = 0.0; balance = 0.0 }
+        in
+        let r = Core.Tune.hill_climb ~budget:10 ~init:bad ~machine:m4x4e ~loops () in
+        let bad_score = Core.Tune.evaluate ~machine:m4x4e ~loops bad in
+        check Alcotest.bool "improved or equal" true (r.Core.Tune.score <= bad_score +. 1e-9));
+    case "refine-then-ne-composition" (fun () ->
+        (* NE seed + refinement: a legitimate composed partitioner *)
+        let loop = Workload.Kernels.euler_step ~unroll:2 in
+        let ddg = Ddg.Graph.of_loop loop in
+        let rcg = Rcg.Build.of_loop ~machine:ideal16 loop in
+        let seed = Partition.Ne.partition ~machine:m4x4e ddg in
+        let refined, _ = Partition.Refine.refine ~machine:m4x4e ~loop ~rcg seed in
+        check Alcotest.bool "in range" true (Partition.Assign.all_in_range ~banks:4 refined));
+    case "ozer-machine-sim-clean" (fun () ->
+        let ozer4 =
+          Mach.Machine.make ~fu_mix:Mach.Machine.ozer_cluster_mix ~clusters:4
+            ~fus_per_cluster:4 ~copy_model:Mach.Machine.Embedded ()
+        in
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        match Partition.Driver.pipeline ~machine:ozer4 loop with
+        | Error e -> Alcotest.fail e
+        | Ok r -> (
+            let code =
+              Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+                ~loop:r.Partition.Driver.rewritten ~trips:4
+            in
+            match Sched.Sim.run ~latency:ozer4.Mach.Machine.latency code with
+            | Ok _ -> ()
+            | Error v -> Alcotest.fail v.Sched.Sim.what));
+  ]
+
+let suite = [ ("final.properties", properties); ("final.units", unit_cases) ]

@@ -1,0 +1,617 @@
+open Testlib
+
+let f = Mach.Rclass.Float
+let i = Mach.Rclass.Int
+
+let vreg_tests =
+  [
+    case "identity-by-id" (fun () ->
+        let a = vreg 1 and b = Ir.Vreg.make ~name:"other" ~id:1 ~cls:i () in
+        check Alcotest.bool "equal" true (Ir.Vreg.equal a b));
+    case "to-string-uses-name" (fun () ->
+        check Alcotest.string "named" "xvel"
+          (Ir.Vreg.to_string (Ir.Vreg.make ~name:"xvel" ~id:3 ~cls:f ())));
+    case "to-string-class-prefix" (fun () ->
+        check Alcotest.string "float" "f7" (Ir.Vreg.to_string (vreg 7));
+        check Alcotest.string "int" "r7" (Ir.Vreg.to_string (vreg ~cls:i 7)));
+    case "rejects-negative-id" (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Vreg.make: negative id") (fun () ->
+            ignore (Ir.Vreg.make ~id:(-1) ~cls:f ())));
+    case "set-semantics" (fun () ->
+        let s = Ir.Vreg.Set.of_list [ vreg 1; vreg 2; Ir.Vreg.make ~id:1 ~cls:i () ] in
+        check Alcotest.int "dedup by id" 2 (Ir.Vreg.Set.cardinal s));
+  ]
+
+let addr_tests =
+  [
+    case "scalar" (fun () ->
+        let a = Ir.Addr.scalar "x" in
+        check Alcotest.int "stride" 0 a.Ir.Addr.stride;
+        check Alcotest.string "print" "x" (Ir.Addr.to_string a));
+    case "element" (fun () ->
+        let a = Ir.Addr.element ~offset:2 "x" in
+        check Alcotest.int "stride" 1 a.Ir.Addr.stride;
+        check Alcotest.string "print" "x[1*i+2]" (Ir.Addr.to_string a));
+    case "same-base" (fun () ->
+        check Alcotest.bool "same" true
+          (Ir.Addr.same_base (Ir.Addr.scalar "x") (Ir.Addr.element "x"));
+        check Alcotest.bool "diff" false
+          (Ir.Addr.same_base (Ir.Addr.scalar "x") (Ir.Addr.scalar "y")));
+    case "rejects-empty-base" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Addr.make: empty base") (fun () ->
+            ignore (Ir.Addr.make "")));
+  ]
+
+let op_tests =
+  [
+    case "well-formed-binop" (fun () ->
+        let op =
+          Ir.Op.make ~dst:(vreg 1) ~srcs:[ vreg 2; vreg 3 ] ~id:0 ~opcode:Mach.Opcode.Add
+            ~cls:f ()
+        in
+        check Alcotest.int "defs" 1 (List.length (Ir.Op.defs op));
+        check Alcotest.int "uses" 2 (List.length (Ir.Op.uses op)));
+    case "store-has-no-dst" (fun () ->
+        let op =
+          Ir.Op.make ~srcs:[ vreg 2 ] ~addr:(Ir.Addr.scalar "x") ~id:0
+            ~opcode:Mach.Opcode.Store ~cls:f ()
+        in
+        check Alcotest.int "defs" 0 (List.length (Ir.Op.defs op)));
+    case "rejects-dst-on-store" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore
+               (Ir.Op.make ~dst:(vreg 1) ~srcs:[ vreg 2 ] ~addr:(Ir.Addr.scalar "x") ~id:0
+                  ~opcode:Mach.Opcode.Store ~cls:f ());
+             false
+           with Invalid_argument _ -> true));
+    case "rejects-missing-addr-on-load" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Ir.Op.make ~dst:(vreg 1) ~id:0 ~opcode:Mach.Opcode.Load ~cls:f ());
+             false
+           with Invalid_argument _ -> true));
+    case "rejects-addr-on-add" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore
+               (Ir.Op.make ~dst:(vreg 1) ~srcs:[ vreg 2 ] ~addr:(Ir.Addr.scalar "x") ~id:0
+                  ~opcode:Mach.Opcode.Add ~cls:f ());
+             false
+           with Invalid_argument _ -> true));
+    case "rejects-too-many-srcs" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore
+               (Ir.Op.make ~dst:(vreg 1)
+                  ~srcs:[ vreg 2; vreg 3; vreg 4 ]
+                  ~id:0 ~opcode:Mach.Opcode.Add ~cls:f ());
+             false
+           with Invalid_argument _ -> true));
+    case "substitute-rewrites-srcs-only" (fun () ->
+        let op =
+          Ir.Op.make ~dst:(vreg 1) ~srcs:[ vreg 2; vreg 1 ] ~id:0 ~opcode:Mach.Opcode.Add
+            ~cls:f ()
+        in
+        let m = Ir.Vreg.Map.singleton (vreg 1) (vreg 9) in
+        let op' = Ir.Op.substitute op m in
+        check Alcotest.int "dst unchanged" 1 (Ir.Vreg.id (Option.get (Ir.Op.dst op')));
+        check Alcotest.(list int) "srcs" [ 2; 9 ] (List.map Ir.Vreg.id (Ir.Op.srcs op')));
+    case "substitute_all-rewrites-dst" (fun () ->
+        let op =
+          Ir.Op.make ~dst:(vreg 1) ~srcs:[ vreg 2 ] ~id:0 ~opcode:Mach.Opcode.Neg ~cls:f ()
+        in
+        let m = Ir.Vreg.Map.singleton (vreg 1) (vreg 9) in
+        check Alcotest.int "dst" 9 (Ir.Vreg.id (Option.get (Ir.Op.dst (Ir.Op.substitute_all op m)))));
+    case "latency-lookup" (fun () ->
+        let op =
+          Ir.Op.make ~dst:(vreg ~cls:i 1) ~srcs:[ vreg ~cls:i 2; vreg ~cls:i 3 ] ~id:0
+            ~opcode:Mach.Opcode.Mul ~cls:i ()
+        in
+        check Alcotest.int "int mul" 5 (Ir.Op.latency Mach.Latency.paper op));
+  ]
+
+let builder_tests =
+  [
+    case "fresh-ids-ascend" (fun () ->
+        let b = Ir.Builder.create () in
+        let r1 = Ir.Builder.fresh b f and r2 = Ir.Builder.fresh b f in
+        check Alcotest.bool "ascending" true (Ir.Vreg.id r2 > Ir.Vreg.id r1));
+    case "loop-roundtrip" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.element "x") in
+        let y = Ir.Builder.unop b Mach.Opcode.Neg f x in
+        Ir.Builder.store b f (Ir.Addr.element "y") y;
+        let loop = Ir.Builder.loop b ~name:"t" () in
+        check Alcotest.int "ops" 3 (Ir.Loop.size loop));
+    case "define-reuses-register" (fun () ->
+        let b = Ir.Builder.create () in
+        let s = Ir.Builder.fresh b f in
+        let x = Ir.Builder.load b f (Ir.Addr.element "x") in
+        Ir.Builder.define b Mach.Opcode.Add f ~into:s [ s; x ];
+        let loop = Ir.Builder.loop b ~name:"t" ~live_out:[ s ] () in
+        let defs = Ir.Loop.defs_of loop in
+        check Alcotest.bool "s defined" true (Ir.Vreg.Map.mem s defs));
+    case "func-multi-block" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.scalar "x") in
+        Ir.Builder.start_block ~depth:1 b "body";
+        let y = Ir.Builder.unop b Mach.Opcode.Neg f x in
+        Ir.Builder.store b f (Ir.Addr.scalar "y") y;
+        let fn = Ir.Builder.func b ~name:"fn" ~edges:[ ("entry", "body") ] in
+        check Alcotest.int "blocks" 2 (List.length (Ir.Func.blocks fn));
+        check Alcotest.(list string) "succ" [ "body" ] (Ir.Func.successors fn "entry"));
+  ]
+
+let loop_tests =
+  [
+    case "rejects-empty" (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Loop t: empty body") (fun () ->
+            ignore (Ir.Loop.make ~name:"t" [])));
+    case "rejects-duplicate-ids" (fun () ->
+        let op k = Ir.Op.make ~dst:(vreg (k + 1)) ~addr:(Ir.Addr.element "x") ~id:0
+            ~opcode:Mach.Opcode.Load ~cls:f ()
+        in
+        Alcotest.check_raises "dup" (Invalid_argument "Loop t: duplicate op id 0") (fun () ->
+            ignore (Ir.Loop.make ~name:"t" [ op 0; op 1 ])));
+    case "invariants" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:1 in
+        let inv = Ir.Loop.invariants loop in
+        check Alcotest.int "only a" 1 (Ir.Vreg.Set.cardinal inv));
+    case "vregs-covers-defs-and-uses" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let vr = Ir.Loop.vregs loop in
+        List.iter
+          (fun op ->
+            List.iter
+              (fun r -> check Alcotest.bool "in vregs" true (Ir.Vreg.Set.mem r vr))
+              (Ir.Op.defs op @ Ir.Op.uses op))
+          (Ir.Loop.ops loop));
+    case "max-ids" (fun () ->
+        let loop = Workload.Kernels.dot ~unroll:1 in
+        check Alcotest.bool "op id bound" true
+          (List.for_all (fun op -> Ir.Op.id op <= Ir.Loop.max_op_id loop) (Ir.Loop.ops loop));
+        check Alcotest.bool "vreg id bound" true
+          (Ir.Vreg.Set.for_all
+             (fun r -> Ir.Vreg.id r <= Ir.Loop.max_vreg_id loop)
+             (Ir.Loop.vregs loop)));
+  ]
+
+let eval_tests =
+  [
+    case "arith-int" (fun () ->
+        let st = Ir.Eval.create () in
+        let a = vreg ~cls:i 1 and b = vreg ~cls:i 2 and c = vreg ~cls:i 3 in
+        Ir.Eval.set_reg st a (Ir.Eval.I 7);
+        Ir.Eval.set_reg st b (Ir.Eval.I 5);
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~dst:c ~srcs:[ a; b ] ~id:0 ~opcode:Mach.Opcode.Sub ~cls:i ());
+        check Alcotest.bool "7-5=2" true (Ir.Eval.value_equal (Ir.Eval.I 2) (Ir.Eval.get_reg st c)));
+    case "div-by-zero-is-zero" (fun () ->
+        let st = Ir.Eval.create () in
+        let a = vreg ~cls:i 1 and b = vreg ~cls:i 2 and c = vreg ~cls:i 3 in
+        Ir.Eval.set_reg st a (Ir.Eval.I 7);
+        Ir.Eval.set_reg st b (Ir.Eval.I 0);
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~dst:c ~srcs:[ a; b ] ~id:0 ~opcode:Mach.Opcode.Div ~cls:i ());
+        check Alcotest.bool "0" true (Ir.Eval.value_equal (Ir.Eval.I 0) (Ir.Eval.get_reg st c)));
+    case "load-store-roundtrip" (fun () ->
+        let st = Ir.Eval.create () in
+        let v = vreg 1 and w = vreg 2 in
+        Ir.Eval.set_reg st v (Ir.Eval.F 2.5);
+        Ir.Eval.exec_op st ~iteration:3
+          (Ir.Op.make ~srcs:[ v ] ~addr:(Ir.Addr.element "x") ~id:0 ~opcode:Mach.Opcode.Store
+             ~cls:f ());
+        Ir.Eval.exec_op st ~iteration:3
+          (Ir.Op.make ~dst:w ~addr:(Ir.Addr.element "x") ~id:1 ~opcode:Mach.Opcode.Load
+             ~cls:f ());
+        check Alcotest.bool "roundtrip" true
+          (Ir.Eval.value_equal (Ir.Eval.F 2.5) (Ir.Eval.get_reg st w)));
+    case "affine-addressing" (fun () ->
+        let st = Ir.Eval.create () in
+        let v = vreg 1 in
+        Ir.Eval.set_reg st v (Ir.Eval.F 1.0);
+        Ir.Eval.exec_op st ~iteration:4
+          (Ir.Op.make ~srcs:[ v ] ~addr:(Ir.Addr.make ~offset:2 ~stride:3 "x") ~id:0
+             ~opcode:Mach.Opcode.Store ~cls:f ());
+        check Alcotest.bool "x[14] written" true
+          (Ir.Eval.value_equal (Ir.Eval.F 1.0) (Ir.Eval.get_mem st ~base:"x" ~index:14)));
+    case "indexed-load" (fun () ->
+        let st = Ir.Eval.create () in
+        let idx = vreg ~cls:i 1 and dst = vreg 2 and v = vreg 3 in
+        Ir.Eval.set_reg st idx (Ir.Eval.I 5);
+        Ir.Eval.set_reg st v (Ir.Eval.F 9.0);
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~srcs:[ v ] ~addr:(Ir.Addr.make ~offset:5 "tab") ~id:0
+             ~opcode:Mach.Opcode.Store ~cls:f ());
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~dst ~srcs:[ idx ] ~addr:(Ir.Addr.scalar "tab") ~id:1
+             ~opcode:Mach.Opcode.Load ~cls:f ());
+        check Alcotest.bool "tab[5]" true
+          (Ir.Eval.value_equal (Ir.Eval.F 9.0) (Ir.Eval.get_reg st dst)));
+    case "select" (fun () ->
+        let st = Ir.Eval.create () in
+        let c = vreg ~cls:i 1 and a = vreg ~cls:i 2 and b = vreg ~cls:i 3 and d = vreg ~cls:i 4 in
+        Ir.Eval.set_reg st c (Ir.Eval.I 0);
+        Ir.Eval.set_reg st a (Ir.Eval.I 10);
+        Ir.Eval.set_reg st b (Ir.Eval.I 20);
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~dst:d ~srcs:[ c; a; b ] ~id:0 ~opcode:Mach.Opcode.Select ~cls:i ());
+        check Alcotest.bool "else branch" true
+          (Ir.Eval.value_equal (Ir.Eval.I 20) (Ir.Eval.get_reg st d)));
+    case "copy-preserves" (fun () ->
+        let st = Ir.Eval.create () in
+        let a = vreg 1 and b = vreg 2 in
+        Ir.Eval.set_reg st a (Ir.Eval.F 3.25);
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~dst:b ~srcs:[ a ] ~id:0 ~opcode:Mach.Opcode.Copy ~cls:f ());
+        check Alcotest.bool "copied" true
+          (Ir.Eval.value_equal (Ir.Eval.F 3.25) (Ir.Eval.get_reg st b)));
+    case "uninitialized-deterministic" (fun () ->
+        let a = Ir.Eval.create () and b = Ir.Eval.create () in
+        check Alcotest.bool "same hash" true
+          (Ir.Eval.value_equal (Ir.Eval.get_reg a (vreg 42)) (Ir.Eval.get_reg b (vreg 42))));
+    case "run-loop-reduction" (fun () ->
+        (* s += x[i] over 4 iterations with x[i] pre-set *)
+        let b = Ir.Builder.create () in
+        let s = Ir.Builder.fresh ~name:"s" b i in
+        let x = Ir.Builder.load b i (Ir.Addr.element "x") in
+        Ir.Builder.define b Mach.Opcode.Add i ~into:s [ s; x ];
+        let loop = Ir.Builder.loop b ~name:"sum" ~live_out:[ s ] () in
+        let st = Ir.Eval.create () in
+        Ir.Eval.set_reg st s (Ir.Eval.I 0);
+        for k = 0 to 3 do
+          Ir.Eval.set_mem st ~base:"x" ~index:k (Ir.Eval.I (k + 1))
+        done;
+        Ir.Eval.run_loop st ~trips:4 loop;
+        check Alcotest.bool "1+2+3+4" true
+          (Ir.Eval.value_equal (Ir.Eval.I 10) (Ir.Eval.get_reg st s)));
+  ]
+
+let parse_tests =
+  [
+    case "parse-simple-loop" (fun () ->
+        let text =
+          "loop t depth 2 trip 10\n  load.f x0, x[1*i]\n  mul.f p, x0, x0\n  store.f y[1*i], p\n"
+        in
+        match Ir.Parse.loop_of_string text with
+        | Error e -> Alcotest.fail e
+        | Ok loop ->
+            check Alcotest.string "name" "t" (Ir.Loop.name loop);
+            check Alcotest.int "depth" 2 (Ir.Loop.depth loop);
+            check Alcotest.int "trip" 10 (Ir.Loop.trip_count loop);
+            check Alcotest.int "ops" 3 (Ir.Loop.size loop));
+    case "parse-live-out-and-comments" (fun () ->
+        let text =
+          "# reduction\nloop red\n  load.f x0, x[1*i]\n  add.f s, s, x0  # accumulate\nlive_out: s\n"
+        in
+        match Ir.Parse.loop_of_string text with
+        | Error e -> Alcotest.fail e
+        | Ok loop -> check Alcotest.int "live out" 1 (Ir.Vreg.Set.cardinal (Ir.Loop.live_out loop)));
+    case "parse-address-forms" (fun () ->
+        let cases =
+          [ ("x", (0, 0)); ("x[3]", (3, 0)); ("x[4*i]", (0, 4)); ("x[4*i+2]", (2, 4));
+            ("x[1*i-1]", (-1, 1)) ]
+        in
+        List.iter
+          (fun (src, (off, stride)) ->
+            let text = Printf.sprintf "  store.f %s, v\n" src in
+            match Ir.Parse.loop_of_string text with
+            | Error e -> Alcotest.failf "%s: %s" src e
+            | Ok loop -> (
+                match Ir.Op.addr (List.hd (Ir.Loop.ops loop)) with
+                | Some a ->
+                    check Alcotest.int (src ^ " offset") off a.Ir.Addr.offset;
+                    check Alcotest.int (src ^ " stride") stride a.Ir.Addr.stride
+                | None -> Alcotest.fail "no addr"))
+          cases);
+    case "parse-class-suffix" (fun () ->
+        let text = "  load.f v, idx:i, tab\n" in
+        match Ir.Parse.loop_of_string text with
+        | Error e -> Alcotest.fail e
+        | Ok loop ->
+            let op = List.hd (Ir.Loop.ops loop) in
+            check Alcotest.bool "idx is int" true
+              (Ir.Vreg.cls (List.hd (Ir.Op.uses op)) = Mach.Rclass.Int));
+    case "parse-error-reports-line" (fun () ->
+        match Ir.Parse.loop_of_string "  load.f a, x\n  bogus b, c\n" with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error e -> check Alcotest.bool "line 2" true (contains e "line 2"));
+    case "parse-rejects-empty" (fun () ->
+        check Alcotest.bool "no ops" true
+          (match Ir.Parse.loop_of_string "# nothing\n" with Error _ -> true | Ok _ -> false));
+    case "roundtrip-kernels" (fun () ->
+        List.iter
+          (fun (name, make) ->
+            let loop = make ~unroll:2 in
+            let text = Ir.Parse.loop_to_string loop in
+            match Ir.Parse.loop_of_string text with
+            | Error e -> Alcotest.failf "%s: %s" name e
+            | Ok loop' ->
+                check Alcotest.int (name ^ " size") (Ir.Loop.size loop) (Ir.Loop.size loop');
+                List.iter2
+                  (fun a b ->
+                    check Alcotest.string (name ^ " op") (Ir.Op.to_string a)
+                      (Ir.Op.to_string b))
+                  (Ir.Loop.ops loop) (Ir.Loop.ops loop');
+                check Alcotest.int (name ^ " live-out count")
+                  (Ir.Vreg.Set.cardinal (Ir.Loop.live_out loop))
+                  (Ir.Vreg.Set.cardinal (Ir.Loop.live_out loop')))
+          Workload.Kernels.all);
+    case "roundtrip-preserves-semantics" (fun () ->
+        let loop = Workload.Kernels.stencil3 ~unroll:2 in
+        match Ir.Parse.loop_of_string (Ir.Parse.loop_to_string loop) with
+        | Error e -> Alcotest.fail e
+        | Ok loop' ->
+            let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+            seed_state sa loop;
+            (* loop' has different vreg ids but identical names; seed by name *)
+            Ir.Vreg.Set.iter
+              (fun r ->
+                let orig =
+                  Ir.Vreg.Set.choose
+                    (Ir.Vreg.Set.filter
+                       (fun o -> Ir.Vreg.to_string o = Ir.Vreg.to_string r)
+                       (Ir.Loop.invariants loop))
+                in
+                Ir.Eval.set_reg sb r (Ir.Eval.get_reg sa orig))
+              (Ir.Loop.invariants loop');
+            Ir.Eval.run_loop sa ~trips:4 loop;
+            Ir.Eval.run_loop sb ~trips:4 loop';
+            check Alcotest.bool "memory equal" true (mem_equal sa sb));
+  ]
+
+let unroll_equiv loop factor trips =
+  let unrolled, live_map = Ir.Unroll.loop ~factor loop in
+  let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+  seed_state sa loop;
+  seed_state sb loop;
+  Ir.Eval.run_loop sa ~trips:(factor * trips) loop;
+  Ir.Eval.run_loop sb ~trips unrolled;
+  if not (mem_equal sa sb) then
+    Alcotest.failf "%s x%d: memory differs\n%s" (Ir.Loop.name loop) factor (mem_diff sa sb);
+  Ir.Vreg.Map.iter
+    (fun src dst ->
+      check Alcotest.bool (Ir.Vreg.to_string src) true
+        (Ir.Eval.value_equal (Ir.Eval.get_reg sa src) (Ir.Eval.get_reg sb dst)))
+    live_map
+
+let unroll_tests =
+  [
+    case "factor-1-identity" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:1 in
+        let loop', m = Ir.Unroll.loop ~factor:1 loop in
+        check Alcotest.int "same size" (Ir.Loop.size loop) (Ir.Loop.size loop');
+        Ir.Vreg.Map.iter (fun a b -> check Alcotest.bool "id map" true (Ir.Vreg.equal a b)) m);
+    case "size-scales" (fun () ->
+        let loop = Workload.Kernels.stencil3 ~unroll:1 in
+        let loop', _ = Ir.Unroll.loop ~factor:3 loop in
+        check Alcotest.int "3x" (3 * Ir.Loop.size loop) (Ir.Loop.size loop'));
+    case "rejects-factor-0" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Ir.Unroll.loop ~factor:0 (Workload.Kernels.vcopy ~unroll:1));
+             false
+           with Invalid_argument _ -> true));
+    case "equivalent-streaming" (fun () -> unroll_equiv (Workload.Kernels.daxpy ~unroll:1) 4 3);
+    case "equivalent-reduction" (fun () -> unroll_equiv (Workload.Kernels.dot ~unroll:1) 3 4);
+    case "equivalent-recurrence" (fun () ->
+        unroll_equiv (Workload.Kernels.first_order_rec ~unroll:1) 2 5);
+    case "equivalent-memory-recurrence" (fun () ->
+        unroll_equiv (Workload.Kernels.tridiag ~unroll:1) 2 4);
+    case "unrolling-raises-ideal-ipc" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:1 in
+        let unrolled, _ = Ir.Unroll.loop ~factor:8 loop in
+        let ipc l =
+          let ddg = Ddg.Graph.of_loop l in
+          match Sched.Modulo.ideal ~machine:Mach.Machine.paper_ideal ddg with
+          | Some o -> float_of_int (Ir.Loop.size l) /. float_of_int o.Sched.Modulo.ii
+          | None -> 0.0
+        in
+        check Alcotest.bool "ipc grows" true (ipc unrolled > (2.0 *. ipc loop)));
+    qcheck ~count:25 "unroll-equivalence-random" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        unroll_equiv loop (2 + (seed mod 3)) 3;
+        true);
+    case "shift-iterations-equivalence" (fun () ->
+        (* running 3 then shifted-by-3 for 2 equals running 5 *)
+        let loop = Workload.Kernels.stencil3 ~unroll:1 in
+        let shifted = Ir.Unroll.shift_iterations ~by:3 loop in
+        let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+        seed_state sa loop;
+        seed_state sb loop;
+        Ir.Eval.run_loop sa ~trips:5 loop;
+        Ir.Eval.run_loop sb ~trips:3 loop;
+        Ir.Eval.run_loop sb ~trips:2 shifted;
+        check Alcotest.bool "memory" true (mem_equal sa sb));
+    case "with-remainder-non-divisible" (fun () ->
+        (* trips = 7, factor = 3: main x2, remainder x1 — across a
+           reduction so the recurrence flows main -> remainder *)
+        let loop = Workload.Kernels.dot ~unroll:1 in
+        let p = Ir.Unroll.with_remainder ~factor:3 ~trips:7 loop in
+        check Alcotest.int "main trips" 2 p.Ir.Unroll.main_trips;
+        check Alcotest.int "rem trips" 1 p.Ir.Unroll.remainder_trips;
+        let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+        seed_state sa loop;
+        seed_state sb loop;
+        Ir.Eval.run_loop sa ~trips:7 loop;
+        Ir.Eval.run_loop sb ~trips:p.Ir.Unroll.main_trips p.Ir.Unroll.main;
+        (match p.Ir.Unroll.remainder with
+        | Some r -> Ir.Eval.run_loop sb ~trips:p.Ir.Unroll.remainder_trips r
+        | None -> Alcotest.fail "expected a remainder");
+        if not (mem_equal sa sb) then Alcotest.failf "memory differs\n%s" (mem_diff sa sb);
+        (* the reduction register keeps its name through both loops *)
+        Ir.Vreg.Set.iter
+          (fun r ->
+            check Alcotest.bool "live-out equal" true
+              (Ir.Eval.value_equal (Ir.Eval.get_reg sa r) (Ir.Eval.get_reg sb r)))
+          (Ir.Loop.live_out loop));
+    case "with-remainder-divisible-has-none" (fun () ->
+        let p = Ir.Unroll.with_remainder ~factor:4 ~trips:8 (Workload.Kernels.vcopy ~unroll:1) in
+        check Alcotest.bool "no remainder" true (p.Ir.Unroll.remainder = None);
+        check Alcotest.int "main trips" 2 p.Ir.Unroll.main_trips);
+    qcheck ~count:20 "with-remainder-equivalence-random"
+      QCheck2.Gen.(pair gen_loop_seed (pair (int_range 1 4) (int_range 0 9)))
+      (fun (seed, (factor, trips)) ->
+        let loop = loop_of_seed seed in
+        let p = Ir.Unroll.with_remainder ~factor ~trips loop in
+        let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+        seed_state sa loop;
+        seed_state sb loop;
+        Ir.Eval.run_loop sa ~trips loop;
+        if p.Ir.Unroll.main_trips > 0 then
+          Ir.Eval.run_loop sb ~trips:p.Ir.Unroll.main_trips p.Ir.Unroll.main;
+        (match p.Ir.Unroll.remainder with
+        | Some r -> Ir.Eval.run_loop sb ~trips:p.Ir.Unroll.remainder_trips r
+        | None -> ());
+        mem_equal sa sb);
+  ]
+
+let lower_tests =
+  [
+    case "const-op-evaluates" (fun () ->
+        let st = Ir.Eval.create () in
+        let d = vreg ~cls:i 1 in
+        Ir.Eval.exec_op st ~iteration:0
+          (Ir.Op.make ~dst:d ~imm:42 ~id:0 ~opcode:Mach.Opcode.Const ~cls:i ());
+        check Alcotest.bool "42" true (Ir.Eval.value_equal (Ir.Eval.I 42) (Ir.Eval.get_reg st d)));
+    case "const-requires-imm" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Ir.Op.make ~dst:(vreg ~cls:i 1) ~id:0 ~opcode:Mach.Opcode.Const ~cls:i ());
+             false
+           with Invalid_argument _ -> true));
+    case "const-parse-roundtrip" (fun () ->
+        match Ir.Parse.loop_of_string "  const c, #7\n  store c[0], c\n" with
+        | Error e -> Alcotest.fail e
+        | Ok loop -> (
+            match Ir.Op.imm (List.hd (Ir.Loop.ops loop)) with
+            | Some 7 -> ()
+            | _ -> Alcotest.fail "imm lost"));
+    case "scalar-only-loop-unchanged" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.scalar "x") in
+        Ir.Builder.store b f (Ir.Addr.scalar "y") x;
+        let loop = Ir.Builder.loop b ~name:"t" () in
+        let loop', inits = Ir.Lower_addr.loop loop in
+        check Alcotest.int "same size" (Ir.Loop.size loop) (Ir.Loop.size loop');
+        check Alcotest.int "no ivs" 0 (List.length inits));
+    case "lowered-accesses-are-stride-0" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let loop', inits = Ir.Lower_addr.loop loop in
+        check Alcotest.int "one stride, one iv" 1 (List.length inits);
+        List.iter
+          (fun op ->
+            match Ir.Op.addr op with
+            | Some a -> check Alcotest.int "stride 0" 0 a.Ir.Addr.stride
+            | None -> ())
+          (Ir.Loop.ops loop'));
+    case "rejects-indexed-input" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Ir.Lower_addr.loop (Workload.Kernels.gather ~unroll:1));
+             false
+           with Invalid_argument _ -> true));
+    case "lowered-semantics-preserved" (fun () ->
+        List.iter
+          (fun loop ->
+            let loop', inits = Ir.Lower_addr.loop loop in
+            let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+            seed_state sa loop;
+            seed_state sb loop;
+            List.iter (fun (iv, v) -> Ir.Eval.set_reg sb iv (Ir.Eval.I v)) inits;
+            Ir.Eval.run_loop sa ~trips:5 loop;
+            Ir.Eval.run_loop sb ~trips:5 loop';
+            if not (mem_equal sa sb) then
+              Alcotest.failf "%s: lowering diverges\n%s" (Ir.Loop.name loop) (mem_diff sa sb))
+          [ Workload.Kernels.daxpy ~unroll:2; Workload.Kernels.stencil3 ~unroll:1;
+            Workload.Kernels.tridiag ~unroll:1; Workload.Kernels.cmul ~unroll:2;
+            Workload.Kernels.dot ~unroll:4 ]);
+    case "lowered-loop-pipelines-and-partitions" (fun () ->
+        let loop, _ = Ir.Lower_addr.loop (Workload.Kernels.daxpy ~unroll:4) in
+        match Partition.Driver.pipeline ~machine:m4x4e loop with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            check Alcotest.bool "done" true (r.Partition.Driver.degradation >= 100.0));
+    case "lowering-raises-ii-realistically" (fun () ->
+        (* address arithmetic adds int ops; the II can only grow *)
+        let loop = Workload.Kernels.hydro ~unroll:2 in
+        let lowered, _ = Ir.Lower_addr.loop loop in
+        let ii l =
+          match Sched.Modulo.ideal ~machine:Mach.Machine.paper_ideal (Ddg.Graph.of_loop l) with
+          | Some o -> o.Sched.Modulo.ii
+          | None -> -1
+        in
+        check Alcotest.bool "ii grows or stays" true (ii lowered >= ii loop));
+  ]
+
+let distribute_tests =
+  [
+    case "cmul-splits-into-two" (fun () ->
+        (* real and imaginary results share loads of ar/ai/br/bi, so cmul
+           is ONE piece; build a genuinely separable loop instead *)
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.element "x") in
+        Ir.Builder.store b f (Ir.Addr.element "y") x;
+        let u = Ir.Builder.load b f (Ir.Addr.element "u") in
+        let v = Ir.Builder.unop b Mach.Opcode.Neg f u in
+        Ir.Builder.store b f (Ir.Addr.element "w") v;
+        let loop = Ir.Builder.loop b ~name:"two" () in
+        let pieces = Ir.Distribute.split loop in
+        check Alcotest.int "2 pieces" 2 (List.length pieces);
+        check Alcotest.int "ops preserved" (Ir.Loop.size loop)
+          (List.fold_left (fun acc p -> acc + Ir.Loop.size p) 0 pieces));
+    case "connected-loop-is-one-piece" (fun () ->
+        check Alcotest.bool "daxpy connected" false
+          (Ir.Distribute.is_distributable (Workload.Kernels.daxpy ~unroll:2)));
+    case "unrolled-slices-stay-joined-by-memory" (fun () ->
+        (* vcopy-u2 slices write the same array: the store base joins them *)
+        check Alcotest.bool "vcopy-u2 one piece" false
+          (Ir.Distribute.is_distributable (Workload.Kernels.vcopy ~unroll:2)));
+    case "distribution-preserves-semantics" (fun () ->
+        let b = Ir.Builder.create () in
+        let s = Ir.Builder.fresh ~name:"s" b f in
+        let x = Ir.Builder.load b f (Ir.Addr.element "x") in
+        Ir.Builder.define b Mach.Opcode.Add f ~into:s [ s; x ];
+        let u = Ir.Builder.load b i (Ir.Addr.element "iu") in
+        let w = Ir.Builder.binop b Mach.Opcode.Shl i u u in
+        Ir.Builder.store b i (Ir.Addr.element "io") w;
+        let loop = Ir.Builder.loop b ~name:"mix" ~live_out:[ s ] () in
+        let pieces = Ir.Distribute.split loop in
+        check Alcotest.int "2 pieces" 2 (List.length pieces);
+        let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+        seed_state sa loop;
+        seed_state sb loop;
+        Ir.Eval.run_loop sa ~trips:5 loop;
+        List.iter (fun p -> Ir.Eval.run_loop sb ~trips:5 p) pieces;
+        check Alcotest.bool "memory" true (mem_equal sa sb);
+        check Alcotest.bool "live-out s" true
+          (Ir.Eval.value_equal (Ir.Eval.get_reg sa s) (Ir.Eval.get_reg sb s)));
+    case "live-outs-routed-to-defining-piece" (fun () ->
+        let b = Ir.Builder.create () in
+        let s = Ir.Builder.fresh ~name:"s" b f in
+        let x = Ir.Builder.load b f (Ir.Addr.element "x") in
+        Ir.Builder.define b Mach.Opcode.Add f ~into:s [ s; x ];
+        let u = Ir.Builder.load b f (Ir.Addr.element "u") in
+        Ir.Builder.store b f (Ir.Addr.element "w") u;
+        let loop = Ir.Builder.loop b ~name:"t" ~live_out:[ s ] () in
+        let pieces = Ir.Distribute.split loop in
+        let with_s =
+          List.filter (fun p -> not (Ir.Vreg.Set.is_empty (Ir.Loop.live_out p))) pieces
+        in
+        check Alcotest.int "exactly one piece owns s" 1 (List.length with_s));
+  ]
+
+let suite =
+  [
+    ("ir.vreg", vreg_tests);
+    ("ir.parse", parse_tests);
+    ("ir.unroll", unroll_tests);
+    ("ir.lower-addr", lower_tests);
+    ("ir.distribute", distribute_tests);
+    ("ir.addr", addr_tests);
+    ("ir.op", op_tests);
+    ("ir.builder", builder_tests);
+    ("ir.loop", loop_tests);
+    ("ir.eval", eval_tests);
+  ]

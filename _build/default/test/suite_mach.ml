@@ -1,0 +1,128 @@
+open Testlib
+
+let latency_tests =
+  let open Mach in
+  [
+    case "paper-table-section-6.1" (fun () ->
+        let checks =
+          [
+            (Opcode.Copy, Rclass.Int, 2);
+            (Opcode.Copy, Rclass.Float, 3);
+            (Opcode.Load, Rclass.Int, 2);
+            (Opcode.Load, Rclass.Float, 2);
+            (Opcode.Store, Rclass.Float, 4);
+            (Opcode.Mul, Rclass.Int, 5);
+            (Opcode.Div, Rclass.Int, 12);
+            (Opcode.Add, Rclass.Int, 1);
+            (Opcode.Shl, Rclass.Int, 1);
+            (Opcode.Mul, Rclass.Float, 2);
+            (Opcode.Div, Rclass.Float, 2);
+            (Opcode.Add, Rclass.Float, 2);
+            (Opcode.Sub, Rclass.Float, 2);
+          ]
+        in
+        List.iter
+          (fun (op, cls, expect) ->
+            check Alcotest.int
+              (Printf.sprintf "%s.%s" (Opcode.to_string op) (Rclass.to_string cls))
+              expect (Latency.paper op cls))
+          checks);
+    case "unit-table" (fun () ->
+        List.iter
+          (fun op ->
+            List.iter
+              (fun cls -> check Alcotest.int "1" 1 (Latency.unit op cls))
+              Rclass.all)
+          Opcode.all);
+    case "override" (fun () ->
+        let t = Latency.override Latency.paper [ (Opcode.Mul, Rclass.Int, 7) ] in
+        check Alcotest.int "overridden" 7 (t Opcode.Mul Rclass.Int);
+        check Alcotest.int "others-intact" 12 (t Opcode.Div Rclass.Int));
+    case "max-latency-paper" (fun () ->
+        check Alcotest.int "int div dominates" 12 (Latency.max_latency Latency.paper));
+    case "all-latencies-positive" (fun () ->
+        List.iter
+          (fun op ->
+            List.iter
+              (fun cls ->
+                check Alcotest.bool "positive" true (Latency.paper op cls >= 1))
+              Rclass.all)
+          Opcode.all);
+  ]
+
+let opcode_tests =
+  let open Mach in
+  [
+    case "memory-classification" (fun () ->
+        check Alcotest.bool "load" true (Opcode.is_memory Opcode.Load);
+        check Alcotest.bool "store" true (Opcode.is_memory Opcode.Store);
+        check Alcotest.bool "add" false (Opcode.is_memory Opcode.Add));
+    case "copy-classification" (fun () ->
+        check Alcotest.bool "copy" true (Opcode.is_copy Opcode.Copy);
+        check Alcotest.bool "load" false (Opcode.is_copy Opcode.Load));
+    case "dest-classification" (fun () ->
+        check Alcotest.bool "store" false (Opcode.has_dest Opcode.Store);
+        check Alcotest.bool "nop" false (Opcode.has_dest Opcode.Nop);
+        check Alcotest.bool "add" true (Opcode.has_dest Opcode.Add));
+    case "arity" (fun () ->
+        check Alcotest.int "nop" 0 (Opcode.arity Opcode.Nop);
+        check Alcotest.int "neg" 1 (Opcode.arity Opcode.Neg);
+        check Alcotest.int "add" 2 (Opcode.arity Opcode.Add);
+        check Alcotest.int "select" 3 (Opcode.arity Opcode.Select));
+    case "to-string-distinct" (fun () ->
+        let names = List.map Opcode.to_string Opcode.all in
+        check Alcotest.int "unique" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+  ]
+
+let machine_tests =
+  let open Mach in
+  [
+    case "paper-clustered-geometry" (fun () ->
+        List.iter
+          (fun clusters ->
+            let m = Machine.paper_clustered ~clusters ~copy_model:Machine.Embedded in
+            check Alcotest.int "width" 16 (Machine.width m);
+            check Alcotest.int "clusters" clusters m.Machine.clusters)
+          [ 2; 4; 8 ]);
+    case "copy-ports-log2" (fun () ->
+        (* the prose fixes 1 port at N=2 and 3 ports at N=8; log2 interpolates *)
+        let ports n =
+          (Machine.paper_clustered ~clusters:n ~copy_model:Machine.Copy_unit).Machine.copy_ports
+        in
+        check Alcotest.int "N=2" 1 (ports 2);
+        check Alcotest.int "N=4" 2 (ports 4);
+        check Alcotest.int "N=8" 3 (ports 8));
+    case "busses-equal-clusters" (fun () ->
+        let m = Machine.paper_clustered ~clusters:4 ~copy_model:Machine.Copy_unit in
+        check Alcotest.int "busses" 4 m.Machine.busses);
+    case "ideal-is-monolithic" (fun () ->
+        check Alcotest.bool "mono" true (Machine.is_monolithic ideal16);
+        check Alcotest.bool "not" false (Machine.is_monolithic m4x4e));
+    case "copy-latency" (fun () ->
+        check Alcotest.int "int" 2 (Machine.copy_latency m4x4e Rclass.Int);
+        check Alcotest.int "float" 3 (Machine.copy_latency m4x4e Rclass.Float));
+    case "valid-cluster" (fun () ->
+        check Alcotest.bool "0" true (Machine.valid_cluster m4x4e 0);
+        check Alcotest.bool "3" true (Machine.valid_cluster m4x4e 3);
+        check Alcotest.bool "4" false (Machine.valid_cluster m4x4e 4);
+        check Alcotest.bool "-1" false (Machine.valid_cluster m4x4e (-1)));
+    case "rejects-bad-geometry" (fun () ->
+        Alcotest.check_raises "clusters 0"
+          (Invalid_argument "Machine.make: clusters must be >= 1") (fun () ->
+            ignore (Machine.make ~clusters:0 ~fus_per_cluster:4 ~copy_model:Machine.Embedded ()));
+        Alcotest.check_raises "clusters 3"
+          (Invalid_argument "Machine.paper_clustered: clusters must divide 16") (fun () ->
+            ignore (Machine.paper_clustered ~clusters:3 ~copy_model:Machine.Embedded)));
+    case "custom-overrides" (fun () ->
+        let m =
+          Machine.make ~copy_ports:5 ~busses:9 ~regs_per_bank:17 ~clusters:2
+            ~fus_per_cluster:2 ~copy_model:Machine.Copy_unit ()
+        in
+        check Alcotest.int "ports" 5 m.Machine.copy_ports;
+        check Alcotest.int "busses" 9 m.Machine.busses;
+        check Alcotest.int "regs" 17 m.Machine.regs_per_bank);
+  ]
+
+let suite =
+  [ ("mach.latency", latency_tests); ("mach.opcode", opcode_tests); ("mach.machine", machine_tests) ]

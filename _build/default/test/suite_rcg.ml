@@ -1,0 +1,156 @@
+open Testlib
+
+let f = Mach.Rclass.Float
+
+let weights_tests =
+  [
+    case "critical-boost" (fun () ->
+        let w = Rcg.Weights.default in
+        let crit = Rcg.Weights.contribution w ~flexibility:1 ~depth:1 ~density:4.0 in
+        let lax = Rcg.Weights.contribution w ~flexibility:4 ~depth:1 ~density:4.0 in
+        (* critical: 10*4*2 = 80; flexible: 10*4/4 = 10 *)
+        check (Alcotest.float 1e-9) "crit" 80.0 crit;
+        check (Alcotest.float 1e-9) "lax" 10.0 lax);
+    case "depth-scales-exponentially" (fun () ->
+        let w = Rcg.Weights.default in
+        let d1 = Rcg.Weights.contribution w ~flexibility:2 ~depth:1 ~density:1.0 in
+        let d2 = Rcg.Weights.contribution w ~flexibility:2 ~depth:2 ~density:1.0 in
+        check (Alcotest.float 1e-9) "10x" (d1 *. 10.0) d2);
+    case "rejects-flexibility-0" (fun () ->
+        Alcotest.check_raises "flex0"
+          (Invalid_argument "Weights.contribution: flexibility must be >= 1") (fun () ->
+            ignore
+              (Rcg.Weights.contribution Rcg.Weights.default ~flexibility:0 ~depth:1
+                 ~density:1.0)));
+    case "flat-ignores-structure" (fun () ->
+        let w = Rcg.Weights.flat in
+        let a = Rcg.Weights.contribution w ~flexibility:1 ~depth:3 ~density:2.0 in
+        let b = Rcg.Weights.contribution w ~flexibility:1 ~depth:0 ~density:2.0 in
+        check (Alcotest.float 1e-9) "equal" a b);
+  ]
+
+let graph_tests =
+  [
+    case "edge-weights-accumulate" (fun () ->
+        let g = Rcg.Graph.create () in
+        Rcg.Graph.add_edge_weight g (vreg 1) (vreg 2) 2.0;
+        Rcg.Graph.add_edge_weight g (vreg 2) (vreg 1) 3.0;
+        check (Alcotest.float 1e-9) "5" 5.0 (Rcg.Graph.edge_weight g (vreg 1) (vreg 2)));
+    case "self-edges-ignored" (fun () ->
+        let g = Rcg.Graph.create () in
+        Rcg.Graph.add_edge_weight g (vreg 1) (vreg 1) 2.0;
+        check Alcotest.int "no edge" 0 (Rcg.Graph.edge_count g));
+    case "pins" (fun () ->
+        let g = Rcg.Graph.create () in
+        Rcg.Graph.pin g (vreg 1) 2;
+        check Alcotest.(option int) "pinned" (Some 2) (Rcg.Graph.pinned g (vreg 1));
+        check Alcotest.(option int) "unpinned" None (Rcg.Graph.pinned g (vreg 2));
+        Alcotest.check_raises "conflict"
+          (Invalid_argument "Rcg.pin: f1 already pinned to bank 2") (fun () ->
+            Rcg.Graph.pin g (vreg 1) 3));
+    case "keep-apart-infinitely-negative" (fun () ->
+        let g = Rcg.Graph.create () in
+        Rcg.Graph.keep_apart g (vreg 1) (vreg 2);
+        check Alcotest.bool "very negative" true (Rcg.Graph.edge_weight g (vreg 1) (vreg 2) < -1e17));
+    case "by-weight-desc" (fun () ->
+        let g = Rcg.Graph.create () in
+        Rcg.Graph.add_node_weight g (vreg 1) 1.0;
+        Rcg.Graph.add_node_weight g (vreg 2) 5.0;
+        Rcg.Graph.add_node_weight g (vreg 3) 3.0;
+        check Alcotest.(list int) "order" [ 2; 3; 1 ]
+          (List.map Ir.Vreg.id (Rcg.Graph.by_weight_desc g)));
+    case "components" (fun () ->
+        let g = Rcg.Graph.create () in
+        Rcg.Graph.add_edge_weight g (vreg 1) (vreg 2) 1.0;
+        Rcg.Graph.add_register g (vreg 5);
+        check Alcotest.int "2 comps" 2 (List.length (Rcg.Graph.components g)));
+    case "mean-positive-edge-weight-ignores-negative" (fun () ->
+        let g = Rcg.Graph.create () in
+        Rcg.Graph.add_edge_weight g (vreg 1) (vreg 2) 4.0;
+        Rcg.Graph.add_edge_weight g (vreg 3) (vreg 4) (-10.0);
+        check (Alcotest.float 1e-9) "4" 4.0 (Rcg.Graph.mean_positive_edge_weight g));
+  ]
+
+(* The paper's Figure 2 example: check connectivity structure of the RCG
+   built from its intermediate code. *)
+let paper_example_loop () =
+  let b = Ir.Builder.create () in
+  let r1 = Ir.Builder.load ~name:"r1" b f (Ir.Addr.scalar "xvel") in
+  let r2 = Ir.Builder.load ~name:"r2" b f (Ir.Addr.scalar "t") in
+  let r3 = Ir.Builder.load ~name:"r3" b f (Ir.Addr.scalar "xaccel") in
+  let r4 = Ir.Builder.load ~name:"r4" b f (Ir.Addr.scalar "xpos") in
+  let r5 = Ir.Builder.binop ~name:"r5" b Mach.Opcode.Mul f r1 r2 in
+  let r6 = Ir.Builder.binop ~name:"r6" b Mach.Opcode.Add f r4 r5 in
+  let r7 = Ir.Builder.binop ~name:"r7" b Mach.Opcode.Mul f r3 r2 in
+  let c2 = Ir.Builder.load ~name:"c2" b f (Ir.Addr.scalar "two") in
+  let r8 = Ir.Builder.binop ~name:"r8" b Mach.Opcode.Div f r2 c2 in
+  let r9 = Ir.Builder.binop ~name:"r9" b Mach.Opcode.Mul f r7 r8 in
+  let r10 = Ir.Builder.binop ~name:"r10" b Mach.Opcode.Add f r6 r9 in
+  Ir.Builder.store b f (Ir.Addr.scalar "xout") r10;
+  (Ir.Builder.func b ~name:"ex" ~edges:[], (r1, r2, r5, r6, r9, r10))
+
+let build_tests =
+  [
+    case "paper-example-attractions" (fun () ->
+        let fn, (r1, r2, r5, r6, r9, r10) = paper_example_loop () in
+        let g = Rcg.Build.of_func ~machine:(Mach.Machine.ideal ~width:2 ()) fn in
+        (* figure 2: r5 adjacent to r1 and r2; r10 adjacent to r6 and r9 *)
+        check Alcotest.bool "r5-r1" true (Rcg.Graph.edge_weight g r5 r1 > 0.0);
+        check Alcotest.bool "r5-r2" true (Rcg.Graph.edge_weight g r5 r2 > 0.0);
+        check Alcotest.bool "r10-r6" true (Rcg.Graph.edge_weight g r10 r6 > 0.0);
+        check Alcotest.bool "r10-r9" true (Rcg.Graph.edge_weight g r10 r9 > 0.0);
+        (* r1 and r6 never co-occur in an op *)
+        check Alcotest.bool "r1-r6 not attracted" true (Rcg.Graph.edge_weight g r1 r6 <= 0.0));
+    case "every-register-in-graph" (fun () ->
+        List.iter
+          (fun loop ->
+            let g = Rcg.Build.of_loop ~machine:ideal16 loop in
+            Ir.Vreg.Set.iter
+              (fun r ->
+                check Alcotest.bool (Ir.Vreg.to_string r) true
+                  (List.exists (Ir.Vreg.equal r) (Rcg.Graph.registers g)))
+              (Ir.Loop.vregs loop))
+          (sample_loops ()));
+    case "def-def-same-instruction-repels" (fun () ->
+        (* two independent loads land in the same ideal instruction *)
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.element "x") in
+        let y = Ir.Builder.load b f (Ir.Addr.element "y") in
+        let s = Ir.Builder.binop b Mach.Opcode.Add f x y in
+        Ir.Builder.store b f (Ir.Addr.element "z") s;
+        let loop = Ir.Builder.loop b ~name:"t" () in
+        let g = Rcg.Build.of_loop ~machine:ideal16 loop in
+        check Alcotest.bool "x-y repelled" true (Rcg.Graph.edge_weight g x y < 0.0));
+    case "no-repulsion-ablation" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.element "x") in
+        let y = Ir.Builder.load b f (Ir.Addr.element "y") in
+        let s = Ir.Builder.binop b Mach.Opcode.Add f x y in
+        Ir.Builder.store b f (Ir.Addr.element "z") s;
+        let loop = Ir.Builder.loop b ~name:"t" () in
+        let g = Rcg.Build.of_loop ~weights:Rcg.Weights.no_repulsion ~machine:ideal16 loop in
+        check Alcotest.bool "no negative edge" true (Rcg.Graph.edge_weight g x y >= 0.0));
+    case "node-weights-positive-when-connected" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let g = Rcg.Build.of_loop ~machine:ideal16 loop in
+        check Alcotest.bool "some node weight > 0" true
+          (List.exists (fun r -> Rcg.Graph.node_weight g r > 0.0) (Rcg.Graph.registers g)));
+    case "deeper-loop-weighs-more" (fun () ->
+        let mk depth =
+          let b = Ir.Builder.create () in
+          let x = Ir.Builder.load b f (Ir.Addr.element "x") in
+          let y = Ir.Builder.unop b Mach.Opcode.Neg f x in
+          Ir.Builder.store b f (Ir.Addr.element "y") y;
+          Ir.Builder.loop b ~name:"t" ~depth ()
+        in
+        let g1 = Rcg.Build.of_loop ~machine:ideal16 (mk 1) in
+        let g2 = Rcg.Build.of_loop ~machine:ideal16 (mk 2) in
+        let sum g =
+          List.fold_left (fun acc r -> acc +. Rcg.Graph.node_weight g r) 0.0
+            (Rcg.Graph.registers g)
+        in
+        check Alcotest.bool "10x heavier" true (sum g2 > (sum g1 *. 9.0)));
+  ]
+
+let suite =
+  [ ("rcg.weights", weights_tests); ("rcg.graph", graph_tests); ("rcg.build", build_tests) ]

@@ -1,0 +1,348 @@
+open Testlib
+
+let f = Mach.Rclass.Float
+let i = Mach.Rclass.Int
+
+let straightline () =
+  (* r1 = load x; r2 = load y; r3 = r1+r2; store z, r3 *)
+  let b = Ir.Builder.create () in
+  let r1 = Ir.Builder.load b f (Ir.Addr.scalar "x") in
+  let r2 = Ir.Builder.load b f (Ir.Addr.scalar "y") in
+  let r3 = Ir.Builder.binop b Mach.Opcode.Add f r1 r2 in
+  Ir.Builder.store b f (Ir.Addr.scalar "z") r3;
+  (Ir.Builder.func b ~name:"sl" ~edges:[], r1, r2, r3)
+
+let liveness_tests =
+  [
+    case "backward-basic" (fun () ->
+        let fn, r1, r2, r3 = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let live = Regalloc.Liveness.backward ops ~live_out:Ir.Vreg.Set.empty in
+        (* before the add: r1 r2 live; before the store: r3 live *)
+        check Alcotest.bool "r1 live before add" true (Ir.Vreg.Set.mem r1 live.(2));
+        check Alcotest.bool "r2 live before add" true (Ir.Vreg.Set.mem r2 live.(2));
+        check Alcotest.bool "r3 live before store" true (Ir.Vreg.Set.mem r3 live.(3));
+        check Alcotest.bool "r1 dead before store" false (Ir.Vreg.Set.mem r1 live.(3));
+        check Alcotest.bool "nothing live at entry" true (Ir.Vreg.Set.is_empty live.(0)));
+    case "live-out-propagates" (fun () ->
+        let fn, r1, _, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let live = Regalloc.Liveness.backward ops ~live_out:(Ir.Vreg.Set.singleton r1) in
+        (* r1 stays live through the whole tail *)
+        check Alcotest.bool "r1 live before store" true (Ir.Vreg.Set.mem r1 live.(3)));
+    case "loop-live-out-includes-carried-and-invariants" (fun () ->
+        let loop = Workload.Kernels.dot ~unroll:1 in
+        let lo = Regalloc.Liveness.loop_live_out loop in
+        (* the accumulator s (carried + declared) is live out *)
+        check Alcotest.bool "s" true
+          (Ir.Vreg.Set.exists (fun r -> Ir.Vreg.to_string r = "s") lo));
+    case "func-liveness-dataflow" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.scalar "in") in
+        Ir.Builder.start_block b "use";
+        Ir.Builder.store b f (Ir.Addr.scalar "out") x;
+        let fn = Ir.Builder.func b ~name:"t" ~edges:[ ("entry", "use") ] in
+        let lo = Regalloc.Liveness.func_live_out fn in
+        check Alcotest.bool "x live out of entry" true (Ir.Vreg.Set.mem x (lo "entry"));
+        check Alcotest.bool "nothing out of use" true (Ir.Vreg.Set.is_empty (lo "use")));
+  ]
+
+let interference_tests =
+  [
+    case "parallel-values-interfere" (fun () ->
+        let fn, r1, r2, r3 = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let g = Regalloc.Interference.build ops ~live_out:Ir.Vreg.Set.empty in
+        check Alcotest.bool "r1-r2" true (Regalloc.Interference.interferes g r1 r2);
+        check Alcotest.bool "r1-r3 disjoint" false (Regalloc.Interference.interferes g r1 r3));
+    case "copy-source-exempt" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b f (Ir.Addr.scalar "x") in
+        let y = Ir.Builder.copy b x in
+        Ir.Builder.store b f (Ir.Addr.scalar "o1") x;
+        Ir.Builder.store b f (Ir.Addr.scalar "o2") y;
+        let fn = Ir.Builder.func b ~name:"t" ~edges:[] in
+        let g =
+          Regalloc.Interference.build (Ir.Block.ops (Ir.Func.entry fn))
+            ~live_out:Ir.Vreg.Set.empty
+        in
+        (* x is live across the copy, but Chaitin's move exemption skips
+           the edge from the copy's def *)
+        check Alcotest.bool "x-y no edge from copy" false
+          (Regalloc.Interference.interferes g x y));
+    case "filtered-ignores-other-banks" (fun () ->
+        let fn, r1, r2, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let keep r = Ir.Vreg.equal r r1 in
+        let g = Regalloc.Interference.build_filtered ~keep ops ~live_out:Ir.Vreg.Set.empty in
+        check Alcotest.bool "r2 absent" false
+          (List.exists (Ir.Vreg.equal r2) (Regalloc.Interference.registers g)));
+    case "pressure-bound" (fun () ->
+        let fn, _, _, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let g = Regalloc.Interference.build ops ~live_out:Ir.Vreg.Set.empty in
+        check Alcotest.int "max 2 live" 2 (Regalloc.Interference.max_clique_lower_bound g));
+    case "occurrences-counted" (fun () ->
+        let fn, r1, _, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let g = Regalloc.Interference.build ops ~live_out:Ir.Vreg.Set.empty in
+        (* r1: one def + one use *)
+        check Alcotest.int "r1 occ" 2 (Regalloc.Interference.occurrences g r1));
+  ]
+
+let color_tests =
+  [
+    case "two-colors-suffice-for-path" (fun () ->
+        let fn, _, _, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let g = Regalloc.Interference.build ops ~live_out:Ir.Vreg.Set.empty in
+        let r = Regalloc.Color.color ~k:2 g in
+        check Alcotest.int "no spills" 0 (List.length r.Regalloc.Color.spilled);
+        check Alcotest.bool "valid" true (Regalloc.Color.check g r.Regalloc.Color.colors = Ok ()));
+    case "k1-forces-spill-on-clique" (fun () ->
+        let fn, _, _, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let g = Regalloc.Interference.build ops ~live_out:Ir.Vreg.Set.empty in
+        let r = Regalloc.Color.color ~k:1 g in
+        check Alcotest.bool "spills" true (r.Regalloc.Color.spilled <> []));
+    case "precolored-respected" (fun () ->
+        let fn, r1, _, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let g = Regalloc.Interference.build ops ~live_out:Ir.Vreg.Set.empty in
+        let pre = Ir.Vreg.Map.singleton r1 1 in
+        let r = Regalloc.Color.color ~precolored:pre ~k:4 g in
+        check Alcotest.(option int) "kept" (Some 1)
+          (Ir.Vreg.Map.find_opt r1 r.Regalloc.Color.colors);
+        check Alcotest.bool "valid" true (Regalloc.Color.check g r.Regalloc.Color.colors = Ok ()));
+    case "precolor-out-of-range-rejected" (fun () ->
+        let g = Regalloc.Interference.build [] ~live_out:(Ir.Vreg.Set.singleton (vreg 1)) in
+        check Alcotest.bool "raises" true
+          (try
+             ignore (Regalloc.Color.color ~precolored:(Ir.Vreg.Map.singleton (vreg 1) 5) ~k:2 g);
+             false
+           with Invalid_argument _ -> true));
+    qcheck ~count:50 "coloring-always-valid-on-loop-bodies" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let g =
+          Regalloc.Interference.build (Ir.Loop.ops loop)
+            ~live_out:(Regalloc.Liveness.loop_live_out loop)
+        in
+        let r = Regalloc.Color.color ~k:24 g in
+        Regalloc.Color.check g r.Regalloc.Color.colors = Ok ());
+    qcheck ~count:50 "optimism-never-spills-below-pressure" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let g =
+          Regalloc.Interference.build (Ir.Loop.ops loop)
+            ~live_out:(Regalloc.Liveness.loop_live_out loop)
+        in
+        let k = max 1 (Regalloc.Interference.max_clique_lower_bound g) in
+        (* with k = pressure, an interval-like graph colours or spills;
+           with k = pressure * 2 it must not spill more than ever *)
+        let r = Regalloc.Color.color ~k:(2 * k) g in
+        Regalloc.Color.check g r.Regalloc.Color.colors = Ok ());
+  ]
+
+let spill_tests =
+  [
+    case "rewrite-preserves-semantics" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b i (Ir.Addr.scalar "x") in
+        let y = Ir.Builder.binop b Mach.Opcode.Add i x x in
+        let z = Ir.Builder.binop b Mach.Opcode.Mul i y x in
+        Ir.Builder.store b i (Ir.Addr.scalar "o") z;
+        let fn = Ir.Builder.func b ~name:"t" ~edges:[] in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let rw =
+          Regalloc.Spill.rewrite ~spilled:[ x; y ] ~fresh_vreg:100 ~fresh_op:100 ops
+        in
+        let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+        Ir.Eval.set_mem sa ~base:"x" ~index:0 (Ir.Eval.I 21);
+        Ir.Eval.set_mem sb ~base:"x" ~index:0 (Ir.Eval.I 21);
+        Ir.Eval.run_ops sa ops;
+        Ir.Eval.run_ops sb rw.Regalloc.Spill.ops;
+        check Alcotest.bool "o equal" true
+          (Ir.Eval.value_equal
+             (Ir.Eval.get_mem sa ~base:"o" ~index:0)
+             (Ir.Eval.get_mem sb ~base:"o" ~index:0)));
+    case "spilled-regs-have-short-ranges" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b i (Ir.Addr.scalar "x") in
+        let y = Ir.Builder.binop b Mach.Opcode.Add i x x in
+        Ir.Builder.store b i (Ir.Addr.scalar "o") y;
+        let fn = Ir.Builder.func b ~name:"t" ~edges:[] in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let rw = Regalloc.Spill.rewrite ~spilled:[ x ] ~fresh_vreg:100 ~fresh_op:100 ops in
+        (* x itself no longer appears *)
+        List.iter
+          (fun op ->
+            List.iter
+              (fun r ->
+                check Alcotest.bool "x gone" false (Ir.Vreg.equal r x))
+              (Ir.Op.defs op @ Ir.Op.uses op))
+          rw.Regalloc.Spill.ops);
+    case "temps-reported" (fun () ->
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b i (Ir.Addr.scalar "x") in
+        Ir.Builder.store b i (Ir.Addr.scalar "o") x;
+        let fn = Ir.Builder.func b ~name:"t" ~edges:[] in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let rw = Regalloc.Spill.rewrite ~spilled:[ x ] ~fresh_vreg:50 ~fresh_op:50 ops in
+        check Alcotest.int "2 temps (def + use)" 2 (List.length rw.Regalloc.Spill.temps);
+        List.iter
+          (fun (_, orig) -> check Alcotest.bool "orig is x" true (Ir.Vreg.equal orig x))
+          rw.Regalloc.Spill.temps);
+  ]
+
+let alloc_tests =
+  [
+    case "suite-loops-allocate-without-spills-at-32" (fun () ->
+        List.iter
+          (fun loop ->
+            let g = Rcg.Build.of_loop ~machine:ideal16 loop in
+            let a = Partition.Greedy.partition ~banks:4 g in
+            let ins = Partition.Copies.insert_loop ~machine:m4x4e ~assignment:a loop in
+            match
+              Regalloc.Alloc.allocate_loop ~machine:m4x4e
+                ~assignment:ins.Partition.Copies.assignment ins.Partition.Copies.loop
+            with
+            | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e
+            | Ok r ->
+                check Alcotest.int (Ir.Loop.name loop ^ " no spills") 0
+                  r.Regalloc.Alloc.spill_count;
+                check Alcotest.bool "check passes" true
+                  (Regalloc.Alloc.check ~machine:m4x4e r = Ok ()))
+          (sample_loops ~n:16 ()));
+    case "tiny-bank-forces-spills-then-succeeds" (fun () ->
+        let machine =
+          Mach.Machine.make ~regs_per_bank:3 ~clusters:1 ~fus_per_cluster:16
+            ~copy_model:Mach.Machine.Embedded ()
+        in
+        let loop = Workload.Kernels.hydro ~unroll:2 in
+        let a =
+          Partition.Assign.of_list
+            (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Loop.vregs loop)))
+        in
+        match Regalloc.Alloc.allocate_loop ~machine ~assignment:a loop with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            check Alcotest.bool "spilled" true (r.Regalloc.Alloc.spill_count > 0);
+            check Alcotest.bool "valid" true (Regalloc.Alloc.check ~machine r = Ok ()));
+    case "impossibly-small-bank-errors" (fun () ->
+        let machine =
+          Mach.Machine.make ~regs_per_bank:1 ~clusters:1 ~fus_per_cluster:16
+            ~copy_model:Mach.Machine.Embedded ()
+        in
+        let loop = Workload.Kernels.cmul ~unroll:2 in
+        let a =
+          Partition.Assign.of_list
+            (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Loop.vregs loop)))
+        in
+        check Alcotest.bool "errors" true
+          (match Regalloc.Alloc.allocate_loop ~machine ~assignment:a loop with
+          | Error _ -> true
+          | Ok _ -> false));
+    case "unassigned-register-reported" (fun () ->
+        let loop = Workload.Kernels.vcopy ~unroll:1 in
+        check Alcotest.bool "error mentions register" true
+          (match
+             Regalloc.Alloc.allocate_loop ~machine:m4x4e
+               ~assignment:(Partition.Assign.of_list []) loop
+           with
+          | Error e -> contains e "unassigned"
+          | Ok _ -> false));
+    case "mapping-respects-banks" (fun () ->
+        let loop = Workload.Kernels.stencil3 ~unroll:2 in
+        let g = Rcg.Build.of_loop ~machine:ideal16 loop in
+        let a = Partition.Greedy.partition ~banks:4 g in
+        let ins = Partition.Copies.insert_loop ~machine:m4x4e ~assignment:a loop in
+        match
+          Regalloc.Alloc.allocate_loop ~machine:m4x4e
+            ~assignment:ins.Partition.Copies.assignment ins.Partition.Copies.loop
+        with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            Ir.Vreg.Map.iter
+              (fun reg (bank, _) ->
+                check Alcotest.int (Ir.Vreg.to_string reg)
+                  (Partition.Assign.bank ins.Partition.Copies.assignment reg) bank)
+              r.Regalloc.Alloc.mapping);
+    case "spilled-pipeline-still-correct" (fun () ->
+        (* allocate with a tiny bank, then execute the spill-rewritten code *)
+        let machine =
+          Mach.Machine.make ~regs_per_bank:3 ~clusters:1 ~fus_per_cluster:16
+            ~copy_model:Mach.Machine.Embedded ()
+        in
+        let loop = Workload.Kernels.stencil3 ~unroll:1 in
+        let a =
+          Partition.Assign.of_list
+            (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Loop.vregs loop)))
+        in
+        match Regalloc.Alloc.allocate_loop ~machine ~assignment:a loop with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            let rewritten = Ir.Loop.with_ops loop r.Regalloc.Alloc.code in
+            let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+            seed_state sa loop;
+            seed_state sb loop;
+            (* spilled live-ins are read from their slots: materialize them *)
+            Ir.Vreg.Set.iter
+              (fun inv ->
+                Ir.Eval.set_mem sb ~base:(Regalloc.Spill.slot_base inv) ~index:0
+                  (Ir.Eval.get_reg sb inv))
+              (Ir.Loop.invariants loop);
+            Ir.Eval.run_loop sa ~trips:4 loop;
+            Ir.Eval.run_loop sb ~trips:4 rewritten;
+            (* compare non-spill memory *)
+            let strip st =
+              List.filter
+                (fun (base, _, _) -> not (String.length base > 5 && String.sub base 0 5 = "spill"))
+                (Ir.Eval.mem_snapshot st)
+            in
+            check Alcotest.bool "memory equal" true (strip sa = strip sb));
+  ]
+
+let linear_scan_tests =
+  [
+    case "simple-allocation" (fun () ->
+        let fn, _, _, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let r = Regalloc.Linear_scan.allocate ~k:2 ops ~live_out:Ir.Vreg.Set.empty in
+        check Alcotest.int "no spills" 0 (List.length r.Regalloc.Linear_scan.spilled);
+        check Alcotest.bool "valid" true (Regalloc.Linear_scan.check r);
+        check Alcotest.int "uses 2" 2 r.Regalloc.Linear_scan.used);
+    case "k1-spills" (fun () ->
+        let fn, _, _, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let r = Regalloc.Linear_scan.allocate ~k:1 ops ~live_out:Ir.Vreg.Set.empty in
+        check Alcotest.bool "spills" true (r.Regalloc.Linear_scan.spilled <> []);
+        check Alcotest.bool "still valid" true (Regalloc.Linear_scan.check r));
+    case "live-out-extends-interval" (fun () ->
+        let fn, r1, _, _ = straightline () in
+        let ops = Ir.Block.ops (Ir.Func.entry fn) in
+        let ivs = Regalloc.Linear_scan.intervals_of ops ~live_out:(Ir.Vreg.Set.singleton r1) in
+        let iv = List.find (fun i -> Ir.Vreg.equal i.Regalloc.Linear_scan.reg r1) ivs in
+        check Alcotest.int "to the end" (List.length ops) iv.Regalloc.Linear_scan.stop);
+    qcheck ~count:50 "valid-and-never-beats-chaitin" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let ops = Ir.Loop.ops loop in
+        let live_out = Regalloc.Liveness.loop_live_out loop in
+        let ls = Regalloc.Linear_scan.allocate ~k:512 ops ~live_out in
+        let g = Regalloc.Interference.build ops ~live_out in
+        let cb = Regalloc.Color.color ~k:512 g in
+        let cb_used =
+          Ir.Vreg.Map.fold (fun _ c acc -> max acc (c + 1)) cb.Regalloc.Color.colors 0
+        in
+        Regalloc.Linear_scan.check ls
+        && ls.Regalloc.Linear_scan.spilled = []
+        && ls.Regalloc.Linear_scan.used >= cb_used);
+  ]
+
+let suite =
+  [
+    ("regalloc.linear-scan", linear_scan_tests);
+    ("regalloc.liveness", liveness_tests);
+    ("regalloc.interference", interference_tests);
+    ("regalloc.color", color_tests);
+    ("regalloc.spill", spill_tests);
+    ("regalloc.alloc", alloc_tests);
+  ]

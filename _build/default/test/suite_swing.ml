@@ -1,0 +1,395 @@
+open Testlib
+
+let swing_tests =
+  [
+    case "valid-kernels-on-samples" (fun () ->
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            match Sched.Swing.ideal ~machine:ideal16 ddg with
+            | None -> Alcotest.failf "%s: swing failed" (Ir.Loop.name loop)
+            | Some o -> (
+                match
+                  Sched.Check.kernel ~machine:ideal16 ~cluster_of:all_zero_clusters ~ddg
+                    o.Sched.Modulo.kernel
+                with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e))
+          (sample_loops ~n:30 ()));
+    case "ii-at-least-mii" (fun () ->
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            match Sched.Swing.ideal ~machine:ideal16 ddg with
+            | None -> ()
+            | Some o ->
+                check Alcotest.bool (Ir.Loop.name loop) true
+                  (o.Sched.Modulo.ii >= o.Sched.Modulo.mii))
+          (sample_loops ()));
+    case "matches-rau-ii-on-daxpy" (fun () ->
+        let ddg = Ddg.Graph.of_loop (Workload.Kernels.daxpy ~unroll:4) in
+        match (Sched.Modulo.ideal ~machine:ideal16 ddg, Sched.Swing.ideal ~machine:ideal16 ddg) with
+        | Some rau, Some swing ->
+            check Alcotest.int "same II" rau.Sched.Modulo.ii swing.Sched.Modulo.ii
+        | _ -> Alcotest.fail "scheduling failed");
+    case "recurrence-loop-hits-recmii" (fun () ->
+        let ddg = Ddg.Graph.of_loop (Workload.Kernels.first_order_rec ~unroll:1) in
+        match Sched.Swing.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "failed"
+        | Some o -> check Alcotest.int "ii=4" 4 o.Sched.Modulo.ii);
+    qcheck ~count:40 "swing-valid-on-random-loops" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Swing.ideal ~machine:ideal16 ddg with
+        | None -> false
+        | Some o ->
+            Sched.Check.kernel ~machine:ideal16 ~cluster_of:all_zero_clusters ~ddg
+              o.Sched.Modulo.kernel
+            = Ok ());
+    case "swing-expansion-equivalent" (fun () ->
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            match Sched.Swing.ideal ~machine:ideal16 ddg with
+            | None -> Alcotest.failf "%s failed" (Ir.Loop.name loop)
+            | Some o ->
+                let trips = 6 in
+                let code = Sched.Expand.flatten ~kernel:o.Sched.Modulo.kernel ~loop ~trips in
+                let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+                seed_state sa loop;
+                seed_state sb loop;
+                Ir.Eval.run_loop sa ~trips loop;
+                Ir.Eval.run_ops sb (Sched.Expand.ops code);
+                if not (mem_equal sa sb) then
+                  Alcotest.failf "%s: swing pipeline diverges" (Ir.Loop.name loop))
+          [ Workload.Kernels.dot ~unroll:2; Workload.Kernels.tridiag ~unroll:1;
+            Workload.Kernels.hydro ~unroll:2 ]);
+    slow_case "lifetime-sensitivity-on-average" (fun () ->
+        (* SMS's reason to exist: MaxLive no worse than Rau's on average *)
+        let loops = sample_loops ~n:30 () in
+        let totals = ref (0, 0) in
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            match
+              (Sched.Modulo.ideal ~machine:ideal16 ddg, Sched.Swing.ideal ~machine:ideal16 ddg)
+            with
+            | Some rau, Some swing when rau.Sched.Modulo.ii = swing.Sched.Modulo.ii ->
+                let mr = Sched.Pressure.max_live ~kernel:rau.Sched.Modulo.kernel ~loop in
+                let ms = Sched.Pressure.max_live ~kernel:swing.Sched.Modulo.kernel ~loop in
+                let a, b = !totals in
+                totals := (a + mr, b + ms)
+            | _ -> ())
+          loops;
+        let rau_total, swing_total = !totals in
+        check Alcotest.bool
+          (Printf.sprintf "swing %d <= rau %d + 5%%" swing_total rau_total)
+          true
+          (float_of_int swing_total <= (1.05 *. float_of_int rau_total)));
+  ]
+
+let pressure_tests =
+  [
+    case "lifetimes-cover-defs" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o ->
+            let lts = Sched.Pressure.lifetimes ~kernel:o.Sched.Modulo.kernel ~loop in
+            (* every non-invariant defined register appears exactly once *)
+            let defined =
+              Ir.Vreg.Set.diff (Ir.Loop.vregs loop) (Ir.Loop.invariants loop)
+            in
+            check Alcotest.int "count" (Ir.Vreg.Set.cardinal defined) (List.length lts);
+            List.iter
+              (fun (_, c, e) -> check Alcotest.bool "end after def" true (e > c))
+              lts);
+    case "maxlive-at-least-pressure-floor" (fun () ->
+        (* a chain of unit-latency ops needs at least 1 live value; a wide
+           kernel needs at least ops-in-flight / ii *)
+        let loop = Workload.Kernels.cmul ~unroll:2 in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o ->
+            let ml = Sched.Pressure.max_live ~kernel:o.Sched.Modulo.kernel ~loop in
+            check Alcotest.bool "positive" true (ml >= 1));
+    case "per-bank-sums-bound-total" (fun () ->
+        let loop = Workload.Kernels.stencil3 ~unroll:2 in
+        match Partition.Driver.pipeline ~machine:m4x4e loop with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            let kernel = r.Partition.Driver.clustered.Sched.Modulo.kernel in
+            let rloop = r.Partition.Driver.rewritten in
+            let bank_of reg = Partition.Assign.bank r.Partition.Driver.assignment reg in
+            let per =
+              Sched.Pressure.per_bank_max_live ~kernel ~loop:rloop ~banks:4 ~bank_of
+            in
+            let total = Sched.Pressure.max_live ~kernel ~loop:rloop in
+            check Alcotest.bool "sum >= total" true (Array.fold_left ( + ) 0 per >= total);
+            Array.iter (fun p -> check Alcotest.bool "each <= total" true (p <= total)) per);
+    case "longer-lifetimes-raise-maxlive" (fun () ->
+        (* compare maxlive of a deep chain vs wide independent ops *)
+        let wide = Workload.Kernels.vcopy ~unroll:8 in
+        let ddg = Ddg.Graph.of_loop wide in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o ->
+            let ml = Sched.Pressure.max_live ~kernel:o.Sched.Modulo.kernel ~loop:wide in
+            (* 8 loads with latency 2 at II=1: at least 8 values in flight *)
+            check Alcotest.bool (Printf.sprintf "ml=%d >= 8" ml) true (ml >= 8));
+  ]
+
+let ne_tests =
+  [
+    case "recurrence-groups-found" (fun () ->
+        let loop = Workload.Kernels.euler_step ~unroll:1 in
+        let ddg = Ddg.Graph.of_loop loop in
+        let groups = Partition.Ne.recurrence_groups ddg in
+        check Alcotest.bool "at least one" true (groups <> []));
+    case "recurrence-registers-share-bank" (fun () ->
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            let a = Partition.Ne.partition ~machine:m4x4e ddg in
+            List.iter
+              (fun group ->
+                let banks =
+                  Ir.Vreg.Set.fold
+                    (fun r acc -> Partition.Assign.bank a r :: acc)
+                    group []
+                in
+                match banks with
+                | [] -> ()
+                | b :: rest ->
+                    List.iter
+                      (fun b' ->
+                        check Alcotest.int (Ir.Loop.name loop ^ " same bank") b b')
+                      rest)
+              (Partition.Ne.recurrence_groups ddg))
+          [ Workload.Kernels.first_order_rec ~unroll:2; Workload.Kernels.euler_step ~unroll:2;
+            Workload.Kernels.dot ~unroll:4 ]);
+    case "covers-all-registers" (fun () ->
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            let a = Partition.Ne.partition ~machine:m8x2e ddg in
+            check Alcotest.bool (Ir.Loop.name loop) true
+              (Ir.Vreg.Set.for_all
+                 (fun r -> Partition.Assign.bank_opt a r <> None)
+                 (Ir.Loop.vregs loop)
+              && Partition.Assign.all_in_range ~banks:8 a))
+          (sample_loops ~n:12 ()));
+    case "ne-pipeline-runs" (fun () ->
+        let loop = Workload.Kernels.tridiag ~unroll:2 in
+        let ne = Partition.Driver.Custom (fun machine ddg _ -> Partition.Ne.partition ~machine ddg) in
+        match Partition.Driver.pipeline ~partitioner:ne ~machine:m4x4e loop with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            check Alcotest.bool "no recurrence lengthening" true
+              (r.Partition.Driver.degradation >= 100.0));
+    case "ne-avoids-recurrence-copies" (fun () ->
+        (* for a pure recurrence loop NE should produce zero degradation *)
+        let loop = Workload.Kernels.first_order_rec ~unroll:1 in
+        let ne = Partition.Driver.Custom (fun machine ddg _ -> Partition.Ne.partition ~machine ddg) in
+        match Partition.Driver.pipeline ~partitioner:ne ~machine:m4x4e loop with
+        | Error e -> Alcotest.fail e
+        | Ok r ->
+            check (Alcotest.float 1e-9) "100" 100.0 r.Partition.Driver.degradation);
+  ]
+
+let cyclic_tests =
+  [
+    case "non-overlapping-share-color" (fun () ->
+        let arcs =
+          [ { Regalloc.Cyclic.id = 0; start = 0; len = 3 };
+            { Regalloc.Cyclic.id = 1; start = 3; len = 3 };
+            { Regalloc.Cyclic.id = 2; start = 6; len = 2 } ]
+        in
+        let coloring, n = Regalloc.Cyclic.color ~circumference:8 arcs in
+        check Alcotest.int "one color" 1 n;
+        check Alcotest.bool "valid" true (Regalloc.Cyclic.check ~circumference:8 arcs coloring));
+    case "wraparound-overlap-detected" (fun () ->
+        (* arc [6, 6+4) wraps to [0,2): overlaps [1,3) *)
+        let arcs =
+          [ { Regalloc.Cyclic.id = 0; start = 6; len = 4 };
+            { Regalloc.Cyclic.id = 1; start = 1; len = 2 } ]
+        in
+        let coloring, n = Regalloc.Cyclic.color ~circumference:8 arcs in
+        check Alcotest.int "two colors" 2 n;
+        check Alcotest.bool "valid" true (Regalloc.Cyclic.check ~circumference:8 arcs coloring));
+    case "full-circle-arcs-conflict-with-all" (fun () ->
+        let arcs =
+          [ { Regalloc.Cyclic.id = 0; start = 0; len = 4 };
+            { Regalloc.Cyclic.id = 1; start = 2; len = 1 } ]
+        in
+        let coloring, n = Regalloc.Cyclic.color ~circumference:4 arcs in
+        check Alcotest.int "two colors" 2 n;
+        check Alcotest.bool "valid" true (Regalloc.Cyclic.check ~circumference:4 arcs coloring));
+    case "zero-length-free" (fun () ->
+        let arcs = [ { Regalloc.Cyclic.id = 0; start = 2; len = 0 } ] in
+        let _, n = Regalloc.Cyclic.color ~circumference:4 arcs in
+        check Alcotest.int "no colors" 0 n);
+    case "rejects-too-long" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore
+               (Regalloc.Cyclic.color ~circumference:4
+                  [ { Regalloc.Cyclic.id = 0; start = 0; len = 5 } ]);
+             false
+           with Invalid_argument _ -> true));
+    qcheck ~count:100 "first-fit-always-valid"
+      QCheck2.Gen.(
+        pair (int_range 2 20)
+          (list_size (int_range 0 15) (pair (int_range 0 19) (int_range 0 10))))
+      (fun (circ, raw) ->
+        let arcs =
+          List.mapi
+            (fun i (s, l) -> { Regalloc.Cyclic.id = i; start = s; len = min l circ })
+            raw
+        in
+        let coloring, _ = Regalloc.Cyclic.color ~circumference:circ arcs in
+        Regalloc.Cyclic.check ~circumference:circ arcs coloring);
+  ]
+
+let kernel_alloc_tests =
+  [
+    case "requirements-cover-maxlive" (fun () ->
+        (* colours needed >= MaxLive at any slot *)
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            match Sched.Modulo.ideal ~machine:ideal16 ddg with
+            | None -> ()
+            | Some o ->
+                let req =
+                  Regalloc.Kernel_alloc.requirements ~kernel:o.Sched.Modulo.kernel ~loop
+                    ~banks:1 ~bank_of:(fun _ -> 0)
+                in
+                let ml = Sched.Pressure.max_live ~kernel:o.Sched.Modulo.kernel ~loop in
+                check Alcotest.bool
+                  (Printf.sprintf "%s: %d >= maxlive %d" (Ir.Loop.name loop)
+                     req.Regalloc.Kernel_alloc.total ml)
+                  true
+                  (req.Regalloc.Kernel_alloc.total >= ml);
+                (* ... and within 2x of it (first-fit on arcs is decent) *)
+                check Alcotest.bool "not wasteful" true
+                  (req.Regalloc.Kernel_alloc.total <= (2 * ml) + 4))
+          (sample_loops ~n:20 ()));
+    case "partitioned-banks-fit-32" (fun () ->
+        List.iter
+          (fun loop ->
+            match Partition.Driver.pipeline ~machine:m4x4e loop with
+            | Error e -> Alcotest.fail e
+            | Ok r ->
+                let req =
+                  Regalloc.Kernel_alloc.requirements
+                    ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+                    ~loop:r.Partition.Driver.rewritten ~banks:4
+                    ~bank_of:(Partition.Assign.bank r.Partition.Driver.assignment)
+                in
+                check Alcotest.bool (Ir.Loop.name loop) true
+                  (Regalloc.Kernel_alloc.fits req ~regs_per_bank:32))
+          (sample_loops ~n:12 ()));
+    case "mve-factor-consistent" (fun () ->
+        let loop = Workload.Kernels.hydro ~unroll:2 in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o ->
+            let req =
+              Regalloc.Kernel_alloc.requirements ~kernel:o.Sched.Modulo.kernel ~loop ~banks:1
+                ~bank_of:(fun _ -> 0)
+            in
+            check Alcotest.int "factor"
+              (Sched.Expand.mve_factor ~kernel:o.Sched.Modulo.kernel ~loop)
+              req.Regalloc.Kernel_alloc.mve_factor);
+  ]
+
+let sim_tests =
+  [
+    case "ideal-pipelines-simulate-cleanly" (fun () ->
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            match Sched.Modulo.ideal ~machine:ideal16 ddg with
+            | None -> Alcotest.failf "%s: no schedule" (Ir.Loop.name loop)
+            | Some o -> (
+                let code =
+                  Sched.Expand.flatten ~kernel:o.Sched.Modulo.kernel ~loop ~trips:5
+                in
+                let st = Ir.Eval.create () in
+                seed_state st loop;
+                match Sched.Sim.run ~state:st ~latency:Mach.Latency.paper code with
+                | Ok _ -> ()
+                | Error v ->
+                    Alcotest.failf "%s: cycle %d %s: %s" (Ir.Loop.name loop) v.Sched.Sim.cycle
+                      (Ir.Op.to_string v.Sched.Sim.op) v.Sched.Sim.what))
+          (sample_loops ~n:20 ()));
+    case "clustered-pipelines-simulate-cleanly" (fun () ->
+        List.iter
+          (fun loop ->
+            match Partition.Driver.pipeline ~machine:m4x4e loop with
+            | Error e -> Alcotest.fail e
+            | Ok r -> (
+                let code =
+                  Sched.Expand.flatten
+                    ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+                    ~loop:r.Partition.Driver.rewritten ~trips:5
+                in
+                let st = Ir.Eval.create () in
+                seed_state st loop;
+                match Sched.Sim.run ~state:st ~latency:Mach.Latency.paper code with
+                | Ok sim_state ->
+                    (* final state equals sequential execution *)
+                    let seq = Ir.Eval.create () in
+                    seed_state seq loop;
+                    Ir.Eval.run_loop seq ~trips:5 loop;
+                    check Alcotest.bool (Ir.Loop.name loop ^ " memory") true
+                      (mem_equal seq sim_state)
+                | Error v ->
+                    Alcotest.failf "%s: cycle %d: %s" (Ir.Loop.name loop) v.Sched.Sim.cycle
+                      v.Sched.Sim.what))
+          (sample_loops ~n:12 ()));
+    case "detects-latency-violation" (fun () ->
+        (* hand-build an illegal schedule: consumer issues 1 cycle after a
+           2-cycle load *)
+        let b = Ir.Builder.create () in
+        let x = Ir.Builder.load b Mach.Rclass.Float (Ir.Addr.element "x") in
+        let y = Ir.Builder.unop b Mach.Opcode.Neg Mach.Rclass.Float x in
+        Ir.Builder.store b Mach.Rclass.Float (Ir.Addr.element "y") y;
+        let loop = Ir.Builder.loop b ~name:"bad" () in
+        let placements =
+          List.mapi
+            (fun idx op -> { Sched.Schedule.op; cycle = idx; cluster = 0 })
+            (Ir.Loop.ops loop)
+        in
+        let kernel = Sched.Kernel.make ~ii:3 placements in
+        let code = Sched.Expand.flatten ~kernel ~loop ~trips:2 in
+        (match Sched.Sim.run ~latency:Mach.Latency.paper code with
+        | Ok _ -> Alcotest.fail "expected a latency violation"
+        | Error v -> check Alcotest.bool "mentions ready" true (contains v.Sched.Sim.what "ready")));
+    case "stage-counts-partition-instances" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o ->
+            let trips = 40 in
+            let code = Sched.Expand.flatten ~kernel:o.Sched.Modulo.kernel ~loop ~trips in
+            let pre, steady, post = Sched.Sim.stage_counts code in
+            check Alcotest.int "total" (trips * Ir.Loop.size loop) (pre + steady + post);
+            (* with trips >> stages the steady state dominates *)
+            check Alcotest.bool "steady dominates" true (steady >= pre && steady >= post));
+  ]
+
+let suite =
+  [
+    ("sched.swing", swing_tests);
+    ("sched.sim", sim_tests);
+    ("sched.pressure", pressure_tests);
+    ("partition.ne", ne_tests);
+    ("regalloc.cyclic", cyclic_tests);
+    ("regalloc.kernel-alloc", kernel_alloc_tests);
+  ]

@@ -1,0 +1,167 @@
+open Testlib
+
+let ozer4 =
+  Mach.Machine.make ~name:"4x4-ozer" ~fu_mix:Mach.Machine.ozer_cluster_mix ~clusters:4
+    ~fus_per_cluster:4 ~copy_model:Mach.Machine.Embedded ()
+
+let ozer_ideal =
+  Mach.Machine.make ~name:"ideal-ozer" ~fu_mix:Mach.Machine.ozer_cluster_mix ~clusters:1
+    ~fus_per_cluster:4 ~copy_model:Mach.Machine.Embedded ()
+
+let machine_tests =
+  [
+    case "mix-must-sum" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore
+               (Mach.Machine.make ~fu_mix:[ (Mach.Machine.General, 3) ] ~clusters:1
+                  ~fus_per_cluster:4 ~copy_model:Mach.Machine.Embedded ());
+             false
+           with Invalid_argument _ -> true));
+    case "duplicate-class-rejected" (fun () ->
+        check Alcotest.bool "raises" true
+          (try
+             ignore
+               (Mach.Machine.make
+                  ~fu_mix:[ (Mach.Machine.Integer, 2); (Mach.Machine.Integer, 2) ]
+                  ~clusters:1 ~fus_per_cluster:4 ~copy_model:Mach.Machine.Embedded ());
+             false
+           with Invalid_argument _ -> true));
+    case "general-only-detection" (fun () ->
+        check Alcotest.bool "paper machine" true (Mach.Machine.is_general_only m4x4e);
+        check Alcotest.bool "ozer machine" false (Mach.Machine.is_general_only ozer4));
+    case "allowed-classes" (fun () ->
+        check Alcotest.bool "load needs memory" true
+          (Mach.Machine.allowed_classes Mach.Opcode.Load Mach.Rclass.Float
+          = [ Mach.Machine.Memory ]);
+        check Alcotest.bool "fmul needs float" true
+          (Mach.Machine.allowed_classes Mach.Opcode.Mul Mach.Rclass.Float
+          = [ Mach.Machine.Float_fu ]);
+        check Alcotest.bool "iadd needs integer" true
+          (Mach.Machine.allowed_classes Mach.Opcode.Add Mach.Rclass.Int
+          = [ Mach.Machine.Integer ]));
+  ]
+
+let restab_tests =
+  [
+    case "specialized-capacity-enforced" (fun () ->
+        let t = Sched.Restab.create_modulo ozer4 ~ii:1 in
+        let mem_req = Sched.Restab.Fu_typed (0, [ Mach.Machine.Memory ]) in
+        (* 1 memory unit; general pool is empty in the ozer mix *)
+        Sched.Restab.reserve t ~cycle:0 ~op:0 mem_req;
+        check Alcotest.bool "second load does not fit" false
+          (Sched.Restab.fits t ~cycle:0 mem_req);
+        (* integer units unaffected *)
+        check Alcotest.bool "int fits" true
+          (Sched.Restab.fits t ~cycle:0 (Sched.Restab.Fu_typed (0, [ Mach.Machine.Integer ]))));
+    case "general-fallback-used" (fun () ->
+        let mixed =
+          Mach.Machine.make
+            ~fu_mix:[ (Mach.Machine.Memory, 1); (Mach.Machine.General, 1) ]
+            ~clusters:1 ~fus_per_cluster:2 ~copy_model:Mach.Machine.Embedded ()
+        in
+        let t = Sched.Restab.create_modulo mixed ~ii:1 in
+        let req = Sched.Restab.Fu_typed (0, [ Mach.Machine.Memory ]) in
+        Sched.Restab.reserve t ~cycle:0 ~op:0 req;
+        (* second memory op takes the General unit *)
+        check Alcotest.bool "fallback" true (Sched.Restab.fits t ~cycle:0 req);
+        Sched.Restab.reserve t ~cycle:0 ~op:1 req;
+        check Alcotest.bool "now full" false (Sched.Restab.fits t ~cycle:0 req));
+    case "unsatisfiable-without-class" (fun () ->
+        let int_only =
+          Mach.Machine.make ~fu_mix:[ (Mach.Machine.Integer, 4) ] ~clusters:1
+            ~fus_per_cluster:4 ~copy_model:Mach.Machine.Embedded ()
+        in
+        let t = Sched.Restab.create_modulo int_only ~ii:1 in
+        check Alcotest.bool "memory op can never issue" false
+          (Sched.Restab.satisfiable t (Sched.Restab.Fu_typed (0, [ Mach.Machine.Memory ]))));
+  ]
+
+let sched_tests =
+  [
+    case "ozer-kernels-are-valid" (fun () ->
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            let mii = Ddg.Minii.min_ii ~width:4 ddg in
+            match Sched.Modulo.schedule ~machine:ozer_ideal ~mii ddg with
+            | None -> Alcotest.failf "%s: no schedule" (Ir.Loop.name loop)
+            | Some o -> (
+                match
+                  Sched.Check.kernel ~machine:ozer_ideal ~cluster_of:all_zero_clusters ~ddg
+                    o.Sched.Modulo.kernel
+                with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e))
+          (sample_loops ~n:16 ()));
+    case "memory-unit-binds-load-heavy-loop" (fun () ->
+        (* cmul-u1: 4 loads + 2 stores through 1 memory unit -> II >= 6 *)
+        let loop = Workload.Kernels.cmul ~unroll:1 in
+        let ddg = Ddg.Graph.of_loop loop in
+        let mii = Ddg.Minii.min_ii ~width:4 ddg in
+        match Sched.Modulo.schedule ~machine:ozer_ideal ~mii ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o -> check Alcotest.bool "ii >= 6" true (o.Sched.Modulo.ii >= 6));
+    case "general-machine-not-slower-than-specialized" (fun () ->
+        (* the paper's claim: general units allow >= parallelism *)
+        let general4 =
+          Mach.Machine.make ~name:"ideal-gen4" ~clusters:1 ~fus_per_cluster:4
+            ~copy_model:Mach.Machine.Embedded ()
+        in
+        List.iter
+          (fun loop ->
+            let ddg = Ddg.Graph.of_loop loop in
+            let mii = Ddg.Minii.min_ii ~width:4 ddg in
+            match
+              ( Sched.Modulo.schedule ~machine:general4 ~mii ddg,
+                Sched.Modulo.schedule ~machine:ozer_ideal ~mii ddg )
+            with
+            | Some g, Some s ->
+                (* both schedulers are heuristic, so allow one cycle of
+                   slack on the direction of the claim *)
+                check Alcotest.bool (Ir.Loop.name loop) true
+                  (g.Sched.Modulo.ii <= s.Sched.Modulo.ii + 1)
+            | _ -> Alcotest.failf "%s failed" (Ir.Loop.name loop))
+          (sample_loops ~n:16 ()));
+    case "clustered-ozer-pipeline-end-to-end" (fun () ->
+        List.iter
+          (fun loop ->
+            match Partition.Driver.pipeline ~machine:ozer4 loop with
+            | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e
+            | Ok r ->
+                let ddg =
+                  Ddg.Graph.of_loop ~latency:ozer4.Mach.Machine.latency
+                    r.Partition.Driver.rewritten
+                in
+                let cluster_of =
+                  Partition.Driver.cluster_map r.Partition.Driver.assignment
+                    r.Partition.Driver.rewritten
+                in
+                (match
+                   Sched.Check.kernel ~machine:ozer4 ~cluster_of ~ddg
+                     r.Partition.Driver.clustered.Sched.Modulo.kernel
+                 with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e);
+                (* semantics *)
+                let trips = 4 in
+                let code =
+                  Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+                    ~loop:r.Partition.Driver.rewritten ~trips
+                in
+                let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+                seed_state sa loop;
+                seed_state sb loop;
+                Ir.Eval.run_loop sa ~trips loop;
+                Ir.Eval.run_ops sb (Sched.Expand.ops code);
+                if not (mem_equal sa sb) then
+                  Alcotest.failf "%s: diverges on ozer machine" (Ir.Loop.name loop))
+          (sample_loops ~n:10 ()));
+  ]
+
+let suite =
+  [
+    ("typed.machine", machine_tests);
+    ("typed.restab", restab_tests);
+    ("typed.sched", sched_tests);
+  ]

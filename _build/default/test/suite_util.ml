@@ -1,0 +1,151 @@
+open Testlib
+
+let prng_tests =
+  [
+    case "same-seed-same-sequence" (fun () ->
+        let a = Util.Prng.create 42 and b = Util.Prng.create 42 in
+        for _ = 1 to 50 do
+          check Alcotest.int64 "draw" (Util.Prng.bits64 a) (Util.Prng.bits64 b)
+        done);
+    case "different-seeds-differ" (fun () ->
+        let a = Util.Prng.create 1 and b = Util.Prng.create 2 in
+        let da = List.init 8 (fun _ -> Util.Prng.bits64 a) in
+        let db = List.init 8 (fun _ -> Util.Prng.bits64 b) in
+        check Alcotest.bool "sequences differ" true (da <> db));
+    case "copy-is-independent" (fun () ->
+        let a = Util.Prng.create 7 in
+        let _ = Util.Prng.bits64 a in
+        let b = Util.Prng.copy a in
+        check Alcotest.int64 "same next" (Util.Prng.bits64 a) (Util.Prng.bits64 b));
+    case "int-in-bounds" (fun () ->
+        let r = Util.Prng.create 3 in
+        for _ = 1 to 1000 do
+          let v = Util.Prng.int r 17 in
+          check Alcotest.bool "0<=v<17" true (v >= 0 && v < 17)
+        done);
+    case "int_in-inclusive" (fun () ->
+        let r = Util.Prng.create 5 in
+        let seen = Hashtbl.create 8 in
+        for _ = 1 to 500 do
+          Hashtbl.replace seen (Util.Prng.int_in r 2 4) ()
+        done;
+        check Alcotest.int "all of 2,3,4 seen" 3 (Hashtbl.length seen));
+    case "int-rejects-nonpositive" (fun () ->
+        let r = Util.Prng.create 1 in
+        Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+          (fun () -> ignore (Util.Prng.int r 0)));
+    case "float-in-range" (fun () ->
+        let r = Util.Prng.create 9 in
+        for _ = 1 to 1000 do
+          let v = Util.Prng.float r 2.5 in
+          check Alcotest.bool "0<=v<2.5" true (v >= 0.0 && v < 2.5)
+        done);
+    case "chance-extremes" (fun () ->
+        let r = Util.Prng.create 11 in
+        check Alcotest.bool "p=0 false" false (Util.Prng.chance r 0.0);
+        check Alcotest.bool "p=1 true" true (Util.Prng.chance r 1.0));
+    case "choose-singleton" (fun () ->
+        let r = Util.Prng.create 13 in
+        check Alcotest.int "only element" 5 (Util.Prng.choose r [ 5 ]));
+    case "choose-empty-raises" (fun () ->
+        let r = Util.Prng.create 13 in
+        Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty list") (fun () ->
+            ignore (Util.Prng.choose r [])));
+    case "weighted-zero-weight-excluded" (fun () ->
+        let r = Util.Prng.create 17 in
+        for _ = 1 to 200 do
+          check Alcotest.string "always b" "b"
+            (Util.Prng.weighted r [ ("a", 0.0); ("b", 1.0) ])
+        done);
+    case "shuffle-is-permutation" (fun () ->
+        let r = Util.Prng.create 19 in
+        let l = List.init 20 (fun i -> i) in
+        let s = Util.Prng.shuffle r l in
+        check Alcotest.(list int) "sorted equal" l (List.sort compare s));
+    case "split-streams-differ" (fun () ->
+        let a = Util.Prng.create 23 in
+        let b = Util.Prng.split a in
+        check Alcotest.bool "differ" true (Util.Prng.bits64 a <> Util.Prng.bits64 b));
+  ]
+
+let stats_tests =
+  [
+    case "mean" (fun () ->
+        check (Alcotest.float 1e-9) "mean" 2.0 (Util.Stats.mean [ 1.0; 2.0; 3.0 ]));
+    case "mean-empty-nan" (fun () ->
+        check Alcotest.bool "nan" true (Float.is_nan (Util.Stats.mean [])));
+    case "harmonic-mean" (fun () ->
+        (* harmonic mean of 1 and 2 is 4/3 *)
+        check (Alcotest.float 1e-9) "hm" (4.0 /. 3.0) (Util.Stats.harmonic_mean [ 1.0; 2.0 ]));
+    case "harmonic-below-arithmetic" (fun () ->
+        let l = [ 100.0; 150.0; 120.0; 111.0 ] in
+        check Alcotest.bool "hm <= am" true
+          (Util.Stats.harmonic_mean l <= Util.Stats.mean l));
+    case "harmonic-rejects-nonpositive" (fun () ->
+        Alcotest.check_raises "zero"
+          (Invalid_argument "Stats.harmonic_mean: non-positive element") (fun () ->
+            ignore (Util.Stats.harmonic_mean [ 1.0; 0.0 ])));
+    case "geometric-mean" (fun () ->
+        check (Alcotest.float 1e-9) "gm" 2.0 (Util.Stats.geometric_mean [ 1.0; 4.0 ]));
+    case "median-odd" (fun () ->
+        check (Alcotest.float 1e-9) "median" 3.0 (Util.Stats.median [ 5.0; 1.0; 3.0 ]));
+    case "median-even" (fun () ->
+        check (Alcotest.float 1e-9) "median" 2.5 (Util.Stats.median [ 4.0; 1.0; 2.0; 3.0 ]));
+    case "stddev-constant-zero" (fun () ->
+        check (Alcotest.float 1e-9) "sd" 0.0 (Util.Stats.stddev [ 3.0; 3.0; 3.0 ]));
+    case "min-max" (fun () ->
+        let lo, hi = Util.Stats.min_max [ 3.0; -1.0; 7.0 ] in
+        check (Alcotest.float 0.0) "lo" (-1.0) lo;
+        check (Alcotest.float 0.0) "hi" 7.0 hi);
+    case "histogram-buckets" (fun () ->
+        let h = Util.Stats.histogram ~edges:[ 10.0; 20.0 ] [ 5.0; 10.0; 15.0; 25.0; 9.9 ] in
+        check Alcotest.(array int) "counts" [| 2; 2; 1 |] h.Util.Stats.counts);
+    case "histogram-total" (fun () ->
+        let h = Util.Stats.histogram ~edges:[ 1.0 ] [ 0.0; 2.0; 3.0 ] in
+        check Alcotest.int "total" 3 h.Util.Stats.total);
+    case "histogram-percent-sums-100" (fun () ->
+        let h = Util.Stats.histogram ~edges:Util.Stats.degradation_edges
+            [ 0.0; 5.0; 15.0; 95.0; 42.0 ]
+        in
+        let sum = Array.fold_left ( +. ) 0.0 (Util.Stats.histogram_percent h) in
+        check (Alcotest.float 1e-6) "sum" 100.0 sum);
+    case "histogram-rejects-bad-edges" (fun () ->
+        Alcotest.check_raises "edges"
+          (Invalid_argument "Stats.histogram: edges must be strictly increasing") (fun () ->
+            ignore (Util.Stats.histogram ~edges:[ 2.0; 1.0 ] [])));
+    case "degradation-edges-zero-bucket" (fun () ->
+        (* exactly-zero degradation lands in bucket 0, tiny positive in bucket 1 *)
+        let h = Util.Stats.histogram ~edges:Util.Stats.degradation_edges [ 0.0; 0.5 ] in
+        check Alcotest.int "bucket0" 1 h.Util.Stats.counts.(0);
+        check Alcotest.int "bucket1" 1 h.Util.Stats.counts.(1));
+    qcheck "histogram-counts-sum-to-total"
+      QCheck2.Gen.(list (float_range (-50.0) 150.0))
+      (fun values ->
+        let h = Util.Stats.histogram ~edges:Util.Stats.degradation_edges
+            (List.map (Float.max 0.0) values)
+        in
+        Array.fold_left ( + ) 0 h.Util.Stats.counts = List.length values);
+  ]
+
+let table_tests =
+  [
+    case "render-contains-cells" (fun () ->
+        let t = Util.Table.create ~title:"T" ~header:[ "a"; "b" ] in
+        Util.Table.add_row t [ "x"; "y" ];
+        let s = Util.Table.render t in
+        List.iter
+          (fun needle ->
+            check Alcotest.bool needle true (contains s needle))
+          [ "T"; "a"; "b"; "x"; "y" ]);
+    case "pads-short-rows" (fun () ->
+        let t = Util.Table.create ~title:"T" ~header:[ "a"; "b"; "c" ] in
+        Util.Table.add_row t [ "only" ];
+        ignore (Util.Table.render t));
+    case "cell-float" (fun () ->
+        check Alcotest.string "fmt" "1.5" (Util.Table.cell_float 1.46);
+        check Alcotest.string "fmt2" "1.46" (Util.Table.cell_float ~decimals:2 1.46));
+    case "cell-pct" (fun () -> check Alcotest.string "pct" "12.5%" (Util.Table.cell_pct 12.5));
+  ]
+
+let suite =
+  [ ("util.prng", prng_tests); ("util.stats", stats_tests); ("util.table", table_tests) ]

@@ -1,0 +1,153 @@
+open Testlib
+
+let kernels_tests =
+  [
+    case "all-kernels-build-at-all-unrolls" (fun () ->
+        List.iter
+          (fun (name, make) ->
+            List.iter
+              (fun unroll ->
+                let loop = make ~unroll in
+                check Alcotest.bool
+                  (Printf.sprintf "%s u%d nonempty" name unroll)
+                  true
+                  (Ir.Loop.size loop > 0))
+              [ 1; 2; 3; 4; 8 ])
+          Workload.Kernels.all);
+    case "unroll-scales-size-linearly" (fun () ->
+        List.iter
+          (fun (name, make) ->
+            let s1 = Ir.Loop.size (make ~unroll:1) in
+            let s4 = Ir.Loop.size (make ~unroll:4) in
+            check Alcotest.int (name ^ " 4x ops") (4 * s1) s4)
+          Workload.Kernels.all);
+    case "rejects-unroll-0" (fun () ->
+        Alcotest.check_raises "u0" (Invalid_argument "Kernels: unroll must be >= 1") (fun () ->
+            ignore (Workload.Kernels.daxpy ~unroll:0)));
+    case "reductions-declare-live-out" (fun () ->
+        List.iter
+          (fun loop ->
+            check Alcotest.bool (Ir.Loop.name loop) true
+              (not (Ir.Vreg.Set.is_empty (Ir.Loop.live_out loop))))
+          [ Workload.Kernels.dot ~unroll:2; Workload.Kernels.isum ~unroll:1;
+            Workload.Kernels.maxloc ~unroll:4; Workload.Kernels.euler_step ~unroll:1 ]);
+    case "kernel-names-unique" (fun () ->
+        let names = List.map fst (Workload.Kernels.all @ Workload.Kernels.extra) in
+        check Alcotest.int "unique" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+    case "extra-kernels-build-and-pipeline" (fun () ->
+        List.iter
+          (fun (name, make) ->
+            let loop = make ~unroll:2 in
+            let ddg = Ddg.Graph.of_loop loop in
+            match Sched.Modulo.ideal ~machine:ideal16 ddg with
+            | None -> Alcotest.failf "%s: no ideal pipeline" name
+            | Some o ->
+                check Alcotest.bool (name ^ " valid") true
+                  (Sched.Check.kernel ~machine:ideal16 ~cluster_of:all_zero_clusters ~ddg
+                     o.Sched.Modulo.kernel
+                  = Ok ()))
+          Workload.Kernels.extra);
+    case "extra-kernels-pipeline-equivalence" (fun () ->
+        (* Select/Madd/Abs semantics survive pipelining + partitioning *)
+        List.iter
+          (fun (name, make) ->
+            let loop = make ~unroll:2 in
+            match Partition.Driver.pipeline ~machine:m4x4e loop with
+            | Error e -> Alcotest.failf "%s: %s" name e
+            | Ok r ->
+                let trips = 5 in
+                let code =
+                  Sched.Expand.flatten
+                    ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
+                    ~loop:r.Partition.Driver.rewritten ~trips
+                in
+                let sa = Ir.Eval.create () and sb = Ir.Eval.create () in
+                seed_state sa loop;
+                seed_state sb loop;
+                Ir.Eval.run_loop sa ~trips loop;
+                Ir.Eval.run_ops sb (Sched.Expand.ops code);
+                if not (mem_equal sa sb) then
+                  Alcotest.failf "%s: pipeline diverges\n%s" name (mem_diff sa sb))
+          Workload.Kernels.extra);
+    case "ifconv-uses-select" (fun () ->
+        let loop = Workload.Kernels.select_threshold ~unroll:1 in
+        check Alcotest.bool "has select" true
+          (List.exists
+             (fun op -> Mach.Opcode.equal (Ir.Op.opcode op) Mach.Opcode.Select)
+             (Ir.Loop.ops loop)));
+    case "recurrent-kernels-have-recmii-above-1" (fun () ->
+        List.iter
+          (fun loop ->
+            check Alcotest.bool (Ir.Loop.name loop) true
+              (Ddg.Minii.rec_mii (Ddg.Graph.of_loop loop) > 1))
+          [ Workload.Kernels.first_order_rec ~unroll:1; Workload.Kernels.tridiag ~unroll:1;
+            Workload.Kernels.dot ~unroll:1 ]);
+    case "streaming-kernels-have-recmii-1" (fun () ->
+        List.iter
+          (fun loop ->
+            check Alcotest.int (Ir.Loop.name loop) 1
+              (Ddg.Minii.rec_mii (Ddg.Graph.of_loop loop)))
+          [ Workload.Kernels.vcopy ~unroll:4; Workload.Kernels.daxpy ~unroll:4;
+            Workload.Kernels.hydro ~unroll:2 ]);
+  ]
+
+let loopgen_tests =
+  [
+    case "deterministic" (fun () ->
+        let a = Workload.Loopgen.generate ~seed:5 ~index:3 () in
+        let b = Workload.Loopgen.generate ~seed:5 ~index:3 () in
+        check Alcotest.int "size" (Ir.Loop.size a) (Ir.Loop.size b);
+        List.iter2
+          (fun oa ob ->
+            check Alcotest.string "op" (Ir.Op.to_string oa) (Ir.Op.to_string ob))
+          (Ir.Loop.ops a) (Ir.Loop.ops b));
+    case "different-indices-differ" (fun () ->
+        let a = Workload.Loopgen.generate ~seed:5 ~index:0 () in
+        let b = Workload.Loopgen.generate ~seed:5 ~index:1 () in
+        check Alcotest.bool "differ" true
+          (List.map Ir.Op.to_string (Ir.Loop.ops a)
+          <> List.map Ir.Op.to_string (Ir.Loop.ops b)));
+    qcheck ~count:60 "generated-loops-well-formed" (QCheck2.Gen.int_range 0 500) (fun idx ->
+        let loop = Workload.Loopgen.generate ~seed:1995 ~index:idx () in
+        Ir.Loop.size loop > 0
+        && Graphlib.Topo.is_dag (Ddg.Graph.loop_independent (Ddg.Graph.of_loop loop)));
+    qcheck ~count:30 "generated-loops-pipeline" (QCheck2.Gen.int_range 0 300) (fun idx ->
+        let loop = Workload.Loopgen.generate ~seed:1995 ~index:idx () in
+        let ddg = Ddg.Graph.of_loop loop in
+        Sched.Modulo.ideal ~machine:ideal16 ddg <> None);
+  ]
+
+let suite_tests =
+  [
+    case "size-is-211" (fun () ->
+        check Alcotest.int "211" 211 (List.length (Workload.Suite.loops ())));
+    case "names-unique" (fun () ->
+        let names = List.map Ir.Loop.name (Workload.Suite.loops ()) in
+        check Alcotest.int "unique" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+    case "by-name-finds" (fun () ->
+        check Alcotest.bool "daxpy-u4" true (Workload.Suite.by_name "daxpy-u4" <> None);
+        check Alcotest.bool "nonexistent" true (Workload.Suite.by_name "nope" = None));
+    case "prefix-stable" (fun () ->
+        let small = Workload.Suite.loops ~n:10 () in
+        let big = Workload.Suite.loops ~n:20 () in
+        List.iteri
+          (fun idx loop ->
+            check Alcotest.string "same prefix" (Ir.Loop.name loop)
+              (Ir.Loop.name (List.nth big idx)))
+          small);
+    slow_case "full-suite-ideal-ipc-near-paper" (fun () ->
+        let ipc = Core.Experiment.ideal_ipc () in
+        check Alcotest.bool
+          (Printf.sprintf "8.0 <= %.2f <= 9.2 (paper: 8.6)" ipc)
+          true
+          (ipc >= 8.0 && ipc <= 9.2));
+  ]
+
+let suite =
+  [
+    ("workload.kernels", kernels_tests);
+    ("workload.loopgen", loopgen_tests);
+    ("workload.suite", suite_tests);
+  ]

@@ -1,0 +1,9 @@
+(* Aggregated alcotest runner for every library suite. *)
+let () =
+  Alcotest.run "repro"
+    (Suite_util.suite @ Suite_mach.suite @ Suite_ir.suite @ Suite_graphlib.suite
+   @ Suite_ddg.suite @ Suite_sched.suite @ Suite_rcg.suite @ Suite_partition.suite
+   @ Suite_regalloc.suite @ Suite_workload.suite @ Suite_core.suite
+   @ Suite_swing.suite @ Suite_extensions.suite @ Suite_driver_matrix.suite
+   @ Suite_edges.suite @ Suite_typed_fu.suite @ Suite_final.suite @ Suite_closing.suite
+   @ Suite_integration.suite)

@@ -1,0 +1,74 @@
+(* Shared helpers for the test suites. *)
+
+let check = Alcotest.check
+let case name f = Alcotest.test_case name `Quick f
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let qcheck ?(count = 100) name gen prop =
+  (* a fixed generator seed keeps property tests reproducible in CI *)
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| 0x5eed; Hashtbl.hash name |])
+    (QCheck2.Test.make ~count ~name gen prop)
+
+(* Small machines used across suites. *)
+let ideal16 = Mach.Machine.paper_ideal
+let m2x8e = Mach.Machine.paper_clustered ~clusters:2 ~copy_model:Mach.Machine.Embedded
+let m4x4e = Mach.Machine.paper_clustered ~clusters:4 ~copy_model:Mach.Machine.Embedded
+let m4x4c = Mach.Machine.paper_clustered ~clusters:4 ~copy_model:Mach.Machine.Copy_unit
+let m8x2e = Mach.Machine.paper_clustered ~clusters:8 ~copy_model:Mach.Machine.Embedded
+let m8x2c = Mach.Machine.paper_clustered ~clusters:8 ~copy_model:Mach.Machine.Copy_unit
+
+(* A deterministic set of loops spanning kernels and generated shapes. *)
+let sample_loops ?(n = 24) () = Workload.Suite.loops ~n:(max n 1) ()
+
+let gen_loop_seed : int QCheck2.Gen.t = QCheck2.Gen.int_range 0 10_000
+
+let loop_of_seed seed =
+  (* Mix generated and kernel loops by seed parity. *)
+  if seed mod 3 = 0 then
+    let kernels = Workload.Kernels.all in
+    let name, k = List.nth kernels (seed / 3 mod List.length kernels) in
+    ignore name;
+    k ~unroll:(1 + (seed mod 4))
+  else Workload.Loopgen.generate ~seed:(seed * 7 + 1) ~index:seed ()
+
+let vreg ?(cls = Mach.Rclass.Float) id = Ir.Vreg.make ~id ~cls ()
+
+(* Equivalence of two evaluation states on memory and named registers. *)
+let mem_equal sa sb =
+  let a = Ir.Eval.mem_snapshot sa and b = Ir.Eval.mem_snapshot sb in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (b1, i1, v1) (b2, i2, v2) ->
+         String.equal b1 b2 && i1 = i2 && Ir.Eval.value_equal v1 v2)
+       a b
+
+let mem_diff sa sb =
+  let a = Ir.Eval.mem_snapshot sa and b = Ir.Eval.mem_snapshot sb in
+  let fmt (base, i, v) = Format.asprintf "%s[%d]=%a" base i Ir.Eval.pp_value v in
+  Printf.sprintf "A: %s\nB: %s"
+    (String.concat " " (List.map fmt a))
+    (String.concat " " (List.map fmt b))
+
+(* Seed the same initial register/memory state into two states so loop
+   inputs agree (Eval's deterministic-hash defaults make this mostly
+   redundant; kept for explicitness with live-in registers). *)
+let seed_state st loop =
+  Ir.Vreg.Set.iter
+    (fun r ->
+      let v =
+        match Ir.Vreg.cls r with
+        | Mach.Rclass.Int -> Ir.Eval.I (Ir.Vreg.id r + 3)
+        | Mach.Rclass.Float -> Ir.Eval.F (float_of_int (Ir.Vreg.id r) /. 4.0)
+      in
+      Ir.Eval.set_reg st r v)
+    (Ir.Loop.invariants loop)
+
+let cluster_of_loop assignment loop = Partition.Driver.cluster_map assignment loop
+
+let all_zero_clusters _ = 0
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= hn && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
