@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench doc clean quickstart experiment
+.PHONY: all build test bench doc clean quickstart experiment lint
 
 all: build
 
@@ -9,6 +9,14 @@ build:
 
 test:
 	dune runtest
+
+# CI-style one-command verification: the full pipeline with independent
+# checks at every stage boundary, over every example IR file.
+lint:
+	@for f in examples/*.ir; do \
+	  echo "== $$f"; \
+	  dune exec bin/rbp.exe -- lint $$f || exit 1; \
+	done
 
 bench:
 	dune exec bench/main.exe

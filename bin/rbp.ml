@@ -409,12 +409,90 @@ let csv_cmd =
     Term.(const run $ seed_arg $ n)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+
+let lint_cmd =
+  let run seed name clusters model regs strict =
+    let print_diags diags =
+      List.iter (fun d -> print_endline (Verify.Diag.to_string d)) diags
+    in
+    let finish ~name diags =
+      print_diags diags;
+      Printf.printf "lint: %s: %s\n" name (Verify.Diag.summary diags);
+      if Verify.Diag.has_errors diags || (strict && diags <> []) then exit 1
+    in
+    let fail ~name diag = finish ~name [ diag ] in
+    match load_loop ~seed name with
+    | Error e -> fail ~name (Verify.Diag.error Verify.Diag.Ir ~code:"IR000" e)
+    | Ok loop -> (
+        let lname = Ir.Loop.name loop in
+        let machine0 = or_die (machine_of ~clusters ~model) in
+        let machine =
+          Mach.Machine.make ~regs_per_bank:regs ~clusters
+            ~fus_per_cluster:machine0.Mach.Machine.fus_per_cluster ~copy_model:model ()
+        in
+        match Partition.Driver.pipeline ~machine loop with
+        | Error e -> fail ~name:lname (Verify.Diag.error Verify.Diag.Pipe ~code:"PIPE001" e)
+        | Ok r -> (
+            let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency loop in
+            let rewritten = r.Partition.Driver.rewritten in
+            let ddg' = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency rewritten in
+            let stages =
+              {
+                (Verify.Pipeline.stages ~machine loop) with
+                Verify.Pipeline.ideal =
+                  Some (ddg, r.Partition.Driver.ideal.Sched.Modulo.kernel);
+                partition = Some (r.Partition.Driver.assignment, rewritten);
+                clustered = Some (ddg', r.Partition.Driver.clustered.Sched.Modulo.kernel);
+              }
+            in
+            match
+              Regalloc.Alloc.allocate_loop ~machine
+                ~assignment:r.Partition.Driver.assignment rewritten
+            with
+            | Error e ->
+                finish ~name:lname
+                  (Verify.Pipeline.run stages
+                  @ [ Verify.Diag.error Verify.Diag.Pipe ~code:"PIPE001" e ])
+            | Ok alloc ->
+                let stages =
+                  {
+                    stages with
+                    Verify.Pipeline.alloc =
+                      Some
+                        {
+                          Verify.Pipeline.code = alloc.Regalloc.Alloc.code;
+                          mapping = alloc.Regalloc.Alloc.mapping;
+                          live_out = alloc.Regalloc.Alloc.live_out;
+                        };
+                  }
+                in
+                finish ~name:lname (Verify.Pipeline.run stages)))
+  in
+  let regs =
+    Arg.(
+      value & opt int 32
+      & info [ "regs" ] ~docv:"K" ~doc:"Architectural registers per bank.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings (and infos) as fatal.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the full pipeline with independent verification at every stage boundary \
+          (IR shape, ideal and clustered modulo-schedule legality, operand bank-locality \
+          and copy well-formedness, per-bank register allocation), printing one-line \
+          diagnostics; exits non-zero on any error-severity finding")
+    Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ regs $ strict)
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   let doc = "register assignment for software pipelining with partitioned register banks" in
   Cmd.group
     (Cmd.info "rbp" ~version:"1.0" ~doc)
-    [ list_cmd; show_cmd; pipeline_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; sim_cmd;
-      experiment_cmd; csv_cmd ]
+    [ list_cmd; show_cmd; pipeline_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd;
+      sim_cmd; experiment_cmd; csv_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -41,7 +41,7 @@ let choose_partition partitioner ~machine ~ddg ~ideal_kernel ~depth =
 type scheduler = Rau | Swing
 
 let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?budget_ratio
-    ~machine loop =
+    ?(verify = false) ~machine loop =
   let m : Mach.Machine.t = machine in
   let schedule_ideal ddg =
     match scheduler with
@@ -59,7 +59,22 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
   | Some ideal ->
       let n_ops = Ir.Loop.size loop in
       let ipc_ideal = float_of_int n_ops /. float_of_int ideal.Sched.Modulo.ii in
+      (* Optional self-check: independent re-verification of every stage
+         artifact; an error-severity diagnostic fails the pipeline. *)
+      let verified stages k =
+        if not verify then k ()
+        else
+          match Verify.Pipeline.verdict (Verify.Pipeline.run stages) with
+          | Ok () -> k ()
+          | Error e ->
+              Error (Printf.sprintf "loop %s: verification failed:\n%s" (Ir.Loop.name loop) e)
+      in
       if Mach.Machine.is_monolithic m then
+        let stages =
+          { (Verify.Pipeline.stages ~machine:m loop) with
+            Verify.Pipeline.ideal = Some (ddg, ideal.Sched.Modulo.kernel) }
+        in
+        verified stages @@ fun () ->
         Ok
           {
             loop; machine = m; ideal; clustered = ideal;
@@ -102,6 +117,15 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
             let ipc_clustered =
               Sched.Kernel.ipc ~count:count_op clustered.Sched.Modulo.kernel
             in
+            let stages =
+              {
+                (Verify.Pipeline.stages ~machine:m loop) with
+                Verify.Pipeline.ideal = Some (ddg, ideal.Sched.Modulo.kernel);
+                partition = Some (ins.Copies.assignment, ins.Copies.loop);
+                clustered = Some (ddg', clustered.Sched.Modulo.kernel);
+              }
+            in
+            verified stages @@ fun () ->
             Ok
               {
                 loop; machine = m; ideal; clustered;

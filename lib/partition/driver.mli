@@ -42,6 +42,7 @@ val pipeline :
   ?partitioner:partitioner ->
   ?scheduler:scheduler ->
   ?budget_ratio:int ->
+  ?verify:bool ->
   machine:Mach.Machine.t ->
   Ir.Loop.t ->
   (result, string) Stdlib.result
@@ -49,7 +50,13 @@ val pipeline :
     [Greedy Rcg.Weights.default], [scheduler] to [Rau]. Errors (ideal or
     clustered scheduling failure) are reported, never raised. On a
     monolithic machine the "clustered" leg equals the ideal one and
-    degradation is 100. *)
+    degradation is 100.
+
+    [verify] (default false) re-checks every stage artifact with the
+    independent {!Verify} analyzers — ideal and clustered kernels
+    against their DDGs and machine resources, operand bank-locality and
+    copy well-formedness of the rewritten body — and turns any
+    error-severity diagnostic into an [Error]. *)
 
 val cluster_map : Assign.t -> Ir.Loop.t -> int -> int
 (** [cluster_map assignment loop] is the op-id -> cluster function the

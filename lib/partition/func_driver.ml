@@ -20,7 +20,7 @@ type result = {
 
 let weight_of_depth depth = 10.0 ** float_of_int depth
 
-let pipeline ?(weights = Rcg.Weights.default) ~machine func =
+let pipeline ?(weights = Rcg.Weights.default) ?(verify = false) ~machine func =
   let m : Mach.Machine.t = machine in
   let rcg = Rcg.Build.of_func ~weights ~machine:m func in
   let assignment0 =
@@ -104,6 +104,22 @@ let pipeline ?(weights = Rcg.Weights.default) ~machine func =
         Ir.Func.make ~name:(Ir.Func.name func) ~blocks:(List.rev !rewritten_blocks)
           ~edges:(Ir.Func.edges func)
       in
+      (* Optional self-check: every rewritten block must be bank-local
+         with well-formed copies under the final global assignment. *)
+      let verification =
+        if not verify then Ok ()
+        else
+          Verify.Pipeline.verdict
+            (List.concat_map
+               (fun b ->
+                 Verify.Partition_check.check_block ~machine:m ~assignment:!assignment b)
+               (Ir.Func.blocks rewritten))
+      in
+      match verification with
+      | Error e ->
+          Error
+            (Printf.sprintf "function %s: verification failed:\n%s" (Ir.Func.name func) e)
+      | Ok () ->
       Ok
         {
           func; machine = m; blocks; assignment = !assignment; rewritten;

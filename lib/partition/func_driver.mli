@@ -35,8 +35,13 @@ type result = {
 
 val pipeline :
   ?weights:Rcg.Weights.t ->
+  ?verify:bool ->
   machine:Mach.Machine.t ->
   Ir.Func.t ->
   (result, string) Stdlib.result
 (** Raises nothing; scheduling failures are reported as [Error]. On a
-    monolithic machine degradation is 100 and no copies are inserted. *)
+    monolithic machine degradation is 100 and no copies are inserted.
+    [verify] (default false) re-checks every rewritten block for operand
+    bank-locality and copy well-formedness with the independent
+    {!Verify} analyzers; an error-severity diagnostic fails the
+    pipeline. *)

@@ -84,6 +84,10 @@ let allocate_loop ?max_rounds ~machine ~assignment loop =
     ~live_out:(Liveness.loop_live_out loop)
     (Ir.Loop.ops loop)
 
+let diagnostics ~machine t =
+  Verify.Alloc_check.check ~machine ~assignment:t.assignment ~mapping:t.mapping
+    ~live_out:t.live_out t.code
+
 let check ~machine t =
   let m : Mach.Machine.t = machine in
   let regs = code_registers t.code in

@@ -45,3 +45,10 @@ val check : machine:Mach.Machine.t -> t -> (unit, string) result
 (** Re-verify: every register mapped, banks within range, register
     indices within [regs_per_bank], and no two registers of the same bank
     with overlapping live ranges sharing an index. *)
+
+val diagnostics : machine:Mach.Machine.t -> t -> Verify.Diag.t list
+(** The same invariants re-derived by the independent {!Verify} layer
+    (codes AL001–AL005), as itemized diagnostics instead of a single
+    first-failure string: mapping coverage and range, partition
+    consistency, and physical-register conflicts on re-derived live
+    ranges. *)

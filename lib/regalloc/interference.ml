@@ -31,6 +31,16 @@ let build_filtered ~keep ops ~live_out =
   let n = Array.length arr in
   let live_after i = if i + 1 < n then live_before.(i + 1) else live_out in
   Ir.Vreg.Set.iter (fun r -> if keep r then add_node t r) live_out;
+  (* Region entry is the definition point of every live-in register
+     (loop invariants, values carried across the back edge): their
+     values already coexist there, so they pairwise interfere even
+     though no op in the region defines them. *)
+  if n > 0 then begin
+    let entry = Ir.Vreg.Set.filter keep live_before.(0) in
+    Ir.Vreg.Set.iter
+      (fun a -> Ir.Vreg.Set.iter (fun b -> add_edge t a b) entry)
+      entry
+  end;
   let pressure = ref 0 in
   for i = 0 to n - 1 do
     let op = arr.(i) in

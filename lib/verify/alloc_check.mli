@@ -1,0 +1,28 @@
+(** Register-allocation validity analysis (codes AL001–AL005).
+
+    Re-derives live ranges with {!Live} and checks the final
+    register-to-(bank, index) mapping from the colouring definition: no
+    two simultaneously live registers of one bank may share a physical
+    register, and a definition clobbers whatever shares its physical
+    register at that point (the copy-coalescing exception applies: a
+    copy's destination may share with the source it reads).
+
+    - AL001 (error): a register of the code with no physical mapping.
+    - AL002 (error): a mapping naming a bank the machine lacks.
+    - AL003 (error): a register index outside [regs_per_bank].
+    - AL004 (error): two simultaneously live registers sharing one
+      physical register, or a definition clobbering a live register.
+    - AL005 (error): the mapping places a register in a different bank
+      than the partition assignment — the allocator ignored the
+      partition. *)
+
+val check :
+  machine:Mach.Machine.t ->
+  ?assignment:int Ir.Vreg.Map.t ->
+  mapping:(int * int) Ir.Vreg.Map.t ->
+  live_out:Ir.Vreg.Set.t ->
+  Ir.Op.t list ->
+  Diag.t list
+(** Check allocated straight-line code (a loop body should pass its
+    wrap-around live-out, e.g. {!Live.loop_live_out}). [assignment]
+    enables the AL005 cross-check against the partition. *)

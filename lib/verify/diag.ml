@@ -1,0 +1,51 @@
+type severity = Error | Warning | Info
+
+type stage = Ir | Sched | Partition | Alloc | Pipe
+
+type t = {
+  code : string;
+  severity : severity;
+  stage : stage;
+  loc : string option;
+  message : string;
+}
+
+let make ?loc severity stage ~code message = { code; severity; stage; loc; message }
+let error ?loc stage ~code message = make ?loc Error stage ~code message
+let warning ?loc stage ~code message = make ?loc Warning stage ~code message
+let info ?loc stage ~code message = make ?loc Info stage ~code message
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let stage_name = function
+  | Ir -> "ir"
+  | Sched -> "sched"
+  | Partition -> "partition"
+  | Alloc -> "alloc"
+  | Pipe -> "pipeline"
+
+let to_string d =
+  let loc = match d.loc with None -> "" | Some l -> " @ " ^ l in
+  Printf.sprintf "%s[%s] %s%s: %s" (severity_name d.severity) d.code (stage_name d.stage)
+    loc d.message
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+let has_code code ds = List.exists (fun d -> String.equal d.code code) ds
+
+let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let by_severity ds = List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity)) ds
+
+let summary ds =
+  let n sev = List.length (List.filter (fun d -> d.severity = sev) ds) in
+  let part count noun = Printf.sprintf "%d %s%s" count noun (if count = 1 then "" else "s") in
+  let parts =
+    List.filter_map
+      (fun (sev, noun) ->
+        let c = n sev in
+        if c = 0 then None else Some (part c noun))
+      [ (Error, "error"); (Warning, "warning"); (Info, "info") ]
+  in
+  if parts = [] then "clean" else String.concat ", " parts

@@ -1,0 +1,77 @@
+(** Diagnostics for the cross-stage pipeline verifier.
+
+    Every analyzer in this library reports findings as a list of [t]:
+    a stable error code, a severity, the pipeline stage the invariant
+    belongs to, an optional location (an op, a register, a bank …) and a
+    human-readable message. Codes are the contract the test suite and CLI
+    pin down; messages are free to improve.
+
+    {2 Code taxonomy}
+
+    - [IR000]–[IR0xx] — intermediate-code shape ({!Ir_check}): parse
+      failure (IR000), duplicate op ids (IR001), empty body (IR002),
+      dead definitions (IR003), live-out registers absent from the body
+      (IR004), operand class mismatches (IR005), shadowed definitions
+      (IR006).
+    - [SCH001]–[SCH0xx] — schedule legality ({!Sched_check}):
+      unscheduled ops (SCH001), violated dependence edges (SCH002),
+      oversubscribed resources (SCH003), invalid clusters (SCH004),
+      placements of ops foreign to the DDG (SCH005).
+    - [PT001]–[PT0xx] — partition / copy invariants
+      ({!Partition_check}): unassigned registers (PT001), out-of-range
+      banks (PT002), cross-bank operands surviving copy insertion
+      (PT003), malformed copies (PT004), more copies than cross-bank
+      value flow requires (PT005), per-bank pressure beyond the
+      architectural file (PT006).
+    - [AL001]–[AL0xx] — register-allocation validity ({!Alloc_check}):
+      unmapped registers (AL001), invalid banks (AL002), register
+      indices beyond the bank (AL003), simultaneously-live registers
+      sharing one physical register (AL004), allocation contradicting
+      the partition (AL005).
+    - [PIPE001] — a pipeline stage failed outright, so downstream
+      analyzers could not run. *)
+
+type severity = Error | Warning | Info
+
+type stage =
+  | Ir         (** intermediate-code well-formedness *)
+  | Sched      (** (modulo-)schedule legality *)
+  | Partition  (** bank assignment + copy insertion *)
+  | Alloc      (** per-bank register allocation *)
+  | Pipe       (** stage-to-stage plumbing *)
+
+type t = private {
+  code : string;      (** stable, e.g. ["PT003"] *)
+  severity : severity;
+  stage : stage;
+  loc : string option; (** op / register / bank the finding anchors to *)
+  message : string;
+}
+
+val make : ?loc:string -> severity -> stage -> code:string -> string -> t
+val error : ?loc:string -> stage -> code:string -> string -> t
+val warning : ?loc:string -> stage -> code:string -> string -> t
+val info : ?loc:string -> stage -> code:string -> string -> t
+
+val severity_name : severity -> string
+val stage_name : stage -> string
+
+val to_string : t -> string
+(** One-line rendering:
+    [error[PT003] partition @ op 7: operand f3 lives in bank 1 …]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val errors : t list -> t list
+(** The error-severity subset. *)
+
+val has_errors : t list -> bool
+
+val has_code : string -> t list -> bool
+(** Does any diagnostic carry this code? *)
+
+val by_severity : t list -> t list
+(** Stable sort: errors first, then warnings, then infos. *)
+
+val summary : t list -> string
+(** ["2 errors, 1 warning"]; ["clean"] when empty. *)

@@ -1,0 +1,122 @@
+let op_loc op = Printf.sprintf "op %d (%s)" (Ir.Op.id op) (Ir.Op.to_string op)
+
+let duplicate_ids ops =
+  let seen = Hashtbl.create 32 in
+  List.filter_map
+    (fun op ->
+      let id = Ir.Op.id op in
+      if Hashtbl.mem seen id then
+        Some
+          (Diag.error Diag.Ir ~code:"IR001" ~loc:(op_loc op)
+             (Printf.sprintf "duplicate operation id %d" id))
+      else begin
+        Hashtbl.add seen id ();
+        None
+      end)
+    ops
+
+let dead_defs ~live_out ops =
+  let used =
+    List.fold_left
+      (fun s op -> List.fold_left (fun s u -> Ir.Vreg.Set.add u s) s (Ir.Op.uses op))
+      Ir.Vreg.Set.empty ops
+  in
+  List.concat_map
+    (fun op ->
+      List.filter_map
+        (fun d ->
+          if Ir.Vreg.Set.mem d used || Ir.Vreg.Set.mem d live_out then None
+          else
+            Some
+              (Diag.warning Diag.Ir ~code:"IR003" ~loc:(op_loc op)
+                 (Printf.sprintf "register %s is defined but never read and not live-out"
+                    (Ir.Vreg.to_string d))))
+        (Ir.Op.defs op))
+    ops
+
+let class_mismatches ops =
+  List.filter_map
+    (fun op ->
+      match Ir.Op.dst op with
+      | Some d when Ir.Vreg.cls d <> Ir.Op.cls op ->
+          Some
+            (Diag.warning Diag.Ir ~code:"IR005" ~loc:(op_loc op)
+               (Printf.sprintf "destination %s has class %s but the operation has class %s"
+                  (Ir.Vreg.to_string d)
+                  (Mach.Rclass.to_string (Ir.Vreg.cls d))
+                  (Mach.Rclass.to_string (Ir.Op.cls op))))
+      | _ -> None)
+    ops
+
+(* A def shadowed by a later def of the same register with no
+   intervening read is dead: in-iteration consumers read positionally
+   later, and a loop-carried read sees the *last* def of the previous
+   iteration, never an earlier one. *)
+let shadowed_defs ops =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let findings = ref [] in
+  for p1 = 0 to n - 1 do
+    List.iter
+      (fun d ->
+        let rec scan q =
+          if q < n then
+            if List.exists (Ir.Vreg.equal d) (Ir.Op.uses arr.(q)) then ()
+            else if List.exists (Ir.Vreg.equal d) (Ir.Op.defs arr.(q)) then
+              findings :=
+                Diag.warning Diag.Ir ~code:"IR006" ~loc:(op_loc arr.(p1))
+                  (Printf.sprintf "definition of %s is shadowed by op %d before any read"
+                     (Ir.Vreg.to_string d)
+                     (Ir.Op.id arr.(q)))
+                :: !findings
+            else scan (q + 1)
+        in
+        scan (p1 + 1))
+      (Ir.Op.defs arr.(p1))
+  done;
+  List.rev !findings
+
+let ops ?(live_out = Ir.Vreg.Set.empty) ops =
+  if ops = [] then [ Diag.error Diag.Ir ~code:"IR002" "empty body" ]
+  else
+    duplicate_ids ops @ dead_defs ~live_out ops @ class_mismatches ops
+    @ shadowed_defs ops
+
+let loop l =
+  let body = Ir.Loop.ops l in
+  let present =
+    List.fold_left
+      (fun s op ->
+        List.fold_left (fun s r -> Ir.Vreg.Set.add r s) s
+          (Ir.Op.defs op @ Ir.Op.uses op))
+      Ir.Vreg.Set.empty body
+  in
+  let missing_live_out =
+    Ir.Vreg.Set.fold
+      (fun r acc ->
+        if Ir.Vreg.Set.mem r present then acc
+        else
+          Diag.error Diag.Ir ~code:"IR004" ~loc:(Ir.Vreg.to_string r)
+            (Printf.sprintf "live-out register %s appears nowhere in the body of %s"
+               (Ir.Vreg.to_string r) (Ir.Loop.name l))
+          :: acc)
+      (Ir.Loop.live_out l) []
+  in
+  missing_live_out @ ops ~live_out:(Live.loop_live_out l) body
+
+let func f =
+  let all_ops = List.concat_map Ir.Block.ops (Ir.Func.blocks f) in
+  let dups = duplicate_ids all_ops in
+  (* Per block: everything but dead-defs (a def may be read in another
+     block; block-local dead-def analysis would be unsound). *)
+  let per_block =
+    List.concat_map
+      (fun b ->
+        let bops = Ir.Block.ops b in
+        duplicate_ids bops @ class_mismatches bops)
+      (Ir.Func.blocks f)
+  in
+  (* Function-level dead defs: never read in any block, not an exit value
+     we can see — report only as warnings. *)
+  dups @ per_block @ dead_defs ~live_out:Ir.Vreg.Set.empty all_ops
+  |> List.sort_uniq compare

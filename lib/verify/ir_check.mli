@@ -1,0 +1,28 @@
+(** Intermediate-code shape analysis (codes IR001–IR006).
+
+    Checks written from the IR's documented invariants, independent of
+    the [Ir.Loop.make]/[Ir.Func.make] validation (which a mutated or
+    hand-built artifact may have bypassed):
+
+    - IR001 (error): duplicate operation ids.
+    - IR002 (error): empty body.
+    - IR003 (warning): dead definition — a register defined, never read
+      and not live-out.
+    - IR004 (error): a declared live-out register that appears nowhere
+      in the body, so the loop cannot produce it.
+    - IR005 (warning): an operation whose destination register class
+      disagrees with the operation's own class.
+    - IR006 (warning): shadowed definition — a register redefined before
+      any read of the previous definition. *)
+
+val ops : ?live_out:Ir.Vreg.Set.t -> Ir.Op.t list -> Diag.t list
+(** Check a raw operation list (straight-line or loop body).
+    [live_out] (default empty) suppresses dead-def findings. *)
+
+val loop : Ir.Loop.t -> Diag.t list
+(** Check a loop body; loop invariants and carried values are treated as
+    live-out for the dead-def analysis, and declared live-outs are
+    checked for presence (IR004). *)
+
+val func : Ir.Func.t -> Diag.t list
+(** Check every block of a function plus cross-block id uniqueness. *)

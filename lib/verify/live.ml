@@ -1,0 +1,40 @@
+let backward ops ~live_out =
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let sets = Array.make (n + 1) live_out in
+  for i = n - 1 downto 0 do
+    let op = arr.(i) in
+    let after = sets.(i + 1) in
+    let minus_defs =
+      List.fold_left (fun s d -> Ir.Vreg.Set.remove d s) after (Ir.Op.defs op)
+    in
+    sets.(i) <-
+      List.fold_left (fun s u -> Ir.Vreg.Set.add u s) minus_defs (Ir.Op.uses op)
+  done;
+  sets
+
+let loop_live_out loop =
+  let ops = Ir.Loop.ops loop in
+  (* First definition position of each register, if any. *)
+  let first_def = Hashtbl.create 32 in
+  List.iteri
+    (fun i op ->
+      List.iter
+        (fun d ->
+          if not (Hashtbl.mem first_def (Ir.Vreg.id d)) then
+            Hashtbl.add first_def (Ir.Vreg.id d) i)
+        (Ir.Op.defs op))
+    ops;
+  (* Carried or invariant: some use at position q precedes every def. *)
+  let carried = ref Ir.Vreg.Set.empty in
+  List.iteri
+    (fun q op ->
+      List.iter
+        (fun u ->
+          match Hashtbl.find_opt first_def (Ir.Vreg.id u) with
+          | None -> carried := Ir.Vreg.Set.add u !carried (* invariant *)
+          | Some d when q <= d -> carried := Ir.Vreg.Set.add u !carried
+          | Some _ -> ())
+        (Ir.Op.uses op))
+    ops;
+  Ir.Vreg.Set.union (Ir.Loop.live_out loop) !carried

@@ -1,0 +1,18 @@
+(** Minimal liveness, written from the dataflow definitions.
+
+    The verifier must not trust the producers it checks, so it carries
+    its own liveness rather than reusing [Regalloc.Liveness] (which the
+    allocator under test is built on). Straight-line liveness is one
+    backward pass; a loop body wraps around: a register read before it
+    is redefined is live across the back edge, and loop invariants are
+    live throughout. *)
+
+val backward : Ir.Op.t list -> live_out:Ir.Vreg.Set.t -> Ir.Vreg.Set.t array
+(** [backward ops ~live_out] has [length ops + 1] entries: entry [i] is
+    the set live immediately {e before} op [i]; the last entry is
+    [live_out] itself. *)
+
+val loop_live_out : Ir.Loop.t -> Ir.Vreg.Set.t
+(** Declared live-outs, plus every register carried into the next
+    iteration (read before any in-body redefinition), plus loop
+    invariants (registers with no in-body definition). *)

@@ -1,0 +1,39 @@
+(** Partition / copy-insertion analysis (codes PT001–PT006).
+
+    After step 4 of the paper's framework every operand must be
+    bank-local: an operation executes on the cluster of its destination
+    register (a store on its value's cluster), and each source must
+    live in that same bank, cross-bank values having been routed
+    through explicit [Copy] operations. These checks re-derive operand
+    locality from that definition alone — no reuse of
+    [Partition.Copies] internals:
+
+    - PT001 (error): a register of the code with no bank assignment.
+    - PT002 (error): an assignment naming a bank the machine lacks.
+    - PT003 (error): a non-copy operation reading a register from
+      another bank — copy insertion failed or the assignment was
+      corrupted after it.
+    - PT004 (error): a malformed copy — wrong operand shape, a
+      same-bank (pointless) copy, or a class-changing copy.
+    - PT005 (warning): more copies in the rewritten body than distinct
+      cross-bank (register, consuming cluster, reaching value)
+      transfers require — copy reuse failed.
+    - PT006 (warning): a bank whose maximum number of simultaneously
+      live registers exceeds the architectural file, so per-bank
+      colouring is guaranteed to spill. *)
+
+val check :
+  machine:Mach.Machine.t ->
+  assignment:int Ir.Vreg.Map.t ->
+  ?original:Ir.Loop.t ->
+  Ir.Loop.t ->
+  Diag.t list
+(** Check a rewritten (post-copy-insertion) loop body. [original] is
+    the pre-insertion body; when given, the copy count is compared
+    against the minimal number of cross-bank transfers (PT005). *)
+
+val check_block :
+  machine:Mach.Machine.t -> assignment:int Ir.Vreg.Map.t -> Ir.Block.t -> Diag.t list
+(** Straight-line variant for the whole-function path: locality and
+    copy well-formedness only (blocks carry no live-out information, so
+    no pressure finding). *)

@@ -1,0 +1,58 @@
+type alloc_view = {
+  code : Ir.Op.t list;
+  mapping : (int * int) Ir.Vreg.Map.t;
+  live_out : Ir.Vreg.Set.t;
+}
+
+type stages = {
+  machine : Mach.Machine.t;
+  loop : Ir.Loop.t;
+  ideal : (Ddg.Graph.t * Sched.Kernel.t) option;
+  partition : (int Ir.Vreg.Map.t * Ir.Loop.t) option;
+  clustered : (Ddg.Graph.t * Sched.Kernel.t) option;
+  alloc : alloc_view option;
+}
+
+let stages ~machine loop =
+  { machine; loop; ideal = None; partition = None; clustered = None; alloc = None }
+
+let run s =
+  let ir = Ir_check.loop s.loop in
+  let ideal =
+    match s.ideal with
+    | None -> []
+    | Some (ddg, kernel) ->
+        Sched_check.kernel ~machine:(Mach.Machine.monolithic_of s.machine) ~ddg kernel
+  in
+  let partition =
+    match s.partition with
+    | None -> []
+    | Some (assignment, rewritten) ->
+        Partition_check.check ~machine:s.machine ~assignment ~original:s.loop rewritten
+  in
+  let clustered =
+    match s.clustered with
+    | None -> []
+    | Some (ddg, kernel) -> Sched_check.kernel ~machine:s.machine ~ddg kernel
+  in
+  let alloc =
+    match s.alloc with
+    | None -> []
+    | Some a ->
+        let assignment = Option.map fst s.partition in
+        Alloc_check.check ~machine:s.machine ?assignment ~mapping:a.mapping
+          ~live_out:a.live_out a.code
+  in
+  ir @ ideal @ partition @ clustered @ alloc
+
+let verdict diags =
+  match Diag.errors diags with
+  | [] -> Ok ()
+  | errs ->
+      let shown = List.filteri (fun i _ -> i < 5) errs in
+      let extra = List.length errs - List.length shown in
+      let lines = List.map Diag.to_string shown in
+      let lines =
+        if extra > 0 then lines @ [ Printf.sprintf "… and %d more errors" extra ] else lines
+      in
+      Error (String.concat "\n" lines)

@@ -1,0 +1,51 @@
+(** Cross-stage verification driver.
+
+    One loop flows through the paper's framework as a growing set of
+    stage artifacts: the source body, the ideal modulo schedule, the
+    bank assignment with its rewritten (copy-carrying) body, the
+    clustered modulo schedule, and finally a per-bank register
+    allocation. [run] threads whatever artifacts are present through
+    every applicable analyzer and aggregates the diagnostics:
+
+    - the source loop through {!Ir_check};
+    - the ideal kernel through {!Sched_check} on the monolithic
+      counterpart machine;
+    - assignment + rewritten body through {!Partition_check} (with
+      copy-count minimality against the source);
+    - the clustered kernel through {!Sched_check};
+    - the allocation through {!Alloc_check} (cross-checked against the
+      partition).
+
+    Producers stay untrusted: every analyzer recomputes its invariant
+    from definitions. *)
+
+type alloc_view = {
+  code : Ir.Op.t list;        (** allocated code, incl. any spill code *)
+  mapping : (int * int) Ir.Vreg.Map.t;  (** register -> (bank, index) *)
+  live_out : Ir.Vreg.Set.t;   (** live-out the allocation ran against *)
+}
+
+type stages = {
+  machine : Mach.Machine.t;
+  loop : Ir.Loop.t;
+  ideal : (Ddg.Graph.t * Sched.Kernel.t) option;
+      (** source DDG + ideal kernel (scheduled on the monolithic
+          counterpart of [machine]) *)
+  partition : (int Ir.Vreg.Map.t * Ir.Loop.t) option;
+      (** bank assignment + rewritten body *)
+  clustered : (Ddg.Graph.t * Sched.Kernel.t) option;
+      (** rewritten-body DDG + clustered kernel *)
+  alloc : alloc_view option;
+}
+
+val stages : machine:Mach.Machine.t -> Ir.Loop.t -> stages
+(** A stage set holding only the source loop; fill fields in as the
+    pipeline produces them. *)
+
+val run : stages -> Diag.t list
+(** Every applicable analyzer over every present artifact, in pipeline
+    order. *)
+
+val verdict : Diag.t list -> (unit, string) Stdlib.result
+(** [Ok ()] when no error-severity diagnostic is present, otherwise an
+    [Error] rendering the first few errors one per line. *)

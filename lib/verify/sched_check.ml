@@ -1,0 +1,143 @@
+let op_loc op = Printf.sprintf "op %d (%s)" (Ir.Op.id op) (Ir.Op.to_string op)
+
+let coverage ~ddg placed =
+  let scheduled = Hashtbl.create 32 in
+  List.iter (fun (p : Sched.Schedule.placement) -> Hashtbl.replace scheduled (Ir.Op.id p.op) ())
+    placed;
+  let ddg_ids = Hashtbl.create 32 in
+  List.iter (fun op -> Hashtbl.replace ddg_ids (Ir.Op.id op) ()) (Ddg.Graph.ops_in_order ddg);
+  let missing =
+    List.filter_map
+      (fun op ->
+        if Hashtbl.mem scheduled (Ir.Op.id op) then None
+        else
+          Some
+            (Diag.error Diag.Sched ~code:"SCH001" ~loc:(op_loc op)
+               "operation is not scheduled"))
+      (Ddg.Graph.ops_in_order ddg)
+  in
+  let foreign =
+    List.filter_map
+      (fun (p : Sched.Schedule.placement) ->
+        if Hashtbl.mem ddg_ids (Ir.Op.id p.op) then None
+        else
+          Some
+            (Diag.error Diag.Sched ~code:"SCH005" ~loc:(op_loc p.op)
+               "scheduled operation does not belong to the dependence graph"))
+      placed
+  in
+  missing @ foreign
+
+(* Every edge: t(dst) - t(src) >= latency - ii * distance. A flat
+   schedule is the ii = infinity case restricted to distance-0 edges. *)
+let edges ~graph ~ii cycle_of =
+  List.rev
+    (Graphlib.Digraph.fold_edges
+       (fun (e : Ddg.Dep.t Graphlib.Digraph.edge) acc ->
+         match (cycle_of e.src, cycle_of e.dst) with
+         | Some ts, Some td ->
+             let need = Ddg.Dep.latency e.label - (ii * Ddg.Dep.distance e.label) in
+             if td - ts >= need then acc
+             else
+               Diag.error Diag.Sched ~code:"SCH002"
+                 ~loc:(Printf.sprintf "edge %d->%d" e.src e.dst)
+                 (Printf.sprintf "%s dependence violated: cycle %d - %d < %d"
+                    (Ddg.Dep.to_string e.label) td ts need)
+               :: acc
+         | None, _ | _, None -> acc (* reported by coverage *))
+       graph [])
+
+(* Per-(cluster, normalized cycle) capacity counting. Specialized unit
+   mixes use Hall's condition: each class's demand beyond its dedicated
+   units must fit in the General pool. *)
+let resources ~machine ~normalize placed =
+  let m : Mach.Machine.t = machine in
+  let fu_slots = Hashtbl.create 64 in     (* (cluster, slot) -> fu ops *)
+  let class_demand = Hashtbl.create 64 in (* (cluster, slot, class) -> ops *)
+  let ports = Hashtbl.create 16 in        (* (cluster, slot) -> copies *)
+  let busses = Hashtbl.create 16 in       (* slot -> copies *)
+  let bad_cluster = ref [] in
+  List.iter
+    (fun (p : Sched.Schedule.placement) ->
+      if not (Mach.Machine.valid_cluster m p.cluster) then
+        bad_cluster :=
+          Diag.error Diag.Sched ~code:"SCH004" ~loc:(op_loc p.op)
+            (Printf.sprintf "placed on cluster %d of a %d-cluster machine" p.cluster
+               m.clusters)
+          :: !bad_cluster
+      else begin
+        let slot = normalize p.cycle in
+        let bump tbl key = Hashtbl.replace tbl key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+        in
+        match (m.copy_model, Ir.Op.is_copy p.op) with
+        | Mach.Machine.Copy_unit, true ->
+            bump ports (p.cluster, slot);
+            bump busses slot
+        | (Mach.Machine.Embedded | Mach.Machine.Copy_unit), _ ->
+            bump fu_slots (p.cluster, slot);
+            if not (Mach.Machine.is_general_only m) then
+              List.iter
+                (fun fc -> bump class_demand (p.cluster, slot, fc))
+                (Mach.Machine.allowed_classes (Ir.Op.opcode p.op) (Ir.Op.cls p.op))
+      end)
+    placed;
+  let over tbl cap what =
+    Hashtbl.fold
+      (fun key n acc ->
+        if n <= cap then acc
+        else
+          Diag.error Diag.Sched ~code:"SCH003" ~loc:(what key)
+            (Printf.sprintf "%d issued where capacity is %d" n cap)
+          :: acc)
+      tbl []
+  in
+  let fu_over =
+    over fu_slots m.fus_per_cluster (fun (c, s) ->
+        Printf.sprintf "functional units, cluster %d slot %d" c s)
+  in
+  let port_over =
+    over ports m.copy_ports (fun (c, s) -> Printf.sprintf "copy ports, cluster %d slot %d" c s)
+  in
+  let bus_over = over busses m.busses (fun s -> Printf.sprintf "busses, slot %d" s) in
+  let hall =
+    if Mach.Machine.is_general_only m then []
+    else begin
+      let cap_of fc = Option.value ~default:0 (List.assoc_opt fc m.fu_mix) in
+      let general = cap_of Mach.Machine.General in
+      let by_slot = Hashtbl.create 32 in
+      Hashtbl.iter
+        (fun (c, s, fc) n ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_slot (c, s)) in
+          Hashtbl.replace by_slot (c, s) ((fc, n) :: cur))
+        class_demand;
+      Hashtbl.fold
+        (fun (c, s) demands acc ->
+          let overflow =
+            List.fold_left (fun acc (fc, n) -> acc + max 0 (n - cap_of fc)) 0 demands
+          in
+          if overflow <= general then acc
+          else
+            Diag.error Diag.Sched ~code:"SCH003"
+              ~loc:(Printf.sprintf "specialized units, cluster %d slot %d" c s)
+              (Printf.sprintf "class overflow %d exceeds %d general units" overflow general)
+            :: acc)
+        by_slot []
+    end
+  in
+  !bad_cluster @ fu_over @ port_over @ bus_over @ hall
+
+let kernel ~machine ~ddg k =
+  let placed = Sched.Kernel.placements k in
+  let ii = Sched.Kernel.ii k in
+  let cycle_of id = try Some (Sched.Kernel.cycle_of k id) with Not_found -> None in
+  coverage ~ddg placed
+  @ edges ~graph:(Ddg.Graph.graph ddg) ~ii cycle_of
+  @ resources ~machine ~normalize:(fun c -> c mod ii) placed
+
+let flat ~machine ~ddg sched =
+  let placed = Sched.Schedule.placements sched in
+  let cycle_of id = try Some (Sched.Schedule.cycle_of sched id) with Not_found -> None in
+  coverage ~ddg placed
+  @ edges ~graph:(Ddg.Graph.loop_independent ddg) ~ii:0 cycle_of
+  @ resources ~machine ~normalize:(fun c -> c) placed

@@ -1,0 +1,24 @@
+(** Schedule-legality analysis (codes SCH001–SCH005).
+
+    Re-verifies a schedule against the machine description and the DDG
+    from the definitions alone — modulo legality is
+    [t(dst) - t(src) >= latency - II * distance], resource legality is
+    per-(cluster, slot) capacity counting with Hall's condition for
+    specialized unit mixes — so scheduler bugs cannot vouch for
+    themselves. Unlike [Sched.Check], findings are itemized diagnostics
+    rather than a single first-failure string:
+
+    - SCH001 (error): a DDG operation missing from the schedule.
+    - SCH002 (error): a violated dependence edge.
+    - SCH003 (error): an oversubscribed functional unit, copy port or
+      bus.
+    - SCH004 (error): a placement on a cluster the machine lacks.
+    - SCH005 (error): a scheduled operation the DDG does not contain. *)
+
+val kernel : machine:Mach.Machine.t -> ddg:Ddg.Graph.t -> Sched.Kernel.t -> Diag.t list
+(** Check a modulo-schedule kernel; clusters come from the kernel's own
+    placements, resource usage is folded by II. *)
+
+val flat : machine:Mach.Machine.t -> ddg:Ddg.Graph.t -> Sched.Schedule.t -> Diag.t list
+(** Check a straight-line schedule against the DDG's loop-independent
+    edges, with unfolded per-cycle resource counting. *)

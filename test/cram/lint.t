@@ -1,0 +1,35 @@
+The lint subcommand runs the full pipeline with independent verification
+at every stage boundary. A healthy example is clean (exit 0):
+
+  $ rbp lint ../../examples/saxpy.ir
+  lint: saxpy2: clean
+
+A file that does not parse is a diagnostic, not a crash:
+
+  $ cat > broken.ir <<'IREOF'
+  > loop broken depth 1 trip 100
+  >   load.f x0, x[1*i]
+  >   badop.f y0, x0
+  >   store.f y[1*i], y0
+  > IREOF
+  $ rbp lint broken.ir
+  error[IR000] ir: broken.ir: line 3: unknown opcode "badop"
+  lint: broken.ir: 1 error
+  [1]
+
+Warnings (here a dead definition) are reported but do not fail the lint
+unless --strict is given:
+
+  $ cat > deadreg.ir <<'IREOF'
+  > loop deadreg depth 1 trip 100
+  >   load.f x0, x[1*i]
+  >   load.f y0, y[1*i]
+  >   store.f z[1*i], y0
+  > IREOF
+  $ rbp lint deadreg.ir
+  warning[IR003] ir @ op 0 (load.f x0, x[1*i]): register x0 is defined but never read and not live-out
+  lint: deadreg: 1 warning
+  $ rbp lint deadreg.ir --strict
+  warning[IR003] ir @ op 0 (load.f x0, x[1*i]): register x0 is defined but never read and not live-out
+  lint: deadreg: 1 warning
+  [1]
