@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench doc clean quickstart experiment lint
+.PHONY: all build test bench doc clean quickstart experiment lint stress
 
 all: build
 
@@ -17,6 +17,12 @@ lint:
 	  echo "== $$f"; \
 	  dune exec bin/rbp.exe -- lint $$f || exit 1; \
 	done
+
+# Deterministic fault-injection sweep through the resilient driver:
+# 200 seeded trials, Verify as the oracle. Exit 0 = every trial either
+# produced verified code or failed with a clean structured error.
+stress:
+	dune exec bin/rbp.exe -- stress --seed 1995 --trials 200
 
 bench:
 	dune exec bench/main.exe

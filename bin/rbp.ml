@@ -164,7 +164,11 @@ let pipeline_cmd =
       end
     in
     let machine = or_die (machine_of ~clusters ~model) in
-    let r = or_die (Partition.Driver.pipeline ~partitioner ~scheduler ~machine loop) in
+    let r =
+      or_die
+        (Result.map_error Verify.Stage_error.to_string
+           (Partition.Driver.pipeline ~partitioner ~scheduler ~machine loop))
+    in
     Format.printf "=== %a ===@." Mach.Machine.pp machine;
     Format.printf "@.--- ideal kernel (II=%d) ---@.%a@." r.Partition.Driver.ideal.Sched.Modulo.ii
       Sched.Kernel.pp r.Partition.Driver.ideal.Sched.Modulo.kernel;
@@ -246,12 +250,14 @@ let alloc_cmd =
       Mach.Machine.make ~regs_per_bank:regs ~clusters
         ~fus_per_cluster:machine0.Mach.Machine.fus_per_cluster ~copy_model:model ()
     in
-    let r = or_die (Partition.Driver.pipeline ~machine loop) in
+    let r =
+      or_die (Result.map_error Verify.Stage_error.to_string (Partition.Driver.pipeline ~machine loop))
+    in
     match
       Regalloc.Alloc.allocate_loop ~machine ~assignment:r.Partition.Driver.assignment
         r.Partition.Driver.rewritten
     with
-    | Error e -> or_die (Error e)
+    | Error e -> or_die (Error (Verify.Stage_error.to_string e))
     | Ok alloc ->
         Format.printf "allocated in %d round(s), %d spills@." alloc.Regalloc.Alloc.rounds
           alloc.Regalloc.Alloc.spill_count;
@@ -331,7 +337,8 @@ let compare_cmd =
     in
     let entry label partitioner =
       match Partition.Driver.pipeline ~partitioner ~machine loop with
-      | Error e -> Util.Table.add_row t [ label; "-"; "-"; "FAILED: " ^ e ]
+      | Error e ->
+          Util.Table.add_row t [ label; "-"; "-"; "FAILED: " ^ Verify.Stage_error.to_string e ]
       | Ok r ->
           Util.Table.add_row t
             [
@@ -362,7 +369,9 @@ let sim_cmd =
   let run seed name clusters model trips =
     let loop = or_die (load_loop ~seed name) in
     let machine = or_die (machine_of ~clusters ~model) in
-    let r = or_die (Partition.Driver.pipeline ~machine loop) in
+    let r =
+      or_die (Result.map_error Verify.Stage_error.to_string (Partition.Driver.pipeline ~machine loop))
+    in
     let code =
       Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel
         ~loop:r.Partition.Driver.rewritten ~trips
@@ -432,7 +441,10 @@ let lint_cmd =
             ~fus_per_cluster:machine0.Mach.Machine.fus_per_cluster ~copy_model:model ()
         in
         match Partition.Driver.pipeline ~machine loop with
-        | Error e -> fail ~name:lname (Verify.Diag.error Verify.Diag.Pipe ~code:"PIPE001" e)
+        | Error e ->
+            fail ~name:lname
+              (Verify.Diag.error Verify.Diag.Pipe ~code:e.Verify.Stage_error.code
+                 (Verify.Stage_error.to_string e))
         | Ok r -> (
             let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency loop in
             let rewritten = r.Partition.Driver.rewritten in
@@ -453,7 +465,10 @@ let lint_cmd =
             | Error e ->
                 finish ~name:lname
                   (Verify.Pipeline.run stages
-                  @ [ Verify.Diag.error Verify.Diag.Pipe ~code:"PIPE001" e ])
+                  @ [
+                      Verify.Diag.error Verify.Diag.Pipe ~code:e.Verify.Stage_error.code
+                        (Verify.Stage_error.to_string e);
+                    ])
             | Ok alloc ->
                 let stages =
                   {
@@ -483,8 +498,55 @@ let lint_cmd =
          "Run the full pipeline with independent verification at every stage boundary \
           (IR shape, ideal and clustered modulo-schedule legality, operand bank-locality \
           and copy well-formedness, per-bank register allocation), printing one-line \
-          diagnostics; exits non-zero on any error-severity finding")
+          diagnostics. Exit codes: 0 when no error-severity finding (and, with \
+          $(b,--strict), no finding at all); 1 otherwise")
     Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ regs $ strict)
+
+let stress_cmd =
+  let run seed trials fault_rate no_fatal verbose =
+    let s = Robust.Stress.run ~include_fatal:(not no_fatal) ~fault_rate ~seed ~trials () in
+    print_endline (Robust.Stress.report ~verbose s);
+    exit (Robust.Stress.exit_code s)
+  in
+  let trials =
+    Arg.(
+      value & opt int 200
+      & info [ "trials"; "t" ] ~docv:"K" ~doc:"Number of fault-injected trials.")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.9
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Probability that a trial injects a fault; the remaining trials exercise \
+             the clean path.")
+  in
+  let no_fatal =
+    Arg.(
+      value & flag
+      & info [ "no-fatal" ]
+          ~doc:
+            "Inject only transient (recoverable) stage corruptions; skip the fatal \
+             faults (malformed IR, unallocatably small banks) whose contract is a \
+             clean structured failure rather than recovery.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Print one line per trial instead of only the non-clean trials.")
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Deterministic fault-injection sweep over the workload suite: each trial draws \
+          a loop, a clustered machine and a fault plan from the seed, runs the resilient \
+          fallback-ladder driver, and audits the outcome with the independent verifier. \
+          Same seed, same trial count: byte-identical report. Exit codes: 0 when every \
+          trial produced verified code or failed cleanly with a structured diagnostic; \
+          1 when a transient fault went unrecovered; 2 on a violation (an exception \
+          escaped the driver, or emitted code failed re-verification)")
+    Term.(const run $ seed_arg $ trials $ fault_rate $ no_fatal $ verbose)
 
 (* ------------------------------------------------------------------ *)
 
@@ -493,6 +555,6 @@ let main =
   Cmd.group
     (Cmd.info "rbp" ~version:"1.0" ~doc)
     [ list_cmd; show_cmd; pipeline_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd;
-      sim_cmd; experiment_cmd; csv_cmd ]
+      stress_cmd; sim_cmd; experiment_cmd; csv_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -21,7 +21,8 @@ let () =
     (fun (clusters, model) ->
       let machine = Mach.Machine.paper_clustered ~clusters ~copy_model:model in
       match Partition.Driver.pipeline ~machine loop with
-      | Error e -> Format.printf "%s: FAILED (%s)@." machine.Mach.Machine.name e
+      | Error e -> Format.printf "%s: FAILED (%s)@." machine.Mach.Machine.name
+            (Verify.Stage_error.to_string e)
       | Ok r ->
           Util.Table.add_row t
             [

@@ -20,7 +20,7 @@ let run copy_model =
   let machine = Mach.Machine.paper_clustered ~clusters:4 ~copy_model in
   let loop = daxpy_unroll4 () in
   match Partition.Driver.pipeline ~machine loop with
-  | Error msg -> Format.printf "FAILED: %s@." msg
+  | Error e -> Format.printf "FAILED: %s@." (Verify.Stage_error.to_string e)
   | Ok r ->
       Format.printf "=== %a ===@." Mach.Machine.pp machine;
       Format.printf "--- ideal kernel ---@.%a@." Sched.Kernel.pp r.ideal.Sched.Modulo.kernel;

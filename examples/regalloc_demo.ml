@@ -8,7 +8,7 @@ let () =
   let base = Mach.Machine.paper_clustered ~clusters:4 ~copy_model:Mach.Machine.Embedded in
   match Partition.Driver.pipeline ~machine:base loop with
   | Error e ->
-      prerr_endline e;
+      prerr_endline (Verify.Stage_error.to_string e);
       exit 1
   | Ok r ->
       Format.printf "loop %s partitioned: II %d -> %d, %d copies@.@." (Ir.Loop.name loop)
@@ -24,7 +24,9 @@ let () =
             Regalloc.Alloc.allocate_loop ~machine ~assignment:r.Partition.Driver.assignment
               r.Partition.Driver.rewritten
           with
-          | Error e -> Format.printf "%2d regs/bank: %s@." regs_per_bank e
+          | Error e ->
+              Format.printf "%2d regs/bank: %s@." regs_per_bank
+                (Verify.Stage_error.to_string e)
           | Ok a ->
               Format.printf
                 "%2d regs/bank: %d round(s), %d spills, pressure per bank [%s]@."

@@ -32,7 +32,8 @@ let () =
         Mach.Machine.paper_clustered ~clusters ~copy_model:Mach.Machine.Embedded
       in
       match Partition.Func_driver.pipeline ~machine fn with
-      | Error e -> Format.printf "%s: FAILED (%s)@." machine.Mach.Machine.name e
+      | Error e -> Format.printf "%s: FAILED (%s)@." machine.Mach.Machine.name
+            (Verify.Stage_error.to_string e)
       | Ok r ->
           Format.printf
             "%-14s degradation %.1f (weighted cycles %.0f -> %.0f), %d copies@."

@@ -29,7 +29,7 @@ let default_loops = lazy (Workload.Suite.loops ())
 type run = {
   config : config;
   metrics : Metrics.loop_metrics list;
-  failures : (string * string) list;
+  failures : (string * Verify.Stage_error.t) list;
 }
 
 let run_config ?partitioner ?loops config =

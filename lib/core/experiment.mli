@@ -21,7 +21,7 @@ val config_for : clusters:int -> copy_model:Mach.Machine.copy_model -> config
 type run = {
   config : config;
   metrics : Metrics.loop_metrics list;  (** successfully pipelined loops *)
-  failures : (string * string) list;    (** loop name, error *)
+  failures : (string * Verify.Stage_error.t) list;  (** loop name, structured error *)
 }
 
 val run_config :

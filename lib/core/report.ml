@@ -83,7 +83,9 @@ let failures_summary runs =
     (fun (r : Experiment.run) ->
       List.iter
         (fun (name, err) ->
-          Buffer.add_string buf (Printf.sprintf "  [%s] %s: %s\n" r.config.label name err))
+          Buffer.add_string buf
+            (Printf.sprintf "  [%s] %s: %s\n" r.config.label name
+               (Verify.Stage_error.to_string err)))
         r.failures)
     runs;
   if Buffer.length buf = 0 then "  (none)\n" else Buffer.contents buf

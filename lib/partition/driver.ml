@@ -18,12 +18,27 @@ type result = {
 }
 
 let cluster_map assignment loop =
+  (* Every lookup the schedulers will ever make is materialized here, so a
+     malformed assignment (a register of the body with no bank) surfaces as
+     an [Error] before any scheduling starts instead of a mid-schedule
+     exception. [Assign.cluster_of_op] raises on unassigned registers. *)
   let tbl = Hashtbl.create 64 in
-  List.iter
-    (fun op -> Hashtbl.replace tbl (Ir.Op.id op) (Assign.cluster_of_op assignment op))
-    (Ir.Loop.ops loop);
-  fun id ->
-    match Hashtbl.find_opt tbl id with Some c -> c | None -> raise Not_found
+  match
+    List.iter
+      (fun op -> Hashtbl.replace tbl (Ir.Op.id op) (Assign.cluster_of_op assignment op))
+      (Ir.Loop.ops loop)
+  with
+  | () ->
+      Ok
+        (fun id ->
+          match Hashtbl.find_opt tbl id with
+          | Some c -> c
+          | None ->
+              (* True internal invariant: the schedulers only query ids of
+                 the DDG built from this same body, all of which are in the
+                 table. An unknown id is a caller bug, not bad input. *)
+              invalid_arg (Printf.sprintf "Driver.cluster_map: unknown op id %d" id))
+  | exception Invalid_argument msg -> Error msg
 
 let choose_partition partitioner ~machine ~ddg ~ideal_kernel ~depth =
   match partitioner with
@@ -43,6 +58,8 @@ type scheduler = Rau | Swing
 let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?budget_ratio
     ?(verify = false) ~machine loop =
   let m : Mach.Machine.t = machine in
+  let subject = Ir.Loop.name loop in
+  let fail ?code stage message = Error (Verify.Stage_error.make ?code ~stage ~subject message) in
   let schedule_ideal ddg =
     match scheduler with
     | Rau -> Sched.Modulo.ideal ?budget_ratio ~machine:m ddg
@@ -55,7 +72,9 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
   in
   let ddg = Ddg.Graph.of_loop ~latency:m.latency loop in
   match schedule_ideal ddg with
-  | None -> Error (Printf.sprintf "loop %s: ideal pipeline failed" (Ir.Loop.name loop))
+  | None ->
+      fail Verify.Stage_error.Ideal_schedule
+        "no feasible II found for the ideal (monolithic) pipeline"
   | Some ideal ->
       let n_ops = Ir.Loop.size loop in
       let ipc_ideal = float_of_int n_ops /. float_of_int ideal.Sched.Modulo.ii in
@@ -64,10 +83,10 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
       let verified stages k =
         if not verify then k ()
         else
-          match Verify.Pipeline.verdict (Verify.Pipeline.run stages) with
-          | Ok () -> k ()
-          | Error e ->
-              Error (Printf.sprintf "loop %s: verification failed:\n%s" (Ir.Loop.name loop) e)
+          let diags = Verify.Pipeline.run stages in
+          if Verify.Diag.has_errors diags then
+            Error (Verify.Stage_error.of_diags ~subject diags)
+          else k ()
       in
       if Mach.Machine.is_monolithic m then
         let stages =
@@ -85,19 +104,35 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
             ipc_clustered = ipc_ideal;
           }
       else begin
-        let assignment =
+        match
           choose_partition partitioner ~machine:m ~ddg
             ~ideal_kernel:ideal.Sched.Modulo.kernel ~depth:(Ir.Loop.depth loop)
-        in
+        with
+        | exception Invalid_argument msg ->
+            (* A partitioner rejecting its input (bad pins, banks < 1, a
+               custom function raising) is data-dependent, not a bug here. *)
+            fail Verify.Stage_error.Partitioning msg
+        | assignment -> (
         (* Registers the RCG may have missed (none in practice) park in 0. *)
         let assignment =
           Ir.Vreg.Set.fold
             (fun r acc -> if Ir.Vreg.Map.mem r acc then acc else Ir.Vreg.Map.add r 0 acc)
             (Ir.Loop.vregs loop) assignment
         in
-        let ins = Copies.insert_loop ~machine:m ~assignment loop in
+        if not (Assign.all_in_range ~banks:m.clusters assignment) then
+          (* Caught here so neither copy insertion nor the resource tables
+             ever see an out-of-range bank (they treat that as an internal
+             invariant and raise). *)
+          fail ~code:"PT002" Verify.Stage_error.Partitioning
+            "assignment names a bank the machine lacks"
+        else
+        match Copies.insert_loop ~machine:m ~assignment loop with
+        | exception Invalid_argument msg -> fail Verify.Stage_error.Copy_insertion msg
+        | ins -> (
         let ddg' = Ddg.Graph.of_loop ~latency:m.latency ins.Copies.loop in
-        let cluster_of = cluster_map ins.Copies.assignment ins.Copies.loop in
+        match cluster_map ins.Copies.assignment ins.Copies.loop with
+        | Error msg -> fail ~code:"PT001" Verify.Stage_error.Partitioning msg
+        | Ok cluster_of -> (
         let mii =
           max
             (Ddg.Minii.res_mii_clustered ~machine:m
@@ -107,7 +142,8 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
         in
         match schedule_clustered ~cluster_of ~mii ddg' with
         | None ->
-            Error (Printf.sprintf "loop %s: clustered pipeline failed" (Ir.Loop.name loop))
+            fail Verify.Stage_error.Clustered_schedule
+              (Printf.sprintf "no feasible II found for the clustered pipeline (MII %d)" mii)
         | Some clustered ->
             let count_op (op : Ir.Op.t) =
               match m.copy_model with
@@ -135,5 +171,5 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
                   100.0 *. float_of_int clustered.Sched.Modulo.ii
                   /. float_of_int ideal.Sched.Modulo.ii;
                 ipc_ideal; ipc_clustered;
-              }
+              })))
       end

@@ -45,12 +45,14 @@ val pipeline :
   ?verify:bool ->
   machine:Mach.Machine.t ->
   Ir.Loop.t ->
-  (result, string) Stdlib.result
+  (result, Verify.Stage_error.t) Stdlib.result
 (** Runs the whole framework. [partitioner] defaults to
-    [Greedy Rcg.Weights.default], [scheduler] to [Rau]. Errors (ideal or
-    clustered scheduling failure) are reported, never raised. On a
-    monolithic machine the "clustered" leg equals the ideal one and
-    degradation is 100.
+    [Greedy Rcg.Weights.default], [scheduler] to [Rau]. Failures are
+    reported as structured {!Verify.Stage_error} values naming the
+    framework stage and a diagnostic code — never raised, including on
+    malformed assignments (unassigned registers, out-of-range banks)
+    coming out of a [Custom] partitioner. On a monolithic machine the
+    "clustered" leg equals the ideal one and degradation is 100.
 
     [verify] (default false) re-checks every stage artifact with the
     independent {!Verify} analyzers — ideal and clustered kernels
@@ -58,6 +60,24 @@ val pipeline :
     copy well-formedness of the rewritten body — and turns any
     error-severity diagnostic into an [Error]. *)
 
-val cluster_map : Assign.t -> Ir.Loop.t -> int -> int
+val choose_partition :
+  partitioner ->
+  machine:Mach.Machine.t ->
+  ddg:Ddg.Graph.t ->
+  ideal_kernel:Sched.Kernel.t ->
+  depth:int ->
+  Assign.t
+(** Run just the partitioning step (step 3) the way [pipeline] would:
+    RCG-based methods build their graph from the ideal kernel. Exposed
+    for the resilient ladder driver in [lib/robust], which retries with
+    different partitioners. May raise [Invalid_argument] for malformed
+    inputs (callers turn that into a {!Verify.Stage_error}). *)
+
+val cluster_map : Assign.t -> Ir.Loop.t -> (int -> int, string) Stdlib.result
 (** [cluster_map assignment loop] is the op-id -> cluster function the
-    schedulers consume. Raises [Not_found] on unknown op ids. *)
+    schedulers consume. Returns [Error] (naming the register) when the
+    assignment misses a register of the body, so malformed assignments
+    are rejected before scheduling rather than raising mid-schedule.
+    The returned function raises [Invalid_argument] on op ids not in
+    [loop] — an internal invariant, since schedulers only query ids of
+    the DDG built from this same body. *)

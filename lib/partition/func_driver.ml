@@ -63,10 +63,17 @@ let pipeline ?(weights = Rcg.Weights.default) ?(verify = false) ~machine func =
         else begin
           let ddg = Ddg.Graph.of_block ~latency:m.latency block in
           let ideal = Sched.List_sched.ideal ~machine:m ddg in
-          let block', assignment', n =
+          match
             Copies.insert_block ~machine:m ~assignment:!assignment ~fresh_vreg:!next_vreg
               ~fresh_op:!next_op block
-          in
+          with
+          | exception Invalid_argument msg ->
+              error :=
+                Some
+                  (Verify.Stage_error.make ~stage:Verify.Stage_error.Copy_insertion
+                     ~subject:(Ir.Func.name func)
+                     (Printf.sprintf "block %s: %s" (Ir.Block.label block) msg))
+          | block', assignment', n ->
           assignment := assignment';
           next_vreg := !next_vreg + n;
           next_op := !next_op + n;
@@ -87,7 +94,11 @@ let pipeline ?(weights = Rcg.Weights.default) ?(verify = false) ~machine func =
                   clustered_len = Sched.Schedule.issue_length sched; n_copies = n }
                 :: !results
           | exception Invalid_argument msg ->
-              error := Some (Printf.sprintf "block %s: %s" (Ir.Block.label block) msg)
+              error :=
+                Some
+                  (Verify.Stage_error.make ~stage:Verify.Stage_error.Clustered_schedule
+                     ~subject:(Ir.Func.name func)
+                     (Printf.sprintf "block %s: %s" (Ir.Block.label block) msg))
         end)
     (Ir.Func.blocks func);
   match !error with
@@ -109,16 +120,18 @@ let pipeline ?(weights = Rcg.Weights.default) ?(verify = false) ~machine func =
       let verification =
         if not verify then Ok ()
         else
-          Verify.Pipeline.verdict
-            (List.concat_map
-               (fun b ->
-                 Verify.Partition_check.check_block ~machine:m ~assignment:!assignment b)
-               (Ir.Func.blocks rewritten))
+          let diags =
+            List.concat_map
+              (fun b ->
+                Verify.Partition_check.check_block ~machine:m ~assignment:!assignment b)
+              (Ir.Func.blocks rewritten)
+          in
+          if Verify.Diag.has_errors diags then
+            Error (Verify.Stage_error.of_diags ~subject:(Ir.Func.name func) diags)
+          else Ok ()
       in
       match verification with
-      | Error e ->
-          Error
-            (Printf.sprintf "function %s: verification failed:\n%s" (Ir.Func.name func) e)
+      | Error e -> Error e
       | Ok () ->
       Ok
         {

@@ -38,8 +38,10 @@ val pipeline :
   ?verify:bool ->
   machine:Mach.Machine.t ->
   Ir.Func.t ->
-  (result, string) Stdlib.result
-(** Raises nothing; scheduling failures are reported as [Error]. On a
+  (result, Verify.Stage_error.t) Stdlib.result
+(** Raises nothing; copy-insertion, scheduling and verification failures
+    are reported as structured {!Verify.Stage_error} values naming the
+    stage and offending block. On a
     monolithic machine degradation is 100 and no copies are inserted.
     [verify] (default false) re-checks every rewritten block for operand
     bank-locality and copy well-formedness with the independent

@@ -86,13 +86,25 @@ let source_of_schedule ~ddg ~depth (sched : Sched.Schedule.t) =
     density = (fun _ -> dens);
   }
 
-let of_loop ?weights ~machine loop =
+let of_loop_res ?weights ~machine loop =
   let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency loop in
   match Sched.Modulo.ideal ~machine ddg with
-  | None -> invalid_arg "Rcg.Build.of_loop: ideal pipeline failed"
+  | None ->
+      Error
+        (Printf.sprintf "loop %s: no feasible II for the ideal pipeline, cannot build RCG"
+           (Ir.Loop.name loop))
   | Some outcome ->
-      build ?weights
-        (source_of_kernel ~ddg ~depth:(Ir.Loop.depth loop) outcome.Sched.Modulo.kernel)
+      Ok
+        (build ?weights
+           (source_of_kernel ~ddg ~depth:(Ir.Loop.depth loop) outcome.Sched.Modulo.kernel))
+
+let of_loop ?weights ~machine loop =
+  (* Raising wrapper for contexts that already proved the loop pipelines
+     (tests, demos); anything driven by user input goes through
+     [of_loop_res] — an unschedulable loop is data, not a bug. *)
+  match of_loop_res ?weights ~machine loop with
+  | Ok g -> g
+  | Error msg -> invalid_arg ("Rcg.Build.of_loop: " ^ msg)
 
 let of_func ?weights ~machine func =
   (* One source per block; merge by building into a fresh graph from the

@@ -34,10 +34,20 @@ val source_of_schedule :
 (** Flat-schedule source for straight-line code: density =
     ops / issue-length. *)
 
+val of_loop_res :
+  ?weights:Weights.t ->
+  machine:Mach.Machine.t ->
+  Ir.Loop.t ->
+  (Graph.t, string) Stdlib.result
+(** Ideal-pipeline the loop on the monolithic machine of the same width
+    and build the RCG from the resulting kernel. An unschedulable loop
+    is input-dependent, so it is an [Error], not an exception. *)
+
 val of_loop :
   ?weights:Weights.t -> machine:Mach.Machine.t -> Ir.Loop.t -> Graph.t
-(** Convenience: ideal-pipeline the loop on the monolithic machine of the
-    same width and build the RCG from the resulting kernel. *)
+(** Raising convenience wrapper over {!of_loop_res} for callers that
+    already know the loop pipelines (tests, demos). Raises
+    [Invalid_argument] otherwise. *)
 
 val of_func :
   ?weights:Weights.t -> machine:Mach.Machine.t -> Ir.Func.t -> Graph.t

@@ -14,24 +14,59 @@ let code_registers ops =
       List.fold_left (fun s r -> Ir.Vreg.Set.add r s) acc (Ir.Op.defs op @ Ir.Op.uses op))
     Ir.Vreg.Set.empty ops
 
-let allocate ?(max_rounds = 8) ~machine ~assignment ~live_out ops =
+let allocate ?(max_rounds = 8) ?(subject = "code") ~machine ~assignment ~live_out ops =
   let m : Mach.Machine.t = machine in
   let banks = m.clusters in
   let k = m.regs_per_bank in
+  let fail ?code message =
+    Error (Verify.Stage_error.make ?code ~stage:Verify.Stage_error.Allocation ~subject message)
+  in
   let missing =
     Ir.Vreg.Set.filter
       (fun r -> Partition.Assign.bank_opt assignment r = None)
       (code_registers ops)
   in
   if not (Ir.Vreg.Set.is_empty missing) then
-    Error
-      (Printf.sprintf "Alloc.allocate: unassigned registers: %s"
+    fail ~code:"AL001"
+      (Printf.sprintf "unassigned registers: %s"
          (String.concat ", "
             (List.map Ir.Vreg.to_string (Ir.Vreg.Set.elements missing))))
   else begin
+    (* Fail fast when no amount of spilling can help: all distinct source
+       registers of one operation are live at that operation, and spill
+       reloads land in the same bank, so an op reading more than [k]
+       distinct bank-[b] registers can never colour. Without this check
+       the spiller grinds through every round on such inputs (growing
+       the body with useless spill code each time) before giving up. *)
+    let irreducible =
+      List.find_map
+        (fun op ->
+          let uses = List.sort_uniq Ir.Vreg.compare (Ir.Op.uses op) in
+          let per_bank = Hashtbl.create 4 in
+          List.iter
+            (fun r ->
+              let b = Partition.Assign.bank assignment r in
+              Hashtbl.replace per_bank b
+                (1 + Option.value ~default:0 (Hashtbl.find_opt per_bank b)))
+            uses;
+          Hashtbl.fold
+            (fun b n acc -> if n > k && acc = None then Some (op, b, n) else acc)
+            per_bank None)
+        ops
+    in
+    match irreducible with
+    | Some (op, b, n) ->
+        fail
+          (Printf.sprintf
+             "bank %d pressure is irreducible: %s reads %d distinct bank-%d registers \
+              but the bank holds %d"
+             b (Ir.Op.to_string op) n b k)
+    | None ->
     let rec round ops assignment ~live_out spill_count n =
       if n > max_rounds then
-        Error (Printf.sprintf "Alloc.allocate: still spilling after %d rounds" max_rounds)
+        fail
+          (Printf.sprintf "still spilling after %d round(s) (%d registers spilled so far)"
+             max_rounds spill_count)
       else begin
         let pressure = Array.make banks 0 in
         let results =
@@ -80,7 +115,7 @@ let allocate ?(max_rounds = 8) ~machine ~assignment ~live_out ops =
   end
 
 let allocate_loop ?max_rounds ~machine ~assignment loop =
-  allocate ?max_rounds ~machine ~assignment
+  allocate ?max_rounds ~subject:(Ir.Loop.name loop) ~machine ~assignment
     ~live_out:(Liveness.loop_live_out loop)
     (Ir.Loop.ops loop)
 

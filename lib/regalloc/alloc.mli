@@ -25,21 +25,24 @@ type t = {
 
 val allocate :
   ?max_rounds:int ->
+  ?subject:string ->
   machine:Mach.Machine.t ->
   assignment:Partition.Assign.t ->
   live_out:Ir.Vreg.Set.t ->
   Ir.Op.t list ->
-  (t, string) result
-(** [max_rounds] defaults to 8; exceeding it returns [Error] (a bank
-    smaller than the code's irreducible pressure). The assignment must
-    cover every register of the code. *)
+  (t, Verify.Stage_error.t) result
+(** [max_rounds] defaults to 8; exceeding it returns a structured
+    [Allocation]-stage error (a bank smaller than the code's irreducible
+    pressure). An assignment not covering every register of the code is
+    an [Error] with code AL001. [subject] names the error's code region
+    (defaults to ["code"]). *)
 
 val allocate_loop :
   ?max_rounds:int ->
   machine:Mach.Machine.t ->
   assignment:Partition.Assign.t ->
   Ir.Loop.t ->
-  (t, string) result
+  (t, Verify.Stage_error.t) result
 
 val check : machine:Mach.Machine.t -> t -> (unit, string) result
 (** Re-verify: every register mapped, banks within range, register

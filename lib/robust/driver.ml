@@ -1,0 +1,472 @@
+type rung =
+  | Pipelined of { partitioner : string; budget_ratio : int; respilled : bool }
+  | Single_bank of { budget_ratio : int; respilled : bool }
+  | Non_pipelined
+
+let rung_name = function
+  | Pipelined { partitioner; budget_ratio; respilled } ->
+      Printf.sprintf "pipelined(%s, budget=%d%s)" partitioner budget_ratio
+        (if respilled then ", respill" else "")
+  | Single_bank { budget_ratio; respilled } ->
+      Printf.sprintf "single-bank(budget=%d%s)" budget_ratio
+        (if respilled then ", respill" else "")
+  | Non_pipelined -> "non-pipelined"
+
+type code =
+  | Kernel of { kernel : Sched.Kernel.t; ii : int; ideal_ii : int }
+  | Flat of Sched.Schedule.t
+
+type result = {
+  loop : Ir.Loop.t;
+  machine : Mach.Machine.t;
+  rewritten : Ir.Loop.t;
+  assignment : Partition.Assign.t;
+  code : code;
+  alloc : Regalloc.Alloc.t option;
+  rung : rung;
+  n_copies : int;
+  spill_count : int;
+  attempts : Verify.Stage_error.attempt list;
+  diags : Verify.Diag.t list;
+}
+
+type hooks = {
+  on_loop : Ir.Loop.t -> Ir.Loop.t;
+  on_machine : Mach.Machine.t -> Mach.Machine.t;
+  on_assignment : Partition.Assign.t -> Partition.Assign.t;
+  on_rewritten : Ir.Loop.t -> Ir.Loop.t;
+  on_kernel : Sched.Kernel.t -> Sched.Kernel.t;
+}
+
+let no_hooks =
+  {
+    on_loop = Fun.id;
+    on_machine = Fun.id;
+    on_assignment = Fun.id;
+    on_rewritten = Fun.id;
+    on_kernel = Fun.id;
+  }
+
+type config = {
+  partitioners : (string * Partition.Driver.partitioner) list;
+  budget_schedule : int list;
+  copy_saturation : float option;
+  spill_rounds : int list;
+  reschedule_after_spill : bool;
+  allow_non_pipelined : bool;
+  allocate : bool;
+  scheduler : Partition.Driver.scheduler;
+}
+
+let default_config =
+  {
+    partitioners =
+      [
+        ("greedy", Partition.Driver.Greedy Rcg.Weights.default);
+        ("uas", Partition.Driver.Uas);
+        ("bug", Partition.Driver.Bug);
+      ];
+    budget_schedule = [ 10; 40 ];
+    copy_saturation = None;
+    spill_rounds = [ 8; 32 ];
+    reschedule_after_spill = true;
+    allow_non_pipelined = true;
+    allocate = true;
+    scheduler = Partition.Driver.Rau;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Verification oracle                                                 *)
+
+let alloc_view (a : Regalloc.Alloc.t) =
+  {
+    Verify.Pipeline.code = a.Regalloc.Alloc.code;
+    mapping = a.Regalloc.Alloc.mapping;
+    live_out = a.Regalloc.Alloc.live_out;
+  }
+
+let verify_diags (r : result) =
+  let m = r.machine in
+  let ddg_r = Ddg.Graph.of_loop ~latency:m.Mach.Machine.latency r.rewritten in
+  let stages =
+    {
+      (Verify.Pipeline.stages ~machine:m r.loop) with
+      Verify.Pipeline.partition = Some (r.assignment, r.rewritten);
+      alloc = Option.map alloc_view r.alloc;
+    }
+  in
+  match r.code with
+  | Kernel { kernel; _ } ->
+      Verify.Pipeline.run { stages with Verify.Pipeline.clustered = Some (ddg_r, kernel) }
+  | Flat sched ->
+      Verify.Pipeline.run stages @ Verify.Sched_check.flat ~machine:m ~ddg:ddg_r sched
+
+(* ------------------------------------------------------------------ *)
+(* The ladder                                                          *)
+
+let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
+  let m : Mach.Machine.t = hooks.on_machine machine in
+  let loop = hooks.on_loop loop in
+  let subject = Ir.Loop.name loop in
+  let budgets =
+    match (config.scheduler, config.budget_schedule) with
+    | _, [] -> [ 10 ]
+    | Partition.Driver.Swing, b :: _ ->
+        [ b ] (* Swing has no placement budget; escalation cannot help *)
+    | Partition.Driver.Rau, bs -> bs
+  in
+  let spill_rounds = if config.spill_rounds = [] then [ 8 ] else config.spill_rounds in
+  let attempts = ref [] (* newest first *) in
+  let log ?code ~rung stage detail =
+    attempts := Verify.Stage_error.attempt ~rung ?code stage detail :: !attempts
+  in
+  (* Failures inside one rung carry (stage, optional code, detail). *)
+  let ( let* ) = Stdlib.Result.bind in
+  let stage_fail ?code stage detail = Error (stage, code, detail) in
+  let schedule_clustered ~budget ~cluster_of ~mii ddg =
+    match config.scheduler with
+    | Partition.Driver.Rau ->
+        Sched.Modulo.schedule ~budget_ratio:budget ~cluster_of ~machine:m ~mii ddg
+    | Partition.Driver.Swing -> Sched.Swing.schedule ~cluster_of ~machine:m ~mii ddg
+  in
+  let single_bank_assignment body =
+    Partition.Assign.of_list
+      (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Loop.vregs body)))
+  in
+  let cluster_loads cluster_of ops =
+    let opsc = Array.make m.clusters 0 and cpc = Array.make m.clusters 0 in
+    List.iter
+      (fun op ->
+        let c = cluster_of (Ir.Op.id op) in
+        if Ir.Op.is_copy op then cpc.(c) <- cpc.(c) + 1 else opsc.(c) <- opsc.(c) + 1)
+      ops;
+    (opsc, cpc)
+  in
+  (* Step 5, with escalating spill rounds; logs intermediate failures. *)
+  let allocate_stage ~rung ~assignment body =
+    if not config.allocate then Ok None
+    else
+      let rec go = function
+        | [] -> assert false (* spill_rounds is non-empty *)
+        | [ mr ] -> (
+            match Regalloc.Alloc.allocate_loop ~max_rounds:mr ~machine:m ~assignment body with
+            | Ok a -> Ok (Some a)
+            | Error e ->
+                stage_fail ~code:e.Verify.Stage_error.code Verify.Stage_error.Allocation
+                  e.Verify.Stage_error.message)
+        | mr :: rest -> (
+            match Regalloc.Alloc.allocate_loop ~max_rounds:mr ~machine:m ~assignment body with
+            | Ok a -> Ok (Some a)
+            | Error e ->
+                log ~code:e.Verify.Stage_error.code ~rung Verify.Stage_error.Allocation
+                  (Printf.sprintf "%s (max_rounds %d)" e.Verify.Stage_error.message mr);
+                go rest)
+      in
+      go spill_rounds
+  in
+  let check ?(stage = Verify.Stage_error.Verification) diags =
+    match Verify.Diag.errors diags with
+    | [] -> Ok diags
+    | first :: _ as errs ->
+        stage_fail ~code:first.Verify.Diag.code stage
+          (Printf.sprintf "%s%s" (Verify.Diag.to_string first)
+             (match List.length errs - 1 with
+             | 0 -> ""
+             | n -> Printf.sprintf " (and %d more errors)" n))
+  in
+  let finish candidate =
+    (* The oracle has the final word regardless of which rung we came by. *)
+    let* diags = check (verify_diags candidate) in
+    Ok { candidate with diags; attempts = List.rev !attempts }
+  in
+  (* One modulo-scheduled rung: the whole framework from partitioning on. *)
+  let attempt_modulo ~ideal ~ddg ~partitioner ~budget =
+    let mk_rung ~respilled =
+      match partitioner with
+      | Some (name, _) -> Pipelined { partitioner = name; budget_ratio = budget; respilled }
+      | None -> Single_bank { budget_ratio = budget; respilled }
+    in
+    let rung = rung_name (mk_rung ~respilled:false) in
+    let result =
+      let ideal_ii = ideal.Sched.Modulo.ii in
+      let* assignment0 =
+        match partitioner with
+        | None -> Ok (single_bank_assignment loop)
+        | Some (_, p) -> (
+            match
+              Partition.Driver.choose_partition p ~machine:m ~ddg
+                ~ideal_kernel:ideal.Sched.Modulo.kernel ~depth:(Ir.Loop.depth loop)
+            with
+            | a -> Ok a
+            | exception Invalid_argument msg ->
+                stage_fail Verify.Stage_error.Partitioning msg)
+      in
+      let assignment0 =
+        Ir.Vreg.Set.fold
+          (fun r acc -> if Ir.Vreg.Map.mem r acc then acc else Ir.Vreg.Map.add r 0 acc)
+          (Ir.Loop.vregs loop) assignment0
+      in
+      let* () =
+        if Partition.Assign.all_in_range ~banks:m.clusters assignment0 then Ok ()
+        else
+          stage_fail ~code:"PT002" Verify.Stage_error.Partitioning
+            "assignment names a bank the machine lacks"
+      in
+      let* ins =
+        match Partition.Copies.insert_loop ~machine:m ~assignment:assignment0 loop with
+        | ins -> Ok ins
+        | exception Invalid_argument msg -> stage_fail Verify.Stage_error.Copy_insertion msg
+      in
+      let* () =
+        match config.copy_saturation with
+        | Some ratio
+          when float_of_int ins.Partition.Copies.n_copies
+               > ratio *. float_of_int (Ir.Loop.size loop) ->
+            stage_fail ~code:"PT005" Verify.Stage_error.Copy_insertion
+              (Printf.sprintf "copy-saturated partition: %d copies for %d ops"
+                 ins.Partition.Copies.n_copies (Ir.Loop.size loop))
+        | _ -> Ok ()
+      in
+      let assignment = hooks.on_assignment ins.Partition.Copies.assignment in
+      let rewritten = hooks.on_rewritten ins.Partition.Copies.loop in
+      let ddg' = Ddg.Graph.of_loop ~latency:m.latency rewritten in
+      let* cluster_of =
+        match Partition.Driver.cluster_map assignment rewritten with
+        | Ok f -> Ok f
+        | Error msg -> stage_fail ~code:"PT001" Verify.Stage_error.Partitioning msg
+      in
+      let mii =
+        max
+          (Ddg.Minii.res_mii_clustered ~machine:m
+             ~ops_per_cluster:ins.Partition.Copies.ops_per_cluster
+             ~copies_per_cluster:ins.Partition.Copies.copies_per_cluster)
+          (Ddg.Minii.rec_mii ddg')
+      in
+      let* clustered =
+        match schedule_clustered ~budget ~cluster_of ~mii ddg' with
+        | Some o -> Ok o
+        | None ->
+            stage_fail Verify.Stage_error.Clustered_schedule
+              (Printf.sprintf "no feasible II (MII %d, budget_ratio %d)" mii budget)
+        | exception Invalid_argument msg ->
+            stage_fail Verify.Stage_error.Clustered_schedule msg
+      in
+      let kernel = hooks.on_kernel clustered.Sched.Modulo.kernel in
+      (* Fail fast on a bad partition or schedule before paying for step 5. *)
+      let* _ =
+        check
+          (Verify.Pipeline.run
+             {
+               (Verify.Pipeline.stages ~machine:m loop) with
+               Verify.Pipeline.ideal = Some (ddg, ideal.Sched.Modulo.kernel);
+               partition = Some (assignment, rewritten);
+               clustered = Some (ddg', kernel);
+             })
+      in
+      let* alloc = allocate_stage ~rung ~assignment rewritten in
+      match alloc with
+      | Some a when a.Regalloc.Alloc.spill_count > 0 && config.reschedule_after_spill ->
+          (* Spill-and-reschedule: the allocator rewrote the body, so the
+             kernel we scheduled no longer matches the code we would emit.
+             Re-derive the clustered kernel over the spilled body. *)
+          let* sloop =
+            match
+              Ir.Loop.make ~depth:(Ir.Loop.depth loop) ~live_out:a.Regalloc.Alloc.live_out
+                ~trip_count:(Ir.Loop.trip_count loop) ~name:(Ir.Loop.name loop)
+                a.Regalloc.Alloc.code
+            with
+            | l -> Ok l
+            | exception Invalid_argument msg ->
+                stage_fail Verify.Stage_error.Allocation
+                  ("spill-rewritten body is malformed: " ^ msg)
+          in
+          let ddg'' = Ddg.Graph.of_loop ~latency:m.latency sloop in
+          let* cluster_of' =
+            match Partition.Driver.cluster_map a.Regalloc.Alloc.assignment sloop with
+            | Ok f -> Ok f
+            | Error msg -> stage_fail ~code:"PT001" Verify.Stage_error.Partitioning msg
+          in
+          let opsc, cpc = cluster_loads cluster_of' a.Regalloc.Alloc.code in
+          let mii' =
+            max
+              (Ddg.Minii.res_mii_clustered ~machine:m ~ops_per_cluster:opsc
+                 ~copies_per_cluster:cpc)
+              (Ddg.Minii.rec_mii ddg'')
+          in
+          let* clustered' =
+            match schedule_clustered ~budget ~cluster_of:cluster_of' ~mii:mii' ddg'' with
+            | Some o -> Ok o
+            | None ->
+                stage_fail Verify.Stage_error.Clustered_schedule
+                  (Printf.sprintf
+                     "no feasible II for the spill-rewritten body (MII %d, budget_ratio %d)"
+                     mii' budget)
+            | exception Invalid_argument msg ->
+                stage_fail Verify.Stage_error.Clustered_schedule msg
+          in
+          let kernel' = hooks.on_kernel clustered'.Sched.Modulo.kernel in
+          finish
+            {
+              loop; machine = m; rewritten = sloop;
+              assignment = a.Regalloc.Alloc.assignment;
+              code = Kernel { kernel = kernel'; ii = clustered'.Sched.Modulo.ii; ideal_ii };
+              alloc = Some a; rung = mk_rung ~respilled:true;
+              n_copies = ins.Partition.Copies.n_copies;
+              spill_count = a.Regalloc.Alloc.spill_count; attempts = []; diags = [];
+            }
+      | _ ->
+          finish
+            {
+              loop; machine = m; rewritten;
+              assignment =
+                (match alloc with
+                | Some a -> a.Regalloc.Alloc.assignment
+                | None -> assignment);
+              code = Kernel { kernel; ii = clustered.Sched.Modulo.ii; ideal_ii };
+              alloc; rung = mk_rung ~respilled:false;
+              n_copies = ins.Partition.Copies.n_copies;
+              spill_count =
+                (match alloc with Some a -> a.Regalloc.Alloc.spill_count | None -> 0);
+              attempts = []; diags = [];
+            }
+    in
+    match result with
+    | Ok r -> Some r
+    | Error (stage, code, detail) ->
+        log ?code ~rung stage detail;
+        None
+  in
+  (* The last rung: flat single-bank list schedule — immune to II budgets,
+     recurrence circuits and inter-bank copies. *)
+  let attempt_flat () =
+    let rung = rung_name Non_pipelined in
+    let result =
+      let assignment0 = single_bank_assignment loop in
+      let* ins =
+        match Partition.Copies.insert_loop ~machine:m ~assignment:assignment0 loop with
+        | ins -> Ok ins
+        | exception Invalid_argument msg -> stage_fail Verify.Stage_error.Copy_insertion msg
+      in
+      let assignment = hooks.on_assignment ins.Partition.Copies.assignment in
+      let rewritten = hooks.on_rewritten ins.Partition.Copies.loop in
+      let ddg' = Ddg.Graph.of_loop ~latency:m.latency rewritten in
+      let* cluster_of =
+        match Partition.Driver.cluster_map assignment rewritten with
+        | Ok f -> Ok f
+        | Error msg -> stage_fail ~code:"PT001" Verify.Stage_error.Partitioning msg
+      in
+      let* sched =
+        match Sched.List_sched.schedule ~cluster_of ~machine:m ddg' with
+        | s -> Ok s
+        | exception Invalid_argument msg ->
+            stage_fail Verify.Stage_error.Clustered_schedule msg
+      in
+      let* alloc = allocate_stage ~rung ~assignment rewritten in
+      let assignment =
+        match alloc with Some a -> a.Regalloc.Alloc.assignment | None -> assignment
+      in
+      (* Spilled flat code keeps its schedule for the unspilled ops only;
+         re-list-schedule the spilled body so code and schedule agree. *)
+      let* rewritten, sched =
+        match alloc with
+        | Some a when a.Regalloc.Alloc.spill_count > 0 -> (
+            match
+              Ir.Loop.make ~depth:(Ir.Loop.depth loop) ~live_out:a.Regalloc.Alloc.live_out
+                ~trip_count:(Ir.Loop.trip_count loop) ~name:(Ir.Loop.name loop)
+                a.Regalloc.Alloc.code
+            with
+            | exception Invalid_argument msg ->
+                stage_fail Verify.Stage_error.Allocation
+                  ("spill-rewritten body is malformed: " ^ msg)
+            | sloop -> (
+                let ddg'' = Ddg.Graph.of_loop ~latency:m.latency sloop in
+                match Partition.Driver.cluster_map assignment sloop with
+                | Error msg -> stage_fail ~code:"PT001" Verify.Stage_error.Partitioning msg
+                | Ok cluster_of' -> (
+                    match Sched.List_sched.schedule ~cluster_of:cluster_of' ~machine:m ddg'' with
+                    | s -> Ok (sloop, s)
+                    | exception Invalid_argument msg ->
+                        stage_fail Verify.Stage_error.Clustered_schedule msg)))
+        | _ -> Ok (rewritten, sched)
+      in
+      finish
+        {
+          loop; machine = m; rewritten; assignment;
+          code = Flat sched; alloc; rung = Non_pipelined;
+          n_copies = ins.Partition.Copies.n_copies;
+          spill_count = (match alloc with Some a -> a.Regalloc.Alloc.spill_count | None -> 0);
+          attempts = []; diags = [];
+        }
+    in
+    match result with
+    | Ok r -> Some r
+    | Error (stage, code, detail) ->
+        log ?code ~rung stage detail;
+        None
+  in
+  (* --- ladder execution ------------------------------------------- *)
+  let ir_diags = Verify.Ir_check.loop loop in
+  if Verify.Diag.has_errors ir_diags then
+    (* Malformed input: fail cleanly with the analyzer's own code; no rung
+       can repair the source body. *)
+    Error (Verify.Stage_error.of_diags ~stage:Verify.Stage_error.Ir_input ~subject ir_diags)
+  else begin
+    let ddg = Ddg.Graph.of_loop ~latency:m.latency loop in
+    let ideal =
+      let rec go = function
+        | [] -> None
+        | b :: rest -> (
+            let outcome =
+              match config.scheduler with
+              | Partition.Driver.Rau -> Sched.Modulo.ideal ~budget_ratio:b ~machine:m ddg
+              | Partition.Driver.Swing -> Sched.Swing.ideal ~machine:m ddg
+            in
+            match outcome with
+            | Some o -> Some o
+            | None ->
+                log ~rung:"ideal" Verify.Stage_error.Ideal_schedule
+                  (Printf.sprintf "no feasible II (budget_ratio %d)" b);
+                go rest)
+      in
+      go budgets
+    in
+    let modulo_rungs =
+      match ideal with
+      | None -> []
+      | Some ideal ->
+          let per_partitioner =
+            List.concat_map
+              (fun p -> List.map (fun b -> (Some p, b)) budgets)
+              config.partitioners
+          in
+          (* On a monolithic machine every partitioner already lands in the
+             single bank; the merge rung would be a duplicate. *)
+          let single =
+            if m.clusters = 1 then [] else List.map (fun b -> (None, b)) budgets
+          in
+          List.map
+            (fun (p, b) -> fun () -> attempt_modulo ~ideal ~ddg ~partitioner:p ~budget:b)
+            (per_partitioner @ single)
+    in
+    let rungs =
+      modulo_rungs @ (if config.allow_non_pipelined then [ attempt_flat ] else [])
+    in
+    let rec descend = function
+      | [] -> (
+          match !attempts with
+          | [] ->
+              Error
+                (Verify.Stage_error.make ~stage:Verify.Stage_error.Clustered_schedule ~subject
+                   "the fallback ladder is empty (no rungs enabled)")
+          | (last : Verify.Stage_error.attempt) :: _ ->
+              Error
+                (Verify.Stage_error.make
+                   ~attempts:(List.rev !attempts)
+                   ~code:last.Verify.Stage_error.at_code
+                   ~stage:last.Verify.Stage_error.at_stage ~subject
+                   (Printf.sprintf "every rung of the fallback ladder failed (%d attempts); last: %s"
+                      (List.length !attempts) last.Verify.Stage_error.detail)))
+      | rung :: rest -> ( match rung () with Some r -> Ok r | None -> descend rest)
+    in
+    descend rungs
+  end

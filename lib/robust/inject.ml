@@ -1,0 +1,104 @@
+type fault =
+  | Corrupt_kernel
+  | Drop_copy
+  | Scramble_assignment
+  | Shrink_banks of int
+  | Malform_ir
+
+let fault_name = function
+  | Corrupt_kernel -> "corrupt-kernel"
+  | Drop_copy -> "drop-copy"
+  | Scramble_assignment -> "scramble-assignment"
+  | Shrink_banks n -> Printf.sprintf "shrink-banks(%d)" n
+  | Malform_ir -> "malform-ir"
+
+let recoverable = [ Corrupt_kernel; Drop_copy; Scramble_assignment ]
+let fatal = [ Malform_ir; Shrink_banks 1 ]
+let all = recoverable @ fatal
+
+type armed = { hooks : Driver.hooks; fired : unit -> fault list }
+
+let arm ~prng plan =
+  let fired = ref [] (* newest first *) in
+  let mark f = fired := f :: !fired in
+  let armed f = List.mem f plan && not (List.mem f !fired) in
+  (* Captured by [on_machine], which the driver always calls first. *)
+  let clusters = ref 1 in
+  let on_machine (m : Mach.Machine.t) =
+    clusters := m.clusters;
+    match List.find_opt (function Shrink_banks _ -> true | _ -> false) plan with
+    | Some (Shrink_banks n as f) when armed f ->
+        mark f;
+        Mach.Machine.make ~name:m.name ~copy_ports:m.copy_ports ~busses:m.busses
+          ~regs_per_bank:n ~latency:m.latency ~fu_mix:m.fu_mix ~clusters:m.clusters
+          ~fus_per_cluster:m.fus_per_cluster ~copy_model:m.copy_model ()
+    | _ -> m
+  in
+  let on_loop loop =
+    if armed Malform_ir then begin
+      mark Malform_ir;
+      (* [Ir.Loop.make] validates op ids and sources but not live-out;
+         the phantom register is exactly what IR004 exists to catch. *)
+      let phantom =
+        Ir.Vreg.make ~name:"phantom" ~id:(Ir.Loop.max_vreg_id loop + 1)
+          ~cls:Mach.Rclass.Int ()
+      in
+      Ir.Loop.make ~depth:(Ir.Loop.depth loop)
+        ~live_out:(Ir.Vreg.Set.add phantom (Ir.Loop.live_out loop))
+        ~trip_count:(Ir.Loop.trip_count loop) ~name:(Ir.Loop.name loop)
+        (Ir.Loop.ops loop)
+    end
+    else loop
+  in
+  let on_assignment a =
+    if armed Scramble_assignment && !clusters > 1 then
+      match Ir.Vreg.Map.bindings a with
+      | [] -> a
+      | bindings ->
+          mark Scramble_assignment;
+          let r, b = Util.Prng.choose prng bindings in
+          let bump = 1 + Util.Prng.int prng (!clusters - 1) in
+          Ir.Vreg.Map.add r ((b + bump) mod !clusters) a
+    else a
+  in
+  let on_rewritten loop =
+    if armed Drop_copy then
+      match List.filter Ir.Op.is_copy (Ir.Loop.ops loop) with
+      | [] -> loop (* no copies to drop; stays armed for a later rung *)
+      | copies -> (
+          let c = Util.Prng.choose prng copies in
+          match (Ir.Op.dst c, Ir.Op.srcs c) with
+          | Some d, s :: _ ->
+              mark Drop_copy;
+              (* Rewire consumers to the copied source so the body stays
+                 well-formed but the cross-bank flow the copy existed
+                 for is naked again. *)
+              let subst = Ir.Vreg.Map.singleton d s in
+              let ops =
+                List.filter_map
+                  (fun o ->
+                    if Ir.Op.id o = Ir.Op.id c then None
+                    else Some (Ir.Op.substitute o subst))
+                  (Ir.Loop.ops loop)
+              in
+              Ir.Loop.with_ops loop ops
+          | _ -> loop)
+    else loop
+  in
+  let on_kernel k =
+    if armed Corrupt_kernel then begin
+      let ps = Sched.Kernel.placements k in
+      if List.length ps >= 2 then begin
+        mark Corrupt_kernel;
+        let i = Util.Prng.int prng (List.length ps) in
+        Sched.Kernel.make ~ii:(Sched.Kernel.ii k)
+          (List.filteri (fun j _ -> j <> i) ps)
+      end
+      else k
+    end
+    else k
+  in
+  {
+    hooks = { Driver.on_loop; on_machine; on_assignment; on_rewritten; on_kernel };
+    fired = (fun () -> List.rev !fired);
+  }

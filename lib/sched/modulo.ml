@@ -142,9 +142,15 @@ let schedule ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
     | Some f -> f
     | None ->
         if m.clusters > 1 then
+          (* True internal invariant, kept as an exception: which machine a
+             caller schedules on is decided in code, not by input data —
+             Partition.Driver always supplies [cluster_of] on clustered
+             machines (after validating the assignment it derives it from). *)
           invalid_arg "Modulo.schedule: multi-cluster machine needs cluster_of";
         fun _ -> 0
   in
+  (* True internal invariant: MII comes from Ddg.Minii, whose bounds are
+     >= 1 by construction; a smaller value can only be a caller bug. *)
   if mii < 1 then invalid_arg "Modulo.schedule: mii must be >= 1";
   let max_ii = match max_ii with Some x -> x | None -> max mii (Ddg.Minii.upper_bound ddg) in
   let n = Ddg.Graph.size ddg in

@@ -17,6 +17,8 @@ type t = {
 let create_flat machine = { machine; ii = None; held = Hashtbl.create 64; by_op = Hashtbl.create 64 }
 
 let create_modulo machine ~ii =
+  (* True internal invariant: the schedulers only create tables for candidate
+     IIs in [mii, max_ii] with mii >= 1 (enforced in Modulo.schedule). *)
   if ii < 1 then invalid_arg "Restab.create_modulo: ii must be >= 1";
   { machine; ii = Some ii; held = Hashtbl.create 64; by_op = Hashtbl.create 64 }
 
@@ -118,6 +120,9 @@ let satisfiable t req =
       t.machine.Mach.Machine.copy_ports > 0 && t.machine.Mach.Machine.busses > 0
 
 let request_for machine ~cluster (op : Ir.Op.t) =
+  (* Kept as an exception because every pipeline entry point validates bank
+     assignments (Assign.all_in_range) before deriving cluster maps, so an
+     out-of-range cluster here means a scheduler bug, not bad input. *)
   if not (Mach.Machine.valid_cluster machine cluster) then
     invalid_arg "Restab.request_for: bad cluster";
   match (machine.Mach.Machine.copy_model, Ir.Op.is_copy op) with

@@ -1,0 +1,79 @@
+type stage =
+  | Ir_input
+  | Ideal_schedule
+  | Partitioning
+  | Copy_insertion
+  | Clustered_schedule
+  | Allocation
+  | Verification
+
+type attempt = { at_stage : stage; rung : string; at_code : string; detail : string }
+
+type t = {
+  stage : stage;
+  code : string;
+  message : string;
+  subject : string;
+  attempts : attempt list;
+}
+
+let stage_name = function
+  | Ir_input -> "ir-input"
+  | Ideal_schedule -> "ideal-schedule"
+  | Partitioning -> "partitioning"
+  | Copy_insertion -> "copy-insertion"
+  | Clustered_schedule -> "clustered-schedule"
+  | Allocation -> "allocation"
+  | Verification -> "verification"
+
+let default_code = function
+  | Ir_input -> "IR000"
+  | Ideal_schedule -> "PIPE002"
+  | Partitioning -> "PIPE003"
+  | Copy_insertion -> "PIPE004"
+  | Clustered_schedule -> "PIPE005"
+  | Allocation -> "PIPE006"
+  | Verification -> "PIPE007"
+
+let attempt ?(rung = "") ?code stage detail =
+  { at_stage = stage; rung; at_code = Option.value code ~default:(default_code stage); detail }
+
+let make ?(attempts = []) ?code ~stage ~subject message =
+  { stage; code = Option.value code ~default:(default_code stage); message; subject; attempts }
+
+let of_diags ?(attempts = []) ?(stage = Verification) ~subject diags =
+  match Diag.errors diags with
+  | [] -> invalid_arg "Stage_error.of_diags: no error-severity diagnostic"
+  | (first :: _) as errs ->
+      let shown = List.filteri (fun i _ -> i < 3) errs in
+      let extra = List.length errs - List.length shown in
+      let lines = List.map Diag.to_string shown in
+      let lines =
+        if extra > 0 then lines @ [ Printf.sprintf "… and %d more errors" extra ] else lines
+      in
+      {
+        stage;
+        code = first.Diag.code;
+        message = String.concat "; " lines;
+        subject;
+        attempts;
+      }
+
+let with_attempts t attempts = { t with attempts }
+
+let attempt_to_string a =
+  let rung = if a.rung = "" then "" else Printf.sprintf " (rung %s)" a.rung in
+  Printf.sprintf "%s [%s]%s: %s" (stage_name a.at_stage) a.at_code rung a.detail
+
+let to_string t =
+  let tail =
+    match List.length t.attempts with
+    | 0 -> ""
+    | 1 -> " (after 1 failed attempt)"
+    | n -> Printf.sprintf " (after %d failed attempts)" n
+  in
+  Printf.sprintf "%s: %s [%s]: %s%s" t.subject (stage_name t.stage) t.code t.message tail
+
+let trace t = List.map attempt_to_string t.attempts
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,73 @@
+(** Structured pipeline failures.
+
+    Every driver in the code-generation pipeline ({!Partition.Driver},
+    {!Partition.Func_driver}, {!Regalloc.Alloc} and the resilient
+    ladder in [lib/robust]) reports failures as a value of this type
+    instead of an opaque string: which stage of the Section-4 framework
+    gave up, a stable diagnostic code (a {!Diag} code where an analyzer
+    produced the finding, a [PIPE] code otherwise), and — for drivers
+    that retry — the trace of every attempt that was made before
+    surrendering. Callers can branch on stages and codes; messages are
+    free to improve. *)
+
+(** The steps of the paper's framework, in pipeline order, plus the
+    cross-cutting verification stage. *)
+type stage =
+  | Ir_input            (** the source body itself is malformed *)
+  | Ideal_schedule      (** step 2: monolithic modulo scheduling *)
+  | Partitioning        (** step 3: register-to-bank assignment *)
+  | Copy_insertion      (** step 4a: cross-bank copy insertion *)
+  | Clustered_schedule  (** step 4b: clustered modulo (re)scheduling *)
+  | Allocation          (** step 5: per-bank Chaitin/Briggs colouring *)
+  | Verification        (** an independent analyzer rejected an artifact *)
+
+type attempt = {
+  at_stage : stage;   (** stage the attempt died in *)
+  rung : string;      (** ladder rung label ([""] outside the resilient driver) *)
+  at_code : string;   (** diagnostic code of the failure *)
+  detail : string;
+}
+(** One failed recovery attempt, for the attempt trace. *)
+
+type t = {
+  stage : stage;          (** stage that ultimately failed *)
+  code : string;          (** stable diagnostic code, e.g. ["SCH002"], ["PIPE005"] *)
+  message : string;
+  subject : string;       (** loop or function name *)
+  attempts : attempt list;  (** earlier failed attempts, oldest first *)
+}
+
+val stage_name : stage -> string
+
+val default_code : stage -> string
+(** The [PIPE] code used when no analyzer code applies: PIPE002
+    (ideal schedule infeasible) through PIPE007 (verification), IR000
+    for malformed input. PIPE001 remains the legacy catch-all used by
+    [rbp]. *)
+
+val attempt : ?rung:string -> ?code:string -> stage -> string -> attempt
+(** [code] defaults to {!default_code} of the stage. *)
+
+val make : ?attempts:attempt list -> ?code:string -> stage:stage -> subject:string -> string -> t
+(** [code] defaults to {!default_code} of the stage. *)
+
+val of_diags :
+  ?attempts:attempt list -> ?stage:stage -> subject:string -> Diag.t list -> t
+(** Failure from analyzer findings: the code is the first
+    error-severity diagnostic's code, the message renders the first few
+    errors. [stage] defaults to [Verification]. The list must contain
+    at least one error-severity diagnostic (raises [Invalid_argument]
+    otherwise — calling this on a clean report is a caller bug). *)
+
+val with_attempts : t -> attempt list -> t
+
+val attempt_to_string : attempt -> string
+
+val to_string : t -> string
+(** One line: [<subject>: <stage> [<code>]: <message>], with the number
+    of prior attempts appended when any were made. *)
+
+val trace : t -> string list
+(** The attempt trace rendered one line per attempt, oldest first. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+The stress subcommand runs seeded fault-injection trials through the
+resilient driver, re-auditing every outcome with the Verify analyzers.
+A clean sweep prints only the totals line and exits 0 (exit 1 would
+mean a transient fault the ladder failed to recover from; exit 2 an
+escaped exception or unverified emitted code):
+
+  $ rbp stress --seed 7 --trials 12
+  totals: 12 trials, 2 clean, 3 recovered, 7 failed-clean, 0 unrecovered, 0 violations
+
+--verbose pins one line per trial: the plan, the faults that actually
+fired, the classified outcome, and the ladder rung (or structured
+error code) that ended the trial:
+
+  $ rbp stress --seed 7 --trials 12 --verbose
+  #000 gen10          c8-f2-copy-unit    plan=shrink-banks(1)      fired=shrink-banks(1)      failed-clean allocation [PIPE006] after 18 failed attempt(s)
+  #001 gen56          c2-f1-embedded     plan=drop-copy            fired=drop-copy            recovered    pipelined(greedy, budget=40) after 1 failed attempt(s)
+  #002 gather-u1      c8-f2-copy-unit    plan=malform-ir           fired=malform-ir           failed-clean ir-input [IR004] after 0 failed attempt(s)
+  #003 gen128         c4-f2-embedded     plan=shrink-banks(1)      fired=shrink-banks(1)      failed-clean allocation [PIPE006] after 18 failed attempt(s)
+  #004 gen88          c8-f2-embedded     plan=-                    fired=-                    clean        pipelined(greedy, budget=10) after 0 failed attempt(s)
+  #005 gen99          c8-f1-copy-unit    plan=drop-copy            fired=drop-copy            recovered    pipelined(greedy, budget=40) after 1 failed attempt(s)
+  #006 gen24          c2-f1-embedded     plan=malform-ir           fired=malform-ir           failed-clean ir-input [IR004] after 0 failed attempt(s)
+  #007 daxpy-u2       c4-f1-embedded     plan=scramble-assignment  fired=scramble-assignment  recovered    pipelined(greedy, budget=40) after 1 failed attempt(s)
+  #008 gen67          c2-f2-embedded     plan=-                    fired=-                    clean        pipelined(greedy, budget=10) after 0 failed attempt(s)
+  #009 mixed-u4       c4-f2-copy-unit    plan=shrink-banks(1)      fired=shrink-banks(1)      failed-clean allocation [PIPE006] after 18 failed attempt(s)
+  #010 gen77          c4-f1-copy-unit    plan=malform-ir           fired=malform-ir           failed-clean ir-input [IR004] after 0 failed attempt(s)
+  #011 gen108         c8-f2-copy-unit    plan=shrink-banks(1)      fired=shrink-banks(1)      failed-clean allocation [PIPE006] after 18 failed attempt(s)
+  totals: 12 trials, 2 clean, 3 recovered, 7 failed-clean, 0 unrecovered, 0 violations
+
+Same seed, same report — the harness is deterministic:
+
+  $ rbp stress --seed 7 --trials 12 --verbose > a.out
+  $ rbp stress --seed 7 --trials 12 --verbose > b.out
+  $ diff a.out b.out
+
+--no-fatal drops the unsalvageable faults (malformed IR, one-register
+banks) from the drawing pool, so every injected fault must be recovered:
+
+  $ rbp stress --seed 7 --trials 12 --no-fatal
+  totals: 12 trials, 2 clean, 10 recovered, 0 failed-clean, 0 unrecovered, 0 violations

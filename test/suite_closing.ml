@@ -64,7 +64,12 @@ let report_cases =
     case "failures-summary-lists-errors" (fun () ->
         let cfg = Core.Experiment.config_for ~clusters:2 ~copy_model:Mach.Machine.Embedded in
         let run =
-          { Core.Experiment.config = cfg; metrics = []; failures = [ ("l1", "boom") ] }
+          { Core.Experiment.config = cfg; metrics = []; failures =
+              [
+                ( "l1",
+                  Verify.Stage_error.make ~stage:Verify.Stage_error.Clustered_schedule
+                    ~subject:"l1" "boom" );
+              ] }
         in
         let s = Core.Report.failures_summary [ run ] in
         check Alcotest.bool "mentions loop" true (contains s "l1");

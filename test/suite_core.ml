@@ -34,7 +34,7 @@ let metrics_tests =
     case "of-result-consistency" (fun () ->
         let loop = Workload.Kernels.daxpy ~unroll:2 in
         match Partition.Driver.pipeline ~machine:m4x4e loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             let m = Core.Metrics.of_result r in
             check Alcotest.int "ideal ii" r.Partition.Driver.ideal.Sched.Modulo.ii

@@ -18,7 +18,11 @@ let partitioners =
 let verify_result machine loop (r : Partition.Driver.result) label =
   let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency r.Partition.Driver.rewritten in
   let cluster_of =
-    Partition.Driver.cluster_map r.Partition.Driver.assignment r.Partition.Driver.rewritten
+    match
+      Partition.Driver.cluster_map r.Partition.Driver.assignment r.Partition.Driver.rewritten
+    with
+    | Ok f -> f
+    | Error e -> Alcotest.failf "%s: cluster map: %s" label e
   in
   (match
      Sched.Check.kernel ~machine ~cluster_of ~ddg r.Partition.Driver.clustered.Sched.Modulo.kernel
@@ -59,7 +63,7 @@ let matrix_tests =
                         match
                           Partition.Driver.pipeline ~partitioner ~scheduler ~machine loop
                         with
-                        | Error e -> Alcotest.failf "%s: %s" label e
+                        | Error e -> Alcotest.failf "%s: %s" label (Verify.Stage_error.to_string e)
                         | Ok r -> verify_result machine loop r label)
                       loops)
                   [ m2x8e; m4x4c; m8x2e ])
@@ -70,7 +74,7 @@ let matrix_tests =
         match
           Partition.Driver.pipeline ~scheduler:Partition.Driver.Swing ~machine:m4x4e loop
         with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             check Alcotest.bool "ii >= mii" true
               (r.Partition.Driver.clustered.Sched.Modulo.ii
@@ -161,10 +165,12 @@ let cross_validation =
               Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency
                 r.Partition.Driver.rewritten
             in
-            let cluster_of =
+            match
               Partition.Driver.cluster_map r.Partition.Driver.assignment
                 r.Partition.Driver.rewritten
-            in
+            with
+            | Error _ -> false
+            | Ok cluster_of -> (
             let static_ok =
               Sched.Check.kernel ~machine ~cluster_of ~ddg
                 r.Partition.Driver.clustered.Sched.Modulo.kernel
@@ -178,7 +184,7 @@ let cross_validation =
             seed_state st loop;
             match Sched.Sim.run ~state:st ~latency:machine.Mach.Machine.latency code with
             | Ok _ -> static_ok
-            | Error _ -> false));
+            | Error _ -> false)));
     qcheck ~count:20 "swing-driver-output-simulates" gen_loop_seed (fun seed ->
         let loop = loop_of_seed seed in
         match

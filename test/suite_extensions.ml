@@ -106,7 +106,7 @@ let func_tests =
     case "func-pipeline-monolithic-100" (fun () ->
         let fn = Workload.Funcgen.generate ~index:0 () in
         match Partition.Func_driver.pipeline ~machine:ideal16 fn with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             check (Alcotest.float 1e-9) "100" 100.0 r.Partition.Func_driver.degradation;
             check Alcotest.int "no copies" 0 r.Partition.Func_driver.n_copies);
@@ -114,7 +114,7 @@ let func_tests =
         List.iter
           (fun fn ->
             match Partition.Func_driver.pipeline ~machine:m4x4e fn with
-            | Error e -> Alcotest.failf "%s: %s" (Ir.Func.name fn) e
+            | Error e -> Alcotest.failf "%s: %s" (Ir.Func.name fn) (Verify.Stage_error.to_string e)
             | Ok r ->
                 check Alcotest.bool "degradation >= 100" true
                   (r.Partition.Func_driver.degradation >= 100.0 -. 1e-9);
@@ -126,7 +126,7 @@ let func_tests =
            original (blocks are straight-line; CFG here is a chain) *)
         let fn = Workload.Funcgen.generate ~index:2 () in
         match Partition.Func_driver.pipeline ~machine:m4x4e fn with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             let run f =
               let st = Ir.Eval.create () in
@@ -204,7 +204,7 @@ let superblock_tests =
             let cycles f =
               match Partition.Func_driver.pipeline ~machine:ideal16 f with
               | Ok r -> r.Partition.Func_driver.ideal_cycles
-              | Error e -> Alcotest.fail e
+              | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
             in
             check Alcotest.bool (Ir.Func.name fn) true (cycles merged <= cycles fn))
           (Workload.Funcgen.suite ~n:10 ()));

@@ -155,7 +155,7 @@ let unit_cases =
         in
         let loop = Workload.Kernels.daxpy ~unroll:2 in
         match Partition.Driver.pipeline ~machine:ozer4 loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r -> (
             let code =
               Sched.Expand.flatten ~kernel:r.Partition.Driver.clustered.Sched.Modulo.kernel

@@ -10,7 +10,9 @@ let machines = [ m2x8e; m4x4e; m4x4c; m8x2e; m8x2c ]
 
 let full_stack_one machine loop =
   match Partition.Driver.pipeline ~machine loop with
-  | Error e -> Alcotest.failf "%s/%s: %s" machine.Mach.Machine.name (Ir.Loop.name loop) e
+  | Error e ->
+      Alcotest.failf "%s/%s: %s" machine.Mach.Machine.name (Ir.Loop.name loop)
+        (Verify.Stage_error.to_string e)
   | Ok r ->
       let name = Printf.sprintf "%s/%s" machine.Mach.Machine.name (Ir.Loop.name loop) in
       (* 1. ideal kernel valid on the monolithic machine *)
@@ -30,7 +32,11 @@ let full_stack_one machine loop =
         Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency r.Partition.Driver.rewritten
       in
       let cluster_of =
-        Partition.Driver.cluster_map r.Partition.Driver.assignment r.Partition.Driver.rewritten
+        match
+          Partition.Driver.cluster_map r.Partition.Driver.assignment r.Partition.Driver.rewritten
+        with
+        | Ok f -> f
+        | Error e -> Alcotest.failf "%s cluster map: %s" name e
       in
       (match
          Sched.Check.kernel ~machine ~cluster_of ~ddg:ddg1
@@ -56,7 +62,7 @@ let full_stack_one machine loop =
          Regalloc.Alloc.allocate_loop ~machine ~assignment:r.Partition.Driver.assignment
            r.Partition.Driver.rewritten
        with
-      | Error e -> Alcotest.failf "%s regalloc: %s" name e
+      | Error e -> Alcotest.failf "%s regalloc: %s" name (Verify.Stage_error.to_string e)
       | Ok alloc ->
           if Regalloc.Alloc.check ~machine alloc <> Ok () then
             Alcotest.failf "%s: allocation check failed" name);
@@ -118,7 +124,7 @@ let integration_tests =
            AND copies in the same cluster-cycle *)
         let loop = Workload.Kernels.cmul ~unroll:4 in
         match Partition.Driver.pipeline ~machine:m4x4c loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             let k = r.Partition.Driver.clustered.Sched.Modulo.kernel in
             (* re-verify with the checker, which separates FU and port pools *)
@@ -127,8 +133,12 @@ let integration_tests =
                 r.Partition.Driver.rewritten
             in
             let cluster_of =
-              Partition.Driver.cluster_map r.Partition.Driver.assignment
-                r.Partition.Driver.rewritten
+              match
+                Partition.Driver.cluster_map r.Partition.Driver.assignment
+                  r.Partition.Driver.rewritten
+              with
+              | Ok f -> f
+              | Error e -> Alcotest.failf "cluster map: %s" e
             in
             check Alcotest.bool "valid" true
               (Sched.Check.kernel ~machine:m4x4c ~cluster_of ~ddg k = Ok ()));
@@ -136,7 +146,7 @@ let integration_tests =
         let loop = Workload.Kernels.hydro ~unroll:4 in
         let run () =
           match Partition.Driver.pipeline ~machine:m4x4e loop with
-          | Error e -> Alcotest.fail e
+          | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
           | Ok r ->
               (r.Partition.Driver.clustered.Sched.Modulo.ii, r.Partition.Driver.n_copies)
         in

@@ -530,7 +530,7 @@ let lower_tests =
     case "lowered-loop-pipelines-and-partitions" (fun () ->
         let loop, _ = Ir.Lower_addr.loop (Workload.Kernels.daxpy ~unroll:4) in
         match Partition.Driver.pipeline ~machine:m4x4e loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             check Alcotest.bool "done" true (r.Partition.Driver.degradation >= 100.0));
     case "lowering-raises-ii-realistically" (fun () ->

@@ -221,7 +221,7 @@ let driver_tests =
     case "monolithic-pipeline-no-degradation" (fun () ->
         let loop = Workload.Kernels.daxpy ~unroll:2 in
         match Partition.Driver.pipeline ~machine:ideal16 loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             check (Alcotest.float 1e-9) "100" 100.0 r.Partition.Driver.degradation;
             check Alcotest.int "no copies" 0 r.Partition.Driver.n_copies);
@@ -231,15 +231,19 @@ let driver_tests =
             List.iter
               (fun loop ->
                 match Partition.Driver.pipeline ~machine loop with
-                | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e
+                | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) (Verify.Stage_error.to_string e)
                 | Ok r ->
                     let ddg =
                       Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency
                         r.Partition.Driver.rewritten
                     in
                     let cluster_of =
-                      Partition.Driver.cluster_map r.Partition.Driver.assignment
-                        r.Partition.Driver.rewritten
+                      match
+                        Partition.Driver.cluster_map r.Partition.Driver.assignment
+                          r.Partition.Driver.rewritten
+                      with
+                      | Ok f -> f
+                      | Error e -> Alcotest.failf "%s: cluster map: %s" (Ir.Loop.name loop) e
                     in
                     (match
                        Sched.Check.kernel ~machine ~cluster_of ~ddg
@@ -255,7 +259,7 @@ let driver_tests =
         List.iter
           (fun loop ->
             match Partition.Driver.pipeline ~machine:m4x4e loop with
-            | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e
+            | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) (Verify.Stage_error.to_string e)
             | Ok r ->
                 check Alcotest.bool
                   (Printf.sprintf "%s >= 100" (Ir.Loop.name loop))
@@ -265,12 +269,12 @@ let driver_tests =
     case "bug-partitioner-runs" (fun () ->
         let loop = Workload.Kernels.stencil3 ~unroll:2 in
         match Partition.Driver.pipeline ~partitioner:Partition.Driver.Bug ~machine:m4x4e loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r -> check Alcotest.bool "done" true (r.Partition.Driver.degradation >= 100.0));
     case "uas-partitioner-runs" (fun () ->
         let loop = Workload.Kernels.stencil3 ~unroll:2 in
         match Partition.Driver.pipeline ~partitioner:Partition.Driver.Uas ~machine:m4x4e loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r -> check Alcotest.bool "done" true (r.Partition.Driver.degradation >= 100.0));
     case "custom-partitioner-receives-rcg" (fun () ->
         let loop = Workload.Kernels.daxpy ~unroll:1 in
@@ -290,7 +294,7 @@ let driver_tests =
           Partition.Driver.pipeline ~partitioner:(Partition.Driver.Custom custom)
             ~machine:m4x4e loop
         with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             check Alcotest.bool "rcg passed" true !saw_rcg;
             (* everything in bank 0: no copies at all *)
@@ -316,14 +320,14 @@ let driver_tests =
             check (Alcotest.float 1e-9) "copy-unit ipc excludes copies"
               (float_of_int non_copy /. float_of_int (Sched.Kernel.ii kc))
               rc.Partition.Driver.ipc_clustered
-        | Error e, _ | _, Error e -> Alcotest.fail e);
+        | Error e, _ | _, Error e -> Alcotest.fail (Verify.Stage_error.to_string e));
     case "pipelined-clustered-code-semantics" (fun () ->
         (* end to end: expansion of the clustered kernel of the rewritten
            loop computes the same memory as the original loop *)
         List.iter
           (fun loop ->
             match Partition.Driver.pipeline ~machine:m4x4e loop with
-            | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e
+            | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) (Verify.Stage_error.to_string e)
             | Ok r ->
                 let trips = 6 in
                 let code =

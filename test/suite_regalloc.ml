@@ -205,7 +205,7 @@ let alloc_tests =
               Regalloc.Alloc.allocate_loop ~machine:m4x4e
                 ~assignment:ins.Partition.Copies.assignment ins.Partition.Copies.loop
             with
-            | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e
+            | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) (Verify.Stage_error.to_string e)
             | Ok r ->
                 check Alcotest.int (Ir.Loop.name loop ^ " no spills") 0
                   r.Regalloc.Alloc.spill_count;
@@ -223,7 +223,7 @@ let alloc_tests =
             (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Loop.vregs loop)))
         in
         match Regalloc.Alloc.allocate_loop ~machine ~assignment:a loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             check Alcotest.bool "spilled" true (r.Regalloc.Alloc.spill_count > 0);
             check Alcotest.bool "valid" true (Regalloc.Alloc.check ~machine r = Ok ()));
@@ -248,7 +248,7 @@ let alloc_tests =
              Regalloc.Alloc.allocate_loop ~machine:m4x4e
                ~assignment:(Partition.Assign.of_list []) loop
            with
-          | Error e -> contains e "unassigned"
+          | Error e -> e.Verify.Stage_error.code = "AL001"
           | Ok _ -> false));
     case "mapping-respects-banks" (fun () ->
         let loop = Workload.Kernels.stencil3 ~unroll:2 in
@@ -259,7 +259,7 @@ let alloc_tests =
           Regalloc.Alloc.allocate_loop ~machine:m4x4e
             ~assignment:ins.Partition.Copies.assignment ins.Partition.Copies.loop
         with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             Ir.Vreg.Map.iter
               (fun reg (bank, _) ->
@@ -278,7 +278,7 @@ let alloc_tests =
             (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Loop.vregs loop)))
         in
         match Regalloc.Alloc.allocate_loop ~machine ~assignment:a loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             let rewritten = Ir.Loop.with_ops loop r.Regalloc.Alloc.code in
             let sa = Ir.Eval.create () and sb = Ir.Eval.create () in

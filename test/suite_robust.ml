@@ -1,0 +1,311 @@
+open Testlib
+
+(* The resilient driver (lib/robust): one crafted test per ladder rung,
+   fault-injection behaviour per fault, and the deterministic stress
+   harness with the Verify analyzers as oracle. *)
+
+let cfg = Robust.Driver.default_config
+
+let run ?config ?hooks ~machine loop = Robust.Driver.run ?config ?hooks ~machine loop
+
+let expect_ok label = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "%s: %s" label (Verify.Stage_error.to_string e)
+
+let expect_error label = function
+  | Ok (r : Robust.Driver.result) ->
+      Alcotest.failf "%s: unexpectedly succeeded on rung %s" label
+        (Robust.Driver.rung_name r.Robust.Driver.rung)
+  | Error e -> e
+
+let no_error_diags r =
+  List.for_all
+    (fun d -> d.Verify.Diag.severity <> Verify.Diag.Error)
+    (Robust.Driver.verify_diags r)
+
+(* hydro-u2 on a 2-cluster machine with 4-register banks spills but
+   still pipelines (established empirically; pinned by the test). *)
+let tight2 =
+  Mach.Machine.make ~name:"tight2" ~regs_per_bank:4 ~clusters:2 ~fus_per_cluster:8
+    ~copy_model:Mach.Machine.Embedded ()
+
+let ladder_tests =
+  [
+    case "clean-input-uses-first-rung" (fun () ->
+        let r = expect_ok "daxpy" (run ~machine:m4x4e (Workload.Kernels.daxpy ~unroll:2)) in
+        (match r.Robust.Driver.rung with
+        | Robust.Driver.Pipelined { partitioner; budget_ratio; respilled } ->
+            check Alcotest.string "partitioner" "greedy" partitioner;
+            check Alcotest.int "budget" (List.hd cfg.Robust.Driver.budget_schedule) budget_ratio;
+            check Alcotest.bool "no respill" false respilled
+        | rung -> Alcotest.failf "wrong rung: %s" (Robust.Driver.rung_name rung));
+        check Alcotest.int "no failed attempts" 0 (List.length r.Robust.Driver.attempts);
+        check Alcotest.bool "alloc present" true (r.Robust.Driver.alloc <> None);
+        check Alcotest.bool "verifies" true (no_error_diags r));
+    case "budget-escalation-recovers" (fun () ->
+        (* budget_ratio 0 gives the scheduler no placement budget, so the
+           first rung must fail and the ladder escalate to budget 10. *)
+        let config = { cfg with Robust.Driver.budget_schedule = [ 0; 10 ] } in
+        let r = expect_ok "daxpy" (run ~config ~machine:m4x4e (Workload.Kernels.daxpy ~unroll:2)) in
+        (match r.Robust.Driver.rung with
+        | Robust.Driver.Pipelined { budget_ratio; _ } ->
+            check Alcotest.int "escalated budget" 10 budget_ratio
+        | rung -> Alcotest.failf "wrong rung: %s" (Robust.Driver.rung_name rung));
+        check Alcotest.bool "attempt log mentions the exhausted budget" true
+          (List.exists
+             (fun (a : Verify.Stage_error.attempt) -> contains a.Verify.Stage_error.rung "budget=0")
+             r.Robust.Driver.attempts));
+    case "partitioner-fallback-on-bad-custom" (fun () ->
+        (* A partitioner emitting out-of-range banks is rejected (PT002)
+           and the chain falls through to greedy. *)
+        let bad = Partition.Driver.Custom (fun _ ddg _ ->
+            let regs =
+              List.fold_left
+                (fun acc op ->
+                  List.fold_left (fun s r -> Ir.Vreg.Set.add r s) acc
+                    (Ir.Op.defs op @ Ir.Op.uses op))
+                Ir.Vreg.Set.empty (Ddg.Graph.ops_in_order ddg)
+            in
+            Partition.Assign.of_list (List.map (fun r -> (r, 99)) (Ir.Vreg.Set.elements regs)))
+        in
+        let config =
+          { cfg with Robust.Driver.partitioners =
+              [ ("bad", bad); ("greedy", Partition.Driver.Greedy Rcg.Weights.default) ] }
+        in
+        let r = expect_ok "dot" (run ~config ~machine:m4x4e (Workload.Kernels.dot ~unroll:2)) in
+        (match r.Robust.Driver.rung with
+        | Robust.Driver.Pipelined { partitioner; _ } ->
+            check Alcotest.string "fell through to greedy" "greedy" partitioner
+        | rung -> Alcotest.failf "wrong rung: %s" (Robust.Driver.rung_name rung));
+        check Alcotest.bool "PT002 logged" true
+          (List.exists
+             (fun (a : Verify.Stage_error.attempt) -> a.Verify.Stage_error.at_code = "PT002")
+             r.Robust.Driver.attempts));
+    case "raising-partitioner-is-contained" (fun () ->
+        let bomb = Partition.Driver.Custom (fun _ _ _ -> invalid_arg "partitioner bomb") in
+        let config =
+          { cfg with Robust.Driver.partitioners =
+              [ ("bomb", bomb); ("greedy", Partition.Driver.Greedy Rcg.Weights.default) ] }
+        in
+        let r = expect_ok "dot" (run ~config ~machine:m4x4e (Workload.Kernels.dot ~unroll:2)) in
+        (match r.Robust.Driver.rung with
+        | Robust.Driver.Pipelined { partitioner; _ } ->
+            check Alcotest.string "fell through to greedy" "greedy" partitioner
+        | rung -> Alcotest.failf "wrong rung: %s" (Robust.Driver.rung_name rung));
+        check Alcotest.bool "bomb logged as attempt" true
+          (List.exists
+             (fun (a : Verify.Stage_error.attempt) ->
+               contains a.Verify.Stage_error.detail "partitioner bomb")
+             r.Robust.Driver.attempts));
+    case "spill-and-reschedule-rung" (fun () ->
+        let r = expect_ok "hydro" (run ~machine:tight2 (Workload.Kernels.hydro ~unroll:2)) in
+        (match r.Robust.Driver.rung with
+        | Robust.Driver.Pipelined { respilled; _ } ->
+            check Alcotest.bool "respilled" true respilled
+        | rung -> Alcotest.failf "wrong rung: %s" (Robust.Driver.rung_name rung));
+        check Alcotest.bool "spills counted" true (r.Robust.Driver.spill_count > 0);
+        check Alcotest.bool "verifies after respill" true (no_error_diags r));
+    case "single-bank-merge-rung" (fun () ->
+        (* no pipelined partitioners at all -> the merge rung carries it *)
+        let config = { cfg with Robust.Driver.partitioners = [] } in
+        let r = expect_ok "daxpy" (run ~config ~machine:m4x4e (Workload.Kernels.daxpy ~unroll:2)) in
+        (match r.Robust.Driver.rung with
+        | Robust.Driver.Single_bank _ -> ()
+        | rung -> Alcotest.failf "wrong rung: %s" (Robust.Driver.rung_name rung));
+        check Alcotest.int "merge needs no copies" 0 r.Robust.Driver.n_copies;
+        check Alcotest.bool "verifies" true (no_error_diags r));
+    case "non-pipelined-surrender-rung" (fun () ->
+        (* zero budget everywhere kills every modulo rung; the flat
+           list-scheduled surrender must still produce verified code *)
+        let config = { cfg with Robust.Driver.budget_schedule = [ 0 ] } in
+        let r = expect_ok "daxpy" (run ~config ~machine:m4x4e (Workload.Kernels.daxpy ~unroll:2)) in
+        (match r.Robust.Driver.rung with
+        | Robust.Driver.Non_pipelined -> ()
+        | rung -> Alcotest.failf "wrong rung: %s" (Robust.Driver.rung_name rung));
+        (match r.Robust.Driver.code with
+        | Robust.Driver.Flat _ -> ()
+        | Robust.Driver.Kernel _ -> Alcotest.fail "surrender must emit a flat schedule");
+        (* budget 0 kills the ideal schedule up front, so the modulo
+           rungs never run: the log holds the ideal-stage failure *)
+        check Alcotest.bool "ideal failure logged" true
+          (List.exists
+             (fun (a : Verify.Stage_error.attempt) ->
+               a.Verify.Stage_error.at_stage = Verify.Stage_error.Ideal_schedule)
+             r.Robust.Driver.attempts);
+        check Alcotest.bool "verifies" true (no_error_diags r));
+    case "surrender-disabled-fails-structurally" (fun () ->
+        let config =
+          { cfg with Robust.Driver.budget_schedule = [ 0 ]; allow_non_pipelined = false }
+        in
+        let e =
+          expect_error "daxpy"
+            (run ~config ~machine:m4x4e (Workload.Kernels.daxpy ~unroll:2))
+        in
+        check Alcotest.bool "failed at the ideal schedule" true
+          (e.Verify.Stage_error.stage = Verify.Stage_error.Ideal_schedule);
+        check Alcotest.bool "attempt trace kept" true
+          (List.length e.Verify.Stage_error.attempts >= 1);
+        check Alcotest.bool "trace renders" true
+          (List.length (Verify.Stage_error.trace e) = List.length e.Verify.Stage_error.attempts));
+    case "malformed-ir-rejected-at-the-gate" (fun () ->
+        let prng = Util.Prng.create 7 in
+        let armed = Robust.Inject.arm ~prng [ Robust.Inject.Malform_ir ] in
+        let e =
+          expect_error "daxpy"
+            (run ~hooks:armed.Robust.Inject.hooks ~machine:m4x4e
+               (Workload.Kernels.daxpy ~unroll:2))
+        in
+        check Alcotest.string "IR004" "IR004" e.Verify.Stage_error.code;
+        check Alcotest.bool "stage is ir-input" true
+          (e.Verify.Stage_error.stage = Verify.Stage_error.Ir_input);
+        check Alcotest.int "rejected before any rung ran" 0
+          (List.length e.Verify.Stage_error.attempts));
+  ]
+
+(* One armed run; returns (fired, result). cmul-u2 on m4x4e needs 12
+   copies, so every transient fault (kernel, copy, assignment) finds an
+   artifact to corrupt. *)
+let armed_run ?(seed = 11) ?(loop = Workload.Kernels.cmul ~unroll:2) ?(machine = m4x4e) fault =
+  let prng = Util.Prng.create seed in
+  let armed = Robust.Inject.arm ~prng [ fault ] in
+  let res = run ~hooks:armed.Robust.Inject.hooks ~machine loop in
+  (armed.Robust.Inject.fired (), res)
+
+let inject_tests =
+  [
+    case "recoverable-faults-fire-and-recover" (fun () ->
+        List.iter
+          (fun fault ->
+            let name = Robust.Inject.fault_name fault in
+            let fired, res = armed_run fault in
+            check Alcotest.bool (name ^ " fired exactly once") true
+              (fired = [ fault ]);
+            let r = expect_ok name res in
+            check Alcotest.bool (name ^ ": recovered code verifies") true
+              (no_error_diags r))
+          Robust.Inject.recoverable);
+    case "corrupt-kernel-logs-sch001" (fun () ->
+        let _, res = armed_run Robust.Inject.Corrupt_kernel in
+        let r = expect_ok "cmul" res in
+        check Alcotest.bool "SCH001 in the attempt log" true
+          (List.exists
+             (fun (a : Verify.Stage_error.attempt) -> a.Verify.Stage_error.at_code = "SCH001")
+             r.Robust.Driver.attempts));
+    case "drop-copy-logs-cross-bank-operand" (fun () ->
+        let _, res = armed_run Robust.Inject.Drop_copy in
+        let r = expect_ok "cmul" res in
+        check Alcotest.bool "PT003 in the attempt log" true
+          (List.exists
+             (fun (a : Verify.Stage_error.attempt) -> a.Verify.Stage_error.at_code = "PT003")
+             r.Robust.Driver.attempts));
+    case "shrunken-banks-fail-cleanly" (fun () ->
+        let fired, res = armed_run (Robust.Inject.Shrink_banks 1) in
+        check Alcotest.bool "fired" true (fired = [ Robust.Inject.Shrink_banks 1 ]);
+        let e = expect_error "cmul" res in
+        check Alcotest.bool "structured allocation failure" true
+          (e.Verify.Stage_error.stage = Verify.Stage_error.Allocation);
+        check Alcotest.bool "full ladder was tried" true
+          (List.length e.Verify.Stage_error.attempts > 0));
+    case "faults-fire-once-across-the-ladder" (fun () ->
+        (* even though recovery re-runs stages, a transient fault must
+           corrupt exactly one artifact *)
+        List.iter
+          (fun fault ->
+            let fired, _ = armed_run fault in
+            check Alcotest.int (Robust.Inject.fault_name fault) 1 (List.length fired))
+          Robust.Inject.recoverable);
+    case "injection-is-deterministic" (fun () ->
+        let outcome fault =
+          let fired, res = armed_run ~seed:23 fault in
+          let tag =
+            match res with
+            | Ok r -> "ok:" ^ Robust.Driver.rung_name r.Robust.Driver.rung
+            | Error e -> "err:" ^ e.Verify.Stage_error.code
+          in
+          (List.map Robust.Inject.fault_name fired, tag)
+        in
+        List.iter
+          (fun fault ->
+            let a = outcome fault and b = outcome fault in
+            check
+              Alcotest.(pair (list string) string)
+              (Robust.Inject.fault_name fault) a b)
+          Robust.Inject.all);
+  ]
+
+let synthetic_trial outcome =
+  {
+    Robust.Stress.index = 0;
+    loop_name = "l";
+    machine_name = "m";
+    plan = [];
+    fired = [];
+    rung = None;
+    n_attempts = 0;
+    error = None;
+    outcome;
+  }
+
+let stress_tests =
+  [
+    slow_case "fuzz-200-trials-raise-free-and-verified" (fun () ->
+        (* the acceptance sweep: fixed seed, faults on, fatal included.
+           No raise may escape, every emitted schedule must satisfy the
+           independently re-run analyzers, and unsalvageable trials must
+           end in structured errors. *)
+        let s = Robust.Stress.run ~seed:1995 ~trials:200 () in
+        check Alcotest.int "no violations" 0 (List.length s.Robust.Stress.violations);
+        check Alcotest.int "no unrecovered" 0 (List.length s.Robust.Stress.unrecovered);
+        check Alcotest.int "exit code" 0 (Robust.Stress.exit_code s);
+        check Alcotest.int "all trials accounted for" 200
+          (s.Robust.Stress.clean + s.Robust.Stress.recovered + s.Robust.Stress.failed_clean);
+        check Alcotest.bool "faults actually recovered" true (s.Robust.Stress.recovered > 0);
+        check Alcotest.bool "fatal faults exercised" true (s.Robust.Stress.failed_clean > 0);
+        (* every structured failure names a stage and carries a code *)
+        List.iter
+          (fun (t : Robust.Stress.trial) ->
+            match t.Robust.Stress.error with
+            | None -> ()
+            | Some e ->
+                check Alcotest.bool "error has a code" true
+                  (String.length e.Verify.Stage_error.code > 0))
+          s.Robust.Stress.trials);
+    case "same-seed-same-report" (fun () ->
+        let a = Robust.Stress.run ~seed:42 ~trials:40 () in
+        let b = Robust.Stress.run ~seed:42 ~trials:40 () in
+        check Alcotest.string "byte-identical report"
+          (Robust.Stress.report ~verbose:true a)
+          (Robust.Stress.report ~verbose:true b));
+    case "report-ends-with-totals" (fun () ->
+        let s = Robust.Stress.run ~seed:3 ~trials:5 () in
+        check Alcotest.bool "totals line present" true
+          (contains (Robust.Stress.report s) "totals: 5 trials"));
+    case "exit-codes-follow-the-contract" (fun () ->
+        let summary ?(unrecovered = []) ?(violations = []) () =
+          {
+            Robust.Stress.trials = [];
+            clean = 0;
+            recovered = 0;
+            failed_clean = 0;
+            unrecovered;
+            violations;
+          }
+        in
+        check Alcotest.int "clean run is 0" 0 (Robust.Stress.exit_code (summary ()));
+        check Alcotest.int "unrecovered is 1" 1
+          (Robust.Stress.exit_code
+             (summary ~unrecovered:[ synthetic_trial Robust.Stress.Unrecovered ] ()));
+        check Alcotest.int "violation is 2" 2
+          (Robust.Stress.exit_code
+             (summary
+                ~unrecovered:[ synthetic_trial Robust.Stress.Unrecovered ]
+                ~violations:[ synthetic_trial (Robust.Stress.Violation "boom") ]
+                ())));
+  ]
+
+let suite =
+  [
+    ("robust.ladder", ladder_tests);
+    ("robust.inject", inject_tests);
+    ("robust.stress", stress_tests);
+  ]

@@ -118,7 +118,7 @@ let pressure_tests =
     case "per-bank-sums-bound-total" (fun () ->
         let loop = Workload.Kernels.stencil3 ~unroll:2 in
         match Partition.Driver.pipeline ~machine:m4x4e loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             let kernel = r.Partition.Driver.clustered.Sched.Modulo.kernel in
             let rloop = r.Partition.Driver.rewritten in
@@ -185,7 +185,7 @@ let ne_tests =
         let loop = Workload.Kernels.tridiag ~unroll:2 in
         let ne = Partition.Driver.Custom (fun machine ddg _ -> Partition.Ne.partition ~machine ddg) in
         match Partition.Driver.pipeline ~partitioner:ne ~machine:m4x4e loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             check Alcotest.bool "no recurrence lengthening" true
               (r.Partition.Driver.degradation >= 100.0));
@@ -194,7 +194,7 @@ let ne_tests =
         let loop = Workload.Kernels.first_order_rec ~unroll:1 in
         let ne = Partition.Driver.Custom (fun machine ddg _ -> Partition.Ne.partition ~machine ddg) in
         match Partition.Driver.pipeline ~partitioner:ne ~machine:m4x4e loop with
-        | Error e -> Alcotest.fail e
+        | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
         | Ok r ->
             check (Alcotest.float 1e-9) "100" 100.0 r.Partition.Driver.degradation);
   ]
@@ -281,7 +281,7 @@ let kernel_alloc_tests =
         List.iter
           (fun loop ->
             match Partition.Driver.pipeline ~machine:m4x4e loop with
-            | Error e -> Alcotest.fail e
+            | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
             | Ok r ->
                 let req =
                   Regalloc.Kernel_alloc.requirements
@@ -331,7 +331,7 @@ let sim_tests =
         List.iter
           (fun loop ->
             match Partition.Driver.pipeline ~machine:m4x4e loop with
-            | Error e -> Alcotest.fail e
+            | Error e -> Alcotest.fail (Verify.Stage_error.to_string e)
             | Ok r -> (
                 let code =
                   Sched.Expand.flatten

@@ -127,15 +127,20 @@ let sched_tests =
         List.iter
           (fun loop ->
             match Partition.Driver.pipeline ~machine:ozer4 loop with
-            | Error e -> Alcotest.failf "%s: %s" (Ir.Loop.name loop) e
+            | Error e ->
+                Alcotest.failf "%s: %s" (Ir.Loop.name loop) (Verify.Stage_error.to_string e)
             | Ok r ->
                 let ddg =
                   Ddg.Graph.of_loop ~latency:ozer4.Mach.Machine.latency
                     r.Partition.Driver.rewritten
                 in
                 let cluster_of =
-                  Partition.Driver.cluster_map r.Partition.Driver.assignment
-                    r.Partition.Driver.rewritten
+                  match
+                    Partition.Driver.cluster_map r.Partition.Driver.assignment
+                      r.Partition.Driver.rewritten
+                  with
+                  | Ok f -> f
+                  | Error e -> Alcotest.failf "%s: cluster map: %s" (Ir.Loop.name loop) e
                 in
                 (match
                    Sched.Check.kernel ~machine:ozer4 ~cluster_of ~ddg

@@ -71,9 +71,10 @@ let clean_under_driver machine loops =
     (fun loop ->
       match Partition.Driver.pipeline ~verify:true ~machine loop with
       | Ok _ -> ()
-      | Error msg ->
-          if contains msg "verification failed" then
-            Alcotest.failf "loop %s: %s" (Ir.Loop.name loop) msg)
+      | Error e ->
+          if e.Verify.Stage_error.stage = Verify.Stage_error.Verification then
+            Alcotest.failf "loop %s: %s" (Ir.Loop.name loop)
+              (Verify.Stage_error.to_string e))
     loops
 
 let positive_tests =
@@ -269,7 +270,7 @@ let partition_negative_tests =
         (* drop one register from a real pipeline's assignment *)
         let loop = Workload.Kernels.daxpy ~unroll:1 in
         match Partition.Driver.pipeline ~machine:m4x4e loop with
-        | Error msg -> Alcotest.failf "pipeline failed: %s" msg
+        | Error e -> Alcotest.failf "pipeline failed: %s" (Verify.Stage_error.to_string e)
         | Ok r ->
             let rewritten = r.Partition.Driver.rewritten in
             let victim = Ir.Vreg.Set.min_elt (Ir.Loop.vregs rewritten) in
@@ -314,13 +315,13 @@ let alloc_negative_tests =
         (* collapse two distinct physical registers of a real allocation *)
         let loop = Workload.Kernels.dot ~unroll:1 in
         match Partition.Driver.pipeline ~machine:m4x4e loop with
-        | Error msg -> Alcotest.failf "pipeline failed: %s" msg
+        | Error e -> Alcotest.failf "pipeline failed: %s" (Verify.Stage_error.to_string e)
         | Ok r -> (
             match
               Regalloc.Alloc.allocate_loop ~machine:m4x4e
                 ~assignment:r.Partition.Driver.assignment r.Partition.Driver.rewritten
             with
-            | Error msg -> Alcotest.failf "allocation failed: %s" msg
+            | Error msg -> Alcotest.failf "allocation failed: %s" (Verify.Stage_error.to_string msg)
             | Ok alloc ->
                 (* remap every register onto physical slot 0 of its bank *)
                 let squashed =

@@ -54,7 +54,7 @@ let kernels_tests =
           (fun (name, make) ->
             let loop = make ~unroll:2 in
             match Partition.Driver.pipeline ~machine:m4x4e loop with
-            | Error e -> Alcotest.failf "%s: %s" name e
+            | Error e -> Alcotest.failf "%s: %s" name (Verify.Stage_error.to_string e)
             | Ok r ->
                 let trips = 5 in
                 let code =
