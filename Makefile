@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench doc clean quickstart experiment lint stress
+.PHONY: all build test bench bench-json doc clean quickstart experiment lint stress trace
 
 all: build
 
@@ -26,6 +26,19 @@ stress:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable bench telemetry only: writes BENCH_pipeline.json
+# (suite means, failure counts, per-stage wall times) without the
+# human-readable tables.
+bench-json:
+	dune exec bench/main.exe json
+
+# Deterministic span tree for one loop (override LOOP/CLUSTERS to taste):
+# the quickest way to see where pipeline time goes.
+LOOP ?= daxpy-u4
+CLUSTERS ?= 4
+trace:
+	dune exec bin/rbp.exe -- trace $(LOOP) -c $(CLUSTERS) --deterministic
 
 quickstart:
 	dune exec examples/quickstart.exe

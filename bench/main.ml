@@ -8,7 +8,9 @@
      bench/main.exe fig5|fig6|fig7
      bench/main.exe ablation     -- partitioner/weight ablation (ours)
      bench/main.exe timing       -- Bechamel micro-benchmarks only
-     bench/main.exe quick        -- tables on a reduced suite (CI) *)
+     bench/main.exe quick        -- tables on a reduced suite (CI),
+                                    plus BENCH_quick.json telemetry
+     bench/main.exe json         -- just the BENCH_pipeline.json telemetry *)
 
 let section title =
   print_newline ();
@@ -16,17 +18,27 @@ let section title =
   print_endline title;
   print_endline (String.make 72 '=')
 
-let runs_cache : (int, Core.Experiment.run list * float) Hashtbl.t = Hashtbl.create 4
+let suite_seed = 1995
 
-let runs_for ?(n = Workload.Suite.size) () =
+let runs_cache : (int, Core.Experiment.run list * float * Obs.Trace.t) Hashtbl.t =
+  Hashtbl.create 4
+
+(* Every suite sweep runs instrumented (real clock): the per-stage wall
+   times ride along for free and feed the JSON telemetry below. *)
+let runs_for_obs ?(n = Workload.Suite.size) () =
   match Hashtbl.find_opt runs_cache n with
   | Some r -> r
   | None ->
-      let loops = Workload.Suite.loops ~n () in
-      let runs = Core.Experiment.run_all ~loops () in
+      let obs = Obs.Trace.make ~clock:Unix.gettimeofday () in
+      let loops = Workload.Suite.loops ~seed:suite_seed ~n () in
+      let runs = Core.Experiment.run_all ~obs ~loops () in
       let ipc = Core.Experiment.ideal_ipc ~loops () in
-      Hashtbl.replace runs_cache n (runs, ipc);
-      (runs, ipc)
+      Hashtbl.replace runs_cache n (runs, ipc, obs);
+      (runs, ipc, obs)
+
+let runs_for ?n () =
+  let runs, ipc, _ = runs_for_obs ?n () in
+  (runs, ipc)
 
 let find_run runs ~clusters ~copy_model =
   List.find
@@ -459,6 +471,54 @@ let timing () =
         results)
     tests
 
+(* Machine-readable telemetry: one JSON file per bench run with the
+   suite parameters, per-configuration aggregate metrics (the numbers
+   behind Tables 1-2), and per-stage wall times from the span totals of
+   the instrumented sweep. Consumers: CI trend tracking, plotting. *)
+let bench_json ~path ?n () =
+  let loop_count = match n with Some n -> n | None -> Workload.Suite.size in
+  let runs, ideal_ipc, obs = runs_for_obs ~n:loop_count () in
+  let num x = Obs.Json.Num x in
+  let int_num x = Obs.Json.Num (float_of_int x) in
+  let config_json (r : Core.Experiment.run) =
+    Obs.Json.Obj
+      [
+        ("label", Obs.Json.Str r.config.label);
+        ("clusters", int_num r.config.clusters);
+        ("copy_model", Obs.Json.Str (Mach.Machine.copy_model_name r.config.copy_model));
+        ("loops_ok", int_num (List.length r.metrics));
+        ("failures", int_num (List.length r.failures));
+        ("mean_ipc_clustered", num (Core.Metrics.mean_ipc_clustered r.metrics));
+        ("arith_mean_degradation", num (Core.Metrics.arithmetic_mean_degradation r.metrics));
+        ("harmonic_mean_degradation", num (Core.Metrics.harmonic_mean_degradation r.metrics));
+        ("pct_no_degradation", num (Core.Metrics.pct_no_degradation r.metrics));
+      ]
+  in
+  let stage_json (name, total, calls) =
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.Str name);
+        ("total_s", num total);
+        ("calls", int_num calls);
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "rbp-bench/1");
+        ("seed", int_num suite_seed);
+        ("loops", int_num loop_count);
+        ("ideal_ipc", num ideal_ipc);
+        ("configs", Obs.Json.List (List.map config_json runs));
+        ("stages", Obs.Json.List (List.map stage_json (Obs.Trace.totals_by_name obs)));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
@@ -478,7 +538,9 @@ let () =
   | [ "timing" ] -> timing ()
   | [ "quick" ] ->
       table1 ~n:32 ();
-      table2 ~n:32 ()
+      table2 ~n:32 ();
+      bench_json ~path:"BENCH_quick.json" ~n:32 ()
+  | [ "json" ] -> bench_json ~path:"BENCH_pipeline.json" ()
   | [] ->
       table1 ();
       table2 ();
@@ -493,9 +555,10 @@ let () =
       lowered ();
       specialized ();
       distribute ();
-      timing ()
+      timing ();
+      bench_json ~path:"BENCH_pipeline.json" ()
   | _ ->
       prerr_endline
         "usage: main.exe [table1|table2|fig5|fig6|fig7|ablation|wholeprog|schedulers\
-         |latency|registers|timing|quick]";
+         |latency|registers|timing|quick|json]";
       exit 2

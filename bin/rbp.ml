@@ -76,6 +76,44 @@ let machine_of ~clusters ~model =
   with Invalid_argument m -> Error m
 
 (* ------------------------------------------------------------------ *)
+(* Tracing support                                                     *)
+
+let trace_out_arg =
+  let doc =
+    "Also write the instrumentation trace to $(docv): Chrome trace-event JSON when the \
+     file name ends in $(b,.json) (load it in chrome://tracing or Perfetto), JSONL \
+     events otherwise."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let export_for_path path obs =
+  if Filename.check_suffix path ".json" then Obs.Export.chrome obs else Obs.Export.jsonl obs
+
+(* Run [f] under a fresh real-clock context when [--trace-out] was given.
+   The export is written from an [at_exit] hook (guarded against double
+   writes), so the trace survives [or_die]-style failures and non-zero
+   exits — a failing pipeline leaves exactly the evidence one wants. *)
+let with_trace trace_out f =
+  match trace_out with
+  | None -> f None
+  | Some path ->
+      let obs = Obs.Trace.make ~clock:Unix.gettimeofday () in
+      let written = ref false in
+      let finish () =
+        if not !written then begin
+          written := true;
+          write_file path (export_for_path path obs)
+        end
+      in
+      at_exit finish;
+      Fun.protect ~finally:finish (fun () -> f (Some obs))
+
+(* ------------------------------------------------------------------ *)
 (* list                                                                *)
 
 let list_cmd =
@@ -153,7 +191,7 @@ let unroll_arg =
   Arg.(value & opt int 1 & info [ "unroll"; "u" ] ~docv:"FACTOR" ~doc)
 
 let pipeline_cmd =
-  let run seed name clusters model partitioner scheduler unroll trips =
+  let run seed name clusters model partitioner scheduler unroll trips trace_out =
     let loop = or_die (load_loop ~seed name) in
     let loop =
       if unroll <= 1 then loop
@@ -164,10 +202,11 @@ let pipeline_cmd =
       end
     in
     let machine = or_die (machine_of ~clusters ~model) in
+    with_trace trace_out @@ fun obs ->
     let r =
       or_die
         (Result.map_error Verify.Stage_error.to_string
-           (Partition.Driver.pipeline ~partitioner ~scheduler ~machine loop))
+           (Partition.Driver.pipeline ?obs ~partitioner ~scheduler ~machine loop))
     in
     Format.printf "=== %a ===@." Mach.Machine.pp machine;
     Format.printf "@.--- ideal kernel (II=%d) ---@.%a@." r.Partition.Driver.ideal.Sched.Modulo.ii
@@ -206,7 +245,113 @@ let pipeline_cmd =
        ~doc:"Run the full partition + software-pipelining framework on one loop")
     Term.(
       const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ partitioner_arg
-      $ scheduler_arg $ unroll_arg $ trips)
+      $ scheduler_arg $ unroll_arg $ trips $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+
+let trace_cmd =
+  let run seed name clusters model partitioner scheduler format out deterministic =
+    let loop = or_die (load_loop ~seed name) in
+    let machine = or_die (machine_of ~clusters ~model) in
+    let clock = if deterministic then Obs.Clock.fake () else Unix.gettimeofday in
+    let obs = Obs.Trace.make ~clock () in
+    let result = Partition.Driver.pipeline ~obs ~partitioner ~scheduler ~machine loop in
+    (* Export before reporting failure: a failing pipeline's trace shows
+       which stage died and what it had counted up to that point. *)
+    let text =
+      match format with
+      | `Tree -> Obs.Export.tree obs
+      | `Jsonl -> Obs.Export.jsonl obs
+      | `Chrome -> Obs.Export.chrome obs
+    in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+        write_file path text;
+        Printf.printf "wrote %s\n" path);
+    match result with
+    | Ok _ -> ()
+    | Error e ->
+        prerr_endline ("rbp: pipeline failed: " ^ Verify.Stage_error.to_string e);
+        exit 1
+  in
+  let format =
+    let fmt_conv = Arg.enum [ ("tree", `Tree); ("jsonl", `Jsonl); ("chrome", `Chrome) ] in
+    Arg.(
+      value & opt fmt_conv `Tree
+      & info [ "format"; "f" ] ~docv:"FMT"
+          ~doc:
+            "Export format: $(b,tree) (human-readable span tree with counters), \
+             $(b,jsonl) (one JSON event per line) or $(b,chrome) (Chrome trace-event \
+             JSON for chrome://tracing / Perfetto).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  let deterministic =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Use a fake fixed-step clock instead of wall time, making the output \
+             byte-stable across runs (for tests and diffing).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the full framework on one loop under instrumentation and export the span \
+          tree, stage counters and gauges. The trace is exported even when the pipeline \
+          fails (exit 1), showing which stage died")
+    Term.(
+      const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ partitioner_arg
+      $ scheduler_arg $ format $ out $ deterministic)
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+
+let schedule_cmd =
+  let run seed name clusters model scheduler verbose =
+    let loop = or_die (load_loop ~seed name) in
+    let machine = or_die (machine_of ~clusters ~model) in
+    let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency loop in
+    let outcome =
+      match scheduler with
+      | Partition.Driver.Rau -> Sched.Modulo.ideal ~machine ddg
+      | Partition.Driver.Swing -> Sched.Swing.ideal ~machine ddg
+    in
+    match outcome with
+    | None ->
+        prerr_endline "rbp: no feasible II found";
+        exit 1
+    | Some o ->
+        Format.printf "%s: II=%d (MII %d)@." (Ir.Loop.name loop) o.Sched.Modulo.ii
+          o.Sched.Modulo.mii;
+        if verbose then
+          Format.printf
+            "effort: %d placement(s), %d eviction(s), %d II(s) tried, %d budget \
+             exhaustion(s)@."
+            o.Sched.Modulo.placements_tried o.Sched.Modulo.evictions o.Sched.Modulo.iis_tried
+            o.Sched.Modulo.budget_exhausted;
+        Format.printf "%a@." Sched.Kernel.pp o.Sched.Modulo.kernel
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:
+            "Also print the scheduler's effort statistics: placements tried, evictions, \
+             IIs tried and budget exhaustions.")
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:
+         "Modulo-schedule one loop on the (monolithic view of the) chosen machine and \
+          print the kernel, with per-run scheduler effort statistics under \
+          $(b,--verbose)")
+    Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ scheduler_arg $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* rcg / ddg                                                           *)
@@ -283,9 +428,10 @@ let alloc_cmd =
 (* experiment                                                          *)
 
 let experiment_cmd =
-  let run seed n =
+  let run seed n trace_out =
     let loops = Workload.Suite.loops ~seed ~n () in
-    let runs = Core.Experiment.run_all ~loops () in
+    with_trace trace_out @@ fun obs ->
+    let runs = Core.Experiment.run_all ?obs ~loops () in
     let ipc = Core.Experiment.ideal_ipc ~loops () in
     Util.Table.print (Core.Report.table1 ~ideal_ipc:ipc runs);
     print_newline ();
@@ -320,7 +466,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ seed_arg $ n)
+    Term.(const run $ seed_arg $ n $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -503,8 +649,11 @@ let lint_cmd =
     Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ regs $ strict)
 
 let stress_cmd =
-  let run seed trials fault_rate no_fatal verbose =
-    let s = Robust.Stress.run ~include_fatal:(not no_fatal) ~fault_rate ~seed ~trials () in
+  let run seed trials fault_rate no_fatal verbose trace_out =
+    with_trace trace_out @@ fun obs ->
+    let s =
+      Robust.Stress.run ?obs ~include_fatal:(not no_fatal) ~fault_rate ~seed ~trials ()
+    in
     print_endline (Robust.Stress.report ~verbose s);
     exit (Robust.Stress.exit_code s)
   in
@@ -546,7 +695,7 @@ let stress_cmd =
           trial produced verified code or failed cleanly with a structured diagnostic; \
           1 when a transient fault went unrecovered; 2 on a violation (an exception \
           escaped the driver, or emitted code failed re-verification)")
-    Term.(const run $ seed_arg $ trials $ fault_rate $ no_fatal $ verbose)
+    Term.(const run $ seed_arg $ trials $ fault_rate $ no_fatal $ verbose $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -554,7 +703,7 @@ let main =
   let doc = "register assignment for software pipelining with partitioned register banks" in
   Cmd.group
     (Cmd.info "rbp" ~version:"1.0" ~doc)
-    [ list_cmd; show_cmd; pipeline_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd;
-      stress_cmd; sim_cmd; experiment_cmd; csv_cmd ]
+    [ list_cmd; show_cmd; pipeline_cmd; trace_cmd; schedule_cmd; compare_cmd; rcg_cmd;
+      ddg_cmd; alloc_cmd; lint_cmd; stress_cmd; sim_cmd; experiment_cmd; csv_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -32,20 +32,23 @@ type run = {
   failures : (string * Verify.Stage_error.t) list;
 }
 
-let run_config ?partitioner ?loops config =
+let run_config ?obs ?partitioner ?loops config =
   let loops = match loops with Some l -> l | None -> Lazy.force default_loops in
+  Obs.Trace.span obs "experiment.config"
+    ~attrs:[ ("config", config.label); ("loops", string_of_int (List.length loops)) ]
+  @@ fun () ->
   let metrics = ref [] in
   let failures = ref [] in
   List.iter
     (fun loop ->
-      match Partition.Driver.pipeline ?partitioner ~machine:config.machine loop with
+      match Partition.Driver.pipeline ?obs ?partitioner ~machine:config.machine loop with
       | Ok r -> metrics := Metrics.of_result r :: !metrics
       | Error e -> failures := (Ir.Loop.name loop, e) :: !failures)
     loops;
   { config; metrics = List.rev !metrics; failures = List.rev !failures }
 
-let run_all ?partitioner ?loops ?(configs = paper_configs) () =
-  List.map (run_config ?partitioner ?loops) configs
+let run_all ?obs ?partitioner ?loops ?(configs = paper_configs) () =
+  List.map (run_config ?obs ?partitioner ?loops) configs
 
 let ideal_ipc ?loops () =
   let loops = match loops with Some l -> l | None -> Lazy.force default_loops in

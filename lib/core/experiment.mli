@@ -25,13 +25,17 @@ type run = {
 }
 
 val run_config :
+  ?obs:Obs.Trace.t ->
   ?partitioner:Partition.Driver.partitioner ->
   ?loops:Ir.Loop.t list ->
   config ->
   run
-(** Pipelines every loop ([loops] defaults to the 211-loop suite). *)
+(** Pipelines every loop ([loops] defaults to the 211-loop suite).
+    [obs] (default off) traces one [experiment.config] span per call
+    with a [pipeline] child per loop. *)
 
 val run_all :
+  ?obs:Obs.Trace.t ->
   ?partitioner:Partition.Driver.partitioner ->
   ?loops:Ir.Loop.t list ->
   ?configs:config list ->

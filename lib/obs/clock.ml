@@ -1,0 +1,10 @@
+type t = unit -> float
+
+let fake ?(start = 0.0) ?(step = 0.001) () =
+  let t = ref start in
+  fun () ->
+    let now = !t in
+    t := now +. step;
+    now
+
+let frozen v () = v

@@ -1,0 +1,18 @@
+(** Injectable monotonic clock, in seconds.
+
+    The observability layer never reads time itself: every {!Trace.t}
+    carries one of these. Binaries construct the real thing from
+    [Unix.gettimeofday] (the library deliberately does not link [unix]);
+    tests use {!fake} so every exported artifact is byte-stable. *)
+
+type t = unit -> float
+
+val fake : ?start:float -> ?step:float -> unit -> t
+(** A deterministic clock: the first call returns [start] (default 0.0)
+    and every call advances it by [step] (default 0.001, i.e. 1ms per
+    observation). Under this clock a span's duration equals [step] times
+    the number of clock reads between its open and close — byte-stable
+    output for tests and pinned CLI transcripts. *)
+
+val frozen : float -> t
+(** Always returns the given instant (durations collapse to zero). *)

@@ -1,0 +1,46 @@
+type t =
+  | Sched_placements
+  | Sched_evictions
+  | Sched_ii_escalations
+  | Sched_budget_exhausted
+  | Greedy_decisions
+  | Greedy_tie_breaks
+  | Greedy_pinned
+  | Copies_inserted
+  | Spilled_registers
+  | Alloc_rounds
+  | Ladder_rung_entered
+  | Ladder_rung_failed
+
+let name = function
+  | Sched_placements -> "sched.placements"
+  | Sched_evictions -> "sched.evictions"
+  | Sched_ii_escalations -> "sched.ii_escalations"
+  | Sched_budget_exhausted -> "sched.budget_exhausted"
+  | Greedy_decisions -> "greedy.decisions"
+  | Greedy_tie_breaks -> "greedy.tie_breaks"
+  | Greedy_pinned -> "greedy.pinned"
+  | Copies_inserted -> "copies.inserted"
+  | Spilled_registers -> "alloc.spilled"
+  | Alloc_rounds -> "alloc.rounds"
+  | Ladder_rung_entered -> "ladder.rung_entered"
+  | Ladder_rung_failed -> "ladder.rung_failed"
+
+let all =
+  [
+    Sched_placements; Sched_evictions; Sched_ii_escalations; Sched_budget_exhausted;
+    Greedy_decisions; Greedy_tie_breaks; Greedy_pinned; Copies_inserted;
+    Spilled_registers; Alloc_rounds; Ladder_rung_entered; Ladder_rung_failed;
+  ]
+
+type gauge =
+  | Alloc_conflict_nodes
+  | Alloc_conflict_edges
+  | Clustered_mii
+
+let gauge_name = function
+  | Alloc_conflict_nodes -> "alloc.conflict_nodes"
+  | Alloc_conflict_edges -> "alloc.conflict_edges"
+  | Clustered_mii -> "sched.clustered_mii"
+
+let all_gauges = [ Alloc_conflict_nodes; Alloc_conflict_edges; Clustered_mii ]

@@ -1,0 +1,35 @@
+(** The counter and gauge catalog — one constructor per quantity the
+    pipeline stages report, so a typo cannot silently create a new
+    metric and exporters can enumerate what may appear.
+
+    Counters accumulate across a whole {!Trace.t}; an optional string
+    label adds one dimension (the bank pair for copies, the rung name
+    for ladder transitions, the bank for allocator gauges). *)
+
+type t =
+  | Sched_placements  (** modulo-scheduler placement steps (budget spent) *)
+  | Sched_evictions  (** ops unscheduled to make room (Rau force-placement) *)
+  | Sched_ii_escalations  (** candidate IIs abandoned, all causes *)
+  | Sched_budget_exhausted  (** candidate IIs abandoned on budget exhaustion *)
+  | Greedy_decisions  (** unpinned RCG nodes placed by benefit *)
+  | Greedy_tie_breaks  (** placements where >= 2 banks tied for best benefit *)
+  | Greedy_pinned  (** RCG nodes placed by pin, not benefit *)
+  | Copies_inserted  (** label ["SRC->DST"]: copies per source/dest bank pair *)
+  | Spilled_registers  (** registers the per-bank allocator spilled *)
+  | Alloc_rounds  (** colouring rounds run by the allocator *)
+  | Ladder_rung_entered  (** label = rung name: resilience-ladder rungs tried *)
+  | Ladder_rung_failed  (** label = rung name: rungs that failed *)
+
+val name : t -> string
+(** Stable dotted identifier, e.g. ["sched.placements"] — the name used
+    by every exporter. *)
+
+val all : t list
+
+type gauge =
+  | Alloc_conflict_nodes  (** label ["bankB"]: interference-graph nodes *)
+  | Alloc_conflict_edges  (** label ["bankB"]: interference-graph edges *)
+  | Clustered_mii  (** the MII the clustered reschedule started from *)
+
+val gauge_name : gauge -> string
+val all_gauges : gauge list

@@ -1,0 +1,138 @@
+let cell_name name label =
+  match label with None -> name | Some l -> Printf.sprintf "%s{%s}" name l
+
+let ms d = Printf.sprintf "%.3fms" (d *. 1000.0)
+
+let tree t =
+  let b = Buffer.create 1024 in
+  Trace.iter_spans
+    (fun ~depth s ->
+      Buffer.add_string b (String.make (2 * depth) ' ');
+      Buffer.add_string b s.Trace.name;
+      List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v)) s.Trace.attrs;
+      Buffer.add_string b (Printf.sprintf " [%s]\n" (ms (Trace.duration s))))
+    t;
+  (match Trace.counters t with
+  | [] -> ()
+  | cs ->
+      Buffer.add_string b "counters:\n";
+      List.iter
+        (fun (name, label, v) ->
+          Buffer.add_string b (Printf.sprintf "  %-32s %d\n" (cell_name name label) v))
+        cs);
+  (match Trace.gauges t with
+  | [] -> ()
+  | gs ->
+      Buffer.add_string b "gauges:\n";
+      List.iter
+        (fun (name, label, last, mx) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-32s last %d, max %d\n" (cell_name name label) last mx))
+        gs);
+  Buffer.contents b
+
+let span_attrs_json attrs = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)
+
+let jsonl t =
+  let b = Buffer.create 1024 in
+  let line v =
+    Buffer.add_string b (Json.to_string v);
+    Buffer.add_char b '\n'
+  in
+  Trace.iter_spans
+    (fun ~depth s ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "span");
+             ("name", Json.Str s.Trace.name);
+             ("depth", Json.Num (float_of_int depth));
+             ("start", Json.Num s.Trace.start);
+             ("dur", Json.Num (Trace.duration s));
+             ("attrs", span_attrs_json s.Trace.attrs);
+           ]))
+    t;
+  List.iter
+    (fun (name, label, v) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "counter");
+             ("name", Json.Str name);
+             ("label", match label with None -> Json.Null | Some l -> Json.Str l);
+             ("value", Json.Num (float_of_int v));
+           ]))
+    (Trace.counters t);
+  List.iter
+    (fun (name, label, last, mx) ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "gauge");
+             ("name", Json.Str name);
+             ("label", match label with None -> Json.Null | Some l -> Json.Str l);
+             ("last", Json.Num (float_of_int last));
+             ("max", Json.Num (float_of_int mx));
+           ]))
+    (Trace.gauges t);
+  Buffer.contents b
+
+let parse_jsonl s =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match Json.of_string l with
+        | Ok v -> go (v :: acc) rest
+        | Error e -> Error (Printf.sprintf "%s in line %S" e l))
+  in
+  go [] lines
+
+(* Chrome trace-event format (the JSON-object form with a "traceEvents"
+   list), loadable in chrome://tracing and Perfetto. Spans are complete
+   ("X") events; counter cells become one counter ("C") sample stamped
+   at the end of the trace. Timestamps are microseconds. *)
+let chrome t =
+  let us x = Json.Num (x *. 1e6) in
+  let span_events = ref [] in
+  let end_ts = ref 0.0 in
+  Trace.iter_spans
+    (fun ~depth:_ s ->
+      end_ts := Float.max !end_ts (s.Trace.start +. Trace.duration s);
+      span_events :=
+        Json.Obj
+          [
+            ("name", Json.Str s.Trace.name);
+            ("cat", Json.Str "rbp");
+            ("ph", Json.Str "X");
+            ("ts", us s.Trace.start);
+            ("dur", us (Trace.duration s));
+            ("pid", Json.Num 1.0);
+            ("tid", Json.Num 1.0);
+            ("args", span_attrs_json s.Trace.attrs);
+          ]
+        :: !span_events)
+    t;
+  let counter_events =
+    List.map
+      (fun (name, label, v) ->
+        Json.Obj
+          [
+            ("name", Json.Str (cell_name name label));
+            ("cat", Json.Str "rbp");
+            ("ph", Json.Str "C");
+            ("ts", us !end_ts);
+            ("pid", Json.Num 1.0);
+            ("tid", Json.Num 1.0);
+            ("args", Json.Obj [ ("value", Json.Num (float_of_int v)) ]);
+          ])
+      (Trace.counters t)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.rev !span_events @ counter_events));
+         ("displayTimeUnit", Json.Str "ms");
+       ])

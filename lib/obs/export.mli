@@ -1,0 +1,21 @@
+(** Exporters over a {!Trace.t}: three views of the same data.
+
+    - {!tree}: human-readable indented span tree (durations in ms) plus
+      the counter and gauge registries — what [rbp trace] prints by
+      default, byte-stable under {!Clock.fake};
+    - {!jsonl}: one JSON object per line ([type] = ["span"], ["counter"]
+      or ["gauge"]) — greppable, streamable, and round-trippable through
+      {!parse_jsonl};
+    - {!chrome}: the Chrome trace-event format (object form with a
+      [traceEvents] list of ["X"] span events and ["C"] counter
+      samples, microsecond timestamps), loadable in [chrome://tracing]
+      or Perfetto. *)
+
+val tree : Trace.t -> string
+
+val jsonl : Trace.t -> string
+
+val parse_jsonl : string -> (Json.t list, string) result
+(** Parse each non-empty line; the round-trip contract for {!jsonl}. *)
+
+val chrome : Trace.t -> string

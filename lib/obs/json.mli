@@ -1,0 +1,31 @@
+(** Minimal JSON, zero external dependencies.
+
+    Enough for the exporters ({!Export}) and the bench telemetry files:
+    a compact deterministic writer (stable key order — whatever order
+    the caller built — shortest round-tripping floats, integers without
+    a fractional part) and a strict parser used by the round-trip tests
+    and by consumers of [BENCH_*.json]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (no whitespace), deterministic. Non-finite numbers render as
+    [null] so the output is always valid JSON. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one complete document; [Error] carries a message
+    with the byte offset. [\u] escapes decode to UTF-8. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_num : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,117 @@
+type span = {
+  name : string;
+  start : float;
+  mutable attrs : (string * string) list;
+  mutable stop : float;
+  mutable children : span list;
+}
+
+type t = {
+  clock : Clock.t;
+  mutable stack : span list; (* open spans, innermost first *)
+  mutable root_spans : span list; (* completed roots, newest first *)
+  counters : (Counter.t * string option, int ref) Hashtbl.t;
+  gauges : (Counter.gauge * string option, (int * int) ref) Hashtbl.t;
+}
+
+let make ~clock () =
+  {
+    clock;
+    stack = [];
+    root_spans = [];
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+  }
+
+let enter t ~attrs name =
+  let s = { name; attrs; start = t.clock (); stop = nan; children = [] } in
+  t.stack <- s :: t.stack
+
+let exit_current t =
+  match t.stack with
+  | [] -> () (* unbalanced close: ignore rather than raise in a probe *)
+  | s :: rest ->
+      s.stop <- t.clock ();
+      s.children <- List.rev s.children;
+      t.stack <- rest;
+      (match rest with
+      | parent :: _ -> parent.children <- s :: parent.children
+      | [] -> t.root_spans <- s :: t.root_spans)
+
+let span obs ?(attrs = []) name f =
+  match obs with
+  | None -> f ()
+  | Some t ->
+      enter t ~attrs name;
+      Fun.protect ~finally:(fun () -> exit_current t) f
+
+let add_attr obs k v =
+  match obs with
+  | None -> ()
+  | Some t -> (
+      match t.stack with
+      | [] -> ()
+      | s :: _ -> s.attrs <- s.attrs @ [ (k, v) ])
+
+let incr obs ?label c n =
+  match obs with
+  | None -> ()
+  | Some t -> (
+      let key = (c, label) in
+      match Hashtbl.find_opt t.counters key with
+      | Some r -> r := !r + n
+      | None -> Hashtbl.replace t.counters key (ref n))
+
+let set_gauge obs ?label g v =
+  match obs with
+  | None -> ()
+  | Some t -> (
+      let key = (g, label) in
+      match Hashtbl.find_opt t.gauges key with
+      | Some r -> r := (v, max v (snd !r))
+      | None -> Hashtbl.replace t.gauges key (ref (v, v)))
+
+let roots t =
+  (* Spans still open (a trace exported mid-flight) are presented as
+     they are; their children lists are reversed in place at close, so
+     only close order determines the exported structure. *)
+  List.rev t.root_spans
+
+let duration s = if Float.is_nan s.stop then 0.0 else s.stop -. s.start
+
+let counters t =
+  Hashtbl.fold (fun (c, label) r acc -> (Counter.name c, label, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let gauges t =
+  Hashtbl.fold
+    (fun (g, label) r acc ->
+      let last, mx = !r in
+      (Counter.gauge_name g, label, last, mx) :: acc)
+    t.gauges []
+  |> List.sort compare
+
+let counter_value t ?label c =
+  match Hashtbl.find_opt t.counters (c, label) with Some r -> !r | None -> 0
+
+let counter_total t c =
+  Hashtbl.fold (fun (c', _) r acc -> if c' = c then acc + !r else acc) t.counters 0
+
+let iter_spans f t =
+  let rec go depth s =
+    f ~depth s;
+    List.iter (go (depth + 1)) s.children
+  in
+  List.iter (go 0) (roots t)
+
+let totals_by_name t =
+  let tbl = Hashtbl.create 16 in
+  iter_spans
+    (fun ~depth:_ s ->
+      let total, count =
+        Option.value ~default:(0.0, 0) (Hashtbl.find_opt tbl s.name)
+      in
+      Hashtbl.replace tbl s.name (total +. duration s, count + 1))
+    t;
+  Hashtbl.fold (fun name (total, count) acc -> (name, total, count) :: acc) tbl []
+  |> List.sort compare

@@ -1,0 +1,69 @@
+(** The instrumentation context: a per-run span tree plus the counter
+    and gauge registry.
+
+    Every instrumented entry point takes an [Trace.t option] (by
+    convention a parameter named [obs]); with [None] each probe is a
+    single branch, so uninstrumented hot paths stay hot. The context is
+    deliberately mutable and single-threaded — one context per
+    compilation, like one [Buffer.t] per output.
+
+    Probes never raise: an unbalanced close or an [add_attr] outside any
+    span is ignored, because instrumentation must not change what the
+    pipeline computes. *)
+
+type span = {
+  name : string;  (** taxonomy entry, e.g. ["schedule.ideal"] *)
+  start : float;  (** clock reading at open *)
+  mutable attrs : (string * string) list;
+  mutable stop : float;  (** [nan] while the span is open *)
+  mutable children : span list;  (** chronological once closed *)
+}
+
+type t
+
+val make : clock:Clock.t -> unit -> t
+(** Fresh empty context. Pass [Unix.gettimeofday] (or any monotonic
+    reader) in binaries, {!Clock.fake} in tests. *)
+
+val span : t option -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span obs name f] runs [f] inside a span; the span closes (and its
+    duration is read) even when [f] raises. With [None] this is exactly
+    [f ()]. Nested calls build the tree. *)
+
+val add_attr : t option -> string -> string -> unit
+(** Attach an attribute to the innermost open span — for values only
+    known mid-flight, like the II a scheduler finally achieved. *)
+
+val incr : t option -> ?label:string -> Counter.t -> int -> unit
+(** Add [n] to a counter cell; [label] selects a labelled dimension
+    (e.g. the ["0->1"] bank pair of a copy). *)
+
+val set_gauge : t option -> ?label:string -> Counter.gauge -> int -> unit
+(** Record a gauge observation; the cell keeps the last and the max. *)
+
+val roots : t -> span list
+(** Completed top-level spans, oldest first. *)
+
+val duration : span -> float
+(** [stop - start]; 0.0 for a span still open. *)
+
+val counters : t -> (string * string option * int) list
+(** All counter cells as [(name, label, value)], sorted — the stable
+    order every exporter uses. *)
+
+val gauges : t -> (string * string option * int * int) list
+(** All gauge cells as [(name, label, last, max)], sorted. *)
+
+val counter_value : t -> ?label:string -> Counter.t -> int
+(** One cell's value (0 when never touched). *)
+
+val counter_total : t -> Counter.t -> int
+(** Sum over every label of one counter. *)
+
+val iter_spans : (depth:int -> span -> unit) -> t -> unit
+(** Pre-order walk over the whole forest with depth (roots at 0). *)
+
+val totals_by_name : t -> (string * float * int) list
+(** Aggregate wall-time and call count per span name over the whole
+    forest, sorted by name — what the bench telemetry reports as
+    per-stage wall times. *)

@@ -40,37 +40,75 @@ let cluster_map assignment loop =
               invalid_arg (Printf.sprintf "Driver.cluster_map: unknown op id %d" id))
   | exception Invalid_argument msg -> Error msg
 
-let choose_partition partitioner ~machine ~ddg ~ideal_kernel ~depth =
+let partitioner_name = function
+  | Greedy _ -> "greedy"
+  | Bug -> "bug"
+  | Uas -> "uas"
+  | Custom _ -> "custom"
+
+let choose_partition ?obs partitioner ~machine ~ddg ~ideal_kernel ~depth =
   match partitioner with
   | Bug -> Bug.partition ~machine ddg
   | Uas -> Uas.partition ~machine ddg
   | Greedy weights ->
-      let src = Rcg.Build.source_of_kernel ~ddg ~depth ideal_kernel in
-      let rcg = Rcg.Build.build ~weights src in
-      Greedy.partition ~weights ~banks:machine.Mach.Machine.clusters rcg
+      let rcg =
+        Obs.Trace.span obs "rcg.build" (fun () ->
+            let src = Rcg.Build.source_of_kernel ~ddg ~depth ideal_kernel in
+            Rcg.Build.build ~weights src)
+      in
+      Greedy.partition ?obs ~weights ~banks:machine.Mach.Machine.clusters rcg
   | Custom f ->
       let src = Rcg.Build.source_of_kernel ~ddg ~depth ideal_kernel in
       let rcg = Rcg.Build.build src in
       f machine ddg (Some rcg)
 
+(* Feed [copies.inserted{SRC->DST}] from the copy ops of a rewritten
+   body: a copy's source bank is its (sole) use's, its destination bank
+   its def's. Skipped entirely without a context. *)
+let count_copy_pairs obs ~assignment ops =
+  match obs with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun op ->
+          if Ir.Op.is_copy op then
+            match (Ir.Op.uses op, Ir.Op.defs op) with
+            | src :: _, dst :: _ -> (
+                match (Assign.bank_opt assignment src, Assign.bank_opt assignment dst) with
+                | Some b1, Some b2 ->
+                    Obs.Trace.incr obs ~label:(Printf.sprintf "%d->%d" b1 b2)
+                      Obs.Counter.Copies_inserted 1
+                | _ -> ())
+            | _ -> ())
+        ops
+
 type scheduler = Rau | Swing
 
-let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?budget_ratio
+let pipeline ?obs ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?budget_ratio
     ?(verify = false) ~machine loop =
   let m : Mach.Machine.t = machine in
   let subject = Ir.Loop.name loop in
+  Obs.Trace.span obs "pipeline"
+    ~attrs:
+      [ ("loop", subject); ("machine", m.Mach.Machine.name);
+        ("partitioner", partitioner_name partitioner) ]
+  @@ fun () ->
   let fail ?code stage message = Error (Verify.Stage_error.make ?code ~stage ~subject message) in
   let schedule_ideal ddg =
+    Obs.Trace.span obs "schedule.ideal" @@ fun () ->
     match scheduler with
-    | Rau -> Sched.Modulo.ideal ?budget_ratio ~machine:m ddg
-    | Swing -> Sched.Swing.ideal ~machine:m ddg
+    | Rau -> Sched.Modulo.ideal ?obs ?budget_ratio ~machine:m ddg
+    | Swing -> Sched.Swing.ideal ?obs ~machine:m ddg
   in
   let schedule_clustered ~cluster_of ~mii ddg =
+    Obs.Trace.span obs "schedule.clustered" @@ fun () ->
     match scheduler with
-    | Rau -> Sched.Modulo.schedule ?budget_ratio ~cluster_of ~machine:m ~mii ddg
-    | Swing -> Sched.Swing.schedule ~cluster_of ~machine:m ~mii ddg
+    | Rau -> Sched.Modulo.schedule ?obs ?budget_ratio ~cluster_of ~machine:m ~mii ddg
+    | Swing -> Sched.Swing.schedule ?obs ~cluster_of ~machine:m ~mii ddg
   in
-  let ddg = Ddg.Graph.of_loop ~latency:m.latency loop in
+  let ddg =
+    Obs.Trace.span obs "ddg.build" (fun () -> Ddg.Graph.of_loop ~latency:m.latency loop)
+  in
   match schedule_ideal ddg with
   | None ->
       fail Verify.Stage_error.Ideal_schedule
@@ -83,7 +121,7 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
       let verified stages k =
         if not verify then k ()
         else
-          let diags = Verify.Pipeline.run stages in
+          let diags = Obs.Trace.span obs "verify" (fun () -> Verify.Pipeline.run stages) in
           if Verify.Diag.has_errors diags then
             Error (Verify.Stage_error.of_diags ~subject diags)
           else k ()
@@ -105,8 +143,9 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
           }
       else begin
         match
-          choose_partition partitioner ~machine:m ~ddg
-            ~ideal_kernel:ideal.Sched.Modulo.kernel ~depth:(Ir.Loop.depth loop)
+          Obs.Trace.span obs "partition" (fun () ->
+              choose_partition ?obs partitioner ~machine:m ~ddg
+                ~ideal_kernel:ideal.Sched.Modulo.kernel ~depth:(Ir.Loop.depth loop))
         with
         | exception Invalid_argument msg ->
             (* A partitioner rejecting its input (bad pins, banks < 1, a
@@ -126,10 +165,18 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
           fail ~code:"PT002" Verify.Stage_error.Partitioning
             "assignment names a bank the machine lacks"
         else
-        match Copies.insert_loop ~machine:m ~assignment loop with
+        match
+          Obs.Trace.span obs "copies.insert" (fun () ->
+              Copies.insert_loop ~machine:m ~assignment loop)
+        with
         | exception Invalid_argument msg -> fail Verify.Stage_error.Copy_insertion msg
         | ins -> (
-        let ddg' = Ddg.Graph.of_loop ~latency:m.latency ins.Copies.loop in
+        count_copy_pairs obs ~assignment:ins.Copies.assignment
+          (Ir.Loop.ops ins.Copies.loop);
+        let ddg' =
+          Obs.Trace.span obs "ddg.rebuild" (fun () ->
+              Ddg.Graph.of_loop ~latency:m.latency ins.Copies.loop)
+        in
         match cluster_map ins.Copies.assignment ins.Copies.loop with
         | Error msg -> fail ~code:"PT001" Verify.Stage_error.Partitioning msg
         | Ok cluster_of -> (
@@ -140,6 +187,7 @@ let pipeline ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?bud
                ~copies_per_cluster:ins.Copies.copies_per_cluster)
             (Ddg.Minii.rec_mii ddg')
         in
+        Obs.Trace.set_gauge obs Obs.Counter.Clustered_mii mii;
         match schedule_clustered ~cluster_of ~mii ddg' with
         | None ->
             fail Verify.Stage_error.Clustered_schedule

@@ -38,7 +38,12 @@ type scheduler = Rau | Swing
     pipelines: Rau's iterative scheme (the paper's) or Swing
     (lifetime-sensitive; what Nystrom & Eichenberger use). *)
 
+val partitioner_name : partitioner -> string
+(** ["greedy"], ["bug"], ["uas"] or ["custom"] — the label tracing and
+    reports use. *)
+
 val pipeline :
+  ?obs:Obs.Trace.t ->
   ?partitioner:partitioner ->
   ?scheduler:scheduler ->
   ?budget_ratio:int ->
@@ -58,9 +63,19 @@ val pipeline :
     independent {!Verify} analyzers — ideal and clustered kernels
     against their DDGs and machine resources, operand bank-locality and
     copy well-formedness of the rewritten body — and turns any
-    error-severity diagnostic into an [Error]. *)
+    error-severity diagnostic into an [Error].
+
+    [obs] (default off) traces the Section-4 stages as a span tree —
+    one [pipeline] root per call with [ddg.build], [schedule.ideal],
+    [partition] (and [rcg.build] / [greedy.partition] inside it),
+    [copies.insert], [ddg.rebuild], [schedule.clustered] and (under
+    [~verify]) [verify] children — and feeds the scheduler, greedy and
+    [copies.inserted{SRC->DST}] counters plus the
+    [sched.clustered_mii] gauge. With no context every probe is one
+    branch and behaviour is unchanged. *)
 
 val choose_partition :
+  ?obs:Obs.Trace.t ->
   partitioner ->
   machine:Mach.Machine.t ->
   ddg:Ddg.Graph.t ->

@@ -20,13 +20,18 @@ type result = {
 
 let weight_of_depth depth = 10.0 ** float_of_int depth
 
-let pipeline ?(weights = Rcg.Weights.default) ?(verify = false) ~machine func =
+let pipeline ?obs ?(weights = Rcg.Weights.default) ?(verify = false) ~machine func =
   let m : Mach.Machine.t = machine in
-  let rcg = Rcg.Build.of_func ~weights ~machine:m func in
+  Obs.Trace.span obs "func.pipeline"
+    ~attrs:[ ("func", Ir.Func.name func); ("machine", m.Mach.Machine.name) ]
+  @@ fun () ->
+  let rcg =
+    Obs.Trace.span obs "rcg.build" (fun () -> Rcg.Build.of_func ~weights ~machine:m func)
+  in
   let assignment0 =
     if Mach.Machine.is_monolithic m then
       Assign.of_list (List.map (fun r -> (r, 0)) (Ir.Vreg.Set.elements (Ir.Func.vregs func)))
-    else Greedy.partition ~weights ~banks:m.clusters rcg
+    else Greedy.partition ?obs ~weights ~banks:m.clusters rcg
   in
   (* Registers appearing only in empty-block corner cases park in 0. *)
   let assignment0 =
@@ -53,6 +58,11 @@ let pipeline ?(weights = Rcg.Weights.default) ?(verify = false) ~machine func =
   List.iter
     (fun block ->
       if !error = None then
+        Obs.Trace.span obs "func.block"
+          ~attrs:
+            [ ("label", Ir.Block.label block);
+              ("depth", string_of_int (Ir.Block.depth block)) ]
+        @@ fun () ->
         if Ir.Block.ops block = [] then begin
           rewritten_blocks := block :: !rewritten_blocks;
           results :=

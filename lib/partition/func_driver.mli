@@ -34,6 +34,7 @@ type result = {
 }
 
 val pipeline :
+  ?obs:Obs.Trace.t ->
   ?weights:Rcg.Weights.t ->
   ?verify:bool ->
   machine:Mach.Machine.t ->
@@ -46,4 +47,8 @@ val pipeline :
     [verify] (default false) re-checks every rewritten block for operand
     bank-locality and copy well-formedness with the independent
     {!Verify} analyzers; an error-severity diagnostic fails the
-    pipeline. *)
+    pipeline.
+
+    [obs] (default off) traces one [func.pipeline] span per call with
+    an [rcg.build] child and one [func.block] span per basic block, and
+    feeds the greedy counters. *)

@@ -7,9 +7,12 @@ let benefit ~balance_penalty ~placed ~counts g node bank =
   in
   from_edges -. (balance_penalty *. float_of_int counts.(bank))
 
-let partition ?(weights = Rcg.Weights.default) ~banks g =
+let partition ?obs ?(weights = Rcg.Weights.default) ~banks g =
   if banks < 1 then invalid_arg "Greedy.partition: banks must be >= 1";
   let n = Rcg.Graph.node_count g in
+  Obs.Trace.span obs "greedy.partition"
+    ~attrs:[ ("nodes", string_of_int n); ("banks", string_of_int banks) ]
+  @@ fun () ->
   let expected_per_bank = max 1.0 (float_of_int n /. float_of_int banks) in
   let balance_penalty =
     weights.Rcg.Weights.balance *. Rcg.Graph.mean_positive_edge_weight g /. expected_per_bank
@@ -29,17 +32,23 @@ let partition ?(weights = Rcg.Weights.default) ~banks g =
             invalid_arg
               (Printf.sprintf "Greedy.partition: %s pinned to bank %d (of %d)"
                  (Ir.Vreg.to_string node) b banks);
+          Obs.Trace.incr obs Obs.Counter.Greedy_pinned 1;
           place node b
       | None ->
           let best = ref 0 in
           let best_benefit = ref neg_infinity in
+          let ties = ref 1 in
           for b = 0 to banks - 1 do
             let v = benefit ~balance_penalty ~placed ~counts g node b in
             if v > !best_benefit then begin
               best_benefit := v;
-              best := b
+              best := b;
+              ties := 1
             end
+            else if v = !best_benefit then incr ties
           done;
+          Obs.Trace.incr obs Obs.Counter.Greedy_decisions 1;
+          if !ties > 1 then Obs.Trace.incr obs Obs.Counter.Greedy_tie_breaks 1;
           place node !best)
     (Rcg.Graph.by_weight_desc g);
   Assign.of_list

@@ -15,13 +15,17 @@
     index. Pinned nodes go to their pinned bank unconditionally. *)
 
 val partition :
+  ?obs:Obs.Trace.t ->
   ?weights:Rcg.Weights.t ->
   banks:int ->
   Rcg.Graph.t ->
   Assign.t
 (** [weights] supplies the balance knob (default {!Rcg.Weights.default}).
     Raises [Invalid_argument] when [banks < 1] or a pin is out of
-    range. *)
+    range. [obs] traces one [greedy.partition] span and the
+    [greedy.decisions] / [greedy.tie_breaks] / [greedy.pinned]
+    counters (a tie-break is a placement where two or more banks shared
+    the best benefit; the lowest index wins). *)
 
 val benefit :
   balance_penalty:float ->

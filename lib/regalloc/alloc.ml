@@ -14,10 +14,13 @@ let code_registers ops =
       List.fold_left (fun s r -> Ir.Vreg.Set.add r s) acc (Ir.Op.defs op @ Ir.Op.uses op))
     Ir.Vreg.Set.empty ops
 
-let allocate ?(max_rounds = 8) ?(subject = "code") ~machine ~assignment ~live_out ops =
+let allocate ?obs ?(max_rounds = 8) ?(subject = "code") ~machine ~assignment ~live_out ops =
   let m : Mach.Machine.t = machine in
   let banks = m.clusters in
   let k = m.regs_per_bank in
+  Obs.Trace.span obs "alloc"
+    ~attrs:[ ("subject", subject); ("banks", string_of_int banks) ]
+  @@ fun () ->
   let fail ?code message =
     Error (Verify.Stage_error.make ?code ~stage:Verify.Stage_error.Allocation ~subject message)
   in
@@ -68,15 +71,30 @@ let allocate ?(max_rounds = 8) ?(subject = "code") ~machine ~assignment ~live_ou
           (Printf.sprintf "still spilling after %d round(s) (%d registers spilled so far)"
              max_rounds spill_count)
       else begin
+        Obs.Trace.span obs "alloc.round" ~attrs:[ ("round", string_of_int n) ]
+        @@ fun () ->
         let pressure = Array.make banks 0 in
         let results =
           List.init banks (fun b ->
               let keep r = Partition.Assign.bank_opt assignment r = Some b in
               let g = Interference.build_filtered ~keep ops ~live_out in
+              (match obs with
+              | None -> ()
+              | Some _ ->
+                  let regs = Interference.registers g in
+                  let label = Printf.sprintf "bank%d" b in
+                  let edges =
+                    List.fold_left (fun acc r -> acc + Interference.degree g r) 0 regs / 2
+                  in
+                  Obs.Trace.set_gauge obs ~label Obs.Counter.Alloc_conflict_nodes
+                    (List.length regs);
+                  Obs.Trace.set_gauge obs ~label Obs.Counter.Alloc_conflict_edges edges);
               pressure.(b) <- Interference.max_clique_lower_bound g;
               (b, Color.color ~k g))
         in
         let spilled = List.concat_map (fun (_, (r : Color.result)) -> r.spilled) results in
+        Obs.Trace.incr obs Obs.Counter.Alloc_rounds 1;
+        Obs.Trace.incr obs Obs.Counter.Spilled_registers (List.length spilled);
         if spilled = [] then begin
           let mapping =
             List.fold_left
@@ -114,8 +132,8 @@ let allocate ?(max_rounds = 8) ?(subject = "code") ~machine ~assignment ~live_ou
     round ops assignment ~live_out 0 1
   end
 
-let allocate_loop ?max_rounds ~machine ~assignment loop =
-  allocate ?max_rounds ~subject:(Ir.Loop.name loop) ~machine ~assignment
+let allocate_loop ?obs ?max_rounds ~machine ~assignment loop =
+  allocate ?obs ?max_rounds ~subject:(Ir.Loop.name loop) ~machine ~assignment
     ~live_out:(Liveness.loop_live_out loop)
     (Ir.Loop.ops loop)
 

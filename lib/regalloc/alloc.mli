@@ -24,6 +24,7 @@ type t = {
 }
 
 val allocate :
+  ?obs:Obs.Trace.t ->
   ?max_rounds:int ->
   ?subject:string ->
   machine:Mach.Machine.t ->
@@ -35,9 +36,16 @@ val allocate :
     [Allocation]-stage error (a bank smaller than the code's irreducible
     pressure). An assignment not covering every register of the code is
     an [Error] with code AL001. [subject] names the error's code region
-    (defaults to ["code"]). *)
+    (defaults to ["code"]).
+
+    [obs] (default off) traces one [alloc] span per call with one
+    [alloc.round] child per colouring round, counts [alloc.rounds] and
+    [alloc.spilled], and records the per-bank conflict-graph sizes as
+    the [alloc.conflict_nodes{bankB}] / [alloc.conflict_edges{bankB}]
+    gauges (last and max over rounds). *)
 
 val allocate_loop :
+  ?obs:Obs.Trace.t ->
   ?max_rounds:int ->
   machine:Mach.Machine.t ->
   assignment:Partition.Assign.t ->

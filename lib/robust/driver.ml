@@ -104,10 +104,13 @@ let verify_diags (r : result) =
 (* ------------------------------------------------------------------ *)
 (* The ladder                                                          *)
 
-let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
+let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
   let m : Mach.Machine.t = hooks.on_machine machine in
   let loop = hooks.on_loop loop in
   let subject = Ir.Loop.name loop in
+  Obs.Trace.span obs "ladder"
+    ~attrs:[ ("loop", subject); ("machine", m.Mach.Machine.name) ]
+  @@ fun () ->
   let budgets =
     match (config.scheduler, config.budget_schedule) with
     | _, [] -> [ 10 ]
@@ -126,8 +129,8 @@ let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
   let schedule_clustered ~budget ~cluster_of ~mii ddg =
     match config.scheduler with
     | Partition.Driver.Rau ->
-        Sched.Modulo.schedule ~budget_ratio:budget ~cluster_of ~machine:m ~mii ddg
-    | Partition.Driver.Swing -> Sched.Swing.schedule ~cluster_of ~machine:m ~mii ddg
+        Sched.Modulo.schedule ?obs ~budget_ratio:budget ~cluster_of ~machine:m ~mii ddg
+    | Partition.Driver.Swing -> Sched.Swing.schedule ?obs ~cluster_of ~machine:m ~mii ddg
   in
   let single_bank_assignment body =
     Partition.Assign.of_list
@@ -149,13 +152,17 @@ let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
       let rec go = function
         | [] -> assert false (* spill_rounds is non-empty *)
         | [ mr ] -> (
-            match Regalloc.Alloc.allocate_loop ~max_rounds:mr ~machine:m ~assignment body with
+            match
+              Regalloc.Alloc.allocate_loop ?obs ~max_rounds:mr ~machine:m ~assignment body
+            with
             | Ok a -> Ok (Some a)
             | Error e ->
                 stage_fail ~code:e.Verify.Stage_error.code Verify.Stage_error.Allocation
                   e.Verify.Stage_error.message)
         | mr :: rest -> (
-            match Regalloc.Alloc.allocate_loop ~max_rounds:mr ~machine:m ~assignment body with
+            match
+              Regalloc.Alloc.allocate_loop ?obs ~max_rounds:mr ~machine:m ~assignment body
+            with
             | Ok a -> Ok (Some a)
             | Error e ->
                 log ~code:e.Verify.Stage_error.code ~rung Verify.Stage_error.Allocation
@@ -187,6 +194,8 @@ let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
       | None -> Single_bank { budget_ratio = budget; respilled }
     in
     let rung = rung_name (mk_rung ~respilled:false) in
+    Obs.Trace.span obs "ladder.rung" ~attrs:[ ("rung", rung) ] @@ fun () ->
+    Obs.Trace.incr obs ~label:rung Obs.Counter.Ladder_rung_entered 1;
     let result =
       let ideal_ii = ideal.Sched.Modulo.ii in
       let* assignment0 =
@@ -194,7 +203,7 @@ let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
         | None -> Ok (single_bank_assignment loop)
         | Some (_, p) -> (
             match
-              Partition.Driver.choose_partition p ~machine:m ~ddg
+              Partition.Driver.choose_partition ?obs p ~machine:m ~ddg
                 ~ideal_kernel:ideal.Sched.Modulo.kernel ~depth:(Ir.Loop.depth loop)
             with
             | a -> Ok a
@@ -333,6 +342,7 @@ let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
     match result with
     | Ok r -> Some r
     | Error (stage, code, detail) ->
+        Obs.Trace.incr obs ~label:rung Obs.Counter.Ladder_rung_failed 1;
         log ?code ~rung stage detail;
         None
   in
@@ -340,6 +350,8 @@ let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
      recurrence circuits and inter-bank copies. *)
   let attempt_flat () =
     let rung = rung_name Non_pipelined in
+    Obs.Trace.span obs "ladder.rung" ~attrs:[ ("rung", rung) ] @@ fun () ->
+    Obs.Trace.incr obs ~label:rung Obs.Counter.Ladder_rung_entered 1;
     let result =
       let assignment0 = single_bank_assignment loop in
       let* ins =
@@ -401,6 +413,7 @@ let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
     match result with
     | Ok r -> Some r
     | Error (stage, code, detail) ->
+        Obs.Trace.incr obs ~label:rung Obs.Counter.Ladder_rung_failed 1;
         log ?code ~rung stage detail;
         None
   in
@@ -418,8 +431,8 @@ let run ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
         | b :: rest -> (
             let outcome =
               match config.scheduler with
-              | Partition.Driver.Rau -> Sched.Modulo.ideal ~budget_ratio:b ~machine:m ddg
-              | Partition.Driver.Swing -> Sched.Swing.ideal ~machine:m ddg
+              | Partition.Driver.Rau -> Sched.Modulo.ideal ?obs ~budget_ratio:b ~machine:m ddg
+              | Partition.Driver.Swing -> Sched.Swing.ideal ?obs ~machine:m ddg
             in
             match outcome with
             | Some o -> Some o

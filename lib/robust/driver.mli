@@ -105,6 +105,7 @@ val default_config : config
     allocation on, Rau scheduling. *)
 
 val run :
+  ?obs:Obs.Trace.t ->
   ?config:config ->
   ?hooks:hooks ->
   machine:Mach.Machine.t ->
@@ -115,7 +116,13 @@ val run :
     diagnostic code of the last rung's failure plus the whole attempt
     trace. Never raises on malformed input: bad IR is rejected up front
     with its IR diagnostic code, malformed assignments and copy
-    failures are caught per rung. *)
+    failures are caught per rung.
+
+    [obs] (default off) traces one [ladder] span per call with one
+    [ladder.rung] child per rung attempted (scheduler, partitioner and
+    allocator spans nested inside), and counts
+    [ladder.rung_entered{RUNG}] / [ladder.rung_failed{RUNG}] per rung
+    name — the successful rung is the entered one that never failed. *)
 
 val verify_diags : result -> Verify.Diag.t list
 (** Re-run every applicable analyzer over the result's artifacts — the

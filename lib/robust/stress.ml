@@ -65,7 +65,7 @@ let classify ~fired outcome_of_run =
         Unrecovered
       else Failed_clean
 
-let run ?(config = Driver.default_config) ?(include_fatal = true) ?(fault_rate = 0.9)
+let run ?obs ?(config = Driver.default_config) ?(include_fatal = true) ?(fault_rate = 0.9)
     ~seed ~trials () =
   let pool = if include_fatal then Inject.all else Inject.recoverable in
   let loops = Workload.Suite.loops () in
@@ -78,7 +78,7 @@ let run ?(config = Driver.default_config) ?(include_fatal = true) ?(fault_rate =
     let plan = if Util.Prng.chance prng fault_rate then [ Util.Prng.choose prng pool ] else [] in
     let armed = Inject.arm ~prng plan in
     let run_result =
-      match Driver.run ~config ~hooks:armed.Inject.hooks ~machine loop with
+      match Driver.run ?obs ~config ~hooks:armed.Inject.hooks ~machine loop with
       | Ok r -> `Ok r
       | Error e -> `Error e
       | exception exn -> `Raised (Printexc.to_string exn)

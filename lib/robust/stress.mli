@@ -50,6 +50,7 @@ type summary = {
 }
 
 val run :
+  ?obs:Obs.Trace.t ->
   ?config:Driver.config ->
   ?include_fatal:bool ->
   ?fault_rate:float ->
@@ -59,7 +60,8 @@ val run :
   summary
 (** [include_fatal] (default true) adds {!Inject.fatal} faults to the
     drawing pool; [fault_rate] (default 0.9) is the chance a trial
-    injects any fault at all — the rest exercise the clean path. *)
+    injects any fault at all — the rest exercise the clean path.
+    [obs] is threaded into every trial's {!Driver.run}. *)
 
 val outcome_name : outcome -> string
 val trial_line : trial -> string

@@ -3,6 +3,9 @@ type outcome = {
   ii : int;
   mii : int;
   placements_tried : int;
+  evictions : int;
+  iis_tried : int;
+  budget_exhausted : int;
 }
 
 (* Height-based priority for a given II: H(v) = max over out-edges of
@@ -35,8 +38,14 @@ let self_edges_feasible ddg ~ii =
       e.src <> e.dst || Ddg.Dep.latency e.label <= ii * Ddg.Dep.distance e.label)
     (Graphlib.Digraph.edges (Ddg.Graph.graph ddg))
 
+type effort = {
+  tried : int ref; (* placement steps, i.e. budget spent *)
+  evicted : int ref;
+  exhausted : int ref; (* IIs abandoned because the budget ran out *)
+}
+
 (* One attempt at the given II. Returns the op->cycle map on success. *)
-let try_ii ~cluster_of ~budget ~machine ~ii ddg tried =
+let try_ii ~obs ~cluster_of ~budget ~machine ~ii ddg effort =
   match heights ddg ~ii with
   | None -> None
   | Some h ->
@@ -63,6 +72,8 @@ let try_ii ~cluster_of ~budget ~machine ~ii ddg tried =
             unscheduled None
         in
         let unschedule id =
+          incr effort.evicted;
+          Obs.Trace.incr obs Obs.Counter.Sched_evictions 1;
           Restab.release_op mrt ~op:id;
           Hashtbl.remove time id;
           Hashtbl.replace unscheduled id ()
@@ -75,12 +86,15 @@ let try_ii ~cluster_of ~budget ~machine ~ii ddg tried =
           | None -> running := false
           | Some id ->
               if !budget <= 0 then begin
+                incr effort.exhausted;
+                Obs.Trace.incr obs Obs.Counter.Sched_budget_exhausted 1;
                 ok := false;
                 running := false
               end
               else begin
                 decr budget;
-                incr tried;
+                incr effort.tried;
+                Obs.Trace.incr obs Obs.Counter.Sched_placements 1;
                 let estart =
                   List.fold_left
                     (fun acc (e : Ddg.Dep.t Graphlib.Digraph.edge) ->
@@ -135,7 +149,7 @@ let try_ii ~cluster_of ~budget ~machine ~ii ddg tried =
         if !ok && Hashtbl.length unscheduled = 0 then Some time else None
       end
 
-let schedule ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
+let schedule ?obs ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
   let m : Mach.Machine.t = machine in
   let cluster_of =
     match cluster_of with
@@ -154,12 +168,22 @@ let schedule ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
   if mii < 1 then invalid_arg "Modulo.schedule: mii must be >= 1";
   let max_ii = match max_ii with Some x -> x | None -> max mii (Ddg.Minii.upper_bound ddg) in
   let n = Ddg.Graph.size ddg in
-  let tried = ref 0 in
+  let effort = { tried = ref 0; evicted = ref 0; exhausted = ref 0 } in
+  Obs.Trace.span obs "modulo.schedule"
+    ~attrs:[ ("mii", string_of_int mii); ("ops", string_of_int n) ]
+  @@ fun () ->
+  let iis_tried = ref 0 in
   let rec attempt ii =
     if ii > max_ii then None
-    else
-      match try_ii ~cluster_of ~budget:(budget_ratio * n) ~machine:m ~ii ddg tried with
+    else begin
+      incr iis_tried;
+      let result =
+        Obs.Trace.span obs "modulo.try_ii" ~attrs:[ ("ii", string_of_int ii) ] (fun () ->
+            try_ii ~obs ~cluster_of ~budget:(budget_ratio * n) ~machine:m ~ii ddg effort)
+      in
+      match result with
       | Some time ->
+          Obs.Trace.add_attr obs "ii" (string_of_int ii);
           let placements =
             Hashtbl.fold
               (fun id t acc ->
@@ -167,13 +191,25 @@ let schedule ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
                 :: acc)
               time []
           in
-          Some { kernel = Kernel.make ~ii placements; ii; mii; placements_tried = !tried }
-      | None -> attempt (ii + 1)
+          Some
+            {
+              kernel = Kernel.make ~ii placements;
+              ii;
+              mii;
+              placements_tried = !(effort.tried);
+              evictions = !(effort.evicted);
+              iis_tried = !iis_tried;
+              budget_exhausted = !(effort.exhausted);
+            }
+      | None ->
+          Obs.Trace.incr obs Obs.Counter.Sched_ii_escalations 1;
+          attempt (ii + 1)
+    end
   in
   attempt mii
 
-let ideal ?budget_ratio ~machine ddg =
+let ideal ?obs ?budget_ratio ~machine ddg =
   let m : Mach.Machine.t = machine in
   let mono = Mach.Machine.monolithic_of m in
   let mii = Ddg.Minii.min_ii ~width:(Mach.Machine.width m) ddg in
-  schedule ?budget_ratio ~machine:mono ~mii ddg
+  schedule ?obs ?budget_ratio ~machine:mono ~mii ddg

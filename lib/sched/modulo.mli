@@ -15,10 +15,14 @@ type outcome = {
   kernel : Kernel.t;
   ii : int;           (** achieved initiation interval *)
   mii : int;          (** the lower bound scheduling started from *)
-  placements_tried : int;  (** total placement steps across all IIs *)
+  placements_tried : int;  (** total placement steps across all IIs (budget spent) *)
+  evictions : int;    (** ops unscheduled to make room, across all IIs *)
+  iis_tried : int;    (** candidate IIs attempted, including the achieved one *)
+  budget_exhausted : int;  (** candidate IIs abandoned on budget exhaustion *)
 }
 
 val schedule :
+  ?obs:Obs.Trace.t ->
   ?cluster_of:(int -> int) ->
   ?budget_ratio:int ->
   ?max_ii:int ->
@@ -30,9 +34,15 @@ val schedule :
     multi-cluster machines must pass it). [budget_ratio] defaults to 10.
     [max_ii] defaults to {!Ddg.Minii.upper_bound} of the DDG; [None] is
     returned only if no II up to that bound yields a schedule (impossible
-    for well-formed DDGs unless resources are unsatisfiable). *)
+    for well-formed DDGs unless resources are unsatisfiable).
+
+    [obs] (default off) traces one [modulo.schedule] span with a
+    [modulo.try_ii] child per candidate II and feeds the
+    [sched.placements] / [sched.evictions] / [sched.ii_escalations] /
+    [sched.budget_exhausted] counters. *)
 
 val ideal :
+  ?obs:Obs.Trace.t ->
   ?budget_ratio:int -> machine:Mach.Machine.t -> Ddg.Graph.t -> outcome option
 (** Software-pipeline on the monolithic single-bank machine of the same
     width: the paper's ideal pipeline whose II all degradations are

@@ -138,7 +138,7 @@ let try_ii ~cluster_of ~machine ~ii ddg tried =
         if !ok then Some time else None
       end
 
-let schedule ?cluster_of ?max_ii ~machine ~mii ddg =
+let schedule ?obs ?cluster_of ?max_ii ~machine ~mii ddg =
   let m : Mach.Machine.t = machine in
   let cluster_of =
     match cluster_of with
@@ -150,11 +150,21 @@ let schedule ?cluster_of ?max_ii ~machine ~mii ddg =
   if mii < 1 then invalid_arg "Swing.schedule: mii must be >= 1";
   let max_ii = match max_ii with Some x -> x | None -> max mii (Ddg.Minii.upper_bound ddg) in
   let tried = ref 0 in
+  Obs.Trace.span obs "swing.schedule" ~attrs:[ ("mii", string_of_int mii) ] @@ fun () ->
+  let iis_tried = ref 0 in
   let rec attempt ii =
     if ii > max_ii then None
-    else
-      match try_ii ~cluster_of ~machine:m ~ii ddg tried with
+    else begin
+      incr iis_tried;
+      let before = !tried in
+      let result =
+        Obs.Trace.span obs "swing.try_ii" ~attrs:[ ("ii", string_of_int ii) ] (fun () ->
+            try_ii ~cluster_of ~machine:m ~ii ddg tried)
+      in
+      Obs.Trace.incr obs Obs.Counter.Sched_placements (!tried - before);
+      match result with
       | Some time ->
+          Obs.Trace.add_attr obs "ii" (string_of_int ii);
           let placements =
             Hashtbl.fold
               (fun id t acc ->
@@ -164,13 +174,17 @@ let schedule ?cluster_of ?max_ii ~machine ~mii ddg =
           in
           Some
             { Modulo.kernel = Kernel.make ~ii placements; ii; mii;
-              placements_tried = !tried }
-      | None -> attempt (ii + 1)
+              placements_tried = !tried; evictions = 0; iis_tried = !iis_tried;
+              budget_exhausted = 0 }
+      | None ->
+          Obs.Trace.incr obs Obs.Counter.Sched_ii_escalations 1;
+          attempt (ii + 1)
+    end
   in
   attempt mii
 
-let ideal ~machine ddg =
+let ideal ?obs ~machine ddg =
   let m : Mach.Machine.t = machine in
   let mono = Mach.Machine.monolithic_of m in
   let mii = Ddg.Minii.min_ii ~width:(Mach.Machine.width m) ddg in
-  schedule ~machine:mono ~mii ddg
+  schedule ?obs ~machine:mono ~mii ddg

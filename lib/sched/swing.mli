@@ -24,6 +24,7 @@
     scheduler comparison measures. *)
 
 val schedule :
+  ?obs:Obs.Trace.t ->
   ?cluster_of:(int -> int) ->
   ?max_ii:int ->
   machine:Mach.Machine.t ->
@@ -31,8 +32,12 @@ val schedule :
   Ddg.Graph.t ->
   Modulo.outcome option
 (** Same contract as {!Modulo.schedule}; [placements_tried] counts
-    placement attempts across all IIs. *)
+    placement attempts across all IIs. Swing never evicts and has no
+    placement budget, so [evictions] and [budget_exhausted] are 0.
+    [obs] traces [swing.schedule] / [swing.try_ii] spans and the
+    [sched.placements] / [sched.ii_escalations] counters. *)
 
 val ideal :
+  ?obs:Obs.Trace.t ->
   machine:Mach.Machine.t -> Ddg.Graph.t -> Modulo.outcome option
 (** Pipeline on the monolithic machine of the same width. *)

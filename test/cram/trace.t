@@ -1,0 +1,51 @@
+The trace subcommand runs the whole framework under instrumentation and
+prints the span tree. Under --deterministic a fake fixed-step clock makes
+the output byte-stable: every span costs exactly two 1ms clock reads.
+
+  $ rbp trace vcopy-u1 -c 2 --deterministic
+  pipeline loop=vcopy-u1 machine=2x8-embedded partitioner=greedy [25.000ms]
+    ddg.build [1.000ms]
+    schedule.ideal [5.000ms]
+      modulo.schedule mii=1 ops=2 ii=1 [3.000ms]
+        modulo.try_ii ii=1 [1.000ms]
+    partition [5.000ms]
+      rcg.build [1.000ms]
+      greedy.partition nodes=1 banks=2 [1.000ms]
+    copies.insert [1.000ms]
+    ddg.rebuild [1.000ms]
+    schedule.clustered [5.000ms]
+      modulo.schedule mii=1 ops=2 ii=1 [3.000ms]
+        modulo.try_ii ii=1 [1.000ms]
+  counters:
+    greedy.decisions                 1
+    greedy.tie_breaks                1
+    sched.placements                 4
+  gauges:
+    sched.clustered_mii              last 1, max 1
+
+The JSONL export is one event object per line; the first line is the
+pipeline root span.
+
+  $ rbp trace vcopy-u1 -c 2 --deterministic -f jsonl | head -n 1
+  {"type":"span","name":"pipeline","depth":0,"start":0,"dur":0.025000000000000015,"attrs":{"loop":"vcopy-u1","machine":"2x8-embedded","partitioner":"greedy"}}
+
+The Chrome export is a single JSON object with a traceEvents list.
+
+  $ rbp trace vcopy-u1 -c 2 --deterministic -f chrome | head -c 72
+  {"traceEvents":[{"name":"pipeline","cat":"rbp","ph":"X","ts":0,"dur":250
+
+Writing to a file reports the destination.
+
+  $ rbp trace vcopy-u1 -c 2 --deterministic -o out.trace.jsonl
+  wrote out.trace.jsonl
+  $ wc -l < out.trace.jsonl | tr -d ' '
+  19
+
+The schedule subcommand reports the modulo scheduler's effort under -v.
+
+  $ rbp schedule vcopy-u2 -c 4 -v
+  vcopy-u2: II=1 (MII 1)
+  effort: 4 placement(s), 0 eviction(s), 1 II(s) tried, 0 budget exhaustion(s)
+  kernel (II=1, 3 stages, 4 ops):
+     0: load.f f1, x[2*i] | load.f f2, x[2*i+1] | store.f y[2*i], f1 | store.f y[2*i+1], f2
+  

@@ -1,0 +1,321 @@
+open Testlib
+
+(* The instrumentation layer (lib/obs): span-tree construction, counter
+   and gauge aggregation, fake-clock determinism, the exporter
+   round-trip contract, and the ?obs probes threaded through the
+   pipeline libraries. *)
+
+let fake_ctx () = Obs.Trace.make ~clock:(Obs.Clock.fake ()) ()
+
+let clock_tests =
+  [
+    case "fake-clock-steps" (fun () ->
+        let c = Obs.Clock.fake () in
+        check (Alcotest.float 1e-9) "first read" 0.0 (c ());
+        check (Alcotest.float 1e-9) "second read" 0.001 (c ());
+        check (Alcotest.float 1e-9) "third read" 0.002 (c ()));
+    case "fake-clock-custom" (fun () ->
+        let c = Obs.Clock.fake ~start:5.0 ~step:0.5 () in
+        check (Alcotest.float 1e-9) "start" 5.0 (c ());
+        check (Alcotest.float 1e-9) "stepped" 5.5 (c ()));
+    case "frozen-clock" (fun () ->
+        let c = Obs.Clock.frozen 42.0 in
+        check (Alcotest.float 1e-9) "frozen" 42.0 (c ());
+        check (Alcotest.float 1e-9) "still frozen" 42.0 (c ()));
+  ]
+
+let span_tests =
+  [
+    case "none-context-is-identity" (fun () ->
+        let r = Obs.Trace.span None "x" (fun () -> 41 + 1) in
+        check Alcotest.int "result passes through" 42 r);
+    case "span-nesting" (fun () ->
+        let t = fake_ctx () in
+        let obs = Some t in
+        Obs.Trace.span obs "outer" (fun () ->
+            Obs.Trace.span obs "a" (fun () -> ());
+            Obs.Trace.span obs "b" (fun () ->
+                Obs.Trace.span obs "b.1" (fun () -> ())));
+        (match Obs.Trace.roots t with
+        | [ outer ] ->
+            check Alcotest.string "root name" "outer" outer.Obs.Trace.name;
+            check (Alcotest.list Alcotest.string) "children in order" [ "a"; "b" ]
+              (List.map (fun (s : Obs.Trace.span) -> s.Obs.Trace.name)
+                 outer.Obs.Trace.children);
+            (match outer.Obs.Trace.children with
+            | [ _; b ] ->
+                check (Alcotest.list Alcotest.string) "grandchild" [ "b.1" ]
+                  (List.map (fun (s : Obs.Trace.span) -> s.Obs.Trace.name)
+                     b.Obs.Trace.children)
+            | _ -> Alcotest.fail "expected two children")
+        | roots -> Alcotest.failf "expected one root, got %d" (List.length roots));
+        (* pre-order walk covers the whole forest with depths *)
+        let seen = ref [] in
+        Obs.Trace.iter_spans
+          (fun ~depth s -> seen := (depth, s.Obs.Trace.name) :: !seen)
+          t;
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+          "pre-order with depth"
+          [ (0, "outer"); (1, "a"); (1, "b"); (2, "b.1") ]
+          (List.rev !seen));
+    case "span-closes-on-raise" (fun () ->
+        let t = fake_ctx () in
+        let obs = Some t in
+        (try Obs.Trace.span obs "boom" (fun () -> failwith "x") with Failure _ -> ());
+        match Obs.Trace.roots t with
+        | [ s ] ->
+            check Alcotest.bool "closed (duration > 0)" true (Obs.Trace.duration s > 0.0)
+        | _ -> Alcotest.fail "span lost on raise");
+    case "fake-clock-durations-deterministic" (fun () ->
+        (* Every span costs exactly two clock reads: 1ms under the
+           default fake step, regardless of how long the body runs. *)
+        let t = fake_ctx () in
+        let obs = Some t in
+        Obs.Trace.span obs "p" (fun () ->
+            Obs.Trace.span obs "q" (fun () -> ignore (Sys.opaque_identity (List.init 100 Fun.id))));
+        let p = List.hd (Obs.Trace.roots t) in
+        let q = List.hd p.Obs.Trace.children in
+        check (Alcotest.float 1e-9) "leaf duration" 0.001 (Obs.Trace.duration q);
+        check (Alcotest.float 1e-9) "parent duration" 0.003 (Obs.Trace.duration p));
+    case "add-attr-lands-on-innermost" (fun () ->
+        let t = fake_ctx () in
+        let obs = Some t in
+        Obs.Trace.span obs "s" (fun () -> Obs.Trace.add_attr obs "k" "v");
+        let s = List.hd (Obs.Trace.roots t) in
+        check
+          (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+          "attr recorded" [ ("k", "v") ] s.Obs.Trace.attrs);
+    case "add-attr-outside-span-ignored" (fun () ->
+        let t = fake_ctx () in
+        Obs.Trace.add_attr (Some t) "k" "v";
+        check Alcotest.int "no roots" 0 (List.length (Obs.Trace.roots t)));
+    case "totals-by-name-aggregates" (fun () ->
+        let t = fake_ctx () in
+        let obs = Some t in
+        Obs.Trace.span obs "stage" (fun () -> ());
+        Obs.Trace.span obs "stage" (fun () -> ());
+        Obs.Trace.span obs "other" (fun () -> ());
+        match Obs.Trace.totals_by_name t with
+        | [ ("other", od, oc); ("stage", sd, sc) ] ->
+            check Alcotest.int "stage calls" 2 sc;
+            check Alcotest.int "other calls" 1 oc;
+            check (Alcotest.float 1e-9) "stage total" 0.002 sd;
+            check (Alcotest.float 1e-9) "other total" 0.001 od
+        | l -> Alcotest.failf "unexpected totals (%d entries)" (List.length l));
+  ]
+
+let counter_tests =
+  [
+    case "incr-aggregates" (fun () ->
+        let t = fake_ctx () in
+        let obs = Some t in
+        Obs.Trace.incr obs Obs.Counter.Sched_placements 2;
+        Obs.Trace.incr obs Obs.Counter.Sched_placements 3;
+        check Alcotest.int "summed" 5
+          (Obs.Trace.counter_value t Obs.Counter.Sched_placements));
+    case "labelled-cells-are-distinct" (fun () ->
+        let t = fake_ctx () in
+        let obs = Some t in
+        Obs.Trace.incr obs ~label:"0->1" Obs.Counter.Copies_inserted 2;
+        Obs.Trace.incr obs ~label:"1->0" Obs.Counter.Copies_inserted 1;
+        check Alcotest.int "cell 0->1" 2
+          (Obs.Trace.counter_value t ~label:"0->1" Obs.Counter.Copies_inserted);
+        check Alcotest.int "cell 1->0" 1
+          (Obs.Trace.counter_value t ~label:"1->0" Obs.Counter.Copies_inserted);
+        check Alcotest.int "total over labels" 3
+          (Obs.Trace.counter_total t Obs.Counter.Copies_inserted));
+    case "untouched-counter-is-zero" (fun () ->
+        let t = fake_ctx () in
+        check Alcotest.int "zero" 0 (Obs.Trace.counter_value t Obs.Counter.Sched_evictions));
+    case "gauge-keeps-last-and-max" (fun () ->
+        let t = fake_ctx () in
+        let obs = Some t in
+        Obs.Trace.set_gauge obs Obs.Counter.Clustered_mii 4;
+        Obs.Trace.set_gauge obs Obs.Counter.Clustered_mii 9;
+        Obs.Trace.set_gauge obs Obs.Counter.Clustered_mii 2;
+        match Obs.Trace.gauges t with
+        | [ (name, None, last, mx) ] ->
+            check Alcotest.string "name" "sched.clustered_mii" name;
+            check Alcotest.int "last" 2 last;
+            check Alcotest.int "max" 9 mx
+        | _ -> Alcotest.fail "expected one gauge cell");
+    case "counter-names-unique" (fun () ->
+        let names = List.map Obs.Counter.name Obs.Counter.all in
+        check Alcotest.int "no duplicates" (List.length names)
+          (List.length (List.sort_uniq compare names)));
+  ]
+
+let json_tests =
+  [
+    case "round-trip-values" (fun () ->
+        let v =
+          Obs.Json.Obj
+            [
+              ("s", Obs.Json.Str "a\"b\\c\nd");
+              ("n", Obs.Json.Num 0.001);
+              ("i", Obs.Json.Num 42.0);
+              ("b", Obs.Json.Bool true);
+              ("z", Obs.Json.Null);
+              ("l", Obs.Json.List [ Obs.Json.Num 1.0; Obs.Json.Str "x" ]);
+            ]
+        in
+        match Obs.Json.of_string (Obs.Json.to_string v) with
+        | Ok v' -> check Alcotest.bool "round-trips" true (v = v')
+        | Error e -> Alcotest.failf "parse failed: %s" e);
+    case "parse-rejects-garbage" (fun () ->
+        check Alcotest.bool "trailing garbage" true
+          (Result.is_error (Obs.Json.of_string "{} x"));
+        check Alcotest.bool "unterminated" true
+          (Result.is_error (Obs.Json.of_string "{\"a\": ")));
+  ]
+
+let jstr k v = Option.bind (Obs.Json.member k v) Obs.Json.to_str
+let jnum k v = Option.bind (Obs.Json.member k v) Obs.Json.to_num
+
+let export_tests =
+  let traced_pipeline clock =
+    let t = Obs.Trace.make ~clock () in
+    let loop = Workload.Kernels.daxpy ~unroll:2 in
+    (match Partition.Driver.pipeline ~obs:t ~machine:m2x8e loop with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "pipeline failed: %s" (Verify.Stage_error.to_string e));
+    t
+  in
+  [
+    case "tree-deterministic-under-fake-clock" (fun () ->
+        let a = Obs.Export.tree (traced_pipeline (Obs.Clock.fake ())) in
+        let b = Obs.Export.tree (traced_pipeline (Obs.Clock.fake ())) in
+        check Alcotest.string "byte-identical" a b;
+        check Alcotest.bool "has pipeline root" true (contains a "pipeline loop=daxpy-u2");
+        check Alcotest.bool "reports counters" true (contains a "sched.placements"));
+    case "jsonl-round-trips-through-parser" (fun () ->
+        let t = traced_pipeline (Obs.Clock.fake ()) in
+        match Obs.Export.parse_jsonl (Obs.Export.jsonl t) with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok events ->
+            check Alcotest.bool "non-empty" true (events <> []);
+            let spans = List.filter (fun v -> jstr "type" v = Some "span") events in
+            let counters = List.filter (fun v -> jstr "type" v = Some "counter") events in
+            check Alcotest.bool "has spans" true (spans <> []);
+            check Alcotest.bool "has counters" true (counters <> []);
+            (* every span event carries name/depth/start/dur *)
+            List.iter
+              (fun v ->
+                check Alcotest.bool "span has name" true (jstr "name" v <> None);
+                check Alcotest.bool "span has dur" true (jnum "dur" v <> None))
+              spans);
+    case "chrome-trace-is-valid-json" (fun () ->
+        let t = traced_pipeline (Obs.Clock.fake ()) in
+        match Obs.Json.of_string (Obs.Export.chrome t) with
+        | Error e -> Alcotest.failf "chrome export is not valid JSON: %s" e
+        | Ok doc -> (
+            check Alcotest.bool "displayTimeUnit" true
+              (jstr "displayTimeUnit" doc = Some "ms");
+            match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+            | None -> Alcotest.fail "no traceEvents list"
+            | Some events ->
+                check Alcotest.bool "has events" true (events <> []);
+                List.iter
+                  (fun e ->
+                    let ph = jstr "ph" e in
+                    check Alcotest.bool "phase is X or C" true
+                      (ph = Some "X" || ph = Some "C");
+                    check Alcotest.bool "has ts" true (jnum "ts" e <> None))
+                  events));
+  ]
+
+let probe_tests =
+  [
+    case "pipeline-result-unchanged-by-obs" (fun () ->
+        (* The whole point of the one-branch probes: instrumented and
+           uninstrumented runs compute identical results. *)
+        let loop = Workload.Kernels.hydro ~unroll:2 in
+        let t = fake_ctx () in
+        match
+          ( Partition.Driver.pipeline ~machine:m4x4e loop,
+            Partition.Driver.pipeline ~obs:t ~machine:m4x4e loop )
+        with
+        | Ok a, Ok b ->
+            check Alcotest.int "same II"
+              a.Partition.Driver.clustered.Sched.Modulo.ii
+              b.Partition.Driver.clustered.Sched.Modulo.ii;
+            check Alcotest.int "same copies" a.Partition.Driver.n_copies
+              b.Partition.Driver.n_copies;
+            check Alcotest.bool "same assignment" true
+              (Ir.Vreg.Map.equal ( = ) a.Partition.Driver.assignment
+                 b.Partition.Driver.assignment)
+        | _ -> Alcotest.fail "pipeline failed");
+    case "scheduler-effort-stats-populated" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:4 in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o ->
+            check Alcotest.bool "placements counted" true
+              (o.Sched.Modulo.placements_tried >= Ir.Loop.size loop);
+            check Alcotest.bool "at least one II tried" true (o.Sched.Modulo.iis_tried >= 1);
+            check Alcotest.bool "evictions non-negative" true (o.Sched.Modulo.evictions >= 0));
+    case "swing-effort-stats-populated" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Swing.ideal ~machine:ideal16 ddg with
+        | None -> Alcotest.fail "no schedule"
+        | Some o ->
+            check Alcotest.bool "placements counted" true
+              (o.Sched.Modulo.placements_tried >= Ir.Loop.size loop);
+            check Alcotest.int "swing never evicts" 0 o.Sched.Modulo.evictions;
+            check Alcotest.int "swing has no budget" 0 o.Sched.Modulo.budget_exhausted);
+    case "pipeline-trace-counts-match-result" (fun () ->
+        let loop = Workload.Kernels.hydro ~unroll:2 in
+        let t = fake_ctx () in
+        match Partition.Driver.pipeline ~obs:t ~machine:m4x4e loop with
+        | Error e -> Alcotest.failf "pipeline: %s" (Verify.Stage_error.to_string e)
+        | Ok r ->
+            check Alcotest.int "copies counter matches result"
+              r.Partition.Driver.n_copies
+              (Obs.Trace.counter_total t Obs.Counter.Copies_inserted);
+            check Alcotest.bool "greedy decisions counted" true
+              (Obs.Trace.counter_value t Obs.Counter.Greedy_decisions > 0);
+            check Alcotest.bool "placements counted" true
+              (Obs.Trace.counter_value t Obs.Counter.Sched_placements > 0));
+    case "alloc-gauges-and-rounds" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let t = fake_ctx () in
+        match Partition.Driver.pipeline ~machine:m2x8e loop with
+        | Error e -> Alcotest.failf "pipeline: %s" (Verify.Stage_error.to_string e)
+        | Ok r -> (
+            match
+              Regalloc.Alloc.allocate_loop ~obs:t ~machine:m2x8e
+                ~assignment:r.Partition.Driver.assignment r.Partition.Driver.rewritten
+            with
+            | Error e -> Alcotest.failf "alloc: %s" (Verify.Stage_error.to_string e)
+            | Ok a ->
+                check Alcotest.int "rounds counter" a.Regalloc.Alloc.rounds
+                  (Obs.Trace.counter_value t Obs.Counter.Alloc_rounds);
+                check Alcotest.bool "bank0 conflict-node gauge set" true
+                  (List.exists
+                     (fun (name, label, _, _) ->
+                       name = "alloc.conflict_nodes" && label = Some "bank0")
+                     (Obs.Trace.gauges t))));
+    case "ladder-rung-counters" (fun () ->
+        let t = fake_ctx () in
+        match Robust.Driver.run ~obs:t ~machine:m4x4e (Workload.Kernels.daxpy ~unroll:2) with
+        | Error e -> Alcotest.failf "ladder: %s" (Verify.Stage_error.to_string e)
+        | Ok r ->
+            let rung = Robust.Driver.rung_name r.Robust.Driver.rung in
+            check Alcotest.int "successful rung entered once" 1
+              (Obs.Trace.counter_value t ~label:rung Obs.Counter.Ladder_rung_entered);
+            check Alcotest.int "successful rung never failed" 0
+              (Obs.Trace.counter_value t ~label:rung Obs.Counter.Ladder_rung_failed));
+  ]
+
+let suite =
+  [
+    ("obs.clock", clock_tests);
+    ("obs.span", span_tests);
+    ("obs.counter", counter_tests);
+    ("obs.json", json_tests);
+    ("obs.export", export_tests);
+    ("obs.probes", probe_tests);
+  ]
