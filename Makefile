@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-json doc clean quickstart experiment lint stress trace
+.PHONY: all build test bench bench-json bench-baseline perfdiff report check-report doc \
+        clean quickstart experiment lint stress trace
 
 all: build
 
@@ -32,6 +33,28 @@ bench:
 # human-readable tables.
 bench-json:
 	dune exec bench/main.exe json
+
+# Refresh the checked-in perf-gate baseline (deterministic: no stage
+# wall times, so an unchanged pipeline regenerates it byte-identically).
+# Shows what would change before overwriting.
+bench-baseline:
+	dune exec bin/rbp.exe -- report -n 32 -f json --deterministic -o BENCH_baseline_new.json
+	-diff -u bench/baseline/BENCH_quick.json BENCH_baseline_new.json
+	mv BENCH_baseline_new.json bench/baseline/BENCH_quick.json
+
+# The CI perf gate, runnable locally: reduced-suite telemetry compared
+# against the checked-in baseline with per-metric thresholds.
+perfdiff:
+	dune exec bench/main.exe quick-json BENCH_quick.json
+	dune exec bin/rbp.exe -- perfdiff bench/baseline/BENCH_quick.json BENCH_quick.json
+
+# Regenerate the paper tables of EXPERIMENTS.md (full 211-loop suite)
+# and verify the committed document still matches, byte for byte.
+report:
+	dune exec bin/rbp.exe -- report
+
+check-report:
+	dune exec bin/rbp.exe -- report --check EXPERIMENTS.md > /dev/null
 
 # Deterministic span tree for one loop (override LOOP/CLUSTERS to taste):
 # the quickest way to see where pipeline time goes.

@@ -10,6 +10,8 @@
      bench/main.exe timing       -- Bechamel micro-benchmarks only
      bench/main.exe quick        -- tables on a reduced suite (CI),
                                     plus BENCH_quick.json telemetry
+     bench/main.exe quick-json [PATH] -- just the reduced-suite telemetry
+                                    (the CI perf gate's input)
      bench/main.exe json         -- just the BENCH_pipeline.json telemetry *)
 
 let section title =
@@ -540,6 +542,8 @@ let () =
       table1 ~n:32 ();
       table2 ~n:32 ();
       bench_json ~path:"BENCH_quick.json" ~n:32 ()
+  | [ "quick-json" ] -> bench_json ~path:"BENCH_quick.json" ~n:32 ()
+  | [ "quick-json"; path ] -> bench_json ~path ~n:32 ()
   | [ "json" ] -> bench_json ~path:"BENCH_pipeline.json" ()
   | [] ->
       table1 ();
@@ -560,5 +564,5 @@ let () =
   | _ ->
       prerr_endline
         "usage: main.exe [table1|table2|fig5|fig6|fig7|ablation|wholeprog|schedulers\
-         |latency|registers|timing|quick|json]";
+         |latency|registers|timing|quick|quick-json [PATH]|json]";
       exit 2

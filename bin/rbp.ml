@@ -75,6 +75,21 @@ let machine_of ~clusters ~model =
   try Ok (Mach.Machine.paper_clustered ~clusters ~copy_model:model)
   with Invalid_argument m -> Error m
 
+(* One --deterministic across trace/explain/report: same flag name, same
+   doc string, same clock choice, so byte-stable output means the same
+   thing in every subcommand. *)
+let deterministic_arg =
+  Arg.(
+    value & flag
+    & info [ "deterministic" ]
+        ~doc:
+          "Use a fake fixed-step clock instead of wall time and drop host-dependent \
+           timing output, making the result byte-stable across runs (for tests and \
+           diffing).")
+
+let clock_of ~deterministic =
+  if deterministic then Obs.Clock.fake () else Unix.gettimeofday
+
 (* ------------------------------------------------------------------ *)
 (* Tracing support                                                     *)
 
@@ -254,8 +269,7 @@ let trace_cmd =
   let run seed name clusters model partitioner scheduler format out deterministic =
     let loop = or_die (load_loop ~seed name) in
     let machine = or_die (machine_of ~clusters ~model) in
-    let clock = if deterministic then Obs.Clock.fake () else Unix.gettimeofday in
-    let obs = Obs.Trace.make ~clock () in
+    let obs = Obs.Trace.make ~clock:(clock_of ~deterministic) () in
     let result = Partition.Driver.pipeline ~obs ~partitioner ~scheduler ~machine loop in
     (* Export before reporting failure: a failing pipeline's trace shows
        which stage died and what it had counted up to that point. *)
@@ -291,14 +305,6 @@ let trace_cmd =
       value & opt (some string) None
       & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) instead of stdout.")
   in
-  let deterministic =
-    Arg.(
-      value & flag
-      & info [ "deterministic" ]
-          ~doc:
-            "Use a fake fixed-step clock instead of wall time, making the output \
-             byte-stable across runs (for tests and diffing).")
-  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
@@ -307,7 +313,232 @@ let trace_cmd =
           fails (exit 1), showing which stage died")
     Term.(
       const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ partitioner_arg
-      $ scheduler_arg $ format $ out $ deterministic)
+      $ scheduler_arg $ format $ out $ deterministic_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+
+let explain_cmd =
+  let run seed name clusters model partitioner scheduler dot rtable _deterministic =
+    let loop = or_die (load_loop ~seed name) in
+    let machine = or_die (machine_of ~clusters ~model) in
+    let e = or_die (Core.Explain.run ~partitioner ~scheduler ~machine loop) in
+    if dot then print_string (Core.Explain.dot e)
+    else if rtable then print_string (Core.Explain.reservation_table e)
+    else begin
+      print_string (Core.Explain.narrative e);
+      print_newline ();
+      print_string (Core.Explain.reservation_table e)
+    end
+  in
+  let rtable =
+    Arg.(
+      value & flag
+      & info [ "rtable" ]
+          ~doc:"Print only the ASCII modulo reservation table of the clustered kernel.")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:
+            "Print only the RCG as Graphviz DOT with nodes colored by their final bank.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Narrate the framework's decisions on one loop from its provenance events: RCG \
+          weight contributions, greedy bank placement (benefit vectors, tie-breaks, \
+          balance penalty), every cross-bank copy's route, and the modulo scheduler's II \
+          escalations and evictions. Always runs under a deterministic clock, so the \
+          output is byte-stable")
+    Term.(
+      const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ partitioner_arg
+      $ scheduler_arg $ dot $ rtable $ deterministic_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+
+let report_cmd =
+  let run seed n format check out deterministic =
+    let loops = Workload.Suite.loops ~seed ~n () in
+    let obs = Obs.Trace.make ~clock:(clock_of ~deterministic) () in
+    let runs = Core.Experiment.run_all ~obs ~loops () in
+    let ideal_ipc = Core.Experiment.ideal_ipc ~loops () in
+    let text =
+      match format with
+      | `Md -> Core.Report.paper_tables_md ~ideal_ipc runs
+      | `Text ->
+          let b = Buffer.create 1024 in
+          Buffer.add_string b (Util.Table.render (Core.Report.table1 ~ideal_ipc runs));
+          Buffer.add_char b '\n';
+          Buffer.add_string b (Util.Table.render (Core.Report.table2 runs));
+          Buffer.add_string b "failures:\n";
+          Buffer.add_string b (Core.Report.failures_summary runs);
+          Buffer.contents b
+      | `Json ->
+          let doc = Core.Report.paper_tables_json ~seed ~loops:n ~ideal_ipc runs in
+          let doc =
+            (* Wall times are the one non-deterministic part; attach them
+               only when the caller did not ask for byte-stable output. *)
+            if deterministic then doc
+            else
+              match doc with
+              | Obs.Json.Obj fields ->
+                  Obs.Json.Obj
+                    (fields
+                    @ [
+                        ( "stages",
+                          Obs.Json.List
+                            (List.map
+                               (fun (name, total, calls) ->
+                                 Obs.Json.Obj
+                                   [
+                                     ("name", Obs.Json.Str name);
+                                     ("total_s", Obs.Json.Num total);
+                                     ("calls", Obs.Json.Num (float_of_int calls));
+                                   ])
+                               (Obs.Trace.totals_by_name obs)) );
+                      ])
+              | other -> other
+          in
+          Obs.Json.to_string doc ^ "\n"
+    in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+        write_file path text;
+        Printf.printf "wrote %s\n" path);
+    match check with
+    | None -> ()
+    | Some path -> (
+        let ic = open_in path in
+        let doc = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Core.Report.check_tables_in ~ideal_ipc runs doc with
+        | Ok () -> Printf.printf "%s: tables are up to date\n" path
+        | Error missing ->
+            Printf.eprintf "rbp: %s is stale: %s differ(s) from this run (regenerate with \
+                            `make report`)\n"
+              path missing;
+            exit 1)
+  in
+  let n =
+    Arg.(
+      value
+      & opt int Workload.Suite.size
+      & info [ "loops"; "n" ] ~docv:"N" ~doc:"Number of suite loops to pipeline.")
+  in
+  let format =
+    let fmt_conv = Arg.enum [ ("md", `Md); ("text", `Text); ("json", `Json) ] in
+    Arg.(
+      value & opt fmt_conv `Md
+      & info [ "format"; "f" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,md) (the EXPERIMENTS.md Table 1/2 sections, \
+             byte-identical), $(b,text) (aligned terminal tables) or $(b,json) (the \
+             rbp-bench/1 aggregate schema, consumable by $(b,rbp perfdiff)).")
+  in
+  let check =
+    Arg.(
+      value & opt (some string) None
+      & info [ "check" ] ~docv:"FILE"
+          ~doc:
+            "After printing, verify that both regenerated table blocks appear verbatim \
+             in $(docv) (normally EXPERIMENTS.md); exit 1 if either is stale.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run the paper's experiment suite and render Tables 1-2 as markdown (the exact \
+          EXPERIMENTS.md sections), terminal tables, or rbp-bench/1 JSON. With \
+          $(b,--check) also verify a document still contains the regenerated tables")
+    Term.(const run $ seed_arg $ n $ format $ check $ out $ deterministic_arg)
+
+(* ------------------------------------------------------------------ *)
+(* perfdiff                                                            *)
+
+let perfdiff_cmd =
+  let run old_path new_path ipc_rel_drop degradation_rise pct_drop quiet =
+    let read path =
+      match open_in path with
+      | exception Sys_error e ->
+          prerr_endline ("rbp: " ^ e);
+          exit 2
+      | ic ->
+          let s = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          s
+    in
+    let parse path text =
+      match Core.Perfdiff.parse text with
+      | Ok doc -> doc
+      | Error e ->
+          Printf.eprintf "rbp: %s: %s\n" path e;
+          exit 2
+    in
+    let baseline = parse old_path (read old_path) in
+    let current = parse new_path (read new_path) in
+    let thresholds =
+      { Core.Perfdiff.ipc_rel_drop; degradation_rise; pct_drop }
+    in
+    match Core.Perfdiff.diff ~thresholds ~baseline ~current () with
+    | Error e ->
+        Printf.eprintf "rbp: %s\n" e;
+        exit 2
+    | Ok findings ->
+        let regressed = Core.Perfdiff.regressions findings in
+        if quiet then
+          print_string (Core.Perfdiff.render regressed)
+        else print_string (Core.Perfdiff.render findings);
+        if regressed <> [] then exit 1
+  in
+  let old_path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json"
+           ~doc:"Baseline rbp-bench/1 document.")
+  in
+  let new_path =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json"
+           ~doc:"Candidate rbp-bench/1 document.")
+  in
+  let ipc_rel_drop =
+    Arg.(
+      value & opt float Core.Perfdiff.default_thresholds.Core.Perfdiff.ipc_rel_drop
+      & info [ "ipc-drop" ] ~docv:"FRAC"
+          ~doc:"Max tolerated relative drop of an IPC metric (default 0.02 = 2%).")
+  in
+  let degradation_rise =
+    Arg.(
+      value & opt float Core.Perfdiff.default_thresholds.Core.Perfdiff.degradation_rise
+      & info [ "degradation-rise" ] ~docv:"PTS"
+          ~doc:"Max tolerated absolute rise of a degradation mean, in points.")
+  in
+  let pct_drop =
+    Arg.(
+      value & opt float Core.Perfdiff.default_thresholds.Core.Perfdiff.pct_drop
+      & info [ "pct-drop" ] ~docv:"PTS"
+          ~doc:"Max tolerated absolute drop of the no-degradation share, in points.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet"; "q" ] ~doc:"Print only regressed metrics (and the summary line).")
+  in
+  Cmd.v
+    (Cmd.info "perfdiff"
+       ~doc:
+         "Compare two rbp-bench/1 telemetry documents (BENCH_*.json) metric by metric \
+          with regression thresholds. Host-dependent stage wall times are ignored, so a \
+          checked-in baseline gates CI deterministically. Exit codes: 0 no regression; \
+          1 regression; 2 parse/schema error or incomparable runs (different seed, loop \
+          count or config set)")
+    Term.(
+      const run $ old_path $ new_path $ ipc_rel_drop $ degradation_rise $ pct_drop $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* schedule                                                            *)
@@ -703,7 +934,8 @@ let main =
   let doc = "register assignment for software pipelining with partitioned register banks" in
   Cmd.group
     (Cmd.info "rbp" ~version:"1.0" ~doc)
-    [ list_cmd; show_cmd; pipeline_cmd; trace_cmd; schedule_cmd; compare_cmd; rcg_cmd;
-      ddg_cmd; alloc_cmd; lint_cmd; stress_cmd; sim_cmd; experiment_cmd; csv_cmd ]
+    [ list_cmd; show_cmd; pipeline_cmd; trace_cmd; explain_cmd; report_cmd; perfdiff_cmd;
+      schedule_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd; stress_cmd;
+      sim_cmd; experiment_cmd; csv_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,147 @@
+type config_metrics = {
+  label : string;
+  clusters : int;
+  copy_model : string;
+  loops_ok : int;
+  failures : int;
+  mean_ipc_clustered : float;
+  arith_mean_degradation : float;
+  harmonic_mean_degradation : float;
+  pct_no_degradation : float;
+}
+
+type doc = {
+  seed : int;
+  loops : int;
+  ideal_ipc : float;
+  configs : config_metrics list;
+}
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name conv j =
+  match Option.bind (Obs.Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or mistyped field %S" name)
+
+let parse_config j =
+  let* label = field "label" Obs.Json.to_str j in
+  let* clusters = field "clusters" Obs.Json.to_int j in
+  let* copy_model = field "copy_model" Obs.Json.to_str j in
+  let* loops_ok = field "loops_ok" Obs.Json.to_int j in
+  let* failures = field "failures" Obs.Json.to_int j in
+  let* mean_ipc_clustered = field "mean_ipc_clustered" Obs.Json.to_num j in
+  let* arith_mean_degradation = field "arith_mean_degradation" Obs.Json.to_num j in
+  let* harmonic_mean_degradation = field "harmonic_mean_degradation" Obs.Json.to_num j in
+  let* pct_no_degradation = field "pct_no_degradation" Obs.Json.to_num j in
+  Ok
+    {
+      label; clusters; copy_model; loops_ok; failures; mean_ipc_clustered;
+      arith_mean_degradation; harmonic_mean_degradation; pct_no_degradation;
+    }
+
+let parse text =
+  let* j = Obs.Json.of_string text in
+  let* schema = field "schema" Obs.Json.to_str j in
+  if schema <> "rbp-bench/1" then
+    Error (Printf.sprintf "unsupported schema %S (want \"rbp-bench/1\")" schema)
+  else
+    let* seed = field "seed" Obs.Json.to_int j in
+    let* loops = field "loops" Obs.Json.to_int j in
+    let* ideal_ipc = field "ideal_ipc" Obs.Json.to_num j in
+    let* configs = field "configs" Obs.Json.to_list j in
+    let* configs =
+      List.fold_left
+        (fun acc c ->
+          let* acc = acc in
+          let* c = parse_config c in
+          Ok (c :: acc))
+        (Ok []) configs
+    in
+    Ok { seed; loops; ideal_ipc; configs = List.rev configs }
+
+type thresholds = { ipc_rel_drop : float; degradation_rise : float; pct_drop : float }
+
+let default_thresholds = { ipc_rel_drop = 0.02; degradation_rise = 2.0; pct_drop = 3.0 }
+
+type finding = {
+  config : string;
+  metric : string;
+  old_value : float;
+  new_value : float;
+  regressed : bool;
+}
+
+let diff ?(thresholds = default_thresholds) ~baseline ~current () =
+  if baseline.seed <> current.seed then
+    Error
+      (Printf.sprintf "incomparable runs: seed %d vs %d" baseline.seed current.seed)
+  else if baseline.loops <> current.loops then
+    Error
+      (Printf.sprintf "incomparable runs: %d vs %d suite loops" baseline.loops current.loops)
+  else begin
+    let t = thresholds in
+    let findings = ref [] in
+    let add config metric old_value new_value regressed =
+      findings := { config; metric; old_value; new_value; regressed } :: !findings
+    in
+    let ipc_drop old_v new_v = old_v > 0.0 && (old_v -. new_v) /. old_v > t.ipc_rel_drop in
+    add "suite" "ideal_ipc" baseline.ideal_ipc current.ideal_ipc
+      (ipc_drop baseline.ideal_ipc current.ideal_ipc);
+    let* () =
+      List.fold_left
+        (fun acc (b : config_metrics) ->
+          let* () = acc in
+          match List.find_opt (fun c -> c.label = b.label) current.configs with
+          | None -> Error (Printf.sprintf "config %S missing from current run" b.label)
+          | Some c ->
+              let fi v = float_of_int v in
+              (* Any lost loop or new failure is a regression outright:
+                 the aggregate means silently change population when a
+                 loop drops out, so thresholds cannot be trusted then. *)
+              add b.label "loops_ok" (fi b.loops_ok) (fi c.loops_ok)
+                (c.loops_ok < b.loops_ok);
+              add b.label "failures" (fi b.failures) (fi c.failures)
+                (c.failures > b.failures);
+              add b.label "mean_ipc_clustered" b.mean_ipc_clustered c.mean_ipc_clustered
+                (ipc_drop b.mean_ipc_clustered c.mean_ipc_clustered);
+              add b.label "arith_mean_degradation" b.arith_mean_degradation
+                c.arith_mean_degradation
+                (c.arith_mean_degradation -. b.arith_mean_degradation > t.degradation_rise);
+              add b.label "harmonic_mean_degradation" b.harmonic_mean_degradation
+                c.harmonic_mean_degradation
+                (c.harmonic_mean_degradation -. b.harmonic_mean_degradation
+                 > t.degradation_rise);
+              add b.label "pct_no_degradation" b.pct_no_degradation c.pct_no_degradation
+                (b.pct_no_degradation -. c.pct_no_degradation > t.pct_drop);
+              Ok ())
+        (Ok ()) baseline.configs
+    in
+    let* () =
+      match
+        List.find_opt
+          (fun (c : config_metrics) ->
+            not (List.exists (fun (b : config_metrics) -> b.label = c.label) baseline.configs))
+          current.configs
+      with
+      | Some c -> Error (Printf.sprintf "config %S missing from baseline" c.label)
+      | None -> Ok ()
+    in
+    Ok (List.rev !findings)
+  end
+
+let regressions findings = List.filter (fun f -> f.regressed) findings
+
+let render findings =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b
+        (Printf.sprintf "%-9s %-22s %-26s %g -> %g (%+g)\n"
+           (if f.regressed then "REGRESSED" else "ok")
+           f.config f.metric f.old_value f.new_value (f.new_value -. f.old_value)))
+    findings;
+  let n = List.length (regressions findings) in
+  Buffer.add_string b
+    (if n = 0 then "no regressions\n" else Printf.sprintf "%d regression(s)\n" n);
+  Buffer.contents b

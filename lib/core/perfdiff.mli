@@ -1,0 +1,68 @@
+(** Comparison of two bench telemetry documents ([rbp-bench/1], written
+    by [bench/main.exe]) with per-metric regression thresholds — the
+    engine behind [rbp perfdiff] and the CI perf gate.
+
+    Only the deterministic metrics are compared (per-config loop counts,
+    failures, IPC, degradation means); the ["stages"] wall times vary by
+    host and are deliberately ignored, so a checked-in baseline gates CI
+    byte-reproducibly.
+
+    Exit-code contract (enforced by the CLI, encoded here as types):
+    0 — no regression; 1 — at least one regression; 2 — a document
+    failed to parse, declared a different schema, or the two runs are
+    incomparable (different seed, loop count or config set). *)
+
+type config_metrics = {
+  label : string;
+  clusters : int;
+  copy_model : string;
+  loops_ok : int;
+  failures : int;
+  mean_ipc_clustered : float;
+  arith_mean_degradation : float;
+  harmonic_mean_degradation : float;
+  pct_no_degradation : float;
+}
+
+type doc = {
+  seed : int;
+  loops : int;
+  ideal_ipc : float;
+  configs : config_metrics list;
+}
+
+val parse : string -> (doc, string) result
+(** Rejects anything whose [schema] is not ["rbp-bench/1"]. *)
+
+type thresholds = {
+  ipc_rel_drop : float;
+      (** max tolerated relative drop in an IPC metric (e.g. [0.02]) *)
+  degradation_rise : float;
+      (** max tolerated absolute rise in a degradation mean, in points *)
+  pct_drop : float;
+      (** max tolerated absolute drop of [pct_no_degradation], in points *)
+}
+
+val default_thresholds : thresholds
+(** 2% relative IPC, 2.0 degradation points, 3.0 percentage points —
+    loose enough for float jitter across compilers, tight enough to
+    catch a real heuristic regression. Any new failure or lost loop is
+    always a regression regardless of thresholds. *)
+
+type finding = {
+  config : string;      (** config label, or ["suite"] for global metrics *)
+  metric : string;
+  old_value : float;
+  new_value : float;
+  regressed : bool;
+}
+
+val diff :
+  ?thresholds:thresholds -> baseline:doc -> current:doc -> unit -> (finding list, string) result
+(** All compared metrics in document order; [Error] when the runs are
+    incomparable (the exit-2 case). *)
+
+val regressions : finding list -> finding list
+
+val render : finding list -> string
+(** One line per metric: [ok]/[REGRESSED], values and delta. *)

@@ -77,6 +77,112 @@ let to_csv runs =
     runs;
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Markdown paper tables (EXPERIMENTS.md Tables 1-2, byte-identical)    *)
+
+(* The paper rows are constants from Hiser/Carr/Sweany/Beaty Tables 1-2;
+   the "ours" rows come from the runs. Column layout (including the
+   hand-aligned header padding) is pinned to EXPERIMENTS.md so that
+   `rbp report -f md` regenerates those sections byte-for-byte. *)
+let paper_ideal_ipc = 8.6
+let paper_clustered_ipc = [ 9.3; 6.2; 8.4; 7.5; 6.9; 6.8 ]
+let paper_arith = [ 111.; 150.; 126.; 122.; 162.; 133. ]
+let paper_harm = [ 109.; 127.; 119.; 115.; 138.; 124. ]
+
+let table1_heading = "## Table 1 — IPC of clustered software pipelines"
+
+let table2_heading =
+  "## Table 2 — degradation over ideal schedules, normalized (100 = ideal)"
+
+let md_row ~label_width label cell values =
+  Printf.sprintf "| %-*s | %s |" label_width label
+    (String.concat " | " (List.map cell values))
+
+let table1_md ~ideal_ipc runs =
+  let cell = Printf.sprintf "%.1f" in
+  let row = md_row ~label_width:17 in
+  String.concat "\n"
+    [
+      "| Model     | 2×8 E | 2×8 C | 4×4 E | 4×4 C | 8×2 E | 8×2 C |";
+      "|-----------|-------|-------|-------|-------|-------|-------|";
+      row "Ideal (paper)" cell (List.map (fun _ -> paper_ideal_ipc) runs);
+      row "Ideal (ours)" cell (List.map (fun _ -> ideal_ipc) runs);
+      row "Clustered (paper)" cell paper_clustered_ipc;
+      row "Clustered (ours)" cell
+        (List.map (fun (r : Experiment.run) -> Metrics.mean_ipc_clustered r.metrics) runs);
+    ]
+
+let table2_md runs =
+  let cell = Printf.sprintf "%.0f" in
+  let row = md_row ~label_width:13 in
+  let arith =
+    List.map (fun (r : Experiment.run) -> Metrics.arithmetic_mean_degradation r.metrics) runs
+  in
+  let harm =
+    List.map (fun (r : Experiment.run) -> Metrics.harmonic_mean_degradation r.metrics) runs
+  in
+  String.concat "\n"
+    [
+      "| Mean | 2×8 E | 2×8 C | 4×4 E | 4×4 C | 8×2 E | 8×2 C |";
+      "|------|-------|-------|-------|-------|-------|-------|";
+      row "Arith (paper)" cell paper_arith;
+      row "Arith (ours)" cell arith;
+      row "Harm (paper)" cell paper_harm;
+      row "Harm (ours)" cell harm;
+    ]
+
+let paper_tables_md ~ideal_ipc runs =
+  String.concat "\n"
+    [
+      table1_heading; ""; table1_md ~ideal_ipc runs; "";
+      table2_heading; ""; table2_md runs; "";
+    ]
+
+let paper_tables_json ~seed ~loops ~ideal_ipc runs =
+  let num x = Obs.Json.Num x in
+  let int_num x = Obs.Json.Num (float_of_int x) in
+  let config_json (r : Experiment.run) =
+    Obs.Json.Obj
+      [
+        ("label", Obs.Json.Str r.config.label);
+        ("clusters", int_num r.config.clusters);
+        ("copy_model", Obs.Json.Str (Mach.Machine.copy_model_name r.config.copy_model));
+        ("loops_ok", int_num (List.length r.metrics));
+        ("failures", int_num (List.length r.failures));
+        ("mean_ipc_clustered", num (Metrics.mean_ipc_clustered r.metrics));
+        ("arith_mean_degradation", num (Metrics.arithmetic_mean_degradation r.metrics));
+        ("harmonic_mean_degradation", num (Metrics.harmonic_mean_degradation r.metrics));
+        ("pct_no_degradation", num (Metrics.pct_no_degradation r.metrics));
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.Str "rbp-bench/1");
+      ("seed", int_num seed);
+      ("loops", int_num loops);
+      ("ideal_ipc", num ideal_ipc);
+      ("configs", Obs.Json.List (List.map config_json runs));
+    ]
+
+let contains_block ~block text =
+  (* Naive substring search is fine: blocks are a few hundred bytes and
+     the document a few KB. *)
+  let bl = String.length block and tl = String.length text in
+  let rec go i = i + bl <= tl && (String.sub text i bl = block || go (i + 1)) in
+  bl = 0 || go 0
+
+let check_tables_in ~ideal_ipc runs text =
+  let block1 =
+    String.concat "\n" [ table1_heading; ""; table1_md ~ideal_ipc runs; "" ]
+  in
+  let block2 = String.concat "\n" [ table2_heading; ""; table2_md runs; "" ] in
+  let missing = ref [] in
+  if not (contains_block ~block:block1 text) then missing := "Table 1" :: !missing;
+  if not (contains_block ~block:block2 text) then missing := "Table 2" :: !missing;
+  match List.rev !missing with
+  | [] -> Ok ()
+  | m -> Error (String.concat ", " m)
+
 let failures_summary runs =
   let buf = Buffer.create 128 in
   List.iter

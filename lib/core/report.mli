@@ -15,6 +15,29 @@ val figure_histogram : Experiment.run -> Experiment.run -> title:string -> Util.
 val ascii_histogram : Experiment.run -> Experiment.run -> title:string -> string
 (** The same data as a bar chart for terminal reading. *)
 
+val table1_md : ideal_ipc:float -> Experiment.run list -> string
+(** Table 1 as the exact markdown block of EXPERIMENTS.md: paper-constant
+    rows plus the measured rows, column layout pinned byte-for-byte. *)
+
+val table2_md : Experiment.run list -> string
+
+val paper_tables_md : ideal_ipc:float -> Experiment.run list -> string
+(** Both tables with their EXPERIMENTS.md [##] headings — what
+    [rbp report -f md] prints. *)
+
+val paper_tables_json :
+  seed:int -> loops:int -> ideal_ipc:float -> Experiment.run list -> Obs.Json.t
+(** The same aggregates in the [rbp-bench/1] telemetry schema (without
+    the host-dependent ["stages"] timings), so a report can be fed
+    straight to {!Perfdiff}. *)
+
+val check_tables_in :
+  ideal_ipc:float -> Experiment.run list -> string -> (unit, string) result
+(** [check_tables_in ~ideal_ipc runs text] verifies both regenerated
+    table blocks (heading, blank line, table, trailing blank) appear
+    verbatim in [text] — the [rbp report --check EXPERIMENTS.md]
+    freshness gate. [Error] names the missing tables. *)
+
 val failures_summary : Experiment.run list -> string
 (** Human-readable list of loops that failed to pipeline (expected to be
     empty). *)

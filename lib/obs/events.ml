@@ -1,0 +1,132 @@
+type term = Attract | Repel
+
+type t =
+  | Rcg_factor of {
+      op : int;
+      flexibility : int;
+      depth : int;
+      density : float;
+      factor : float;
+    }
+  | Rcg_edge of { a : string; b : string; term : term; w : float }
+  | Greedy_penalty of { penalty : float; mean_edge : float; nodes : int; banks : int }
+  | Greedy_place of {
+      node : string;
+      bank : int;
+      benefit : float;
+      benefits : float list;
+      ties : int list;
+      pinned : bool;
+    }
+  | Copy_route of {
+      reg : string;
+      copy : string;
+      src_bank : int;
+      dst_bank : int;
+      reaching : string;
+    }
+  | Ii_escalate of { ii : int; cause : string }
+  | Sched_evict of { op : int; by : int; cycle : int; reason : string }
+  | Spill of { reg : string; bank : int; round : int }
+  | Alloc_pressure of {
+      bank : int;
+      round : int;
+      pressure : int;
+      conflict_nodes : int;
+      conflict_edges : int;
+    }
+
+let name = function
+  | Rcg_factor _ -> "rcg.factor"
+  | Rcg_edge _ -> "rcg.edge"
+  | Greedy_penalty _ -> "greedy.penalty"
+  | Greedy_place _ -> "greedy.place"
+  | Copy_route _ -> "copies.route"
+  | Ii_escalate _ -> "sched.escalate"
+  | Sched_evict _ -> "sched.evict"
+  | Spill _ -> "alloc.spill"
+  | Alloc_pressure _ -> "alloc.pressure"
+
+let term_name = function Attract -> "attract" | Repel -> "repel"
+
+let to_json e =
+  let num x = Json.Num x in
+  let int x = Json.Num (float_of_int x) in
+  let fields =
+    match e with
+    | Rcg_factor { op; flexibility; depth; density; factor } ->
+        [
+          ("op", int op); ("flexibility", int flexibility); ("depth", int depth);
+          ("density", num density); ("factor", num factor);
+        ]
+    | Rcg_edge { a; b; term; w } ->
+        [ ("a", Json.Str a); ("b", Json.Str b); ("term", Json.Str (term_name term));
+          ("w", num w) ]
+    | Greedy_penalty { penalty; mean_edge; nodes; banks } ->
+        [
+          ("penalty", num penalty); ("mean_edge", num mean_edge); ("nodes", int nodes);
+          ("banks", int banks);
+        ]
+    | Greedy_place { node; bank; benefit; benefits; ties; pinned } ->
+        [
+          ("node", Json.Str node); ("bank", int bank); ("benefit", num benefit);
+          ("benefits", Json.List (List.map num benefits));
+          ("ties", Json.List (List.map int ties)); ("pinned", Json.Bool pinned);
+        ]
+    | Copy_route { reg; copy; src_bank; dst_bank; reaching } ->
+        [
+          ("reg", Json.Str reg); ("copy", Json.Str copy); ("src_bank", int src_bank);
+          ("dst_bank", int dst_bank); ("reaching", Json.Str reaching);
+        ]
+    | Ii_escalate { ii; cause } -> [ ("ii", int ii); ("cause", Json.Str cause) ]
+    | Sched_evict { op; by; cycle; reason } ->
+        [ ("op", int op); ("by", int by); ("cycle", int cycle);
+          ("reason", Json.Str reason) ]
+    | Spill { reg; bank; round } ->
+        [ ("reg", Json.Str reg); ("bank", int bank); ("round", int round) ]
+    | Alloc_pressure { bank; round; pressure; conflict_nodes; conflict_edges } ->
+        [
+          ("bank", int bank); ("round", int round); ("pressure", int pressure);
+          ("conflict_nodes", int conflict_nodes); ("conflict_edges", int conflict_edges);
+        ]
+  in
+  Json.Obj (("type", Json.Str "event") :: ("name", Json.Str (name e)) :: fields)
+
+(* %g keeps narrative lines short (weights span orders of magnitude)
+   while remaining unambiguous; the JSON export carries full precision. *)
+let fl x = Printf.sprintf "%g" x
+
+let to_string = function
+  | Rcg_factor { op; flexibility; depth; density; factor } ->
+      Printf.sprintf "op%d: factor %s (flexibility %d, depth %d, density %s)" op
+        (fl factor) flexibility depth (fl density)
+  | Rcg_edge { a; b; term; w } ->
+      Printf.sprintf "%s -- %s  %s%s (%s)" a b
+        (if w >= 0.0 then "+" else "")
+        (fl w) (term_name term)
+  | Greedy_penalty { penalty; mean_edge; nodes; banks } ->
+      Printf.sprintf
+        "balance penalty %s per placed register (mean positive edge %s, %d nodes over %d \
+         banks)"
+        (fl penalty) (fl mean_edge) nodes banks
+  | Greedy_place { node; bank; benefit; benefits; ties; pinned } ->
+      if pinned then Printf.sprintf "%s -> bank %d (pinned)" node bank
+      else
+        Printf.sprintf "%s -> bank %d  benefit %s  [%s]%s" node bank (fl benefit)
+          (String.concat " " (List.map fl benefits))
+          (match ties with
+          | [] -> ""
+          | ts ->
+              Printf.sprintf "  tie{%s} -> lowest index"
+                (String.concat "," (List.map string_of_int ts)))
+  | Copy_route { reg; copy; src_bank; dst_bank; reaching } ->
+      Printf.sprintf "%s: bank %d -> bank %d (%s value), copy %s" reg src_bank dst_bank
+        reaching copy
+  | Ii_escalate { ii; cause } -> Printf.sprintf "II=%d abandoned: %s" ii cause
+  | Sched_evict { op; by; cycle; reason } ->
+      Printf.sprintf "op%d evicted by op%d at cycle %d (%s)" op by cycle reason
+  | Spill { reg; bank; round } ->
+      Printf.sprintf "%s spilled from bank %d (round %d)" reg bank round
+  | Alloc_pressure { bank; round; pressure; conflict_nodes; conflict_edges } ->
+      Printf.sprintf "bank %d round %d: pressure %d (%d nodes, %d edges)" bank round
+        pressure conflict_nodes conflict_edges

@@ -12,6 +12,13 @@ let tree t =
       List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v)) s.Trace.attrs;
       Buffer.add_string b (Printf.sprintf " [%s]\n" (ms (Trace.duration s))))
     t;
+  (match Trace.event_count t with
+  | 0 -> ()
+  | n ->
+      (* The tree stays a timing view; the decision stream is rendered
+         by [rbp explain] and carried in full by the JSONL export. *)
+      Buffer.add_string b
+        (Printf.sprintf "events: %d decision event(s) (see jsonl export or rbp explain)\n" n));
   (match Trace.counters t with
   | [] -> ()
   | cs ->
@@ -52,6 +59,7 @@ let jsonl t =
              ("attrs", span_attrs_json s.Trace.attrs);
            ]))
     t;
+  Trace.iter_events (fun e -> line (Events.to_json e)) t;
   List.iter
     (fun (name, label, v) ->
       line

@@ -3,9 +3,10 @@
     - {!tree}: human-readable indented span tree (durations in ms) plus
       the counter and gauge registries — what [rbp trace] prints by
       default, byte-stable under {!Clock.fake};
-    - {!jsonl}: one JSON object per line ([type] = ["span"], ["counter"]
-      or ["gauge"]) — greppable, streamable, and round-trippable through
-      {!parse_jsonl};
+    - {!jsonl}: one JSON object per line ([type] = ["span"], ["event"],
+      ["counter"] or ["gauge"]; events in emission order between the
+      spans and the counters) — greppable, streamable, and
+      round-trippable through {!parse_jsonl};
     - {!chrome}: the Chrome trace-event format (object form with a
       [traceEvents] list of ["X"] span events and ["C"] counter
       samples, microsecond timestamps), loadable in [chrome://tracing]

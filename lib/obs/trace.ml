@@ -12,6 +12,8 @@ type t = {
   mutable root_spans : span list; (* completed roots, newest first *)
   counters : (Counter.t * string option, int ref) Hashtbl.t;
   gauges : (Counter.gauge * string option, (int * int) ref) Hashtbl.t;
+  mutable events : Events.t list; (* newest first *)
+  mutable event_count : int;
 }
 
 let make ~clock () =
@@ -21,6 +23,8 @@ let make ~clock () =
     root_spans = [];
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 8;
+    events = [];
+    event_count = 0;
   }
 
 let enter t ~attrs name =
@@ -61,6 +65,18 @@ let incr obs ?label c n =
       match Hashtbl.find_opt t.counters key with
       | Some r -> r := !r + n
       | None -> Hashtbl.replace t.counters key (ref n))
+
+let emit obs e =
+  match obs with
+  | None -> ()
+  | Some t ->
+      t.events <- e :: t.events;
+      t.event_count <- t.event_count + 1
+
+let events t = List.rev t.events
+let event_count t = t.event_count
+
+let iter_events f t = List.iter f (events t)
 
 let set_gauge obs ?label g v =
   match obs with

@@ -38,6 +38,19 @@ val incr : t option -> ?label:string -> Counter.t -> int -> unit
 (** Add [n] to a counter cell; [label] selects a labelled dimension
     (e.g. the ["0->1"] bank pair of a copy). *)
 
+val emit : t option -> Events.t -> unit
+(** Append one decision-provenance event to the stream. With [None]
+    this is a single branch; sites that would otherwise allocate the
+    event payload for nothing should guard with [obs <> None]. *)
+
+val events : t -> Events.t list
+(** Every emitted event, oldest first — the order decisions were
+    taken, which is what [rbp explain] narrates. *)
+
+val event_count : t -> int
+
+val iter_events : (Events.t -> unit) -> t -> unit
+
 val set_gauge : t option -> ?label:string -> Counter.gauge -> int -> unit
 (** Record a gauge observation; the cell keeps the last and the max. *)
 

@@ -20,7 +20,8 @@ let classify ~defs_of r q =
 
 let copy_name r cluster = Printf.sprintf "%s@c%d" (Ir.Vreg.to_string r) cluster
 
-let insert_loop ~machine ~assignment loop =
+
+let insert_loop ?obs ~machine ~assignment loop =
   let m : Mach.Machine.t = machine in
   let banks = m.clusters in
   let ops = Array.of_list (Ir.Loop.ops loop) in
@@ -45,6 +46,11 @@ let insert_loop ~machine ~assignment loop =
     let next_vreg = ref (Ir.Loop.max_vreg_id loop + 1) in
     let next_op = ref (Ir.Loop.max_op_id loop + 1) in
     let extra_assign = ref [] in
+    let reaching_string = function
+      | Invariant -> "invariant"
+      | Carried -> "carried"
+      | Same_iter p -> Printf.sprintf "op%d" (Ir.Op.id ops.(p))
+    in
     (* (reg id, cluster, reaching) -> (copy op, copy dst) *)
     let cache : (int * int * reaching, Ir.Op.t * Ir.Vreg.t) Hashtbl.t = Hashtbl.create 16 in
     let get_copy r cluster reaching =
@@ -63,6 +69,16 @@ let insert_loop ~machine ~assignment loop =
           incr next_op;
           extra_assign := (dst, cluster) :: !extra_assign;
           Hashtbl.add cache key (cop, dst);
+          if obs <> None then
+            Obs.Trace.emit obs
+              (Obs.Events.Copy_route
+                 {
+                   reg = Ir.Vreg.to_string r;
+                   copy = Ir.Vreg.to_string dst;
+                   src_bank = Assign.bank assignment r;
+                   dst_bank = cluster;
+                   reaching = reaching_string reaching;
+                 });
           dst
     in
     (* Pass 1: create all copies and record per-use rewrites. *)

@@ -26,10 +26,14 @@ type result = {
   ops_per_cluster : int array;   (** non-copy ops per cluster *)
 }
 
-val insert_loop : machine:Mach.Machine.t -> assignment:Assign.t -> Ir.Loop.t -> result
+val insert_loop :
+  ?obs:Obs.Trace.t -> machine:Mach.Machine.t -> assignment:Assign.t -> Ir.Loop.t -> result
 (** Raises [Invalid_argument] if the assignment misses a register of the
     loop or names an out-of-range bank. On a monolithic machine the loop
-    is returned unchanged. *)
+    is returned unchanged. With [?obs] each inserted copy becomes an
+    {!Obs.Events.Copy_route} event recording the def/use bank pair and
+    which reaching value ([invariant], [carried] or [op<ID>]) it
+    forwards. *)
 
 val insert_block :
   machine:Mach.Machine.t ->

@@ -54,7 +54,7 @@ let choose_partition ?obs partitioner ~machine ~ddg ~ideal_kernel ~depth =
       let rcg =
         Obs.Trace.span obs "rcg.build" (fun () ->
             let src = Rcg.Build.source_of_kernel ~ddg ~depth ideal_kernel in
-            Rcg.Build.build ~weights src)
+            Rcg.Build.build ?obs ~weights src)
       in
       Greedy.partition ?obs ~weights ~banks:machine.Mach.Machine.clusters rcg
   | Custom f ->
@@ -167,7 +167,7 @@ let pipeline ?obs ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau)
         else
         match
           Obs.Trace.span obs "copies.insert" (fun () ->
-              Copies.insert_loop ~machine:m ~assignment loop)
+              Copies.insert_loop ?obs ~machine:m ~assignment loop)
         with
         | exception Invalid_argument msg -> fail Verify.Stage_error.Copy_insertion msg
         | ins -> (

@@ -14,9 +14,12 @@ let partition ?obs ?(weights = Rcg.Weights.default) ~banks g =
     ~attrs:[ ("nodes", string_of_int n); ("banks", string_of_int banks) ]
   @@ fun () ->
   let expected_per_bank = max 1.0 (float_of_int n /. float_of_int banks) in
-  let balance_penalty =
-    weights.Rcg.Weights.balance *. Rcg.Graph.mean_positive_edge_weight g /. expected_per_bank
-  in
+  let mean_edge = Rcg.Graph.mean_positive_edge_weight g in
+  let balance_penalty = weights.Rcg.Weights.balance *. mean_edge /. expected_per_bank in
+  let traced = obs <> None in
+  if traced then
+    Obs.Trace.emit obs
+      (Obs.Events.Greedy_penalty { penalty = balance_penalty; mean_edge; nodes = n; banks });
   let assignment = Hashtbl.create n in
   let counts = Array.make banks 0 in
   let placed r = Hashtbl.find_opt assignment (Ir.Vreg.id r) in
@@ -33,13 +36,26 @@ let partition ?obs ?(weights = Rcg.Weights.default) ~banks g =
               (Printf.sprintf "Greedy.partition: %s pinned to bank %d (of %d)"
                  (Ir.Vreg.to_string node) b banks);
           Obs.Trace.incr obs Obs.Counter.Greedy_pinned 1;
+          if traced then
+            Obs.Trace.emit obs
+              (Obs.Events.Greedy_place
+                 {
+                   node = Ir.Vreg.to_string node;
+                   bank = b;
+                   benefit = 0.0;
+                   benefits = [];
+                   ties = [];
+                   pinned = true;
+                 });
           place node b
       | None ->
           let best = ref 0 in
           let best_benefit = ref neg_infinity in
           let ties = ref 1 in
+          let benefits = Array.make banks 0.0 in
           for b = 0 to banks - 1 do
             let v = benefit ~balance_penalty ~placed ~counts g node b in
+            benefits.(b) <- v;
             if v > !best_benefit then begin
               best_benefit := v;
               best := b;
@@ -49,6 +65,25 @@ let partition ?obs ?(weights = Rcg.Weights.default) ~banks g =
           done;
           Obs.Trace.incr obs Obs.Counter.Greedy_decisions 1;
           if !ties > 1 then Obs.Trace.incr obs Obs.Counter.Greedy_tie_breaks 1;
+          if traced then begin
+            let tied =
+              if !ties > 1 then
+                List.filter
+                  (fun b -> benefits.(b) = !best_benefit)
+                  (List.init banks Fun.id)
+              else []
+            in
+            Obs.Trace.emit obs
+              (Obs.Events.Greedy_place
+                 {
+                   node = Ir.Vreg.to_string node;
+                   bank = !best;
+                   benefit = !best_benefit;
+                   benefits = Array.to_list benefits;
+                   ties = tied;
+                   pinned = false;
+                 })
+          end;
           place node !best)
     (Rcg.Graph.by_weight_desc g);
   Assign.of_list

@@ -10,9 +10,16 @@ let op_factor w src (op : Ir.Op.t) =
   Weights.contribution w ~flexibility:(src.flexibility id) ~depth:(src.depth id)
     ~density:(src.density id)
 
-let build ?(weights = Weights.default) src =
+let build ?obs ?(weights = Weights.default) src =
   let g = Graph.create () in
   let w = weights in
+  let traced = obs <> None in
+  let emit_edge a b term wgt =
+    if traced then
+      Obs.Trace.emit obs
+        (Obs.Events.Rcg_edge
+           { a = Ir.Vreg.to_string a; b = Ir.Vreg.to_string b; term; w = wgt })
+  in
   List.iter
     (fun row ->
       (* Attraction: defs and uses of one operation. *)
@@ -20,7 +27,20 @@ let build ?(weights = Weights.default) src =
         (fun op ->
           List.iter (Graph.add_register g) (Ir.Op.defs op);
           List.iter (Graph.add_register g) (Ir.Op.uses op);
-          let f = w.Weights.attract_scale *. op_factor w src op in
+          let factor = op_factor w src op in
+          if traced then begin
+            let id = Ir.Op.id op in
+            Obs.Trace.emit obs
+              (Obs.Events.Rcg_factor
+                 {
+                   op = id;
+                   flexibility = src.flexibility id;
+                   depth = src.depth id;
+                   density = src.density id;
+                   factor;
+                 })
+          end;
+          let f = w.Weights.attract_scale *. factor in
           if f <> 0.0 then
             List.iter
               (fun d ->
@@ -29,7 +49,8 @@ let build ?(weights = Weights.default) src =
                     if not (Ir.Vreg.equal d u) then begin
                       Graph.add_edge_weight g d u f;
                       Graph.add_node_weight g d f;
-                      Graph.add_node_weight g u f
+                      Graph.add_node_weight g u f;
+                      emit_edge d u Obs.Events.Attract f
                     end)
                   (Ir.Op.uses op))
               (Ir.Op.defs op))
@@ -51,7 +72,8 @@ let build ?(weights = Weights.default) src =
                           if not (Ir.Vreg.equal d1 d2) then begin
                             Graph.add_edge_weight g d1 d2 (-.f);
                             Graph.add_node_weight g d1 f;
-                            Graph.add_node_weight g d2 f
+                            Graph.add_node_weight g d2 f;
+                            emit_edge d1 d2 Obs.Events.Repel (-.f)
                           end)
                         (Ir.Op.defs o2))
                     (Ir.Op.defs o1))
@@ -86,7 +108,7 @@ let source_of_schedule ~ddg ~depth (sched : Sched.Schedule.t) =
     density = (fun _ -> dens);
   }
 
-let of_loop_res ?weights ~machine loop =
+let of_loop_res ?obs ?weights ~machine loop =
   let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency loop in
   match Sched.Modulo.ideal ~machine ddg with
   | None ->
@@ -95,14 +117,14 @@ let of_loop_res ?weights ~machine loop =
            (Ir.Loop.name loop))
   | Some outcome ->
       Ok
-        (build ?weights
+        (build ?obs ?weights
            (source_of_kernel ~ddg ~depth:(Ir.Loop.depth loop) outcome.Sched.Modulo.kernel))
 
-let of_loop ?weights ~machine loop =
+let of_loop ?obs ?weights ~machine loop =
   (* Raising wrapper for contexts that already proved the loop pipelines
      (tests, demos); anything driven by user input goes through
      [of_loop_res] — an unschedulable loop is data, not a bug. *)
-  match of_loop_res ?weights ~machine loop with
+  match of_loop_res ?obs ?weights ~machine loop with
   | Ok g -> g
   | Error msg -> invalid_arg ("Rcg.Build.of_loop: " ^ msg)
 

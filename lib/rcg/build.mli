@@ -22,7 +22,11 @@ type source = {
   density : int -> float;    (** op id -> DDD density of its block *)
 }
 
-val build : ?weights:Weights.t -> source -> Graph.t
+val build : ?obs:Obs.Trace.t -> ?weights:Weights.t -> source -> Graph.t
+(** With [?obs] every operation factor becomes an
+    {!Obs.Events.Rcg_factor} event and every edge contribution an
+    {!Obs.Events.Rcg_edge} — the evidence [rbp explain] renders. With
+    [obs] absent the build is byte-identical to the untraced one. *)
 
 val source_of_kernel :
   ddg:Ddg.Graph.t -> depth:int -> Sched.Kernel.t -> source
@@ -35,6 +39,7 @@ val source_of_schedule :
     ops / issue-length. *)
 
 val of_loop_res :
+  ?obs:Obs.Trace.t ->
   ?weights:Weights.t ->
   machine:Mach.Machine.t ->
   Ir.Loop.t ->
@@ -44,7 +49,11 @@ val of_loop_res :
     is input-dependent, so it is an [Error], not an exception. *)
 
 val of_loop :
-  ?weights:Weights.t -> machine:Mach.Machine.t -> Ir.Loop.t -> Graph.t
+  ?obs:Obs.Trace.t ->
+  ?weights:Weights.t ->
+  machine:Mach.Machine.t ->
+  Ir.Loop.t ->
+  Graph.t
 (** Raising convenience wrapper over {!of_loop_res} for callers that
     already know the loop pipelines (tests, demos). Raises
     [Invalid_argument] otherwise. *)

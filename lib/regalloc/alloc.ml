@@ -78,6 +78,7 @@ let allocate ?obs ?(max_rounds = 8) ?(subject = "code") ~machine ~assignment ~li
           List.init banks (fun b ->
               let keep r = Partition.Assign.bank_opt assignment r = Some b in
               let g = Interference.build_filtered ~keep ops ~live_out in
+              pressure.(b) <- Interference.max_clique_lower_bound g;
               (match obs with
               | None -> ()
               | Some _ ->
@@ -88,13 +89,32 @@ let allocate ?obs ?(max_rounds = 8) ?(subject = "code") ~machine ~assignment ~li
                   in
                   Obs.Trace.set_gauge obs ~label Obs.Counter.Alloc_conflict_nodes
                     (List.length regs);
-                  Obs.Trace.set_gauge obs ~label Obs.Counter.Alloc_conflict_edges edges);
-              pressure.(b) <- Interference.max_clique_lower_bound g;
+                  Obs.Trace.set_gauge obs ~label Obs.Counter.Alloc_conflict_edges edges;
+                  Obs.Trace.emit obs
+                    (Obs.Events.Alloc_pressure
+                       {
+                         bank = b;
+                         round = n;
+                         pressure = pressure.(b);
+                         conflict_nodes = List.length regs;
+                         conflict_edges = edges;
+                       }));
               (b, Color.color ~k g))
         in
         let spilled = List.concat_map (fun (_, (r : Color.result)) -> r.spilled) results in
         Obs.Trace.incr obs Obs.Counter.Alloc_rounds 1;
         Obs.Trace.incr obs Obs.Counter.Spilled_registers (List.length spilled);
+        if obs <> None then
+          List.iter
+            (fun r ->
+              Obs.Trace.emit obs
+                (Obs.Events.Spill
+                   {
+                     reg = Ir.Vreg.to_string r;
+                     bank = Partition.Assign.bank assignment r;
+                     round = n;
+                   }))
+            spilled;
         if spilled = [] then begin
           let mapping =
             List.fold_left

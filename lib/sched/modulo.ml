@@ -44,12 +44,15 @@ type effort = {
   exhausted : int ref; (* IIs abandoned because the budget ran out *)
 }
 
-(* One attempt at the given II. Returns the op->cycle map on success. *)
+(* One attempt at the given II. Returns the op->cycle map on success,
+   or the cause the II was abandoned — the vocabulary of
+   [Obs.Events.Ii_escalate]: "rec_mii" (heights diverge), "self_edge",
+   "resource" (a request no cycle of the MRT can hold), "budget". *)
 let try_ii ~obs ~cluster_of ~budget ~machine ~ii ddg effort =
   match heights ddg ~ii with
-  | None -> None
+  | None -> Error "rec_mii"
   | Some h ->
-      if not (self_edges_feasible ddg ~ii) then None
+      if not (self_edges_feasible ddg ~ii) then Error "self_edge"
       else begin
         let g = Ddg.Graph.graph ddg in
         let ids = Graphlib.Digraph.nodes g in
@@ -71,15 +74,17 @@ let try_ii ~obs ~cluster_of ~budget ~machine ~ii ddg effort =
                   if hid > hb || (hid = hb && id < b) then Some id else best)
             unscheduled None
         in
-        let unschedule id =
+        let unschedule ~by ~cycle ~reason id =
           incr effort.evicted;
           Obs.Trace.incr obs Obs.Counter.Sched_evictions 1;
+          if obs <> None then
+            Obs.Trace.emit obs (Obs.Events.Sched_evict { op = id; by; cycle; reason });
           Restab.release_op mrt ~op:id;
           Hashtbl.remove time id;
           Hashtbl.replace unscheduled id ()
         in
         let budget = ref budget in
-        let ok = ref true in
+        let failure = ref None in
         let running = ref true in
         while !running do
           match pick () with
@@ -88,7 +93,7 @@ let try_ii ~obs ~cluster_of ~budget ~machine ~ii ddg effort =
               if !budget <= 0 then begin
                 incr effort.exhausted;
                 Obs.Trace.incr obs Obs.Counter.Sched_budget_exhausted 1;
-                ok := false;
+                failure := Some "budget";
                 running := false
               end
               else begin
@@ -113,7 +118,7 @@ let try_ii ~obs ~cluster_of ~budget ~machine ~ii ddg effort =
                 in
                 let req = request id in
                 if not (Restab.satisfiable mrt req) then begin
-                  ok := false;
+                  failure := Some "resource";
                   running := false
                 end
                 else begin
@@ -124,7 +129,9 @@ let try_ii ~obs ~cluster_of ~budget ~machine ~ii ddg effort =
                   in
                   let t = match first_fit 0 with Some t -> t | None -> start in
                   if not (Restab.fits mrt ~cycle:t req) then
-                    List.iter unschedule (Restab.conflicting_ops mrt ~cycle:t req);
+                    List.iter
+                      (unschedule ~by:id ~cycle:t ~reason:"conflict")
+                      (Restab.conflicting_ops mrt ~cycle:t req);
                   Restab.reserve mrt ~cycle:t ~op:id req;
                   Hashtbl.replace time id t;
                   Hashtbl.replace last_time id t;
@@ -141,12 +148,17 @@ let try_ii ~obs ~cluster_of ~budget ~machine ~ii ddg effort =
                             let need =
                               t + Ddg.Dep.latency e.label - (ii * Ddg.Dep.distance e.label)
                             in
-                            if ts < need then unschedule e.dst)
+                            if ts < need then
+                              unschedule ~by:id ~cycle:ts ~reason:"dependence" e.dst)
                     (Graphlib.Digraph.succs g id)
                 end
               end
         done;
-        if !ok && Hashtbl.length unscheduled = 0 then Some time else None
+        match !failure with
+        | Some cause -> Error cause
+        | None ->
+            if Hashtbl.length unscheduled = 0 then Ok time
+            else Error "budget" (* unreachable: pick () returned None *)
       end
 
 let schedule ?obs ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
@@ -182,7 +194,7 @@ let schedule ?obs ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
             try_ii ~obs ~cluster_of ~budget:(budget_ratio * n) ~machine:m ~ii ddg effort)
       in
       match result with
-      | Some time ->
+      | Ok time ->
           Obs.Trace.add_attr obs "ii" (string_of_int ii);
           let placements =
             Hashtbl.fold
@@ -201,8 +213,10 @@ let schedule ?obs ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
               iis_tried = !iis_tried;
               budget_exhausted = !(effort.exhausted);
             }
-      | None ->
+      | Error cause ->
           Obs.Trace.incr obs Obs.Counter.Sched_ii_escalations 1;
+          if obs <> None then
+            Obs.Trace.emit obs (Obs.Events.Ii_escalate { ii; cause });
           attempt (ii + 1)
     end
   in

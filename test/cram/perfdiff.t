@@ -1,0 +1,73 @@
+perfdiff compares two rbp-bench/1 telemetry documents with per-metric
+regression thresholds. Exit codes: 0 no regression, 1 regression,
+2 parse/schema error or incomparable runs.
+
+  $ cat > base.json <<'EOF'
+  > {"schema":"rbp-bench/1","seed":1995,"loops":8,"ideal_ipc":6.0,
+  >  "configs":[{"label":"4x4 embedded","clusters":4,"copy_model":"embedded",
+  >   "loops_ok":8,"failures":0,"mean_ipc_clustered":5.5,
+  >   "arith_mean_degradation":110,"harmonic_mean_degradation":105,
+  >   "pct_no_degradation":75},
+  >  {"label":"4x4 copy-unit","clusters":4,"copy_model":"copy-unit",
+  >   "loops_ok":8,"failures":0,"mean_ipc_clustered":5.0,
+  >   "arith_mean_degradation":115,"harmonic_mean_degradation":110,
+  >   "pct_no_degradation":62.5}],
+  >  "stages":[{"name":"pipeline","total_s":0.5,"calls":16}]}
+  > EOF
+
+A document compared with itself has no regressions (and the
+host-dependent "stages" timings are ignored entirely).
+
+  $ rbp perfdiff base.json base.json -q
+  no regressions
+
+A small improvement or within-threshold jitter passes; a real drop
+fails with exit 1 and names the metric.
+
+  $ sed -e 's/"mean_ipc_clustered":5.5/"mean_ipc_clustered":5.45/' base.json > jitter.json
+  $ rbp perfdiff base.json jitter.json -q
+  no regressions
+
+  $ sed -e 's/"mean_ipc_clustered":5.5/"mean_ipc_clustered":4.9/' \
+  >     -e 's/"failures":0,"mean_ipc_clustered":5.0/"failures":1,"mean_ipc_clustered":5.0/' \
+  >     base.json > worse.json
+  $ rbp perfdiff base.json worse.json -q
+  REGRESSED 4x4 embedded           mean_ipc_clustered         5.5 -> 4.9 (-0.6)
+  REGRESSED 4x4 copy-unit          failures                   0 -> 1 (+1)
+  2 regression(s)
+  [1]
+
+Unparseable input, a foreign schema, or incomparable runs exit 2.
+
+  $ echo '{"schema":"something-else/9"}' > alien.json
+  $ rbp perfdiff base.json alien.json
+  rbp: alien.json: unsupported schema "something-else/9" (want "rbp-bench/1")
+  [2]
+
+  $ echo 'not json at all' > garbage.json
+  $ rbp perfdiff garbage.json base.json 2> /dev/null
+  [2]
+
+  $ sed -e 's/"seed":1995/"seed":7/' base.json > reseeded.json
+  $ rbp perfdiff base.json reseeded.json
+  rbp: incomparable runs: seed 1995 vs 7
+  [2]
+
+  $ rbp perfdiff base.json missing.json 2> /dev/null
+  [2]
+
+The checked-in CI baseline and the injected-regression fixture pin the
+gate's two sides: the baseline passes against itself, the fixture is
+caught.
+
+  $ rbp perfdiff "../../bench/baseline/BENCH_quick.json" \
+  >     "../../bench/baseline/BENCH_quick.json" -q
+  no regressions
+
+  $ rbp perfdiff "../../bench/baseline/BENCH_quick.json" \
+  >     "../../bench/baseline/BENCH_quick_regressed.json" -q
+  REGRESSED 8x2 copy-unit          loops_ok                   32 -> 30 (-2)
+  REGRESSED 8x2 copy-unit          failures                   0 -> 2 (+2)
+  REGRESSED 8x2 copy-unit          mean_ipc_clustered         4.61525 -> 4.1 (-0.515246)
+  3 regression(s)
+  [1]

@@ -1,0 +1,62 @@
+The report subcommand regenerates the paper tables. On a reduced suite
+the numbers differ from EXPERIMENTS.md (which uses all 211 loops), but
+the format is the same and the run is deterministic.
+
+  $ rbp report -n 4
+  ## Table 1 — IPC of clustered software pipelines
+  
+  | Model     | 2×8 E | 2×8 C | 4×4 E | 4×4 C | 8×2 E | 8×2 C |
+  |-----------|-------|-------|-------|-------|-------|-------|
+  | Ideal (paper)     | 8.6 | 8.6 | 8.6 | 8.6 | 8.6 | 8.6 |
+  | Ideal (ours)      | 7.5 | 7.5 | 7.5 | 7.5 | 7.5 | 7.5 |
+  | Clustered (paper) | 9.3 | 6.2 | 8.4 | 7.5 | 6.9 | 6.8 |
+  | Clustered (ours)  | 7.5 | 7.5 | 7.5 | 7.5 | 7.5 | 7.5 |
+  
+  ## Table 2 — degradation over ideal schedules, normalized (100 = ideal)
+  
+  | Mean | 2×8 E | 2×8 C | 4×4 E | 4×4 C | 8×2 E | 8×2 C |
+  |------|-------|-------|-------|-------|-------|-------|
+  | Arith (paper) | 111 | 150 | 126 | 122 | 162 | 133 |
+  | Arith (ours)  | 100 | 100 | 100 | 100 | 100 | 100 |
+  | Harm (paper)  | 109 | 127 | 119 | 115 | 138 | 124 |
+  | Harm (ours)   | 100 | 100 | 100 | 100 | 100 | 100 |
+
+JSON output is the rbp-bench/1 telemetry schema; under --deterministic
+the host-dependent stage timings are dropped, so it is byte-stable.
+
+  $ rbp report -n 4 -f json --deterministic
+  {"schema":"rbp-bench/1","seed":1995,"loops":4,"ideal_ipc":7.5,"configs":[{"label":"2x8 embedded","clusters":2,"copy_model":"embedded","loops_ok":4,"failures":0,"mean_ipc_clustered":7.5,"arith_mean_degradation":100,"harmonic_mean_degradation":100,"pct_no_degradation":100},{"label":"2x8 copy-unit","clusters":2,"copy_model":"copy-unit","loops_ok":4,"failures":0,"mean_ipc_clustered":7.5,"arith_mean_degradation":100,"harmonic_mean_degradation":100,"pct_no_degradation":100},{"label":"4x4 embedded","clusters":4,"copy_model":"embedded","loops_ok":4,"failures":0,"mean_ipc_clustered":7.5,"arith_mean_degradation":100,"harmonic_mean_degradation":100,"pct_no_degradation":100},{"label":"4x4 copy-unit","clusters":4,"copy_model":"copy-unit","loops_ok":4,"failures":0,"mean_ipc_clustered":7.5,"arith_mean_degradation":100,"harmonic_mean_degradation":100,"pct_no_degradation":100},{"label":"8x2 embedded","clusters":8,"copy_model":"embedded","loops_ok":4,"failures":0,"mean_ipc_clustered":7.5,"arith_mean_degradation":100,"harmonic_mean_degradation":100,"pct_no_degradation":100},{"label":"8x2 copy-unit","clusters":8,"copy_model":"copy-unit","loops_ok":4,"failures":0,"mean_ipc_clustered":7.5,"arith_mean_degradation":100,"harmonic_mean_degradation":100,"pct_no_degradation":100}]}
+
+Text output renders terminal tables.
+
+  $ rbp report -n 4 -f text
+  Table 1. IPC of Clustered Software Pipelines
+  +-----------+--------------+---------------+--------------+---------------+--------------+---------------+
+  | Model     | 2x8 embedded | 2x8 copy-unit | 4x4 embedded | 4x4 copy-unit | 8x2 embedded | 8x2 copy-unit |
+  +===========+==============+===============+==============+===============+==============+===============+
+  | Ideal     | 7.5          | 7.5           | 7.5          | 7.5           | 7.5          | 7.5           |
+  | Clustered | 7.5          | 7.5           | 7.5          | 7.5           | 7.5          | 7.5           |
+  +-----------+--------------+---------------+--------------+---------------+--------------+---------------+
+  
+  Table 2. Degradation Over Ideal Schedules - Normalized
+  +-----------------+--------------+---------------+--------------+---------------+--------------+---------------+
+  | Average         | 2x8 embedded | 2x8 copy-unit | 4x4 embedded | 4x4 copy-unit | 8x2 embedded | 8x2 copy-unit |
+  +=================+==============+===============+==============+===============+==============+===============+
+  | Arithmetic Mean | 100          | 100           | 100          | 100           | 100          | 100           |
+  | Harmonic Mean   | 100          | 100           | 100          | 100           | 100          | 100           |
+  +-----------------+--------------+---------------+--------------+---------------+--------------+---------------+
+  failures:
+    (none)
+
+--check verifies a document contains the regenerated table blocks; a
+stale document is reported and exits 1.
+
+  $ rbp report -n 4 -o tables.md --check tables.md
+  wrote tables.md
+  tables.md: tables are up to date
+
+  $ echo "# no tables here" > stale.md
+  $ rbp report -n 4 -o /dev/null --check stale.md
+  wrote /dev/null
+  rbp: stale.md is stale: Table 1, Table 2 differ(s) from this run (regenerate with `make report`)
+  [1]

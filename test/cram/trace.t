@@ -16,6 +16,7 @@ the output byte-stable: every span costs exactly two 1ms clock reads.
     schedule.clustered [5.000ms]
       modulo.schedule mii=1 ops=2 ii=1 [3.000ms]
         modulo.try_ii ii=1 [1.000ms]
+  events: 4 decision event(s) (see jsonl export or rbp explain)
   counters:
     greedy.decisions                 1
     greedy.tie_breaks                1
@@ -39,7 +40,7 @@ Writing to a file reports the destination.
   $ rbp trace vcopy-u1 -c 2 --deterministic -o out.trace.jsonl
   wrote out.trace.jsonl
   $ wc -l < out.trace.jsonl | tr -d ' '
-  19
+  20
 
 The schedule subcommand reports the modulo scheduler's effort under -v.
 

@@ -168,6 +168,65 @@ let json_tests =
           (Result.is_error (Obs.Json.of_string "{} x"));
         check Alcotest.bool "unterminated" true
           (Result.is_error (Obs.Json.of_string "{\"a\": ")));
+    case "control-char-escapes" (fun () ->
+        (* every byte below 0x20 must leave the encoder escaped: the
+           short forms for the common ones, \u00XX for the rest *)
+        check Alcotest.string "backspace and formfeed shortforms" "\"\\b\\f\""
+          (Obs.Json.to_string (Obs.Json.Str "\b\012"));
+        check Alcotest.string "other controls as \\u" "\"\\u0000\\u001f\""
+          (Obs.Json.to_string (Obs.Json.Str "\x00\x1f"));
+        String.iter
+          (fun c ->
+            let s = Obs.Json.to_string (Obs.Json.Str (String.make 1 c)) in
+            String.iter
+              (fun c' ->
+                check Alcotest.bool "no raw control byte in output" true
+                  (Char.code c' >= 0x20))
+              s)
+          (String.init 0x20 Char.chr));
+    case "unicode-escape-decodes-to-utf8" (fun () ->
+        check Alcotest.bool "BMP escape" true
+          (Obs.Json.of_string "\"\\u2713\"" = Ok (Obs.Json.Str "\xe2\x9c\x93"));
+        check Alcotest.bool "latin-1 escape" true
+          (Obs.Json.of_string "\"\\u00e9\"" = Ok (Obs.Json.Str "\xc3\xa9"));
+        check Alcotest.bool "ascii escape" true
+          (Obs.Json.of_string "\"\\u0041\"" = Ok (Obs.Json.Str "A")));
+  ]
+
+(* Strings stressing the encoder's escape table: control bytes, the
+   JSON metacharacters, plain ASCII and multi-byte UTF-8 sequences. *)
+let gen_tricky_string =
+  let open QCheck2.Gen in
+  let token =
+    oneof
+      [
+        map (fun c -> String.make 1 (Char.chr c)) (int_range 0 0x1f);
+        oneofl [ "\""; "\\"; "/"; "\n"; "\r"; "\t"; "\b"; "\012" ];
+        map (String.make 1) printable;
+        oneofl [ "\xc3\xa9" (* é *); "\xe2\x9c\x93" (* ✓ *); "\xf0\x9f\x90\xab" (* 🐫 *) ];
+      ]
+  in
+  map (String.concat "") (list_size (int_range 0 24) token)
+
+let json_property_tests =
+  [
+    qcheck ~count:500 "string-round-trips" gen_tricky_string (fun s ->
+        Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Str s)) = Ok (Obs.Json.Str s));
+    qcheck ~count:500 "encoded-string-has-no-raw-controls" gen_tricky_string (fun s ->
+        String.for_all
+          (fun c -> Char.code c >= 0x20)
+          (Obs.Json.to_string (Obs.Json.Str s)));
+    qcheck ~count:200 "nested-values-round-trip"
+      QCheck2.Gen.(pair gen_tricky_string (pair gen_tricky_string (int_range 0 1000)))
+      (fun (k, (s, i)) ->
+        let v =
+          Obs.Json.Obj
+            [
+              (k, Obs.Json.Str s);
+              ("l", Obs.Json.List [ Obs.Json.Str k; Obs.Json.Num (float_of_int i) ]);
+            ]
+        in
+        Obs.Json.of_string (Obs.Json.to_string v) = Ok v);
   ]
 
 let jstr k v = Option.bind (Obs.Json.member k v) Obs.Json.to_str
@@ -310,12 +369,104 @@ let probe_tests =
               (Obs.Trace.counter_value t ~label:rung Obs.Counter.Ladder_rung_failed));
   ]
 
+let event_tests =
+  let traced loop machine =
+    let t = fake_ctx () in
+    match Partition.Driver.pipeline ~obs:t ~machine loop with
+    | Ok r -> (t, r)
+    | Error e -> Alcotest.failf "pipeline: %s" (Verify.Stage_error.to_string e)
+  in
+  let count p t = List.length (List.filter p (Obs.Trace.events t)) in
+  [
+    case "event-counts-agree-with-counters" (fun () ->
+        (* Counters and events are emitted at the same decision sites;
+           their totals must tell one story. *)
+        let t, r = traced (Workload.Kernels.hydro ~unroll:2) m8x2e in
+        check Alcotest.int "greedy.place(unpinned) = greedy.decisions"
+          (Obs.Trace.counter_value t Obs.Counter.Greedy_decisions)
+          (count (function Obs.Events.Greedy_place { pinned; _ } -> not pinned | _ -> false) t);
+        check Alcotest.int "greedy.place(pinned) = greedy.pinned"
+          (Obs.Trace.counter_value t Obs.Counter.Greedy_pinned)
+          (count (function Obs.Events.Greedy_place { pinned; _ } -> pinned | _ -> false) t);
+        check Alcotest.int "greedy.place(tied) = greedy.tie_breaks"
+          (Obs.Trace.counter_value t Obs.Counter.Greedy_tie_breaks)
+          (count
+             (function Obs.Events.Greedy_place { ties; _ } -> ties <> [] | _ -> false)
+             t);
+        check Alcotest.int "sched.evict events = sched.evictions"
+          (Obs.Trace.counter_total t Obs.Counter.Sched_evictions)
+          (count (function Obs.Events.Sched_evict _ -> true | _ -> false) t);
+        check Alcotest.int "sched.escalate events = sched.ii_escalations"
+          (Obs.Trace.counter_total t Obs.Counter.Sched_ii_escalations)
+          (count (function Obs.Events.Ii_escalate _ -> true | _ -> false) t);
+        check Alcotest.int "copies.route events = copies.inserted total"
+          (Obs.Trace.counter_total t Obs.Counter.Copies_inserted)
+          (count (function Obs.Events.Copy_route _ -> true | _ -> false) t);
+        check Alcotest.int "copies.route events = result copies"
+          r.Partition.Driver.n_copies
+          (count (function Obs.Events.Copy_route _ -> true | _ -> false) t);
+        check Alcotest.int "one greedy.penalty preamble" 1
+          (count (function Obs.Events.Greedy_penalty _ -> true | _ -> false) t));
+    case "event-count-matches-stream" (fun () ->
+        let t, _ = traced (Workload.Kernels.daxpy ~unroll:2) m4x4e in
+        check Alcotest.int "event_count = |events|"
+          (List.length (Obs.Trace.events t))
+          (Obs.Trace.event_count t);
+        check Alcotest.bool "stream non-empty" true (Obs.Trace.event_count t > 0));
+    case "jsonl-carries-every-event" (fun () ->
+        let t, _ = traced (Workload.Kernels.daxpy ~unroll:2) m4x4e in
+        match Obs.Export.parse_jsonl (Obs.Export.jsonl t) with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok lines ->
+            let events = List.filter (fun v -> jstr "type" v = Some "event") lines in
+            check Alcotest.int "one jsonl line per event" (Obs.Trace.event_count t)
+              (List.length events);
+            List.iter
+              (fun v ->
+                check Alcotest.bool "event line has a name" true (jstr "name" v <> None))
+              events);
+    case "alloc-spill-events-match-counter" (fun () ->
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let t = fake_ctx () in
+        match Partition.Driver.pipeline ~machine:m2x8e loop with
+        | Error e -> Alcotest.failf "pipeline: %s" (Verify.Stage_error.to_string e)
+        | Ok r -> (
+            match
+              Regalloc.Alloc.allocate_loop ~obs:t ~machine:m2x8e
+                ~assignment:r.Partition.Driver.assignment r.Partition.Driver.rewritten
+            with
+            | Error e -> Alcotest.failf "alloc: %s" (Verify.Stage_error.to_string e)
+            | Ok _ ->
+                check Alcotest.int "alloc.spill events = spilled_registers"
+                  (Obs.Trace.counter_total t Obs.Counter.Spilled_registers)
+                  (count (function Obs.Events.Spill _ -> true | _ -> false) t);
+                check Alcotest.bool "pressure reported for some bank" true
+                  (count (function Obs.Events.Alloc_pressure _ -> true | _ -> false) t
+                  >= 1)));
+    case "event-json-round-trips" (fun () ->
+        let t, _ = traced (Workload.Kernels.hydro ~unroll:2) m8x2e in
+        Obs.Trace.iter_events
+          (fun e ->
+            let j = Obs.Events.to_json e in
+            match Obs.Json.of_string (Obs.Json.to_string j) with
+            | Ok j' -> check Alcotest.bool "event survives print/parse" true (j = j')
+            | Error err -> Alcotest.failf "event json: %s" err)
+          t);
+    case "no-obs-emits-nothing" (fun () ->
+        (* emit through None must be a no-op, not an error *)
+        Obs.Trace.emit None (Obs.Events.Ii_escalate { ii = 3; cause = "resource" });
+        let t = fake_ctx () in
+        check Alcotest.int "fresh context has no events" 0 (Obs.Trace.event_count t));
+  ]
+
 let suite =
   [
     ("obs.clock", clock_tests);
     ("obs.span", span_tests);
     ("obs.counter", counter_tests);
     ("obs.json", json_tests);
+    ("obs.json.properties", json_property_tests);
+    ("obs.events", event_tests);
     ("obs.export", export_tests);
     ("obs.probes", probe_tests);
   ]
