@@ -19,20 +19,25 @@ lint:
 	  dune exec bin/rbp.exe -- lint $$f || exit 1; \
 	done
 
+# Engine parallelism passthrough: J=0 (the default) uses one domain per
+# core; J=1 forces the exact serial path. Output is byte-identical for
+# every J, so this is purely a wall-clock knob.
+J ?= 0
+
 # Deterministic fault-injection sweep through the resilient driver:
 # 200 seeded trials, Verify as the oracle. Exit 0 = every trial either
 # produced verified code or failed with a clean structured error.
 stress:
-	dune exec bin/rbp.exe -- stress --seed 1995 --trials 200
+	dune exec bin/rbp.exe -- stress --seed 1995 --trials 200 -j $(J)
 
 bench:
-	dune exec bench/main.exe
+	dune exec bench/main.exe -- -j $(J)
 
 # Machine-readable bench telemetry only: writes BENCH_pipeline.json
 # (suite means, failure counts, per-stage wall times) without the
 # human-readable tables.
 bench-json:
-	dune exec bench/main.exe json
+	dune exec bench/main.exe -- json -j $(J)
 
 # Refresh the checked-in perf-gate baseline (deterministic: no stage
 # wall times, so an unchanged pipeline regenerates it byte-identically).
@@ -45,16 +50,16 @@ bench-baseline:
 # The CI perf gate, runnable locally: reduced-suite telemetry compared
 # against the checked-in baseline with per-metric thresholds.
 perfdiff:
-	dune exec bench/main.exe quick-json BENCH_quick.json
+	dune exec bench/main.exe -- quick-json BENCH_quick.json -j $(J)
 	dune exec bin/rbp.exe -- perfdiff bench/baseline/BENCH_quick.json BENCH_quick.json
 
 # Regenerate the paper tables of EXPERIMENTS.md (full 211-loop suite)
 # and verify the committed document still matches, byte for byte.
 report:
-	dune exec bin/rbp.exe -- report
+	dune exec bin/rbp.exe -- report -j $(J)
 
 check-report:
-	dune exec bin/rbp.exe -- report --check EXPERIMENTS.md > /dev/null
+	dune exec bin/rbp.exe -- report -j $(J) --check EXPERIMENTS.md > /dev/null
 
 # Deterministic span tree for one loop (override LOOP/CLUSTERS to taste):
 # the quickest way to see where pipeline time goes.
@@ -67,7 +72,7 @@ quickstart:
 	dune exec examples/quickstart.exe
 
 experiment:
-	dune exec bin/rbp.exe -- experiment
+	dune exec bin/rbp.exe -- experiment -j $(J)
 
 doc:
 	dune build @doc

@@ -12,7 +12,13 @@
                                     plus BENCH_quick.json telemetry
      bench/main.exe quick-json [PATH] -- just the reduced-suite telemetry
                                     (the CI perf gate's input)
-     bench/main.exe json         -- just the BENCH_pipeline.json telemetry *)
+     bench/main.exe json         -- just the BENCH_pipeline.json telemetry
+
+   Engine flags (usable with any command, stripped before dispatch):
+     -j N            -- shard suite sweeps over N domains (0 = one per
+                        core; default 1, the exact serial path)
+     --no-cache      -- disable the content-addressed result cache
+     --cache-dir DIR -- cache location (default _rbp_cache) *)
 
 let section title =
   print_newline ();
@@ -22,8 +28,22 @@ let section title =
 
 let suite_seed = 1995
 
-let runs_cache : (int, Core.Experiment.run list * float * Obs.Trace.t) Hashtbl.t =
-  Hashtbl.create 4
+(* Engine knobs, set by the argv prefix below. [jobs = 1] is the exact
+   serial path; 0 means one domain per core. *)
+let jobs = ref 1
+let use_cache = ref true
+let cache_dir = ref Engine.Cache.default_dir
+let effective_jobs () = if !jobs <= 0 then Engine.Pool.default_jobs () else !jobs
+
+type sweep = {
+  sweep_runs : Core.Experiment.run list;
+  sweep_ipc : float;
+  sweep_obs : Obs.Trace.t;
+  sweep_hits : int;
+  sweep_wall : float;
+}
+
+let runs_cache : (int, sweep) Hashtbl.t = Hashtbl.create 4
 
 (* Every suite sweep runs instrumented (real clock): the per-stage wall
    times ride along for free and feed the JSON telemetry below. *)
@@ -33,14 +53,31 @@ let runs_for_obs ?(n = Workload.Suite.size) () =
   | None ->
       let obs = Obs.Trace.make ~clock:Unix.gettimeofday () in
       let loops = Workload.Suite.loops ~seed:suite_seed ~n () in
-      let runs = Core.Experiment.run_all ~obs ~loops () in
+      let cache =
+        if !use_cache then Some (Engine.Cache.open_ ~dir:!cache_dir ()) else None
+      in
+      let t0 = Unix.gettimeofday () in
+      let runs =
+        Core.Experiment.run_all ~obs ~jobs:!jobs ?cache
+          ~job_clock:(fun _ -> Unix.gettimeofday) ~loops ()
+      in
+      let wall = Unix.gettimeofday () -. t0 in
       let ipc = Core.Experiment.ideal_ipc ~loops () in
-      Hashtbl.replace runs_cache n (runs, ipc, obs);
-      (runs, ipc, obs)
+      let hits =
+        List.fold_left
+          (fun acc (r : Core.Experiment.run) -> acc + r.cache_hits)
+          0 runs
+      in
+      let sweep =
+        { sweep_runs = runs; sweep_ipc = ipc; sweep_obs = obs; sweep_hits = hits;
+          sweep_wall = wall }
+      in
+      Hashtbl.replace runs_cache n sweep;
+      sweep
 
 let runs_for ?n () =
-  let runs, ipc, _ = runs_for_obs ?n () in
-  (runs, ipc)
+  let s = runs_for_obs ?n () in
+  (s.sweep_runs, s.sweep_ipc)
 
 let find_run runs ~clusters ~copy_model =
   List.find
@@ -479,7 +516,8 @@ let timing () =
    the instrumented sweep. Consumers: CI trend tracking, plotting. *)
 let bench_json ~path ?n () =
   let loop_count = match n with Some n -> n | None -> Workload.Suite.size in
-  let runs, ideal_ipc, obs = runs_for_obs ~n:loop_count () in
+  let sweep = runs_for_obs ~n:loop_count () in
+  let runs = sweep.sweep_runs and ideal_ipc = sweep.sweep_ipc and obs = sweep.sweep_obs in
   let num x = Obs.Json.Num x in
   let int_num x = Obs.Json.Num (float_of_int x) in
   let config_json (r : Core.Experiment.run) =
@@ -513,6 +551,11 @@ let bench_json ~path ?n () =
         ("ideal_ipc", num ideal_ipc);
         ("configs", Obs.Json.List (List.map config_json runs));
         ("stages", Obs.Json.List (List.map stage_json (Obs.Trace.totals_by_name obs)));
+        (* Additive engine telemetry: older rbp-bench/1 consumers ignore
+           unknown fields; perfdiff reports but never gates on them. *)
+        ("jobs", int_num (effective_jobs ()));
+        ("cache_hits", int_num sweep.sweep_hits);
+        ("wall_s", num sweep.sweep_wall);
       ]
   in
   let oc = open_out path in
@@ -521,8 +564,31 @@ let bench_json ~path ?n () =
   close_out oc;
   Printf.printf "\nwrote %s\n" path
 
+let usage () =
+  prerr_endline
+    "usage: main.exe [-j N] [--no-cache] [--cache-dir DIR] \
+     [table1|table2|fig5|fig6|fig7|ablation|wholeprog|schedulers\
+     |latency|registers|timing|quick|quick-json [PATH]|json]";
+  exit 2
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let rec strip acc = function
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n -> jobs := n; strip acc rest
+        | None -> usage ())
+    | [ "-j" ] -> usage ()
+    | "--no-cache" :: rest ->
+        use_cache := false;
+        strip acc rest
+    | "--cache-dir" :: dir :: rest ->
+        cache_dir := dir;
+        strip acc rest
+    | [ "--cache-dir" ] -> usage ()
+    | a :: rest -> strip (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = strip [] (List.tl (Array.to_list Sys.argv)) in
   match args with
   | [ "table1" ] -> table1 ()
   | [ "table2" ] -> table2 ()
@@ -561,8 +627,4 @@ let () =
       distribute ();
       timing ();
       bench_json ~path:"BENCH_pipeline.json" ()
-  | _ ->
-      prerr_endline
-        "usage: main.exe [table1|table2|fig5|fig6|fig7|ablation|wholeprog|schedulers\
-         |latency|registers|timing|quick|quick-json [PATH]|json]";
-      exit 2
+  | _ -> usage ()

@@ -91,6 +91,39 @@ let clock_of ~deterministic =
   if deterministic then Obs.Clock.fake () else Unix.gettimeofday
 
 (* ------------------------------------------------------------------ *)
+(* Engine arguments: one -j/--jobs and one cache triple shared by every
+   suite-sweeping subcommand, so the flags mean the same thing
+   everywhere. -j 1 (the default) is the exact serial path.            *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Shard the work over $(docv) domains (0 = one per core). The default 1 runs \
+           the exact serial path; every other value produces byte-identical output.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string Engine.Cache.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Content-addressed result cache directory (see $(b,rbp cache)).")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Skip the result cache entirely: neither read nor write cached per-loop \
+           outcomes.")
+
+let cache_of ~no_cache ~cache_dir =
+  if no_cache then None else Some (Engine.Cache.open_ ~dir:cache_dir ())
+
+let effective_jobs jobs = if jobs <= 0 then Engine.Pool.default_jobs () else jobs
+
+(* ------------------------------------------------------------------ *)
 (* Tracing support                                                     *)
 
 let trace_out_arg =
@@ -206,7 +239,7 @@ let unroll_arg =
   Arg.(value & opt int 1 & info [ "unroll"; "u" ] ~docv:"FACTOR" ~doc)
 
 let pipeline_cmd =
-  let run seed name clusters model partitioner scheduler unroll trips trace_out =
+  let run seed name clusters model partitioner scheduler unroll trips jobs trace_out =
     let loop = or_die (load_loop ~seed name) in
     let loop =
       if unroll <= 1 then loop
@@ -219,9 +252,16 @@ let pipeline_cmd =
     let machine = or_die (machine_of ~clusters ~model) in
     with_trace trace_out @@ fun obs ->
     let r =
-      or_die
-        (Result.map_error Verify.Stage_error.to_string
-           (Partition.Driver.pipeline ?obs ~partitioner ~scheduler ~machine loop))
+      (* One loop is one job, so the pool clamps -j N to the serial
+         path — the flag still means the same thing as on the suite
+         commands. *)
+      let task () = Partition.Driver.pipeline ?obs ~partitioner ~scheduler ~machine loop in
+      let out =
+        match (Engine.Pool.run ~jobs:(effective_jobs jobs) [| task |]).(0) with
+        | Ok out -> out
+        | Error exn -> raise exn
+      in
+      or_die (Result.map_error Verify.Stage_error.to_string out)
     in
     Format.printf "=== %a ===@." Mach.Machine.pp machine;
     Format.printf "@.--- ideal kernel (II=%d) ---@.%a@." r.Partition.Driver.ideal.Sched.Modulo.ii
@@ -260,7 +300,7 @@ let pipeline_cmd =
        ~doc:"Run the full partition + software-pipelining framework on one loop")
     Term.(
       const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ partitioner_arg
-      $ scheduler_arg $ unroll_arg $ trips $ trace_out_arg)
+      $ scheduler_arg $ unroll_arg $ trips $ jobs_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -360,10 +400,20 @@ let explain_cmd =
 (* report                                                              *)
 
 let report_cmd =
-  let run seed n format check out deterministic =
+  let run seed n format check out jobs cache_dir no_cache deterministic =
     let loops = Workload.Suite.loops ~seed ~n () in
     let obs = Obs.Trace.make ~clock:(clock_of ~deterministic) () in
-    let runs = Core.Experiment.run_all ~obs ~loops () in
+    let cache = cache_of ~no_cache ~cache_dir in
+    let t0 = Unix.gettimeofday () in
+    let runs =
+      Core.Experiment.run_all ~obs ~jobs ?cache
+        ~job_clock:(fun _ -> clock_of ~deterministic)
+        ~loops ()
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let cache_hits =
+      List.fold_left (fun acc (r : Core.Experiment.run) -> acc + r.cache_hits) 0 runs
+    in
     let ideal_ipc = Core.Experiment.ideal_ipc ~loops () in
     let text =
       match format with
@@ -379,8 +429,9 @@ let report_cmd =
       | `Json ->
           let doc = Core.Report.paper_tables_json ~seed ~loops:n ~ideal_ipc runs in
           let doc =
-            (* Wall times are the one non-deterministic part; attach them
-               only when the caller did not ask for byte-stable output. *)
+            (* Wall times and engine telemetry are the non-deterministic
+               parts; attach them only when the caller did not ask for
+               byte-stable output. *)
             if deterministic then doc
             else
               match doc with
@@ -399,6 +450,9 @@ let report_cmd =
                                      ("calls", Obs.Json.Num (float_of_int calls));
                                    ])
                                (Obs.Trace.totals_by_name obs)) );
+                        ("jobs", Obs.Json.Num (float_of_int (effective_jobs jobs)));
+                        ("cache_hits", Obs.Json.Num (float_of_int cache_hits));
+                        ("wall_s", Obs.Json.Num wall_s);
                       ])
               | other -> other
           in
@@ -458,7 +512,9 @@ let report_cmd =
          "Run the paper's experiment suite and render Tables 1-2 as markdown (the exact \
           EXPERIMENTS.md sections), terminal tables, or rbp-bench/1 JSON. With \
           $(b,--check) also verify a document still contains the regenerated tables")
-    Term.(const run $ seed_arg $ n $ format $ check $ out $ deterministic_arg)
+    Term.(
+      const run $ seed_arg $ n $ format $ check $ out $ jobs_arg $ cache_dir_arg
+      $ no_cache_arg $ deterministic_arg)
 
 (* ------------------------------------------------------------------ *)
 (* perfdiff                                                            *)
@@ -496,6 +552,11 @@ let perfdiff_cmd =
         if quiet then
           print_string (Core.Perfdiff.render regressed)
         else print_string (Core.Perfdiff.render findings);
+        (* Informational only: engine telemetry (jobs level, wall-time
+           speedup, cache hits) never affects the exit code. *)
+        (match Core.Perfdiff.engine_note ~baseline ~current with
+        | Some note -> print_endline note
+        | None -> ());
         if regressed <> [] then exit 1
   in
   let old_path =
@@ -659,10 +720,15 @@ let alloc_cmd =
 (* experiment                                                          *)
 
 let experiment_cmd =
-  let run seed n trace_out =
+  let run seed n jobs cache_dir no_cache trace_out =
     let loops = Workload.Suite.loops ~seed ~n () in
     with_trace trace_out @@ fun obs ->
-    let runs = Core.Experiment.run_all ?obs ~loops () in
+    let cache = cache_of ~no_cache ~cache_dir in
+    let runs =
+      Core.Experiment.run_all ?obs ~jobs ?cache
+        ~job_clock:(fun _ -> Unix.gettimeofday)
+        ~loops ()
+    in
     let ipc = Core.Experiment.ideal_ipc ~loops () in
     Util.Table.print (Core.Report.table1 ~ideal_ipc:ipc runs);
     print_newline ();
@@ -697,7 +763,8 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ seed_arg $ n $ trace_out_arg)
+    Term.(
+      const run $ seed_arg $ n $ jobs_arg $ cache_dir_arg $ no_cache_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -880,10 +947,12 @@ let lint_cmd =
     Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ regs $ strict)
 
 let stress_cmd =
-  let run seed trials fault_rate no_fatal verbose trace_out =
+  let run seed trials fault_rate no_fatal verbose jobs trace_out =
     with_trace trace_out @@ fun obs ->
     let s =
-      Robust.Stress.run ?obs ~include_fatal:(not no_fatal) ~fault_rate ~seed ~trials ()
+      Robust.Stress.run ?obs ~jobs
+        ~job_clock:(fun _ -> Unix.gettimeofday)
+        ~include_fatal:(not no_fatal) ~fault_rate ~seed ~trials ()
     in
     print_endline (Robust.Stress.report ~verbose s);
     exit (Robust.Stress.exit_code s)
@@ -926,7 +995,47 @@ let stress_cmd =
           trial produced verified code or failed cleanly with a structured diagnostic; \
           1 when a transient fault went unrecovered; 2 on a violation (an exception \
           escaped the driver, or emitted code failed re-verification)")
-    Term.(const run $ seed_arg $ trials $ fault_rate $ no_fatal $ verbose $ trace_out_arg)
+    Term.(
+      const run $ seed_arg $ trials $ fault_rate $ no_fatal $ verbose $ jobs_arg
+      $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cache                                                               *)
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(
+      value
+      & opt string Engine.Cache.default_dir
+      & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Cache directory.")
+  in
+  let stat_cmd =
+    let run dir =
+      let s = Engine.Cache.stat ~dir () in
+      Printf.printf "%s: %d entries, %d bytes\n" dir s.Engine.Cache.entries
+        s.Engine.Cache.bytes
+    in
+    Cmd.v
+      (Cmd.info "stat" ~doc:"Report how many results the cache holds and their size")
+      Term.(const run $ dir_arg)
+  in
+  let clear_cmd =
+    let run dir =
+      let n = Engine.Cache.clear ~dir () in
+      Printf.printf "%s: removed %d entries\n" dir n
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Remove every cached result (the directory is kept)")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or clear the content-addressed result cache used by $(b,rbp \
+          experiment), $(b,rbp report) and the bench harness. Entries are addressed by \
+          a digest of the loop body, the machine description and the pipeline options, \
+          so stale hits are impossible: changed inputs are a different address")
+    [ stat_cmd; clear_cmd ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -936,6 +1045,6 @@ let main =
     (Cmd.info "rbp" ~version:"1.0" ~doc)
     [ list_cmd; show_cmd; pipeline_cmd; trace_cmd; explain_cmd; report_cmd; perfdiff_cmd;
       schedule_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd; stress_cmd;
-      sim_cmd; experiment_cmd; csv_cmd ]
+      sim_cmd; experiment_cmd; csv_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -30,25 +30,34 @@ type run = {
   config : config;
   metrics : Metrics.loop_metrics list;
   failures : (string * Verify.Stage_error.t) list;
+  cache_hits : int;
 }
 
-let run_config ?obs ?partitioner ?loops config =
+let run_config ?obs ?(jobs = 1) ?cache ?job_clock ?partitioner ?loops config =
   let loops = match loops with Some l -> l | None -> Lazy.force default_loops in
   Obs.Trace.span obs "experiment.config"
     ~attrs:[ ("config", config.label); ("loops", string_of_int (List.length loops)) ]
   @@ fun () ->
+  let batch =
+    Batch.run ?obs ~jobs ?cache ?job_clock ?partitioner ~machine:config.machine loops
+  in
   let metrics = ref [] in
   let failures = ref [] in
-  List.iter
-    (fun loop ->
-      match Partition.Driver.pipeline ?obs ?partitioner ~machine:config.machine loop with
-      | Ok r -> metrics := Metrics.of_result r :: !metrics
-      | Error e -> failures := (Ir.Loop.name loop, e) :: !failures)
-    loops;
-  { config; metrics = List.rev !metrics; failures = List.rev !failures }
+  Array.iter
+    (fun (name, outcome) ->
+      match outcome with
+      | Ok m -> metrics := m :: !metrics
+      | Error e -> failures := (name, e) :: !failures)
+    batch.Batch.outcomes;
+  {
+    config;
+    metrics = List.rev !metrics;
+    failures = List.rev !failures;
+    cache_hits = batch.Batch.hits;
+  }
 
-let run_all ?obs ?partitioner ?loops ?(configs = paper_configs) () =
-  List.map (run_config ?obs ?partitioner ?loops) configs
+let run_all ?obs ?jobs ?cache ?job_clock ?partitioner ?loops ?(configs = paper_configs) () =
+  List.map (run_config ?obs ?jobs ?cache ?job_clock ?partitioner ?loops) configs
 
 let ideal_ipc ?loops () =
   let loops = match loops with Some l -> l | None -> Lazy.force default_loops in

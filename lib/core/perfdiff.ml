@@ -15,6 +15,9 @@ type doc = {
   loops : int;
   ideal_ipc : float;
   configs : config_metrics list;
+  jobs : int option;
+  cache_hits : int option;
+  wall_s : float option;
 }
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
@@ -58,7 +61,16 @@ let parse text =
           Ok (c :: acc))
         (Ok []) configs
     in
-    Ok { seed; loops; ideal_ipc; configs = List.rev configs }
+    (* Engine telemetry is additive and host-dependent: absent in older
+       documents, never compared for regressions. *)
+    let opt conv name = Option.bind (Obs.Json.member name j) conv in
+    Ok
+      {
+        seed; loops; ideal_ipc; configs = List.rev configs;
+        jobs = opt Obs.Json.to_int "jobs";
+        cache_hits = opt Obs.Json.to_int "cache_hits";
+        wall_s = opt Obs.Json.to_num "wall_s";
+      }
 
 type thresholds = { ipc_rel_drop : float; degradation_rise : float; pct_drop : float }
 
@@ -131,6 +143,27 @@ let diff ?(thresholds = default_thresholds) ~baseline ~current () =
   end
 
 let regressions findings = List.filter (fun f -> f.regressed) findings
+
+let engine_note ~baseline ~current =
+  let jobs_part =
+    match (baseline.jobs, current.jobs) with
+    | None, None -> None
+    | b, c ->
+        let show = function None -> "?" | Some j -> Printf.sprintf "-j %d" j in
+        Some (Printf.sprintf "jobs %s -> %s" (show b) (show c))
+  in
+  let wall_part =
+    match (baseline.wall_s, current.wall_s) with
+    | Some b, Some c when b > 0.0 && c > 0.0 ->
+        Some (Printf.sprintf "wall %.2fs -> %.2fs (%.2fx)" b c (b /. c))
+    | _ -> None
+  in
+  let hits_part =
+    Option.map (fun h -> Printf.sprintf "cache hits %d" h) current.cache_hits
+  in
+  match List.filter_map Fun.id [ jobs_part; wall_part; hits_part ] with
+  | [] -> None
+  | parts -> Some ("engine: " ^ String.concat ", " parts)
 
 let render findings =
   let b = Buffer.create 1024 in

@@ -29,6 +29,9 @@ type doc = {
   loops : int;
   ideal_ipc : float;
   configs : config_metrics list;
+  jobs : int option;  (** engine [-j] level, absent in pre-engine documents *)
+  cache_hits : int option;  (** result-cache hits across the run *)
+  wall_s : float option;  (** whole-run wall time; host-dependent, never gated *)
 }
 
 val parse : string -> (doc, string) result
@@ -63,6 +66,12 @@ val diff :
     incomparable (the exit-2 case). *)
 
 val regressions : finding list -> finding list
+
+val engine_note : baseline:doc -> current:doc -> string option
+(** One informational line about the engine telemetry (jobs level, wall
+    speedup ratio, cache hits) when either document carries it — never a
+    regression, never part of the exit code. [None] for two pre-engine
+    documents. *)
 
 val render : finding list -> string
 (** One line per metric: [ok]/[REGRESSED], values and delta. *)

@@ -1,0 +1,85 @@
+type t = { dir : string }
+
+let default_dir = "_rbp_cache"
+let dir t = t.dir
+let open_ ?(dir = default_dir) () = { dir }
+
+(* Two-level fan-out: 256 buckets keeps directories small even for a
+   full-suite sweep per machine config. *)
+let path_of t key =
+  let bucket = String.sub key 0 (min 2 (String.length key)) in
+  let rest = String.sub key (min 2 (String.length key)) (max 0 (String.length key - 2)) in
+  Filename.concat (Filename.concat t.dir bucket) (rest ^ ".json")
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some s
+
+let find t ~key =
+  match read_file (path_of t key) with
+  | None -> None
+  | Some text -> ( match Obs.Json.of_string text with Ok j -> Some j | Error _ -> None)
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let store t ~key json =
+  let path = path_of t key in
+  try
+    mkdir_p (Filename.dirname path);
+    let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "entry" ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc (Obs.Json.to_string json);
+    output_char oc '\n';
+    close_out oc;
+    Sys.rename tmp path
+  with Sys_error _ -> ()
+
+type stats = { entries : int; bytes : int }
+
+let iter_entries dir f =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun bucket ->
+        let bdir = Filename.concat dir bucket in
+        if Sys.is_directory bdir then
+          Array.iter
+            (fun file ->
+              if Filename.check_suffix file ".json" then f (Filename.concat bdir file))
+            (Sys.readdir bdir))
+      (Sys.readdir dir)
+
+let stat ?(dir = default_dir) () =
+  let entries = ref 0 and bytes = ref 0 in
+  iter_entries dir (fun path ->
+      incr entries;
+      match open_in_bin path with
+      | exception Sys_error _ -> ()
+      | ic ->
+          bytes := !bytes + in_channel_length ic;
+          close_in ic);
+  { entries = !entries; bytes = !bytes }
+
+let clear ?(dir = default_dir) () =
+  let removed = ref 0 in
+  iter_entries dir (fun path ->
+      try
+        Sys.remove path;
+        incr removed
+      with Sys_error _ -> ());
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun bucket ->
+        let bdir = Filename.concat dir bucket in
+        if Sys.is_directory bdir && Array.length (Sys.readdir bdir) = 0 then
+          try Sys.rmdir bdir with Sys_error _ -> ())
+      (Sys.readdir dir);
+  !removed

@@ -1,0 +1,46 @@
+(** Content-addressed on-disk result cache.
+
+    Entries live under [dir/<k0k1>/<k2..>.json] where the path is the
+    {!Key.make} digest of the job's content fingerprint — so the store
+    needs no index, survives across runs and processes, and can never
+    serve a stale answer for changed inputs (changed inputs are a
+    different address; semantic changes to the pipeline itself are
+    invalidated by bumping {!Key.version_salt}).
+
+    The handle performs no locking: lookups and stores happen on the
+    submitting domain only (see {!Run}), and stores are
+    write-to-temp-then-rename so a concurrent reader or a second
+    process racing on the same key sees either nothing or a complete
+    entry — both fine, because entries for one key are byte-identical
+    by construction. I/O failures are treated as misses or ignored: a
+    broken disk degrades to recomputation, never to a wrong answer or
+    a raised exception. *)
+
+type t
+
+val default_dir : string
+(** ["_rbp_cache"], resolved relative to the working directory. *)
+
+val dir : t -> string
+
+val open_ : ?dir:string -> unit -> t
+(** Cheap; creates nothing on disk until the first {!store}. *)
+
+val find : t -> key:string -> Obs.Json.t option
+(** [None] on absence, unreadable entry, or malformed JSON. *)
+
+val store : t -> key:string -> Obs.Json.t -> unit
+(** Atomic (temp file + rename). Failures are silently dropped — the
+    cache is an accelerator, not a database. *)
+
+type stats = {
+  entries : int;  (** cached results on disk *)
+  bytes : int;    (** total size of the entry files *)
+}
+
+val stat : ?dir:string -> unit -> stats
+(** Walks the store; an absent directory is an empty store. *)
+
+val clear : ?dir:string -> unit -> int
+(** Removes every entry (and the bucket directories); returns how many
+    entries were removed. The directory itself is kept. *)

@@ -1,0 +1,28 @@
+(** Stable content-addressed cache keys.
+
+    A key is the hex digest of an unambiguous encoding of labelled
+    fingerprint parts plus {!version_salt}. Two keys are equal exactly
+    when every part is equal (up to digest collision, which the qcheck
+    suite treats as impossible in practice): each part is
+    length-prefixed, so no concatenation of distinct part lists can
+    produce the same encoding.
+
+    Callers build the parts from {e content}, never from file names or
+    timestamps: the loop IR text, the machine description, the pipeline
+    options. Anything that changes the pipeline's answer must appear in
+    some part — or in the salt. *)
+
+val version_salt : string
+(** Folded into every key. Bump this string whenever the pipeline's
+    observable results change (scheduler tweaks, new copy heuristics,
+    metric definition changes): every existing cache entry then misses,
+    which is the correct, conservative invalidation. *)
+
+val encode : (string * string) list -> string
+(** The injective pre-digest encoding (exposed for the collision
+    property tests): [salt] then each [(label, value)] pair with both
+    components length-prefixed. *)
+
+val make : (string * string) list -> string
+(** [make parts] is the hex MD5 digest of [encode parts] — 32 lowercase
+    hex characters, safe as a file name. *)

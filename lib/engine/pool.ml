@@ -1,0 +1,91 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+type deque = {
+  arr : int array;        (* task indices; fixed after construction *)
+  mutable top : int;      (* next slot a thief takes *)
+  mutable bottom : int;   (* one past the next slot the owner takes *)
+  lock : Mutex.t;
+}
+
+let pop d =
+  Mutex.lock d.lock;
+  let r =
+    if d.top < d.bottom then begin
+      d.bottom <- d.bottom - 1;
+      Some d.arr.(d.bottom)
+    end
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+let steal d =
+  Mutex.lock d.lock;
+  let r =
+    if d.top < d.bottom then begin
+      let v = d.arr.(d.top) in
+      d.top <- d.top + 1;
+      Some v
+    end
+    else None
+  in
+  Mutex.unlock d.lock;
+  r
+
+let run ~jobs (tasks : (unit -> 'a) array) : ('a, exn) result array =
+  let n = Array.length tasks in
+  let exec i = try Ok (tasks.(i) ()) with e -> Error e in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then begin
+      (* The serial fallback: calling domain, submission order, no pool
+         machinery at all. *)
+      let out = Array.make n None in
+      for i = 0 to n - 1 do
+        out.(i) <- Some (exec i)
+      done;
+      Array.map Option.get out
+    end
+    else begin
+      let results = Array.make n None in
+      let deques =
+        Array.init jobs (fun k ->
+            let lo = k * n / jobs and hi = (k + 1) * n / jobs in
+            {
+              arr = Array.init (hi - lo) (fun i -> lo + i);
+              top = 0;
+              bottom = hi - lo;
+              lock = Mutex.create ();
+            })
+      in
+      let rec next_task k =
+        match pop deques.(k) with
+        | Some i -> Some i
+        | None ->
+            (* Steal scan: victims in round-robin order from our right
+               neighbour. Tasks are only ever removed, so finding every
+               deque empty is a stable termination condition. *)
+            let rec scan step =
+              if step >= jobs then None
+              else
+                match steal deques.((k + step) mod jobs) with
+                | Some i -> Some i
+                | None -> scan (step + 1)
+            in
+            scan 1
+      and worker k =
+        match next_task k with
+        | None -> ()
+        | Some i ->
+            results.(i) <- Some (exec i);
+            worker k
+      in
+      let others = Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+      worker 0;
+      Array.iter Domain.join others;
+      (* Every join happened-before this read, so the slots written by
+         other domains are visible; every slot was claimed exactly once. *)
+      Array.map (function Some r -> r | None -> assert false) results
+    end
+  end

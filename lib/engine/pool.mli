@@ -1,0 +1,33 @@
+(** Work-stealing domain pool for embarrassingly parallel job batches.
+
+    [run ~jobs tasks] evaluates every task and returns their outcomes
+    {e in submission order} — parallelism never reorders results, which
+    is what lets every consumer (suite metrics, stress reports, bench
+    telemetry) stay byte-identical across [-j] levels.
+
+    Scheduling: the task indices are dealt into one deque per worker in
+    contiguous chunks; each worker pops from the bottom of its own
+    deque and, when empty, steals from the top of the others
+    (round-robin scan). Chunked dealing keeps cache-warm neighbours
+    together; stealing keeps the pool busy when loop compile times are
+    skewed, which they heavily are (generated loops range from 3 to
+    ~50 ops). Deques are mutex-guarded — at whole-loop-compilation
+    granularity the lock is nanoseconds against milliseconds of work.
+
+    Fault isolation: a task that raises marks {e its own} slot with
+    [Error exn]; the other tasks and the pool itself are unaffected.
+
+    [jobs <= 1] (or a single task) runs everything on the calling
+    domain, in order, with no domain spawned and no deque built — the
+    exact serial path, so [-j 1] is a true fallback and not merely a
+    one-worker pool. *)
+
+val run : jobs:int -> (unit -> 'a) array -> ('a, exn) result array
+(** [jobs] is clamped to [1 .. Array.length tasks]. Tasks must not
+    assume anything about which domain runs them; anything they share
+    must be immutable or externally synchronized (see DESIGN.md §11 for
+    the audit of what the pipeline shares: nothing mutable). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — one worker per available
+    core, the [-j 0] / unset default everywhere. *)

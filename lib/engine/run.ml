@@ -1,0 +1,83 @@
+type 'a codec = { encode : 'a -> Obs.Json.t; decode : Obs.Json.t -> 'a option }
+type 'a job = { key : string option; work : Obs.Trace.t option -> 'a }
+
+type stats = { jobs : int; hits : int; misses : int; executed : int; stored : int }
+
+let map ?cache ?codec ?obs ?job_clock ~jobs (js : 'a job array) =
+  let n = Array.length js in
+  let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+  let jobs = max 1 (min jobs (max 1 n)) in
+  let results : ('a, exn) result option array = Array.make n None in
+  let hits = ref 0 and misses = ref 0 and stored = ref 0 in
+  (* Phase 1: cache probe — submitting domain, submission order. *)
+  (match (cache, codec) with
+  | Some c, Some cd ->
+      for i = 0 to n - 1 do
+        match js.(i).key with
+        | None -> ()
+        | Some key -> (
+            match Option.bind (Cache.find c ~key) cd.decode with
+            | Some v ->
+                incr hits;
+                results.(i) <- Some (Ok v)
+            | None -> incr misses)
+      done
+  | _ -> ());
+  let todo = ref [] in
+  for i = n - 1 downto 0 do
+    if results.(i) = None then todo := i :: !todo
+  done;
+  let todo = Array.of_list !todo in
+  (* Phase 2: execute. *)
+  if jobs = 1 then
+    (* Serial path: caller's context, calling domain, submission order —
+       exactly the pre-engine behaviour. *)
+    Array.iter
+      (fun i -> results.(i) <- Some (try Ok (js.(i).work obs) with e -> Error e))
+      todo
+  else begin
+    let traces = Array.make n None in
+    let tasks =
+      Array.map
+        (fun i ->
+          let tr =
+            match obs with
+            | None -> None
+            | Some _ ->
+                let clock =
+                  match job_clock with Some f -> f i | None -> Obs.Clock.fake ()
+                in
+                Some (Obs.Trace.make ~clock ())
+          in
+          traces.(i) <- tr;
+          fun () -> js.(i).work tr)
+        todo
+    in
+    let outs = Pool.run ~jobs tasks in
+    Array.iteri (fun k i -> results.(i) <- Some outs.(k)) todo;
+    (* Phase 3: fold per-job contexts — submission order, after the
+       barrier, so totals and event order are independent of [jobs]. *)
+    match obs with
+    | None -> ()
+    | Some parent ->
+        Array.iter
+          (fun i ->
+            match traces.(i) with
+            | Some t -> Obs.Trace.merge ~into:parent t
+            | None -> ())
+          todo
+  end;
+  (* Phase 4: write back fresh keyed results — submitting domain. *)
+  (match (cache, codec) with
+  | Some c, Some cd ->
+      Array.iter
+        (fun i ->
+          match (js.(i).key, results.(i)) with
+          | Some key, Some (Ok v) ->
+              Cache.store c ~key (cd.encode v);
+              incr stored
+          | _ -> ())
+        todo
+  | _ -> ());
+  let out = Array.map (function Some r -> r | None -> assert false) results in
+  (out, { jobs; hits = !hits; misses = !misses; executed = Array.length todo; stored = !stored })

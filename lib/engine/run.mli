@@ -1,0 +1,66 @@
+(** The execution engine: cached, sharded job batches with
+    deterministic merging.
+
+    One call = one batch of independent jobs (typically "compile one
+    loop on one machine"). The engine
+
+    + probes the {!Cache} for every keyed job (submitting domain,
+      submission order),
+    + runs the remaining jobs on a {!Pool} of [jobs] domains,
+    + folds every per-job {!Obs.Trace} context into the caller's
+      context {e in submission order} after the pool barrier
+      ({!Obs.Trace.merge}), and
+    + stores freshly computed keyed results back (submitting domain,
+      submission order).
+
+    Determinism contract: the returned array, the caller's counter
+    totals, gauge folds and event stream are pure functions of the job
+    array — independent of [jobs]. Cache hits skip execution, so a warm
+    run's {e trace} is smaller than a cold run's; the {e results} are
+    identical because entries are decoded from exactly what a cold run
+    stored ({!Obs.Json} numbers round-trip losslessly).
+
+    Serial fallback: with [jobs <= 1] the engine passes the caller's
+    own [obs] context straight into each job and runs them in order on
+    the calling domain — byte-for-byte the pre-engine serial path, with
+    the cache as the only (order-preserving) interposition. *)
+
+type 'a codec = {
+  encode : 'a -> Obs.Json.t;
+  decode : Obs.Json.t -> 'a option;  (** [None] = unreadable, treat as miss *)
+}
+
+type 'a job = {
+  key : string option;
+      (** {!Key.make} content fingerprint; [None] = never cached (e.g.
+          a [Custom] partitioner closure that cannot be fingerprinted) *)
+  work : Obs.Trace.t option -> 'a;
+      (** receives the context to instrument: the caller's own under
+          [-j 1], a private per-job context under [-j N] *)
+}
+
+type stats = {
+  jobs : int;      (** worker count actually used (after clamping) *)
+  hits : int;      (** results served from the cache *)
+  misses : int;    (** keyed jobs that had to execute *)
+  executed : int;  (** jobs that ran, keyed or not *)
+  stored : int;    (** fresh results written back *)
+}
+
+val map :
+  ?cache:Cache.t ->
+  ?codec:'a codec ->
+  ?obs:Obs.Trace.t ->
+  ?job_clock:(int -> Obs.Clock.t) ->
+  jobs:int ->
+  'a job array ->
+  ('a, exn) result array * stats
+(** [jobs <= 0] means {!Pool.default_jobs} (one per core). An [Error]
+    slot is a job that raised — the pool and the other jobs are
+    unaffected (per-job fault isolation); callers map it onto their
+    structured-error type. [codec] and [cache] must both be present for
+    caching to happen. [job_clock i] supplies the clock for job [i]'s
+    private context in parallel mode (real runs pass wall clocks,
+    deterministic runs fresh fake clocks); the default is a fresh
+    {!Obs.Clock.fake} per job, which keeps counters and events exact
+    and makes only span durations synthetic. *)

@@ -87,6 +87,33 @@ let set_gauge obs ?label g v =
       | Some r -> r := (v, max v (snd !r))
       | None -> Hashtbl.replace t.gauges key (ref (v, v)))
 
+let merge ~into child =
+  (* Fold a quiescent per-job context into the submitting context, in
+     one place so every fold site (the engine barrier) agrees on the
+     order: spans under the innermost open span (or as new roots),
+     counters summed, gauges last-wins/max-folds, events appended in
+     the child's emission order. Called only from the submitting
+     domain, after every worker joined. *)
+  let completed = List.rev child.root_spans in
+  (match into.stack with
+  | s :: _ -> List.iter (fun r -> s.children <- r :: s.children) completed
+  | [] -> List.iter (fun r -> into.root_spans <- r :: into.root_spans) completed);
+  Hashtbl.iter
+    (fun key r ->
+      match Hashtbl.find_opt into.counters key with
+      | Some r' -> r' := !r' + !r
+      | None -> Hashtbl.replace into.counters key (ref !r))
+    child.counters;
+  Hashtbl.iter
+    (fun key r ->
+      let last, mx = !r in
+      match Hashtbl.find_opt into.gauges key with
+      | Some r' -> r' := (last, max mx (snd !r'))
+      | None -> Hashtbl.replace into.gauges key (ref (last, mx)))
+    child.gauges;
+  into.events <- child.events @ into.events;
+  into.event_count <- into.event_count + child.event_count
+
 let roots t =
   (* Spans still open (a trace exported mid-flight) are presented as
      they are; their children lists are reversed in place at close, so

@@ -54,6 +54,24 @@ val iter_events : (Events.t -> unit) -> t -> unit
 val set_gauge : t option -> ?label:string -> Counter.gauge -> int -> unit
 (** Record a gauge observation; the cell keeps the last and the max. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into child] folds a completed child context into [into]:
+    the child's finished root spans become children of [into]'s
+    innermost open span (or new roots when none is open, appended after
+    the existing ones), counter cells are summed, gauge cells keep the
+    child's last value and the max of both maxima, and the child's
+    events are appended after [into]'s, preserving their emission
+    order.
+
+    This is the fold half of the engine's per-job observability
+    contract: parallel jobs each write a private context (contexts are
+    single-threaded by design), and the engine merges them on the
+    submitting domain, in submission order, after the pool barrier —
+    so every total and the event stream are deterministic functions of
+    the job list, independent of how many domains ran it. The child
+    must be quiescent (no open spans of its own are merged) and must
+    not be used afterwards. *)
+
 val roots : t -> span list
 (** Completed top-level spans, oldest first. *)
 

@@ -65,25 +65,69 @@ let classify ~fired outcome_of_run =
         Unrecovered
       else Failed_clean
 
-let run ?obs ?(config = Driver.default_config) ?(include_fatal = true) ?(fault_rate = 0.9)
-    ~seed ~trials () =
+type drawn = {
+  trial_prng : Util.Prng.t;
+  trial_loop : Ir.Loop.t;
+  trial_machine : Mach.Machine.t;
+  trial_plan : Inject.fault list;
+}
+
+let run ?obs ?(jobs = 1) ?job_clock ?(config = Driver.default_config)
+    ?(include_fatal = true) ?(fault_rate = 0.9) ~seed ~trials () =
   let pool = if include_fatal then Inject.all else Inject.recoverable in
   let loops = Workload.Suite.loops () in
   let master = Util.Prng.create seed in
+  (* Draw every trial's inputs serially first: [Prng.split] mutates the
+     master, so the split order — hence the whole suite — must not
+     depend on [jobs]. Each trial then owns its private split. *)
+  let inputs =
+    let a = Array.make (max trials 0) None in
+    for index = 0 to trials - 1 do
+      let prng = Util.Prng.split master in
+      let loop = Util.Prng.choose prng loops in
+      let machine = pick_machine prng in
+      let plan =
+        if Util.Prng.chance prng fault_rate then [ Util.Prng.choose prng pool ] else []
+      in
+      a.(index) <-
+        Some { trial_prng = prng; trial_loop = loop; trial_machine = machine; trial_plan = plan }
+    done;
+    Array.map (function Some d -> d | None -> assert false) a
+  in
+  let js =
+    Array.map
+      (fun d ->
+        {
+          (* Fault plans are drawn fresh each run; trials are never cached. *)
+          Engine.Run.key = None;
+          work =
+            (fun tr ->
+              let armed = Inject.arm ~prng:d.trial_prng d.trial_plan in
+              let run_result =
+                match
+                  Driver.run ?obs:tr ~config ~hooks:armed.Inject.hooks
+                    ~machine:d.trial_machine d.trial_loop
+                with
+                | Ok r -> `Ok r
+                | Error e -> `Error e
+                | exception exn -> `Raised (Printexc.to_string exn)
+              in
+              (run_result, armed.Inject.fired ()));
+        })
+      inputs
+  in
+  let outs, _stats = Engine.Run.map ?obs ?job_clock ~jobs js in
   let results = ref [] in
   for index = 0 to trials - 1 do
-    let prng = Util.Prng.split master in
-    let loop = Util.Prng.choose prng loops in
-    let machine = pick_machine prng in
-    let plan = if Util.Prng.chance prng fault_rate then [ Util.Prng.choose prng pool ] else [] in
-    let armed = Inject.arm ~prng plan in
-    let run_result =
-      match Driver.run ?obs ~config ~hooks:armed.Inject.hooks ~machine loop with
-      | Ok r -> `Ok r
-      | Error e -> `Error e
-      | exception exn -> `Raised (Printexc.to_string exn)
+    let d = inputs.(index) in
+    let run_result, fired =
+      match outs.(index) with
+      | Ok (r, f) -> (r, f)
+      | Error exn ->
+          (* Engine-level backstop: a trial that somehow escaped the
+             in-job catch damns only itself, as a violation. *)
+          (`Raised (Printexc.to_string exn), [])
     in
-    let fired = armed.Inject.fired () in
     let outcome = classify ~fired run_result in
     let rung, n_attempts, error =
       match run_result with
@@ -94,9 +138,9 @@ let run ?obs ?(config = Driver.default_config) ?(include_fatal = true) ?(fault_r
     results :=
       {
         index;
-        loop_name = Ir.Loop.name loop;
-        machine_name = machine.Mach.Machine.name;
-        plan;
+        loop_name = Ir.Loop.name d.trial_loop;
+        machine_name = d.trial_machine.Mach.Machine.name;
+        plan = d.trial_plan;
         fired;
         rung;
         n_attempts;

@@ -51,6 +51,8 @@ type summary = {
 
 val run :
   ?obs:Obs.Trace.t ->
+  ?jobs:int ->
+  ?job_clock:(int -> Obs.Clock.t) ->
   ?config:Driver.config ->
   ?include_fatal:bool ->
   ?fault_rate:float ->
@@ -61,7 +63,13 @@ val run :
 (** [include_fatal] (default true) adds {!Inject.fatal} faults to the
     drawing pool; [fault_rate] (default 0.9) is the chance a trial
     injects any fault at all — the rest exercise the clean path.
-    [obs] is threaded into every trial's {!Driver.run}. *)
+    [obs] is threaded into every trial's {!Driver.run}.
+
+    [jobs] (default 1 — the exact serial path; 0 = one per core) shards
+    the trials across an {!Engine.Pool}. Every trial's inputs are drawn
+    from the master PRNG serially {e before} any trial runs, so the
+    summary is byte-identical for every [jobs] value; trials are never
+    cached (the fault plan is the point). *)
 
 val outcome_name : outcome -> string
 val trial_line : trial -> string

@@ -1,0 +1,40 @@
+The execution engine: -j N output is byte-identical to the serial
+path, and warm cache runs are byte-identical to cold ones.
+
+  $ rbp experiment -n 6 -j 1 --no-cache > j1.txt
+  $ rbp experiment -n 6 -j 4 --no-cache > j4.txt
+  $ cmp j1.txt j4.txt && echo identical
+  identical
+
+  $ rbp report -n 4 -f json --deterministic -j 1 --no-cache > r1.json
+  $ rbp report -n 4 -f json --deterministic -j 4 --no-cache > r4.json
+  $ cmp r1.json r4.json && echo identical
+  identical
+
+The stress harness pre-draws every trial's inputs from the master PRNG
+before sharding, so the suite is -j invariant too.
+
+  $ rbp stress -t 30 -j 1 > s1.txt
+  $ rbp stress -t 30 -j 4 > s4.txt
+  $ cmp s1.txt s4.txt && echo identical
+  identical
+
+The content-addressed cache: a cold run stores one entry per
+(loop, machine, options) triple, a warm run serves them back and the
+tables do not change by a byte.
+
+  $ rbp cache stat -d cache.d
+  cache.d: 0 entries, 0 bytes
+  $ rbp experiment -n 6 -j 2 --cache-dir cache.d > cold.txt
+  $ rbp cache stat -d cache.d | sed 's/[0-9]* bytes/N bytes/'
+  cache.d: 36 entries, N bytes
+  $ rbp experiment -n 6 -j 2 --cache-dir cache.d > warm.txt
+  $ cmp cold.txt warm.txt && echo identical
+  identical
+
+cache clear removes every entry and keeps the directory.
+
+  $ rbp cache clear -d cache.d
+  cache.d: removed 36 entries
+  $ rbp cache stat -d cache.d
+  cache.d: 0 entries, 0 bytes

@@ -56,7 +56,9 @@ let report_cases =
   [
     case "histogram-on-empty-run" (fun () ->
         let cfg = Core.Experiment.config_for ~clusters:2 ~copy_model:Mach.Machine.Embedded in
-        let empty = { Core.Experiment.config = cfg; metrics = []; failures = [] } in
+        let empty =
+          { Core.Experiment.config = cfg; metrics = []; failures = []; cache_hits = 0 }
+        in
         let fig = Core.Report.figure_histogram empty empty ~title:"t" in
         check Alcotest.bool "renders" true (String.length (Util.Table.render fig) > 0);
         check Alcotest.bool "ascii renders" true
@@ -69,7 +71,7 @@ let report_cases =
                 ( "l1",
                   Verify.Stage_error.make ~stage:Verify.Stage_error.Clustered_schedule
                     ~subject:"l1" "boom" );
-              ] }
+              ]; cache_hits = 0 }
         in
         let s = Core.Report.failures_summary [ run ] in
         check Alcotest.bool "mentions loop" true (contains s "l1");
