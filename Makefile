@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-json bench-baseline perfdiff report check-report doc \
-        clean quickstart experiment lint stress trace
+        clean quickstart experiment lint analyze stress trace
 
 all: build
 
@@ -23,6 +23,17 @@ lint:
 # core; J=1 forces the exact serial path. Output is byte-identical for
 # every J, so this is purely a wall-clock knob.
 J ?= 0
+
+# Translation validation of the DDG: the independent dataflow engine
+# re-derives the dependence set of every suite loop and every example
+# and diffs it edge-by-edge against Ddg.Graph. Any unsoundness finding
+# (AN001/AN002) exits non-zero.
+analyze:
+	dune exec bin/rbp.exe -- analyze --diff-ddg -j $(J)
+	@for f in examples/*.ir; do \
+	  echo "== $$f"; \
+	  dune exec bin/rbp.exe -- analyze --diff-ddg $$f || exit 1; \
+	done
 
 # Deterministic fault-injection sweep through the resilient driver:
 # 200 seeded trials, Verify as the oracle. Exit 0 = every trial either

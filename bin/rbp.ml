@@ -16,6 +16,14 @@ let loop_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"LOOP" ~doc)
 
+(* lint and analyze sweep the whole suite when no loop is named. *)
+let opt_loop_arg =
+  let doc =
+    "Loop to operate on: a suite loop name (see $(b,rbp list)) or a path to a textual IR \
+     file. When omitted, the whole suite is swept."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"LOOP" ~doc)
+
 let clusters_arg =
   let doc = "Number of clusters (register banks); must divide 16." in
   Arg.(value & opt int 4 & info [ "clusters"; "c" ] ~docv:"N" ~doc)
@@ -864,69 +872,134 @@ let csv_cmd =
 (* ------------------------------------------------------------------ *)
 (* lint                                                                *)
 
+(* Stable order for machine-readable diagnostics: severity first, then
+   the (code, stage, loc, message) tuple; exact duplicates collapse.
+   Human output keeps pipeline order — it narrates the stages. *)
+let sorted_diags diags =
+  let sev (d : Verify.Diag.t) =
+    match d.Verify.Diag.severity with
+    | Verify.Diag.Error -> 0
+    | Verify.Diag.Warning -> 1
+    | Verify.Diag.Info -> 2
+  in
+  List.sort_uniq
+    (fun (a : Verify.Diag.t) (b : Verify.Diag.t) ->
+      let c = compare (sev a) (sev b) in
+      if c <> 0 then c
+      else
+        compare
+          (a.Verify.Diag.code, a.Verify.Diag.stage, a.Verify.Diag.loc, a.Verify.Diag.message)
+          (b.Verify.Diag.code, b.Verify.Diag.stage, b.Verify.Diag.loc, b.Verify.Diag.message))
+    diags
+
+let diag_json (d : Verify.Diag.t) =
+  let open Obs.Json in
+  Obj
+    ([
+       ("severity", Str (Verify.Diag.severity_name d.Verify.Diag.severity));
+       ("code", Str d.Verify.Diag.code);
+       ("stage", Str (Verify.Diag.stage_name d.Verify.Diag.stage));
+     ]
+    @ (match d.Verify.Diag.loc with None -> [] | Some l -> [ ("loc", Str l) ])
+    @ [ ("message", Str d.Verify.Diag.message) ])
+
 let lint_cmd =
-  let run seed name clusters model regs strict =
-    let print_diags diags =
-      List.iter (fun d -> print_endline (Verify.Diag.to_string d)) diags
+  let run seed name n clusters model regs strict jobs json =
+    let machine0 = or_die (machine_of ~clusters ~model) in
+    let machine =
+      Mach.Machine.make ~regs_per_bank:regs ~clusters
+        ~fus_per_cluster:machine0.Mach.Machine.fus_per_cluster ~copy_model:model ()
     in
-    let finish ~name diags =
-      print_diags diags;
-      Printf.printf "lint: %s: %s\n" name (Verify.Diag.summary diags);
-      if Verify.Diag.has_errors diags || (strict && diags <> []) then exit 1
+    let lint_loop loop =
+      match Partition.Driver.pipeline ~machine loop with
+      | Error e ->
+          [
+            Verify.Diag.error Verify.Diag.Pipe ~code:e.Verify.Stage_error.code
+              (Verify.Stage_error.to_string e);
+          ]
+      | Ok r -> (
+          let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency loop in
+          let rewritten = r.Partition.Driver.rewritten in
+          let ddg' = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency rewritten in
+          let stages =
+            {
+              (Verify.Pipeline.stages ~machine loop) with
+              Verify.Pipeline.ideal = Some (ddg, r.Partition.Driver.ideal.Sched.Modulo.kernel);
+              partition = Some (r.Partition.Driver.assignment, rewritten);
+              clustered = Some (ddg', r.Partition.Driver.clustered.Sched.Modulo.kernel);
+            }
+          in
+          match
+            Regalloc.Alloc.allocate_loop ~machine
+              ~assignment:r.Partition.Driver.assignment rewritten
+          with
+          | Error e ->
+              Verify.Pipeline.run stages
+              @ [
+                  Verify.Diag.error Verify.Diag.Pipe ~code:e.Verify.Stage_error.code
+                    (Verify.Stage_error.to_string e);
+                ]
+          | Ok alloc ->
+              let stages =
+                {
+                  stages with
+                  Verify.Pipeline.alloc =
+                    Some
+                      {
+                        Verify.Pipeline.code = alloc.Regalloc.Alloc.code;
+                        mapping = alloc.Regalloc.Alloc.mapping;
+                        live_out = alloc.Regalloc.Alloc.live_out;
+                      };
+                }
+              in
+              Verify.Pipeline.run stages)
     in
-    let fail ~name diag = finish ~name [ diag ] in
-    match load_loop ~seed name with
-    | Error e -> fail ~name (Verify.Diag.error Verify.Diag.Ir ~code:"IR000" e)
-    | Ok loop -> (
-        let lname = Ir.Loop.name loop in
-        let machine0 = or_die (machine_of ~clusters ~model) in
-        let machine =
-          Mach.Machine.make ~regs_per_bank:regs ~clusters
-            ~fus_per_cluster:machine0.Mach.Machine.fus_per_cluster ~copy_model:model ()
-        in
-        match Partition.Driver.pipeline ~machine loop with
+    (* Returns whether this loop fails the lint. *)
+    let emit ~name diags =
+      if json then begin
+        let open Obs.Json in
+        print_endline
+          (to_string
+             (Obj
+                [
+                  ("loop", Str name);
+                  ("diags", List (List.map diag_json (sorted_diags diags)));
+                  ("summary", Str (Verify.Diag.summary diags));
+                ]))
+      end
+      else begin
+        List.iter (fun d -> print_endline (Verify.Diag.to_string d)) diags;
+        Printf.printf "lint: %s: %s\n" name (Verify.Diag.summary diags)
+      end;
+      Verify.Diag.has_errors diags || (strict && diags <> [])
+    in
+    match name with
+    | Some name -> (
+        match load_loop ~seed name with
         | Error e ->
-            fail ~name:lname
-              (Verify.Diag.error Verify.Diag.Pipe ~code:e.Verify.Stage_error.code
-                 (Verify.Stage_error.to_string e))
-        | Ok r -> (
-            let ddg = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency loop in
-            let rewritten = r.Partition.Driver.rewritten in
-            let ddg' = Ddg.Graph.of_loop ~latency:machine.Mach.Machine.latency rewritten in
-            let stages =
-              {
-                (Verify.Pipeline.stages ~machine loop) with
-                Verify.Pipeline.ideal =
-                  Some (ddg, r.Partition.Driver.ideal.Sched.Modulo.kernel);
-                partition = Some (r.Partition.Driver.assignment, rewritten);
-                clustered = Some (ddg', r.Partition.Driver.clustered.Sched.Modulo.kernel);
-              }
+            if emit ~name [ Verify.Diag.error Verify.Diag.Ir ~code:"IR000" e ] then exit 1
+        | Ok loop -> if emit ~name:(Ir.Loop.name loop) (lint_loop loop) then exit 1)
+    | None ->
+        let loops = Workload.Suite.loops ~seed ~n () in
+        let tasks =
+          Array.of_list (List.map (fun loop () -> lint_loop loop) loops)
+        in
+        let results = Engine.Pool.run ~jobs:(effective_jobs jobs) tasks in
+        let failed = ref false in
+        List.iteri
+          (fun i loop ->
+            let diags =
+              match results.(i) with
+              | Ok diags -> diags
+              | Error exn ->
+                  [
+                    Verify.Diag.error Verify.Diag.Pipe ~code:"PIPE001"
+                      (Printf.sprintf "lint crashed: %s" (Printexc.to_string exn));
+                  ]
             in
-            match
-              Regalloc.Alloc.allocate_loop ~machine
-                ~assignment:r.Partition.Driver.assignment rewritten
-            with
-            | Error e ->
-                finish ~name:lname
-                  (Verify.Pipeline.run stages
-                  @ [
-                      Verify.Diag.error Verify.Diag.Pipe ~code:e.Verify.Stage_error.code
-                        (Verify.Stage_error.to_string e);
-                    ])
-            | Ok alloc ->
-                let stages =
-                  {
-                    stages with
-                    Verify.Pipeline.alloc =
-                      Some
-                        {
-                          Verify.Pipeline.code = alloc.Regalloc.Alloc.code;
-                          mapping = alloc.Regalloc.Alloc.mapping;
-                          live_out = alloc.Regalloc.Alloc.live_out;
-                        };
-                  }
-                in
-                finish ~name:lname (Verify.Pipeline.run stages)))
+            if emit ~name:(Ir.Loop.name loop) diags then failed := true)
+          loops;
+        if !failed then exit 1
   in
   let regs =
     Arg.(
@@ -936,15 +1009,201 @@ let lint_cmd =
   let strict =
     Arg.(value & flag & info [ "strict" ] ~doc:"Treat warnings (and infos) as fatal.")
   in
+  let n =
+    Arg.(
+      value
+      & opt int Workload.Suite.size
+      & info [ "loops"; "n" ] ~docv:"N"
+          ~doc:"Number of suite loops to lint in suite mode.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object per loop (JSONL) instead of text; diagnostics are \
+             sorted by severity then code and deduplicated.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the full pipeline with independent verification at every stage boundary \
           (IR shape, ideal and clustered modulo-schedule legality, operand bank-locality \
-          and copy well-formedness, per-bank register allocation), printing one-line \
-          diagnostics. Exit codes: 0 when no error-severity finding (and, with \
-          $(b,--strict), no finding at all); 1 otherwise")
-    Term.(const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ regs $ strict)
+          and copy well-formedness, per-bank register allocation, independent dataflow \
+          analysis of the DDGs), printing one-line diagnostics. With no LOOP the whole \
+          suite is swept, sharded over $(b,-j) domains with byte-identical output. Exit \
+          codes: 0 when no error-severity finding (and, with $(b,--strict), no finding \
+          at all); 1 otherwise")
+    Term.(
+      const run $ seed_arg $ opt_loop_arg $ n $ clusters_arg $ model_arg $ regs $ strict
+      $ jobs_arg $ json)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze_cmd =
+  let run seed name n clusters model diff_ddg maxlive json jobs =
+    let machine = or_die (machine_of ~clusters ~model) in
+    let latency = machine.Mach.Machine.latency in
+    let loops =
+      match name with
+      | Some name -> [ or_die (load_loop ~seed name) ]
+      | None -> Workload.Suite.loops ~seed ~n ()
+    in
+    let analyze_loop loop =
+      let lname = Ir.Loop.name loop in
+      let summary, report = Analysis.Summary.report ~latency ~name:lname loop in
+      let banks =
+        if not maxlive then None
+        else
+          (* Exact per-bank pressure needs a bank assignment: partition
+             the loop the way the pipeline would and measure the
+             rewritten (copy-carrying) body. *)
+          match Partition.Driver.pipeline ~machine loop with
+          | Error e -> Some (Error (Verify.Stage_error.to_string e))
+          | Ok r ->
+              let live = Analysis.Liveness.of_loop r.Partition.Driver.rewritten in
+              let assignment = r.Partition.Driver.assignment in
+              Some
+                (Ok
+                   (Analysis.Liveness.per_bank_max_live live
+                      ~banks:machine.Mach.Machine.clusters
+                      ~bank_of:(fun v ->
+                        match Ir.Vreg.Map.find_opt v assignment with
+                        | Some b -> b
+                        | None -> -1)))
+      in
+      (summary, report, banks)
+    in
+    let tasks = Array.of_list (List.map (fun loop () -> analyze_loop loop) loops) in
+    let results = Engine.Pool.run ~jobs:(effective_jobs jobs) tasks in
+    let errors = ref 0 and warnings = ref 0 and crashed = ref 0 in
+    if not json then print_endline Analysis.Summary.header;
+    List.iteri
+      (fun i loop ->
+        let lname = Ir.Loop.name loop in
+        match results.(i) with
+        | Error exn ->
+            incr crashed;
+            if json then
+              print_endline
+                (Obs.Json.to_string
+                   (Obs.Json.Obj
+                      [
+                        ("loop", Obs.Json.Str lname);
+                        ("error", Obs.Json.Str (Printexc.to_string exn));
+                      ]))
+            else Printf.printf "%s: analysis crashed: %s\n" lname (Printexc.to_string exn)
+        | Ok (summary, report, banks) ->
+            errors := !errors + summary.Analysis.Summary.diff_errors;
+            warnings := !warnings + summary.Analysis.Summary.diff_warnings;
+            if json then begin
+              let base =
+                match Analysis.Summary.to_json summary with
+                | Obs.Json.Obj fields -> fields
+                | j -> [ ("summary", j) ]
+              in
+              let findings =
+                if not diff_ddg then []
+                else
+                  [
+                    ( "findings",
+                      Obs.Json.List
+                        (List.map
+                           (fun f -> diag_json (Verify.Analysis_check.finding_diag f))
+                           report.Analysis.Validate.findings) );
+                  ]
+              in
+              let bank_field =
+                match banks with
+                | None -> []
+                | Some (Error e) -> [ ("bank_max_live", Obs.Json.Str e) ]
+                | Some (Ok peaks) ->
+                    [
+                      ( "bank_max_live",
+                        Obs.Json.List
+                          (Array.to_list
+                             (Array.map (fun v -> Obs.Json.Num (float_of_int v)) peaks))
+                      );
+                    ]
+              in
+              print_endline
+                (Obs.Json.to_string (Obs.Json.Obj (base @ findings @ bank_field)))
+            end
+            else begin
+              print_endline (Analysis.Summary.to_row summary);
+              if diff_ddg then
+                List.iter
+                  (fun f ->
+                    print_endline
+                      ("  "
+                      ^ Verify.Diag.to_string (Verify.Analysis_check.finding_diag f)))
+                  report.Analysis.Validate.findings;
+              match banks with
+              | None -> ()
+              | Some (Error e) ->
+                  Printf.printf "  maxlive banks: unavailable (%s)\n" e
+              | Some (Ok peaks) ->
+                  Printf.printf "  maxlive banks[%d]:%s (rewritten body)\n"
+                    (Array.length peaks)
+                    (String.concat ""
+                       (Array.to_list (Array.map (Printf.sprintf " %d") peaks)))
+            end)
+      loops;
+    if not json then
+      Printf.printf "analyze: %d loop%s, %d diff error%s, %d diff warning%s\n"
+        (List.length loops)
+        (if List.length loops = 1 then "" else "s")
+        !errors
+        (if !errors = 1 then "" else "s")
+        !warnings
+        (if !warnings = 1 then "" else "s");
+    if !errors > 0 || !crashed > 0 then exit 1
+  in
+  let n =
+    Arg.(
+      value
+      & opt int Workload.Suite.size
+      & info [ "loops"; "n" ] ~docv:"N"
+          ~doc:"Number of suite loops to analyze in suite mode.")
+  in
+  let diff_ddg =
+    Arg.(
+      value & flag
+      & info [ "diff-ddg" ]
+          ~doc:
+            "Print every translation-validation finding (the edge-by-edge diff between \
+             the independently derived dependence set and the DDG), not just the \
+             per-loop counts.")
+  in
+  let maxlive =
+    Arg.(
+      value & flag
+      & info [ "maxlive" ]
+          ~doc:
+            "Also partition each loop and report exact per-bank MaxLive bounds of the \
+             rewritten (copy-carrying) body.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object per loop (JSONL) instead of the table; findings are \
+             pre-sorted and deduplicated.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the independent dataflow analyses (cyclic liveness and MaxLive pressure \
+          bounds, reaching definitions with iteration distances, value-range / \
+          rematerialization, and the dependence analysis) over one loop or the whole \
+          suite, translation-validating the DDG edge-by-edge. Suite mode shards over \
+          $(b,-j) domains with byte-identical output. Exit 1 when any unsoundness \
+          discrepancy (AN001/AN002) or analysis crash is found")
+    Term.(
+      const run $ seed_arg $ opt_loop_arg $ n $ clusters_arg $ model_arg $ diff_ddg
+      $ maxlive $ json $ jobs_arg)
 
 let stress_cmd =
   let run seed trials fault_rate no_fatal verbose jobs trace_out =
@@ -1044,7 +1303,8 @@ let main =
   Cmd.group
     (Cmd.info "rbp" ~version:"1.0" ~doc)
     [ list_cmd; show_cmd; pipeline_cmd; trace_cmd; explain_cmd; report_cmd; perfdiff_cmd;
-      schedule_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd; stress_cmd;
+      schedule_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd; analyze_cmd;
+      stress_cmd;
       sim_cmd; experiment_cmd; csv_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval main)

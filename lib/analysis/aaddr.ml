@@ -1,0 +1,34 @@
+type t = { addr : Ir.Addr.t; store : bool; indexed : bool }
+
+let of_op op =
+  match Ir.Op.addr op with
+  | None -> None
+  | Some addr ->
+      let store = Mach.Opcode.equal (Ir.Op.opcode op) Mach.Opcode.Store in
+      (* A load's only register source is an index; a store's second is. *)
+      let index_arity = if store then 2 else 1 in
+      Some { addr; store; indexed = List.length (Ir.Op.srcs op) >= index_arity }
+
+type verdict = Independent | At of int | All
+
+let dependence ~src ~dst =
+  let a = src.addr and b = dst.addr in
+  if not (Ir.Addr.same_base a b) then Independent
+  else if a.Ir.Addr.stride = b.Ir.Addr.stride then
+    let s = a.Ir.Addr.stride in
+    if s = 0 then
+      if a.Ir.Addr.offset = b.Ir.Addr.offset then All else Independent
+    else
+      (* s*(i+d) + o_dst = s*i + o_src  =>  d = (o_src - o_dst) / s *)
+      let diff = a.Ir.Addr.offset - b.Ir.Addr.offset in
+      if diff mod s <> 0 then Independent
+      else
+        let d = diff / s in
+        if d >= 0 then At d else Independent
+  else All (* differing strides: the lattice of offsets interleaves *)
+
+let to_string t =
+  Printf.sprintf "%s%s%s"
+    (if t.store then "st " else "ld ")
+    (Ir.Addr.to_string t.addr)
+    (if t.indexed then " [indexed]" else "")

@@ -1,0 +1,36 @@
+(** Abstract memory addresses for the independent dependence analysis.
+
+    A memory reference abstracts to its affine address [base[stride*i +
+    offset]] plus a flag recording whether the op also consumed an index
+    register — a gather/scatter-style access the affine summary cannot
+    see. The dependence test solves [stride*d = offset_src - offset_dst]
+    over iteration distances [d], independently of [Ddg.Memdep] (that is
+    the point: {!Validate} diffs the two).
+
+    Modeling assumptions shared with the rest of the pipeline and
+    documented in DESIGN.md §12: distinct bases never alias (the
+    Fortran no-alias rule the loop extractor guarantees), and an index
+    register perturbs only the offset within its own base — the affine
+    verdict still applies to the base-level aliasing question. *)
+
+type t = private {
+  addr : Ir.Addr.t;
+  store : bool;    (** writes memory *)
+  indexed : bool;  (** an index register feeds the address *)
+}
+
+val of_op : Ir.Op.t -> t option
+(** [None] for non-memory ops. *)
+
+type verdict =
+  | Independent
+  | At of int  (** dependence exactly at this distance (>= 0) *)
+  | All        (** dependence at every distance; emit at the pair's floor *)
+
+val dependence : src:t -> dst:t -> verdict
+(** Can [src] executed in iteration [i] touch the location [dst] touches
+    in iteration [i + d]? Returns the smallest such [d >= 0], [All] when
+    every distance conflicts (scalar same-offset, or incommensurable
+    strides), [Independent] when none can. *)
+
+val to_string : t -> string

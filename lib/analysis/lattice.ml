@@ -1,0 +1,85 @@
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : old:t -> next:t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module VregSet = struct
+  type t = Ir.Vreg.Set.t
+
+  let bottom = Ir.Vreg.Set.empty
+  let equal = Ir.Vreg.Set.equal
+  let join = Ir.Vreg.Set.union
+  let widen ~old ~next = join old next
+
+  let pp fmt s =
+    Format.fprintf fmt "{%s}"
+      (String.concat ", " (List.map Ir.Vreg.to_string (Ir.Vreg.Set.elements s)))
+end
+
+module VregMap (V : DOMAIN) = struct
+  type t = V.t Ir.Vreg.Map.t
+
+  let bottom = Ir.Vreg.Map.empty
+  let find r m = match Ir.Vreg.Map.find_opt r m with Some v -> v | None -> V.bottom
+
+  let equal a b = Ir.Vreg.Map.equal V.equal a b
+
+  let merge f a b =
+    Ir.Vreg.Map.merge
+      (fun _ va vb ->
+        match (va, vb) with
+        | None, None -> None
+        | Some v, None | None, Some v -> Some v
+        | Some va, Some vb -> Some (f va vb))
+      a b
+
+  let join a b = merge V.join a b
+  let widen ~old ~next = merge (fun o n -> V.widen ~old:o ~next:n) old next
+
+  let pp fmt m =
+    Format.fprintf fmt "@[<v>";
+    Ir.Vreg.Map.iter
+      (fun r v -> Format.fprintf fmt "%s -> %a@," (Ir.Vreg.to_string r) V.pp v)
+      m;
+    Format.fprintf fmt "@]"
+end
+
+module Flat (X : sig
+  type t
+
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end) =
+struct
+  type v = X.t
+  type flat = Bot | Known of v | Top
+  type t = flat
+
+  let bottom = Bot
+  let known v = Known v
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot | Top, Top -> true
+    | Known x, Known y -> X.equal x y
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Top, _ | _, Top -> Top
+    | Known x, Known y -> if X.equal x y then a else Top
+
+  (* Height 3: widening is join. *)
+  let widen ~old ~next = join old next
+
+  let pp fmt = function
+    | Bot -> Format.pp_print_string fmt "_"
+    | Top -> Format.pp_print_string fmt "T"
+    | Known v -> Format.pp_print_string fmt (X.to_string v)
+end

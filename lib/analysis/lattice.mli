@@ -1,0 +1,65 @@
+(** Parameterized lattices for the dataflow engine.
+
+    Every analysis in this library is an instance of one abstract
+    recipe: a join-semilattice of facts with a bottom element, a
+    monotone transfer function per operation, and (for domains of
+    unbounded height) a widening operator that forces convergence. The
+    {!Solver} functor consumes a {!DOMAIN}; the constructions below
+    build the concrete domains the four shipped analyses use — and any
+    future analysis can reuse them. *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  (** Least element: "no fact yet". The solver starts every program
+      point here. *)
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Least upper bound; must be commutative, associative, idempotent,
+      with [bottom] as identity. *)
+
+  val widen : old:t -> next:t -> t
+  (** Accelerated join applied once a program point has been updated
+      more than the solver's widening threshold: must satisfy
+      [join old next <= widen ~old ~next] and guarantee that every
+      ascending chain of widenings stabilizes. Finite-height domains
+      simply use [join]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Powerset of virtual registers ordered by inclusion — the liveness
+    domain. Finite height (bounded by the loop's register count), so
+    [widen] is [join]. *)
+module VregSet : DOMAIN with type t = Ir.Vreg.Set.t
+
+(** Pointwise lift of a value lattice to maps keyed by virtual
+    register; an absent binding is the value lattice's bottom. The
+    reaching-definitions and value-range domains are both instances. *)
+module VregMap (V : DOMAIN) : sig
+  include DOMAIN with type t = V.t Ir.Vreg.Map.t
+
+  val find : Ir.Vreg.t -> t -> V.t
+  (** The binding, or [V.bottom] when absent. *)
+end
+
+(** Flat (three-level) lattice over an arbitrary value: bottom, a
+    single known value, or top. The classic constant-propagation
+    shape. *)
+module Flat (X : sig
+  type t
+
+  val equal : t -> t -> bool
+  val to_string : t -> string
+end) : sig
+  type v = X.t
+
+  type flat = Bot | Known of v | Top
+
+  include DOMAIN with type t = flat
+
+  val known : v -> t
+end

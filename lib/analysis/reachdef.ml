@@ -1,0 +1,57 @@
+let dist_cap = 2
+
+(* Per-register fact: reaching definitions as a map from defining op id
+   to the minimum distance (back-edge crossings) at which it reaches. *)
+module Defs = struct
+  module IdMap = Map.Make (Int)
+
+  type t = int IdMap.t
+
+  let bottom = IdMap.empty
+  let equal a b = IdMap.equal ( = ) a b
+
+  let join a b =
+    IdMap.union (fun _ da db -> Some (min da db)) a b
+
+  let widen ~old ~next = join old next (* finite height: ids x capped dists *)
+
+  let pp fmt m =
+    IdMap.iter (fun id d -> Format.fprintf fmt "op%d@%d " id d) m
+
+  let single id = IdMap.singleton id 0
+  let age m = IdMap.map (fun d -> min (d + 1) dist_cap) m
+  let to_list m = IdMap.bindings m
+end
+
+module D = Lattice.VregMap (Defs)
+
+type t = {
+  before : (int * int) list Ir.Vreg.Map.t array;
+  stats : Solver.stats;
+}
+
+let of_loop loop =
+  let arr = Array.of_list (Ir.Loop.ops loop) in
+  let n = Array.length arr in
+  let module P = struct
+    module D = D
+
+    let transfer i fact =
+      let op = arr.(i) in
+      List.fold_left
+        (fun fact d -> Ir.Vreg.Map.add d (Defs.single (Ir.Op.id op)) fact)
+        fact (Ir.Op.defs op)
+
+    (* The back edge ages every reaching definition by one iteration. *)
+    let edge ~src ~dst fact =
+      if src = n - 1 && dst = 0 then Ir.Vreg.Map.map Defs.age fact else fact
+  end in
+  let module S = Solver.Make (P) in
+  let r = S.solve ~nodes:n ~edges:(Solver.ring n) ~init:(fun _ -> D.bottom) () in
+  {
+    before = Array.map (Ir.Vreg.Map.map Defs.to_list) r.S.input;
+    stats = r.S.stats;
+  }
+
+let reaching t ~pos r =
+  match Ir.Vreg.Map.find_opt r t.before.(pos) with Some l -> l | None -> []

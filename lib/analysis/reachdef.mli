@@ -1,0 +1,31 @@
+(** Reaching definitions with iteration-distance tracking.
+
+    A fact maps each register to the set of definitions that may reach
+    a program point, each tagged with the minimum number of back-edge
+    crossings since the defining op ran: distance 0 is this iteration,
+    1 the previous, and distances are capped at {!dist_cap} (the cap is
+    the domain's top along that axis, giving finite height without a
+    real widening). Definitions kill strongly — a loop body is a
+    single strand, so a def of [r] replaces every reaching def of [r].
+
+    This is the fact base of the independent dependence analysis
+    ({!Depan}): a use of [r] at position [q] reading definition [p] at
+    distance [d] is exactly a flow dependence [(p, q, d)]. *)
+
+val dist_cap : int
+(** Distances at or above the cap collapse to it (2 — the dependence
+    consumers only distinguish 0, 1, "more"). *)
+
+type t = {
+  before : (int * int) list Ir.Vreg.Map.t array;
+      (** at each position, register to reaching [(def op id, min distance)]
+          pairs, sorted by op id *)
+  stats : Solver.stats;
+}
+
+val of_loop : Ir.Loop.t -> t
+
+val reaching : t -> pos:int -> Ir.Vreg.t -> (int * int) list
+(** Definitions of the register reaching the entry of the op at
+    [pos], as [(def op id, min distance)] sorted by op id; empty for
+    loop invariants (never defined in the body). *)

@@ -1,0 +1,86 @@
+type stats = { iterations : int; widenings : int; converged : bool }
+
+module type PROBLEM = sig
+  module D : Lattice.DOMAIN
+
+  val transfer : int -> D.t -> D.t
+  val edge : src:int -> dst:int -> D.t -> D.t
+end
+
+module Make (P : PROBLEM) = struct
+  module D = P.D
+
+  type result = { input : D.t array; output : D.t array; stats : stats }
+
+  let solve ?(widen_after = 8) ?max_iterations ~nodes ~edges ~init () =
+    let max_iterations =
+      match max_iterations with Some m -> m | None -> max 256 (64 * nodes)
+    in
+    let preds = Array.make nodes [] in
+    let succs = Array.make nodes [] in
+    List.iter
+      (fun (src, dst) ->
+        if src < 0 || src >= nodes || dst < 0 || dst >= nodes then
+          invalid_arg "Solver.solve: edge endpoint out of range";
+        preds.(dst) <- src :: preds.(dst);
+        succs.(src) <- dst :: succs.(src))
+      edges;
+    (* Deterministic propagation order: predecessors in ascending node
+       order, successors likewise. *)
+    Array.iteri (fun i l -> preds.(i) <- List.sort_uniq compare l) preds;
+    Array.iteri (fun i l -> succs.(i) <- List.sort_uniq compare l) succs;
+    let input = Array.init nodes (fun i -> init i) in
+    let output = Array.init nodes (fun i -> P.transfer i input.(i)) in
+    let updates = Array.make nodes 0 in
+    let queued = Array.make nodes true in
+    let queue = Queue.create () in
+    for i = 0 to nodes - 1 do
+      Queue.add i queue
+    done;
+    let iterations = ref 0 in
+    let widenings = ref 0 in
+    let converged = ref true in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      queued.(v) <- false;
+      if !iterations >= max_iterations then begin
+        converged := false;
+        Queue.clear queue
+      end
+      else begin
+        incr iterations;
+        let contribution =
+          List.fold_left
+            (fun acc p -> D.join acc (P.edge ~src:p ~dst:v output.(p)))
+            (init v) preds.(v)
+        in
+        let next =
+          if updates.(v) >= widen_after && not (D.equal contribution input.(v)) then begin
+            incr widenings;
+            D.widen ~old:input.(v) ~next:contribution
+          end
+          else D.join input.(v) contribution
+        in
+        if not (D.equal next input.(v)) then begin
+          updates.(v) <- updates.(v) + 1;
+          input.(v) <- next;
+          output.(v) <- P.transfer v next;
+          List.iter
+            (fun s ->
+              if not queued.(s) then begin
+                queued.(s) <- true;
+                Queue.add s queue
+              end)
+            succs.(v)
+        end
+      end
+    done;
+    {
+      input;
+      output;
+      stats = { iterations = !iterations; widenings = !widenings; converged = !converged };
+    }
+end
+
+let ring n = List.init n (fun i -> (i, (i + 1) mod n))
+let ring_rev n = List.init n (fun i -> ((i + 1) mod n, i))

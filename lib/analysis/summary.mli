@@ -1,0 +1,43 @@
+(** One loop's analysis results, flattened for reporting.
+
+    The per-loop record the [rbp analyze] command and the ROADMAP item 5
+    exporters consume: register-pressure bounds from cyclic liveness
+    (whole-loop and per register class, the axis partitioning splits
+    banks on), rematerialization and dead-code counts from value-range
+    propagation, the independent dependence set size, the DDG diff
+    verdict, and solver effort counters. *)
+
+type t = {
+  name : string;
+  ops : int;
+  max_live : int;            (** peak simultaneous live registers *)
+  class_max_live : (Mach.Rclass.t * int) list;
+      (** per-class peaks, in [Mach.Rclass.all] order *)
+  dead : int;                (** transitively dead ops (liveness DCE) *)
+  constants : int;           (** ops with a provably constant result *)
+  remat : int;               (** rematerializable subset of [constants] *)
+  analysis_edges : int;      (** independent dependence set size *)
+  ddg_edges : int;           (** distinct DDG (src, dst, kind) keys *)
+  matched : int;             (** keys agreeing on both sides *)
+  diff_errors : int;         (** unsoundness findings (must be 0) *)
+  diff_warnings : int;       (** precision findings *)
+  iterations : int;          (** worklist iterations across all solves *)
+  widenings : int;
+}
+
+val of_loop : ?latency:Mach.Latency.t -> name:string -> Ir.Loop.t -> t
+(** Runs liveness, value-range, dependence analysis and the DDG diff on
+    the loop. Total: analysis failure cannot raise out of here. *)
+
+val report : ?latency:Mach.Latency.t -> name:string -> Ir.Loop.t -> t * Validate.report
+(** Like {!of_loop} but also returns the underlying diff report for
+    callers that print findings. *)
+
+val to_json : t -> Obs.Json.t
+(** Stable field order; suitable for JSONL streams. *)
+
+val header : string
+(** Column header matching {!to_row}. *)
+
+val to_row : t -> string
+(** Fixed-width human-readable table row. *)

@@ -1,0 +1,154 @@
+type mismatch =
+  | Missing_in_ddg
+  | Distance_exceeds
+  | Extra_in_ddg
+  | Distance_below
+  | Latency_differs
+
+type finding = {
+  mismatch : mismatch;
+  src : int;
+  dst : int;
+  kind : Ddg.Dep.kind;
+  analysis_distance : int option;
+  ddg_distance : int option;
+  analysis_latency : int option;
+  ddg_latency : int option;
+}
+
+type report = {
+  findings : finding list;
+  analysis_edges : int;
+  ddg_edges : int;
+  matched : int;
+}
+
+let mismatch_rank = function
+  | Missing_in_ddg -> 0
+  | Distance_exceeds -> 1
+  | Extra_in_ddg -> 2
+  | Distance_below -> 3
+  | Latency_differs -> 4
+
+module Key = struct
+  type t = int * int * int (* src, dst, kind rank *)
+
+  let compare = compare
+end
+
+module KMap = Map.Make (Key)
+
+let key src dst kind = (src, dst, Depan.kind_rank kind)
+
+let kind_of_rank = function
+  | 0 -> Ddg.Dep.Flow
+  | 1 -> Ddg.Dep.Anti
+  | 2 -> Ddg.Dep.Output
+  | 3 -> Ddg.Dep.Mem Ddg.Dep.Mem_flow
+  | 4 -> Ddg.Dep.Mem Ddg.Dep.Mem_anti
+  | _ -> Ddg.Dep.Mem Ddg.Dep.Mem_output
+
+let run (dep : Depan.t) ddg =
+  (* Keep the smallest distance per key on both sides: that is the
+     binding constraint, and the DDG can legitimately carry duplicate
+     identical edges (duplicated source operands). *)
+  let tighten m k (dist, lat) =
+    KMap.update k
+      (function
+        | None -> Some (dist, lat)
+        | Some (d0, l0) -> if dist < d0 then Some (dist, lat) else Some (d0, l0))
+      m
+  in
+  let analysis =
+    List.fold_left
+      (fun m (e : Depan.edge) ->
+        tighten m (key e.Depan.src e.Depan.dst e.Depan.kind)
+          (e.Depan.distance, e.Depan.latency))
+      KMap.empty dep.Depan.edges
+  in
+  let produced = ref KMap.empty in
+  Graphlib.Digraph.iter_edges
+    (fun (e : Ddg.Dep.t Graphlib.Digraph.edge) ->
+      produced :=
+        tighten !produced
+          (key e.src e.dst (Ddg.Dep.kind e.label))
+          (Ddg.Dep.distance e.label, Ddg.Dep.latency e.label))
+    (Ddg.Graph.graph ddg);
+  let produced = !produced in
+  let findings = ref [] in
+  let matched = ref 0 in
+  let add mismatch (src, dst, rank) ?ad ?dd ?al ?dl () =
+    findings :=
+      {
+        mismatch;
+        src;
+        dst;
+        kind = kind_of_rank rank;
+        analysis_distance = ad;
+        ddg_distance = dd;
+        analysis_latency = al;
+        ddg_latency = dl;
+      }
+      :: !findings
+  in
+  KMap.iter
+    (fun k (ad, al) ->
+      match KMap.find_opt k produced with
+      | None -> add Missing_in_ddg k ~ad ~al ()
+      | Some (dd, dl) ->
+          if dd > ad then add Distance_exceeds k ~ad ~dd ~al ~dl ()
+          else if dd < ad then add Distance_below k ~ad ~dd ~al ~dl ()
+          else begin
+            incr matched;
+            if dl <> al then add Latency_differs k ~ad ~dd ~al ~dl ()
+          end)
+    analysis;
+  KMap.iter
+    (fun k (dd, dl) ->
+      if not (KMap.mem k analysis) then add Extra_in_ddg k ~dd ~dl ())
+    produced;
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare (a.src, a.dst, Depan.kind_rank a.kind) (b.src, b.dst, Depan.kind_rank b.kind) in
+        if c <> 0 then c else compare (mismatch_rank a.mismatch) (mismatch_rank b.mismatch))
+      !findings
+  in
+  {
+    findings = sorted;
+    analysis_edges = KMap.cardinal analysis;
+    ddg_edges = KMap.cardinal produced;
+    matched = !matched;
+  }
+
+let is_error f =
+  match f.mismatch with
+  | Missing_in_ddg | Distance_exceeds -> true
+  | Extra_in_ddg | Distance_below | Latency_differs -> false
+
+let has_errors r = List.exists is_error r.findings
+
+let opt = function None -> "-" | Some v -> string_of_int v
+
+let describe f =
+  let k = Ddg.Dep.kind_to_string f.kind in
+  match f.mismatch with
+  | Missing_in_ddg ->
+      Printf.sprintf
+        "op%d -> op%d %s (dist %s) required by analysis but absent from ddg"
+        f.src f.dst k (opt f.analysis_distance)
+  | Distance_exceeds ->
+      Printf.sprintf
+        "op%d -> op%d %s: ddg distance %s exceeds analysis distance %s (under-constrained)"
+        f.src f.dst k (opt f.ddg_distance) (opt f.analysis_distance)
+  | Extra_in_ddg ->
+      Printf.sprintf
+        "op%d -> op%d %s (dist %s) in ddg but not justified by analysis"
+        f.src f.dst k (opt f.ddg_distance)
+  | Distance_below ->
+      Printf.sprintf
+        "op%d -> op%d %s: ddg distance %s below analysis distance %s (over-conservative)"
+        f.src f.dst k (opt f.ddg_distance) (opt f.analysis_distance)
+  | Latency_differs ->
+      Printf.sprintf "op%d -> op%d %s: ddg latency %s, analysis latency %s"
+        f.src f.dst k (opt f.ddg_latency) (opt f.analysis_latency)

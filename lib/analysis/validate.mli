@@ -1,0 +1,54 @@
+(** Translation validation of the DDG against the independent analysis.
+
+    Diffs the dependence set {!Depan} derives from dataflow facts
+    against the edges [Ddg.Graph] actually built, keyed on
+    [(src, dst, kind)] — unique per ordered op pair because ops define
+    at most one register and memory pairs get one verdict. The polarity
+    matters:
+
+    - an analysis edge {e missing} from the DDG (or present with a
+      {e larger} distance) means the scheduler may overlap iterations a
+      real dependence forbids — unsoundness, an error;
+    - a DDG edge the analysis cannot justify (or with a {e smaller}
+      distance than needed) only over-constrains the schedule —
+      precision loss, a warning;
+    - a latency disagreement on a matched edge is a bookkeeping
+      inconsistency, reported as a warning.
+
+    A dependence with distance [d] admits more schedules than the same
+    dependence at [d' < d] (legality is [t(s) - t(p) >= latency - II*d]),
+    which is why larger-than-analysis distances are the unsound
+    direction. *)
+
+type mismatch =
+  | Missing_in_ddg      (** error: required edge absent *)
+  | Distance_exceeds    (** error: DDG distance larger (weaker) than analysis *)
+  | Extra_in_ddg        (** warning: edge the analysis cannot justify *)
+  | Distance_below      (** warning: DDG tighter than required *)
+  | Latency_differs     (** warning: latencies disagree on a matched edge *)
+
+type finding = {
+  mismatch : mismatch;
+  src : int;
+  dst : int;
+  kind : Ddg.Dep.kind;
+  analysis_distance : int option;
+  ddg_distance : int option;
+  analysis_latency : int option;
+  ddg_latency : int option;
+}
+
+type report = {
+  findings : finding list;  (** sorted by (src, dst, kind, mismatch) *)
+  analysis_edges : int;
+  ddg_edges : int;   (** distinct (src, dst, kind) keys in the DDG *)
+  matched : int;     (** keys present on both sides with equal distance *)
+}
+
+val run : Depan.t -> Ddg.Graph.t -> report
+
+val is_error : finding -> bool
+(** [Missing_in_ddg] and [Distance_exceeds]. *)
+
+val has_errors : report -> bool
+val describe : finding -> string

@@ -1,0 +1,188 @@
+type iv = { lo : int option; hi : int option }
+type value = Bot | Iv of iv
+
+let top = Iv { lo = None; hi = None }
+let singleton v = Iv { lo = Some v; hi = Some v }
+
+(* Bounds beyond this are treated as unbounded: keeps interval
+   arithmetic far from native-int overflow. *)
+let limit = 1 lsl 42
+
+let norm_bound = function
+  | Some v when v > -limit && v < limit -> Some v
+  | _ -> None
+
+let norm { lo; hi } = { lo = norm_bound lo; hi = norm_bound hi }
+
+module V = struct
+  type t = value
+
+  let bottom = Bot
+
+  let equal a b =
+    match (a, b) with
+    | Bot, Bot -> true
+    | Iv a, Iv b -> a.lo = b.lo && a.hi = b.hi
+    | _ -> false
+
+  let bmin a b =
+    match (a, b) with Some x, Some y -> Some (min x y) | _ -> None
+
+  let bmax a b =
+    match (a, b) with Some x, Some y -> Some (max x y) | _ -> None
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Iv a, Iv b -> Iv { lo = bmin a.lo b.lo; hi = bmax a.hi b.hi }
+
+  (* Classic interval widening: a bound that moved since the last
+     visit jumps straight to infinity. *)
+  let widen ~old ~next =
+    match (old, next) with
+    | Bot, x | x, Bot -> x
+    | Iv o, Iv n ->
+        Iv
+          {
+            lo = (if n.lo = o.lo then o.lo else None);
+            hi = (if n.hi = o.hi then o.hi else None);
+          }
+
+  let pp fmt = function
+    | Bot -> Format.pp_print_string fmt "_"
+    | Iv { lo; hi } ->
+        let b = function None -> "inf" | Some v -> string_of_int v in
+        Format.fprintf fmt "[%s,%s]" (b lo) (b hi)
+end
+
+module D = Lattice.VregMap (V)
+
+type t = { before : value Ir.Vreg.Map.t array; stats : Solver.stats }
+
+let read fact r =
+  match Ir.Vreg.Map.find_opt r fact with
+  | Some (Iv iv) -> Iv iv
+  | Some Bot | None -> top (* unknown input *)
+
+let lift2 f a b =
+  match (a, b) with
+  | Iv { lo = Some al; hi = Some ah }, Iv { lo = Some bl; hi = Some bh } ->
+      f (al, ah) (bl, bh)
+  | _ -> top
+
+let add_iv a b =
+  lift2 (fun (al, ah) (bl, bh) -> Iv (norm { lo = Some (al + bl); hi = Some (ah + bh) })) a b
+
+let sub_iv a b =
+  lift2 (fun (al, ah) (bl, bh) -> Iv (norm { lo = Some (al - bh); hi = Some (ah - bl) })) a b
+
+let neg_iv = function
+  | Iv { lo; hi } ->
+      Iv (norm { lo = Option.map (fun v -> -v) hi; hi = Option.map (fun v -> -v) lo })
+  | Bot -> top
+
+let abs_iv = function
+  | Iv { lo = Some l; hi = Some h } ->
+      let al = abs l and ah = abs h in
+      let lo = if l <= 0 && h >= 0 then 0 else min al ah in
+      Iv (norm { lo = Some lo; hi = Some (max al ah) })
+  | _ -> top
+
+let min_iv a b = lift2 (fun (al, ah) (bl, bh) -> Iv (norm { lo = Some (min al bl); hi = Some (min ah bh) })) a b
+let max_iv a b = lift2 (fun (al, ah) (bl, bh) -> Iv (norm { lo = Some (max al bl); hi = Some (max ah bh) })) a b
+
+let mul_iv a b =
+  (* Singletons only: enough to fold constant expressions without
+     sign-case interval gymnastics. *)
+  match (a, b) with
+  | Iv { lo = Some al; hi = Some ah }, Iv { lo = Some bl; hi = Some bh }
+    when al = ah && bl = bh ->
+      Iv (norm { lo = Some (al * bl); hi = Some (al * bl) })
+  | _ -> top
+
+(* Folding is restricted to the integer class: float ops on coerced
+   immediates would need real arithmetic to stay truthful. *)
+let eval_op op fact =
+  let int_cls = Ir.Op.cls op = Mach.Rclass.Int in
+  let src i =
+    match List.nth_opt (Ir.Op.srcs op) i with
+    | Some r -> read fact r
+    | None -> top (* shapes with fewer sources than arity stay unknown *)
+  in
+  match Ir.Op.opcode op with
+  | Mach.Opcode.Const -> (
+      match Ir.Op.imm op with Some v -> singleton v | None -> top)
+  | Mach.Opcode.Copy -> src 0
+  | _ when not int_cls -> top
+  | Mach.Opcode.Add -> add_iv (src 0) (src 1)
+  | Mach.Opcode.Sub -> sub_iv (src 0) (src 1)
+  | Mach.Opcode.Neg -> neg_iv (src 0)
+  | Mach.Opcode.Abs -> abs_iv (src 0)
+  | Mach.Opcode.Min -> min_iv (src 0) (src 1)
+  | Mach.Opcode.Max -> max_iv (src 0) (src 1)
+  | Mach.Opcode.Mul -> mul_iv (src 0) (src 1)
+  | _ -> top
+
+let entry_unknowns ops =
+  (* Registers whose first read precedes every def: loop invariants and
+     values carried in from outside at iteration 0. *)
+  let defined = Hashtbl.create 16 in
+  let unknown = ref Ir.Vreg.Set.empty in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun u ->
+          if not (Hashtbl.mem defined (Ir.Vreg.id u)) then
+            unknown := Ir.Vreg.Set.add u !unknown)
+        (Ir.Op.uses op);
+      List.iter (fun d -> Hashtbl.replace defined (Ir.Vreg.id d) ()) (Ir.Op.defs op))
+    ops;
+  !unknown
+
+let of_loop loop =
+  let ops = Ir.Loop.ops loop in
+  let arr = Array.of_list ops in
+  let n = Array.length arr in
+  let entry =
+    Ir.Vreg.Set.fold
+      (fun r m -> Ir.Vreg.Map.add r top m)
+      (entry_unknowns ops) Ir.Vreg.Map.empty
+  in
+  let module P = struct
+    module D = D
+
+    let transfer i fact =
+      let op = arr.(i) in
+      match Ir.Op.dst op with
+      | None -> fact
+      | Some d -> Ir.Vreg.Map.add d (eval_op op fact) fact
+
+    let edge ~src:_ ~dst:_ fact = fact
+  end in
+  let module S = Solver.Make (P) in
+  let r =
+    S.solve ~widen_after:3 ~nodes:n ~edges:(Solver.ring n)
+      ~init:(fun i -> if i = 0 then entry else D.bottom)
+      ()
+  in
+  { before = r.S.input; stats = r.S.stats }
+
+let value_before t ~pos r =
+  match Ir.Vreg.Map.find_opt r t.before.(pos) with Some v -> v | None -> Bot
+
+let constant_ops loop t =
+  let ops = Ir.Loop.ops loop in
+  List.filteri (fun _ _ -> true) ops
+  |> List.mapi (fun i op -> (i, op))
+  |> List.filter_map (fun (i, op) ->
+         match Ir.Op.dst op with
+         | None -> None
+         | Some _ -> (
+             match eval_op op t.before.(i) with
+             | Iv { lo = Some l; hi = Some h } when l = h -> Some (op, l)
+             | _ -> None))
+
+let remat_candidates loop t =
+  List.filter_map
+    (fun (op, _) -> if Ir.Op.is_memory op then None else Some op)
+    (constant_ops loop t)

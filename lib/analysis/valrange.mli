@@ -1,0 +1,41 @@
+(** Constant and value-range propagation over loop bodies.
+
+    An interval lattice per register: unknown inputs (loads, loop
+    invariants, carried values at loop entry) are top; [Const]
+    materializations seed singletons; arithmetic over [Ir.Op] transfers
+    intervals forward. The loop's back edge feeds results around, so a
+    recurrence like an induction variable keeps growing — the solver's
+    widening snaps unstable bounds to infinity, which is where the
+    [analysis.widened] counter comes from.
+
+    Consumers: an op whose destination is a provable singleton every
+    iteration is {e rematerializable} — recomputing it at a use site
+    costs one cheap op and no register pressure across its whole
+    lifetime, the alternative to spilling that ROADMAP item 5 wants
+    ranked. *)
+
+type iv = { lo : int option; hi : int option }
+(** Inclusive bounds; [None] is unbounded on that side. *)
+
+type value = Bot | Iv of iv
+
+type t = {
+  before : value Ir.Vreg.Map.t array;  (** abstract register state before op [i] *)
+  stats : Solver.stats;
+}
+
+val of_loop : Ir.Loop.t -> t
+
+val value_before : t -> pos:int -> Ir.Vreg.t -> value
+(** Absent registers are [Iv] top for reads (unknown input) — the
+    transfer treats them so — but reported as [Bot] here if never
+    bound. *)
+
+val constant_ops : Ir.Loop.t -> t -> (Ir.Op.t * int) list
+(** Ops whose destination provably holds the same single integer in
+    every iteration, with that value; body order. *)
+
+val remat_candidates : Ir.Loop.t -> t -> Ir.Op.t list
+(** The rematerializable subset: {!constant_ops} ops that define a
+    register (always true) via a non-memory opcode — [Const] ops and
+    arithmetic over constants. Body order. *)

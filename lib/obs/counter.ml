@@ -11,6 +11,9 @@ type t =
   | Alloc_rounds
   | Ladder_rung_entered
   | Ladder_rung_failed
+  | Analysis_iterations
+  | Analysis_widened
+  | Analysis_ddg_diff
 
 let name = function
   | Sched_placements -> "sched.placements"
@@ -25,12 +28,16 @@ let name = function
   | Alloc_rounds -> "alloc.rounds"
   | Ladder_rung_entered -> "ladder.rung_entered"
   | Ladder_rung_failed -> "ladder.rung_failed"
+  | Analysis_iterations -> "analysis.iterations"
+  | Analysis_widened -> "analysis.widened"
+  | Analysis_ddg_diff -> "analysis.ddg_diff"
 
 let all =
   [
     Sched_placements; Sched_evictions; Sched_ii_escalations; Sched_budget_exhausted;
     Greedy_decisions; Greedy_tie_breaks; Greedy_pinned; Copies_inserted;
     Spilled_registers; Alloc_rounds; Ladder_rung_entered; Ladder_rung_failed;
+    Analysis_iterations; Analysis_widened; Analysis_ddg_diff;
   ]
 
 type gauge =

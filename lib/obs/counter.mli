@@ -19,6 +19,9 @@ type t =
   | Alloc_rounds  (** colouring rounds run by the allocator *)
   | Ladder_rung_entered  (** label = rung name: resilience-ladder rungs tried *)
   | Ladder_rung_failed  (** label = rung name: rungs that failed *)
+  | Analysis_iterations  (** worklist iterations across the dataflow solves *)
+  | Analysis_widened  (** facts forced to a widened value to converge *)
+  | Analysis_ddg_diff  (** discrepancies between analysis and DDG edge sets *)
 
 val name : t -> string
 (** Stable dotted identifier, e.g. ["sched.placements"] — the name used

@@ -121,7 +121,7 @@ let pipeline ?obs ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau)
       let verified stages k =
         if not verify then k ()
         else
-          let diags = Obs.Trace.span obs "verify" (fun () -> Verify.Pipeline.run stages) in
+          let diags = Obs.Trace.span obs "verify" (fun () -> Verify.Pipeline.run ?obs stages) in
           if Verify.Diag.has_errors diags then
             Error (Verify.Stage_error.of_diags ~subject diags)
           else k ()

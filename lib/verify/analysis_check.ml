@@ -1,0 +1,88 @@
+let op_loc op = Printf.sprintf "op %d (%s)" (Ir.Op.id op) (Ir.Op.to_string op)
+
+let finding_diag (f : Analysis.Validate.finding) =
+  let loc = Printf.sprintf "op %d -> op %d" f.Analysis.Validate.src f.Analysis.Validate.dst in
+  let msg = Analysis.Validate.describe f in
+  match f.Analysis.Validate.mismatch with
+  | Analysis.Validate.Missing_in_ddg -> Diag.error Diag.Analysis ~code:"AN001" ~loc msg
+  | Analysis.Validate.Distance_exceeds -> Diag.error Diag.Analysis ~code:"AN002" ~loc msg
+  | Analysis.Validate.Extra_in_ddg -> Diag.warning Diag.Analysis ~code:"AN003" ~loc msg
+  | Analysis.Validate.Distance_below -> Diag.warning Diag.Analysis ~code:"AN004" ~loc msg
+  | Analysis.Validate.Latency_differs -> Diag.warning Diag.Analysis ~code:"AN005" ~loc msg
+
+let syntactically_read ops =
+  List.fold_left
+    (fun s op ->
+      List.fold_left (fun s r -> Ir.Vreg.Set.add r s) s (Ir.Op.uses op))
+    Ir.Vreg.Set.empty ops
+
+let check ?obs ?ddg ?(latency = Mach.Latency.paper) ?(remat_info = false) loop =
+  try
+    let ddg = match ddg with Some d -> d | None -> Ddg.Graph.of_loop ~latency loop in
+    let latency = ddg.Ddg.Graph.latency in
+    let live = Analysis.Liveness.of_loop loop in
+    let vr = Analysis.Valrange.of_loop loop in
+    let dep = Analysis.Depan.of_loop ~latency loop in
+    let report = Analysis.Validate.run dep ddg in
+    let iters st = st.Analysis.Solver.iterations in
+    let wides st = st.Analysis.Solver.widenings in
+    Obs.Trace.incr obs Obs.Counter.Analysis_iterations
+      (iters live.Analysis.Liveness.stats
+      + iters vr.Analysis.Valrange.stats
+      + iters dep.Analysis.Depan.stats);
+    Obs.Trace.incr obs Obs.Counter.Analysis_widened
+      (wides live.Analysis.Liveness.stats
+      + wides vr.Analysis.Valrange.stats
+      + wides dep.Analysis.Depan.stats);
+    Obs.Trace.incr obs Obs.Counter.Analysis_ddg_diff
+      (List.length report.Analysis.Validate.findings);
+    let diff = List.map finding_diag report.Analysis.Validate.findings in
+    (* IR003 already flags definitions nothing ever reads; the dataflow
+       version adds only the transitive tail of a dead chain — ops whose
+       result is read, but exclusively by other dead ops. *)
+    let read = syntactically_read (Ir.Loop.ops loop) in
+    let dead =
+      List.filter_map
+        (fun op ->
+          match Ir.Op.dst op with
+          | Some d when Ir.Vreg.Set.mem d read ->
+              Some
+                (Diag.warning Diag.Analysis ~code:"AN006" ~loc:(op_loc op)
+                   (Printf.sprintf
+                      "register %s is read only by transitively dead code"
+                      (Ir.Vreg.to_string d)))
+          | _ -> None)
+        (Analysis.Liveness.dead_ops loop)
+    in
+    let remat =
+      if not remat_info then []
+      else
+        List.map
+          (fun (op, v) ->
+            Diag.info Diag.Analysis ~code:"AN008" ~loc:(op_loc op)
+              (Printf.sprintf
+                 "result is provably %d every iteration; rematerializable%s" v
+                 (if Ir.Op.is_memory op then " (via its defining chain)" else "")))
+          (Analysis.Valrange.constant_ops loop vr)
+    in
+    let converged =
+      List.filter_map
+        (fun (name, st) ->
+          if st.Analysis.Solver.converged then None
+          else
+            Some
+              (Diag.warning Diag.Analysis ~code:"AN007"
+                 (Printf.sprintf "%s solve hit its iteration budget without converging"
+                    name)))
+        [
+          ("liveness", live.Analysis.Liveness.stats);
+          ("value-range", vr.Analysis.Valrange.stats);
+          ("reaching-definitions", dep.Analysis.Depan.stats);
+        ]
+    in
+    diff @ dead @ remat @ converged
+  with exn ->
+    [
+      Diag.error Diag.Analysis ~code:"AN000"
+        (Printf.sprintf "analysis engine failed: %s" (Printexc.to_string exn));
+    ]

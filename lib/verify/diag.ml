@@ -1,6 +1,6 @@
 type severity = Error | Warning | Info
 
-type stage = Ir | Sched | Partition | Alloc | Pipe
+type stage = Ir | Sched | Partition | Alloc | Analysis | Pipe
 
 type t = {
   code : string;
@@ -22,6 +22,7 @@ let stage_name = function
   | Sched -> "sched"
   | Partition -> "partition"
   | Alloc -> "alloc"
+  | Analysis -> "analysis"
   | Pipe -> "pipeline"
 
 let to_string d =

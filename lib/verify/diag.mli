@@ -28,6 +28,18 @@
       indices beyond the bank (AL003), simultaneously-live registers
       sharing one physical register (AL004), allocation contradicting
       the partition (AL005).
+    - [AN000]–[AN0xx] — independent dataflow analysis
+      ({!Analysis_check}): the analysis engine itself failed (AN000);
+      translation validation of the DDG — a dependence the analysis
+      requires is missing from the DDG (AN001) or present with a larger
+      (weaker) distance (AN002), both unsoundness errors; a DDG edge the
+      analysis cannot justify (AN003) or with a smaller distance than
+      needed (AN004) and latency disagreements on matched edges (AN005),
+      all precision warnings; transitively dead ops only liveness
+      iteration can see (AN006, extending the syntactic IR003);
+      a dataflow solve that hit its iteration budget without converging
+      (AN007); rematerializable constant-valued ops (AN008, info,
+      reported by [rbp analyze] only).
     - [PIPE001] — a pipeline stage failed outright, so downstream
       analyzers could not run. *)
 
@@ -38,6 +50,7 @@ type stage =
   | Sched      (** (modulo-)schedule legality *)
   | Partition  (** bank assignment + copy insertion *)
   | Alloc      (** per-bank register allocation *)
+  | Analysis   (** independent dataflow analysis / DDG validation *)
   | Pipe       (** stage-to-stage plumbing *)
 
 type t = private {

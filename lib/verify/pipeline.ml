@@ -16,7 +16,7 @@ type stages = {
 let stages ~machine loop =
   { machine; loop; ideal = None; partition = None; clustered = None; alloc = None }
 
-let run s =
+let run ?obs s =
   let ir = Ir_check.loop s.loop in
   let ideal =
     match s.ideal with
@@ -43,7 +43,29 @@ let run s =
         Alloc_check.check ~machine:s.machine ?assignment ~mapping:a.mapping
           ~live_out:a.live_out a.code
   in
-  ir @ ideal @ partition @ clustered @ alloc
+  (* Independent dataflow analysis last: it validates the DDGs the other
+     stages were driven by, so its findings read as a postscript on them.
+     The source loop is always checked (against the ideal-schedule DDG
+     when present, a freshly built one otherwise); the copy-carrying
+     rewritten body is checked against the clustered DDG. Copy insertion
+     preserves op ids, so a finding on an untouched op (a dead chain,
+     say) would repeat verbatim in the second pass — collapse exact
+     duplicates, keeping first-occurrence order. *)
+  let latency = s.machine.Mach.Machine.latency in
+  let analysis =
+    let both =
+      Analysis_check.check ?obs ?ddg:(Option.map fst s.ideal) ~latency s.loop
+      @
+      match (s.partition, s.clustered) with
+      | Some (_, rewritten), Some (ddg, _) ->
+          Analysis_check.check ?obs ~ddg ~latency rewritten
+      | Some (_, rewritten), None -> Analysis_check.check ?obs ~latency rewritten
+      | None, _ -> []
+    in
+    List.fold_left (fun acc d -> if List.mem d acc then acc else d :: acc) [] both
+    |> List.rev
+  in
+  ir @ ideal @ partition @ clustered @ alloc @ analysis
 
 let verdict diags =
   match Diag.errors diags with

@@ -14,7 +14,9 @@
       copy-count minimality against the source);
     - the clustered kernel through {!Sched_check};
     - the allocation through {!Alloc_check} (cross-checked against the
-      partition).
+      partition);
+    - the source and rewritten bodies through {!Analysis_check}, the
+      independent dataflow engine's translation validation of the DDGs.
 
     Producers stay untrusted: every analyzer recomputes its invariant
     from definitions. *)
@@ -42,9 +44,12 @@ val stages : machine:Mach.Machine.t -> Ir.Loop.t -> stages
 (** A stage set holding only the source loop; fill fields in as the
     pipeline produces them. *)
 
-val run : stages -> Diag.t list
+val run : ?obs:Obs.Trace.t -> stages -> Diag.t list
 (** Every applicable analyzer over every present artifact, in pipeline
-    order. *)
+    order, ending with the independent dataflow analysis
+    ({!Analysis_check}): the source loop is validated against the ideal
+    DDG (or a freshly built one), the rewritten body against the
+    clustered DDG. [obs] feeds the [analysis.*] counters. *)
 
 val verdict : Diag.t list -> (unit, string) Stdlib.result
 (** [Ok ()] when no error-severity diagnostic is present, otherwise an

@@ -1,0 +1,63 @@
+The analyze subcommand runs the independent dataflow engine: liveness
+(MaxLive per class), constant/range propagation, and the dependence
+analysis whose edge set is diffed against the DDG. A healthy example
+matches edge-for-edge ("ok" in the diff column):
+
+  $ rbp analyze ../../examples/saxpy.ir
+  loop            ops  maxlive live/int live/flt  dead  remat  edges matched   diff iters
+  saxpy2           10        3        0        3     0      0     10      10     ok    66
+  analyze: 1 loop, 0 diff errors, 0 diff warnings
+
+--maxlive additionally predicts per-bank pressure from the partitioned,
+copy-inserted body; --diff-ddg prints any discrepancy findings (none
+here):
+
+  $ rbp analyze ../../examples/saxpy.ir --diff-ddg --maxlive
+  loop            ops  maxlive live/int live/flt  dead  remat  edges matched   diff iters
+  saxpy2           10        3        0        3     0      0     10      10     ok    66
+    maxlive banks[4]: 3 3 1 1 (rewritten body)
+  analyze: 1 loop, 0 diff errors, 0 diff warnings
+
+Transitively dead chains (invisible to the syntactic lint) show up in
+the dead column — here the unused add and the load feeding only it:
+
+  $ cat > dead.ir <<'IREOF'
+  > loop deadchain depth 1 trip 100
+  >   load.f a0, x[1*i]
+  >   add.f b0, a0, a0
+  >   load.f c0, y[1*i]
+  >   store.f z[1*i], c0
+  > IREOF
+  $ rbp analyze dead.ir
+  loop            ops  maxlive live/int live/flt  dead  remat  edges matched   diff iters
+  deadchain         4        1        0        1     2      0      2       2     ok    21
+  analyze: 1 loop, 0 diff errors, 0 diff warnings
+
+--json emits one machine-readable line per loop:
+
+  $ rbp analyze ../../examples/saxpy.ir --json
+  {"loop":"saxpy2","ops":10,"max_live":3,"max_live_int":0,"max_live_float":3,"dead":0,"constants":0,"remat":0,"analysis_edges":10,"ddg_edges":10,"matched":10,"diff_errors":0,"diff_warnings":0,"iterations":66,"widenings":0}
+
+Without a file argument the whole generated suite is analyzed (capped
+here with -n); results arrive in submission order regardless of -j, so
+parallel runs are byte-identical:
+
+  $ rbp analyze -n 5
+  loop            ops  maxlive live/int live/flt  dead  remat  edges matched   diff iters
+  vcopy-u1          2        1        0        1     0      0      1       1     ok    10
+  vcopy-u2          4        1        0        1     0      0      2       2     ok    21
+  vcopy-u4          8        1        0        1     0      0      4       4     ok    43
+  vcopy-u8         16        1        0        1     0      0      8       8     ok    87
+  scale-u1          3        2        0        2     0      0      2       2     ok    18
+  analyze: 5 loops, 0 diff errors, 0 diff warnings
+
+  $ rbp analyze -n 5 -j 1 > serial.out
+  $ rbp analyze -n 5 -j 4 > parallel.out
+  $ cmp serial.out parallel.out
+
+The lint subcommand sweeps the suite the same way:
+
+  $ rbp lint -n 3 -j 2
+  lint: vcopy-u1: clean
+  lint: vcopy-u2: clean
+  lint: vcopy-u4: clean
