@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-json bench-baseline perfdiff report check-report doc \
-        clean quickstart experiment lint analyze stress trace
+        clean quickstart experiment lint analyze stress trace serve-smoke bombard
 
 all: build
 
@@ -78,6 +78,31 @@ LOOP ?= daxpy-u4
 CLUSTERS ?= 4
 trace:
 	dune exec bin/rbp.exe -- trace $(LOOP) -c $(CLUSTERS) --deterministic
+
+# The service smoke test: a faults-enabled daemon on a Unix socket,
+# bombarded with a reduced suite from concurrent clients under every
+# service fault, then drained with SIGTERM. Exit 0 = every request
+# answered, zero protocol errors, serve metrics match local compiles.
+SERVE_SOCK ?= /tmp/rbp-serve-smoke.sock
+# Run the built binary directly: a backgrounded `dune exec` keeps the
+# dune project lock for as long as the daemon lives, deadlocking the
+# second `dune exec`.
+serve-smoke: build
+	@rm -f $(SERVE_SOCK)
+	./_build/default/bin/rbp.exe serve --listen unix:$(SERVE_SOCK) --faults & \
+	serve_pid=$$!; \
+	./_build/default/bin/rbp.exe bombard unix:$(SERVE_SOCK) \
+	  --loops 25 --clients 8 --faults all --check; \
+	status=$$?; \
+	kill -TERM $$serve_pid; wait $$serve_pid || status=1; \
+	exit $$status
+
+# The full bombardment: the whole 211-loop suite against a live daemon
+# (start one with `rbp serve`), writing the rbp-bench/1 latency report.
+BOMBARD_ADDR ?= unix:/tmp/rbp-serve.sock
+bombard: build
+	./_build/default/bin/rbp.exe bombard $(BOMBARD_ADDR) \
+	  --clients 8 --faults all --check --json BENCH_serve.json
 
 quickstart:
 	dune exec examples/quickstart.exe

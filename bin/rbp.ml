@@ -95,8 +95,18 @@ let deterministic_arg =
            timing output, making the result byte-stable across runs (for tests and \
            diffing).")
 
-let clock_of ~deterministic =
-  if deterministic then Obs.Clock.fake () else Unix.gettimeofday
+(* The single place wall time is named. Every subcommand — including
+   serve and bombard — selects between the fake and the real clock
+   through these helpers, so "--deterministic" cannot drift into
+   meaning different clocks in different subcommands. *)
+let real_clock : unit -> float = Unix.gettimeofday
+
+let clock_of ~deterministic = if deterministic then Obs.Clock.fake () else real_clock
+
+(* Per-shard clock for Engine-pooled sweeps: each domain gets its own
+   clock, so fake clocks never race across domains. *)
+let job_clock_of ~deterministic _shard = clock_of ~deterministic
+let real_job_clock = job_clock_of ~deterministic:false
 
 (* ------------------------------------------------------------------ *)
 (* Engine arguments: one -j/--jobs and one cache triple shared by every
@@ -158,7 +168,7 @@ let with_trace trace_out f =
   match trace_out with
   | None -> f None
   | Some path ->
-      let obs = Obs.Trace.make ~clock:Unix.gettimeofday () in
+      let obs = Obs.Trace.make ~clock:real_clock () in
       let written = ref false in
       let finish () =
         if not !written then begin
@@ -412,13 +422,12 @@ let report_cmd =
     let loops = Workload.Suite.loops ~seed ~n () in
     let obs = Obs.Trace.make ~clock:(clock_of ~deterministic) () in
     let cache = cache_of ~no_cache ~cache_dir in
-    let t0 = Unix.gettimeofday () in
+    let t0 = real_clock () in
     let runs =
-      Core.Experiment.run_all ~obs ~jobs ?cache
-        ~job_clock:(fun _ -> clock_of ~deterministic)
+      Core.Experiment.run_all ~obs ~jobs ?cache ~job_clock:(job_clock_of ~deterministic)
         ~loops ()
     in
-    let wall_s = Unix.gettimeofday () -. t0 in
+    let wall_s = real_clock () -. t0 in
     let cache_hits =
       List.fold_left (fun acc (r : Core.Experiment.run) -> acc + r.cache_hits) 0 runs
     in
@@ -733,9 +742,7 @@ let experiment_cmd =
     with_trace trace_out @@ fun obs ->
     let cache = cache_of ~no_cache ~cache_dir in
     let runs =
-      Core.Experiment.run_all ?obs ~jobs ?cache
-        ~job_clock:(fun _ -> Unix.gettimeofday)
-        ~loops ()
+      Core.Experiment.run_all ?obs ~jobs ?cache ~job_clock:real_job_clock ~loops ()
     in
     let ipc = Core.Experiment.ideal_ipc ~loops () in
     Util.Table.print (Core.Report.table1 ~ideal_ipc:ipc runs);
@@ -1209,8 +1216,7 @@ let stress_cmd =
   let run seed trials fault_rate no_fatal verbose jobs trace_out =
     with_trace trace_out @@ fun obs ->
     let s =
-      Robust.Stress.run ?obs ~jobs
-        ~job_clock:(fun _ -> Unix.gettimeofday)
+      Robust.Stress.run ?obs ~jobs ~job_clock:real_job_clock
         ~include_fatal:(not no_fatal) ~fault_rate ~seed ~trials ()
     in
     print_endline (Robust.Stress.report ~verbose s);
@@ -1297,6 +1303,295 @@ let cache_cmd =
     [ stat_cmd; clear_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* serve / bombard / call                                              *)
+
+let addr_of_string_arg s = Serve.Wire.addr_of_string s
+
+let addr_pos_arg =
+  let doc =
+    "Service address: $(b,unix:PATH), $(b,tcp:HOST:PORT), a bare $(b,HOST:PORT), or a \
+     bare socket path."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR" ~doc)
+
+let faults_conv =
+  let parse s =
+    match s with
+    | "all" -> Ok Robust.Inject.all_service
+    | "none" -> Ok []
+    | s ->
+        let names = String.split_on_char ',' s in
+        List.fold_left
+          (fun acc n ->
+            match acc with
+            | Error _ as e -> e
+            | Ok fs -> (
+                match Robust.Inject.service_fault_of_name (String.trim n) with
+                | Some f -> Ok (fs @ [ f ])
+                | None -> Error (`Msg (Printf.sprintf "unknown service fault %S" n))))
+          (Ok []) names
+  in
+  let print ppf fs =
+    Format.pp_print_string ppf
+      (match fs with
+      | [] -> "none"
+      | fs -> String.concat "," (List.map Robust.Inject.service_fault_name fs))
+  in
+  Arg.conv (parse, print)
+
+let serve_cmd =
+  let run listen workers queue_limit deadline_ms max_retries cache_dir no_cache
+      idle_timeout max_frame faults allow_shutdown =
+    let addr = or_die (addr_of_string_arg listen) in
+    let cache = cache_of ~no_cache ~cache_dir in
+    let cfg =
+      Serve.Server.config ~workers ~queue_limit ?default_deadline_ms:deadline_ms
+        ~max_retries ?cache ~idle_timeout_s:idle_timeout ~max_frame
+        ~faults_enabled:faults ~allow_shutdown ~clock:real_clock addr
+    in
+    exit (Serve.Server.run cfg)
+  in
+  let listen =
+    Arg.(
+      value
+      & opt string "unix:/tmp/rbp-serve.sock"
+      & info [ "listen"; "l" ] ~docv:"ADDR"
+          ~doc:
+            "Listen address: $(b,unix:PATH), $(b,tcp:HOST:PORT), a bare $(b,HOST:PORT) \
+             or a bare socket path.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers"; "w" ] ~docv:"N" ~doc:"Worker domains compiling requests.")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit"; "q" ] ~docv:"N"
+          ~doc:
+            "Admission bound: compile requests beyond $(docv) queued jobs are shed with \
+             a structured $(b,overload) reply carrying a retry-after quote.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Default per-request wall-clock deadline in milliseconds, applied when a \
+             request does not name its own. Expired requests are answered with a \
+             structured timeout, never hung.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Worker crashes tolerated per request before it is quarantined and answered \
+             with $(b,SRV003).")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"S"
+          ~doc:
+            "Total per-frame read budget in seconds. The budget is not reset by \
+             progress, so slow-loris clients dribbling bytes still run out.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Largest accepted request frame.")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Honor poison fault markers in requests (worker-crash injection). For the \
+             bombardment harness and tests only.")
+  in
+  let allow_shutdown =
+    Arg.(
+      value & flag
+      & info [ "allow-shutdown" ]
+          ~doc:"Honor the $(b,shutdown) op (otherwise it is a bad frame).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the fault-tolerant pipelining compilation daemon: newline-delimited JSON \
+          over a Unix or TCP socket, bounded admission with explicit backpressure, \
+          per-request deadlines with cooperative cancellation, cached repeat answers, \
+          and a supervisor that restarts crashed worker domains and quarantines poison \
+          requests. Every admitted request is answered — including during a SIGTERM \
+          drain. Exit codes: 0 clean shutdown, 1 listen failure")
+    Term.(
+      const run $ listen $ workers $ queue_limit $ deadline $ max_retries $ cache_dir_arg
+      $ no_cache_arg $ idle_timeout $ max_frame $ faults $ allow_shutdown)
+
+let bombard_cmd =
+  let run addr clients loops seed clusters model deadline_ms faults fault_rate retries
+      timeout check json_out quiet =
+    let addr = or_die (addr_of_string_arg addr) in
+    let log = if quiet then ignore else prerr_endline in
+    let cfg =
+      Serve.Bombard.config ~clients ~loops ~seed ~clusters ~model ?deadline_ms ~faults
+        ~fault_rate ~max_retries:retries ~timeout_s:timeout ~check ~log addr
+    in
+    let r = Serve.Bombard.run cfg in
+    print_string (Serve.Bombard.render r);
+    (match json_out with
+    | None -> ()
+    | Some path ->
+        write_file path (Obs.Json.to_string (Serve.Bombard.to_json r) ^ "\n"));
+    exit (Serve.Bombard.exit_code r)
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients"; "k" ] ~docv:"K" ~doc:"Concurrent client threads.")
+  in
+  let loops =
+    Arg.(
+      value & opt int 0
+      & info [ "loops"; "n" ] ~docv:"N"
+          ~doc:"Replay the first $(docv) suite loops (0 = the whole 211-loop suite).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS" ~doc:"Deadline attached to every scored request.")
+  in
+  let faults =
+    Arg.(
+      value & opt faults_conv []
+      & info [ "faults" ] ~docv:"LIST"
+          ~doc:
+            "Service faults to inject before each scored request: $(b,all), $(b,none), \
+             or a comma-separated subset of $(b,garbage-frame), $(b,slow-loris), \
+             $(b,disconnect), $(b,deadline-storm), $(b,crash-worker).")
+  in
+  let fault_rate =
+    Arg.(
+      value & opt float 1.0
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Per-(loop, fault) firing probability, drawn from the seeded stream.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 8
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Backoff budget per scored request: overload sheds and reconnects beyond \
+             $(docv) mark the request unanswered (a FAIL).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 120.0
+      & info [ "timeout" ] ~docv:"S" ~doc:"Client-side wait per reply.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Recompute every served result through the local ladder and fail on any \
+             ideal-II / clustered-II / copy-count / rung disagreement.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write an rbp-bench/1 report (accepted by $(b,rbp perfdiff)) with \
+             service latency telemetry to $(docv).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the per-loop progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "bombard"
+       ~doc:
+         "Replay the workload suite against a live $(b,rbp serve) daemon from \
+          concurrent clients, optionally injecting service-level faults (garbage \
+          frames, slow-loris dribbles, mid-request disconnects, deadline storms, \
+          worker-crash poison) before each scored request. Scored requests retry \
+          overload sheds with jittered exponential backoff. Exit codes: 0 when every \
+          request was answered with no protocol errors or metric mismatches; 1 \
+          otherwise")
+    Term.(
+      const run $ addr_pos_arg $ clients $ loops $ seed_arg $ clusters_arg $ model_arg
+      $ deadline $ faults $ fault_rate $ retries $ timeout $ check $ json_out $ quiet)
+
+let call_cmd =
+  let run addr frames from_stdin retry_for timeout =
+    let addr = or_die (addr_of_string_arg addr) in
+    let client = or_die (Serve.Client.connect ~retry_for addr) in
+    let frames =
+      if from_stdin then
+        let rec read acc =
+          match input_line stdin with
+          | line -> read (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        read []
+      else frames
+    in
+    let failed = ref false in
+    List.iter
+      (fun frame ->
+        match Serve.Client.send_line client frame with
+        | Error e ->
+            prerr_endline ("rbp call: " ^ e);
+            failed := true
+        | Ok () -> (
+            match Serve.Client.recv_line ~timeout_s:timeout client with
+            | Error e ->
+                prerr_endline ("rbp call: " ^ e);
+                failed := true
+            | Ok reply -> print_endline reply))
+      frames;
+    Serve.Client.close client;
+    exit (if !failed then 1 else 0)
+  in
+  let frames =
+    Arg.(
+      value
+      & pos_right 0 string []
+      & info [] ~docv:"FRAME" ~doc:"Raw JSON request frames to send, one reply each.")
+  in
+  let from_stdin =
+    Arg.(
+      value & flag
+      & info [ "stdin" ] ~doc:"Read request frames from standard input instead.")
+  in
+  let retry_for =
+    Arg.(
+      value & opt float 5.0
+      & info [ "retry-for" ] ~docv:"S"
+          ~doc:
+            "Keep retrying a refused connection for $(docv) seconds — how scripts wait \
+             for a daemon that is still binding its socket.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 60.0
+      & info [ "timeout" ] ~docv:"S" ~doc:"Wait per reply.")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send raw protocol frames to a running $(b,rbp serve) daemon and print the \
+          raw reply lines — the scriptable probe the cram tests and smoke checks use. \
+          Exit codes: 0 when every frame got a reply; 1 on any transport failure")
+    Term.(const run $ addr_pos_arg $ frames $ from_stdin $ retry_for $ timeout)
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   let doc = "register assignment for software pipelining with partitioned register banks" in
@@ -1305,6 +1600,6 @@ let main =
     [ list_cmd; show_cmd; pipeline_cmd; trace_cmd; explain_cmd; report_cmd; perfdiff_cmd;
       schedule_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd; analyze_cmd;
       stress_cmd;
-      sim_cmd; experiment_cmd; csv_cmd; cache_cmd ]
+      sim_cmd; experiment_cmd; csv_cmd; cache_cmd; serve_cmd; bombard_cmd; call_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -19,10 +19,38 @@ let read_file path =
       close_in ic;
       Some s
 
-let find t ~key =
+(* Entries are wrapped in an integrity envelope
+   [{"sum": md5(payload bytes), "payload": ...}]. Content addressing
+   guarantees an entry can never be the answer to the wrong question,
+   but not that its bytes survived the disk: a truncated or bit-flipped
+   file could otherwise still parse as JSON and decode into a wrong
+   result. The digest is over the canonical serialization of the
+   payload, so any flip that survives the parser either changes the
+   re-serialized bytes (digest mismatch) or the envelope shape — both
+   degrade to a miss, counted on [engine.cache_corrupt]. *)
+let envelope payload =
+  let body = Obs.Json.to_string payload in
+  Obs.Json.Obj
+    [ ("sum", Obs.Json.Str (Digest.to_hex (Digest.string body))); ("payload", payload) ]
+
+let unseal j =
+  match (Obs.Json.member "sum" j, Obs.Json.member "payload" j) with
+  | Some (Obs.Json.Str sum), Some payload
+    when String.equal sum (Digest.to_hex (Digest.string (Obs.Json.to_string payload))) ->
+      Some payload
+  | _ -> None
+
+let find ?obs t ~key =
   match read_file (path_of t key) with
   | None -> None
-  | Some text -> ( match Obs.Json.of_string text with Ok j -> Some j | Error _ -> None)
+  | Some text -> (
+      let corrupt () =
+        Obs.Trace.incr obs Obs.Counter.Engine_cache_corrupt 1;
+        None
+      in
+      match Obs.Json.of_string text with
+      | Error _ -> corrupt ()
+      | Ok j -> ( match unseal j with Some payload -> Some payload | None -> corrupt ()))
 
 let rec mkdir_p d =
   if not (Sys.file_exists d) then begin
@@ -37,7 +65,7 @@ let store t ~key json =
     mkdir_p (Filename.dirname path);
     let tmp = Filename.temp_file ~temp_dir:(Filename.dirname path) "entry" ".tmp" in
     let oc = open_out_bin tmp in
-    output_string oc (Obs.Json.to_string json);
+    output_string oc (Obs.Json.to_string (envelope json));
     output_char oc '\n';
     close_out oc;
     Sys.rename tmp path

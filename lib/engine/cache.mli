@@ -14,7 +14,15 @@
     entry — both fine, because entries for one key are byte-identical
     by construction. I/O failures are treated as misses or ignored: a
     broken disk degrades to recomputation, never to a wrong answer or
-    a raised exception. *)
+    a raised exception.
+
+    Integrity: every stored entry is sealed in an MD5 envelope
+    [{"sum": digest, "payload": entry}] computed over the payload's
+    canonical serialization. A truncated, bit-flipped, or hand-edited
+    file fails the digest (or the parse) and degrades to a miss,
+    counted on [engine.cache_corrupt] — it can never decode into a
+    wrong result. Pre-envelope stores are unreachable because adopting
+    the envelope bumped {!Key.version_salt}. *)
 
 type t
 
@@ -26,12 +34,16 @@ val dir : t -> string
 val open_ : ?dir:string -> unit -> t
 (** Cheap; creates nothing on disk until the first {!store}. *)
 
-val find : t -> key:string -> Obs.Json.t option
-(** [None] on absence, unreadable entry, or malformed JSON. *)
+val find : ?obs:Obs.Trace.t -> t -> key:string -> Obs.Json.t option
+(** The unsealed payload, or [None] on absence, unreadable entry,
+    malformed JSON, a missing envelope, or a digest mismatch. Only the
+    readable-but-invalid cases bump [engine.cache_corrupt] on [obs]
+    (absence is an ordinary miss). *)
 
 val store : t -> key:string -> Obs.Json.t -> unit
-(** Atomic (temp file + rename). Failures are silently dropped — the
-    cache is an accelerator, not a database. *)
+(** Seals the entry in its integrity envelope and writes it atomically
+    (temp file + rename). Failures are silently dropped — the cache is
+    an accelerator, not a database. *)
 
 type stats = {
   entries : int;  (** cached results on disk *)

@@ -1,0 +1,34 @@
+exception Cancelled
+
+type t = {
+  flag : bool Atomic.t;
+  deadline : float option;
+  clock : unit -> float;
+}
+
+let make ?deadline ~clock () = { flag = Atomic.make false; deadline; clock }
+let never = { flag = Atomic.make false; deadline = None; clock = (fun () -> 0.0) }
+let cancel t = Atomic.set t.flag true
+
+let cancelled t =
+  Atomic.get t.flag
+  ||
+  match t.deadline with
+  | None -> false
+  | Some d ->
+      if t.clock () >= d then begin
+        (* Latch: once a deadline has passed it stays passed, even for
+           callers holding a clock that could (in tests) run backwards. *)
+        Atomic.set t.flag true;
+        true
+      end
+      else false
+
+let guard t () = cancelled t
+
+let remaining t =
+  match t.deadline with
+  | None -> None
+  | Some d -> Some (d -. t.clock ())
+
+let check t = if cancelled t then raise Cancelled

@@ -1,0 +1,46 @@
+(** Cooperative cancellation tokens.
+
+    A token combines an explicit cancel flag with an optional wall-clock
+    deadline. Work that must never outlive its caller — a pipeline run
+    answering a network request, a pool task whose batch was abandoned —
+    polls the token at stage boundaries and unwinds {e cooperatively}:
+    nothing is killed, the job simply declines to start its next stage.
+    That is the only cancellation OCaml domains can offer, and it is the
+    right one for a compiler: every abandoned artifact is a value, so
+    there is nothing to clean up and no partial state escapes.
+
+    Tokens are domain-safe: [cancel] may be called from any thread or
+    domain while a worker polls [cancelled] from another. Once a token
+    reports cancelled it stays cancelled (deadline hits are latched). *)
+
+exception Cancelled
+(** Raised by {!check}; also the [Error] payload {!Pool.run} records for
+    tasks skipped because the batch token fired. *)
+
+type t
+
+val make : ?deadline:float -> clock:(unit -> float) -> unit -> t
+(** [deadline] is an absolute reading of [clock] (compare:
+    [clock () +. budget_s]); the token reports cancelled once
+    [clock ()] reaches it. With no deadline the token only cancels
+    explicitly. *)
+
+val never : t
+(** A token that never cancels — the default everywhere. *)
+
+val cancel : t -> unit
+(** Idempotent; safe from any domain. *)
+
+val cancelled : t -> bool
+
+val guard : t -> unit -> bool
+(** [guard t] as a polling closure — the shape drivers accept so they
+    need not depend on this module's [t]. *)
+
+val remaining : t -> float option
+(** Seconds until the deadline (negative once passed); [None] when the
+    token has no deadline. *)
+
+val check : t -> unit
+(** Raise {!Cancelled} if the token fired. For call sites structured
+    around exceptions; drivers in this codebase poll instead. *)

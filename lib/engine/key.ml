@@ -1,4 +1,4 @@
-let version_salt = "rbp-engine/1"
+let version_salt = "rbp-engine/2"
 
 let encode parts =
   let b = Buffer.create 256 in

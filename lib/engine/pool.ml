@@ -32,9 +32,16 @@ let steal d =
   Mutex.unlock d.lock;
   r
 
-let run ~jobs (tasks : (unit -> 'a) array) : ('a, exn) result array =
+let run ?(cancel = Cancel.never) ~jobs (tasks : (unit -> 'a) array) :
+    ('a, exn) result array =
   let n = Array.length tasks in
-  let exec i = try Ok (tasks.(i) ()) with e -> Error e in
+  let exec i =
+    (* One poll per task: a batch abandoned mid-run drains its remaining
+       tasks as [Error Cancelled] instead of computing them. Tasks that
+       want finer-grained unwinding poll the same token themselves. *)
+    if Cancel.cancelled cancel then Error Cancel.Cancelled
+    else try Ok (tasks.(i) ()) with e -> Error e
+  in
   if n = 0 then [||]
   else begin
     let jobs = max 1 (min jobs n) in

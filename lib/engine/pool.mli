@@ -22,11 +22,18 @@
     exact serial path, so [-j 1] is a true fallback and not merely a
     one-worker pool. *)
 
-val run : jobs:int -> (unit -> 'a) array -> ('a, exn) result array
+val run :
+  ?cancel:Cancel.t -> jobs:int -> (unit -> 'a) array -> ('a, exn) result array
 (** [jobs] is clamped to [1 .. Array.length tasks]. Tasks must not
     assume anything about which domain runs them; anything they share
     must be immutable or externally synchronized (see DESIGN.md §11 for
-    the audit of what the pipeline shares: nothing mutable). *)
+    the audit of what the pipeline shares: nothing mutable).
+
+    [cancel] (default {!Cancel.never}) is polled once before each task
+    starts: once the token fires, every not-yet-started task completes
+    as [Error Cancel.Cancelled] without running. Tasks already running
+    are not interrupted — cooperative cancellation inside a task is the
+    task's own business (thread the same token into its work). *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — one worker per available

@@ -16,11 +16,19 @@ let map ?cache ?codec ?obs ?job_clock ~jobs (js : 'a job array) =
         match js.(i).key with
         | None -> ()
         | Some key -> (
-            match Option.bind (Cache.find c ~key) cd.decode with
-            | Some v ->
-                incr hits;
-                results.(i) <- Some (Ok v)
-            | None -> incr misses)
+            match Cache.find ?obs c ~key with
+            | None -> incr misses
+            | Some j -> (
+                match cd.decode j with
+                | Some v ->
+                    incr hits;
+                    results.(i) <- Some (Ok v)
+                | None ->
+                    (* The envelope checked out but the payload is not a
+                       value of this codec — same verdict as a corrupt
+                       file: degrade to a miss and recompute. *)
+                    Obs.Trace.incr obs Obs.Counter.Engine_cache_corrupt 1;
+                    incr misses))
       done
   | _ -> ());
   let todo = ref [] in

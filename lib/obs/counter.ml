@@ -14,6 +14,17 @@ type t =
   | Analysis_iterations
   | Analysis_widened
   | Analysis_ddg_diff
+  | Engine_cache_corrupt
+  | Serve_admitted
+  | Serve_shed
+  | Serve_completed
+  | Serve_failed
+  | Serve_timeouts
+  | Serve_cache_hits
+  | Serve_bad_frames
+  | Serve_disconnects
+  | Serve_worker_restarts
+  | Serve_quarantined
 
 let name = function
   | Sched_placements -> "sched.placements"
@@ -31,13 +42,27 @@ let name = function
   | Analysis_iterations -> "analysis.iterations"
   | Analysis_widened -> "analysis.widened"
   | Analysis_ddg_diff -> "analysis.ddg_diff"
+  | Engine_cache_corrupt -> "engine.cache_corrupt"
+  | Serve_admitted -> "serve.admitted"
+  | Serve_shed -> "serve.shed"
+  | Serve_completed -> "serve.completed"
+  | Serve_failed -> "serve.failed"
+  | Serve_timeouts -> "serve.timeouts"
+  | Serve_cache_hits -> "serve.cache_hits"
+  | Serve_bad_frames -> "serve.bad_frames"
+  | Serve_disconnects -> "serve.disconnects"
+  | Serve_worker_restarts -> "serve.worker_restarts"
+  | Serve_quarantined -> "serve.quarantined"
 
 let all =
   [
     Sched_placements; Sched_evictions; Sched_ii_escalations; Sched_budget_exhausted;
     Greedy_decisions; Greedy_tie_breaks; Greedy_pinned; Copies_inserted;
     Spilled_registers; Alloc_rounds; Ladder_rung_entered; Ladder_rung_failed;
-    Analysis_iterations; Analysis_widened; Analysis_ddg_diff;
+    Analysis_iterations; Analysis_widened; Analysis_ddg_diff; Engine_cache_corrupt;
+    Serve_admitted; Serve_shed; Serve_completed; Serve_failed; Serve_timeouts;
+    Serve_cache_hits; Serve_bad_frames; Serve_disconnects; Serve_worker_restarts;
+    Serve_quarantined;
   ]
 
 type gauge =

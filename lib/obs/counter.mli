@@ -22,6 +22,17 @@ type t =
   | Analysis_iterations  (** worklist iterations across the dataflow solves *)
   | Analysis_widened  (** facts forced to a widened value to converge *)
   | Analysis_ddg_diff  (** discrepancies between analysis and DDG edge sets *)
+  | Engine_cache_corrupt  (** cache entries rejected as corrupt (degraded to miss) *)
+  | Serve_admitted  (** compile requests admitted into the service queue *)
+  | Serve_shed  (** requests answered [overload] by admission control *)
+  | Serve_completed  (** requests answered with verified code *)
+  | Serve_failed  (** requests answered with a structured error *)
+  | Serve_timeouts  (** requests answered with a deadline-exceeded reply *)
+  | Serve_cache_hits  (** requests answered straight from the result cache *)
+  | Serve_bad_frames  (** unparseable / oversized / unknown-op frames *)
+  | Serve_disconnects  (** replies dropped because the client went away *)
+  | Serve_worker_restarts  (** worker domains restarted by the supervisor *)
+  | Serve_quarantined  (** poison requests quarantined after repeated crashes *)
 
 val name : t -> string
 (** Stable dotted identifier, e.g. ["sched.placements"] — the name used

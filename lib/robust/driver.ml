@@ -104,7 +104,10 @@ let verify_diags (r : result) =
 (* ------------------------------------------------------------------ *)
 (* The ladder                                                          *)
 
-let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
+let deadline_code = "PIPE008"
+
+let run ?obs ?(cancel = fun () -> false) ?(config = default_config) ?(hooks = no_hooks)
+    ~machine loop =
   let m : Mach.Machine.t = hooks.on_machine machine in
   let loop = hooks.on_loop loop in
   let subject = Ir.Loop.name loop in
@@ -126,6 +129,27 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
   (* Failures inside one rung carry (stage, optional code, detail). *)
   let ( let* ) = Stdlib.Result.bind in
   let stage_fail ?code stage detail = Error (stage, code, detail) in
+  (* Cooperative cancellation: polled at stage boundaries inside every
+     rung and between rungs. A fired token turns the next boundary into
+     an ordinary stage failure carrying {!deadline_code}, so the rung
+     unwinds through the same path as any other failure — attempt
+     logged, no artifact escapes — and the ladder stops descending. *)
+  let guard stage =
+    if cancel () then stage_fail ~code:deadline_code stage "deadline exceeded" else Ok ()
+  in
+  let deadline_error () =
+    let stage =
+      match !attempts with
+      | (a : Verify.Stage_error.attempt) :: _ -> a.Verify.Stage_error.at_stage
+      | [] -> Verify.Stage_error.Ideal_schedule
+    in
+    Error
+      (Verify.Stage_error.make
+         ~attempts:(List.rev !attempts)
+         ~code:deadline_code ~stage ~subject
+         (Printf.sprintf "deadline exceeded; ladder abandoned after %d attempts"
+            (List.length !attempts)))
+  in
   let schedule_clustered ~budget ~cluster_of ~mii ddg =
     match config.scheduler with
     | Partition.Driver.Rau ->
@@ -182,6 +206,7 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
              | n -> Printf.sprintf " (and %d more errors)" n))
   in
   let finish candidate =
+    let* () = guard Verify.Stage_error.Verification in
     (* The oracle has the final word regardless of which rung we came by. *)
     let* diags = check (verify_diags candidate) in
     Ok { candidate with diags; attempts = List.rev !attempts }
@@ -198,6 +223,7 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
     Obs.Trace.incr obs ~label:rung Obs.Counter.Ladder_rung_entered 1;
     let result =
       let ideal_ii = ideal.Sched.Modulo.ii in
+      let* () = guard Verify.Stage_error.Partitioning in
       let* assignment0 =
         match partitioner with
         | None -> Ok (single_bank_assignment loop)
@@ -251,6 +277,7 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
              ~copies_per_cluster:ins.Partition.Copies.copies_per_cluster)
           (Ddg.Minii.rec_mii ddg')
       in
+      let* () = guard Verify.Stage_error.Clustered_schedule in
       let* clustered =
         match schedule_clustered ~budget ~cluster_of ~mii ddg' with
         | Some o -> Ok o
@@ -272,6 +299,7 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
                clustered = Some (ddg', kernel);
              })
       in
+      let* () = guard Verify.Stage_error.Allocation in
       let* alloc = allocate_stage ~rung ~assignment rewritten in
       match alloc with
       | Some a when a.Regalloc.Alloc.spill_count > 0 && config.reschedule_after_spill ->
@@ -353,6 +381,7 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
     Obs.Trace.span obs "ladder.rung" ~attrs:[ ("rung", rung) ] @@ fun () ->
     Obs.Trace.incr obs ~label:rung Obs.Counter.Ladder_rung_entered 1;
     let result =
+      let* () = guard Verify.Stage_error.Copy_insertion in
       let assignment0 = single_bank_assignment loop in
       let* ins =
         match Partition.Copies.insert_loop ~machine:m ~assignment:assignment0 loop with
@@ -373,6 +402,7 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
         | exception Invalid_argument msg ->
             stage_fail Verify.Stage_error.Clustered_schedule msg
       in
+      let* () = guard Verify.Stage_error.Allocation in
       let* alloc = allocate_stage ~rung ~assignment rewritten in
       let assignment =
         match alloc with Some a -> a.Regalloc.Alloc.assignment | None -> assignment
@@ -439,7 +469,7 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
             | None ->
                 log ~rung:"ideal" Verify.Stage_error.Ideal_schedule
                   (Printf.sprintf "no feasible II (budget_ratio %d)" b);
-                go rest)
+                if cancel () then None else go rest)
       in
       go budgets
     in
@@ -465,6 +495,7 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
       modulo_rungs @ (if config.allow_non_pipelined then [ attempt_flat ] else [])
     in
     let rec descend = function
+      | [] when cancel () -> deadline_error ()
       | [] -> (
           match !attempts with
           | [] ->
@@ -479,7 +510,9 @@ let run ?obs ?(config = default_config) ?(hooks = no_hooks) ~machine loop =
                    ~stage:last.Verify.Stage_error.at_stage ~subject
                    (Printf.sprintf "every rung of the fallback ladder failed (%d attempts); last: %s"
                       (List.length !attempts) last.Verify.Stage_error.detail)))
-      | rung :: rest -> ( match rung () with Some r -> Ok r | None -> descend rest)
+      | rung :: rest ->
+          if cancel () then deadline_error ()
+          else ( match rung () with Some r -> Ok r | None -> descend rest)
     in
-    descend rungs
+    if cancel () then deadline_error () else descend rungs
   end

@@ -104,8 +104,14 @@ val default_config : config
     spill rounds [[8; 32]], reschedule-after-spill, surrender enabled,
     allocation on, Rau scheduling. *)
 
+val deadline_code : string
+(** ["PIPE008"] — the diagnostic code of every cancellation-induced
+    failure, the discriminator callers use to tell "the deadline fired"
+    from "the ladder genuinely could not compile this loop". *)
+
 val run :
   ?obs:Obs.Trace.t ->
+  ?cancel:(unit -> bool) ->
   ?config:config ->
   ?hooks:hooks ->
   machine:Mach.Machine.t ->
@@ -117,6 +123,17 @@ val run :
     trace. Never raises on malformed input: bad IR is rejected up front
     with its IR diagnostic code, malformed assignments and copy
     failures are caught per rung.
+
+    [cancel] is a cooperative cancellation poll (e.g.
+    {!Engine.Cancel.guard} over a deadline token; constant [false] by
+    default). It is consulted at every stage boundary inside a rung and
+    between rungs; once it returns [true] the driver abandons the run
+    at the next boundary — no artifact escapes, nothing is left half
+    built — and returns an [Error] whose code is {!deadline_code} and
+    whose attempt trace covers {e every} rung tried before the
+    deadline, including the one the cancellation interrupted. An [Ok]
+    whose verification completed just before the token fired is still
+    returned: cancellation never discards verified code.
 
     [obs] (default off) traces one [ladder] span per call with one
     [ladder.rung] child per rung attempted (scheduler, partitioner and

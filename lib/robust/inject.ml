@@ -16,6 +16,37 @@ let recoverable = [ Corrupt_kernel; Drop_copy; Scramble_assignment ]
 let fatal = [ Malform_ir; Shrink_banks 1 ]
 let all = recoverable @ fatal
 
+(* Service-level faults: delivered against a running [rbp serve], not
+   through the driver hooks. The variants live here so the serve and
+   bombard layers share one catalog (and one spelling) of what can be
+   thrown at the daemon; the behaviors themselves are implemented
+   client-side in the bombardment harness ([Serve.Bombard]) or, for
+   [Crash_worker], by a poison marker the server only honors when fault
+   injection is explicitly enabled. *)
+type service_fault =
+  | Garbage_frame  (** send bytes that are not a protocol frame *)
+  | Slow_loris  (** dribble a valid frame a few bytes at a time *)
+  | Disconnect  (** close the connection before reading the reply *)
+  | Deadline_storm  (** request an impossible deadline, then retry sanely *)
+  | Crash_worker  (** poison request that kills its worker domain *)
+
+let service_fault_name = function
+  | Garbage_frame -> "garbage-frame"
+  | Slow_loris -> "slow-loris"
+  | Disconnect -> "disconnect"
+  | Deadline_storm -> "deadline-storm"
+  | Crash_worker -> "crash-worker"
+
+let service_fault_of_name = function
+  | "garbage-frame" -> Some Garbage_frame
+  | "slow-loris" -> Some Slow_loris
+  | "disconnect" -> Some Disconnect
+  | "deadline-storm" -> Some Deadline_storm
+  | "crash-worker" -> Some Crash_worker
+  | _ -> None
+
+let all_service = [ Garbage_frame; Slow_loris; Disconnect; Deadline_storm; Crash_worker ]
+
 type armed = { hooks : Driver.hooks; fired : unit -> fault list }
 
 let arm ~prng plan =

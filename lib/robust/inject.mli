@@ -43,6 +43,28 @@ val fatal : fault list
 
 val all : fault list
 
+type service_fault =
+  | Garbage_frame   (** send bytes that are not a protocol frame *)
+  | Slow_loris      (** dribble a valid frame a few bytes at a time *)
+  | Disconnect      (** close the connection before reading the reply *)
+  | Deadline_storm  (** request an impossible deadline, then retry sanely *)
+  | Crash_worker    (** poison request that kills its worker domain *)
+(** Faults delivered against a running [rbp serve] rather than through
+    the driver hooks. The daemon must answer every one with a structured
+    reply (or survive the disconnect): [Garbage_frame] → a [bad_frame]
+    reply, [Slow_loris] → either the completed frame's reply or a read
+    timeout, [Disconnect] → a dropped reply counted on
+    [serve.disconnects], [Deadline_storm] → a [timeout] reply carrying
+    {!Driver.deadline_code}, [Crash_worker] → a restarted worker domain
+    and (after retries) a quarantine reply. The behaviors live in the
+    bombardment harness; this catalog exists so serve, bombard and the
+    CLI share one spelling of each fault. *)
+
+val service_fault_name : service_fault -> string
+val service_fault_of_name : string -> service_fault option
+
+val all_service : service_fault list
+
 type armed = {
   hooks : Driver.hooks;
   fired : unit -> fault list;

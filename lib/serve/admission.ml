@@ -1,0 +1,79 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  limit : int;
+  mutable closed : bool;
+}
+
+let retry_after_base_ms = 25.0
+
+let create ~limit () =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    limit = max 0 limit;
+    closed = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  let r = try f () with e -> Mutex.unlock t.lock; raise e in
+  Mutex.unlock t.lock;
+  r
+
+let depth t = locked t (fun () -> Queue.length t.items)
+
+let retry_after_ms ~limit ~depth =
+  (* Deterministic and proportional to how far past the limit we are, so
+     clients under a deep backlog back off harder; a zero-limit queue
+     (shed everything — the cram test's configuration) always quotes the
+     base delay. *)
+  retry_after_base_ms *. float_of_int (max 1 (depth - limit + 1))
+
+let try_push t x =
+  locked t (fun () ->
+      if t.closed then `Closed
+      else
+        let d = Queue.length t.items in
+        if d >= t.limit then `Shed (retry_after_ms ~limit:t.limit ~depth:d)
+        else begin
+          Queue.push x t.items;
+          Condition.signal t.nonempty;
+          `Admitted (d + 1)
+        end)
+
+let push_force t x =
+  locked t (fun () ->
+      if t.closed then false
+      else begin
+        Queue.push x t.items;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let rec pop t =
+  Mutex.lock t.lock;
+  match Queue.pop t.items with
+  | x ->
+      Mutex.unlock t.lock;
+      Some x
+  | exception Queue.Empty ->
+      if t.closed then begin
+        Mutex.unlock t.lock;
+        None
+      end
+      else begin
+        Condition.wait t.nonempty t.lock;
+        Mutex.unlock t.lock;
+        pop t
+      end
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      (* Every parked worker must wake to observe the close. *)
+      Condition.broadcast t.nonempty)
+
+let closed t = locked t (fun () -> t.closed)

@@ -1,0 +1,40 @@
+(** Bounded admission queue with explicit backpressure.
+
+    The daemon's connection threads push compile jobs, worker domains
+    pop them. The queue never blocks a producer: once [limit] jobs are
+    waiting, {!try_push} refuses with a deterministic [retry_after]
+    quote and the caller answers the client with an [overload] frame —
+    load is shed at the door, in the 429 style, instead of building an
+    unbounded backlog whose tail would blow every deadline anyway.
+
+    Safe across domains and threads (one mutex, one condition). Closing
+    the queue is the drain signal: producers are refused with [`Closed],
+    consumers keep draining what was admitted and then receive [None] —
+    so a SIGTERM shutdown answers everything it accepted. *)
+
+type 'a t
+
+val create : limit:int -> unit -> 'a t
+(** [limit <= 0] means admit nothing — every push sheds (useful for
+    overload tests). *)
+
+val try_push : 'a t -> 'a -> [ `Admitted of int | `Shed of float | `Closed ]
+(** [`Admitted depth] with the post-push depth; [`Shed retry_after_ms]
+    when the queue is full — the quote grows with how far past the
+    limit the backlog is. Never blocks. *)
+
+val push_force : 'a t -> 'a -> bool
+(** Bypass the limit (the supervisor requeueing a crashed worker's job
+    must not be shed — the request was already admitted once). [false]
+    only when the queue is closed. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available; [None] once the queue is closed
+    {e and} drained. *)
+
+val close : 'a t -> unit
+val closed : 'a t -> bool
+val depth : 'a t -> int
+
+val retry_after_base_ms : float
+(** The base [retry_after] quote (25 ms). *)

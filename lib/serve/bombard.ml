@@ -1,0 +1,475 @@
+type config = {
+  addr : Wire.addr;
+  clients : int;
+  loops : int;
+  seed : int;
+  clusters : int;
+  model : Mach.Machine.copy_model;
+  deadline_ms : float option;
+  faults : Robust.Inject.service_fault list;
+  fault_rate : float;
+  max_retries : int;
+  timeout_s : float;
+  check : bool;
+  log : string -> unit;
+}
+
+let config ?(clients = 4) ?(loops = 0) ?(seed = 1995) ?(clusters = 4)
+    ?(model = Mach.Machine.Embedded) ?deadline_ms ?(faults = []) ?(fault_rate = 1.0)
+    ?(max_retries = 8) ?(timeout_s = 120.0) ?(check = false) ?(log = ignore) addr =
+  {
+    addr; clients; loops; seed; clusters; model; deadline_ms; faults; fault_rate;
+    max_retries; timeout_s; check; log;
+  }
+
+type probe = {
+  name : string;
+  status : string;  (* ok | error | timeout | unanswered *)
+  latency_ms : float;
+  retries : int;          (* overload backoffs + reconnect resends *)
+  sheds : int;            (* overload replies absorbed *)
+  faults_fired : string list;
+  cache : string;
+  rung : string option;
+  metrics : Core.Metrics.loop_metrics option;
+  protocol_errors : string list;
+  mismatch : string option;
+}
+
+type report = {
+  seed : int;
+  total : int;
+  clusters : int;
+  model : Mach.Machine.copy_model;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  unanswered : int;
+  protocol_errors : string list;
+  mismatches : string list;
+  sheds : int;
+  retries : int;
+  cache_hits : int;
+  faults_fired : (string * int) list;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  wall_s : float;
+  throughput_rps : float;
+  metrics : Core.Metrics.loop_metrics list;
+  server_counters : (string * int) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One client thread                                                   *)
+
+(* A client owns one connection at a time and reconnects after the
+   disconnect/slow-loris faults sever it. *)
+type client_state = { cfg : config; mutable conn : Client.t option }
+
+let drop_conn st =
+  match st.conn with
+  | None -> ()
+  | Some c ->
+      Client.close c;
+      st.conn <- None
+
+let get_conn st =
+  match st.conn with
+  | Some c -> Ok c
+  | None -> (
+      match Client.connect ~retry_for:5.0 st.cfg.addr with
+      | Ok c ->
+          st.conn <- Some c;
+          Ok c
+      | Error _ as e -> e)
+
+(* Send one frame and read one reply, reconnecting (and resending) once
+   on a connection-level failure. *)
+let roundtrip st line =
+  let once () =
+    match get_conn st with
+    | Error _ as e -> e
+    | Ok c -> (
+        match Client.send_line c line with
+        | Error _ as e ->
+            drop_conn st;
+            e
+        | Ok () -> (
+            match Client.recv_reply ~timeout_s:st.cfg.timeout_s c with
+            | Error _ as e ->
+                drop_conn st;
+                e
+            | Ok _ as ok -> ok))
+  in
+  match once () with Ok r -> Ok r | Error _ -> once ()
+
+let compile_request st ~id ?deadline_ms ?fault loop =
+  Proto.Compile
+    {
+      Proto.id;
+      ir = Ir.Parse.loop_to_string loop;
+      clusters = st.cfg.clusters;
+      model = st.cfg.model;
+      deadline_ms;
+      no_cache = false;
+      fault;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Fault preludes — each loop may be softened up before the clean
+   request that the report scores. *)
+
+let prelude st prng ~index loop fault errors =
+  let id fmt = Printf.sprintf "%s-%d" fmt index in
+  let expect ~ok ~what reply =
+    let s = Proto.status_of_reply reply in
+    if not (List.mem s ok) then
+      errors :=
+        Printf.sprintf "%s: unexpected %S reply (%s)" what s (Proto.reply_to_string reply)
+        :: !errors
+  in
+  match (fault : Robust.Inject.service_fault) with
+  | Robust.Inject.Garbage_frame -> (
+      match roundtrip st "}{ this is not a frame" with
+      | Error e -> errors := Printf.sprintf "garbage-frame: %s" e :: !errors
+      | Ok reply -> expect ~ok:[ "bad_frame" ] ~what:"garbage-frame" reply)
+  | Robust.Inject.Slow_loris -> (
+      let req = compile_request st ~id:(id "loris") loop in
+      let line = Proto.request_to_string req in
+      match get_conn st with
+      | Error e -> errors := Printf.sprintf "slow-loris: %s" e :: !errors
+      | Ok c -> (
+          let chunk = 16 + Util.Prng.int prng 48 in
+          match Client.send_slow c ~chunk ~delay_s:0.001 line with
+          | Error _ -> drop_conn st (* server gave up on us: by design *)
+          | Ok () -> (
+              match Client.recv_reply ~timeout_s:st.cfg.timeout_s c with
+              | Error _ -> drop_conn st
+              | Ok reply ->
+                  expect
+                    ~ok:[ "ok"; "error"; "timeout"; "overload"; "bad_frame" ]
+                    ~what:"slow-loris" reply)))
+  | Robust.Inject.Disconnect -> (
+      match get_conn st with
+      | Error e -> errors := Printf.sprintf "disconnect: %s" e :: !errors
+      | Ok c ->
+          (* Fire a request and hang up before the answer: the worker's
+             write must not hurt the daemon. *)
+          ignore
+            (Client.send_line c
+               (Proto.request_to_string (compile_request st ~id:(id "gone") loop)));
+          drop_conn st)
+  | Robust.Inject.Deadline_storm -> (
+      let req = compile_request st ~id:(id "storm") ~deadline_ms:0.01 loop in
+      match roundtrip st (Proto.request_to_string req) with
+      | Error e -> errors := Printf.sprintf "deadline-storm: %s" e :: !errors
+      | Ok reply ->
+          (* Usually a timeout; a cache hit can still answer "ok". *)
+          expect ~ok:[ "timeout"; "ok"; "overload" ] ~what:"deadline-storm" reply)
+  | Robust.Inject.Crash_worker -> (
+      let fault = Robust.Inject.service_fault_name Robust.Inject.Crash_worker in
+      let req = compile_request st ~id:(id "poison") ~fault loop in
+      match roundtrip st (Proto.request_to_string req) with
+      | Error e -> errors := Printf.sprintf "crash-worker: %s" e :: !errors
+      | Ok reply ->
+          (* The supervisor retries then quarantines: a structured error. *)
+          expect ~ok:[ "error"; "overload" ] ~what:"crash-worker" reply)
+
+(* ------------------------------------------------------------------ *)
+(* The scored request, with jittered exponential backoff on overload    *)
+
+let local_check st loop (m : Core.Metrics.loop_metrics) rung =
+  match Robust.Driver.run ~machine:(Mach.Machine.paper_clustered ~clusters:st.cfg.clusters ~copy_model:st.cfg.model) loop with
+  | Error e ->
+      Some
+        (Printf.sprintf "%s: served ok but local ladder failed (%s)"
+           (Ir.Loop.name loop) e.Verify.Stage_error.code)
+  | Ok r ->
+      let local = Worker.metrics_of_result r in
+      let diff what a b =
+        if a = b then None else Some (Printf.sprintf "%s %d vs local %d" what a b)
+      in
+      let problems =
+        List.filter_map Fun.id
+          [
+            diff "ideal_ii" m.Core.Metrics.ideal_ii local.Core.Metrics.ideal_ii;
+            diff "clustered_ii" m.Core.Metrics.clustered_ii local.Core.Metrics.clustered_ii;
+            diff "n_copies" m.Core.Metrics.n_copies local.Core.Metrics.n_copies;
+            (match rung with
+            | Some served when served <> Robust.Driver.rung_name r.Robust.Driver.rung ->
+                Some
+                  (Printf.sprintf "rung %S vs local %S" served
+                     (Robust.Driver.rung_name r.Robust.Driver.rung))
+            | _ -> None);
+          ]
+      in
+      if problems = [] then None
+      else Some (Printf.sprintf "%s: %s" (Ir.Loop.name loop) (String.concat "; " problems))
+
+let scored_request st prng ~index loop ~faults_fired ~errors =
+  let id = Printf.sprintf "loop-%d" index in
+  let req = compile_request st ~id ?deadline_ms:st.cfg.deadline_ms loop in
+  let line = Proto.request_to_string req in
+  let t0 = Unix.gettimeofday () in
+  let retries = ref 0 and sheds = ref 0 in
+  let finish status ?(cache = "bypass") ?rung ?metrics ?mismatch () =
+    {
+      name = Ir.Loop.name loop;
+      status;
+      latency_ms = 1000.0 *. (Unix.gettimeofday () -. t0);
+      retries = !retries;
+      sheds = !sheds;
+      faults_fired;
+      cache;
+      rung;
+      metrics;
+      protocol_errors = List.rev !errors;
+      mismatch;
+    }
+  in
+  let rec attempt n =
+    match roundtrip st line with
+    | Error e ->
+        if n >= st.cfg.max_retries then begin
+          errors := Printf.sprintf "%s: %s" id e :: !errors;
+          finish "unanswered" ()
+        end
+        else begin
+          incr retries;
+          Unix.sleepf 0.05;
+          attempt (n + 1)
+        end
+    | Ok (Proto.Overload { retry_after_ms; _ }) ->
+        incr sheds;
+        if n >= st.cfg.max_retries then begin
+          errors := Printf.sprintf "%s: still shed after %d retries" id n :: !errors;
+          finish "unanswered" ()
+        end
+        else begin
+          incr retries;
+          let backoff =
+            retry_after_ms /. 1000.0
+            *. (0.5 +. Util.Prng.float prng 1.0)
+            *. (2.0 ** float_of_int (min n 6))
+          in
+          Unix.sleepf (Float.min backoff 2.0);
+          attempt (n + 1)
+        end
+    | Ok (Proto.Result r) ->
+        let status = Proto.status_of_reply (Proto.Result r) in
+        let cache = Proto.cache_status_name r.Proto.cache in
+        let metrics = match r.Proto.outcome with Ok m -> Some m | Error _ -> None in
+        let mismatch =
+          match (st.cfg.check, metrics) with
+          | true, Some m -> local_check st loop m r.Proto.rung
+          | _ -> None
+        in
+        finish status ~cache ?rung:r.Proto.rung ?metrics ?mismatch ()
+    | Ok reply ->
+        errors :=
+          Printf.sprintf "%s: unexpected %S reply to a compile frame" id
+            (Proto.status_of_reply reply)
+          :: !errors;
+        finish "unanswered" ()
+  in
+  attempt 0
+
+let run_loop st ~index loop =
+  (* The per-loop stream depends only on (seed, index), never on which
+     client thread drew the loop — fault placement is reproducible at
+     any concurrency. *)
+  let prng = Util.Prng.create (st.cfg.seed lxor ((index + 1) * 0x9e3779b9)) in
+  let errors = ref [] in
+  let faults_fired =
+    List.filter_map
+      (fun f ->
+        if Util.Prng.chance prng st.cfg.fault_rate then begin
+          prelude st prng ~index loop f errors;
+          Some (Robust.Inject.service_fault_name f)
+        end
+        else None)
+      st.cfg.faults
+  in
+  scored_request st prng ~index loop ~faults_fired ~errors
+
+(* ------------------------------------------------------------------ *)
+(* The fleet                                                           *)
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1 |> max 0))
+
+let fetch_server_counters cfg =
+  match Client.connect ~retry_for:1.0 cfg.addr with
+  | Error _ -> []
+  | Ok c ->
+      let r =
+        match Client.request ~timeout_s:10.0 c Proto.Stats with
+        | Ok (Proto.Stats_reply cells) -> cells
+        | _ -> []
+      in
+      Client.close c;
+      r
+
+let run (cfg : config) =
+  let suite = Workload.Suite.loops ~seed:cfg.seed () in
+  let suite = if cfg.loops > 0 then List.filteri (fun i _ -> i < cfg.loops) suite else suite in
+  let loops = Array.of_list suite in
+  let total = Array.length loops in
+  let results = Array.make total None in
+  let clients = max 1 cfg.clients in
+  let t0 = Unix.gettimeofday () in
+  let worker k () =
+    let st = { cfg; conn = None } in
+    let i = ref k in
+    while !i < total do
+      let p = run_loop st ~index:!i loops.(!i) in
+      results.(!i) <- Some p;
+      cfg.log
+        (Printf.sprintf "[%d/%d] %s %s%s (%.1f ms)" (!i + 1) total p.name p.status
+           (match p.rung with Some r -> " via " ^ r | None -> "")
+           p.latency_ms);
+      i := !i + clients
+    done;
+    drop_conn st
+  in
+  let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let probes = Array.to_list results |> List.filter_map Fun.id in
+  let count f = List.length (List.filter f probes) in
+  let latencies =
+    List.filter (fun (p : probe) -> p.status <> "unanswered") probes
+    |> List.map (fun p -> p.latency_ms)
+    |> Array.of_list
+  in
+  Array.sort compare latencies;
+  let fault_counts =
+    List.map
+      (fun f ->
+        let n = Robust.Inject.service_fault_name f in
+        (n, count (fun (p : probe) -> List.mem n p.faults_fired)))
+      cfg.faults
+  in
+  {
+    seed = cfg.seed;
+    total;
+    clusters = cfg.clusters;
+    model = cfg.model;
+    ok = count (fun (p : probe) -> p.status = "ok");
+    errors = count (fun (p : probe) -> p.status = "error");
+    timeouts = count (fun (p : probe) -> p.status = "timeout");
+    unanswered = count (fun (p : probe) -> p.status = "unanswered");
+    protocol_errors = List.concat_map (fun (p : probe) -> p.protocol_errors) probes;
+    mismatches = List.filter_map (fun (p : probe) -> p.mismatch) probes;
+    sheds = List.fold_left (fun a (p : probe) -> a + p.sheds) 0 probes;
+    retries = List.fold_left (fun a (p : probe) -> a + p.retries) 0 probes;
+    cache_hits = count (fun (p : probe) -> p.cache = "hit");
+    faults_fired = fault_counts;
+    p50_ms = percentile latencies 0.50;
+    p95_ms = percentile latencies 0.95;
+    p99_ms = percentile latencies 0.99;
+    max_ms = (if Array.length latencies = 0 then 0.0 else latencies.(Array.length latencies - 1));
+    wall_s;
+    throughput_rps = (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
+    metrics = List.filter_map (fun (p : probe) -> p.metrics) probes;
+    server_counters = fetch_server_counters cfg;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let exit_code r =
+  if r.unanswered = 0 && r.protocol_errors = [] && r.mismatches = [] then 0 else 1
+
+let to_json r =
+  let str s = Obs.Json.Str s in
+  let num x = Obs.Json.Num x in
+  let int_num n = Obs.Json.Num (float_of_int n) in
+  let m = r.metrics in
+  let label =
+    Printf.sprintf "serve %dx%d %s" r.clusters
+      (match r.clusters with 0 -> 0 | c -> 16 / c)
+      (Proto.model_name r.model)
+  in
+  Obs.Json.Obj
+    [
+      ("schema", str "rbp-bench/1");
+      ("seed", int_num r.seed);
+      ("loops", int_num r.total);
+      ("ideal_ipc", num (Core.Metrics.mean_ipc_ideal m));
+      ( "configs",
+        Obs.Json.List
+          [
+            Obs.Json.Obj
+              [
+                ("label", str label);
+                ("clusters", int_num r.clusters);
+                ("copy_model", str (Proto.model_name r.model));
+                ("loops_ok", int_num (List.length m));
+                ("failures", int_num (r.total - List.length m));
+                ("mean_ipc_clustered", num (Core.Metrics.mean_ipc_clustered m));
+                ("arith_mean_degradation", num (Core.Metrics.arithmetic_mean_degradation m));
+                ("harmonic_mean_degradation", num (Core.Metrics.harmonic_mean_degradation m));
+                ("pct_no_degradation", num (Core.Metrics.pct_no_degradation m));
+              ];
+          ] );
+      ("cache_hits", int_num r.cache_hits);
+      ("wall_s", num r.wall_s);
+      (* Service telemetry: extra fields perfdiff deliberately ignores. *)
+      ( "serve",
+        Obs.Json.Obj
+          [
+            ("ok", int_num r.ok);
+            ("errors", int_num r.errors);
+            ("timeouts", int_num r.timeouts);
+            ("unanswered", int_num r.unanswered);
+            ("protocol_errors", int_num (List.length r.protocol_errors));
+            ("mismatches", int_num (List.length r.mismatches));
+            ("sheds", int_num r.sheds);
+            ("retries", int_num r.retries);
+            ( "cache_hit_rate",
+              num
+                (if r.total = 0 then 0.0
+                 else float_of_int r.cache_hits /. float_of_int r.total) );
+            ("p50_ms", num r.p50_ms);
+            ("p95_ms", num r.p95_ms);
+            ("p99_ms", num r.p99_ms);
+            ("max_ms", num r.max_ms);
+            ("throughput_rps", num r.throughput_rps);
+            ( "faults",
+              Obs.Json.Obj (List.map (fun (n, v) -> (n, int_num v)) r.faults_fired) );
+            ( "server_counters",
+              Obs.Json.Obj (List.map (fun (n, v) -> (n, int_num v)) r.server_counters) );
+          ] );
+    ]
+
+let render r =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "bombardment: %d loops, seed %d, %dx config, %s copies" r.total r.seed r.clusters
+    (Proto.model_name r.model);
+  line "  answered    ok %d / error %d / timeout %d / unanswered %d" r.ok r.errors
+    r.timeouts r.unanswered;
+  line "  resilience  sheds %d, retries %d, cache hits %d" r.sheds r.retries r.cache_hits;
+  if r.faults_fired <> [] then
+    line "  faults      %s"
+      (String.concat ", "
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) r.faults_fired));
+  line "  latency     p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms" r.p50_ms
+    r.p95_ms r.p99_ms r.max_ms;
+  line "  wall        %.2f s (%.1f req/s)" r.wall_s r.throughput_rps;
+  (match r.metrics with
+  | [] -> ()
+  | m ->
+      line "  paper       loops_ok %d, mean clustered IPC %.3f, arith degradation %.2f"
+        (List.length m)
+        (Core.Metrics.mean_ipc_clustered m)
+        (Core.Metrics.arithmetic_mean_degradation m));
+  List.iter (fun e -> line "  protocol error: %s" e) r.protocol_errors;
+  List.iter (fun e -> line "  MISMATCH: %s" e) r.mismatches;
+  line "  verdict     %s" (if exit_code r = 0 then "PASS" else "FAIL");
+  Buffer.contents b

@@ -1,0 +1,89 @@
+(** The bombardment harness: replay the workload suite against a live
+    daemon from concurrent clients while injecting service-level faults,
+    then score the run.
+
+    Each suite loop gets its own splitmix64 stream derived only from
+    (seed, loop index) — never from the client thread that happened to
+    draw it — so fault placement is reproducible at any concurrency.
+    A loop's turn is: zero or more fault preludes (garbage frame,
+    slow-loris dribble, mid-request disconnect, near-zero deadline,
+    worker-crash poison), then always one {e clean} scored request,
+    retried with jittered exponential backoff whenever the daemon sheds
+    it with an [overload] quote. The scored request is what the
+    rbp-bench/1 report aggregates, so a fully-fault-injected run still
+    produces the deterministic paper metrics the perf gate compares. *)
+
+type config = {
+  addr : Wire.addr;
+  clients : int;           (** concurrent client threads *)
+  loops : int;             (** 0 = the whole 211-loop suite *)
+  seed : int;
+  clusters : int;
+  model : Mach.Machine.copy_model;
+  deadline_ms : float option;  (** deadline on scored requests *)
+  faults : Robust.Inject.service_fault list;
+  fault_rate : float;      (** per-(loop, fault) firing probability *)
+  max_retries : int;       (** scored-request overload/reconnect budget *)
+  timeout_s : float;       (** client-side reply timeout *)
+  check : bool;            (** recompute locally and compare metrics *)
+  log : string -> unit;
+}
+
+val config :
+  ?clients:int ->
+  ?loops:int ->
+  ?seed:int ->
+  ?clusters:int ->
+  ?model:Mach.Machine.copy_model ->
+  ?deadline_ms:float ->
+  ?faults:Robust.Inject.service_fault list ->
+  ?fault_rate:float ->
+  ?max_retries:int ->
+  ?timeout_s:float ->
+  ?check:bool ->
+  ?log:(string -> unit) ->
+  Wire.addr ->
+  config
+(** Defaults: 4 clients, whole suite, seed 1995, 4 clusters, embedded
+    copies, no deadline, no faults, rate 1.0, 8 retries, 120 s timeout,
+    no checking, silent. *)
+
+type report = {
+  seed : int;
+  total : int;
+  clusters : int;
+  model : Mach.Machine.copy_model;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  unanswered : int;        (** must be 0: every request gets an answer *)
+  protocol_errors : string list;  (** must be empty *)
+  mismatches : string list;       (** serve-vs-local metric disagreements *)
+  sheds : int;
+  retries : int;
+  cache_hits : int;
+  faults_fired : (string * int) list;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  wall_s : float;
+  throughput_rps : float;
+  metrics : Core.Metrics.loop_metrics list;
+  server_counters : (string * int) list;  (** the daemon's own stats op *)
+}
+
+val run : config -> report
+
+val exit_code : report -> int
+(** [0] iff every request was answered, no protocol errors, no
+    serve-vs-local mismatches. *)
+
+val to_json : report -> Obs.Json.t
+(** An rbp-bench/1 document ({!Core.Perfdiff.parse} accepts it): the
+    scored requests' paper metrics as one config labelled
+    ["serve <C>x<W> <model>"], with service latency/shed/retry telemetry
+    riding in an extra ["serve"] object the differ ignores. *)
+
+val render : report -> string
+(** Human-readable summary ending in a PASS/FAIL verdict line. *)

@@ -1,0 +1,71 @@
+type t = { fd : Unix.file_descr; rd : Wire.reader }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let connect ?(retry_for = 0.0) addr =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec go () =
+    let attempt () =
+      let fd = Unix.socket (Wire.domain_of addr) Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Wire.sockaddr_of addr) with
+      | () -> Ok { fd; rd = Wire.reader fd }
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error e
+    in
+    match attempt () with
+    | Ok t -> Ok t
+    | Error e ->
+        if Unix.gettimeofday () < deadline then begin
+          Unix.sleepf 0.05;
+          go ()
+        end
+        else
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" (Wire.addr_to_string addr)
+               (match e with
+               | Unix.Unix_error (err, _, _) -> Unix.error_message err
+               | e -> Printexc.to_string e))
+  in
+  (* Resolution errors (bad host) also fall into the retry loop, which
+     is fine: they fail fast once the budget runs out. *)
+  try go ()
+  with e ->
+    Error
+      (Printf.sprintf "cannot resolve %s: %s" (Wire.addr_to_string addr)
+         (Printexc.to_string e))
+
+let send_line t line = Wire.write_line t.fd line
+
+let send_slow t ?(chunk = 7) ?(delay_s = 0.002) line =
+  let s = line ^ "\n" in
+  let n = String.length s in
+  let rec go off =
+    if off >= n then Ok ()
+    else
+      match Wire.write_all t.fd (String.sub s off (min chunk (n - off))) with
+      | Error _ as e -> e
+      | Ok () ->
+          Unix.sleepf delay_s;
+          go (off + chunk)
+  in
+  go 0
+
+let recv_line ?(timeout_s = 60.0) t =
+  match Wire.read_line ~slice_s:0.1 ~idle_timeout_s:timeout_s t.rd with
+  | `Line l -> Ok l
+  | `Eof -> Error "connection closed"
+  | `Idle -> Error "timed out waiting for a reply"
+  | `Too_long -> Error "oversized reply"
+  | `Stopped -> Error "interrupted"
+  | `Error e -> Error e
+
+let recv_reply ?timeout_s t =
+  match recv_line ?timeout_s t with
+  | Error _ as e -> e
+  | Ok line -> Proto.reply_of_string line
+
+let request ?timeout_s t req =
+  match send_line t (Proto.request_to_string req) with
+  | Error _ as e -> e
+  | Ok () -> recv_reply ?timeout_s t

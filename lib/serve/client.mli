@@ -1,0 +1,23 @@
+(** Blocking protocol client — used by [rbp bombard], [rbp call] and the
+    end-to-end tests. One connection, stop-and-wait. *)
+
+type t
+
+val connect : ?retry_for:float -> Wire.addr -> (t, string) result
+(** [retry_for] keeps retrying a refused connection for that many
+    seconds (50 ms apart) — how callers wait for a daemon that is still
+    binding its socket. *)
+
+val close : t -> unit
+
+val send_line : t -> string -> (unit, string) result
+
+val send_slow : t -> ?chunk:int -> ?delay_s:float -> string -> (unit, string) result
+(** The slow-loris injector: the frame plus newline, [chunk] bytes at a
+    time, [delay_s] apart. *)
+
+val recv_line : ?timeout_s:float -> t -> (string, string) result
+val recv_reply : ?timeout_s:float -> t -> (Proto.reply, string) result
+
+val request : ?timeout_s:float -> t -> Proto.request -> (Proto.reply, string) result
+(** Send one frame, wait for one reply. *)

@@ -1,0 +1,374 @@
+type config = {
+  addr : Wire.addr;
+  workers : int;
+  queue_limit : int;
+  default_deadline_ms : float option;
+  max_retries : int;
+  cache : Engine.Cache.t option;
+  idle_timeout_s : float;
+  max_frame : int;
+  faults_enabled : bool;
+  allow_shutdown : bool;
+  clock : unit -> float;
+  log : string -> unit;
+}
+
+let config ?(workers = 2) ?(queue_limit = 64) ?default_deadline_ms ?(max_retries = 2)
+    ?cache ?(idle_timeout_s = 30.0) ?(max_frame = 1 lsl 20) ?(faults_enabled = false)
+    ?(allow_shutdown = false) ?(clock = Unix.gettimeofday) ?(log = prerr_endline) addr =
+  {
+    addr; workers; queue_limit; default_deadline_ms; max_retries; cache;
+    idle_timeout_s; max_frame; faults_enabled; allow_shutdown; clock; log;
+  }
+
+type t = {
+  cfg : config;
+  stop : bool Atomic.t;
+  stats : Stats.t;
+  queue : Worker.job Admission.t;
+  pool : Worker.t;
+  conns : int Atomic.t;
+}
+
+let serve_options_salt = "serve/ladder-default"
+
+let job_key ~machine loop =
+  Engine.Key.make
+    [
+      ("loop", Core.Batch.fingerprint_loop loop);
+      ("machine", Core.Batch.fingerprint_machine machine);
+      ("options", serve_options_salt);
+    ]
+
+let quarantine_key ~machine ~fault loop =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            Core.Batch.fingerprint_loop loop;
+            Core.Batch.fingerprint_machine machine;
+            Option.value ~default:"" fault;
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* One connection                                                      *)
+
+let classify srv reply =
+  match Proto.status_of_reply reply with
+  | "ok" ->
+      Stats.bump srv.stats Obs.Counter.Serve_completed 1;
+      (match reply with
+      | Proto.Result { cache = Proto.Hit; _ } ->
+          Stats.bump srv.stats Obs.Counter.Serve_cache_hits 1
+      | _ -> ())
+  | "timeout" -> Stats.bump srv.stats Obs.Counter.Serve_timeouts 1
+  | "error" -> Stats.bump srv.stats Obs.Counter.Serve_failed 1
+  | _ -> ()
+
+(* One accepted connection. The fd must outlive the reader thread: a
+   worker domain delivers compile replies asynchronously, and closing
+   the fd while a job is in flight would let the OS reuse the number
+   for the next accepted connection — the late reply would then land in
+   some other client's stream. So the fd is reference-counted: it
+   closes only once the reader is done AND no admitted job still owes
+   this connection a reply. Writes stop as soon as the peer is known
+   gone (EOF or a write error), so a disconnected client's replies are
+   counted as disconnects, never sprayed at a recycled descriptor. *)
+type conn = {
+  fd : Unix.file_descr;
+  lock : Mutex.t;
+  mutable pending : int;      (* admitted jobs yet to deliver here *)
+  mutable reader_done : bool; (* no further requests will be read *)
+  mutable peer_gone : bool;   (* EOF / write failure: stop writing *)
+  mutable fd_closed : bool;
+}
+
+let conn_make fd =
+  {
+    fd;
+    lock = Mutex.create ();
+    pending = 0;
+    reader_done = false;
+    peer_gone = false;
+    fd_closed = false;
+  }
+
+(* With [c.lock] held. *)
+let conn_close_if_done c =
+  if c.reader_done && c.pending = 0 && not c.fd_closed then begin
+    c.fd_closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let conn_send srv c reply =
+  Mutex.lock c.lock;
+  let r =
+    if c.peer_gone || c.fd_closed then Error "peer gone"
+    else Wire.write_line c.fd (Proto.reply_to_string reply)
+  in
+  (match r with
+  | Ok () -> ()
+  | Error _ ->
+      c.peer_gone <- true;
+      Stats.bump srv.stats Obs.Counter.Serve_disconnects 1);
+  Mutex.unlock c.lock
+
+let conn_job_done srv c reply =
+  conn_send srv c reply;
+  Mutex.lock c.lock;
+  c.pending <- c.pending - 1;
+  conn_close_if_done c;
+  Mutex.unlock c.lock
+
+let conn_reader_done ?(peer_gone = false) c =
+  Mutex.lock c.lock;
+  c.reader_done <- true;
+  if peer_gone then c.peer_gone <- true;
+  conn_close_if_done c;
+  Mutex.unlock c.lock
+
+let handle_compile srv ~conn ~send (c : Proto.compile) =
+  let received = srv.cfg.clock () in
+  let deliver reply =
+    classify srv reply;
+    conn_job_done srv conn reply
+  in
+  let answer reply =
+    (* Synchronous reply from the connection thread itself: no pending
+       slot was taken. *)
+    classify srv reply;
+    send reply
+  in
+  let structured_failure err =
+    answer
+      (Proto.error_reply
+         ~timing:
+           {
+             Proto.zero_timing with
+             Proto.total_ms = 1000.0 *. (srv.cfg.clock () -. received);
+           }
+         ~id:c.Proto.id err)
+  in
+  match Ir.Parse.loop_of_string c.Proto.ir with
+  | Error e ->
+      structured_failure
+        (Verify.Stage_error.make ~stage:Verify.Stage_error.Ir_input ~subject:c.Proto.id
+           (Printf.sprintf "IR parse error: %s" e))
+  | Ok loop -> (
+      match
+        try Ok (Mach.Machine.paper_clustered ~clusters:c.Proto.clusters ~copy_model:c.Proto.model)
+        with Invalid_argument m -> Error m
+      with
+      | Error m ->
+          structured_failure
+            (Verify.Stage_error.make ~code:Proto.code_bad_machine
+               ~stage:Verify.Stage_error.Ir_input ~subject:c.Proto.id
+               (Printf.sprintf "machine rejected: %s" m))
+      | Ok machine -> (
+          let qkey = quarantine_key ~machine ~fault:c.Proto.fault loop in
+          match Worker.quarantined srv.pool qkey with
+          | Some crashes ->
+              structured_failure (Proto.quarantine_error ~id:c.Proto.id ~crashes)
+          | None -> (
+              let deadline_ms =
+                match c.Proto.deadline_ms with
+                | Some _ as d -> d
+                | None -> srv.cfg.default_deadline_ms
+              in
+              let token =
+                Engine.Cancel.make
+                  ?deadline:(Option.map (fun ms -> received +. (ms /. 1000.0)) deadline_ms)
+                  ~clock:srv.cfg.clock ()
+              in
+              let key =
+                if c.Proto.no_cache || srv.cfg.cache = None then None
+                else Some (job_key ~machine loop)
+              in
+              let job =
+                {
+                  Worker.id = c.Proto.id;
+                  qkey;
+                  loop;
+                  machine;
+                  key;
+                  token;
+                  submitted = received;
+                  fault = c.Proto.fault;
+                  attempt = 0;
+                  deliver;
+                }
+              in
+              (* Reserve the reply slot before pushing: a worker may pop
+                 and deliver before try_push even returns. *)
+              Mutex.lock conn.lock;
+              conn.pending <- conn.pending + 1;
+              Mutex.unlock conn.lock;
+              let not_admitted () =
+                Mutex.lock conn.lock;
+                conn.pending <- conn.pending - 1;
+                conn_close_if_done conn;
+                Mutex.unlock conn.lock
+              in
+              match Admission.try_push srv.queue job with
+              | `Admitted _ -> Stats.bump srv.stats Obs.Counter.Serve_admitted 1
+              | `Shed retry_after_ms ->
+                  not_admitted ();
+                  Stats.bump srv.stats Obs.Counter.Serve_shed 1;
+                  send
+                    (Proto.Overload
+                       {
+                         id = c.Proto.id;
+                         depth = Admission.depth srv.queue;
+                         retry_after_ms;
+                       })
+              | `Closed ->
+                  not_admitted ();
+                  structured_failure (Proto.shutdown_error ~id:c.Proto.id))))
+
+let handle_conn srv conn =
+  let rd = Wire.reader conn.fd in
+  let send reply = conn_send srv conn reply in
+  let bad_frame detail =
+    Stats.bump srv.stats Obs.Counter.Serve_bad_frames 1;
+    send (Proto.Bad_frame { detail })
+  in
+  let rec loop () =
+    match
+      Wire.read_line ~slice_s:0.25 ~idle_timeout_s:srv.cfg.idle_timeout_s
+        ~max_frame:srv.cfg.max_frame
+        ~should_stop:(fun () -> Atomic.get srv.stop)
+        rd
+    with
+    | `Eof | `Error _ ->
+        (* The peer is gone: late replies would hit a recycled fd. *)
+        conn_reader_done ~peer_gone:true conn
+    | `Stopped | `Idle ->
+        (* Stop reading, but let in-flight replies still flush. *)
+        conn_reader_done conn
+    | `Too_long ->
+        (* The connection's framing is gone — reply once and hang up. *)
+        bad_frame "frame exceeds the maximum size";
+        conn_reader_done conn
+    | `Line "" -> loop ()
+    | `Line line -> (
+        match Proto.request_of_string line with
+        | Error detail ->
+            bad_frame detail;
+            loop ()
+        | Ok Proto.Ping ->
+            send Proto.Pong;
+            loop ()
+        | Ok Proto.Stats ->
+            send (Proto.Stats_reply (Stats.snapshot srv.stats));
+            loop ()
+        | Ok Proto.Shutdown ->
+            if srv.cfg.allow_shutdown then begin
+              send Proto.Bye;
+              Atomic.set srv.stop true;
+              conn_reader_done conn
+            end
+            else begin
+              bad_frame "shutdown is not enabled on this daemon";
+              loop ()
+            end
+        | Ok (Proto.Compile c) ->
+            handle_compile srv ~conn ~send c;
+            loop ())
+  in
+  Fun.protect ~finally:(fun () -> conn_reader_done conn) loop
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let listen_socket addr =
+  let fd = Unix.socket (Wire.domain_of addr) Unix.SOCK_STREAM 0 in
+  (try
+     (match addr with
+     | Wire.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+     | Wire.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+     Unix.bind fd (Wire.sockaddr_of addr);
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let install_signals stop =
+  (* A worker writing into a dead client must see EPIPE, not die. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  List.iter
+    (fun s -> try Sys.set_signal s handler with Invalid_argument _ -> ())
+    [ Sys.sigterm; Sys.sigint ]
+
+let run cfg =
+  let stop = Atomic.make false in
+  install_signals stop;
+  let stats = Stats.make () in
+  let queue = Admission.create ~limit:cfg.queue_limit () in
+  let pool =
+    Worker.create ~queue ~stats ~cache:cfg.cache ~clock:cfg.clock
+      ~faults_enabled:cfg.faults_enabled ~max_retries:cfg.max_retries
+      ~workers:cfg.workers ()
+  in
+  let srv = { cfg; stop; stats; queue; pool; conns = Atomic.make 0 } in
+  match listen_socket cfg.addr with
+  | exception e ->
+      cfg.log
+        (Printf.sprintf "rbp serve: cannot listen on %s: %s" (Wire.addr_to_string cfg.addr)
+           (Printexc.to_string e));
+      Worker.stop pool;
+      1
+  | lfd ->
+      cfg.log
+        (Printf.sprintf "rbp serve: listening on %s (%d workers, queue limit %d%s)"
+           (Wire.addr_to_string cfg.addr) (max 1 cfg.workers) cfg.queue_limit
+           (if cfg.faults_enabled then ", fault injection ON" else ""));
+      let rec accept_loop () =
+        if Atomic.get stop then ()
+        else begin
+          (match Unix.select [ lfd ] [] [] 0.1 with
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.accept lfd with
+              | exception Unix.Unix_error _ -> ()
+              | cfd, _ ->
+                  Atomic.incr srv.conns;
+                  let conn = conn_make cfd in
+                  ignore
+                    (Thread.create
+                       (fun () ->
+                         (* The fd is NOT closed here: conn_close_if_done
+                            does it once every admitted job has answered. *)
+                         Fun.protect
+                           ~finally:(fun () -> Atomic.decr srv.conns)
+                           (fun () -> try handle_conn srv conn with _ -> ()))
+                       ()))
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ();
+      cfg.log "rbp serve: draining";
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (match cfg.addr with
+      | Wire.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+      | Wire.Tcp _ -> ());
+      (* Answer everything admitted, then retire the pool. *)
+      Worker.stop pool;
+      (* Give connection threads (already unblocked by the stop flag in
+         their read slices) a moment to flush and exit. *)
+      let rec wait_conns budget =
+        if Atomic.get srv.conns > 0 && budget > 0.0 then begin
+          Thread.delay 0.05;
+          wait_conns (budget -. 0.05)
+        end
+      in
+      wait_conns 5.0;
+      cfg.log
+        (Printf.sprintf "rbp serve: done (%s)"
+           (String.concat ", "
+              (List.map
+                 (fun (n, v) -> Printf.sprintf "%s=%d" n v)
+                 (Stats.snapshot stats))));
+      0

@@ -1,0 +1,57 @@
+(** The daemon: accept loop, per-connection threads, graceful drain.
+
+    Architecture (DESIGN.md §13): the accept loop hands each connection
+    to a thread that parses newline-delimited JSON frames; compile
+    requests pass admission control (bounded queue, [overload] replies
+    with a [retry_after] quote once the backlog hits the limit) and are
+    compiled on worker domains with per-request deadlines, cache
+    answers, crash supervision and quarantine (see {!Worker}). SIGTERM
+    and SIGINT trigger a graceful drain: stop accepting, answer every
+    admitted request, join the pool, exit 0.
+
+    Exit-code contract: 0 — clean shutdown after a drain (signal or a
+    [shutdown] frame when enabled); 1 — the listen socket could not be
+    opened. The daemon does not exit on any request content: malformed
+    frames, poison requests and worker crashes are answered and
+    survived. *)
+
+type config = {
+  addr : Wire.addr;
+  workers : int;                      (** worker domains (min 1) *)
+  queue_limit : int;                  (** admission bound; 0 sheds everything *)
+  default_deadline_ms : float option; (** applied when a request names none *)
+  max_retries : int;                  (** worker crashes before quarantine *)
+  cache : Engine.Cache.t option;
+  idle_timeout_s : float;             (** per-frame total read budget *)
+  max_frame : int;                    (** bytes; larger frames are [bad_frame] *)
+  faults_enabled : bool;              (** honor poison markers (tests only) *)
+  allow_shutdown : bool;              (** honor the [shutdown] op *)
+  clock : unit -> float;
+  log : string -> unit;
+}
+
+val config :
+  ?workers:int ->
+  ?queue_limit:int ->
+  ?default_deadline_ms:float ->
+  ?max_retries:int ->
+  ?cache:Engine.Cache.t ->
+  ?idle_timeout_s:float ->
+  ?max_frame:int ->
+  ?faults_enabled:bool ->
+  ?allow_shutdown:bool ->
+  ?clock:(unit -> float) ->
+  ?log:(string -> unit) ->
+  Wire.addr ->
+  config
+(** Defaults: 2 workers, queue limit 64, no default deadline, 2 retries
+    before quarantine, no cache, 30 s frame budget, 1 MiB frames,
+    faults off, shutdown op off, wall clock, logging to stderr. *)
+
+val run : config -> int
+(** Blocks until shutdown; returns the process exit code. *)
+
+val job_key : machine:Mach.Machine.t -> Ir.Loop.t -> string
+(** The content-addressed cache key serve uses for a request — exposed
+    so tests can pre-seed or corrupt exactly the entry a request will
+    probe. *)

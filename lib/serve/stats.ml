@@ -1,0 +1,29 @@
+type t = { lock : Mutex.t; cells : (Obs.Counter.t, int ref) Hashtbl.t }
+
+let make () = { lock = Mutex.create (); cells = Hashtbl.create 32 }
+
+let bump t c n =
+  if n <> 0 then begin
+    Mutex.lock t.lock;
+    (match Hashtbl.find_opt t.cells c with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add t.cells c (ref n));
+    Mutex.unlock t.lock
+  end
+
+let get t c =
+  Mutex.lock t.lock;
+  let v = match Hashtbl.find_opt t.cells c with Some r -> !r | None -> 0 in
+  Mutex.unlock t.lock;
+  v
+
+let absorb t tr =
+  List.iter
+    (fun c -> bump t c (Obs.Trace.counter_total tr c))
+    Obs.Counter.all
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let cells = Hashtbl.fold (fun c r acc -> (Obs.Counter.name c, !r) :: acc) t.cells [] in
+  Mutex.unlock t.lock;
+  List.sort compare cells

@@ -1,0 +1,22 @@
+(** Thread-safe counter cells for the service.
+
+    {!Obs.Trace.t} is deliberately single-threaded (one context per
+    compilation), so the daemon cannot bump a shared trace from its
+    connection threads and worker domains. This is the concurrent
+    complement: a mutex-guarded table of {!Obs.Counter.t} cells that any
+    thread or domain may bump, and into which each request's private
+    trace is folded when the request completes — the same counter
+    catalog, observable live through the wire protocol's [stats] op. *)
+
+type t
+
+val make : unit -> t
+val bump : t -> Obs.Counter.t -> int -> unit
+val get : t -> Obs.Counter.t -> int
+
+val absorb : t -> Obs.Trace.t -> unit
+(** Fold a finished per-request trace's counter totals into the table
+    (labels are collapsed — the service reports totals). *)
+
+val snapshot : t -> (string * int) list
+(** Every touched cell as [(name, value)], sorted by name. *)

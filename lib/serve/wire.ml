@@ -1,0 +1,105 @@
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let addr_of_string s =
+  let tcp rest =
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "tcp address %S lacks a port" rest)
+    | Some i -> (
+        let host = String.sub rest 0 i in
+        let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 -> Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | _ -> Error (Printf.sprintf "bad port %S" port))
+  in
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_path (String.sub s 5 (String.length s - 5)))
+  else if String.length s >= 4 && String.sub s 0 4 = "tcp:" then
+    tcp (String.sub s 4 (String.length s - 4))
+  else if String.contains s '/' then Ok (Unix_path s)
+  else if String.contains s ':' then tcp s
+  else Ok (Unix_path s)
+
+let sockaddr_of = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+          | h -> h.Unix.h_addr_list.(0))
+      in
+      Unix.ADDR_INET (ip, port)
+
+let domain_of = function Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+(* ------------------------------------------------------------------ *)
+(* Line-framed reads                                                   *)
+
+type reader = { fd : Unix.file_descr; pending : Buffer.t; chunk : bytes }
+
+let reader fd = { fd; pending = Buffer.create 512; chunk = Bytes.create 8192 }
+
+let take_line r =
+  let s = Buffer.contents r.pending in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      let line = String.sub s 0 i in
+      Buffer.clear r.pending;
+      Buffer.add_substring r.pending s (i + 1) (String.length s - i - 1);
+      (* Tolerate CRLF clients. *)
+      Some
+        (if line <> "" && line.[String.length line - 1] = '\r' then
+           String.sub line 0 (String.length line - 1)
+         else line)
+
+(* One line, reading in [slice_s] select slices so the caller can react
+   to a stop flag between slices. The budget is {e total} wait per
+   frame, deliberately not reset by progress — the slow-loris defense:
+   a client may dribble a frame byte by byte, but the whole frame must
+   arrive within [idle_timeout_s] or the read gives up with [`Idle]. *)
+let read_line ?(slice_s = 0.5) ?(idle_timeout_s = 30.0) ?(max_frame = 1 lsl 20)
+    ?(should_stop = fun () -> false) r =
+  let rec go spent =
+    match take_line r with
+    | Some line -> `Line line
+    | None ->
+        if Buffer.length r.pending > max_frame then `Too_long
+        else if should_stop () then `Stopped
+        else if spent >= idle_timeout_s then `Idle
+        else begin
+          match Unix.select [ r.fd ] [] [] slice_s with
+          | [], _, _ -> go (spent +. slice_s)
+          | _ -> (
+              match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+              | 0 -> `Eof
+              | n ->
+                  Buffer.add_subbytes r.pending r.chunk 0 n;
+                  go (spent +. slice_s)
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                ->
+                  go spent
+              | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e))
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go spent
+        end
+  in
+  go 0.0
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off >= Bytes.length b then Ok ()
+    else
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go 0
+
+let write_line fd s = write_all fd (s ^ "\n")

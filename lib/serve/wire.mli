@@ -1,0 +1,38 @@
+(** Socket plumbing shared by the daemon and its clients: addresses,
+    line-framed reads with idle budgets, and full writes. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+
+val addr_of_string : string -> (addr, string) result
+(** Accepts [unix:PATH], [tcp:HOST:PORT], a bare [HOST:PORT], or a bare
+    filesystem path (anything containing [/], or with no [:]). An empty
+    tcp host means 127.0.0.1. *)
+
+val sockaddr_of : addr -> Unix.sockaddr
+(** May raise ([Not_found], resolution failures) — callers wrap. *)
+
+val domain_of : addr -> Unix.socket_domain
+
+type reader
+
+val reader : Unix.file_descr -> reader
+
+val read_line :
+  ?slice_s:float ->
+  ?idle_timeout_s:float ->
+  ?max_frame:int ->
+  ?should_stop:(unit -> bool) ->
+  reader ->
+  [ `Line of string | `Eof | `Idle | `Too_long | `Stopped | `Error of string ]
+(** Read one newline-terminated frame (CR stripped). The wait happens in
+    [slice_s] select slices; between slices [should_stop] is consulted
+    (so a SIGTERM unblocks promptly). The [idle_timeout_s] budget is
+    total wait per frame and is deliberately not reset by progress, so
+    a slow-loris client dribbling one byte per slice still runs out of
+    budget. [`Too_long] means the buffered frame exceeded [max_frame]
+    with no newline. *)
+
+val write_all : Unix.file_descr -> string -> (unit, string) result
+val write_line : Unix.file_descr -> string -> (unit, string) result

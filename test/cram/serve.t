@@ -1,0 +1,44 @@
+The compilation service end-to-end over its wire protocol: a daemon on
+a Unix socket, driven frame-by-frame with rbp call. Queue limit 0 makes
+admission control shed every well-formed compile deterministically, so
+each reply below is byte-stable.
+
+  $ rbp serve --listen unix:./d.sock -q 0 --allow-shutdown 2> serve.log &
+  $ SERVE_PID=$!
+
+A ping answers with the protocol version (--retry-for waits for the
+daemon to finish binding its socket):
+
+  $ rbp call unix:./d.sock --retry-for 10 '{"op":"ping"}'
+  {"status":"pong","protocol":"rbp-serve/1"}
+
+Malformed frames get a structured bad_frame reply — the connection is
+answered, not dropped:
+
+  $ rbp call unix:./d.sock '}{ this is not a frame'
+  {"status":"bad_frame","code":"SRV001","detail":"frame is not JSON: malformed number at offset 0"}
+
+  $ rbp call unix:./d.sock '{"op":"compile"}'
+  {"status":"bad_frame","code":"SRV001","detail":"compile request lacks an \"ir\" field"}
+
+A well-formed compile is shed at the door with a retry quote, because
+the queue admits nothing:
+
+  $ rbp call unix:./d.sock '{"op":"compile","id":"full","ir":"loop l depth 1 trip 10\nadd.f a, b, c\n"}'
+  {"status":"overload","id":"full","depth":0,"retry_after_ms":25}
+
+The stats op reports the live counters:
+
+  $ rbp call unix:./d.sock '{"op":"stats"}'
+  {"status":"stats","counters":{"serve.bad_frames":2,"serve.shed":1}}
+
+The shutdown frame (honored only under --allow-shutdown) drains and
+stops the daemon, which exits 0:
+
+  $ rbp call unix:./d.sock '{"op":"shutdown"}'
+  {"status":"bye"}
+  $ wait $SERVE_PID
+  $ cat serve.log
+  rbp serve: listening on unix:./d.sock (2 workers, queue limit 0)
+  rbp serve: draining
+  rbp serve: done (serve.bad_frames=2, serve.shed=1)

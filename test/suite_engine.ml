@@ -132,6 +132,73 @@ let cache_tests =
         output_string oc "{not json";
         close_out oc;
         check Alcotest.bool "miss" true (Engine.Cache.find c ~key = None));
+    case "cache-truncation-degrades-to-miss-and-counts" (fun () ->
+        with_cache_dir @@ fun dir ->
+        let c = Engine.Cache.open_ ~dir () in
+        let key = Engine.Key.make [ ("k", "trunc") ] in
+        let payload = Obs.Json.Obj [ ("v", Obs.Json.Str "precious result") ] in
+        Engine.Cache.store c ~key payload;
+        let bucket = Filename.concat dir (String.sub key 0 2) in
+        let path =
+          Filename.concat bucket (String.sub key 2 (String.length key - 2) ^ ".json")
+        in
+        let ic = open_in_bin path in
+        let full = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let corrupt_loads = ref 0 in
+        (* Every proper prefix of the stored envelope must be a miss:
+           truncation can cut JSON structure (parse error) or leave valid
+           JSON whose checksum no longer matches — both degrade. *)
+        List.iter
+          (fun len ->
+            let oc = open_out_bin path in
+            output_string oc (String.sub full 0 len);
+            close_out oc;
+            let tr = Obs.Trace.make ~clock:(Obs.Clock.fake ()) () in
+            check Alcotest.bool
+              (Printf.sprintf "truncated to %d is a miss" len)
+              true
+              (Engine.Cache.find ~obs:tr c ~key = None);
+            corrupt_loads :=
+              !corrupt_loads + Obs.Trace.counter_total tr Obs.Counter.Engine_cache_corrupt)
+          [ 0; 1; String.length full / 2; String.length full - 2 ];
+        check Alcotest.int "every truncated load bumped engine.cache_corrupt" 4
+          !corrupt_loads;
+        (* Restore the intact envelope: the entry is whole again. *)
+        let oc = open_out_bin path in
+        output_string oc full;
+        close_out oc;
+        check Alcotest.bool "intact entry still hits" true
+          (Engine.Cache.find c ~key <> None));
+    qcheck ~count:200 "cache-bit-flip-is-miss-never-garbage"
+      QCheck2.Gen.(pair (string_size ~gen:printable (int_range 0 40)) (pair small_nat small_nat))
+      (fun (text, (pos_seed, bit)) ->
+        with_cache_dir @@ fun dir ->
+        let c = Engine.Cache.open_ ~dir () in
+        let key = Engine.Key.make [ ("k", "flip"); ("t", text) ] in
+        let payload = Obs.Json.Obj [ ("v", Obs.Json.Str text) ] in
+        Engine.Cache.store c ~key payload;
+        let bucket = Filename.concat dir (String.sub key 0 2) in
+        let path =
+          Filename.concat bucket (String.sub key 2 (String.length key - 2) ^ ".json")
+        in
+        let ic = open_in_bin path in
+        let full = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+        close_in ic;
+        let pos = pos_seed mod Bytes.length full in
+        Bytes.set full pos
+          (Char.chr (Char.code (Bytes.get full pos) lxor (1 lsl (bit mod 8))));
+        let oc = open_out_bin path in
+        output_bytes oc full;
+        close_out oc;
+        let tr = Obs.Trace.make ~clock:(Obs.Clock.fake ()) () in
+        (* The integrity envelope's contract: a damaged entry loads as a
+           counted miss or (when the flip lands in insignificant bytes,
+           e.g. the trailing newline) as exactly the original payload —
+           never as silently different data. *)
+        match Engine.Cache.find ~obs:tr c ~key with
+        | None -> Obs.Trace.counter_total tr Obs.Counter.Engine_cache_corrupt = 1
+        | Some got -> Obs.Json.to_string got = Obs.Json.to_string payload);
     case "cache-absent-dir-is-empty" (fun () ->
         let dir = Filename.concat (Filename.get_temp_dir_name ()) "rbp-no-such-cache" in
         check Alcotest.int "entries" 0 (Engine.Cache.stat ~dir ()).Engine.Cache.entries;

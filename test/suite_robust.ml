@@ -162,6 +162,116 @@ let ladder_tests =
           (List.length e.Verify.Stage_error.attempts));
   ]
 
+(* Deadline pressure: the ?cancel poll must turn into a structured
+   PIPE008 error at the next stage boundary — never a hang, never a
+   partial artifact — and the attempt trace must keep every rung tried
+   before the deadline, including the one cancellation interrupted. *)
+let deadline_tests =
+  [
+    case "immediate-deadline-is-a-structured-error" (fun () ->
+        let e =
+          expect_error "daxpy"
+            (Robust.Driver.run ~cancel:(fun () -> true) ~machine:m4x4e
+               (Workload.Kernels.daxpy ~unroll:2))
+        in
+        check Alcotest.string "PIPE008" Robust.Driver.deadline_code
+          e.Verify.Stage_error.code;
+        check Alcotest.int "no rung ever started" 0
+          (List.length e.Verify.Stage_error.attempts);
+        check Alcotest.bool "message names the deadline" true
+          (contains e.Verify.Stage_error.message "deadline"));
+    case "cancel-mid-ladder-keeps-every-attempt" (fun () ->
+        (* Two exploding partitioners ahead of greedy; the cancel poll
+           fires once both have failed, so the ladder is abandoned just
+           before the rung that would have succeeded. The trace must
+           hold both failed rungs, in order. *)
+        let rungs_failed = ref 0 in
+        let boom name =
+          (name, Partition.Driver.Custom (fun _ _ _ ->
+               incr rungs_failed;
+               invalid_arg (name ^ " exploded")))
+        in
+        let config =
+          { cfg with Robust.Driver.partitioners =
+              [ boom "boom1"; boom "boom2";
+                ("greedy", Partition.Driver.Greedy Rcg.Weights.default) ];
+            budget_schedule = [ 10 ] }
+        in
+        let e =
+          expect_error "dot"
+            (Robust.Driver.run ~config
+               ~cancel:(fun () -> !rungs_failed >= 2)
+               ~machine:m4x4e (Workload.Kernels.dot ~unroll:2))
+        in
+        check Alcotest.string "PIPE008" Robust.Driver.deadline_code
+          e.Verify.Stage_error.code;
+        let rungs =
+          List.map (fun (a : Verify.Stage_error.attempt) -> a.Verify.Stage_error.rung)
+            e.Verify.Stage_error.attempts
+        in
+        check Alcotest.int "both interrupted rungs traced" 2 (List.length rungs);
+        check Alcotest.bool "boom1 first" true (contains (List.nth rungs 0) "boom1");
+        check Alcotest.bool "boom2 second" true (contains (List.nth rungs 1) "boom2"));
+    case "saturated-ladder-traces-every-rung-tried" (fun () ->
+        (* copy_saturation 0.0 rejects every partitioned rung of a
+           copy-needing loop with PT005; the single-bank merge rung then
+           carries it. The result's trace must list one attempt per
+           partitioner x budget — proof the whole ladder was walked. *)
+        let config = { cfg with Robust.Driver.copy_saturation = Some 0.0 } in
+        let r = expect_ok "cmul" (run ~config ~machine:m4x4e (Workload.Kernels.cmul ~unroll:2)) in
+        (match r.Robust.Driver.rung with
+        | Robust.Driver.Single_bank _ -> ()
+        | rung -> Alcotest.failf "wrong rung: %s" (Robust.Driver.rung_name rung));
+        let expected =
+          List.length cfg.Robust.Driver.partitioners
+          * List.length cfg.Robust.Driver.budget_schedule
+        in
+        let saturated =
+          List.filter
+            (fun (a : Verify.Stage_error.attempt) -> a.Verify.Stage_error.at_code = "PT005")
+            r.Robust.Driver.attempts
+        in
+        check Alcotest.int "one PT005 attempt per partitioned rung" expected
+          (List.length saturated));
+    case "deadline-token-fires-and-latches" (fun () ->
+        (* A real Engine.Cancel token on a hand-cranked clock: each poll
+           advances time 0.2 s against a 0.5 s deadline, so the third
+           poll trips it. The run must return PIPE008 (not hang, not
+           raise) and the token must stay cancelled afterwards. *)
+        let t = ref 0.0 in
+        let token = Engine.Cancel.make ~deadline:0.5 ~clock:(fun () -> !t) () in
+        let cancel () =
+          t := !t +. 0.2;
+          Engine.Cancel.guard token ()
+        in
+        let e =
+          expect_error "daxpy"
+            (Robust.Driver.run ~cancel ~machine:m4x4e
+               (Workload.Kernels.daxpy ~unroll:2))
+        in
+        check Alcotest.string "PIPE008" Robust.Driver.deadline_code
+          e.Verify.Stage_error.code;
+        check Alcotest.bool "token latched" true (Engine.Cancel.cancelled token);
+        (match Engine.Cancel.remaining token with
+        | Some s -> check Alcotest.bool "past the deadline" true (s < 0.0)
+        | None -> Alcotest.fail "token lost its deadline"));
+    case "cancellation-leaves-no-partial-state" (fun () ->
+        (* A cancelled run then a clean rerun of the same loop: the
+           second run must behave exactly as if the first never
+           happened — first rung, empty attempt log, verified code. *)
+        let loop = Workload.Kernels.daxpy ~unroll:2 in
+        let _ =
+          expect_error "cancelled" (Robust.Driver.run ~cancel:(fun () -> true) ~machine:m4x4e loop)
+        in
+        let r = expect_ok "rerun" (run ~machine:m4x4e loop) in
+        (match r.Robust.Driver.rung with
+        | Robust.Driver.Pipelined { partitioner; _ } ->
+            check Alcotest.string "first rung again" "greedy" partitioner
+        | rung -> Alcotest.failf "wrong rung: %s" (Robust.Driver.rung_name rung));
+        check Alcotest.int "attempt log is fresh" 0 (List.length r.Robust.Driver.attempts);
+        check Alcotest.bool "verifies" true (no_error_diags r));
+  ]
+
 (* One armed run; returns (fired, result). cmul-u2 on m4x4e needs 12
    copies, so every transient fault (kernel, copy, assignment) finds an
    artifact to corrupt. *)
@@ -306,6 +416,7 @@ let stress_tests =
 let suite =
   [
     ("robust.ladder", ladder_tests);
+    ("robust.deadline", deadline_tests);
     ("robust.inject", inject_tests);
     ("robust.stress", stress_tests);
   ]

@@ -1,0 +1,499 @@
+open Testlib
+open Serve
+
+(* The compilation service (lib/serve): wire-protocol codec, admission
+   control, line framing, concurrent stats, and an end-to-end in-process
+   daemon exercised over a real Unix socket — ping, compile, cache hits,
+   malformed frames, overload shedding, deadline timeouts, quarantine
+   and graceful shutdown. *)
+
+let sample_metrics =
+  {
+    Core.Metrics.name = "daxpy-u2";
+    ideal_ii = 4;
+    clustered_ii = 5;
+    degradation = 125.0;
+    ipc_ideal = 4.0;
+    ipc_clustered = 3.2;
+    n_copies = 3;
+    n_ops = 16;
+  }
+
+let sample_result =
+  {
+    Proto.id = "req-1";
+    outcome = Ok sample_metrics;
+    rung = Some "greedy budget=10";
+    pipelined = true;
+    flat_cycles = None;
+    cache = Proto.Miss;
+    spills = 2;
+    attempts = [ "partitioning: bad [PT002]" ];
+    timing = { Proto.queue_ms = 1.5; compile_ms = 20.25; total_ms = 21.75 };
+  }
+
+let reply_roundtrip r =
+  match Proto.reply_of_string (Proto.reply_to_string r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.failf "reply did not round-trip: %s" e
+
+let request_roundtrip r =
+  match Proto.request_of_string (Proto.request_to_string r) with
+  | Ok r' -> r'
+  | Error e -> Alcotest.failf "request did not round-trip: %s" e
+
+let proto_tests =
+  [
+    case "requests-round-trip" (fun () ->
+        let compile =
+          Proto.Compile
+            {
+              Proto.id = "abc";
+              ir = "loop \"l\" {\n}\n";
+              clusters = 4;
+              model = Mach.Machine.Copy_unit;
+              deadline_ms = Some 250.0;
+              no_cache = true;
+              fault = Some "crash-worker";
+            }
+        in
+        List.iter
+          (fun r -> check Alcotest.bool "round-trips" true (request_roundtrip r = r))
+          [ compile; Proto.Ping; Proto.Stats; Proto.Shutdown ]);
+    case "replies-round-trip" (fun () ->
+        List.iter
+          (fun r -> check Alcotest.bool "round-trips" true (reply_roundtrip r = r))
+          [
+            Proto.Result sample_result;
+            Proto.Result
+              { sample_result with
+                Proto.outcome =
+                  Error
+                    (Verify.Stage_error.make ~code:"PIPE008"
+                       ~stage:Verify.Stage_error.Clustered_schedule ~subject:"l"
+                       "deadline exceeded");
+                rung = None; pipelined = false; flat_cycles = Some 9 };
+            Proto.Overload { id = "x"; depth = 64; retry_after_ms = 50.0 };
+            Proto.Bad_frame { detail = "frame is not JSON" };
+            Proto.Pong;
+            Proto.Stats_reply [ ("serve.admitted", 3); ("serve.completed", 2) ];
+            Proto.Bye;
+          ]);
+    case "statuses-follow-the-contract" (fun () ->
+        check Alcotest.string "ok" "ok" (Proto.status_of_reply (Proto.Result sample_result));
+        check Alcotest.string "timeout" "timeout"
+          (Proto.status_of_reply
+             (Proto.error_reply ~id:"t" (Proto.queue_timeout_error ~id:"t")));
+        check Alcotest.string "quarantine is error" "error"
+          (Proto.status_of_reply
+             (Proto.error_reply ~id:"q" (Proto.quarantine_error ~id:"q" ~crashes:3)));
+        check Alcotest.string "overload" "overload"
+          (Proto.status_of_reply (Proto.Overload { id = ""; depth = 0; retry_after_ms = 25.0 }));
+        check Alcotest.string "bad_frame" "bad_frame"
+          (Proto.status_of_reply (Proto.Bad_frame { detail = "" })));
+    case "structured-failures-carry-their-codes" (fun () ->
+        check Alcotest.string "queue timeout is the ladder deadline code"
+          Robust.Driver.deadline_code (Proto.queue_timeout_error ~id:"a").Verify.Stage_error.code;
+        check Alcotest.string "quarantine" Proto.code_quarantined
+          (Proto.quarantine_error ~id:"a" ~crashes:1).Verify.Stage_error.code;
+        check Alcotest.string "shutdown" Proto.code_shutting_down
+          (Proto.shutdown_error ~id:"a").Verify.Stage_error.code);
+    case "garbage-frames-are-parse-errors" (fun () ->
+        List.iter
+          (fun s ->
+            match Proto.request_of_string s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "accepted garbage frame %S" s)
+          [ "}{ not json"; "[]"; "{\"op\":\"nope\"}"; "{\"no\":\"op\"}";
+            "{\"op\":\"compile\"}" (* missing ir *) ]);
+    case "model-and-cache-names-round-trip" (fun () ->
+        List.iter
+          (fun m ->
+            check Alcotest.bool "model" true
+              (Proto.model_of_name (Proto.model_name m) = Some m))
+          [ Mach.Machine.Embedded; Mach.Machine.Copy_unit ];
+        List.iter
+          (fun c ->
+            check Alcotest.bool "cache status" true
+              (Proto.cache_status_of_name (Proto.cache_status_name c) = Some c))
+          [ Proto.Hit; Proto.Miss; Proto.Bypass ]);
+  ]
+
+let admission_tests =
+  [
+    case "fifo-under-the-limit" (fun () ->
+        let q = Admission.create ~limit:8 () in
+        check Alcotest.bool "depth 1" true (Admission.try_push q 'a' = `Admitted 1);
+        check Alcotest.bool "depth 2" true (Admission.try_push q 'b' = `Admitted 2);
+        check Alcotest.int "depth" 2 (Admission.depth q);
+        check Alcotest.bool "fifo a" true (Admission.pop q = Some 'a');
+        check Alcotest.bool "fifo b" true (Admission.pop q = Some 'b');
+        check Alcotest.int "drained" 0 (Admission.depth q));
+    case "full-queue-sheds-with-a-quote" (fun () ->
+        let q = Admission.create ~limit:2 () in
+        ignore (Admission.try_push q 1);
+        ignore (Admission.try_push q 2);
+        (match Admission.try_push q 3 with
+        | `Shed ra ->
+            check Alcotest.bool "quote at least the base" true
+              (ra >= Admission.retry_after_base_ms)
+        | `Admitted _ | `Closed -> Alcotest.fail "full queue must shed");
+        check Alcotest.int "shed did not enqueue" 2 (Admission.depth q));
+    case "limit-zero-admits-nothing" (fun () ->
+        let q = Admission.create ~limit:0 () in
+        match Admission.try_push q () with
+        | `Shed _ -> ()
+        | `Admitted _ | `Closed -> Alcotest.fail "limit 0 must shed everything");
+    case "force-push-bypasses-the-limit" (fun () ->
+        (* the supervisor requeueing a crashed worker's job is never shed *)
+        let q = Admission.create ~limit:0 () in
+        check Alcotest.bool "forced in" true (Admission.push_force q 7);
+        check Alcotest.bool "and popped" true (Admission.pop q = Some 7));
+    case "close-drains-then-refuses" (fun () ->
+        let q = Admission.create ~limit:8 () in
+        ignore (Admission.try_push q "in-flight");
+        Admission.close q;
+        check Alcotest.bool "closed" true (Admission.closed q);
+        check Alcotest.bool "producers refused" true (Admission.try_push q "late" = `Closed);
+        check Alcotest.bool "force refused too" true (not (Admission.push_force q "late"));
+        check Alcotest.bool "admitted work still drains" true
+          (Admission.pop q = Some "in-flight");
+        check Alcotest.bool "then consumers see the end" true (Admission.pop q = None));
+    case "pop-blocks-across-threads" (fun () ->
+        let q = Admission.create ~limit:50 () in
+        let got = ref [] in
+        let consumer =
+          Thread.create
+            (fun () ->
+              let rec go () =
+                match Admission.pop q with
+                | Some v -> got := v :: !got; go ()
+                | None -> ()
+              in
+              go ())
+            ()
+        in
+        for i = 1 to 50 do ignore (Admission.try_push q i) done;
+        Admission.close q;
+        Thread.join consumer;
+        check Alcotest.(list int) "all items, in order" (List.init 50 (fun i -> i + 1))
+          (List.rev !got));
+  ]
+
+let wire_tests =
+  [
+    case "addresses-parse-and-print" (fun () ->
+        let ok s expect =
+          match Wire.addr_of_string s with
+          | Ok a -> check Alcotest.bool (Printf.sprintf "%S parses" s) true (a = expect)
+          | Error e -> Alcotest.failf "%S rejected: %s" s e
+        in
+        ok "unix:/tmp/rbp.sock" (Wire.Unix_path "/tmp/rbp.sock");
+        ok "/tmp/rbp.sock" (Wire.Unix_path "/tmp/rbp.sock");
+        ok "tcp:127.0.0.1:9000" (Wire.Tcp ("127.0.0.1", 9000));
+        ok "localhost:9000" (Wire.Tcp ("localhost", 9000));
+        ok "tcp::9000" (Wire.Tcp ("127.0.0.1", 9000));
+        (match Wire.addr_of_string "tcp:host:notaport" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "bad port accepted");
+        List.iter
+          (fun a ->
+            match Wire.addr_of_string (Wire.addr_to_string a) with
+            | Ok a' -> check Alcotest.bool "round-trips" true (a = a')
+            | Error e -> Alcotest.failf "printed address rejected: %s" e)
+          [ Wire.Unix_path "/x/y.sock"; Wire.Tcp ("::1", 1); Wire.Tcp ("h", 65535) ]);
+    case "line-framing-over-a-socketpair" (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> Unix.close a; try Unix.close b with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        let rd = Wire.reader a in
+        (* two frames in one write, CRLF on the second *)
+        (match Wire.write_all b "first\nsecond\r\n" with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "write failed: %s" e);
+        check Alcotest.bool "first frame" true
+          (Wire.read_line ~idle_timeout_s:2.0 rd = `Line "first");
+        check Alcotest.bool "second frame, CR stripped" true
+          (Wire.read_line ~idle_timeout_s:2.0 rd = `Line "second");
+        Unix.close b;
+        check Alcotest.bool "eof after peer closes" true
+          (Wire.read_line ~idle_timeout_s:2.0 rd = `Eof));
+    case "oversized-frames-are-rejected" (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect ~finally:(fun () -> Unix.close a; Unix.close b) @@ fun () ->
+        let rd = Wire.reader a in
+        ignore (Wire.write_all b (String.make 64 'x'));
+        check Alcotest.bool "too long without a newline" true
+          (Wire.read_line ~idle_timeout_s:2.0 ~max_frame:16 rd = `Too_long));
+    case "idle-budget-expires" (fun () ->
+        let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect ~finally:(fun () -> Unix.close a; Unix.close b) @@ fun () ->
+        let rd = Wire.reader a in
+        (* nothing ever arrives: the total budget runs out *)
+        check Alcotest.bool "idle" true
+          (Wire.read_line ~slice_s:0.01 ~idle_timeout_s:0.05 rd = `Idle));
+  ]
+
+let stats_tests =
+  [
+    case "bump-get-snapshot" (fun () ->
+        let s = Stats.make () in
+        Stats.bump s Obs.Counter.Serve_admitted 2;
+        Stats.bump s Obs.Counter.Serve_admitted 1;
+        Stats.bump s Obs.Counter.Serve_completed 1;
+        check Alcotest.int "accumulates" 3 (Stats.get s Obs.Counter.Serve_admitted);
+        check Alcotest.int "untouched cell is zero" 0 (Stats.get s Obs.Counter.Serve_shed);
+        let snap = Stats.snapshot s in
+        check Alcotest.bool "snapshot sorted by name" true
+          (snap = List.sort (fun (a, _) (b, _) -> compare a b) snap);
+        check Alcotest.int "only touched cells" 2 (List.length snap));
+    case "absorbing-a-trace-folds-its-counters" (fun () ->
+        let s = Stats.make () in
+        let tr = Obs.Trace.make ~clock:(Obs.Clock.fake ()) () in
+        Obs.Trace.incr (Some tr) ~label:"a" Obs.Counter.Engine_cache_corrupt 1;
+        Obs.Trace.incr (Some tr) ~label:"b" Obs.Counter.Engine_cache_corrupt 2;
+        Stats.absorb s tr;
+        check Alcotest.int "labels collapsed into the total" 3
+          (Stats.get s Obs.Counter.Engine_cache_corrupt));
+    case "bumps-race-free-across-threads" (fun () ->
+        let s = Stats.make () in
+        let ts =
+          List.init 4 (fun _ ->
+              Thread.create
+                (fun () ->
+                  for _ = 1 to 1000 do Stats.bump s Obs.Counter.Serve_completed 1 done)
+                ())
+        in
+        List.iter Thread.join ts;
+        check Alcotest.int "no lost updates" 4000 (Stats.get s Obs.Counter.Serve_completed));
+  ]
+
+(* --- end-to-end: a live daemon on a Unix socket ---------------------- *)
+
+let temp_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Start [Server.run] on a fresh Unix socket in a background thread and
+   hand the address to [f]; shutdown (via the wire op) and cleanup are
+   guaranteed. Returns the daemon's exit code. *)
+let with_daemon ?queue_limit ?default_deadline_ms ?max_retries ?(cache = false) f =
+  let dir = temp_dir "rbp-serve-test" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let addr = Wire.Unix_path (Filename.concat dir "d.sock") in
+  let cache = if cache then Some (Engine.Cache.open_ ~dir:(Filename.concat dir "cache") ()) else None in
+  let cfg =
+    Server.config ~workers:2 ?queue_limit ?default_deadline_ms ?max_retries ?cache
+      ~faults_enabled:true ~allow_shutdown:true ~log:(fun _ -> ()) addr
+  in
+  let code = ref (-1) in
+  let daemon = Thread.create (fun () -> code := Server.run cfg) () in
+  let r =
+    Fun.protect
+      ~finally:(fun () ->
+        (* idempotent: a second shutdown frame after [f]'s own is refused
+           at connect and ignored *)
+        (match Client.connect ~retry_for:1.0 addr with
+        | Ok c ->
+            ignore (Client.request ~timeout_s:5.0 c Proto.Shutdown);
+            Client.close c
+        | Error _ -> ());
+        Thread.join daemon)
+    @@ fun () -> f addr
+  in
+  (r, !code)
+
+let connect_ok addr =
+  match Client.connect ~retry_for:5.0 addr with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let request_ok c req =
+  match Client.request ~timeout_s:30.0 c req with
+  | Ok reply -> reply
+  | Error e -> Alcotest.failf "request: %s" e
+
+let compile_req ?(id = "r") ?deadline_ms ?(no_cache = false) ?fault loop =
+  Proto.Compile
+    {
+      Proto.id;
+      ir = Ir.Parse.loop_to_string loop;
+      clusters = 4;
+      model = Mach.Machine.Embedded;
+      deadline_ms;
+      no_cache;
+      fault;
+    }
+
+let expect_result what = function
+  | Proto.Result r -> r
+  | reply -> Alcotest.failf "%s: unexpected %s reply" what (Proto.status_of_reply reply)
+
+let daemon_tests =
+  [
+    slow_case "daemon-answers-the-basics" (fun () ->
+        let (), code =
+          with_daemon ~cache:true @@ fun addr ->
+          let c = connect_ok addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          (* ping *)
+          check Alcotest.bool "pong" true (request_ok c Proto.Ping = Proto.Pong);
+          (* a real compile: verified pipelined code with provenance *)
+          let loop = Workload.Kernels.daxpy ~unroll:2 in
+          let r = expect_result "compile" (request_ok c (compile_req ~id:"one" loop)) in
+          check Alcotest.string "id echoed" "one" r.Proto.id;
+          (match r.Proto.outcome with
+          | Ok m ->
+              check Alcotest.bool "ideal ii positive" true (m.Core.Metrics.ideal_ii > 0)
+          | Error e -> Alcotest.failf "compile failed: %s" (Verify.Stage_error.to_string e));
+          check Alcotest.bool "rung provenance" true (r.Proto.rung <> None);
+          check Alcotest.bool "pipelined" true r.Proto.pipelined;
+          check Alcotest.bool "first sight is a miss" true (r.Proto.cache = Proto.Miss);
+          check Alcotest.bool "latency accounted" true
+            (r.Proto.timing.Proto.total_ms >= 0.0);
+          (* the same request again: served from the cache, same metrics *)
+          let r2 = expect_result "cached" (request_ok c (compile_req ~id:"two" loop)) in
+          check Alcotest.bool "repeat answer is a hit" true (r2.Proto.cache = Proto.Hit);
+          check Alcotest.bool "identical outcome" true (r2.Proto.outcome = r.Proto.outcome);
+          (* no_cache bypasses both ways *)
+          let r3 =
+            expect_result "bypass" (request_ok c (compile_req ~id:"three" ~no_cache:true loop))
+          in
+          check Alcotest.bool "bypass" true (r3.Proto.cache = Proto.Bypass);
+          (* malformed frame: structured reply, connection survives *)
+          (match Client.send_line c "}{ not a frame" with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "send: %s" e);
+          (match Client.recv_reply c with
+          | Ok (Proto.Bad_frame _) -> ()
+          | Ok reply ->
+              Alcotest.failf "garbage got %s" (Proto.status_of_reply reply)
+          | Error e -> Alcotest.failf "recv: %s" e);
+          check Alcotest.bool "connection survives garbage" true
+            (request_ok c Proto.Ping = Proto.Pong);
+          (* broken IR compiles to a structured error, not a dropped line *)
+          let bad =
+            Proto.Compile
+              { Proto.id = "bad"; ir = "loop \"x\" { this is not ir }";
+                clusters = 4; model = Mach.Machine.Embedded;
+                deadline_ms = None; no_cache = false; fault = None }
+          in
+          let rb = expect_result "bad ir" (request_ok c bad) in
+          (match rb.Proto.outcome with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "malformed IR must fail structurally");
+          (* live counters over the wire *)
+          match request_ok c Proto.Stats with
+          | Proto.Stats_reply counters ->
+              (* the three well-formed compiles were admitted; the
+                 malformed-IR one was answered at the gate *)
+              check Alcotest.bool "admissions counted" true
+                (match List.assoc_opt "serve.admitted" counters with
+                | Some n -> n >= 3
+                | None -> false);
+              check Alcotest.bool "cache hit counted" true
+                (List.assoc_opt "serve.cache_hits" counters = Some 1)
+          | reply -> Alcotest.failf "stats got %s" (Proto.status_of_reply reply)
+        in
+        check Alcotest.int "clean shutdown" 0 code);
+    slow_case "daemon-times-out-and-quarantines" (fun () ->
+        let (), code =
+          with_daemon ~max_retries:0 @@ fun addr ->
+          let c = connect_ok addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let loop = Workload.Kernels.hydro ~unroll:2 in
+          (* a near-zero deadline: structured PIPE008, never a hang *)
+          let rt =
+            expect_result "deadline"
+              (request_ok c (compile_req ~id:"t" ~deadline_ms:0.01 loop))
+          in
+          (match rt.Proto.outcome with
+          | Error e ->
+              check Alcotest.string "deadline code" Robust.Driver.deadline_code
+                e.Verify.Stage_error.code
+          | Ok _ -> Alcotest.fail "a 0.01 ms deadline cannot be met");
+          check Alcotest.string "status is timeout" "timeout"
+            (Proto.status_of_reply (Proto.Result rt));
+          (* poison request: the worker dies, the supervisor answers and
+             quarantines (max_retries 0), and the daemon keeps serving *)
+          let rq =
+            expect_result "poison"
+              (request_ok c (compile_req ~id:"p" ~fault:"crash-worker" loop))
+          in
+          (match rq.Proto.outcome with
+          | Error e ->
+              check Alcotest.string "quarantined" Proto.code_quarantined
+                e.Verify.Stage_error.code
+          | Ok _ -> Alcotest.fail "poison request cannot succeed");
+          (* the same loop without the poison marker is not tainted *)
+          let rc = expect_result "clean again" (request_ok c (compile_req ~id:"c" loop)) in
+          (match rc.Proto.outcome with
+          | Ok _ -> ()
+          | Error e ->
+              Alcotest.failf "clean request after quarantine failed: %s"
+                (Verify.Stage_error.to_string e))
+        in
+        check Alcotest.int "clean shutdown" 0 code);
+    slow_case "daemon-sheds-at-the-door" (fun () ->
+        let (), code =
+          with_daemon ~queue_limit:0 @@ fun addr ->
+          let c = connect_ok addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          match request_ok c (compile_req ~id:"full" (Workload.Kernels.dot ~unroll:2)) with
+          | Proto.Overload { id; retry_after_ms; _ } ->
+              check Alcotest.string "id echoed" "full" id;
+              check Alcotest.bool "retry quote" true
+                (retry_after_ms >= Admission.retry_after_base_ms)
+          | reply ->
+              Alcotest.failf "limit 0 got %s" (Proto.status_of_reply reply)
+        in
+        check Alcotest.int "clean shutdown" 0 code);
+    slow_case "bombardment-with-faults-answers-everything" (fun () ->
+        (* the harness end-to-end, in process: 8 suite loops from 3
+           concurrent clients with every service fault armed. Zero
+           unanswered, zero protocol errors, metrics match a local
+           recompute. *)
+        let report, code =
+          with_daemon ~cache:true @@ fun addr ->
+          Serve.Bombard.run
+            (Serve.Bombard.config ~clients:3 ~loops:8 ~seed:2026
+               ~faults:Robust.Inject.all_service ~check:true addr)
+        in
+        check Alcotest.int "daemon survived and drained" 0 code;
+        check Alcotest.int "every request answered" 0 report.Serve.Bombard.unanswered;
+        check Alcotest.(list string) "no protocol errors" []
+          report.Serve.Bombard.protocol_errors;
+        check Alcotest.(list string) "serve agrees with local compile" []
+          report.Serve.Bombard.mismatches;
+        check Alcotest.int "all scored" 8
+          (report.Serve.Bombard.ok + report.Serve.Bombard.errors
+         + report.Serve.Bombard.timeouts);
+        check Alcotest.bool "faults actually fired" true
+          (List.exists (fun (_, n) -> n > 0) report.Serve.Bombard.faults_fired);
+        check Alcotest.int "harness verdict" 0 (Serve.Bombard.exit_code report);
+        (* the report is an rbp-bench/1 document the perf gate can parse *)
+        match Core.Perfdiff.parse (Obs.Json.to_string (Serve.Bombard.to_json report)) with
+        | Ok bench ->
+            check Alcotest.int "bench carries the scored loops" 8
+              bench.Core.Perfdiff.loops
+        | Error e -> Alcotest.failf "perfdiff rejected the report: %s" e);
+  ]
+
+let suite =
+  [
+    ("serve.proto", proto_tests);
+    ("serve.admission", admission_tests);
+    ("serve.wire", wire_tests);
+    ("serve.stats", stats_tests);
+    ("serve.daemon", daemon_tests);
+  ]
