@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench bench-json bench-baseline perfdiff report check-report doc \
-        clean quickstart experiment lint analyze stress trace serve-smoke bombard
+        clean quickstart experiment lint analyze stress trace serve-smoke bombard \
+        metrics-check
 
 all: build
 
@@ -94,6 +95,23 @@ serve-smoke: build
 	./_build/default/bin/rbp.exe bombard unix:$(SERVE_SOCK) \
 	  --loops 25 --clients 8 --faults all --check; \
 	status=$$?; \
+	kill -TERM $$serve_pid; wait $$serve_pid || status=1; \
+	exit $$status
+
+# The observability smoke test: bombard a --no-cache daemon (cache hits
+# would leave the compile and per-rung histograms empty), scrape the
+# Prometheus exposition with `rbp top --prom`, and validate it — every
+# declared family has samples and every latency histogram is non-empty.
+METRICS_SOCK ?= /tmp/rbp-metrics-check.sock
+metrics-check: build
+	@rm -f $(METRICS_SOCK)
+	./_build/default/bin/rbp.exe serve --listen unix:$(METRICS_SOCK) --no-cache & \
+	serve_pid=$$!; \
+	./_build/default/bin/rbp.exe bombard unix:$(METRICS_SOCK) \
+	  --loops 25 --clients 8; \
+	status=$$?; \
+	./_build/default/bin/rbp.exe top unix:$(METRICS_SOCK) --once --prom \
+	  | sh tools/check_metrics.sh || status=1; \
 	kill -TERM $$serve_pid; wait $$serve_pid || status=1; \
 	exit $$status
 

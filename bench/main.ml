@@ -534,13 +534,41 @@ let bench_json ~path ?n () =
         ("pct_no_degradation", num (Core.Metrics.pct_no_degradation r.metrics));
       ]
   in
+  (* Per-stage duration quantiles: every span of the sweep lands in a
+     log-linear histogram keyed by stage name, so the telemetry shows
+     not just where the time went but how it was distributed — a stage
+     whose p99 dwarfs its p50 has outlier loops worth tracing. *)
+  let stage_hists : (string, Obs.Histogram.t) Hashtbl.t = Hashtbl.create 16 in
+  Obs.Trace.iter_spans
+    (fun ~depth:_ s ->
+      let h =
+        match Hashtbl.find_opt stage_hists s.Obs.Trace.name with
+        | Some h -> h
+        | None ->
+            let h = Obs.Histogram.make () in
+            Hashtbl.add stage_hists s.Obs.Trace.name h;
+            h
+      in
+      Obs.Histogram.record h (Obs.Trace.duration s *. 1000.0))
+    obs;
   let stage_json (name, total, calls) =
+    let quantiles =
+      match Hashtbl.find_opt stage_hists name with
+      | Some h when not (Obs.Histogram.is_empty h) ->
+          [
+            ("p50_ms", num (Obs.Histogram.p50 h));
+            ("p99_ms", num (Obs.Histogram.p99 h));
+            ("max_ms", num (Obs.Histogram.max_value h));
+          ]
+      | _ -> []
+    in
     Obs.Json.Obj
-      [
-        ("name", Obs.Json.Str name);
-        ("total_s", num total);
-        ("calls", int_num calls);
-      ]
+      ([
+         ("name", Obs.Json.Str name);
+         ("total_s", num total);
+         ("calls", int_num calls);
+       ]
+      @ quantiles)
   in
   let doc =
     Obs.Json.Obj

@@ -537,7 +537,8 @@ let report_cmd =
 (* perfdiff                                                            *)
 
 let perfdiff_cmd =
-  let run old_path new_path ipc_rel_drop degradation_rise pct_drop quiet =
+  let run old_path new_path ipc_rel_drop degradation_rise pct_drop p50_rise p95_rise
+      p99_rise latency_floor_ms quiet =
     let read path =
       match open_in path with
       | exception Sys_error e ->
@@ -558,7 +559,13 @@ let perfdiff_cmd =
     let baseline = parse old_path (read old_path) in
     let current = parse new_path (read new_path) in
     let thresholds =
-      { Core.Perfdiff.ipc_rel_drop; degradation_rise; pct_drop }
+      {
+        Core.Perfdiff.ipc_rel_drop;
+        degradation_rise;
+        pct_drop;
+        latency_rel_rise = [ (0.50, p50_rise); (0.95, p95_rise); (0.99, p99_rise) ];
+        latency_floor_ms;
+      }
     in
     match Core.Perfdiff.diff ~thresholds ~baseline ~current () with
     | Error e ->
@@ -602,6 +609,43 @@ let perfdiff_cmd =
       & info [ "pct-drop" ] ~docv:"PTS"
           ~doc:"Max tolerated absolute drop of the no-degradation share, in points.")
   in
+  let latency_rise_default q =
+    match
+      List.assoc_opt q
+        Core.Perfdiff.default_thresholds.Core.Perfdiff.latency_rel_rise
+    with
+    | Some v -> v
+    | None -> infinity
+  in
+  let p50_rise =
+    Arg.(
+      value & opt float (latency_rise_default 0.50)
+      & info [ "p50-rise" ] ~docv:"FRAC"
+          ~doc:"Max tolerated relative rise of serve latency p50 (default 2.0 = 3x).")
+  in
+  let p95_rise =
+    Arg.(
+      value & opt float (latency_rise_default 0.95)
+      & info [ "p95-rise" ] ~docv:"FRAC"
+          ~doc:"Max tolerated relative rise of serve latency p95 (default 3.0 = 4x).")
+  in
+  let p99_rise =
+    Arg.(
+      value & opt float (latency_rise_default 0.99)
+      & info [ "p99-rise" ] ~docv:"FRAC"
+          ~doc:
+            "Max tolerated relative rise of serve latency p99 — the tail gate (default \
+             4.0 = 5x). Also applied to the degraded series' p99.")
+  in
+  let latency_floor_ms =
+    Arg.(
+      value
+      & opt float Core.Perfdiff.default_thresholds.Core.Perfdiff.latency_floor_ms
+      & info [ "latency-floor" ] ~docv:"MS"
+          ~doc:
+            "Absolute latency slack: a quantile rise below $(docv) milliseconds is \
+             never a regression.")
+  in
   let quiet =
     Arg.(
       value & flag
@@ -612,11 +656,14 @@ let perfdiff_cmd =
        ~doc:
          "Compare two rbp-bench/1 telemetry documents (BENCH_*.json) metric by metric \
           with regression thresholds. Host-dependent stage wall times are ignored, so a \
-          checked-in baseline gates CI deterministically. Exit codes: 0 no regression; \
-          1 regression; 2 parse/schema error or incomparable runs (different seed, loop \
-          count or config set)")
+          checked-in baseline gates CI deterministically; serve latency quantiles (from \
+          $(b,rbp bombard --json)) are gated with loose per-quantile rises when both \
+          documents carry them. Exit codes: 0 no regression; 1 regression; 2 \
+          parse/schema error or incomparable runs (different seed, loop count or config \
+          set)")
     Term.(
-      const run $ old_path $ new_path $ ipc_rel_drop $ degradation_rise $ pct_drop $ quiet)
+      const run $ old_path $ new_path $ ipc_rel_drop $ degradation_rise $ pct_drop
+      $ p50_rise $ p95_rise $ p99_rise $ latency_floor_ms $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* schedule                                                            *)
@@ -1528,8 +1575,133 @@ let bombard_cmd =
       const run $ addr_pos_arg $ clients $ loops $ seed_arg $ clusters_arg $ model_arg
       $ deadline $ faults $ fault_rate $ retries $ timeout $ check $ json_out $ quiet)
 
+let top_cmd =
+  let run addr interval once json prom retry_for timeout =
+    if json && prom then begin
+      prerr_endline "rbp top: --json and --prom are mutually exclusive";
+      exit 2
+    end;
+    let addr = or_die (addr_of_string_arg addr) in
+    (* One short-lived connection per poll: a daemon restart between
+       refreshes is then just another sample, not a dead dashboard. *)
+    let fetch () =
+      match Serve.Client.connect ~retry_for addr with
+      | Error e -> Error e
+      | Ok c ->
+          let r =
+            match Serve.Client.request ~timeout_s:timeout c Serve.Proto.Metrics with
+            | Ok (Serve.Proto.Metrics_reply m) -> Ok m
+            | Ok reply ->
+                Error
+                  (Printf.sprintf "unexpected %S reply to the metrics request"
+                     (Serve.Proto.status_of_reply reply))
+            | Error e -> Error e
+          in
+          Serve.Client.close c;
+          r
+    in
+    let show m =
+      if json then Ok (print_endline (Obs.Json.to_string m))
+      else
+        match Serve.Metrics.of_json m with
+        | Error _ as e -> e
+        | Ok t ->
+            print_string (if prom then Serve.Metrics.prometheus t else Serve.Metrics.render t);
+            Ok ()
+    in
+    let step () =
+      match Result.bind (fetch ()) show with
+      | Ok () -> flush stdout
+      | Error e ->
+          prerr_endline ("rbp top: " ^ e);
+          exit 1
+    in
+    if once then step ()
+    else
+      let rec loop () =
+        if not (json || prom) then print_string "\027[2J\027[H";
+        step ();
+        Unix.sleepf interval;
+        loop ()
+      in
+      loop ()
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval"; "i" ] ~docv:"S" ~doc:"Seconds between refreshes.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print one snapshot and exit instead of refreshing.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the raw rbp-metrics/1 document instead of the dashboard.")
+  in
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:
+            "Print the Prometheus text exposition (stable sorted metric families) \
+             instead of the dashboard.")
+  in
+  let retry_for =
+    Arg.(
+      value & opt float 5.0
+      & info [ "retry-for" ] ~docv:"S"
+          ~doc:"Keep retrying a refused connection for $(docv) seconds.")
+  in
+  let timeout =
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"S" ~doc:"Wait per reply.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live metrics dashboard for a running $(b,rbp serve) daemon: latency quantiles \
+          (queue/compile/total and per ladder rung), rolling request/overload/result \
+          rates over 10s and 60s windows, and the counter table, polled through the \
+          $(b,metrics) op. $(b,--once) with $(b,--json) or $(b,--prom) is the \
+          scriptable scrape mode. Exit codes: 0 clean; 1 connection or protocol \
+          failure")
+    Term.(const run $ addr_pos_arg $ interval $ once $ json $ prom $ retry_for $ timeout)
+
+(* A reply line as sorted key=value pairs: stable for scripts that would
+   otherwise parse labeled JSON by position. Nested values stay JSON. *)
+let kv_of_reply_line line =
+  let plain s =
+    s <> ""
+    && String.for_all
+         (fun c ->
+           match c with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | ':' | '/' | '-' -> true
+           | _ -> false)
+         s
+  in
+  match Obs.Json.of_string line with
+  | Ok (Obs.Json.Obj kvs) ->
+      kvs
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map (fun (k, v) ->
+             let rendered =
+               match v with
+               | Obs.Json.Str s when plain s -> s
+               | v -> Obs.Json.to_string v
+             in
+             k ^ "=" ^ rendered)
+      |> String.concat " "
+  | Ok _ | Error _ -> line
+
 let call_cmd =
-  let run addr frames from_stdin retry_for timeout =
+  let run addr frames from_stdin retry_for timeout kv json =
+    if kv && json then begin
+      prerr_endline "rbp call: --kv and --json are mutually exclusive";
+      exit 2
+    end;
     let addr = or_die (addr_of_string_arg addr) in
     let client = or_die (Serve.Client.connect ~retry_for addr) in
     let frames =
@@ -1554,7 +1726,8 @@ let call_cmd =
             | Error e ->
                 prerr_endline ("rbp call: " ^ e);
                 failed := true
-            | Ok reply -> print_endline reply))
+            | Ok reply ->
+                print_endline (if kv then kv_of_reply_line reply else reply)))
       frames;
     Serve.Client.close client;
     exit (if !failed then 1 else 0)
@@ -1583,13 +1756,29 @@ let call_cmd =
       value & opt float 60.0
       & info [ "timeout" ] ~docv:"S" ~doc:"Wait per reply.")
   in
+  let kv =
+    Arg.(
+      value & flag
+      & info [ "kv" ]
+          ~doc:
+            "Render each reply as sorted $(b,key=value) pairs on one line (latency as \
+             $(b,queue_ms=)/$(b,compile_ms=)/$(b,total_ms=), nested values as JSON), so \
+             scripts match fields by name instead of position.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print raw JSON reply lines (the default; explicit for scripts).")
+  in
   Cmd.v
     (Cmd.info "call"
        ~doc:
          "Send raw protocol frames to a running $(b,rbp serve) daemon and print the \
-          raw reply lines — the scriptable probe the cram tests and smoke checks use. \
-          Exit codes: 0 when every frame got a reply; 1 on any transport failure")
-    Term.(const run $ addr_pos_arg $ frames $ from_stdin $ retry_for $ timeout)
+          reply lines — raw JSON by default ($(b,--json)), or labeled $(b,--kv) pairs. \
+          The scriptable probe the cram tests and smoke checks use. Exit codes: 0 when \
+          every frame got a reply; 1 on any transport failure")
+    Term.(const run $ addr_pos_arg $ frames $ from_stdin $ retry_for $ timeout $ kv $ json)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1600,6 +1789,7 @@ let main =
     [ list_cmd; show_cmd; pipeline_cmd; trace_cmd; explain_cmd; report_cmd; perfdiff_cmd;
       schedule_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd; analyze_cmd;
       stress_cmd;
-      sim_cmd; experiment_cmd; csv_cmd; cache_cmd; serve_cmd; bombard_cmd; call_cmd ]
+      sim_cmd; experiment_cmd; csv_cmd; cache_cmd; serve_cmd; bombard_cmd; call_cmd;
+      top_cmd ]
 
 let () = exit (Cmd.eval main)

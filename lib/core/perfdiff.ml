@@ -10,6 +10,14 @@ type config_metrics = {
   pct_no_degradation : float;
 }
 
+type serve_latency = {
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+  degraded_p99_ms : float option;
+}
+
 type doc = {
   seed : int;
   loops : int;
@@ -18,6 +26,7 @@ type doc = {
   jobs : int option;
   cache_hits : int option;
   wall_s : float option;
+  serve : serve_latency option;
 }
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
@@ -64,17 +73,50 @@ let parse text =
     (* Engine telemetry is additive and host-dependent: absent in older
        documents, never compared for regressions. *)
     let opt conv name = Option.bind (Obs.Json.member name j) conv in
+    (* The serve object (written by [rbp bombard --json]) is likewise
+       additive, but when BOTH documents carry latency quantiles they
+       are gated — that is the tail-latency contract of the service. *)
+    let serve =
+      Option.bind (Obs.Json.member "serve" j) (fun s ->
+          let f name = Option.bind (Obs.Json.member name s) Obs.Json.to_num in
+          match (f "p50_ms", f "p95_ms", f "p99_ms", f "max_ms") with
+          | Some p50_ms, Some p95_ms, Some p99_ms, Some max_ms ->
+              let degraded_p99_ms =
+                Option.bind (Obs.Json.member "degraded" s) (fun d ->
+                    Option.bind (Obs.Json.member "p99_ms" d) Obs.Json.to_num)
+              in
+              Some { p50_ms; p95_ms; p99_ms; max_ms; degraded_p99_ms }
+          | _ -> None)
+    in
     Ok
       {
         seed; loops; ideal_ipc; configs = List.rev configs;
         jobs = opt Obs.Json.to_int "jobs";
         cache_hits = opt Obs.Json.to_int "cache_hits";
         wall_s = opt Obs.Json.to_num "wall_s";
+        serve;
       }
 
-type thresholds = { ipc_rel_drop : float; degradation_rise : float; pct_drop : float }
+type thresholds = {
+  ipc_rel_drop : float;
+  degradation_rise : float;
+  pct_drop : float;
+  latency_rel_rise : (float * float) list;
+  latency_floor_ms : float;
+}
 
-let default_thresholds = { ipc_rel_drop = 0.02; degradation_rise = 2.0; pct_drop = 3.0 }
+let default_thresholds =
+  {
+    ipc_rel_drop = 0.02;
+    degradation_rise = 2.0;
+    pct_drop = 3.0;
+    (* Latency is host-dependent, so the per-quantile guards are
+       deliberately loose — they catch order-of-magnitude blowups
+       (a lock convoy, an accidental O(n^2) in the reply path), not
+       scheduler jitter. Tails get more headroom than the median. *)
+    latency_rel_rise = [ (0.50, 2.0); (0.95, 3.0); (0.99, 4.0) ];
+    latency_floor_ms = 5.0;
+  }
 
 type finding = {
   config : string;
@@ -139,6 +181,26 @@ let diff ?(thresholds = default_thresholds) ~baseline ~current () =
       | Some c -> Error (Printf.sprintf "config %S missing from baseline" c.label)
       | None -> Ok ()
     in
+    (match (baseline.serve, current.serve) with
+    | Some b, Some c ->
+        let rise q old_v new_v =
+          let thr =
+            match List.assoc_opt q t.latency_rel_rise with
+            | Some thr -> thr
+            | None -> infinity
+          in
+          new_v -. old_v > t.latency_floor_ms && new_v > old_v *. (1.0 +. thr)
+        in
+        add "serve" "latency_p50_ms" b.p50_ms c.p50_ms (rise 0.50 b.p50_ms c.p50_ms);
+        add "serve" "latency_p95_ms" b.p95_ms c.p95_ms (rise 0.95 b.p95_ms c.p95_ms);
+        add "serve" "latency_p99_ms" b.p99_ms c.p99_ms (rise 0.99 b.p99_ms c.p99_ms);
+        (match (b.degraded_p99_ms, c.degraded_p99_ms) with
+        | Some bd, Some cd -> add "serve" "degraded_p99_ms" bd cd (rise 0.99 bd cd)
+        | _ -> ())
+    | _ ->
+        (* Additive: a document without quantiles (older baseline, plain
+           bench run) simply isn't latency-gated. *)
+        ());
     Ok (List.rev !findings)
   end
 

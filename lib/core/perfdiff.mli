@@ -24,6 +24,15 @@ type config_metrics = {
   pct_no_degradation : float;
 }
 
+type serve_latency = {
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;  (** informational only, never gated *)
+  degraded_p99_ms : float option;
+      (** tail of the degraded (error/timeout/shed-retry) series *)
+}
+
 type doc = {
   seed : int;
   loops : int;
@@ -32,6 +41,9 @@ type doc = {
   jobs : int option;  (** engine [-j] level, absent in pre-engine documents *)
   cache_hits : int option;  (** result-cache hits across the run *)
   wall_s : float option;  (** whole-run wall time; host-dependent, never gated *)
+  serve : serve_latency option;
+      (** service latency quantiles from [rbp bombard --json]; gated only
+          when both compared documents carry them *)
 }
 
 val parse : string -> (doc, string) result
@@ -44,13 +56,22 @@ type thresholds = {
       (** max tolerated absolute rise in a degradation mean, in points *)
   pct_drop : float;
       (** max tolerated absolute drop of [pct_no_degradation], in points *)
+  latency_rel_rise : (float * float) list;
+      (** per-quantile max tolerated relative latency rise, as
+          [(quantile, rise)] — e.g. [(0.99, 4.0)] allows p99 up to 5x
+          the baseline; a quantile not listed is never gated *)
+  latency_floor_ms : float;
+      (** absolute slack below which a latency rise is never a
+          regression, so microsecond-scale baselines don't flake *)
 }
 
 val default_thresholds : thresholds
 (** 2% relative IPC, 2.0 degradation points, 3.0 percentage points —
     loose enough for float jitter across compilers, tight enough to
     catch a real heuristic regression. Any new failure or lost loop is
-    always a regression regardless of thresholds. *)
+    always a regression regardless of thresholds. Latency quantiles are
+    host-dependent, so their guards are looser still — p50 3x, p95 4x,
+    p99 5x with a 5 ms floor — catching blowups, not jitter. *)
 
 type finding = {
   config : string;      (** config label, or ["suite"] for global metrics *)

@@ -98,6 +98,48 @@ let parse_jsonl s =
   in
   go [] lines
 
+(* Prometheus text exposition. One "# TYPE" header per family, then its
+   samples; a sample's metric name is the family name plus a suffix so
+   summary families can interleave {quantile=...}, _sum and _count lines
+   under one header. Label values get the exposition-format escapes. *)
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prometheus families =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, kind, samples) ->
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind);
+      List.iter
+        (fun (suffix, labels, value) ->
+          Buffer.add_string b name;
+          Buffer.add_string b suffix;
+          (match labels with
+          | [] -> ()
+          | labels ->
+              Buffer.add_char b '{';
+              List.iteri
+                (fun i (k, v) ->
+                  if i > 0 then Buffer.add_char b ',';
+                  Buffer.add_string b (Printf.sprintf "%s=\"%s\"" k (prom_escape v)))
+                labels;
+              Buffer.add_char b '}');
+          Buffer.add_char b ' ';
+          Buffer.add_string b (Json.num_to_string value);
+          Buffer.add_char b '\n')
+        samples)
+    families;
+  Buffer.contents b
+
 (* Chrome trace-event format (the JSON-object form with a "traceEvents"
    list), loadable in chrome://tracing and Perfetto. Spans are complete
    ("X") events; counter cells become one counter ("C") sample stamped

@@ -20,3 +20,14 @@ val parse_jsonl : string -> (Json.t list, string) result
 (** Parse each non-empty line; the round-trip contract for {!jsonl}. *)
 
 val chrome : Trace.t -> string
+
+val prometheus :
+  (string * string * (string * (string * string) list * float) list) list ->
+  string
+(** Prometheus text exposition from a list of metric families
+    [(name, type, samples)], each sample a
+    [(name_suffix, labels, value)] triple — the suffix lets a [summary]
+    family emit [{quantile=...}], [_sum] and [_count] lines under one
+    [# TYPE] header. Output order is exactly the input order; callers
+    sort their families for a stable exposition. Values render with
+    {!Json.num_to_string}. *)

@@ -1,0 +1,121 @@
+(* Log-linear bucketing: each power-of-two octave above [lo] is split
+   into [sub] equal-width linear sub-buckets, so the relative bucket
+   width is bounded by 1/sub everywhere. Values below [lo] share one
+   underflow bucket, values beyond the top octave one overflow bucket.
+   Bucket selection is pure float arithmetic on the recorded value, so
+   two histograms fed the same samples — in any order, or merged from
+   any partition of the samples — hold identical state. *)
+
+let sub = 16
+let sub_f = 16.0
+let lo = 0.001
+let e_max = 40
+let n_buckets = 2 + ((e_max + 1) * sub)
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  counts : int array;
+}
+
+let make () =
+  {
+    count = 0;
+    sum = 0.0;
+    vmin = infinity;
+    vmax = neg_infinity;
+    counts = Array.make n_buckets 0;
+  }
+
+let clamp v = if Float.is_nan v || v < 0.0 then 0.0 else v
+
+let index v =
+  if v < lo then 0
+  else
+    let r = v /. lo in
+    let e = int_of_float (Float.floor (Float.log2 r)) in
+    if e > e_max then n_buckets - 1
+    else
+      let s = int_of_float ((r /. Float.ldexp 1.0 e -. 1.0) *. sub_f) in
+      let s = if s < 0 then 0 else if s > sub - 1 then sub - 1 else s in
+      1 + (e * sub) + s
+
+let bounds i =
+  if i <= 0 then (0.0, lo)
+  else if i >= n_buckets - 1 then (lo *. Float.ldexp 1.0 (e_max + 1), infinity)
+  else
+    let e = (i - 1) / sub and s = (i - 1) mod sub in
+    let scale = lo *. Float.ldexp 1.0 e in
+    let w = scale /. sub_f in
+    let lower = scale +. (float_of_int s *. w) in
+    (lower, lower +. w)
+
+let bucket_width v =
+  let l, u = bounds (index (clamp v)) in
+  if Float.is_finite u then u -. l else l
+
+let record t v =
+  let v = clamp v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  let i = index v in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let count t = t.count
+let sum t = t.sum
+let is_empty t = t.count = 0
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0.0 else t.vmin
+let max_value t = if t.count = 0 then 0.0 else t.vmax
+
+let merge ~into src =
+  into.count <- into.count + src.count;
+  into.sum <- into.sum +. src.sum;
+  if src.vmin < into.vmin then into.vmin <- src.vmin;
+  if src.vmax > into.vmax then into.vmax <- src.vmax;
+  Array.iteri
+    (fun i n -> if n <> 0 then into.counts.(i) <- into.counts.(i) + n)
+    src.counts
+
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let rec go i acc =
+      if i >= n_buckets then t.vmax
+      else
+        let acc = acc + t.counts.(i) in
+        if acc >= rank then
+          (* The true rank-th sample lies inside bucket [i]; report the
+             bucket's upper edge clamped to the observed extremes, so the
+             estimate is within one bucket width and never outside
+             [min, max]. *)
+          let _, upper = bounds i in
+          Float.min t.vmax (Float.max t.vmin upper)
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let p50 t = quantile t 0.5
+let p90 t = quantile t 0.9
+let p99 t = quantile t 0.99
+
+let summary_json t =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int t.count));
+      ("sum", Json.Num t.sum);
+      ("p50", Json.Num (p50 t));
+      ("p90", Json.Num (p90 t));
+      ("p99", Json.Num (p99 t));
+      ("max", Json.Num (max_value t));
+    ]

@@ -1,0 +1,54 @@
+(** Log-linear latency histogram (HDR-style).
+
+    Each power-of-two octave above 0.001 is split into 16 linear
+    sub-buckets, bounding the relative error of any quantile estimate by
+    6.25% plus one bucket width, over a range of [1e-3, ~2e9] (units are
+    the caller's — the service records milliseconds). The exact count,
+    sum, minimum and maximum are tracked alongside the buckets, so
+    [mean] and [max_value] are exact and quantile estimates are clamped
+    to the observed extremes.
+
+    Bucket selection depends only on the recorded value, so histograms
+    fed any partition of a sample set and then {!merge}d hold state
+    identical to one histogram fed everything — the property the qcheck
+    suite pins. Not thread-safe; {!Serve.Stats} guards its instances
+    with its own mutex. *)
+
+type t
+
+val make : unit -> t
+val record : t -> float -> unit
+(** Negative and NaN samples are clamped to 0 rather than dropped, so
+    [count] always equals the number of [record] calls. *)
+
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+val is_empty : t -> bool
+
+val min_value : t -> float
+(** Exact observed minimum; 0 when empty. *)
+
+val max_value : t -> float
+(** Exact observed maximum; 0 when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for q in [0,1]: the upper edge of the bucket holding
+    the ceil(q*count)-th smallest sample, clamped to
+    [[min_value, max_value]]. 0 when empty. *)
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+
+val merge : into:t -> t -> unit
+(** Fold [src]'s state into [into]; equivalent to replaying every sample
+    of [src] into [into]. *)
+
+val bucket_width : float -> float
+(** Width of the bucket that would hold a given value — the error bound
+    of a quantile estimate landing in that bucket. *)
+
+val summary_json : t -> Json.t
+(** [{"count","sum","p50","p90","p99","max"}] — the shape the service's
+    [metrics] reply embeds per series. *)

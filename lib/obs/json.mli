@@ -18,6 +18,12 @@ val to_string : t -> string
 (** Compact (no whitespace), deterministic. Non-finite numbers render as
     [null] so the output is always valid JSON. *)
 
+val num_to_string : float -> string
+(** The writer's number rendering on its own: shortest decimal that
+    round-trips, integers without a fractional part, [null] for
+    non-finite values. The Prometheus exposition reuses it so a scraped
+    value compares bit-equal with the JSON one. *)
+
 val of_string : string -> (t, string) result
 (** Strict parse of one complete document; [Error] carries a message
     with the byte offset. [\u] escapes decode to UTF-8. *)

@@ -1,0 +1,63 @@
+(* A ring of time slices. Each cell remembers which absolute slice id
+   last wrote it; a cell whose id is stale is logically zero, so the
+   ring never needs a sweeper thread — expiry happens lazily on the
+   next write or read that lands on the cell. All time comes from the
+   injected clock, so a fake clock makes every rate byte-stable. *)
+
+type t = {
+  clock : Clock.t;
+  slice_s : float;
+  slices : int;
+  epochs : int array;
+  counts : int array;
+  mutable lifetime : int;
+}
+
+let make ?(slice_s = 1.0) ?(slices = 60) ~clock () =
+  if slices < 1 then invalid_arg "Obs.Window.make: slices < 1";
+  if not (slice_s > 0.0) then invalid_arg "Obs.Window.make: slice_s <= 0";
+  {
+    clock;
+    slice_s;
+    slices;
+    epochs = Array.make slices min_int;
+    counts = Array.make slices 0;
+    lifetime = 0;
+  }
+
+let span_s t = float_of_int t.slices *. t.slice_s
+
+let slice_id t now = int_of_float (Float.floor (now /. t.slice_s))
+
+let cell t id = ((id mod t.slices) + t.slices) mod t.slices
+
+let add ?(n = 1) t =
+  let id = slice_id t (t.clock ()) in
+  let i = cell t id in
+  if t.epochs.(i) <> id then begin
+    t.epochs.(i) <- id;
+    t.counts.(i) <- 0
+  end;
+  t.counts.(i) <- t.counts.(i) + n;
+  t.lifetime <- t.lifetime + n
+
+(* Number of slices a lookback of [over_s] covers, clamped to the ring. *)
+let slices_for t over_s =
+  let n = int_of_float (Float.ceil (over_s /. t.slice_s)) in
+  if n < 1 then 1 else if n > t.slices then t.slices else n
+
+let total ~over_s t =
+  let id = slice_id t (t.clock ()) in
+  let n = slices_for t over_s in
+  let lo = id - n + 1 in
+  let acc = ref 0 in
+  for i = 0 to t.slices - 1 do
+    if t.epochs.(i) >= lo && t.epochs.(i) <= id then acc := !acc + t.counts.(i)
+  done;
+  !acc
+
+let rate ~over_s t =
+  let n = slices_for t over_s in
+  float_of_int (total ~over_s t) /. (float_of_int n *. t.slice_s)
+
+let lifetime_total t = t.lifetime

@@ -1,0 +1,37 @@
+(** Rolling-rate counter: a ring of time-sliced buckets.
+
+    [make ~clock ()] builds a 60-cell ring of 1-second slices; [add]
+    credits the slice the injected clock currently points at, and
+    [rate ~over_s] divides the events of the last [ceil(over_s/slice_s)]
+    slices — the current (possibly partial) slice included — by exactly
+    that many slice durations. Lookbacks are clamped to the ring span,
+    so a 60-slice ring answers both the 10 s and 60 s rates the service
+    exposes. Expired cells are reclaimed lazily on the next touch; there
+    is no sweeper thread.
+
+    All time comes from the injected {!Clock.t}: under a fake clock the
+    same call sequence yields byte-identical rates, which is what the
+    determinism test pins. Not thread-safe; callers serialize access
+    (the service wraps windows in {!Serve.Stats}'s mutex). *)
+
+type t
+
+val make : ?slice_s:float -> ?slices:int -> clock:Clock.t -> unit -> t
+(** Defaults: 1.0 s slices, 60 of them. Raises [Invalid_argument] on a
+    non-positive slice or an empty ring. *)
+
+val add : ?n:int -> t -> unit
+(** Credit [n] (default 1) events to the current slice. *)
+
+val total : over_s:float -> t -> int
+(** Events in the last [over_s] seconds (rounded up to whole slices,
+    clamped to the ring span). *)
+
+val rate : over_s:float -> t -> float
+(** [total] divided by the covered duration — events per second. *)
+
+val span_s : t -> float
+(** The longest lookback the ring can answer, in seconds. *)
+
+val lifetime_total : t -> int
+(** Events ever added, regardless of expiry. *)

@@ -36,6 +36,14 @@ type probe = {
   mismatch : string option;
 }
 
+type latency_series = {
+  count : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
 type report = {
   seed : int;
   total : int;
@@ -55,6 +63,7 @@ type report = {
   p95_ms : float;
   p99_ms : float;
   max_ms : float;
+  degraded : latency_series;
   wall_s : float;
   throughput_rps : float;
   metrics : Core.Metrics.loop_metrics list;
@@ -341,12 +350,31 @@ let run (cfg : config) =
   let wall_s = Unix.gettimeofday () -. t0 in
   let probes = Array.to_list results |> List.filter_map Fun.id in
   let count f = List.length (List.filter f probes) in
-  let latencies =
-    List.filter (fun (p : probe) -> p.status <> "unanswered") probes
-    |> List.map (fun p -> p.latency_ms)
-    |> Array.of_list
+  (* A round-trip is "degraded" when it ended in a structured failure or
+     deadline timeout, or absorbed overload sheds (its latency then
+     includes the backoff). Scoring the headline quantiles on clean ok
+     round-trips only, with the degraded series reported beside them,
+     keeps retry backoff from hiding — or inflating — either tail. *)
+  let degraded_probe (p : probe) =
+    p.status = "error" || p.status = "timeout" || p.sheds > 0
   in
-  Array.sort compare latencies;
+  let series_of f =
+    let ls =
+      List.filter (fun (p : probe) -> p.status <> "unanswered" && f p) probes
+      |> List.map (fun (p : probe) -> p.latency_ms)
+      |> Array.of_list
+    in
+    Array.sort compare ls;
+    {
+      count = Array.length ls;
+      p50_ms = percentile ls 0.50;
+      p95_ms = percentile ls 0.95;
+      p99_ms = percentile ls 0.99;
+      max_ms = (if Array.length ls = 0 then 0.0 else ls.(Array.length ls - 1));
+    }
+  in
+  let ok_series = series_of (fun p -> not (degraded_probe p)) in
+  let degraded = series_of degraded_probe in
   let fault_counts =
     List.map
       (fun f ->
@@ -369,10 +397,11 @@ let run (cfg : config) =
     retries = List.fold_left (fun a (p : probe) -> a + p.retries) 0 probes;
     cache_hits = count (fun (p : probe) -> p.cache = "hit");
     faults_fired = fault_counts;
-    p50_ms = percentile latencies 0.50;
-    p95_ms = percentile latencies 0.95;
-    p99_ms = percentile latencies 0.99;
-    max_ms = (if Array.length latencies = 0 then 0.0 else latencies.(Array.length latencies - 1));
+    p50_ms = ok_series.p50_ms;
+    p95_ms = ok_series.p95_ms;
+    p99_ms = ok_series.p99_ms;
+    max_ms = ok_series.max_ms;
+    degraded;
     wall_s;
     throughput_rps = (if wall_s > 0.0 then float_of_int total /. wall_s else 0.0);
     metrics = List.filter_map (fun (p : probe) -> p.metrics) probes;
@@ -439,6 +468,15 @@ let to_json r =
             ("p95_ms", num r.p95_ms);
             ("p99_ms", num r.p99_ms);
             ("max_ms", num r.max_ms);
+            ( "degraded",
+              Obs.Json.Obj
+                [
+                  ("count", int_num r.degraded.count);
+                  ("p50_ms", num r.degraded.p50_ms);
+                  ("p95_ms", num r.degraded.p95_ms);
+                  ("p99_ms", num r.degraded.p99_ms);
+                  ("max_ms", num r.degraded.max_ms);
+                ] );
             ("throughput_rps", num r.throughput_rps);
             ( "faults",
               Obs.Json.Obj (List.map (fun (n, v) -> (n, int_num v)) r.faults_fired) );
@@ -461,6 +499,10 @@ let render r =
          (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) r.faults_fired));
   line "  latency     p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms" r.p50_ms
     r.p95_ms r.p99_ms r.max_ms;
+  if r.degraded.count > 0 then
+    line "  degraded    %d req: p50 %.1f ms, p95 %.1f ms, p99 %.1f ms, max %.1f ms"
+      r.degraded.count r.degraded.p50_ms r.degraded.p95_ms r.degraded.p99_ms
+      r.degraded.max_ms;
   line "  wall        %.2f s (%.1f req/s)" r.wall_s r.throughput_rps;
   (match r.metrics with
   | [] -> ()

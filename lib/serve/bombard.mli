@@ -48,6 +48,14 @@ val config :
     copies, no deadline, no faults, rate 1.0, 8 retries, 120 s timeout,
     no checking, silent. *)
 
+type latency_series = {
+  count : int;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
 type report = {
   seed : int;
   total : int;
@@ -63,10 +71,15 @@ type report = {
   retries : int;
   cache_hits : int;
   faults_fired : (string * int) list;
-  p50_ms : float;
+  p50_ms : float;  (** clean ok round-trips only (no sheds absorbed) … *)
   p95_ms : float;
   p99_ms : float;
   max_ms : float;
+  degraded : latency_series;
+      (** … while error/timeout outcomes and shed-then-retried requests
+          (whose latency includes the backoff) are scored here, so the
+          headline quantiles can't under-state the tail by mixing — or
+          hiding — degraded round-trips *)
   wall_s : float;
   throughput_rps : float;
   metrics : Core.Metrics.loop_metrics list;

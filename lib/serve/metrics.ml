@@ -1,0 +1,226 @@
+type series = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+type window = {
+  requests_per_s : float;
+  overloads_per_s : float;
+  results_per_s : float;
+  cache_hit_ratio : float;
+}
+
+type t = {
+  uptime_s : float;
+  counters : (string * int) list;
+  queue : series;
+  compile : series;
+  total : series;
+  rungs : (string * series) list;
+  windows : (string * window) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let ( let* ) = Option.bind
+let field name conv j = Option.bind (Obs.Json.member name j) conv
+
+let series_of_json j =
+  let* count = field "count" Obs.Json.to_int j in
+  let* sum = field "sum" Obs.Json.to_num j in
+  let* p50 = field "p50" Obs.Json.to_num j in
+  let* p90 = field "p90" Obs.Json.to_num j in
+  let* p99 = field "p99" Obs.Json.to_num j in
+  let* max = field "max" Obs.Json.to_num j in
+  Some { count; sum; p50; p90; p99; max }
+
+let window_of_json j =
+  let* requests_per_s = field "requests_per_s" Obs.Json.to_num j in
+  let* overloads_per_s = field "overloads_per_s" Obs.Json.to_num j in
+  let* results_per_s = field "results_per_s" Obs.Json.to_num j in
+  let* cache_hit_ratio = field "cache_hit_ratio" Obs.Json.to_num j in
+  Some { requests_per_s; overloads_per_s; results_per_s; cache_hit_ratio }
+
+let of_json j =
+  match field "schema" Obs.Json.to_str j with
+  | Some s when s <> Stats.schema ->
+      Error (Printf.sprintf "unknown metrics schema %S (want %S)" s Stats.schema)
+  | None -> Error "metrics document lacks a \"schema\" field"
+  | Some _ -> (
+      let decoded =
+        let* uptime_s = field "uptime_s" Obs.Json.to_num j in
+        let* counters = Obs.Json.member "counters" j in
+        let* counters =
+          match counters with
+          | Obs.Json.Obj kvs ->
+              Some
+                (List.filter_map
+                   (fun (n, v) -> Option.map (fun v -> (n, v)) (Obs.Json.to_int v))
+                   kvs)
+          | _ -> None
+        in
+        let* latency = Obs.Json.member "latency" j in
+        let* queue = Option.bind (Obs.Json.member "queue_ms" latency) series_of_json in
+        let* compile =
+          Option.bind (Obs.Json.member "compile_ms" latency) series_of_json
+        in
+        let* total = Option.bind (Obs.Json.member "total_ms" latency) series_of_json in
+        let rungs =
+          match Obs.Json.member "rungs" j with
+          | Some (Obs.Json.Obj kvs) ->
+              List.filter_map
+                (fun (n, v) -> Option.map (fun s -> (n, s)) (series_of_json v))
+                kvs
+          | _ -> []
+        in
+        let* windows = Obs.Json.member "windows" j in
+        let* windows =
+          match windows with
+          | Obs.Json.Obj kvs ->
+              Some
+                (List.filter_map
+                   (fun (n, v) -> Option.map (fun w -> (n, w)) (window_of_json v))
+                   kvs)
+          | _ -> None
+        in
+        Some { uptime_s; counters; queue; compile; total; rungs; windows }
+      in
+      match decoded with
+      | Some t -> Ok t
+      | None -> Error "malformed metrics document")
+
+let of_string s =
+  match Obs.Json.of_string s with
+  | Error e -> Error ("metrics document is not JSON: " ^ e)
+  | Ok j -> of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Dashboard rendering                                                 *)
+
+let series_line b label (s : series) =
+  Buffer.add_string b
+    (Printf.sprintf "  %-18s %6d %10.3f %10.3f %10.3f %10.3f\n" label s.count
+       s.p50 s.p90 s.p99 s.max)
+
+let render t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "rbp serve metrics — uptime %.1fs\n\n" t.uptime_s);
+  Buffer.add_string b
+    (Printf.sprintf "%-20s %6s %10s %10s %10s %10s\n" "latency (ms)" "count"
+       "p50" "p90" "p99" "max");
+  series_line b "queue" t.queue;
+  series_line b "compile" t.compile;
+  series_line b "total" t.total;
+  if t.rungs <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "\n%-20s %6s %10s %10s %10s %10s\n" "rung compile (ms)"
+         "count" "p50" "p90" "p99" "max");
+    List.iter (fun (name, s) -> series_line b name s) t.rungs
+  end;
+  if t.windows <> [] then begin
+    Buffer.add_string b (Printf.sprintf "\n%-20s" "rolling");
+    List.iter (fun (n, _) -> Buffer.add_string b (Printf.sprintf " %9s" n)) t.windows;
+    Buffer.add_char b '\n';
+    let row label pick percent =
+      Buffer.add_string b (Printf.sprintf "  %-18s" label);
+      List.iter
+        (fun (_, w) ->
+          let v = pick w in
+          let v = if percent then 100.0 *. v else v in
+          Buffer.add_string b (Printf.sprintf " %9.2f" v))
+        t.windows;
+      Buffer.add_char b '\n'
+    in
+    row "requests/s" (fun w -> w.requests_per_s) false;
+    row "overloads/s" (fun w -> w.overloads_per_s) false;
+    row "results/s" (fun w -> w.results_per_s) false;
+    row "cache hit %" (fun w -> w.cache_hit_ratio) true
+  end;
+  if t.counters <> [] then begin
+    Buffer.add_string b "\ncounters\n";
+    List.iter
+      (fun (n, v) -> Buffer.add_string b (Printf.sprintf "  %-32s %d\n" n v))
+      t.counters
+  end;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                               *)
+
+(* "serve.cache_hits" -> "rbp_serve_cache_hits" *)
+let prom_name s =
+  let b = Buffer.create (String.length s + 4) in
+  Buffer.add_string b "rbp_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    s;
+  Buffer.contents b
+
+let summary_samples ?(labels = []) (s : series) =
+  [
+    ("", labels @ [ ("quantile", "0.5") ], s.p50);
+    ("", labels @ [ ("quantile", "0.9") ], s.p90);
+    ("", labels @ [ ("quantile", "0.99") ], s.p99);
+    ("_sum", labels, s.sum);
+    ("_count", labels, float_of_int s.count);
+  ]
+
+let prometheus t =
+  let counter_families =
+    List.map
+      (fun (n, v) ->
+        (prom_name n ^ "_total", "counter", [ ("", [], float_of_int v) ]))
+      (List.sort compare t.counters)
+  in
+  let latency_families =
+    [
+      ("rbp_serve_compile_latency_ms", "summary", summary_samples t.compile);
+      ("rbp_serve_queue_latency_ms", "summary", summary_samples t.queue);
+      ("rbp_serve_total_latency_ms", "summary", summary_samples t.total);
+    ]
+  in
+  let rung_family =
+    match List.sort compare t.rungs with
+    | [] -> []
+    | rungs ->
+        [
+          ( "rbp_serve_rung_compile_ms",
+            "summary",
+            List.concat_map
+              (fun (name, s) -> summary_samples ~labels:[ ("rung", name) ] s)
+              rungs );
+        ]
+  in
+  let windows = List.sort compare t.windows in
+  let window_family name pick =
+    match windows with
+    | [] -> []
+    | ws ->
+        [ (name, "gauge", List.map (fun (n, w) -> ("", [ ("window", n) ], pick w)) ws) ]
+  in
+  let families =
+    List.concat
+      [
+        counter_families;
+        window_family "rbp_serve_cache_hit_ratio" (fun w -> w.cache_hit_ratio);
+        latency_families;
+        window_family "rbp_serve_overloads_per_second" (fun w -> w.overloads_per_s);
+        window_family "rbp_serve_requests_per_second" (fun w -> w.requests_per_s);
+        window_family "rbp_serve_results_per_second" (fun w -> w.results_per_s);
+        rung_family;
+        [ ("rbp_serve_uptime_seconds", "gauge", [ ("", [], t.uptime_s) ]) ];
+      ]
+  in
+  let families =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) families
+  in
+  Obs.Export.prometheus families

@@ -1,0 +1,52 @@
+(** Client-side view of the daemon's [metrics] reply.
+
+    {!Stats.metrics_json} builds the [rbp-metrics/1] document on the
+    daemon; this module is everything a consumer needs: a typed parse,
+    the [rbp top] dashboard rendering, and the Prometheus text
+    exposition [rbp top --prom] serves to external scrapers. Keeping it
+    in [lib/serve] (not [bin/]) makes every rendering unit-testable and
+    byte-pinnable without a socket. *)
+
+type series = {
+  count : int;
+  sum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+type window = {
+  requests_per_s : float;
+  overloads_per_s : float;
+  results_per_s : float;
+  cache_hit_ratio : float;  (** fraction in [0,1]; 0 when no results *)
+}
+
+type t = {
+  uptime_s : float;
+  counters : (string * int) list;
+  queue : series;    (** queue latency, ms *)
+  compile : series;  (** compile latency, ms *)
+  total : series;    (** total (queue + compile + delivery) latency, ms *)
+  rungs : (string * series) list;  (** compile ms per ladder rung *)
+  windows : (string * window) list;  (** by lookback label, e.g. "10s" *)
+}
+
+val of_json : Obs.Json.t -> (t, string) result
+(** Rejects documents whose ["schema"] is not {!Stats.schema}. *)
+
+val of_string : string -> (t, string) result
+
+val render : t -> string
+(** The [rbp top] dashboard: latency and per-rung quantile tables,
+    rolling rates per lookback, then the counter list. *)
+
+val prometheus : t -> string
+(** Prometheus text exposition: counters as [rbp_<name>_total] counter
+    families, the three latency series and the per-rung series as
+    [summary] families (quantile 0.5/0.9/0.99 + [_sum]/[_count]),
+    rolling rates as gauges labelled by [window], and
+    [rbp_serve_uptime_seconds]. Families are sorted by metric name and
+    labels are emitted in a fixed order, so the exposition is stable for
+    a given document. *)

@@ -15,7 +15,7 @@ type compile = {
   fault : string option;
 }
 
-type request = Compile of compile | Ping | Stats | Shutdown
+type request = Compile of compile | Ping | Stats | Metrics | Shutdown
 
 type cache_status = Hit | Miss | Bypass
 
@@ -49,6 +49,7 @@ type reply =
   | Bad_frame of { detail : string }
   | Pong
   | Stats_reply of (string * int) list
+  | Metrics_reply of Obs.Json.t
   | Bye
 
 (* ------------------------------------------------------------------ *)
@@ -75,6 +76,7 @@ let model_of_name = function
 let request_to_json = function
   | Ping -> Obs.Json.Obj [ ("op", str "ping") ]
   | Stats -> Obs.Json.Obj [ ("op", str "stats") ]
+  | Metrics -> Obs.Json.Obj [ ("op", str "metrics") ]
   | Shutdown -> Obs.Json.Obj [ ("op", str "shutdown") ]
   | Compile c ->
       Obs.Json.Obj
@@ -94,6 +96,7 @@ let request_of_json j =
   | None -> Error "missing \"op\" field"
   | Some "ping" -> Ok Ping
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics
   | Some "shutdown" -> Ok Shutdown
   | Some "compile" -> (
       match field "ir" Obs.Json.to_str j with
@@ -137,6 +140,7 @@ let status_of_reply = function
   | Bad_frame _ -> "bad_frame"
   | Pong -> "pong"
   | Stats_reply _ -> "stats"
+  | Metrics_reply _ -> "metrics"
   | Bye -> "bye"
 
 let reply_to_json reply =
@@ -152,6 +156,7 @@ let reply_to_json reply =
           ("status", str "stats");
           ("counters", Obs.Json.Obj (List.map (fun (n, v) -> (n, int_num v)) cells));
         ]
+  | Metrics_reply m -> Obs.Json.Obj [ ("status", str "metrics"); ("metrics", m) ]
   | Overload { id; depth; retry_after_ms } ->
       Obs.Json.Obj
         [
@@ -203,6 +208,10 @@ let reply_of_json j =
           in
           Ok (Stats_reply cells)
       | _ -> Error "stats reply lacks a \"counters\" object")
+  | Some "metrics" -> (
+      match Obs.Json.member "metrics" j with
+      | Some m -> Ok (Metrics_reply m)
+      | None -> Error "metrics reply lacks a \"metrics\" object")
   | Some "overload" -> (
       match
         ( field "id" Obs.Json.to_str j,

@@ -1,8 +1,9 @@
 (** The wire protocol: newline-delimited JSON, one frame per line.
 
     Requests are objects with an ["op"] discriminator ([compile], [ping],
-    [stats], [shutdown]); replies carry a ["status"] discriminator ([ok],
-    [error], [timeout], [overload], [bad_frame], [pong], [stats], [bye]).
+    [stats], [metrics], [shutdown]); replies carry a ["status"]
+    discriminator ([ok], [error], [timeout], [overload], [bad_frame],
+    [pong], [stats], [metrics], [bye]).
     Compile outcomes ride in the same serialization {!Core.Batch.codec}
     uses for the result cache, so a service reply and a cached batch
     outcome are the same JSON — one codec, one set of round-trip tests.
@@ -41,7 +42,7 @@ type compile = {
           honored only when the daemon runs with faults enabled *)
 }
 
-type request = Compile of compile | Ping | Stats | Shutdown
+type request = Compile of compile | Ping | Stats | Metrics | Shutdown
 
 type cache_status = Hit | Miss | Bypass
 
@@ -70,6 +71,9 @@ type reply =
   | Bad_frame of { detail : string }
   | Pong
   | Stats_reply of (string * int) list
+  | Metrics_reply of Obs.Json.t
+      (** the [rbp-metrics/1] document {!Stats.metrics_json} builds,
+          carried opaquely so the codec needs no metrics schema *)
   | Bye
 
 val status_of_reply : reply -> string

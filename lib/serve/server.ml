@@ -54,6 +54,17 @@ let quarantine_key ~machine ~fault loop =
 (* One connection                                                      *)
 
 let classify srv reply =
+  (* Every Result reply — ok, structured error, deadline timeout,
+     quarantine — carries timing, so the latency distributions cover
+     all admitted requests, not just successes. *)
+  (match reply with
+  | Proto.Result r ->
+      Stats.note_result srv.stats ~rung:r.Proto.rung
+        ~cache_hit:(r.Proto.cache = Proto.Hit)
+        ~queue_ms:r.Proto.timing.Proto.queue_ms
+        ~compile_ms:r.Proto.timing.Proto.compile_ms
+        ~total_ms:r.Proto.timing.Proto.total_ms
+  | _ -> ());
   match Proto.status_of_reply reply with
   | "ok" ->
       Stats.bump srv.stats Obs.Counter.Serve_completed 1;
@@ -210,10 +221,13 @@ let handle_compile srv ~conn ~send (c : Proto.compile) =
                 Mutex.unlock conn.lock
               in
               match Admission.try_push srv.queue job with
-              | `Admitted _ -> Stats.bump srv.stats Obs.Counter.Serve_admitted 1
+              | `Admitted _ ->
+                  Stats.bump srv.stats Obs.Counter.Serve_admitted 1;
+                  Stats.note_admitted srv.stats
               | `Shed retry_after_ms ->
                   not_admitted ();
                   Stats.bump srv.stats Obs.Counter.Serve_shed 1;
+                  Stats.note_shed srv.stats;
                   send
                     (Proto.Overload
                        {
@@ -261,6 +275,9 @@ let handle_conn srv conn =
         | Ok Proto.Stats ->
             send (Proto.Stats_reply (Stats.snapshot srv.stats));
             loop ()
+        | Ok Proto.Metrics ->
+            send (Proto.Metrics_reply (Stats.metrics_json srv.stats));
+            loop ()
         | Ok Proto.Shutdown ->
             if srv.cfg.allow_shutdown then begin
               send Proto.Bye;
@@ -304,7 +321,7 @@ let install_signals stop =
 let run cfg =
   let stop = Atomic.make false in
   install_signals stop;
-  let stats = Stats.make () in
+  let stats = Stats.make ~clock:cfg.clock () in
   let queue = Admission.create ~limit:cfg.queue_limit () in
   let pool =
     Worker.create ~queue ~stats ~cache:cfg.cache ~clock:cfg.clock

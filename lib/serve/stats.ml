@@ -1,6 +1,40 @@
-type t = { lock : Mutex.t; cells : (Obs.Counter.t, int ref) Hashtbl.t }
+let schema = "rbp-metrics/1"
 
-let make () = { lock = Mutex.create (); cells = Hashtbl.create 32 }
+(* The window lookbacks the metrics reply answers. One 60-cell ring of
+   1 s slices serves both. *)
+let lookbacks_s = [ 10.0; 60.0 ]
+
+type t = {
+  lock : Mutex.t;
+  clock : unit -> float;
+  started : float;
+  cells : (Obs.Counter.t, int ref) Hashtbl.t;
+  queue_ms : Obs.Histogram.t;
+  compile_ms : Obs.Histogram.t;
+  total_ms : Obs.Histogram.t;
+  rungs : (string, Obs.Histogram.t) Hashtbl.t;
+  w_admitted : Obs.Window.t;
+  w_shed : Obs.Window.t;
+  w_results : Obs.Window.t;
+  w_hits : Obs.Window.t;
+}
+
+let make ?(clock = fun () -> 0.0) () =
+  let w () = Obs.Window.make ~clock () in
+  {
+    lock = Mutex.create ();
+    clock;
+    started = clock ();
+    cells = Hashtbl.create 32;
+    queue_ms = Obs.Histogram.make ();
+    compile_ms = Obs.Histogram.make ();
+    total_ms = Obs.Histogram.make ();
+    rungs = Hashtbl.create 8;
+    w_admitted = w ();
+    w_shed = w ();
+    w_results = w ();
+    w_hits = w ();
+  }
 
 let bump t c n =
   if n <> 0 then begin
@@ -22,8 +56,104 @@ let absorb t tr =
     (fun c -> bump t c (Obs.Trace.counter_total tr c))
     Obs.Counter.all
 
+(* With [t.lock] held. *)
+let snapshot_locked t =
+  let cells = Hashtbl.fold (fun c r acc -> (Obs.Counter.name c, !r) :: acc) t.cells [] in
+  List.sort compare cells
+
 let snapshot t =
   Mutex.lock t.lock;
-  let cells = Hashtbl.fold (fun c r acc -> (Obs.Counter.name c, !r) :: acc) t.cells [] in
+  let cells = snapshot_locked t in
   Mutex.unlock t.lock;
-  List.sort compare cells
+  cells
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: histograms + rolling windows                               *)
+
+let note_admitted t =
+  Mutex.lock t.lock;
+  Obs.Window.add t.w_admitted;
+  Mutex.unlock t.lock
+
+let note_shed t =
+  Mutex.lock t.lock;
+  Obs.Window.add t.w_shed;
+  Mutex.unlock t.lock
+
+let note_result t ~rung ~cache_hit ~queue_ms ~compile_ms ~total_ms =
+  Mutex.lock t.lock;
+  Obs.Histogram.record t.queue_ms queue_ms;
+  Obs.Histogram.record t.compile_ms compile_ms;
+  Obs.Histogram.record t.total_ms total_ms;
+  Obs.Window.add t.w_results;
+  if cache_hit then Obs.Window.add t.w_hits;
+  (* Per-rung compile time only for code actually compiled on this
+     request: a cache hit's compile_ms is ~0 and would dilute the rung
+     it was originally produced by. *)
+  (match rung with
+  | Some r when not cache_hit ->
+      let h =
+        match Hashtbl.find_opt t.rungs r with
+        | Some h -> h
+        | None ->
+            let h = Obs.Histogram.make () in
+            Hashtbl.add t.rungs r h;
+            h
+      in
+      Obs.Histogram.record h compile_ms
+  | _ -> ());
+  Mutex.unlock t.lock
+
+let window_json_locked t over_s =
+  let results = Obs.Window.total ~over_s t.w_results in
+  let hits = Obs.Window.total ~over_s t.w_hits in
+  let ratio =
+    if results = 0 then 0.0 else float_of_int hits /. float_of_int results
+  in
+  Obs.Json.Obj
+    [
+      ("requests_per_s", Obs.Json.Num (Obs.Window.rate ~over_s t.w_admitted));
+      ("overloads_per_s", Obs.Json.Num (Obs.Window.rate ~over_s t.w_shed));
+      ("results_per_s", Obs.Json.Num (Obs.Window.rate ~over_s t.w_results));
+      ("cache_hit_ratio", Obs.Json.Num ratio);
+    ]
+
+let metrics_json t =
+  Mutex.lock t.lock;
+  let now = t.clock () in
+  let counters =
+    Obs.Json.Obj
+      (List.map
+         (fun (n, v) -> (n, Obs.Json.Num (float_of_int v)))
+         (snapshot_locked t))
+  in
+  let rungs =
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.rungs []
+    |> List.sort compare
+    |> List.map (fun (name, h) -> (name, Obs.Histogram.summary_json h))
+  in
+  let windows =
+    List.map
+      (fun over_s ->
+        (Printf.sprintf "%.0fs" over_s, window_json_locked t over_s))
+      lookbacks_s
+  in
+  let j =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str schema);
+        ("uptime_s", Obs.Json.Num (now -. t.started));
+        ("counters", counters);
+        ( "latency",
+          Obs.Json.Obj
+            [
+              ("queue_ms", Obs.Histogram.summary_json t.queue_ms);
+              ("compile_ms", Obs.Histogram.summary_json t.compile_ms);
+              ("total_ms", Obs.Histogram.summary_json t.total_ms);
+            ] );
+        ("rungs", Obs.Json.Obj rungs);
+        ("windows", Obs.Json.Obj windows);
+      ]
+  in
+  Mutex.unlock t.lock;
+  j

@@ -1,16 +1,26 @@
-(** Thread-safe counter cells for the service.
+(** Thread-safe counters, latency histograms and rolling windows.
 
     {!Obs.Trace.t} is deliberately single-threaded (one context per
     compilation), so the daemon cannot bump a shared trace from its
     connection threads and worker domains. This is the concurrent
-    complement: a mutex-guarded table of {!Obs.Counter.t} cells that any
-    thread or domain may bump, and into which each request's private
-    trace is folded when the request completes — the same counter
-    catalog, observable live through the wire protocol's [stats] op. *)
+    complement: one mutex guarding a table of {!Obs.Counter.t} cells,
+    {!Obs.Histogram.t}s for queue/compile/total latency (plus one per
+    ladder rung), and {!Obs.Window.t} rings for rolling request,
+    overload and result rates. Counters remain observable through the
+    wire protocol's [stats] op exactly as before; the distributions ride
+    only in the additive [metrics] op, so a daemon that is never asked
+    for metrics emits byte-identical frames. *)
 
 type t
 
-val make : unit -> t
+val schema : string
+(** ["rbp-metrics/1"], the [metrics_json] envelope marker. *)
+
+val make : ?clock:(unit -> float) -> unit -> t
+(** The clock feeds the rolling windows and the uptime field; it
+    defaults to a frozen zero so pure counter users need no time
+    source. *)
+
 val bump : t -> Obs.Counter.t -> int -> unit
 val get : t -> Obs.Counter.t -> int
 
@@ -20,3 +30,33 @@ val absorb : t -> Obs.Trace.t -> unit
 
 val snapshot : t -> (string * int) list
 (** Every touched cell as [(name, value)], sorted by name. *)
+
+(** {2 Distributions}
+
+    Called from the server's reply paths so every admitted request —
+    success, structured failure, deadline timeout, quarantine — lands in
+    the histograms, and overloads land in their window. *)
+
+val note_admitted : t -> unit
+val note_shed : t -> unit
+
+val note_result :
+  t ->
+  rung:string option ->
+  cache_hit:bool ->
+  queue_ms:float ->
+  compile_ms:float ->
+  total_ms:float ->
+  unit
+(** Record one [Result] reply's timing. The per-rung compile histogram
+    is fed only when [rung] is present and the result was not served
+    from cache. *)
+
+val metrics_json : t -> Obs.Json.t
+(** The full [rbp-metrics/1] document: [schema], [uptime_s], the counter
+    snapshot, [latency.{queue_ms,compile_ms,total_ms}] and per-rung
+    summaries ([count]/[sum]/[p50]/[p90]/[p99]/[max] each), and
+    [windows.{10s,60s}] rolling rates ([requests_per_s],
+    [overloads_per_s], [results_per_s], [cache_hit_ratio]). Key order is
+    fixed and rungs are sorted, so a fake clock makes the whole document
+    byte-stable. *)

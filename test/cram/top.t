@@ -1,0 +1,58 @@
+The metrics surface end-to-end: the additive metrics op, rbp top's
+scrape modes, and rbp call's key=value output. Queue limit 0 again
+makes every counter (and thus every pinned line) deterministic.
+
+  $ rbp serve --listen unix:./d.sock -q 0 --allow-shutdown 2> serve.log &
+  $ SERVE_PID=$!
+
+rbp call --kv prints a reply as sorted key=value pairs:
+
+  $ rbp call unix:./d.sock --retry-for 10 --kv '{"op":"ping"}'
+  protocol=rbp-serve/1 status=pong
+
+  $ rbp call unix:./d.sock --kv --json '{"op":"ping"}'
+  rbp call: --kv and --json are mutually exclusive
+  [2]
+
+A well-formed compile is shed at the door; the structured overload
+reply flattens cleanly too:
+
+  $ rbp call unix:./d.sock --kv '{"op":"compile","id":"full","ir":"loop l depth 1 trip 10\nadd.f a, b, c\n"}'
+  depth=0 id=full retry_after_ms=25 status=overload
+
+The metrics op serves the rbp-metrics/1 document. Rates and uptime are
+wall-clock, so only the shape is pinned:
+
+  $ rbp top unix:./d.sock --once --json | grep -c '"schema":"rbp-metrics/1"'
+  1
+  $ rbp top unix:./d.sock --once --json | grep -c '"latency":{"queue_ms":'
+  1
+  $ rbp top unix:./d.sock --once --json | grep -c '"windows":{"10s":'
+  1
+
+The dashboard renders the latency table, the rolling-rate rows and the
+counter list from that same document:
+
+  $ rbp top unix:./d.sock --once | grep -E -c '^  (queue|compile|total|overloads/s) '
+  4
+  $ rbp top unix:./d.sock --once | grep -E -o 'serve\.shed'
+  serve.shed
+
+The Prometheus exposition pins counter samples byte-for-byte, and its
+families arrive sorted:
+
+  $ rbp top unix:./d.sock --once --prom | grep -E '^(# TYPE )?rbp_serve_shed_total'
+  # TYPE rbp_serve_shed_total counter
+  rbp_serve_shed_total 1
+  $ rbp top unix:./d.sock --once --prom | grep -c '^rbp_serve_overloads_per_second{window="10s"} '
+  1
+  $ rbp top unix:./d.sock --once --prom | grep '^# TYPE ' | awk '{ print $3 }' > families
+  $ sort families | diff - families
+
+  $ rbp top unix:./d.sock --once --json --prom
+  rbp top: --json and --prom are mutually exclusive
+  [2]
+
+  $ rbp call unix:./d.sock '{"op":"shutdown"}'
+  {"status":"bye"}
+  $ wait $SERVE_PID

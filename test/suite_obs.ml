@@ -459,6 +459,148 @@ let event_tests =
         check Alcotest.int "fresh context has no events" 0 (Obs.Trace.event_count t));
   ]
 
+let histogram_tests =
+  let exact = Alcotest.float 1e-9 in
+  [
+    case "empty-histogram-is-zero" (fun () ->
+        let h = Obs.Histogram.make () in
+        check Alcotest.bool "empty" true (Obs.Histogram.is_empty h);
+        check Alcotest.int "count" 0 (Obs.Histogram.count h);
+        check exact "p50" 0.0 (Obs.Histogram.p50 h);
+        check exact "max" 0.0 (Obs.Histogram.max_value h));
+    case "count-sum-min-max-are-exact" (fun () ->
+        let h = Obs.Histogram.make () in
+        List.iter (Obs.Histogram.record h) [ 3.0; 0.25; 120.0; 0.25; 7.5 ];
+        check Alcotest.int "count" 5 (Obs.Histogram.count h);
+        check exact "sum" 131.0 (Obs.Histogram.sum h);
+        check exact "mean" 26.2 (Obs.Histogram.mean h);
+        check exact "min" 0.25 (Obs.Histogram.min_value h);
+        check exact "max" 120.0 (Obs.Histogram.max_value h));
+    case "quantile-within-one-bucket-width" (fun () ->
+        let h = Obs.Histogram.make () in
+        let samples = List.init 1000 (fun i -> 0.1 +. (float_of_int i *. 0.37)) in
+        List.iter (Obs.Histogram.record h) samples;
+        let sorted = List.sort compare samples |> Array.of_list in
+        List.iter
+          (fun q ->
+            let true_v = sorted.(int_of_float (ceil (q *. 1000.0)) - 1) in
+            let est = Obs.Histogram.quantile h q in
+            let tol = Obs.Histogram.bucket_width true_v +. 1e-9 in
+            if Float.abs (est -. true_v) > tol then
+              Alcotest.failf "q%.2f: estimate %g vs true %g (tol %g)" q est true_v tol)
+          [ 0.5; 0.9; 0.99; 1.0 ]);
+    case "quantiles-clamped-to-observed-range" (fun () ->
+        let h = Obs.Histogram.make () in
+        Obs.Histogram.record h 5.0;
+        check exact "p50 of singleton" 5.0 (Obs.Histogram.quantile h 0.5);
+        check exact "p99 of singleton" 5.0 (Obs.Histogram.quantile h 0.99));
+    case "nan-and-negative-clamp-to-zero" (fun () ->
+        let h = Obs.Histogram.make () in
+        Obs.Histogram.record h Float.nan;
+        Obs.Histogram.record h (-3.0);
+        check Alcotest.int "both recorded" 2 (Obs.Histogram.count h);
+        check exact "sum" 0.0 (Obs.Histogram.sum h);
+        check exact "max" 0.0 (Obs.Histogram.max_value h));
+    case "summary-json-shape" (fun () ->
+        let h = Obs.Histogram.make () in
+        List.iter (Obs.Histogram.record h) [ 1.0; 2.0; 4.0 ];
+        let j = Obs.Histogram.summary_json h in
+        check Alcotest.(option int) "count" (Some 3)
+          (Option.bind (Obs.Json.member "count" j) Obs.Json.to_int);
+        List.iter
+          (fun k ->
+            check Alcotest.bool k true
+              (Option.bind (Obs.Json.member k j) Obs.Json.to_num <> None))
+          [ "sum"; "p50"; "p90"; "p99"; "max" ]);
+    (* The satellite property: merging two histograms answers quantiles
+       within one bucket width of one histogram fed every sample. *)
+    qcheck ~count:300 "merge-quantiles-within-one-bucket-width"
+      QCheck2.Gen.(
+        pair
+          (list_size (0 -- 60) (float_bound_exclusive 100000.0))
+          (list_size (0 -- 60) (float_bound_exclusive 100000.0)))
+      (fun (xs, ys) ->
+        let record l =
+          let h = Obs.Histogram.make () in
+          List.iter (Obs.Histogram.record h) l;
+          h
+        in
+        let merged = record xs in
+        Obs.Histogram.merge ~into:merged (record ys);
+        let whole = record (xs @ ys) in
+        Obs.Histogram.count merged = Obs.Histogram.count whole
+        && List.for_all
+             (fun q ->
+               let qm = Obs.Histogram.quantile merged q in
+               let qw = Obs.Histogram.quantile whole q in
+               Float.abs (qm -. qw) <= Obs.Histogram.bucket_width qw +. 1e-9)
+             [ 0.5; 0.9; 0.99 ]);
+  ]
+
+let window_tests =
+  let manual () =
+    let now = ref 0.0 in
+    let w = Obs.Window.make ~clock:(fun () -> !now) () in
+    (now, w)
+  in
+  [
+    case "rate-over-lookbacks" (fun () ->
+        let now, w = manual () in
+        now := 0.5;
+        Obs.Window.add ~n:5 w;
+        now := 5.0;
+        Obs.Window.add ~n:5 w;
+        check Alcotest.int "total 10s" 10 (Obs.Window.total ~over_s:10.0 w);
+        check (Alcotest.float 1e-9) "rate 10s" 1.0 (Obs.Window.rate ~over_s:10.0 w);
+        check (Alcotest.float 1e-9) "rate 60s" (10.0 /. 60.0)
+          (Obs.Window.rate ~over_s:60.0 w));
+    case "old-slices-expire" (fun () ->
+        let now, w = manual () in
+        now := 0.5;
+        Obs.Window.add ~n:5 w;
+        now := 5.0;
+        Obs.Window.add ~n:7 w;
+        now := 64.9;
+        (* 60-slice lookback from slice 64 covers slices 5..64: the
+           events at slice 0 are gone, those at slice 5 remain. *)
+        check Alcotest.int "total 60s" 7 (Obs.Window.total ~over_s:60.0 w);
+        check Alcotest.int "total 10s" 0 (Obs.Window.total ~over_s:10.0 w);
+        check Alcotest.int "lifetime" 12 (Obs.Window.lifetime_total w));
+    case "ring-cell-reuse-clears-stale-count" (fun () ->
+        let now, w = manual () in
+        Obs.Window.add ~n:3 w;
+        now := 60.2;
+        (* slice 60 lands on the same ring cell as slice 0 *)
+        Obs.Window.add ~n:1 w;
+        check Alcotest.int "only the new slice counts" 1
+          (Obs.Window.total ~over_s:60.0 w));
+    case "fake-clock-windows-are-byte-identical" (fun () ->
+        (* The satellite determinism check: the same op sequence under
+           the same fake clock renders the same bytes, run after run. *)
+        let run () =
+          let clock = Obs.Clock.fake ~start:0.0 ~step:0.25 () in
+          let w = Obs.Window.make ~clock () in
+          for i = 1 to 40 do
+            Obs.Window.add ~n:(1 + (i mod 3)) w
+          done;
+          Printf.sprintf "%s %s %s"
+            (Obs.Json.num_to_string (Obs.Window.rate ~over_s:10.0 w))
+            (Obs.Json.num_to_string (Obs.Window.rate ~over_s:60.0 w))
+            (string_of_int (Obs.Window.total ~over_s:10.0 w))
+        in
+        check Alcotest.string "byte-identical" (run ()) (run ()));
+    case "invalid-geometry-rejected" (fun () ->
+        let clock = Obs.Clock.frozen 0.0 in
+        check Alcotest.bool "zero slices" true
+          (match Obs.Window.make ~slices:0 ~clock () with
+          | exception Invalid_argument _ -> true
+          | _ -> false);
+        check Alcotest.bool "zero slice width" true
+          (match Obs.Window.make ~slice_s:0.0 ~clock () with
+          | exception Invalid_argument _ -> true
+          | _ -> false));
+  ]
+
 let suite =
   [
     ("obs.clock", clock_tests);
@@ -468,5 +610,7 @@ let suite =
     ("obs.json.properties", json_property_tests);
     ("obs.events", event_tests);
     ("obs.export", export_tests);
+    ("obs.histogram", histogram_tests);
+    ("obs.window", window_tests);
     ("obs.probes", probe_tests);
   ]

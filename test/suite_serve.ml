@@ -59,7 +59,7 @@ let proto_tests =
         in
         List.iter
           (fun r -> check Alcotest.bool "round-trips" true (request_roundtrip r = r))
-          [ compile; Proto.Ping; Proto.Stats; Proto.Shutdown ]);
+          [ compile; Proto.Ping; Proto.Stats; Proto.Metrics; Proto.Shutdown ]);
     case "replies-round-trip" (fun () ->
         List.iter
           (fun r -> check Alcotest.bool "round-trips" true (reply_roundtrip r = r))
@@ -77,6 +77,11 @@ let proto_tests =
             Proto.Bad_frame { detail = "frame is not JSON" };
             Proto.Pong;
             Proto.Stats_reply [ ("serve.admitted", 3); ("serve.completed", 2) ];
+            Proto.Metrics_reply
+              (Obs.Json.Obj
+                 [ ("schema", Obs.Json.Str "rbp-metrics/1");
+                   ("uptime_s", Obs.Json.Num 1.5);
+                   ("counters", Obs.Json.Obj [ ("serve.admitted", Obs.Json.Num 3.0) ]) ]);
             Proto.Bye;
           ]);
     case "statuses-follow-the-contract" (fun () ->
@@ -90,7 +95,9 @@ let proto_tests =
         check Alcotest.string "overload" "overload"
           (Proto.status_of_reply (Proto.Overload { id = ""; depth = 0; retry_after_ms = 25.0 }));
         check Alcotest.string "bad_frame" "bad_frame"
-          (Proto.status_of_reply (Proto.Bad_frame { detail = "" })));
+          (Proto.status_of_reply (Proto.Bad_frame { detail = "" }));
+        check Alcotest.string "metrics" "metrics"
+          (Proto.status_of_reply (Proto.Metrics_reply Obs.Json.Null)));
     case "structured-failures-carry-their-codes" (fun () ->
         check Alcotest.string "queue timeout is the ladder deadline code"
           Robust.Driver.deadline_code (Proto.queue_timeout_error ~id:"a").Verify.Stage_error.code;
@@ -267,6 +274,139 @@ let stats_tests =
         in
         List.iter Thread.join ts;
         check Alcotest.int "no lost updates" 4000 (Stats.get s Obs.Counter.Serve_completed));
+    case "metrics-document-shape" (fun () ->
+        let s = Stats.make ~clock:(Obs.Clock.frozen 2.0) () in
+        Stats.note_admitted s;
+        Stats.note_result s ~rung:(Some "greedy budget=10") ~cache_hit:false
+          ~queue_ms:1.0 ~compile_ms:20.0 ~total_ms:21.0;
+        Stats.note_result s ~rung:(Some "greedy budget=10") ~cache_hit:true
+          ~queue_ms:0.5 ~compile_ms:0.0 ~total_ms:0.5;
+        let j = Stats.metrics_json s in
+        check Alcotest.bool "schema marker" true
+          (Option.bind (Obs.Json.member "schema" j) Obs.Json.to_str = Some Stats.schema);
+        let m = Serve.Metrics.of_json j in
+        match m with
+        | Error e -> Alcotest.failf "own document rejected: %s" e
+        | Ok m ->
+            check Alcotest.int "both results in the total series" 2
+              m.Serve.Metrics.total.Serve.Metrics.count;
+            (match m.Serve.Metrics.rungs with
+            | [ (name, series) ] ->
+                check Alcotest.string "rung name" "greedy budget=10" name;
+                (* the cache hit must not dilute the rung's compile series *)
+                check Alcotest.int "cache hit skipped" 1 series.Serve.Metrics.count
+            | rungs -> Alcotest.failf "expected one rung, got %d" (List.length rungs)));
+    case "fake-clock-metrics-are-byte-identical" (fun () ->
+        let drive () =
+          let s = Stats.make ~clock:(Obs.Clock.fake ~start:100.0 ~step:0.125 ()) () in
+          Stats.bump s Obs.Counter.Serve_admitted 4;
+          Stats.note_shed s;
+          for i = 1 to 4 do
+            Stats.note_admitted s;
+            Stats.note_result s
+              ~rung:(if i mod 2 = 0 then Some "greedy budget=10" else Some "ilp")
+              ~cache_hit:(i = 4) ~queue_ms:(float_of_int i *. 0.25)
+              ~compile_ms:(float_of_int i *. 3.0)
+              ~total_ms:(float_of_int i *. 3.25)
+          done;
+          Obs.Json.to_string (Stats.metrics_json s)
+        in
+        check Alcotest.string "two identically-driven daemons agree byte-for-byte"
+          (drive ()) (drive ()));
+  ]
+
+(* --- client-side metrics: parse, dashboard, Prometheus --------------- *)
+
+(* A hand-built rbp-metrics/1 document, driven through a real [Stats] so
+   the producer and the consumer are tested against each other. *)
+let sample_metrics_doc () =
+  let s = Stats.make ~clock:(Obs.Clock.frozen 30.0) () in
+  Stats.bump s Obs.Counter.Serve_admitted 3;
+  Stats.bump s Obs.Counter.Serve_cache_hits 1;
+  Stats.note_admitted s;
+  Stats.note_admitted s;
+  Stats.note_admitted s;
+  Stats.note_result s ~rung:(Some "greedy budget=10") ~cache_hit:false ~queue_ms:2.0
+    ~compile_ms:40.0 ~total_ms:42.0;
+  Stats.note_result s ~rung:(Some "greedy budget=10") ~cache_hit:false ~queue_ms:4.0
+    ~compile_ms:80.0 ~total_ms:84.0;
+  Stats.note_result s ~rung:None ~cache_hit:true ~queue_ms:1.0 ~compile_ms:0.0
+    ~total_ms:1.0;
+  Stats.metrics_json s
+
+let metrics_tests =
+  [
+    case "documents-parse-to-typed-views" (fun () ->
+        match Metrics.of_json (sample_metrics_doc ()) with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok m ->
+            check Alcotest.int "three totals" 3 m.Metrics.total.Metrics.count;
+            check Alcotest.bool "frozen clock means zero uptime" true
+              (m.Metrics.uptime_s = 0.0);
+            check Alcotest.bool "p99 within observed range" true
+              (m.Metrics.compile.Metrics.p99 <= m.Metrics.compile.Metrics.max);
+            check Alcotest.bool "counters present" true
+              (List.assoc_opt "serve.admitted" m.Metrics.counters = Some 3);
+            check Alcotest.bool "both lookback windows" true
+              (List.mem_assoc "10s" m.Metrics.windows
+              && List.mem_assoc "60s" m.Metrics.windows);
+            let w = List.assoc "10s" m.Metrics.windows in
+            check Alcotest.bool "cache hit ratio is a fraction" true
+              (w.Metrics.cache_hit_ratio >= 0.0 && w.Metrics.cache_hit_ratio <= 1.0));
+    case "wrong-schema-is-rejected" (fun () ->
+        match Metrics.of_json (Obs.Json.Obj [ ("schema", Obs.Json.Str "nope/9") ]) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "foreign schema accepted");
+    case "dashboard-renders-every-section" (fun () ->
+        match Metrics.of_json (sample_metrics_doc ()) with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok m ->
+            let text = Metrics.render m in
+            let contains needle =
+              check Alcotest.bool (Printf.sprintf "mentions %S" needle) true
+                (let nl = String.length needle and tl = String.length text in
+                 let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+                 go 0)
+            in
+            List.iter contains
+              [ "queue"; "compile"; "total"; "greedy budget=10"; "10s"; "60s";
+                "serve.admitted" ]);
+    case "prometheus-exposition-is-stable-and-well-formed" (fun () ->
+        match Metrics.of_json (sample_metrics_doc ()) with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok m ->
+            let text = Metrics.prometheus m in
+            check Alcotest.string "byte-stable for a given document" text
+              (Metrics.prometheus m);
+            let lines = String.split_on_char '\n' text in
+            let names =
+              List.filter_map
+                (fun l ->
+                  match String.index_opt l ' ' with
+                  | Some _ when String.length l > 7 && String.sub l 0 7 = "# TYPE " ->
+                      let rest = String.sub l 7 (String.length l - 7) in
+                      Option.map (fun i -> String.sub rest 0 i) (String.index_opt rest ' ')
+                  | _ -> None)
+                lines
+            in
+            check Alcotest.bool "at least counters + summaries + gauges" true
+              (List.length names >= 5);
+            check Alcotest.(list string) "families sorted by metric name"
+              (List.sort compare names) names;
+            List.iter
+              (fun l ->
+                if l <> "" && l.[0] <> '#' then
+                  check Alcotest.bool (Printf.sprintf "sample line %S has a value" l) true
+                    (String.contains l ' '))
+              lines;
+            check Alcotest.bool "summary quantiles exposed" true
+              (List.exists
+                 (fun l ->
+                   let needle = "quantile=\"0.99\"" in
+                   let nl = String.length needle and ll = String.length l in
+                   let rec go i = i + nl <= ll && (String.sub l i nl = needle || go (i + 1)) in
+                   go 0)
+                 lines));
   ]
 
 (* --- end-to-end: a live daemon on a Unix socket ---------------------- *)
@@ -487,6 +627,58 @@ let daemon_tests =
             check Alcotest.int "bench carries the scored loops" 8
               bench.Core.Perfdiff.loops
         | Error e -> Alcotest.failf "perfdiff rejected the report: %s" e);
+    slow_case "daemon-serves-latency-metrics-over-the-wire" (fun () ->
+        let (), code =
+          with_daemon ~cache:true @@ fun addr ->
+          let c = connect_ok addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          (* before any compile the document exists but the series are empty *)
+          (match request_ok c Proto.Metrics with
+          | Proto.Metrics_reply j -> (
+              match Metrics.of_json j with
+              | Ok m -> check Alcotest.int "empty at boot" 0 m.Metrics.total.Metrics.count
+              | Error e -> Alcotest.failf "boot metrics: %s" e)
+          | reply -> Alcotest.failf "metrics got %s" (Proto.status_of_reply reply));
+          let loop = Workload.Kernels.daxpy ~unroll:2 in
+          ignore (expect_result "miss" (request_ok c (compile_req ~id:"m1" loop)));
+          ignore (expect_result "hit" (request_ok c (compile_req ~id:"m2" loop)));
+          ignore
+            (expect_result "bypass"
+               (request_ok c (compile_req ~id:"m3" ~no_cache:true loop)));
+          (match request_ok c Proto.Metrics with
+          | Proto.Metrics_reply j -> (
+              match Metrics.of_json j with
+              | Error e -> Alcotest.failf "metrics did not parse: %s" e
+              | Ok m ->
+                  check Alcotest.int "every admitted compile recorded" 3
+                    m.Metrics.total.Metrics.count;
+                  check Alcotest.int "queue series matches" 3
+                    m.Metrics.queue.Metrics.count;
+                  check Alcotest.bool "quantiles populated" true
+                    (m.Metrics.total.Metrics.p50 > 0.0
+                    && m.Metrics.total.Metrics.p99 >= m.Metrics.total.Metrics.p50
+                    && m.Metrics.total.Metrics.max >= m.Metrics.total.Metrics.p99);
+                  check Alcotest.bool "real compiles feed a rung series" true
+                    (List.exists (fun (_, s) -> s.Metrics.count > 0) m.Metrics.rungs);
+                  check Alcotest.bool "rolling window saw the burst" true
+                    (match List.assoc_opt "60s" m.Metrics.windows with
+                    | Some w -> w.Metrics.results_per_s > 0.0
+                    | None -> false))
+          | reply -> Alcotest.failf "metrics got %s" (Proto.status_of_reply reply));
+          (* the stats op is untouched by the new instrumentation: same
+             counter names, no distribution keys leaking in *)
+          match request_ok c Proto.Stats with
+          | Proto.Stats_reply counters ->
+              check Alcotest.bool "stats stays counters-only" true
+                (List.for_all
+                   (fun (name, _) ->
+                     List.exists
+                       (fun ctr -> Obs.Counter.name ctr = name)
+                       Obs.Counter.all)
+                   counters)
+          | reply -> Alcotest.failf "stats got %s" (Proto.status_of_reply reply)
+        in
+        check Alcotest.int "clean shutdown" 0 code);
   ]
 
 let suite =
@@ -495,5 +687,6 @@ let suite =
     ("serve.admission", admission_tests);
     ("serve.wire", wire_tests);
     ("serve.stats", stats_tests);
+    ("serve.metrics", metrics_tests);
     ("serve.daemon", daemon_tests);
   ]
