@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench bench-json bench-baseline perfdiff report check-report doc \
         clean quickstart experiment lint analyze stress trace serve-smoke bombard \
-        metrics-check
+        metrics-check logs-check
 
 all: build
 
@@ -113,6 +113,29 @@ metrics-check: build
 	./_build/default/bin/rbp.exe top unix:$(METRICS_SOCK) --once --prom \
 	  | sh tools/check_metrics.sh || status=1; \
 	kill -TERM $$serve_pid; wait $$serve_pid || status=1; \
+	exit $$status
+
+# The forensics smoke test: a --log-json debug daemon bombarded with
+# trace sampling, a mid-run flight scrape, a SIGTERM drain writing the
+# final flight dump, then the JSONL log validated line by line (fixed
+# key order, monotone timestamps, trace ids everywhere).
+LOGS_SOCK ?= /tmp/rbp-logs-check.sock
+LOGS_OUT ?= /tmp/rbp-logs-check
+logs-check: build
+	@rm -f $(LOGS_SOCK) $(LOGS_OUT).jsonl $(LOGS_OUT)-flight.json
+	./_build/default/bin/rbp.exe serve --listen unix:$(LOGS_SOCK) \
+	  --log-json --log-level debug --flight-out $(LOGS_OUT)-flight.json \
+	  2> $(LOGS_OUT).jsonl & \
+	serve_pid=$$!; \
+	./_build/default/bin/rbp.exe bombard unix:$(LOGS_SOCK) \
+	  --loops 10 --clients 4 --trace-sample 3 --check; \
+	status=$$?; \
+	./_build/default/bin/rbp.exe flight unix:$(LOGS_SOCK) --json > /dev/null \
+	  || status=1; \
+	kill -TERM $$serve_pid; wait $$serve_pid || status=1; \
+	sh tools/check_logs.sh $(LOGS_OUT).jsonl || status=1; \
+	test -s $(LOGS_OUT)-flight.json || { \
+	  echo "logs-check: no flight dump written" >&2; status=1; }; \
 	exit $$status
 
 # The full bombardment: the whole 211-loop suite against a live daemon

@@ -1386,15 +1386,37 @@ let faults_conv =
   in
   Arg.conv (parse, print)
 
+let log_level_conv =
+  let parse s =
+    match Obs.Log.level_of_name s with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown log level %S" s))
+  in
+  let print ppf l = Format.pp_print_string ppf (Obs.Log.level_name l) in
+  Arg.conv (parse, print)
+
 let serve_cmd =
   let run listen workers queue_limit deadline_ms max_retries cache_dir no_cache
-      idle_timeout max_frame faults allow_shutdown =
+      idle_timeout max_frame faults allow_shutdown log_level log_json flight_capacity
+      flight_anomalies span_cap flight_out deterministic =
     let addr = or_die (addr_of_string_arg listen) in
     let cache = cache_of ~no_cache ~cache_dir in
+    (* The deterministic daemon pins everything a transcript could see:
+       a frozen request clock (all timings 0; deadlines never fire), a
+       seed-0 trace-id stream and a fake-stepped logger clock. *)
+    let clock = if deterministic then Obs.Clock.frozen 0.0 else real_clock in
+    let logger =
+      let format = if log_json then Obs.Log.Jsonl else Obs.Log.Text in
+      let log_clock = if deterministic then Obs.Clock.fake () else real_clock in
+      Obs.Log.make ~level:log_level ~format ~clock:log_clock ()
+    in
+    let trace_seed = if deterministic then Some 0 else None in
     let cfg =
       Serve.Server.config ~workers ~queue_limit ?default_deadline_ms:deadline_ms
         ~max_retries ?cache ~idle_timeout_s:idle_timeout ~max_frame
-        ~faults_enabled:faults ~allow_shutdown ~clock:real_clock addr
+        ~faults_enabled:faults ~allow_shutdown ~clock ~logger ?trace_seed
+        ~flight_capacity ~flight_anomaly_capacity:flight_anomalies ~span_cap
+        ?flight_out addr
     in
     exit (Serve.Server.run cfg)
   in
@@ -1466,6 +1488,63 @@ let serve_cmd =
       & info [ "allow-shutdown" ]
           ~doc:"Honor the $(b,shutdown) op (otherwise it is a bad frame).")
   in
+  let log_level =
+    Arg.(
+      value
+      & opt log_level_conv Obs.Log.Info
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Log verbosity: $(b,debug), $(b,info), $(b,warn) or $(b,error). Per-request \
+             lines (admission, delivery, anomalies) are $(b,debug); lifecycle lines are \
+             $(b,info).")
+  in
+  let log_json =
+    Arg.(
+      value & flag
+      & info [ "log-json" ]
+          ~doc:
+            "Emit JSONL log lines ($(b,ts)/$(b,level)/$(b,msg)/$(b,trace_id) plus \
+             per-site fields) instead of the bare-message text format.")
+  in
+  let flight_capacity =
+    Arg.(
+      value
+      & opt int Serve.Flight.default_capacity
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:"Completed requests retained by the flight recorder.")
+  in
+  let flight_anomalies =
+    Arg.(
+      value
+      & opt int Serve.Flight.default_anomaly_capacity
+      & info [ "flight-anomalies" ] ~docv:"N"
+          ~doc:
+            "Anomalies (timeouts, quarantines, overload sheds) retained in the \
+             separate ring bursts cannot evict.")
+  in
+  let span_cap =
+    Arg.(
+      value
+      & opt int Serve.Flight.default_span_cap
+      & info [ "span-cap" ] ~docv:"N"
+          ~doc:"Spans retained per flight entry and returned per traced reply.")
+  in
+  let flight_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-out" ] ~docv:"FILE"
+          ~doc:"Write a final rbp-flight/1 dump to $(docv) during the shutdown drain.")
+  in
+  let deterministic =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Pin every observable timestamp and id: frozen request clock, fixed \
+             trace-id seed, fake-stepped logger clock. For pinned transcripts and \
+             tests.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1477,16 +1556,19 @@ let serve_cmd =
           drain. Exit codes: 0 clean shutdown, 1 listen failure")
     Term.(
       const run $ listen $ workers $ queue_limit $ deadline $ max_retries $ cache_dir_arg
-      $ no_cache_arg $ idle_timeout $ max_frame $ faults $ allow_shutdown)
+      $ no_cache_arg $ idle_timeout $ max_frame $ faults $ allow_shutdown $ log_level
+      $ log_json $ flight_capacity $ flight_anomalies $ span_cap $ flight_out
+      $ deterministic)
 
 let bombard_cmd =
   let run addr clients loops seed clusters model deadline_ms faults fault_rate retries
-      timeout check json_out quiet =
+      timeout check trace_sample json_out quiet =
     let addr = or_die (addr_of_string_arg addr) in
     let log = if quiet then ignore else prerr_endline in
     let cfg =
       Serve.Bombard.config ~clients ~loops ~seed ~clusters ~model ?deadline_ms ~faults
-        ~fault_rate ~max_retries:retries ~timeout_s:timeout ~check ~log addr
+        ~fault_rate ~max_retries:retries ~timeout_s:timeout ~check ~trace_sample ~log
+        addr
     in
     let r = Serve.Bombard.run cfg in
     print_string (Serve.Bombard.render r);
@@ -1549,6 +1631,15 @@ let bombard_cmd =
             "Recompute every served result through the local ladder and fail on any \
              ideal-II / clustered-II / copy-count / rung disagreement.")
   in
+  let trace_sample =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Request the full span tree on every $(docv)th scored compile (0 = never). \
+             Under $(b,--check) the returned tree must parse, echo the client's trace \
+             id, and agree with the reply's ladder rung.")
+  in
   let json_out =
     Arg.(
       value
@@ -1573,7 +1664,8 @@ let bombard_cmd =
           otherwise")
     Term.(
       const run $ addr_pos_arg $ clients $ loops $ seed_arg $ clusters_arg $ model_arg
-      $ deadline $ faults $ fault_rate $ retries $ timeout $ check $ json_out $ quiet)
+      $ deadline $ faults $ fault_rate $ retries $ timeout $ check $ trace_sample
+      $ json_out $ quiet)
 
 let top_cmd =
   let run addr interval once json prom retry_for timeout =
@@ -1669,6 +1761,78 @@ let top_cmd =
           scriptable scrape mode. Exit codes: 0 clean; 1 connection or protocol \
           failure")
     Term.(const run $ addr_pos_arg $ interval $ once $ json $ prom $ retry_for $ timeout)
+
+let flight_cmd =
+  let run addr id anomalies json retry_for timeout =
+    let addr = or_die (addr_of_string_arg addr) in
+    let doc =
+      match Serve.Client.connect ~retry_for addr with
+      | Error e -> Error e
+      | Ok c ->
+          let r =
+            match
+              Serve.Client.request ~timeout_s:timeout c
+                (Serve.Proto.Flight { id; anomalies })
+            with
+            | Ok (Serve.Proto.Flight_reply f) -> Ok f
+            | Ok reply ->
+                Error
+                  (Printf.sprintf "unexpected %S reply to the flight request"
+                     (Serve.Proto.status_of_reply reply))
+            | Error e -> Error e
+          in
+          Serve.Client.close c;
+          r
+    in
+    let shown =
+      Result.bind doc (fun f ->
+          if json then Ok (print_endline (Obs.Json.to_string f))
+          else Result.map print_string (Serve.Flight.render f))
+    in
+    match shown with
+    | Ok () -> ()
+    | Error e ->
+        prerr_endline ("rbp flight: " ^ e);
+        exit 1
+  in
+  let id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"TRACE_ID"
+          ~doc:"Filter both rings down to the entries carrying $(docv).")
+  in
+  let anomalies =
+    Arg.(
+      value & flag
+      & info [ "anomalies" ]
+          ~doc:
+            "Dump only the anomaly ring (timeouts, quarantines, overload sheds) — the \
+             entries a burst of healthy traffic cannot evict.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the raw rbp-flight/1 document instead of the tables.")
+  in
+  let retry_for =
+    Arg.(
+      value & opt float 5.0
+      & info [ "retry-for" ] ~docv:"S"
+          ~doc:"Keep retrying a refused connection for $(docv) seconds.")
+  in
+  let timeout =
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"S" ~doc:"Wait per reply.")
+  in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:
+         "Dump a running daemon's flight recorder: the last completed compile requests \
+          (trace id, outcome, rung, latencies, attempt trace, truncated span tree) and \
+          the separately-retained anomaly ring, through the $(b,flight) op. \
+          $(b,--id) narrows to one request's journey; $(b,--anomalies) is the \
+          post-mortem view. Exit codes: 0 clean; 1 connection or protocol failure")
+    Term.(const run $ addr_pos_arg $ id $ anomalies $ json $ retry_for $ timeout)
 
 (* A reply line as sorted key=value pairs: stable for scripts that would
    otherwise parse labeled JSON by position. Nested values stay JSON. *)
@@ -1790,6 +1954,6 @@ let main =
       schedule_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd; analyze_cmd;
       stress_cmd;
       sim_cmd; experiment_cmd; csv_cmd; cache_cmd; serve_cmd; bombard_cmd; call_cmd;
-      top_cmd ]
+      top_cmd; flight_cmd ]
 
 let () = exit (Cmd.eval main)

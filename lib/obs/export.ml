@@ -85,6 +85,99 @@ let jsonl t =
     (Trace.gauges t);
   Buffer.contents b
 
+(* The span-tree codec: one JSON object per span, children nested, so
+   a reply or flight-recorder entry can carry a whole (possibly
+   truncated) tree and a client can reconstruct it span-for-span. *)
+let rec span_to_json (s : Trace.span) =
+  Json.Obj
+    (List.concat
+       [
+         [
+           ("name", Json.Str s.Trace.name);
+           ("start", Json.Num s.Trace.start);
+           ("dur", Json.Num (Trace.duration s));
+           ("attrs", span_attrs_json s.Trace.attrs);
+         ];
+         (match s.Trace.children with
+         | [] -> []
+         | kids -> [ ("children", Json.List (List.map span_to_json kids)) ]);
+       ])
+
+let rec span_of_json j =
+  let ( let* ) = Result.bind in
+  let req name conv =
+    match Option.bind (Json.member name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "span lacks a usable %S field" name)
+  in
+  let* name = req "name" Json.to_str in
+  let* start = req "start" Json.to_num in
+  let* dur = req "dur" Json.to_num in
+  let attrs =
+    match Json.member "attrs" j with
+    | Some (Json.Obj kvs) ->
+        List.filter_map (fun (k, v) -> Option.map (fun v -> (k, v)) (Json.to_str v)) kvs
+    | _ -> []
+  in
+  let* children =
+    match Json.member "children" j with
+    | None -> Ok []
+    | Some (Json.List kids) ->
+        List.fold_left
+          (fun acc k ->
+            let* acc = acc in
+            let* s = span_of_json k in
+            Ok (s :: acc))
+          (Ok []) kids
+        |> Result.map List.rev
+    | Some _ -> Error "span \"children\" is not a list"
+  in
+  Ok { Trace.name; start; attrs; stop = start +. dur; children }
+
+let trace_json ?(span_cap = 128) t =
+  (* Pre-order budget: once [span_cap] spans have been emitted the rest
+     of the forest is dropped and the document says so — a pathological
+     ladder run cannot blow up a reply frame or the flight ring. *)
+  let budget = ref (max 0 span_cap) in
+  let truncated = ref false in
+  let rec conv (s : Trace.span) =
+    if !budget <= 0 then begin
+      truncated := true;
+      None
+    end
+    else begin
+      decr budget;
+      let children = List.filter_map conv s.Trace.children in
+      Some
+        (Json.Obj
+           (List.concat
+              [
+                [
+                  ("name", Json.Str s.Trace.name);
+                  ("start", Json.Num s.Trace.start);
+                  ("dur", Json.Num (Trace.duration s));
+                  ("attrs", span_attrs_json s.Trace.attrs);
+                ];
+                (match children with
+                | [] -> []
+                | kids -> [ ("children", Json.List kids) ]);
+              ]))
+    end
+  in
+  let spans = List.filter_map conv (Trace.roots t) in
+  Json.Obj [ ("spans", Json.List spans); ("truncated", Json.Bool !truncated) ]
+
+let trace_spans_of_json j =
+  match Json.member "spans" j with
+  | Some (Json.List spans) ->
+      List.fold_left
+        (fun acc s ->
+          Result.bind acc (fun acc ->
+              Result.map (fun s -> s :: acc) (span_of_json s)))
+        (Ok []) spans
+      |> Result.map List.rev
+  | _ -> Error "trace document lacks a \"spans\" list"
+
 let parse_jsonl s =
   let lines =
     List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)

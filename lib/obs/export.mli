@@ -19,6 +19,28 @@ val jsonl : Trace.t -> string
 val parse_jsonl : string -> (Json.t list, string) result
 (** Parse each non-empty line; the round-trip contract for {!jsonl}. *)
 
+(** {2 Span-tree codec}
+
+    Whole (sub)trees as nested JSON — what a traced compile reply and
+    the flight recorder carry. Each span is
+    [{"name","start","dur","attrs",…"children"}] (the [children] key is
+    omitted when empty); {!span_of_json} reconstructs an equal
+    {!Trace.span}. *)
+
+val span_to_json : Trace.span -> Json.t
+
+val span_of_json : Json.t -> (Trace.span, string) result
+
+val trace_json : ?span_cap:int -> Trace.t -> Json.t
+(** The context's completed roots as
+    [{"spans":[…],"truncated":bool}]. Emission stops after [span_cap]
+    spans in pre-order (default 128) and sets [truncated] — the bound
+    that keeps reply frames and flight-ring entries small no matter how
+    deep a ladder run span'd. *)
+
+val trace_spans_of_json : Json.t -> (Trace.span list, string) result
+(** Parse a {!trace_json} document back into its root spans. *)
+
 val chrome : Trace.t -> string
 
 val prometheus :

@@ -1,0 +1,63 @@
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_name = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type format = Text | Jsonl
+
+type t = {
+  level : level;
+  format : format;
+  clock : Clock.t;
+  sink : string -> unit;
+  lock : Mutex.t;
+}
+
+let make ?(level = Info) ?(format = Text) ?(clock = fun () -> 0.0)
+    ?(sink = prerr_endline) () =
+  { level; format; clock; sink; lock = Mutex.create () }
+
+let null = make ~level:Error ~sink:ignore ()
+
+let enabled t lvl = severity lvl >= severity t.level
+
+let log t lvl ?(trace_id = Trace_id.placeholder) ?(fields = []) msg =
+  if enabled t lvl then begin
+    Mutex.lock t.lock;
+    (* The clock is read under the lock, after the level check: lines
+       from concurrent threads get non-decreasing timestamps and
+       filtered lines consume no ticks. *)
+    let line =
+      match t.format with
+      | Text -> msg
+      | Jsonl ->
+          Json.to_string
+            (Json.Obj
+               ([
+                  ("ts", Json.Num (t.clock ()));
+                  ("level", Json.Str (level_name lvl));
+                  ("msg", Json.Str msg);
+                  ("trace_id", Json.Str trace_id);
+                ]
+               @ fields))
+    in
+    t.sink line;
+    Mutex.unlock t.lock
+  end
+
+let debug t ?trace_id ?fields msg = log t Debug ?trace_id ?fields msg
+let info t ?trace_id ?fields msg = log t Info ?trace_id ?fields msg
+let warn t ?trace_id ?fields msg = log t Warn ?trace_id ?fields msg
+let error t ?trace_id ?fields msg = log t Error ?trace_id ?fields msg

@@ -1,0 +1,49 @@
+(** Leveled structured logging with per-line trace correlation.
+
+    The daemon's operational narrative in one of two renderings:
+
+    - [Text]: the bare message, one per line — byte-identical to the
+      ad-hoc [prerr_endline] calls it replaces, so existing pinned
+      transcripts keep matching at the default level;
+    - [Jsonl]: one JSON object per line with a fixed key order —
+      [{"ts":…,"level":…,"msg":…,"trace_id":…}] plus any extra fields
+      in the order given — parseable by [tools/check_logs.sh] and
+      greppable by trace id.
+
+    The clock and the sink are injectable ({!Clock.fake} plus a buffer
+    sink make output byte-deterministic in tests); the sink is called
+    under a mutex so connection threads and worker domains can share
+    one logger. Level filtering happens before the clock is read, so
+    suppressed lines consume no ticks — a [--log-level info] daemon
+    emits the same timestamps whether or not debug sites exist. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_name : string -> level option
+
+type format = Text | Jsonl
+
+type t
+
+val make : ?level:level -> ?format:format -> ?clock:Clock.t -> ?sink:(string -> unit) -> unit -> t
+(** Defaults: [Info] level, [Text] format, a frozen zero clock
+    (binaries pass a real one — [lib/obs] links no [unix]), sink
+    [prerr_endline]. *)
+
+val null : t
+(** Drops everything; the test daemons' quiet default. *)
+
+val enabled : t -> level -> bool
+
+val log :
+  t -> level -> ?trace_id:string -> ?fields:(string * Json.t) list -> string -> unit
+(** One line. [trace_id] defaults to {!Trace_id.placeholder}; [fields]
+    are appended after the fixed keys in [Jsonl] (ignored in [Text]). *)
+
+val debug : t -> ?trace_id:string -> ?fields:(string * Json.t) list -> string -> unit
+val info : t -> ?trace_id:string -> ?fields:(string * Json.t) list -> string -> unit
+val warn : t -> ?trace_id:string -> ?fields:(string * Json.t) list -> string -> unit
+val error : t -> ?trace_id:string -> ?fields:(string * Json.t) list -> string -> unit

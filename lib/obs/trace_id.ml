@@ -1,0 +1,40 @@
+type t = string
+
+let placeholder = "-"
+
+let is_valid s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+(* splitmix64, the same stream construction as Util.Prng (obs cannot
+   depend on util — it sits below everything). *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+type gen = { lock : Mutex.t; mutable state : int64 }
+
+let gen ~seed = { lock = Mutex.create (); state = Int64.of_int seed }
+
+let hex16 v =
+  let digit n =
+    let d = Int64.to_int (Int64.logand (Int64.shift_right_logical v n) 0xFL) in
+    if d < 10 then Char.chr (Char.code '0' + d) else Char.chr (Char.code 'a' + d - 10)
+  in
+  String.init 16 (fun i -> digit ((15 - i) * 4))
+
+let next g =
+  Mutex.lock g.lock;
+  g.state <- Int64.add g.state golden_gamma;
+  let v = mix g.state in
+  Mutex.unlock g.lock;
+  hex16 v

@@ -1,0 +1,34 @@
+(** Trace identities: 16-hex-digit request correlators.
+
+    A trace id names one request's journey through the service —
+    admission, queueing, the ladder, delivery — and appears in the
+    reply, the flight recorder and every structured log line touching
+    that request, so a single grep reconstructs the whole story.
+
+    Ids are drawn from a splitmix64 stream (the same generator
+    {!Util.Prng} uses elsewhere): cheap, collision-resistant for any
+    realistic retention window, and — crucially for the pinned cram
+    transcripts — fully deterministic for a given seed. The daemon
+    seeds from its clock in production and from a fixed seed under
+    [--deterministic]. *)
+
+type t = string
+(** Exactly 16 lowercase hex digits, e.g. ["e220a8397b1dcdaf"]. *)
+
+val is_valid : string -> bool
+(** Accepts client-supplied correlators: 1–64 characters drawn from
+    [a-z A-Z 0-9 . _ -]. Anything else is replaced by a
+    server-generated id rather than propagated into logs. *)
+
+val placeholder : t
+(** ["-"] — the trace id of lines that concern no particular request
+    (listen failures, lifecycle messages). Valid by {!is_valid}. *)
+
+type gen
+(** A mutex-guarded generator; safe to share across connection
+    threads. *)
+
+val gen : seed:int -> gen
+(** Equal seeds yield equal id sequences. *)
+
+val next : gen -> t

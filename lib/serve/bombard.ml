@@ -11,15 +11,17 @@ type config = {
   max_retries : int;
   timeout_s : float;
   check : bool;
+  trace_sample : int;
   log : string -> unit;
 }
 
 let config ?(clients = 4) ?(loops = 0) ?(seed = 1995) ?(clusters = 4)
     ?(model = Mach.Machine.Embedded) ?deadline_ms ?(faults = []) ?(fault_rate = 1.0)
-    ?(max_retries = 8) ?(timeout_s = 120.0) ?(check = false) ?(log = ignore) addr =
+    ?(max_retries = 8) ?(timeout_s = 120.0) ?(check = false) ?(trace_sample = 0)
+    ?(log = ignore) addr =
   {
     addr; clients; loops; seed; clusters; model; deadline_ms; faults; fault_rate;
-    max_retries; timeout_s; check; log;
+    max_retries; timeout_s; check; trace_sample; log;
   }
 
 type probe = {
@@ -34,6 +36,7 @@ type probe = {
   metrics : Core.Metrics.loop_metrics option;
   protocol_errors : string list;
   mismatch : string option;
+  traced : bool;
 }
 
 type latency_series = {
@@ -58,6 +61,7 @@ type report = {
   sheds : int;
   retries : int;
   cache_hits : int;
+  traced : int;
   faults_fired : (string * int) list;
   p50_ms : float;
   p95_ms : float;
@@ -114,7 +118,7 @@ let roundtrip st line =
   in
   match once () with Ok r -> Ok r | Error _ -> once ()
 
-let compile_request st ~id ?deadline_ms ?fault loop =
+let compile_request st ~id ?deadline_ms ?fault ?trace_id ?(trace = false) loop =
   Proto.Compile
     {
       Proto.id;
@@ -124,6 +128,8 @@ let compile_request st ~id ?deadline_ms ?fault loop =
       deadline_ms;
       no_cache = false;
       fault;
+      trace_id;
+      trace;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -217,9 +223,46 @@ let local_check st loop (m : Core.Metrics.loop_metrics) rung =
       if problems = [] then None
       else Some (Printf.sprintf "%s: %s" (Ir.Loop.name loop) (String.concat "; " problems))
 
+(* Validate a traced reply: the client-supplied trace id must be
+   echoed, the span tree must parse, and — when the ladder actually ran
+   — the last [ladder.rung] span's [rung] attribute must name the same
+   rung the reply claims. Cache hits carry no ladder spans; that is not
+   a failure. *)
+let check_trace ~id ~sent_trace_id (r : Proto.result_reply) errors =
+  let fail fmt = Printf.ksprintf (fun m -> errors := Printf.sprintf "%s: %s" id m :: !errors) fmt in
+  (match r.Proto.trace_id with
+  | Some got when got = sent_trace_id -> ()
+  | Some got -> fail "trace id %S echoed as %S" sent_trace_id got
+  | None -> fail "traced reply carries no trace_id");
+  match r.Proto.trace with
+  | None -> fail "traced reply carries no span tree"
+  | Some tj -> (
+      match Obs.Export.trace_spans_of_json tj with
+      | Error e -> fail "span tree does not parse: %s" e
+      | Ok roots -> (
+          let rec rungs (s : Obs.Trace.span) =
+            (if s.Obs.Trace.name = "ladder.rung" then
+               List.filter_map
+                 (fun (k, v) -> if k = "rung" then Some v else None)
+                 s.Obs.Trace.attrs
+             else [])
+            @ List.concat_map rungs s.Obs.Trace.children
+          in
+          let seen = List.concat_map rungs roots in
+          match (List.rev seen, r.Proto.rung) with
+          | last :: _, Some claimed when last <> claimed ->
+              fail "trace says rung %S but the reply claims %S" last claimed
+          | _ -> ()))
+
 let scored_request st prng ~index loop ~faults_fired ~errors =
   let id = Printf.sprintf "loop-%d" index in
-  let req = compile_request st ~id ?deadline_ms:st.cfg.deadline_ms loop in
+  let want_trace = st.cfg.trace_sample > 0 && index mod st.cfg.trace_sample = 0 in
+  let trace_id = Printf.sprintf "bombard-%d-%d" st.cfg.seed index in
+  let req =
+    compile_request st ~id ?deadline_ms:st.cfg.deadline_ms
+      ?trace_id:(if want_trace then Some trace_id else None)
+      ~trace:want_trace loop
+  in
   let line = Proto.request_to_string req in
   let t0 = Unix.gettimeofday () in
   let retries = ref 0 and sheds = ref 0 in
@@ -236,6 +279,7 @@ let scored_request st prng ~index loop ~faults_fired ~errors =
       metrics;
       protocol_errors = List.rev !errors;
       mismatch;
+      traced = want_trace;
     }
   in
   let rec attempt n =
@@ -270,6 +314,8 @@ let scored_request st prng ~index loop ~faults_fired ~errors =
         let status = Proto.status_of_reply (Proto.Result r) in
         let cache = Proto.cache_status_name r.Proto.cache in
         let metrics = match r.Proto.outcome with Ok m -> Some m | Error _ -> None in
+        if want_trace && st.cfg.check then
+          check_trace ~id ~sent_trace_id:trace_id r errors;
         let mismatch =
           match (st.cfg.check, metrics) with
           | true, Some m -> local_check st loop m r.Proto.rung
@@ -396,6 +442,7 @@ let run (cfg : config) =
     sheds = List.fold_left (fun a (p : probe) -> a + p.sheds) 0 probes;
     retries = List.fold_left (fun a (p : probe) -> a + p.retries) 0 probes;
     cache_hits = count (fun (p : probe) -> p.cache = "hit");
+    traced = count (fun (p : probe) -> p.traced);
     faults_fired = fault_counts;
     p50_ms = ok_series.p50_ms;
     p95_ms = ok_series.p95_ms;
@@ -460,6 +507,7 @@ let to_json r =
             ("mismatches", int_num (List.length r.mismatches));
             ("sheds", int_num r.sheds);
             ("retries", int_num r.retries);
+            ("traced", int_num r.traced);
             ( "cache_hit_rate",
               num
                 (if r.total = 0 then 0.0
@@ -493,6 +541,7 @@ let render r =
   line "  answered    ok %d / error %d / timeout %d / unanswered %d" r.ok r.errors
     r.timeouts r.unanswered;
   line "  resilience  sheds %d, retries %d, cache hits %d" r.sheds r.retries r.cache_hits;
+  if r.traced > 0 then line "  traced      %d requests carried span trees" r.traced;
   if r.faults_fired <> [] then
     line "  faults      %s"
       (String.concat ", "

@@ -26,6 +26,10 @@ type config = {
   max_retries : int;       (** scored-request overload/reconnect budget *)
   timeout_s : float;       (** client-side reply timeout *)
   check : bool;            (** recompute locally and compare metrics *)
+  trace_sample : int;
+      (** request the span tree on every Nth scored compile (0 = never);
+          under [check] the tree must parse, echo the client's trace id,
+          and agree with the reply's rung *)
   log : string -> unit;
 }
 
@@ -41,12 +45,13 @@ val config :
   ?max_retries:int ->
   ?timeout_s:float ->
   ?check:bool ->
+  ?trace_sample:int ->
   ?log:(string -> unit) ->
   Wire.addr ->
   config
 (** Defaults: 4 clients, whole suite, seed 1995, 4 clusters, embedded
     copies, no deadline, no faults, rate 1.0, 8 retries, 120 s timeout,
-    no checking, silent. *)
+    no checking, no trace sampling, silent. *)
 
 type latency_series = {
   count : int;
@@ -70,6 +75,7 @@ type report = {
   sheds : int;
   retries : int;
   cache_hits : int;
+  traced : int;            (** scored requests that asked for a span tree *)
   faults_fired : (string * int) list;
   p50_ms : float;  (** clean ok round-trips only (no sheds absorbed) … *)
   p95_ms : float;

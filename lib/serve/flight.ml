@@ -1,0 +1,277 @@
+type entry = {
+  trace_id : string;
+  id : string;
+  status : string;
+  anomaly : string option;
+  rung : string option;
+  cache : string;
+  queue_ms : float;
+  compile_ms : float;
+  total_ms : float;
+  attempts : string list;
+  trace : Obs.Json.t option;
+  ts : float;
+}
+
+(* A fixed ring: [next] is the slot the next entry lands in, so once
+   full the oldest entry is exactly the one overwritten. *)
+type ring = { slots : entry option array; mutable next : int; mutable count : int }
+
+let ring_make capacity = { slots = Array.make (max 1 capacity) None; next = 0; count = 0 }
+
+let ring_push r e =
+  r.slots.(r.next) <- Some e;
+  r.next <- (r.next + 1) mod Array.length r.slots;
+  r.count <- min (r.count + 1) (Array.length r.slots)
+
+(* Oldest first. *)
+let ring_list r =
+  let n = Array.length r.slots in
+  let start = (r.next - r.count + n * 2) mod n in
+  List.init r.count (fun i -> r.slots.((start + i) mod n))
+  |> List.filter_map Fun.id
+
+type t = {
+  lock : Mutex.t;
+  requests : ring;
+  anomalies : ring;
+  span_cap : int;
+  clock : unit -> float;
+}
+
+let default_capacity = 256
+let default_anomaly_capacity = 64
+let default_span_cap = 64
+
+let make ?(capacity = default_capacity) ?(anomaly_capacity = default_anomaly_capacity)
+    ?(span_cap = default_span_cap) ~clock () =
+  {
+    lock = Mutex.create ();
+    requests = ring_make capacity;
+    anomalies = ring_make anomaly_capacity;
+    span_cap = max 1 span_cap;
+    clock;
+  }
+
+let span_cap t = t.span_cap
+let clock t = t.clock
+
+let record t e =
+  Mutex.lock t.lock;
+  if e.status <> "overload" then ring_push t.requests e;
+  (match e.anomaly with Some _ -> ring_push t.anomalies e | None -> ());
+  Mutex.unlock t.lock
+
+let requests t =
+  Mutex.lock t.lock;
+  let l = ring_list t.requests in
+  Mutex.unlock t.lock;
+  l
+
+let anomalies t =
+  Mutex.lock t.lock;
+  let l = ring_list t.anomalies in
+  Mutex.unlock t.lock;
+  l
+
+let find t trace_id =
+  Mutex.lock t.lock;
+  let pick l =
+    List.fold_left
+      (fun acc e -> if e.trace_id = trace_id then Some e else acc)
+      None l
+  in
+  let r =
+    match pick (ring_list t.anomalies) with
+    | Some _ as hit -> hit
+    | None -> pick (ring_list t.requests)
+  in
+  Mutex.unlock t.lock;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Entry constructors shared by the worker and the server              *)
+
+let anomaly_of_result (r : Proto.result_reply) =
+  match Proto.status_of_reply (Proto.Result r) with
+  | "timeout" -> Some "timeout"
+  | "error" -> (
+      match r.Proto.outcome with
+      | Error e when e.Verify.Stage_error.code = Proto.code_quarantined ->
+          Some "quarantine"
+      | _ -> None)
+  | _ -> None
+
+let of_result ?trace ~ts (r : Proto.result_reply) =
+  {
+    trace_id = Option.value ~default:Obs.Trace_id.placeholder r.Proto.trace_id;
+    id = r.Proto.id;
+    status = Proto.status_of_reply (Proto.Result r);
+    anomaly = anomaly_of_result r;
+    rung = r.Proto.rung;
+    cache = Proto.cache_status_name r.Proto.cache;
+    queue_ms = r.Proto.timing.Proto.queue_ms;
+    compile_ms = r.Proto.timing.Proto.compile_ms;
+    total_ms = r.Proto.timing.Proto.total_ms;
+    attempts = r.Proto.attempts;
+    trace;
+    ts;
+  }
+
+let shed ~trace_id ~id ~ts =
+  {
+    trace_id;
+    id;
+    status = "overload";
+    anomaly = Some "overload";
+    rung = None;
+    cache = "bypass";
+    queue_ms = 0.0;
+    compile_ms = 0.0;
+    total_ms = 0.0;
+    attempts = [];
+    trace = None;
+    ts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The rbp-flight/1 document                                           *)
+
+let schema = "rbp-flight/1"
+
+let str s = Obs.Json.Str s
+let num x = Obs.Json.Num x
+
+let entry_to_json e =
+  Obs.Json.Obj
+    (List.concat
+       [
+         [
+           ("trace_id", str e.trace_id);
+           ("id", str e.id);
+           ("status", str e.status);
+         ];
+         (match e.anomaly with None -> [] | Some a -> [ ("anomaly", str a) ]);
+         (match e.rung with None -> [] | Some r -> [ ("rung", str r) ]);
+         [
+           ("cache", str e.cache);
+           ("queue_ms", num e.queue_ms);
+           ("compile_ms", num e.compile_ms);
+           ("total_ms", num e.total_ms);
+           ("attempts", Obs.Json.List (List.map str e.attempts));
+         ];
+         (match e.trace with None -> [] | Some t -> [ ("trace", t) ]);
+         [ ("ts", num e.ts) ];
+       ])
+
+let entry_of_json j =
+  let field name conv = Option.bind (Obs.Json.member name j) conv in
+  match (field "trace_id" Obs.Json.to_str, field "id" Obs.Json.to_str,
+         field "status" Obs.Json.to_str)
+  with
+  | Some trace_id, Some id, Some status ->
+      Ok
+        {
+          trace_id;
+          id;
+          status;
+          anomaly = field "anomaly" Obs.Json.to_str;
+          rung = field "rung" Obs.Json.to_str;
+          cache = Option.value ~default:"bypass" (field "cache" Obs.Json.to_str);
+          queue_ms = Option.value ~default:0.0 (field "queue_ms" Obs.Json.to_num);
+          compile_ms = Option.value ~default:0.0 (field "compile_ms" Obs.Json.to_num);
+          total_ms = Option.value ~default:0.0 (field "total_ms" Obs.Json.to_num);
+          attempts =
+            (match field "attempts" Obs.Json.to_list with
+            | Some l -> List.filter_map Obs.Json.to_str l
+            | None -> []);
+          trace = Obs.Json.member "trace" j;
+          ts = Option.value ~default:0.0 (field "ts" Obs.Json.to_num);
+        }
+  | _ -> Error "flight entry lacks trace_id/id/status"
+
+let to_json ?id ?(anomalies_only = false) t =
+  Mutex.lock t.lock;
+  let reqs = ring_list t.requests and anoms = ring_list t.anomalies in
+  let cap = Array.length t.requests.slots
+  and acap = Array.length t.anomalies.slots in
+  Mutex.unlock t.lock;
+  let keep e = match id with None -> true | Some id -> e.trace_id = id in
+  let reqs = if anomalies_only then [] else List.filter keep reqs in
+  let anoms = List.filter keep anoms in
+  Obs.Json.Obj
+    [
+      ("schema", str schema);
+      ("capacity", num (float_of_int cap));
+      ("anomaly_capacity", num (float_of_int acap));
+      ("span_cap", num (float_of_int t.span_cap));
+      ("requests", Obs.Json.List (List.map entry_to_json reqs));
+      ("anomalies", Obs.Json.List (List.map entry_to_json anoms));
+    ]
+
+let entries_of_json j =
+  let field name conv = Option.bind (Obs.Json.member name j) conv in
+  match field "schema" Obs.Json.to_str with
+  | Some s when s <> schema ->
+      Error (Printf.sprintf "unknown flight schema %S (want %S)" s schema)
+  | None -> Error "flight document lacks a \"schema\" field"
+  | Some _ ->
+      let arr name =
+        match field name Obs.Json.to_list with
+        | None -> Error (Printf.sprintf "flight document lacks a %S list" name)
+        | Some l ->
+            List.fold_left
+              (fun acc e ->
+                Result.bind acc (fun acc ->
+                    Result.map (fun e -> e :: acc) (entry_of_json e)))
+              (Ok []) l
+            |> Result.map List.rev
+      in
+      Result.bind (arr "requests") (fun reqs ->
+          Result.map (fun anoms -> (reqs, anoms)) (arr "anomalies"))
+
+(* ------------------------------------------------------------------ *)
+(* The rbp flight rendering                                            *)
+
+let count_spans j =
+  match Obs.Export.trace_spans_of_json j with
+  | Error _ -> 0
+  | Ok roots ->
+      let rec n (s : Obs.Trace.span) =
+        1 + List.fold_left (fun a c -> a + n c) 0 s.Obs.Trace.children
+      in
+      List.fold_left (fun a s -> a + n s) 0 roots
+
+let render_entries b title entries =
+  Buffer.add_string b (Printf.sprintf "%s (%d)\n" title (List.length entries));
+  if entries = [] then Buffer.add_string b "  (none)\n"
+  else begin
+    Buffer.add_string b
+      (Printf.sprintf "  %-18s %-12s %-16s %-8s %9s %9s %9s\n" "trace_id" "id" "status"
+         "cache" "queue_ms" "comp_ms" "total_ms");
+    List.iter
+      (fun e ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-18s %-12s %-16s %-8s %9.3f %9.3f %9.3f%s\n" e.trace_id
+             e.id
+             (match e.anomaly with Some a when a <> e.status -> e.status ^ "/" ^ a | _ -> e.status)
+             e.cache e.queue_ms e.compile_ms e.total_ms
+             (match e.rung with Some r -> "  via " ^ r | None -> ""));
+        List.iter
+          (fun a -> Buffer.add_string b (Printf.sprintf "      attempt: %s\n" a))
+          e.attempts;
+        match e.trace with
+        | Some t -> Buffer.add_string b (Printf.sprintf "      trace: %d span(s)\n" (count_spans t))
+        | None -> ())
+      entries
+  end
+
+let render j =
+  match entries_of_json j with
+  | Error _ as e -> e
+  | Ok (reqs, anoms) ->
+      let b = Buffer.create 1024 in
+      render_entries b "requests" reqs;
+      Buffer.add_char b '\n';
+      render_entries b "anomalies" anoms;
+      Ok (Buffer.contents b)

@@ -1,0 +1,99 @@
+(** The flight recorder: post-hoc forensics for individual requests.
+
+    Aggregate metrics ({!Stats}) say how the fleet is doing; the flight
+    recorder answers "what happened to {e that} request" after the
+    fact. Two fixed-size rings, one mutex:
+
+    - the {e request ring} keeps the last [capacity] completed compile
+      requests — trace id, outcome, rung, latencies, attempt trace and
+      a span tree truncated at the daemon's span cap;
+    - the {e anomaly ring} keeps timeouts, quarantines and overload
+      sheds {e separately}, so a burst of healthy traffic cannot evict
+      the one entry a post-mortem needs.
+
+    Every completed anomaly is recorded in both rings (it is a
+    completed request {e and} an anomaly); an overload shed — never
+    admitted, so never completed — lands only in the anomaly ring.
+    The [flight] wire op and [rbp flight] serve {!to_json} documents;
+    the SIGTERM drain writes a final dump to [--flight-out]. *)
+
+type entry = {
+  trace_id : string;
+  id : string;              (** client correlation id *)
+  status : string;          (** ok | error | timeout | overload *)
+  anomaly : string option;  (** [Some "timeout"|"quarantine"|"overload"] *)
+  rung : string option;
+  cache : string;
+  queue_ms : float;
+  compile_ms : float;
+  total_ms : float;
+  attempts : string list;   (** rendered rung attempt trace *)
+  trace : Obs.Json.t option;  (** truncated {!Obs.Export.trace_json} tree *)
+  ts : float;               (** clock reading at completion *)
+}
+
+type t
+
+val default_capacity : int
+(** 256 completed requests. *)
+
+val default_anomaly_capacity : int
+(** 64 anomalies. *)
+
+val default_span_cap : int
+(** 64 spans per retained tree. *)
+
+val make :
+  ?capacity:int ->
+  ?anomaly_capacity:int ->
+  ?span_cap:int ->
+  clock:(unit -> float) ->
+  unit ->
+  t
+
+val span_cap : t -> int
+(** The bound recorders must apply when building [entry.trace]. *)
+
+val clock : t -> unit -> float
+
+val record : t -> entry -> unit
+(** Push into the request ring (unless the entry is a pure shed, status
+    ["overload"]) and, when [anomaly] is set, into the anomaly ring. *)
+
+val requests : t -> entry list
+(** Request-ring contents, oldest first. *)
+
+val anomalies : t -> entry list
+(** Anomaly-ring contents, oldest first. *)
+
+val find : t -> string -> entry option
+(** Latest entry (either ring) whose [trace_id] matches. *)
+
+val of_result : ?trace:Obs.Json.t -> ts:float -> Proto.result_reply -> entry
+(** The entry for one completed [Result] reply; the anomaly tag is
+    derived from the reply ([timeout] status → ["timeout"], a
+    {!Proto.code_quarantined} error → ["quarantine"]). [trace] is the
+    retained span tree — the recorder keeps it even when the reply
+    itself did not carry one. *)
+
+val shed : trace_id:string -> id:string -> ts:float -> entry
+(** The anomaly entry for an admission-control shed (never admitted,
+    so it appears in the anomaly ring only). *)
+
+val schema : string
+(** ["rbp-flight/1"]. *)
+
+val to_json : ?id:string -> ?anomalies_only:bool -> t -> Obs.Json.t
+(** The dump the [flight] op serves: [schema], ring capacities, then
+    [requests] and [anomalies] arrays (oldest first). [?id] filters
+    both arrays to one trace id; [anomalies_only] empties the request
+    array. Key order is fixed, so a fake clock pins the document. *)
+
+val entry_of_json : Obs.Json.t -> (entry, string) result
+
+val entries_of_json : Obs.Json.t -> (entry list * entry list, string) result
+(** [(requests, anomalies)] from a {!to_json} document; rejects foreign
+    schemas. *)
+
+val render : Obs.Json.t -> (string, string) result
+(** The [rbp flight] human rendering of a {!to_json} document. *)

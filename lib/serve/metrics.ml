@@ -22,6 +22,7 @@ type t = {
   total : series;
   rungs : (string * series) list;
   windows : (string * window) list;
+  gc : (string * float) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -88,7 +89,16 @@ let of_json j =
                    kvs)
           | _ -> None
         in
-        Some { uptime_s; counters; queue; compile; total; rungs; windows }
+        (* Additive: daemons predating the gc block still parse. *)
+        let gc =
+          match Obs.Json.member "gc" j with
+          | Some (Obs.Json.Obj kvs) ->
+              List.filter_map
+                (fun (n, v) -> Option.map (fun v -> (n, v)) (Obs.Json.to_num v))
+                kvs
+          | _ -> []
+        in
+        Some { uptime_s; counters; queue; compile; total; rungs; windows; gc }
       in
       match decoded with
       | Some t -> Ok t
@@ -141,6 +151,16 @@ let render t =
     row "overloads/s" (fun w -> w.overloads_per_s) false;
     row "results/s" (fun w -> w.results_per_s) false;
     row "cache hit %" (fun w -> w.cache_hit_ratio) true
+  end;
+  if t.gc <> [] then begin
+    Buffer.add_string b "\ngc\n";
+    List.iter
+      (fun (n, v) ->
+        Buffer.add_string b
+          (if Float.is_integer v && Float.abs v < 1e15 then
+             Printf.sprintf "  %-32s %.0f\n" n v
+           else Printf.sprintf "  %-32s %.1f\n" n v))
+      t.gc
   end;
   if t.counters <> [] then begin
     Buffer.add_string b "\ncounters\n";
@@ -207,10 +227,16 @@ let prometheus t =
     | ws ->
         [ (name, "gauge", List.map (fun (n, w) -> ("", [ ("window", n) ], pick w)) ws) ]
   in
+  let gc_families =
+    List.map
+      (fun (n, v) -> (prom_name ("serve.gc." ^ n), "gauge", [ ("", [], v) ]))
+      (List.sort compare t.gc)
+  in
   let families =
     List.concat
       [
         counter_families;
+        gc_families;
         window_family "rbp_serve_cache_hit_ratio" (fun w -> w.cache_hit_ratio);
         latency_families;
         window_family "rbp_serve_overloads_per_second" (fun w -> w.overloads_per_s);

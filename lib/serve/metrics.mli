@@ -31,6 +31,9 @@ type t = {
   total : series;    (** total (queue + compile + delivery) latency, ms *)
   rungs : (string * series) list;  (** compile ms per ladder rung *)
   windows : (string * window) list;  (** by lookback label, e.g. "10s" *)
+  gc : (string * float) list;
+      (** the daemon's memory telemetry ([live_words], [heap_words],
+          collection counts…); empty for documents predating the block *)
 }
 
 val of_json : Obs.Json.t -> (t, string) result
@@ -40,13 +43,14 @@ val of_string : string -> (t, string) result
 
 val render : t -> string
 (** The [rbp top] dashboard: latency and per-rung quantile tables,
-    rolling rates per lookback, then the counter list. *)
+    rolling rates per lookback, the gc pane, then the counter list. *)
 
 val prometheus : t -> string
 (** Prometheus text exposition: counters as [rbp_<name>_total] counter
     families, the three latency series and the per-rung series as
     [summary] families (quantile 0.5/0.9/0.99 + [_sum]/[_count]),
-    rolling rates as gauges labelled by [window], and
-    [rbp_serve_uptime_seconds]. Families are sorted by metric name and
+    rolling rates as gauges labelled by [window], gc telemetry as
+    [rbp_serve_gc_*] gauges, and [rbp_serve_uptime_seconds]. Families
+    are sorted by metric name and
     labels are emitted in a fixed order, so the exposition is stable for
     a given document. *)

@@ -13,9 +13,17 @@ type compile = {
   deadline_ms : float option;
   no_cache : bool;
   fault : string option;
+  trace_id : string option;
+  trace : bool;
 }
 
-type request = Compile of compile | Ping | Stats | Metrics | Shutdown
+type request =
+  | Compile of compile
+  | Ping
+  | Stats
+  | Metrics
+  | Flight of { id : string option; anomalies : bool }
+  | Shutdown
 
 type cache_status = Hit | Miss | Bypass
 
@@ -33,6 +41,7 @@ let zero_timing = { queue_ms = 0.0; compile_ms = 0.0; total_ms = 0.0 }
 
 type result_reply = {
   id : string;
+  trace_id : string option;
   outcome : Core.Batch.outcome;
   rung : string option;
   pipelined : bool;
@@ -41,6 +50,7 @@ type result_reply = {
   spills : int;
   attempts : string list;
   timing : timing;
+  trace : Obs.Json.t option;
 }
 
 type reply =
@@ -50,6 +60,7 @@ type reply =
   | Pong
   | Stats_reply of (string * int) list
   | Metrics_reply of Obs.Json.t
+  | Flight_reply of Obs.Json.t
   | Bye
 
 (* ------------------------------------------------------------------ *)
@@ -77,6 +88,14 @@ let request_to_json = function
   | Ping -> Obs.Json.Obj [ ("op", str "ping") ]
   | Stats -> Obs.Json.Obj [ ("op", str "stats") ]
   | Metrics -> Obs.Json.Obj [ ("op", str "metrics") ]
+  | Flight { id; anomalies } ->
+      Obs.Json.Obj
+        (List.concat
+           [
+             [ ("op", str "flight") ];
+             (match id with None -> [] | Some id -> [ ("id", str id) ]);
+             (if anomalies then [ ("anomalies", Obs.Json.Bool true) ] else []);
+           ])
   | Shutdown -> Obs.Json.Obj [ ("op", str "shutdown") ]
   | Compile c ->
       Obs.Json.Obj
@@ -89,6 +108,8 @@ let request_to_json = function
              | Some ms -> [ ("deadline_ms", num ms) ]);
              (if c.no_cache then [ ("no_cache", Obs.Json.Bool true) ] else []);
              (match c.fault with None -> [] | Some f -> [ ("fault", str f) ]);
+             (match c.trace_id with None -> [] | Some t -> [ ("trace_id", str t) ]);
+             (if c.trace then [ ("trace", Obs.Json.Bool true) ] else []);
            ])
 
 let request_of_json j =
@@ -97,6 +118,14 @@ let request_of_json j =
   | Some "ping" -> Ok Ping
   | Some "stats" -> Ok Stats
   | Some "metrics" -> Ok Metrics
+  | Some "flight" ->
+      let id = field "id" Obs.Json.to_str j in
+      let anomalies =
+        match Obs.Json.member "anomalies" j with
+        | Some (Obs.Json.Bool b) -> b
+        | _ -> false
+      in
+      Ok (Flight { id; anomalies })
   | Some "shutdown" -> Ok Shutdown
   | Some "compile" -> (
       match field "ir" Obs.Json.to_str j with
@@ -111,10 +140,18 @@ let request_of_json j =
             | _ -> false
           in
           let fault = field "fault" Obs.Json.to_str j in
+          let trace_id = field "trace_id" Obs.Json.to_str j in
+          let trace =
+            match Obs.Json.member "trace" j with
+            | Some (Obs.Json.Bool b) -> b
+            | _ -> false
+          in
           match Option.value ~default:"embedded" (field "model" Obs.Json.to_str j) with
           | m when model_of_name m <> None ->
               let model = Option.get (model_of_name m) in
-              Ok (Compile { id; ir; clusters; model; deadline_ms; no_cache; fault })
+              Ok
+                (Compile
+                   { id; ir; clusters; model; deadline_ms; no_cache; fault; trace_id; trace })
           | m -> Error (Printf.sprintf "unknown copy model %S" m)))
   | Some op -> Error (Printf.sprintf "unknown op %S" op)
 
@@ -141,6 +178,7 @@ let status_of_reply = function
   | Pong -> "pong"
   | Stats_reply _ -> "stats"
   | Metrics_reply _ -> "metrics"
+  | Flight_reply _ -> "flight"
   | Bye -> "bye"
 
 let reply_to_json reply =
@@ -157,6 +195,7 @@ let reply_to_json reply =
           ("counters", Obs.Json.Obj (List.map (fun (n, v) -> (n, int_num v)) cells));
         ]
   | Metrics_reply m -> Obs.Json.Obj [ ("status", str "metrics"); ("metrics", m) ]
+  | Flight_reply f -> Obs.Json.Obj [ ("status", str "flight"); ("flight", f) ]
   | Overload { id; depth; retry_after_ms } ->
       Obs.Json.Obj
         [
@@ -169,9 +208,9 @@ let reply_to_json reply =
       Obs.Json.Obj
         (List.concat
            [
+             [ ("status", str (status_of_result r)); ("id", str r.id) ];
+             (match r.trace_id with None -> [] | Some t -> [ ("trace_id", str t) ]);
              [
-               ("status", str (status_of_result r));
-               ("id", str r.id);
                ("result", Core.Batch.codec.Engine.Run.encode r.outcome);
                ("cache", str (cache_status_name r.cache));
              ];
@@ -187,6 +226,7 @@ let reply_to_json reply =
                ("compile_ms", num r.timing.compile_ms);
                ("total_ms", num r.timing.total_ms);
              ];
+             (match r.trace with None -> [] | Some t -> [ ("trace", t) ]);
            ])
 
 let reply_of_json j =
@@ -212,6 +252,10 @@ let reply_of_json j =
       match Obs.Json.member "metrics" j with
       | Some m -> Ok (Metrics_reply m)
       | None -> Error "metrics reply lacks a \"metrics\" object")
+  | Some "flight" -> (
+      match Obs.Json.member "flight" j with
+      | Some f -> Ok (Flight_reply f)
+      | None -> Error "flight reply lacks a \"flight\" object")
   | Some "overload" -> (
       match
         ( field "id" Obs.Json.to_str j,
@@ -224,6 +268,7 @@ let reply_of_json j =
   | Some ("ok" | "error" | "timeout") -> (
       let decoded =
         let* id = field "id" Obs.Json.to_str j in
+        let trace_id = field "trace_id" Obs.Json.to_str j in
         let* result = Obs.Json.member "result" j in
         let* outcome = Core.Batch.codec.Engine.Run.decode result in
         let* cache =
@@ -249,9 +294,13 @@ let reply_of_json j =
             total_ms = Option.value ~default:0.0 (field "total_ms" Obs.Json.to_num j);
           }
         in
+        let trace = Obs.Json.member "trace" j in
         Some
           (Result
-             { id; outcome; rung; pipelined; flat_cycles; cache; spills; attempts; timing })
+             {
+               id; trace_id; outcome; rung; pipelined; flat_cycles; cache; spills;
+               attempts; timing; trace;
+             })
       in
       match decoded with
       | Some r -> Ok r
@@ -283,10 +332,11 @@ let shutdown_error ~id =
   failure ~code:code_shutting_down ~stage:Verify.Stage_error.Ir_input ~id
     "service is shutting down"
 
-let error_reply ?(cache = Bypass) ?(timing = zero_timing) ~id err =
+let error_reply ?(cache = Bypass) ?(timing = zero_timing) ?trace_id ~id err =
   Result
     {
       id;
+      trace_id;
       outcome = Error err;
       rung = None;
       pipelined = false;
@@ -295,4 +345,5 @@ let error_reply ?(cache = Bypass) ?(timing = zero_timing) ~id err =
       spills = 0;
       attempts = List.map Verify.Stage_error.attempt_to_string err.Verify.Stage_error.attempts;
       timing;
+      trace = None;
     }

@@ -1,9 +1,9 @@
 (** The wire protocol: newline-delimited JSON, one frame per line.
 
     Requests are objects with an ["op"] discriminator ([compile], [ping],
-    [stats], [metrics], [shutdown]); replies carry a ["status"]
+    [stats], [metrics], [flight], [shutdown]); replies carry a ["status"]
     discriminator ([ok], [error], [timeout], [overload], [bad_frame],
-    [pong], [stats], [metrics], [bye]).
+    [pong], [stats], [metrics], [flight], [bye]).
     Compile outcomes ride in the same serialization {!Core.Batch.codec}
     uses for the result cache, so a service reply and a cached batch
     outcome are the same JSON — one codec, one set of round-trip tests.
@@ -40,9 +40,23 @@ type compile = {
   fault : string option;
       (** opaque poison marker ({!Robust.Inject.service_fault_name});
           honored only when the daemon runs with faults enabled *)
+  trace_id : string option;
+      (** client-supplied trace correlator; the daemon echoes it (when
+          {!Obs.Trace_id.is_valid}) or substitutes a generated one *)
+  trace : bool;
+      (** ask for the request's span tree in the reply, truncated at
+          the daemon's span cap *)
 }
 
-type request = Compile of compile | Ping | Stats | Metrics | Shutdown
+type request =
+  | Compile of compile
+  | Ping
+  | Stats
+  | Metrics
+  | Flight of { id : string option; anomalies : bool }
+      (** dump the flight recorder: everything, one trace id, or the
+          anomaly ring only *)
+  | Shutdown
 
 type cache_status = Hit | Miss | Bypass
 
@@ -55,6 +69,8 @@ val zero_timing : timing
 
 type result_reply = {
   id : string;
+  trace_id : string option;       (** the request's trace identity, always
+                                      present on daemon-built replies *)
   outcome : Core.Batch.outcome;   (** metrics on success, stage error otherwise *)
   rung : string option;           (** ladder rung that produced the code *)
   pipelined : bool;               (** false for flat (non-pipelined) code *)
@@ -63,6 +79,10 @@ type result_reply = {
   spills : int;
   attempts : string list;         (** rendered attempt trace, oldest first *)
   timing : timing;
+  trace : Obs.Json.t option;
+      (** the {!Obs.Export.trace_json} span tree, present only when the
+          request asked for it — absent, the frame is byte-identical to
+          the pre-tracing encoding *)
 }
 
 type reply =
@@ -74,6 +94,9 @@ type reply =
   | Metrics_reply of Obs.Json.t
       (** the [rbp-metrics/1] document {!Stats.metrics_json} builds,
           carried opaquely so the codec needs no metrics schema *)
+  | Flight_reply of Obs.Json.t
+      (** the [rbp-flight/1] document {!Flight.to_json} builds, carried
+          opaquely like the metrics document *)
   | Bye
 
 val status_of_reply : reply -> string
@@ -105,6 +128,11 @@ val shutdown_error : id:string -> Verify.Stage_error.t
 (** [SRV004]. *)
 
 val error_reply :
-  ?cache:cache_status -> ?timing:timing -> id:string -> Verify.Stage_error.t -> reply
+  ?cache:cache_status ->
+  ?timing:timing ->
+  ?trace_id:string ->
+  id:string ->
+  Verify.Stage_error.t ->
+  reply
 (** A [Result] reply wrapping a structured failure; the attempt trace is
     rendered from the error's own attempts. *)

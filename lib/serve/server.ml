@@ -10,21 +10,42 @@ type config = {
   faults_enabled : bool;
   allow_shutdown : bool;
   clock : unit -> float;
-  log : string -> unit;
+  logger : Obs.Log.t;
+  trace_seed : int;
+  flight_capacity : int;
+  flight_anomaly_capacity : int;
+  span_cap : int;
+  flight_out : string option;
 }
 
 let config ?(workers = 2) ?(queue_limit = 64) ?default_deadline_ms ?(max_retries = 2)
     ?cache ?(idle_timeout_s = 30.0) ?(max_frame = 1 lsl 20) ?(faults_enabled = false)
-    ?(allow_shutdown = false) ?(clock = Unix.gettimeofday) ?(log = prerr_endline) addr =
+    ?(allow_shutdown = false) ?(clock = Unix.gettimeofday) ?logger ?trace_seed
+    ?(flight_capacity = Flight.default_capacity)
+    ?(flight_anomaly_capacity = Flight.default_anomaly_capacity)
+    ?(span_cap = Flight.default_span_cap) ?flight_out addr =
+  let logger =
+    match logger with
+    | Some l -> l
+    | None -> Obs.Log.make ~clock ~sink:prerr_endline ()
+  in
+  let trace_seed =
+    match trace_seed with
+    | Some s -> s
+    | None -> int_of_float (clock () *. 1e6)
+  in
   {
     addr; workers; queue_limit; default_deadline_ms; max_retries; cache;
-    idle_timeout_s; max_frame; faults_enabled; allow_shutdown; clock; log;
+    idle_timeout_s; max_frame; faults_enabled; allow_shutdown; clock; logger;
+    trace_seed; flight_capacity; flight_anomaly_capacity; span_cap; flight_out;
   }
 
 type t = {
   cfg : config;
   stop : bool Atomic.t;
   stats : Stats.t;
+  flight : Flight.t;
+  trace_ids : Obs.Trace_id.gen;
   queue : Worker.job Admission.t;
   pool : Worker.t;
   conns : int Atomic.t;
@@ -140,8 +161,30 @@ let conn_reader_done ?(peer_gone = false) c =
 
 let handle_compile srv ~conn ~send (c : Proto.compile) =
   let received = srv.cfg.clock () in
+  (* The request's trace identity: the client's correlator when it is
+     well-formed, a server-generated one otherwise — either way every
+     reply, log line and flight entry about this request carries it. *)
+  let trace_id =
+    match c.Proto.trace_id with
+    | Some t when Obs.Trace_id.is_valid t -> t
+    | _ -> Obs.Trace_id.next srv.trace_ids
+  in
+  Obs.Log.debug srv.cfg.logger ~trace_id
+    ~fields:[ ("id", Obs.Json.Str c.Proto.id) ]
+    "compile received";
   let deliver reply =
     classify srv reply;
+    (match reply with
+    | Proto.Result r ->
+        Obs.Log.debug srv.cfg.logger ~trace_id
+          ~fields:
+            [
+              ("id", Obs.Json.Str c.Proto.id);
+              ("status", Obs.Json.Str (Proto.status_of_reply reply));
+              ("total_ms", Obs.Json.Num r.Proto.timing.Proto.total_ms);
+            ]
+          "compile done"
+    | _ -> ());
     conn_job_done srv conn reply
   in
   let answer reply =
@@ -151,14 +194,29 @@ let handle_compile srv ~conn ~send (c : Proto.compile) =
     send reply
   in
   let structured_failure err =
-    answer
-      (Proto.error_reply
-         ~timing:
-           {
-             Proto.zero_timing with
-             Proto.total_ms = 1000.0 *. (srv.cfg.clock () -. received);
-           }
-         ~id:c.Proto.id err)
+    let reply =
+      Proto.error_reply
+        ~timing:
+          {
+            Proto.zero_timing with
+            Proto.total_ms = 1000.0 *. (srv.cfg.clock () -. received);
+          }
+        ~trace_id ~id:c.Proto.id err
+    in
+    (* Synchronous failures never reach a worker, so they are recorded
+       here — the flight recorder must cover every answered request. *)
+    (match reply with
+    | Proto.Result r ->
+        Flight.record srv.flight (Flight.of_result ~ts:(srv.cfg.clock ()) r);
+        Obs.Log.debug srv.cfg.logger ~trace_id
+          ~fields:
+            [
+              ("id", Obs.Json.Str c.Proto.id);
+              ("code", Obs.Json.Str err.Verify.Stage_error.code);
+            ]
+          "compile rejected"
+    | _ -> ());
+    answer reply
   in
   match Ir.Parse.loop_of_string c.Proto.ir with
   | Error e ->
@@ -198,6 +256,8 @@ let handle_compile srv ~conn ~send (c : Proto.compile) =
               let job =
                 {
                   Worker.id = c.Proto.id;
+                  trace_id;
+                  want_trace = c.Proto.trace;
                   qkey;
                   loop;
                   machine;
@@ -228,6 +288,14 @@ let handle_compile srv ~conn ~send (c : Proto.compile) =
                   not_admitted ();
                   Stats.bump srv.stats Obs.Counter.Serve_shed 1;
                   Stats.note_shed srv.stats;
+                  (* Sheds are anomalies even though no request ring
+                     entry exists: the anomaly ring is how a post-mortem
+                     finds them after the burst has passed. *)
+                  Flight.record srv.flight
+                    (Flight.shed ~trace_id ~id:c.Proto.id ~ts:(srv.cfg.clock ()));
+                  Obs.Log.debug srv.cfg.logger ~trace_id
+                    ~fields:[ ("id", Obs.Json.Str c.Proto.id) ]
+                    "compile shed: queue full";
                   send
                     (Proto.Overload
                        {
@@ -244,6 +312,9 @@ let handle_conn srv conn =
   let send reply = conn_send srv conn reply in
   let bad_frame detail =
     Stats.bump srv.stats Obs.Counter.Serve_bad_frames 1;
+    Obs.Log.debug srv.cfg.logger
+      ~fields:[ ("detail", Obs.Json.Str detail) ]
+      "bad frame";
     send (Proto.Bad_frame { detail })
   in
   let rec loop () =
@@ -277,6 +348,11 @@ let handle_conn srv conn =
             loop ()
         | Ok Proto.Metrics ->
             send (Proto.Metrics_reply (Stats.metrics_json srv.stats));
+            loop ()
+        | Ok (Proto.Flight { id; anomalies }) ->
+            send
+              (Proto.Flight_reply
+                 (Flight.to_json ?id ~anomalies_only:anomalies srv.flight));
             loop ()
         | Ok Proto.Shutdown ->
             if srv.cfg.allow_shutdown then begin
@@ -318,26 +394,52 @@ let install_signals stop =
     (fun s -> try Sys.set_signal s handler with Invalid_argument _ -> ())
     [ Sys.sigterm; Sys.sigint ]
 
+(* The SIGTERM drain's last act: the flight recorder's final dump, so a
+   crashed-and-drained daemon still leaves its forensics behind. *)
+let write_flight_dump cfg flight =
+  match cfg.flight_out with
+  | None -> ()
+  | Some path -> (
+      match
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (Obs.Json.to_string (Flight.to_json flight));
+            output_char oc '\n')
+      with
+      | () -> Obs.Log.info cfg.logger (Printf.sprintf "rbp serve: flight dump written to %s" path)
+      | exception Sys_error e ->
+          Obs.Log.error cfg.logger
+            (Printf.sprintf "rbp serve: cannot write flight dump: %s" e))
+
 let run cfg =
   let stop = Atomic.make false in
   install_signals stop;
   let stats = Stats.make ~clock:cfg.clock () in
+  let flight =
+    Flight.make ~capacity:cfg.flight_capacity
+      ~anomaly_capacity:cfg.flight_anomaly_capacity ~span_cap:cfg.span_cap
+      ~clock:cfg.clock ()
+  in
+  let trace_ids = Obs.Trace_id.gen ~seed:cfg.trace_seed in
   let queue = Admission.create ~limit:cfg.queue_limit () in
   let pool =
-    Worker.create ~queue ~stats ~cache:cfg.cache ~clock:cfg.clock
+    Worker.create ~queue ~stats ~flight ~cache:cfg.cache ~clock:cfg.clock
       ~faults_enabled:cfg.faults_enabled ~max_retries:cfg.max_retries
       ~workers:cfg.workers ()
   in
-  let srv = { cfg; stop; stats; queue; pool; conns = Atomic.make 0 } in
+  let srv = { cfg; stop; stats; flight; trace_ids; queue; pool; conns = Atomic.make 0 } in
+  let log_info m = Obs.Log.info cfg.logger m in
   match listen_socket cfg.addr with
   | exception e ->
-      cfg.log
+      Obs.Log.error cfg.logger
         (Printf.sprintf "rbp serve: cannot listen on %s: %s" (Wire.addr_to_string cfg.addr)
            (Printexc.to_string e));
       Worker.stop pool;
       1
   | lfd ->
-      cfg.log
+      log_info
         (Printf.sprintf "rbp serve: listening on %s (%d workers, queue limit %d%s)"
            (Wire.addr_to_string cfg.addr) (max 1 cfg.workers) cfg.queue_limit
            (if cfg.faults_enabled then ", fault injection ON" else ""));
@@ -366,7 +468,7 @@ let run cfg =
         end
       in
       accept_loop ();
-      cfg.log "rbp serve: draining";
+      log_info "rbp serve: draining";
       (try Unix.close lfd with Unix.Unix_error _ -> ());
       (match cfg.addr with
       | Wire.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
@@ -382,7 +484,8 @@ let run cfg =
         end
       in
       wait_conns 5.0;
-      cfg.log
+      write_flight_dump cfg flight;
+      log_info
         (Printf.sprintf "rbp serve: done (%s)"
            (String.concat ", "
               (List.map

@@ -27,7 +27,12 @@ type config = {
   faults_enabled : bool;              (** honor poison markers (tests only) *)
   allow_shutdown : bool;              (** honor the [shutdown] op *)
   clock : unit -> float;
-  log : string -> unit;
+  logger : Obs.Log.t;                 (** lifecycle at [Info], per-request at [Debug] *)
+  trace_seed : int;                 (** seeds the server-side trace-id stream *)
+  flight_capacity : int;              (** flight-recorder request ring *)
+  flight_anomaly_capacity : int;      (** flight-recorder anomaly ring *)
+  span_cap : int;                     (** spans retained / returned per trace *)
+  flight_out : string option;         (** final flight dump path, written on drain *)
 }
 
 val config :
@@ -41,12 +46,20 @@ val config :
   ?faults_enabled:bool ->
   ?allow_shutdown:bool ->
   ?clock:(unit -> float) ->
-  ?log:(string -> unit) ->
+  ?logger:Obs.Log.t ->
+  ?trace_seed:int ->
+  ?flight_capacity:int ->
+  ?flight_anomaly_capacity:int ->
+  ?span_cap:int ->
+  ?flight_out:string ->
   Wire.addr ->
   config
 (** Defaults: 2 workers, queue limit 64, no default deadline, 2 retries
     before quarantine, no cache, 30 s frame budget, 1 MiB frames,
-    faults off, shutdown op off, wall clock, logging to stderr. *)
+    faults off, shutdown op off, wall clock; a [Text]-format [Info]
+    logger on stderr driven by [clock]; a trace seed drawn from the
+    clock; {!Flight.default_capacity} / {!Flight.default_anomaly_capacity}
+    / {!Flight.default_span_cap} rings; no flight dump. *)
 
 val run : config -> int
 (** Blocks until shutdown; returns the process exit code. *)

@@ -7,6 +7,7 @@ let lookbacks_s = [ 10.0; 60.0 ]
 type t = {
   lock : Mutex.t;
   clock : unit -> float;
+  gc_stat : unit -> Gc.stat;
   started : float;
   cells : (Obs.Counter.t, int ref) Hashtbl.t;
   queue_ms : Obs.Histogram.t;
@@ -19,11 +20,12 @@ type t = {
   w_hits : Obs.Window.t;
 }
 
-let make ?(clock = fun () -> 0.0) () =
+let make ?(clock = fun () -> 0.0) ?(gc_stat = Gc.quick_stat) () =
   let w () = Obs.Window.make ~clock () in
   {
     lock = Mutex.create ();
     clock;
+    gc_stat;
     started = clock ();
     cells = Hashtbl.create 32;
     queue_ms = Obs.Histogram.make ();
@@ -118,6 +120,23 @@ let window_json_locked t over_s =
       ("cache_hit_ratio", Obs.Json.Num ratio);
     ]
 
+(* Memory telemetry off [Gc.quick_stat] (no heap walk): enough to spot
+   a leaking or thrashing daemon from the metrics op alone. Injectable
+   so fake-clock tests can pin the whole document. *)
+let gc_json_locked t =
+  let s = t.gc_stat () in
+  let num x = Obs.Json.Num x in
+  let int_num n = Obs.Json.Num (float_of_int n) in
+  Obs.Json.Obj
+    [
+      ("live_words", int_num s.Gc.live_words);
+      ("heap_words", int_num s.Gc.heap_words);
+      ("minor_collections", int_num s.Gc.minor_collections);
+      ("major_collections", int_num s.Gc.major_collections);
+      ("compactions", int_num s.Gc.compactions);
+      ("minor_words", num s.Gc.minor_words);
+    ]
+
 let metrics_json t =
   Mutex.lock t.lock;
   let now = t.clock () in
@@ -153,6 +172,7 @@ let metrics_json t =
             ] );
         ("rungs", Obs.Json.Obj rungs);
         ("windows", Obs.Json.Obj windows);
+        ("gc", gc_json_locked t);
       ]
   in
   Mutex.unlock t.lock;

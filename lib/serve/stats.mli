@@ -16,10 +16,12 @@ type t
 val schema : string
 (** ["rbp-metrics/1"], the [metrics_json] envelope marker. *)
 
-val make : ?clock:(unit -> float) -> unit -> t
+val make : ?clock:(unit -> float) -> ?gc_stat:(unit -> Gc.stat) -> unit -> t
 (** The clock feeds the rolling windows and the uptime field; it
     defaults to a frozen zero so pure counter users need no time
-    source. *)
+    source. [gc_stat] (default {!Gc.quick_stat}) feeds the [gc] block
+    of {!metrics_json}; tests inject a frozen one to keep the document
+    byte-stable. *)
 
 val bump : t -> Obs.Counter.t -> int -> unit
 val get : t -> Obs.Counter.t -> int
@@ -57,6 +59,8 @@ val metrics_json : t -> Obs.Json.t
     snapshot, [latency.{queue_ms,compile_ms,total_ms}] and per-rung
     summaries ([count]/[sum]/[p50]/[p90]/[p99]/[max] each), and
     [windows.{10s,60s}] rolling rates ([requests_per_s],
-    [overloads_per_s], [results_per_s], [cache_hit_ratio]). Key order is
-    fixed and rungs are sorted, so a fake clock makes the whole document
-    byte-stable. *)
+    [overloads_per_s], [results_per_s], [cache_hit_ratio]), and a [gc]
+    block ([live_words], [heap_words], [minor_collections],
+    [major_collections], [compactions], [minor_words]). Key order is
+    fixed and rungs are sorted, so a fake clock plus a frozen [gc_stat]
+    makes the whole document byte-stable. *)

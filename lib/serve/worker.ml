@@ -6,6 +6,8 @@ exception Crash of string
 
 type job = {
   id : string;
+  trace_id : string;
+  want_trace : bool;
   qkey : string;
   loop : Ir.Loop.t;
   machine : Mach.Machine.t;
@@ -26,6 +28,7 @@ type slot = {
 type t = {
   queue : job Admission.t;
   stats : Stats.t;
+  flight : Flight.t;
   cache : Engine.Cache.t option;
   clock : unit -> float;
   faults_enabled : bool;
@@ -115,6 +118,20 @@ let decode_entry j =
 (* ------------------------------------------------------------------ *)
 (* One job                                                             *)
 
+(* Deliver a reply and retain its flight-recorder entry — one choke
+   point so every worker-side answer is recorded exactly once. The span
+   tree rides in the reply only when the client asked; the recorder
+   keeps a (truncated) copy either way. *)
+let deliver_result t (job : job) ?trace_tree (r : Proto.reply) =
+  match r with
+  | Proto.Result rr ->
+      let rr = { rr with Proto.trace_id = Some job.trace_id } in
+      job.deliver
+        (Proto.Result
+           { rr with Proto.trace = (if job.want_trace then trace_tree else None) });
+      Flight.record t.flight (Flight.of_result ?trace:trace_tree ~ts:(t.clock ()) rr)
+  | other -> job.deliver other
+
 let compile_job t (job : job) =
   let started = t.clock () in
   let queue_ms = 1000.0 *. (started -. job.submitted) in
@@ -124,17 +141,21 @@ let compile_job t (job : job) =
   if Engine.Cancel.cancelled job.token then
     (* Expired while queued: answer without spending a single pipeline
        stage on it — the deadline storm defense. *)
-    job.deliver
+    deliver_result t job
       (Proto.error_reply ~cache:Proto.Bypass ~timing:(timing 0.0) ~id:job.id
          (Proto.queue_timeout_error ~id:job.id))
   else begin
     (if t.faults_enabled
        && job.fault = Some (Robust.Inject.service_fault_name Robust.Inject.Crash_worker)
      then raise (Crash job.id));
-    (* A private, frozen-clock trace: pure counter sink. The ladder and
-       cache probes bump into it; the totals fold into the service-wide
-       atomic table afterwards. *)
-    let tr = Obs.Trace.make ~clock:(Obs.Clock.frozen 0.0) () in
+    (* A private trace on the service clock: counter sink for the stats
+       table, span source for the flight recorder and traced replies.
+       Spans never reach an untraced reply, so the default wire format
+       is unchanged. *)
+    let tr = Obs.Trace.make ~clock:(fun () -> t.clock ()) () in
+    let trace_tree () =
+      Obs.Export.trace_json ~span_cap:(Flight.span_cap t.flight) tr
+    in
     let cached =
       match (t.cache, job.key) with
       | Some c, Some key -> (
@@ -151,10 +172,11 @@ let compile_job t (job : job) =
     let miss_status = if job.key = None then Proto.Bypass else Proto.Miss in
     (match cached with
     | Some (metrics, rung, pipelined, flat_cycles, spills) ->
-        job.deliver
+        deliver_result t job ~trace_tree:(trace_tree ())
           (Proto.Result
              {
                id = job.id;
+               trace_id = Some job.trace_id;
                outcome = Ok metrics;
                rung = Some rung;
                pipelined;
@@ -163,6 +185,7 @@ let compile_job t (job : job) =
                spills;
                attempts = [];
                timing = timing 0.0;
+               trace = None;
              })
     | None -> (
         let t0 = t.clock () in
@@ -182,10 +205,11 @@ let compile_job t (job : job) =
                 Engine.Cache.store c ~key
                   (encode_entry ~metrics ~rung ~pipelined ~flat_cycles ~spills)
             | _ -> ());
-            job.deliver
+            deliver_result t job ~trace_tree:(trace_tree ())
               (Proto.Result
                  {
                    id = job.id;
+                   trace_id = Some job.trace_id;
                    outcome = Ok metrics;
                    rung = Some rung;
                    pipelined;
@@ -196,10 +220,11 @@ let compile_job t (job : job) =
                      List.map Verify.Stage_error.attempt_to_string
                        r.Robust.Driver.attempts;
                    timing = timing (1000.0 *. (t.clock () -. t0));
+                   trace = None;
                  })
         | Error e ->
             let e = { e with Verify.Stage_error.subject = job.id } in
-            job.deliver
+            deliver_result t job ~trace_tree:(trace_tree ())
               (Proto.error_reply ~cache:miss_status
                  ~timing:(timing (1000.0 *. (t.clock () -. t0)))
                  ~id:job.id e)));
@@ -212,7 +237,7 @@ let run_job t job =
   | e ->
       (* Per-job crash isolation: an unexpected exception in one request
          becomes that request's structured failure, never the domain's. *)
-      job.deliver
+      deliver_result t job
         (Proto.error_reply ~id:job.id
            (Verify.Stage_error.make ~code:"PIPE001"
               ~stage:Verify.Stage_error.Verification ~subject:job.id
@@ -257,7 +282,7 @@ let handle_dead t slot =
         Mutex.unlock t.qlock;
         Stats.bump t.stats Obs.Counter.Serve_quarantined 1;
         let total_ms = 1000.0 *. (t.clock () -. job.submitted) in
-        job.deliver
+        deliver_result t job
           (Proto.error_reply
              ~timing:{ Proto.zero_timing with Proto.total_ms }
              ~id:job.id
@@ -266,7 +291,8 @@ let handle_dead t slot =
       else if not (Admission.push_force t.queue { job with attempt = crashes }) then
         (* Queue already closed: the retry cannot run, but the request
            still gets an answer. *)
-        job.deliver (Proto.error_reply ~id:job.id (Proto.shutdown_error ~id:job.id)));
+        deliver_result t job
+          (Proto.error_reply ~id:job.id (Proto.shutdown_error ~id:job.id)));
   if not (Atomic.get t.stopping) then spawn t slot
 
 let rec supervise t =
@@ -276,11 +302,13 @@ let rec supervise t =
     supervise t
   end
 
-let create ~queue ~stats ~cache ~clock ~faults_enabled ~max_retries ~workers () =
+let create ~queue ~stats ~flight ~cache ~clock ~faults_enabled ~max_retries ~workers
+    () =
   let t =
     {
       queue;
       stats;
+      flight;
       cache;
       clock;
       faults_enabled;

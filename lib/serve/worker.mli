@@ -25,6 +25,8 @@ exception Crash of string
 
 type job = {
   id : string;
+  trace_id : string;  (** resolved trace identity, echoed in every reply *)
+  want_trace : bool;  (** attach the span tree to the reply *)
   qkey : string;  (** quarantine key: digest of (loop, machine, fault) *)
   loop : Ir.Loop.t;
   machine : Mach.Machine.t;
@@ -41,6 +43,7 @@ type t
 val create :
   queue:job Admission.t ->
   stats:Stats.t ->
+  flight:Flight.t ->
   cache:Engine.Cache.t option ->
   clock:(unit -> float) ->
   faults_enabled:bool ->

@@ -1,0 +1,94 @@
+Per-request forensics end-to-end, pinned byte-for-byte: --deterministic
+freezes the daemon's request clock at 0, seeds the trace-id stream with
+0 (first draw e220a8397b1dcdaf) and steps the logger clock 1 ms per
+line, so every frame, table, log line and dump below is stable.
+
+  $ rbp serve --listen unix:./d.sock --deterministic --faults \
+  >   --allow-shutdown -w 1 --log-json 2> serve.jsonl &
+  $ SERVE_PID=$!
+
+A compile naming its own trace id gets it echoed; trace:true rides the
+full span tree in the reply — the ladder, every rung, the allocator:
+
+  $ rbp call unix:./d.sock --retry-for 10 '{"op":"compile","id":"one","ir":"loop l depth 1 trip 10\nadd.f a, b, c\n","trace_id":"abc-1","trace":true}'
+  {"status":"ok","id":"one","trace_id":"abc-1","result":{"ok":{"name":"l","ideal_ii":1,"clustered_ii":1,"degradation":100,"ipc_ideal":1,"ipc_clustered":1,"n_copies":0,"n_ops":1}},"cache":"miss","rung":"pipelined(greedy, budget=10)","pipelined":true,"spills":0,"attempts":[],"queue_ms":0,"compile_ms":0,"total_ms":0,"trace":{"spans":[{"name":"ladder","start":0,"dur":0,"attrs":{"loop":"l","machine":"4x4-embedded"},"children":[{"name":"modulo.schedule","start":0,"dur":0,"attrs":{"mii":"1","ops":"1","ii":"1"},"children":[{"name":"modulo.try_ii","start":0,"dur":0,"attrs":{"ii":"1"}}]},{"name":"ladder.rung","start":0,"dur":0,"attrs":{"rung":"pipelined(greedy, budget=10)"},"children":[{"name":"rcg.build","start":0,"dur":0,"attrs":{}},{"name":"greedy.partition","start":0,"dur":0,"attrs":{"nodes":"3","banks":"4"}},{"name":"modulo.schedule","start":0,"dur":0,"attrs":{"mii":"1","ops":"1","ii":"1"},"children":[{"name":"modulo.try_ii","start":0,"dur":0,"attrs":{"ii":"1"}}]},{"name":"alloc","start":0,"dur":0,"attrs":{"subject":"l","banks":"4"},"children":[{"name":"alloc.round","start":0,"dur":0,"attrs":{"round":"1"}}]}]}]}],"truncated":false}}
+
+Without a client id the seeded stream provides one — and without
+trace:true the frame is byte-identical to the pre-tracing encoding,
+save the trace_id field:
+
+  $ rbp call unix:./d.sock '{"op":"compile","id":"two","ir":"loop l depth 1 trip 10\nadd.f a, b, c\n"}'
+  {"status":"ok","id":"two","trace_id":"e220a8397b1dcdaf","result":{"ok":{"name":"l","ideal_ii":1,"clustered_ii":1,"degradation":100,"ipc_ideal":1,"ipc_clustered":1,"n_copies":0,"n_ops":1}},"cache":"hit","rung":"pipelined(greedy, budget=10)","pipelined":true,"spills":0,"attempts":[],"queue_ms":0,"compile_ms":0,"total_ms":0}
+
+A poison request crashes its worker until quarantined (SRV003); the
+anomaly is retained in the flight recorder's separate ring:
+
+  $ rbp call unix:./d.sock '{"op":"compile","id":"boom","ir":"loop l depth 1 trip 10\nadd.f a, b, c\n","trace_id":"poison-1","fault":"crash-worker"}'
+  {"status":"error","id":"boom","trace_id":"poison-1","result":{"err":{"stage":"verification","code":"SRV003","message":"request quarantined after crashing its worker 3 time(s)","subject":"boom","attempts":[]}},"cache":"bypass","pipelined":false,"spills":0,"attempts":[],"queue_ms":0,"compile_ms":0,"total_ms":0}
+
+The flight op reconstructs every request's journey after the fact:
+
+  $ rbp flight unix:./d.sock
+  requests (3)
+    trace_id           id           status           cache     queue_ms   comp_ms  total_ms
+    abc-1              one          ok               miss         0.000     0.000     0.000  via pipelined(greedy, budget=10)
+        trace: 10 span(s)
+    e220a8397b1dcdaf   two          ok               hit          0.000     0.000     0.000  via pipelined(greedy, budget=10)
+        trace: 0 span(s)
+    poison-1           boom         error/quarantine bypass       0.000     0.000     0.000
+  
+  anomalies (1)
+    trace_id           id           status           cache     queue_ms   comp_ms  total_ms
+    poison-1           boom         error/quarantine bypass       0.000     0.000     0.000
+
+
+The post-mortem view — anomalies only, as machine-readable JSON:
+
+  $ rbp flight unix:./d.sock --anomalies --json
+  {"schema":"rbp-flight/1","capacity":256,"anomaly_capacity":64,"span_cap":64,"requests":[],"anomalies":[{"trace_id":"poison-1","id":"boom","status":"error","anomaly":"quarantine","cache":"bypass","queue_ms":0,"compile_ms":0,"total_ms":0,"attempts":[],"ts":0}]}
+
+  $ rbp call unix:./d.sock '{"op":"shutdown"}'
+  {"status":"bye"}
+  $ wait $SERVE_PID
+
+The structured log: one JSON object per line, fixed key order, 1 ms
+logger ticks, a trace_id column on every line:
+
+  $ cat serve.jsonl
+  {"ts":0,"level":"info","msg":"rbp serve: listening on unix:./d.sock (1 workers, queue limit 64, fault injection ON)","trace_id":"-"}
+  {"ts":0.001,"level":"info","msg":"rbp serve: draining","trace_id":"-"}
+  {"ts":0.002,"level":"info","msg":"rbp serve: done (alloc.rounds=1, greedy.decisions=3, greedy.tie_breaks=2, ladder.rung_entered=1, sched.placements=2, serve.admitted=3, serve.cache_hits=1, serve.completed=2, serve.failed=1, serve.quarantined=1, serve.worker_restarts=3)","trace_id":"-"}
+
+  $ sh ../../tools/check_logs.sh serve.jsonl
+  check_logs: log OK (3 lines)
+
+A second daemon that sheds everything (-q 0): the overload never enters
+the request ring — bursts of sheds cannot evict completed requests —
+and the SIGTERM-style drain writes the final dump to --flight-out:
+
+  $ rbp serve --listen unix:./d2.sock --deterministic -q 0 \
+  >   --allow-shutdown --flight-out flight.json 2> serve2.log &
+  $ SERVE2_PID=$!
+
+  $ rbp call unix:./d2.sock --retry-for 10 '{"op":"compile","id":"full","ir":"loop l depth 1 trip 10\nadd.f a, b, c\n"}'
+  {"status":"overload","id":"full","depth":0,"retry_after_ms":25}
+
+  $ rbp flight unix:./d2.sock --anomalies
+  requests (0)
+    (none)
+  
+  anomalies (1)
+    trace_id           id           status           cache     queue_ms   comp_ms  total_ms
+    e220a8397b1dcdaf   full         overload         bypass       0.000     0.000     0.000
+
+
+  $ rbp call unix:./d2.sock '{"op":"shutdown"}'
+  {"status":"bye"}
+  $ wait $SERVE2_PID
+  $ cat serve2.log
+  rbp serve: listening on unix:./d2.sock (2 workers, queue limit 0)
+  rbp serve: draining
+  rbp serve: flight dump written to flight.json
+  rbp serve: done (serve.shed=1)
+  $ cat flight.json
+  {"schema":"rbp-flight/1","capacity":256,"anomaly_capacity":64,"span_cap":64,"requests":[],"anomalies":[{"trace_id":"e220a8397b1dcdaf","id":"full","status":"overload","anomaly":"overload","cache":"bypass","queue_ms":0,"compile_ms":0,"total_ms":0,"attempts":[],"ts":0}]}

@@ -601,6 +601,147 @@ let window_tests =
           | _ -> false));
   ]
 
+let trace_id_tests =
+  [
+    case "seeded-streams-are-deterministic" (fun () ->
+        let g1 = Obs.Trace_id.gen ~seed:0 in
+        let g2 = Obs.Trace_id.gen ~seed:0 in
+        let a = List.init 8 (fun _ -> Obs.Trace_id.next g1) in
+        let b = List.init 8 (fun _ -> Obs.Trace_id.next g2) in
+        check Alcotest.(list string) "equal seeds, equal ids" a b;
+        (* the first id of the seed-0 stream is pinned: the cram
+           transcripts depend on it *)
+        check Alcotest.string "splitmix64(0) rendered" "e220a8397b1dcdaf" (List.hd a);
+        let g3 = Obs.Trace_id.gen ~seed:1 in
+        check Alcotest.bool "different seed, different stream" true
+          (Obs.Trace_id.next g3 <> List.hd a));
+    case "generated-ids-are-valid-hex16" (fun () ->
+        let g = Obs.Trace_id.gen ~seed:42 in
+        for _ = 1 to 64 do
+          let t = Obs.Trace_id.next g in
+          check Alcotest.int "16 digits" 16 (String.length t);
+          check Alcotest.bool "lowercase hex" true
+            (String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) t);
+          check Alcotest.bool "valid" true (Obs.Trace_id.is_valid t)
+        done);
+    case "client-correlator-validation" (fun () ->
+        List.iter
+          (fun s ->
+            check Alcotest.bool (Printf.sprintf "%S accepted" s) true
+              (Obs.Trace_id.is_valid s))
+          [ "a"; "req-7"; "my.trace_1"; "ABC-def.123"; String.make 64 'x';
+            Obs.Trace_id.placeholder ];
+        List.iter
+          (fun s ->
+            check Alcotest.bool (Printf.sprintf "%S rejected" s) false
+              (Obs.Trace_id.is_valid s))
+          [ ""; "has space"; "new\nline"; "quote\""; String.make 65 'x'; "é" ]);
+  ]
+
+let log_tests =
+  [
+    case "jsonl-bytes-are-deterministic-under-the-fake-clock" (fun () ->
+        let drive () =
+          let buf = Buffer.create 256 in
+          let t =
+            Obs.Log.make ~level:Obs.Log.Debug ~format:Obs.Log.Jsonl
+              ~clock:(Obs.Clock.fake ()) ~sink:(fun l -> Buffer.add_string buf (l ^ "\n")) ()
+          in
+          Obs.Log.info t "daemon up";
+          Obs.Log.debug t ~trace_id:"abc123" ~fields:[ ("rung", Obs.Json.Str "greedy") ]
+            "request admitted";
+          Obs.Log.error t ~trace_id:"abc123" "request failed";
+          Buffer.contents buf
+        in
+        let a = drive () in
+        check Alcotest.string "two identically-driven loggers agree" a (drive ());
+        check Alcotest.string "pinned bytes"
+          ("{\"ts\":0,\"level\":\"info\",\"msg\":\"daemon up\",\"trace_id\":\"-\"}\n"
+          ^ "{\"ts\":0.001,\"level\":\"debug\",\"msg\":\"request admitted\",\
+             \"trace_id\":\"abc123\",\"rung\":\"greedy\"}\n"
+          ^ "{\"ts\":0.002,\"level\":\"error\",\"msg\":\"request failed\",\
+             \"trace_id\":\"abc123\"}\n")
+          a;
+        (* every line parses back *)
+        String.split_on_char '\n' a
+        |> List.filter (fun l -> l <> "")
+        |> List.iter (fun l ->
+               match Obs.Json.of_string l with
+               | Ok (Obs.Json.Obj _) -> ()
+               | _ -> Alcotest.failf "line is not a JSON object: %s" l));
+    case "suppressed-lines-consume-no-clock-ticks" (fun () ->
+        let buf = Buffer.create 64 in
+        let t =
+          Obs.Log.make ~level:Obs.Log.Warn ~format:Obs.Log.Jsonl
+            ~clock:(Obs.Clock.fake ()) ~sink:(fun l -> Buffer.add_string buf (l ^ "\n")) ()
+        in
+        Obs.Log.debug t "dropped";
+        Obs.Log.info t "dropped too";
+        Obs.Log.warn t "kept";
+        check Alcotest.string "first kept line still reads ts 0"
+          "{\"ts\":0,\"level\":\"warn\",\"msg\":\"kept\",\"trace_id\":\"-\"}\n"
+          (Buffer.contents buf));
+    case "text-format-is-the-bare-message" (fun () ->
+        let buf = Buffer.create 64 in
+        let t =
+          Obs.Log.make ~sink:(fun l -> Buffer.add_string buf (l ^ "\n")) ()
+        in
+        Obs.Log.info t ~trace_id:"ignored" ~fields:[ ("k", Obs.Json.Num 1.0) ]
+          "rbp serve: listening";
+        check Alcotest.string "byte-identical to the prints it replaced"
+          "rbp serve: listening\n" (Buffer.contents buf));
+    case "level-filtering-and-names" (fun () ->
+        let t = Obs.Log.make ~level:Obs.Log.Info () in
+        check Alcotest.bool "debug off" false (Obs.Log.enabled t Obs.Log.Debug);
+        check Alcotest.bool "info on" true (Obs.Log.enabled t Obs.Log.Info);
+        check Alcotest.bool "error on" true (Obs.Log.enabled t Obs.Log.Error);
+        List.iter
+          (fun l ->
+            check Alcotest.bool "name round-trips" true
+              (Obs.Log.level_of_name (Obs.Log.level_name l) = Some l))
+          [ Obs.Log.Debug; Obs.Log.Info; Obs.Log.Warn; Obs.Log.Error ];
+        check Alcotest.bool "unknown name rejected" true
+          (Obs.Log.level_of_name "loud" = None));
+  ]
+
+let span_codec_tests =
+  [
+    case "span-trees-round-trip-through-json" (fun () ->
+        let tr = fake_ctx () in
+        Obs.Trace.span (Some tr) ~attrs:[ ("loop", "l1") ] "ladder" (fun () ->
+            Obs.Trace.span (Some tr) ~attrs:[ ("rung", "greedy") ] "rung" (fun () ->
+                Obs.Trace.span (Some tr) "alloc" (fun () -> ()));
+            Obs.Trace.span (Some tr) "verify" (fun () -> ()));
+        let j = Obs.Export.trace_json tr in
+        (match Obs.Json.member "truncated" j with
+        | Some (Obs.Json.Bool false) -> ()
+        | _ -> Alcotest.fail "untruncated tree must say so");
+        match Obs.Export.trace_spans_of_json j with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok [ root ] ->
+            check Alcotest.string "root name" "ladder" root.Obs.Trace.name;
+            check Alcotest.int "children preserved" 2 (List.length root.Obs.Trace.children);
+            check Alcotest.bool "attrs preserved" true
+              (List.mem_assoc "loop" root.Obs.Trace.attrs)
+        | Ok l -> Alcotest.failf "expected one root, got %d" (List.length l));
+    case "span-cap-truncates-pre-order" (fun () ->
+        let tr = fake_ctx () in
+        Obs.Trace.span (Some tr) "root" (fun () ->
+            for i = 1 to 10 do
+              Obs.Trace.span (Some tr) (Printf.sprintf "child%d" i) (fun () -> ())
+            done);
+        let j = Obs.Export.trace_json ~span_cap:3 tr in
+        (match Obs.Json.member "truncated" j with
+        | Some (Obs.Json.Bool true) -> ()
+        | _ -> Alcotest.fail "capped tree must be marked truncated");
+        match Obs.Export.trace_spans_of_json j with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok [ root ] ->
+            check Alcotest.int "kept the budget's worth of children" 2
+              (List.length root.Obs.Trace.children)
+        | Ok l -> Alcotest.failf "expected one root, got %d" (List.length l));
+  ]
+
 let suite =
   [
     ("obs.clock", clock_tests);
@@ -610,6 +751,9 @@ let suite =
     ("obs.json.properties", json_property_tests);
     ("obs.events", event_tests);
     ("obs.export", export_tests);
+    ("obs.trace_id", trace_id_tests);
+    ("obs.log", log_tests);
+    ("obs.span_codec", span_codec_tests);
     ("obs.histogram", histogram_tests);
     ("obs.window", window_tests);
     ("obs.probes", probe_tests);

@@ -22,6 +22,7 @@ let sample_metrics =
 let sample_result =
   {
     Proto.id = "req-1";
+    trace_id = None;
     outcome = Ok sample_metrics;
     rung = Some "greedy budget=10";
     pipelined = true;
@@ -30,6 +31,7 @@ let sample_result =
     spills = 2;
     attempts = [ "partitioning: bad [PT002]" ];
     timing = { Proto.queue_ms = 1.5; compile_ms = 20.25; total_ms = 21.75 };
+    trace = None;
   }
 
 let reply_roundtrip r =
@@ -55,16 +57,35 @@ let proto_tests =
               deadline_ms = Some 250.0;
               no_cache = true;
               fault = Some "crash-worker";
+              trace_id = None;
+              trace = false;
             }
+        in
+        let traced =
+          match compile with
+          | Proto.Compile c ->
+              Proto.Compile { c with Proto.trace_id = Some "abcd.1234"; trace = true }
+          | r -> r
         in
         List.iter
           (fun r -> check Alcotest.bool "round-trips" true (request_roundtrip r = r))
-          [ compile; Proto.Ping; Proto.Stats; Proto.Metrics; Proto.Shutdown ]);
+          [ compile; traced; Proto.Ping; Proto.Stats; Proto.Metrics;
+            Proto.Flight { id = None; anomalies = false };
+            Proto.Flight { id = Some "e220a8397b1dcdaf"; anomalies = true };
+            Proto.Shutdown ]);
     case "replies-round-trip" (fun () ->
         List.iter
           (fun r -> check Alcotest.bool "round-trips" true (reply_roundtrip r = r))
           [
             Proto.Result sample_result;
+            Proto.Result
+              { sample_result with
+                Proto.trace_id = Some "e220a8397b1dcdaf";
+                trace =
+                  Some
+                    (Obs.Json.Obj
+                       [ ("spans", Obs.Json.List []);
+                         ("truncated", Obs.Json.Bool false) ]) };
             Proto.Result
               { sample_result with
                 Proto.outcome =
@@ -82,6 +103,10 @@ let proto_tests =
                  [ ("schema", Obs.Json.Str "rbp-metrics/1");
                    ("uptime_s", Obs.Json.Num 1.5);
                    ("counters", Obs.Json.Obj [ ("serve.admitted", Obs.Json.Num 3.0) ]) ]);
+            Proto.Flight_reply
+              (Obs.Json.Obj
+                 [ ("schema", Obs.Json.Str Flight.schema);
+                   ("requests", Obs.Json.List []) ]);
             Proto.Bye;
           ]);
     case "statuses-follow-the-contract" (fun () ->
@@ -242,6 +267,11 @@ let wire_tests =
           (Wire.read_line ~slice_s:0.01 ~idle_timeout_s:0.05 rd = `Idle));
   ]
 
+(* A gc sampler frozen at one real reading: byte-stable documents
+   without faking the whole [Gc.stat] record. *)
+let frozen_gc = lazy (Gc.quick_stat ())
+let frozen_gc_stat () = Lazy.force frozen_gc
+
 let stats_tests =
   [
     case "bump-get-snapshot" (fun () ->
@@ -275,7 +305,7 @@ let stats_tests =
         List.iter Thread.join ts;
         check Alcotest.int "no lost updates" 4000 (Stats.get s Obs.Counter.Serve_completed));
     case "metrics-document-shape" (fun () ->
-        let s = Stats.make ~clock:(Obs.Clock.frozen 2.0) () in
+        let s = Stats.make ~clock:(Obs.Clock.frozen 2.0) ~gc_stat:frozen_gc_stat () in
         Stats.note_admitted s;
         Stats.note_result s ~rung:(Some "greedy budget=10") ~cache_hit:false
           ~queue_ms:1.0 ~compile_ms:20.0 ~total_ms:21.0;
@@ -295,10 +325,18 @@ let stats_tests =
                 check Alcotest.string "rung name" "greedy budget=10" name;
                 (* the cache hit must not dilute the rung's compile series *)
                 check Alcotest.int "cache hit skipped" 1 series.Serve.Metrics.count
-            | rungs -> Alcotest.failf "expected one rung, got %d" (List.length rungs)));
+            | rungs -> Alcotest.failf "expected one rung, got %d" (List.length rungs));
+            check Alcotest.bool "gc gauges present and sane" true
+              (match List.assoc_opt "live_words" m.Serve.Metrics.gc with
+              | Some w -> w >= 0.0 && List.mem_assoc "major_collections" m.Serve.Metrics.gc
+              | None -> false));
     case "fake-clock-metrics-are-byte-identical" (fun () ->
         let drive () =
-          let s = Stats.make ~clock:(Obs.Clock.fake ~start:100.0 ~step:0.125 ()) () in
+          let s =
+            Stats.make
+              ~clock:(Obs.Clock.fake ~start:100.0 ~step:0.125 ())
+              ~gc_stat:frozen_gc_stat ()
+          in
           Stats.bump s Obs.Counter.Serve_admitted 4;
           Stats.note_shed s;
           for i = 1 to 4 do
@@ -315,12 +353,109 @@ let stats_tests =
           (drive ()) (drive ()));
   ]
 
+(* --- the flight recorder: two rings, one mutex ----------------------- *)
+
+let flight_entry ?(status = "ok") ?anomaly ?(id = "r") ?trace trace_id =
+  {
+    Flight.trace_id;
+    id;
+    status;
+    anomaly;
+    rung = Some "pipelined(greedy, budget=10)";
+    cache = "miss";
+    queue_ms = 0.25;
+    compile_ms = 2.0;
+    total_ms = 2.25;
+    attempts = [];
+    trace;
+    ts = 0.0;
+  }
+
+let flight_tests =
+  [
+    case "request-ring-evicts-oldest-first" (fun () ->
+        let t = Flight.make ~capacity:4 ~clock:(Obs.Clock.frozen 0.0) () in
+        for i = 1 to 6 do
+          Flight.record t (flight_entry (Printf.sprintf "t%d" i))
+        done;
+        check Alcotest.(list string) "last four, oldest first"
+          [ "t3"; "t4"; "t5"; "t6" ]
+          (List.map (fun e -> e.Flight.trace_id) (Flight.requests t)));
+    case "anomaly-ring-survives-a-burst" (fun () ->
+        let t = Flight.make ~capacity:4 ~anomaly_capacity:4 ~clock:(Obs.Clock.frozen 0.0) () in
+        Flight.record t (flight_entry ~status:"timeout" ~anomaly:"timeout" "victim");
+        (* a burst of healthy traffic far beyond both capacities *)
+        for i = 1 to 32 do
+          Flight.record t (flight_entry (Printf.sprintf "ok%d" i))
+        done;
+        check Alcotest.bool "evicted from the request ring" true
+          (not (List.exists (fun e -> e.Flight.trace_id = "victim") (Flight.requests t)));
+        check Alcotest.(list string) "still in the anomaly ring" [ "victim" ]
+          (List.map (fun e -> e.Flight.trace_id) (Flight.anomalies t));
+        match Flight.find t "victim" with
+        | Some e -> check Alcotest.string "findable by trace id" "timeout" e.Flight.status
+        | None -> Alcotest.fail "anomaly not findable");
+    case "sheds-land-only-in-the-anomaly-ring" (fun () ->
+        let t = Flight.make ~clock:(Obs.Clock.frozen 0.0) () in
+        Flight.record t (Flight.shed ~trace_id:"s1" ~id:"req" ~ts:1.0);
+        check Alcotest.int "request ring untouched" 0 (List.length (Flight.requests t));
+        match Flight.anomalies t with
+        | [ e ] ->
+            check Alcotest.string "status" "overload" e.Flight.status;
+            check Alcotest.bool "anomaly tag" true (e.Flight.anomaly = Some "overload")
+        | l -> Alcotest.failf "expected one anomaly, got %d" (List.length l));
+    case "documents-round-trip" (fun () ->
+        let t = Flight.make ~capacity:8 ~clock:(Obs.Clock.frozen 0.0) () in
+        Flight.record t
+          (flight_entry
+             ~trace:(Obs.Json.Obj
+                       [ ("spans", Obs.Json.List []);
+                         ("truncated", Obs.Json.Bool false) ])
+             "a1");
+        Flight.record t (flight_entry ~status:"timeout" ~anomaly:"timeout" "a2");
+        let doc = Flight.to_json t in
+        (match Flight.entries_of_json doc with
+        | Error e -> Alcotest.failf "own document rejected: %s" e
+        | Ok (reqs, anoms) ->
+            check Alcotest.(list string) "requests" [ "a1"; "a2" ]
+              (List.map (fun e -> e.Flight.trace_id) reqs);
+            check Alcotest.(list string) "anomalies" [ "a2" ]
+              (List.map (fun e -> e.Flight.trace_id) anoms);
+            check Alcotest.bool "span tree retained" true
+              ((List.hd reqs).Flight.trace <> None));
+        (match Flight.entries_of_json (Obs.Json.Obj [ ("schema", Obs.Json.Str "nope/9") ]) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "foreign schema accepted");
+        match Flight.render doc with
+        | Ok text ->
+            check Alcotest.bool "render mentions the trace ids" true
+              (let has needle =
+                 let nl = String.length needle and tl = String.length text in
+                 let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+                 go 0
+               in
+               has "a1" && has "a2")
+        | Error e -> Alcotest.failf "render: %s" e);
+    case "id-filter-narrows-both-rings" (fun () ->
+        let t = Flight.make ~clock:(Obs.Clock.frozen 0.0) () in
+        Flight.record t (flight_entry "keep");
+        Flight.record t (flight_entry "drop");
+        Flight.record t (flight_entry ~status:"timeout" ~anomaly:"timeout" "keep");
+        match Flight.entries_of_json (Flight.to_json ~id:"keep" t) with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok (reqs, anoms) ->
+            check Alcotest.int "one kept request... " 2 (List.length reqs);
+            check Alcotest.bool "...all carrying the id" true
+              (List.for_all (fun e -> e.Flight.trace_id = "keep") reqs);
+            check Alcotest.int "one kept anomaly" 1 (List.length anoms));
+  ]
+
 (* --- client-side metrics: parse, dashboard, Prometheus --------------- *)
 
 (* A hand-built rbp-metrics/1 document, driven through a real [Stats] so
    the producer and the consumer are tested against each other. *)
 let sample_metrics_doc () =
-  let s = Stats.make ~clock:(Obs.Clock.frozen 30.0) () in
+  let s = Stats.make ~clock:(Obs.Clock.frozen 30.0) ~gc_stat:frozen_gc_stat () in
   Stats.bump s Obs.Counter.Serve_admitted 3;
   Stats.bump s Obs.Counter.Serve_cache_hits 1;
   Stats.note_admitted s;
@@ -427,14 +562,16 @@ let rec rm_rf path =
 (* Start [Server.run] on a fresh Unix socket in a background thread and
    hand the address to [f]; shutdown (via the wire op) and cleanup are
    guaranteed. Returns the daemon's exit code. *)
-let with_daemon ?queue_limit ?default_deadline_ms ?max_retries ?(cache = false) f =
+let with_daemon ?queue_limit ?default_deadline_ms ?max_retries ?(cache = false)
+    ?logger ?trace_seed f =
   let dir = temp_dir "rbp-serve-test" in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let addr = Wire.Unix_path (Filename.concat dir "d.sock") in
   let cache = if cache then Some (Engine.Cache.open_ ~dir:(Filename.concat dir "cache") ()) else None in
+  let logger = Option.value logger ~default:Obs.Log.null in
   let cfg =
     Server.config ~workers:2 ?queue_limit ?default_deadline_ms ?max_retries ?cache
-      ~faults_enabled:true ~allow_shutdown:true ~log:(fun _ -> ()) addr
+      ~faults_enabled:true ~allow_shutdown:true ~logger ?trace_seed addr
   in
   let code = ref (-1) in
   let daemon = Thread.create (fun () -> code := Server.run cfg) () in
@@ -463,7 +600,8 @@ let request_ok c req =
   | Ok reply -> reply
   | Error e -> Alcotest.failf "request: %s" e
 
-let compile_req ?(id = "r") ?deadline_ms ?(no_cache = false) ?fault loop =
+let compile_req ?(id = "r") ?deadline_ms ?(no_cache = false) ?fault ?trace_id
+    ?(trace = false) loop =
   Proto.Compile
     {
       Proto.id;
@@ -473,6 +611,8 @@ let compile_req ?(id = "r") ?deadline_ms ?(no_cache = false) ?fault loop =
       deadline_ms;
       no_cache;
       fault;
+      trace_id;
+      trace;
     }
 
 let expect_result what = function
@@ -526,7 +666,8 @@ let daemon_tests =
             Proto.Compile
               { Proto.id = "bad"; ir = "loop \"x\" { this is not ir }";
                 clusters = 4; model = Mach.Machine.Embedded;
-                deadline_ms = None; no_cache = false; fault = None }
+                deadline_ms = None; no_cache = false; fault = None;
+                trace_id = None; trace = false }
           in
           let rb = expect_result "bad ir" (request_ok c bad) in
           (match rb.Proto.outcome with
@@ -679,6 +820,122 @@ let daemon_tests =
           | reply -> Alcotest.failf "stats got %s" (Proto.status_of_reply reply)
         in
         check Alcotest.int "clean shutdown" 0 code);
+    slow_case "daemon-threads-trace-ids-end-to-end" (fun () ->
+        let (), code =
+          with_daemon ~trace_seed:0 @@ fun addr ->
+          let c = connect_ok addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let loop = Workload.Kernels.daxpy ~unroll:2 in
+          (* a valid client-supplied correlator is echoed verbatim *)
+          let r =
+            expect_result "traced"
+              (request_ok c (compile_req ~id:"a" ~trace_id:"client-chose.this-1" loop))
+          in
+          check Alcotest.bool "client id echoed" true
+            (r.Proto.trace_id = Some "client-chose.this-1");
+          check Alcotest.bool "no tree unless asked" true (r.Proto.trace = None);
+          (* an invalid one is replaced, never propagated *)
+          let r2 =
+            expect_result "replaced"
+              (request_ok c (compile_req ~id:"b" ~trace_id:"has spaces!" loop))
+          in
+          (match r2.Proto.trace_id with
+          | Some t ->
+              check Alcotest.bool "server-generated instead" true
+                (t <> "has spaces!" && Obs.Trace_id.is_valid t
+                && String.length t = 16)
+          | None -> Alcotest.fail "daemon-built replies always carry a trace id");
+          (* no id at all: the seeded stream provides one *)
+          let r3 = expect_result "generated" (request_ok c (compile_req ~id:"c" loop)) in
+          check Alcotest.bool "generated id present" true
+            (match r3.Proto.trace_id with
+            | Some t -> Obs.Trace_id.is_valid t && String.length t = 16
+            | None -> false);
+          (* trace:true rides the span tree in the reply, and it parses *)
+          let r4 =
+            expect_result "span tree"
+              (request_ok c (compile_req ~id:"d" ~trace_id:"tree-1" ~trace:true loop))
+          in
+          match r4.Proto.trace with
+          | None -> Alcotest.fail "requested tree missing"
+          | Some j -> (
+              match Obs.Export.trace_spans_of_json j with
+              | Error e -> Alcotest.failf "tree did not parse: %s" e
+              | Ok spans ->
+                  check Alcotest.bool "at least the ladder span" true (spans <> []))
+        in
+        check Alcotest.int "clean shutdown" 0 code);
+    slow_case "daemon-flight-recorder-recovers-anomalies" (fun () ->
+        let (), code =
+          with_daemon ~max_retries:0 @@ fun addr ->
+          let c = connect_ok addr in
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          let loop = Workload.Kernels.hydro ~unroll:2 in
+          let rt =
+            expect_result "deadline"
+              (request_ok c
+                 (compile_req ~id:"t" ~trace_id:"the-timeout" ~deadline_ms:0.01 loop))
+          in
+          check Alcotest.string "timed out" "timeout"
+            (Proto.status_of_reply (Proto.Result rt));
+          let rq =
+            expect_result "poison"
+              (request_ok c
+                 (compile_req ~id:"p" ~trace_id:"the-poison" ~fault:"crash-worker" loop))
+          in
+          (match rq.Proto.outcome with
+          | Error e ->
+              check Alcotest.string "quarantined" Proto.code_quarantined
+                e.Verify.Stage_error.code
+          | Ok _ -> Alcotest.fail "poison request cannot succeed");
+          ignore (expect_result "healthy" (request_ok c (compile_req ~id:"h" loop)));
+          (* the anomaly ring has both, by trace id, with latencies *)
+          (match request_ok c (Proto.Flight { id = None; anomalies = true }) with
+          | Proto.Flight_reply doc -> (
+              match Flight.entries_of_json doc with
+              | Error e -> Alcotest.failf "flight doc: %s" e
+              | Ok (reqs, anoms) ->
+                  check Alcotest.int "anomalies only" 0 (List.length reqs);
+                  let find tid =
+                    match List.find_opt (fun e -> e.Flight.trace_id = tid) anoms with
+                    | Some e -> e
+                    | None -> Alcotest.failf "anomaly %S not retained" tid
+                  in
+                  let t = find "the-timeout" in
+                  check Alcotest.bool "timeout tagged" true
+                    (t.Flight.anomaly = Some "timeout");
+                  check Alcotest.bool "latency accounted" true (t.Flight.total_ms >= 0.0);
+                  let q = find "the-poison" in
+                  check Alcotest.bool "quarantine tagged" true
+                    (q.Flight.anomaly = Some "quarantine"))
+          | reply -> Alcotest.failf "flight got %s" (Proto.status_of_reply reply));
+          (* the healthy compile shows up in the full dump's request ring *)
+          match request_ok c (Proto.Flight { id = None; anomalies = false }) with
+          | Proto.Flight_reply doc -> (
+              match Flight.entries_of_json doc with
+              | Error e -> Alcotest.failf "flight doc: %s" e
+              | Ok (reqs, _) ->
+                  check Alcotest.bool "completed requests retained" true
+                    (List.exists (fun e -> e.Flight.id = "h") reqs))
+          | reply -> Alcotest.failf "flight got %s" (Proto.status_of_reply reply)
+        in
+        check Alcotest.int "clean shutdown" 0 code);
+    slow_case "bombard-trace-sampling-checks-the-returned-trees" (fun () ->
+        let report, code =
+          with_daemon ~cache:true @@ fun addr ->
+          Serve.Bombard.run
+            (Serve.Bombard.config ~clients:2 ~loops:6 ~seed:7 ~check:true
+               ~trace_sample:2 addr)
+        in
+        check Alcotest.int "daemon survived" 0 code;
+        check Alcotest.int "every request answered" 0 report.Serve.Bombard.unanswered;
+        check Alcotest.(list string) "no protocol errors" []
+          report.Serve.Bombard.protocol_errors;
+        check Alcotest.(list string) "trees parsed, ids echoed, rungs agreed" []
+          report.Serve.Bombard.mismatches;
+        check Alcotest.bool "sampling actually traced" true
+          (report.Serve.Bombard.traced >= 3);
+        check Alcotest.int "harness verdict" 0 (Serve.Bombard.exit_code report));
   ]
 
 let suite =
@@ -687,6 +944,7 @@ let suite =
     ("serve.admission", admission_tests);
     ("serve.wire", wire_tests);
     ("serve.stats", stats_tests);
+    ("serve.flight", flight_tests);
     ("serve.metrics", metrics_tests);
     ("serve.daemon", daemon_tests);
   ]

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Validate a daemon JSONL log (`rbp serve --log-json`).
+#
+# Checks, in order:
+#   1. every line is a well-formed log object in the logger's fixed key
+#      order — {"ts":<num>,"level":"<lvl>","msg":"...","trace_id":"..."}
+#      with optional extra fields after the fixed four;
+#   2. timestamps never go backwards — the logger reads its clock under
+#      one mutex, so a regression means interleaved corruption;
+#   3. every line (errors included) carries a non-empty trace_id, so a
+#      grep by id always reconstructs a request's full story.
+#
+# Usage: check_logs.sh [log-file]   (stdin when omitted)
+set -eu
+
+input=${1:--}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+cat -- "$input" > "$tmp" 2>/dev/null || { echo "check_logs: cannot read $input" >&2; exit 2; }
+
+[ -s "$tmp" ] || { echo "check_logs: log is empty" >&2; exit 1; }
+
+awk '
+  function fail(msg) { print "check_logs: line " NR ": " msg > "/dev/stderr"; bad = 1 }
+  /^$/ { fail("blank line"); next }
+  {
+    if ($0 !~ /^\{"ts":-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?,"level":"(debug|info|warn|error)","msg":"/) {
+      fail("not a log object in the fixed key order: " $0)
+      next
+    }
+    if ($0 !~ /"trace_id":"[^"]+"/) {
+      fail("no trace_id: " $0)
+      next
+    }
+    ts = $0
+    sub(/^\{"ts":/, "", ts); sub(/,.*/, "", ts)
+    if (seen && ts + 0 < prev + 0) fail("timestamp went backwards: " prev " -> " ts)
+    prev = ts; seen = 1
+    total++
+    if ($0 ~ /^\{"ts":[^,]*,"level":"error"/) {
+      errors++
+      if ($0 !~ /"trace_id":"[^"]+"/) fail("error line without a trace_id: " $0)
+    }
+  }
+  END {
+    if (total == 0) { fail("no log lines"); }
+    exit bad
+  }
+' "$tmp"
+
+echo "check_logs: log OK ($(wc -l < "$tmp" | tr -d ' ') lines)"
