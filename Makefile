@@ -2,7 +2,7 @@
 
 .PHONY: all build test bench bench-json bench-baseline perfdiff report check-report doc \
         clean quickstart experiment lint analyze stress trace serve-smoke bombard \
-        metrics-check logs-check
+        metrics-check logs-check exact exact-baseline exact-perfdiff
 
 all: build
 
@@ -64,6 +64,29 @@ bench-baseline:
 perfdiff:
 	dune exec bench/main.exe -- quick-json BENCH_quick.json -j $(J)
 	dune exec bin/rbp.exe -- perfdiff bench/baseline/BENCH_quick.json BENCH_quick.json
+
+# The exact branch-and-bound study: provably optimal II + bank assignment
+# for every tractable suite loop (<= 12 registers), against the greedy
+# heuristic, on all three paper geometries. Node-budgeted, so the output
+# is byte-identical for every J.
+exact:
+	dune exec bin/rbp.exe -- exact -j $(J)
+
+# Refresh the checked-in exact-study baseline (deterministic: the solver
+# is node-budgeted, not clock-budgeted, so an unchanged solver
+# regenerates it byte-identically). Shows what would change first.
+exact-baseline:
+	dune exec bin/rbp.exe -- exact -j $(J) --json BENCH_exact_new.json
+	-diff -u bench/baseline/BENCH_exact.json BENCH_exact_new.json
+	mv BENCH_exact_new.json bench/baseline/BENCH_exact.json
+
+# The exact-study CI gate, runnable locally: regenerate the telemetry
+# and compare it against the checked-in baseline (optimal counts must
+# not drop, budgets must match, means must not move — the data is
+# deterministic, so the gates are strict).
+exact-perfdiff:
+	dune exec bin/rbp.exe -- exact -j $(J) --json BENCH_exact.json
+	dune exec bin/rbp.exe -- perfdiff bench/baseline/BENCH_exact.json BENCH_exact.json
 
 # Regenerate the paper tables of EXPERIMENTS.md (full 211-loop suite)
 # and verify the committed document still matches, byte for byte.

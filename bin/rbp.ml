@@ -141,6 +141,27 @@ let cache_of ~no_cache ~cache_dir =
 
 let effective_jobs jobs = if jobs <= 0 then Engine.Pool.default_jobs () else jobs
 
+(* One --deadline-ms across pipeline/exact: the same Engine.Cancel token
+   the serve daemon uses, polled at stage boundaries (pipeline) and
+   every few hundred search nodes (exact), surfacing as PIPE008 /
+   budget-exhausted rather than a kill. *)
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Give up cooperatively after $(docv) milliseconds of wall time: the pipeline \
+           stops at the next stage boundary with a PIPE008 stage error, the exact \
+           solver returns its incumbent as budget-exhausted. Off by default.")
+
+let cancel_of_deadline = function
+  | None -> Engine.Cancel.never
+  | Some ms ->
+      Engine.Cancel.make
+        ~deadline:(real_clock () +. (float_of_int ms /. 1000.))
+        ~clock:real_clock ()
+
 (* ------------------------------------------------------------------ *)
 (* Tracing support                                                     *)
 
@@ -257,7 +278,8 @@ let unroll_arg =
   Arg.(value & opt int 1 & info [ "unroll"; "u" ] ~docv:"FACTOR" ~doc)
 
 let pipeline_cmd =
-  let run seed name clusters model partitioner scheduler unroll trips jobs trace_out =
+  let run seed name clusters model partitioner scheduler unroll trips jobs trace_out
+      deadline_ms =
     let loop = or_die (load_loop ~seed name) in
     let loop =
       if unroll <= 1 then loop
@@ -273,7 +295,10 @@ let pipeline_cmd =
       (* One loop is one job, so the pool clamps -j N to the serial
          path — the flag still means the same thing as on the suite
          commands. *)
-      let task () = Partition.Driver.pipeline ?obs ~partitioner ~scheduler ~machine loop in
+      let cancel = Engine.Cancel.guard (cancel_of_deadline deadline_ms) in
+      let task () =
+        Partition.Driver.pipeline ?obs ~cancel ~partitioner ~scheduler ~machine loop
+      in
       let out =
         match (Engine.Pool.run ~jobs:(effective_jobs jobs) [| task |]).(0) with
         | Ok out -> out
@@ -318,7 +343,7 @@ let pipeline_cmd =
        ~doc:"Run the full partition + software-pipelining framework on one loop")
     Term.(
       const run $ seed_arg $ loop_arg $ clusters_arg $ model_arg $ partitioner_arg
-      $ scheduler_arg $ unroll_arg $ trips $ jobs_arg $ trace_out_arg)
+      $ scheduler_arg $ unroll_arg $ trips $ jobs_arg $ trace_out_arg $ deadline_ms_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -417,6 +442,23 @@ let explain_cmd =
 (* ------------------------------------------------------------------ *)
 (* report                                                              *)
 
+(* Bridge the solver's per-geometry aggregate into core's plain Table-3
+   record (core deliberately has no dependency on lib/exact). *)
+let gap_row_of_geometry (g : Exact.Gap.geometry) =
+  let r = Exact.Gap.row_of g in
+  {
+    Core.Report.gap_label = r.Exact.Gap.label;
+    gap_loops = r.Exact.Gap.loops;
+    gap_optimal = r.Exact.Gap.optimal;
+    gap_bound = r.Exact.Gap.bound;
+    gap_exhausted = r.Exact.Gap.exhausted;
+    gap_greedy_optimal = r.Exact.Gap.greedy_optimal;
+    gap_mean_greedy_ii = r.Exact.Gap.mean_greedy_ii;
+    gap_mean_exact_ii = r.Exact.Gap.mean_exact_ii;
+    gap_mean_greedy_copies = r.Exact.Gap.mean_greedy_copies;
+    gap_mean_exact_copies = r.Exact.Gap.mean_exact_copies;
+  }
+
 let report_cmd =
   let run seed n format check out jobs cache_dir no_cache deterministic =
     let loops = Workload.Suite.loops ~seed ~n () in
@@ -432,14 +474,24 @@ let report_cmd =
       List.fold_left (fun acc (r : Core.Experiment.run) -> acc + r.cache_hits) 0 runs
     in
     let ideal_ipc = Core.Experiment.ideal_ipc ~loops () in
+    (* Table 3 (greedy vs. provably optimal) re-solves the exact slice, so
+       it is computed once, lazily — md/text/check need it, json keeps the
+       original rbp-bench/1 shape for baseline compatibility. *)
+    let gap =
+      lazy
+        (List.map gap_row_of_geometry
+           (Exact.Gap.run ~jobs:(effective_jobs jobs) ~seed ~n ()))
+    in
     let text =
       match format with
-      | `Md -> Core.Report.paper_tables_md ~ideal_ipc runs
+      | `Md -> Core.Report.paper_tables_md ~gap:(Lazy.force gap) ~ideal_ipc runs
       | `Text ->
           let b = Buffer.create 1024 in
           Buffer.add_string b (Util.Table.render (Core.Report.table1 ~ideal_ipc runs));
           Buffer.add_char b '\n';
           Buffer.add_string b (Util.Table.render (Core.Report.table2 runs));
+          Buffer.add_char b '\n';
+          Buffer.add_string b (Util.Table.render (Core.Report.table3 (Lazy.force gap)));
           Buffer.add_string b "failures:\n";
           Buffer.add_string b (Core.Report.failures_summary runs);
           Buffer.contents b
@@ -486,7 +538,7 @@ let report_cmd =
         let ic = open_in path in
         let doc = really_input_string ic (in_channel_length ic) in
         close_in ic;
-        match Core.Report.check_tables_in ~ideal_ipc runs doc with
+        match Core.Report.check_tables_in ~gap:(Lazy.force gap) ~ideal_ipc runs doc with
         | Ok () -> Printf.printf "%s: tables are up to date\n" path
         | Error missing ->
             Printf.eprintf "rbp: %s is stale: %s differ(s) from this run (regenerate with \
@@ -515,8 +567,8 @@ let report_cmd =
       value & opt (some string) None
       & info [ "check" ] ~docv:"FILE"
           ~doc:
-            "After printing, verify that both regenerated table blocks appear verbatim \
-             in $(docv) (normally EXPERIMENTS.md); exit 1 if either is stale.")
+            "After printing, verify that every regenerated table block appears verbatim \
+             in $(docv) (normally EXPERIMENTS.md); exit 1 if any is stale.")
   in
   let out =
     Arg.(
@@ -526,12 +578,209 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Run the paper's experiment suite and render Tables 1-2 as markdown (the exact \
-          EXPERIMENTS.md sections), terminal tables, or rbp-bench/1 JSON. With \
-          $(b,--check) also verify a document still contains the regenerated tables")
+         "Run the paper's experiment suite and render Tables 1-3 as markdown (the exact \
+          EXPERIMENTS.md sections, Table 3 being the greedy-vs-optimal gap study), \
+          terminal tables, or rbp-bench/1 JSON. With $(b,--check) also verify a \
+          document still contains the regenerated tables")
     Term.(
       const run $ seed_arg $ n $ format $ check $ out $ jobs_arg $ cache_dir_arg
       $ no_cache_arg $ deterministic_arg)
+
+(* ------------------------------------------------------------------ *)
+(* exact                                                               *)
+
+let exact_cmd =
+  let budget_arg =
+    Arg.(
+      value
+      & opt int Exact.Solve.default_budget
+      & info [ "budget" ] ~docv:"NODES"
+          ~doc:
+            "Branch-and-bound node budget per loop. Node counts are deterministic, so \
+             the same budget gives byte-identical results on every host and $(b,-j) \
+             level (unlike $(b,--deadline-ms), which is wall-clock).")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"In slice mode, also print every per-loop solve, one table per geometry.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "In slice mode, also write the gap aggregates as an rbp-bench/1 document \
+             with an $(b,exact) section (consumable by $(b,rbp perfdiff), gated in CI \
+             against bench/baseline/BENCH_exact.json).")
+  in
+  let n_arg =
+    Arg.(
+      value
+      & opt int Workload.Suite.size
+      & info [ "loops"; "n" ] ~docv:"N"
+          ~doc:"Consider the first $(docv) suite loops when slicing.")
+  in
+  let print_status (s : Exact.Solve.t) =
+    (match s.Exact.Solve.status with
+    | Exact.Solve.Optimal w ->
+        Printf.printf "exact   II %d, %d copies - proven optimal (search complete, verified)\n"
+          w.Exact.Witness.ii w.Exact.Witness.copies
+    | Exact.Solve.Bound { lower; best } -> (
+        Printf.printf "exact   proven lower bound II >= %d (search complete)\n" lower;
+        match best with
+        | Some w ->
+            Printf.printf "        best realized: II %d, %d copies\n" w.Exact.Witness.ii
+              w.Exact.Witness.copies
+        | None -> Printf.printf "        no witness schedule realized\n")
+    | Exact.Solve.Budget_exhausted { lower; best } -> (
+        Printf.printf "exact   budget exhausted; static lower bound II >= %d\n" lower;
+        match best with
+        | Some w ->
+            Printf.printf "        incumbent: II %d, %d copies (not proven optimal)\n"
+              w.Exact.Witness.ii w.Exact.Witness.copies
+        | None -> Printf.printf "        no incumbent realized\n"));
+    Printf.printf "search  %d nodes, %d leaves, %d pruned, %d backjumps\n"
+      s.Exact.Solve.stats.Exact.Search.nodes s.Exact.Solve.stats.Exact.Search.leaves
+      s.Exact.Solve.stats.Exact.Search.pruned s.Exact.Solve.stats.Exact.Search.backjumps;
+    Printf.printf "verify  %s\n" (Verify.Diag.summary s.Exact.Solve.diags);
+    List.iter
+      (fun d -> Printf.printf "  %s\n" (Verify.Diag.to_string d))
+      (Verify.Diag.errors s.Exact.Solve.diags);
+    if Verify.Diag.has_errors s.Exact.Solve.diags then exit 1
+  in
+  let json_of ~seed ~n ~budget geos =
+    let int_num x = Obs.Json.Num (float_of_int x) in
+    let geo (g : Exact.Gap.geometry) =
+      let r = Exact.Gap.row_of g in
+      let pct =
+        if r.Exact.Gap.loops = 0 then 0.0
+        else 100.0 *. float_of_int r.Exact.Gap.greedy_optimal /. float_of_int r.Exact.Gap.loops
+      in
+      Obs.Json.Obj
+        [
+          ("label", Obs.Json.Str r.Exact.Gap.label);
+          ("loops", int_num r.Exact.Gap.loops);
+          ("optimal", int_num r.Exact.Gap.optimal);
+          ("bound", int_num r.Exact.Gap.bound);
+          ("exhausted", int_num r.Exact.Gap.exhausted);
+          ("greedy_optimal", int_num r.Exact.Gap.greedy_optimal);
+          ("greedy_optimal_pct", Obs.Json.Num pct);
+          ("mean_greedy_ii", Obs.Json.Num r.Exact.Gap.mean_greedy_ii);
+          ("mean_exact_ii", Obs.Json.Num r.Exact.Gap.mean_exact_ii);
+          ("mean_greedy_copies", Obs.Json.Num r.Exact.Gap.mean_greedy_copies);
+          ("mean_exact_copies", Obs.Json.Num r.Exact.Gap.mean_exact_copies);
+        ]
+    in
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.Str "rbp-bench/1");
+        ("seed", int_num seed);
+        ("loops", int_num n);
+        (* No per-config IPC sweep happens here; the field is structural
+           (required by the schema) and never gated at 0. *)
+        ("ideal_ipc", Obs.Json.Num 0.0);
+        ("configs", Obs.Json.List []);
+        ( "exact",
+          Obs.Json.Obj
+            [
+              ("budget", int_num budget);
+              ("max_vregs", int_num Exact.Solve.slice_max_vregs);
+              ("geometries", Obs.Json.List (List.map geo geos));
+            ] );
+      ]
+  in
+  let run seed name clusters model budget deadline_ms n jobs verbose json_out =
+    let cancel = cancel_of_deadline deadline_ms in
+    match name with
+    | Some name ->
+        (* Single-loop mode: solve one loop on one machine, show the claim
+           and its verification. *)
+        let loop = or_die (load_loop ~seed name) in
+        let machine = or_die (machine_of ~clusters ~model) in
+        let e = Exact.Gap.one ~budget ~cancel ~machine loop in
+        let s = e.Exact.Gap.solve in
+        Printf.printf "=== %s on %s ===\n" e.Exact.Gap.loop_name
+          machine.Mach.Machine.name;
+        Printf.printf "registers %d (slice limit %d), remat candidates %d\n"
+          s.Exact.Solve.n_regs Exact.Solve.slice_max_vregs s.Exact.Solve.remat;
+        if e.Exact.Gap.greedy_ii > 0 then
+          Printf.printf "greedy  II %d, %d copies\n" e.Exact.Gap.greedy_ii
+            e.Exact.Gap.greedy_copies
+        else Printf.printf "greedy  failed to pipeline\n";
+        print_status s
+    | None ->
+        (* Slice mode: the gap study over every tractable suite loop and
+           the paper's three geometries. *)
+        let geos = Exact.Gap.run ~budget ~cancel ~jobs:(effective_jobs jobs) ~seed ~n () in
+        let slice_n =
+          match geos with g :: _ -> List.length g.Exact.Gap.entries | [] -> 0
+        in
+        Printf.printf "exact slice: %d of %d suite loops (<= %d registers), budget %d nodes\n"
+          slice_n n Exact.Solve.slice_max_vregs budget;
+        print_newline ();
+        if verbose then
+          List.iter
+            (fun (g : Exact.Gap.geometry) ->
+              let t =
+                Util.Table.create
+                  ~title:(Printf.sprintf "exact slice on %s" g.Exact.Gap.label)
+                  ~header:
+                    [
+                      "loop"; "regs"; "greedy II"; "greedy cp"; "status"; "best II";
+                      "best cp"; "lower"; "nodes";
+                    ]
+              in
+              List.iter
+                (fun (e : Exact.Gap.entry) ->
+                  let s = e.Exact.Gap.solve in
+                  let best_ii, best_cp =
+                    match Exact.Solve.witness s with
+                    | Some w ->
+                        ( string_of_int w.Exact.Witness.ii,
+                          string_of_int w.Exact.Witness.copies )
+                    | None -> ("-", "-")
+                  in
+                  Util.Table.add_row t
+                    [
+                      e.Exact.Gap.loop_name;
+                      string_of_int e.Exact.Gap.n_regs;
+                      (if e.Exact.Gap.greedy_ii > 0 then string_of_int e.Exact.Gap.greedy_ii
+                       else "-");
+                      (if e.Exact.Gap.greedy_ii > 0 then
+                         string_of_int e.Exact.Gap.greedy_copies
+                       else "-");
+                      Exact.Solve.status_name s.Exact.Solve.status;
+                      best_ii;
+                      best_cp;
+                      string_of_int (Exact.Solve.lower s);
+                      string_of_int s.Exact.Solve.stats.Exact.Search.nodes;
+                    ])
+                g.Exact.Gap.entries;
+              print_string (Util.Table.render t);
+              print_newline ())
+            geos;
+        print_string
+          (Util.Table.render (Core.Report.table3 (List.map gap_row_of_geometry geos)));
+        match json_out with
+        | None -> ()
+        | Some path ->
+            write_file path (Obs.Json.to_string (json_of ~seed ~n ~budget geos) ^ "\n");
+            Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:
+         "Prove optimal II and bank assignment by branch-and-bound. With a $(i,LOOP): \
+          solve that loop on one machine and print the (verified) claim. Without: run \
+          the greedy-vs-optimal gap study over every suite loop small enough for \
+          exhaustive search, on the paper's three geometries (Table 3 of $(b,rbp \
+          report))")
+    Term.(
+      const run $ seed_arg $ opt_loop_arg $ clusters_arg $ model_arg $ budget_arg
+      $ deadline_ms_arg $ n_arg $ jobs_arg $ verbose_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* perfdiff                                                            *)
@@ -1950,7 +2199,8 @@ let main =
   let doc = "register assignment for software pipelining with partitioned register banks" in
   Cmd.group
     (Cmd.info "rbp" ~version:"1.0" ~doc)
-    [ list_cmd; show_cmd; pipeline_cmd; trace_cmd; explain_cmd; report_cmd; perfdiff_cmd;
+    [ list_cmd; show_cmd; pipeline_cmd; trace_cmd; explain_cmd; report_cmd; exact_cmd;
+      perfdiff_cmd;
       schedule_cmd; compare_cmd; rcg_cmd; ddg_cmd; alloc_cmd; lint_cmd; analyze_cmd;
       stress_cmd;
       sim_cmd; experiment_cmd; csv_cmd; cache_cmd; serve_cmd; bombard_cmd; call_cmd;

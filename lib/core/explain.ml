@@ -60,6 +60,20 @@ let narrative t =
   section "cross-bank copies" copies ~empty:"(none needed)";
   section "clustered modulo scheduling" sched_clustered ~empty:"scheduled at MII, first try";
   if alloc <> [] then section "register allocation" alloc ~empty:"";
+  (* The AN008 set, from the same analysis call the exact solver counts —
+     narrative and solver cite one remat set, not two approximations. *)
+  let remat =
+    Analysis.Valrange.remat_candidates r.Partition.Driver.loop
+      (Analysis.Valrange.of_loop r.Partition.Driver.loop)
+  in
+  line "";
+  line "-- rematerializable values (AN008) --";
+  if remat = [] then line "(none: every cross-bank value must travel by copy)"
+  else begin
+    line "%d op(s) could be recomputed in the consuming bank instead of copied:"
+      (List.length remat);
+    List.iter (fun op -> line "  %s" (Ir.Op.to_string op)) remat
+  end;
   Buffer.contents b
 
 let dot t =

@@ -5,8 +5,11 @@
 
     - {!narrative}: why each register landed in its bank — RCG factor and
       edge contributions, the greedy balance penalty and per-node benefit
-      vectors (with tie-breaks), every cross-bank copy's route, and the
-      scheduler's II escalations and eviction chains;
+      vectors (with tie-breaks), every cross-bank copy's route, the
+      scheduler's II escalations and eviction chains, and the
+      rematerializable-value set ({!Analysis.Valrange.remat_candidates},
+      the AN008 family) that bounds how many copies could be avoided by
+      recomputation — the same set the exact solver reports;
     - {!dot}: the RCG as Graphviz DOT with nodes colored by final bank;
     - {!reservation_table}: the clustered kernel as an ASCII modulo
       reservation table (slot × cluster).

@@ -18,6 +18,23 @@ type serve_latency = {
   degraded_p99_ms : float option;
 }
 
+type exact_geometry = {
+  geo_label : string;
+  geo_loops : int;
+  optimal : int;
+  bound : int;
+  exhausted : int;
+  greedy_optimal_pct : float;
+  mean_exact_ii : float;
+  mean_greedy_ii : float;
+}
+
+type exact_metrics = {
+  budget : int;
+  max_vregs : int;
+  geometries : exact_geometry list;
+}
+
 type doc = {
   seed : int;
   loops : int;
@@ -27,6 +44,7 @@ type doc = {
   cache_hits : int option;
   wall_s : float option;
   serve : serve_latency option;
+  exact : exact_metrics option;
 }
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
@@ -88,6 +106,37 @@ let parse text =
               Some { p50_ms; p95_ms; p99_ms; max_ms; degraded_p99_ms }
           | _ -> None)
     in
+    (* The exact object (written by [rbp exact --json]) follows the same
+       additive contract: gated only when both documents carry it. *)
+    let exact =
+      Option.bind (Obs.Json.member "exact" j) (fun e ->
+          let i name = Option.bind (Obs.Json.member name e) Obs.Json.to_int in
+          match (i "budget", i "max_vregs", Option.bind (Obs.Json.member "geometries" e) Obs.Json.to_list) with
+          | Some budget, Some max_vregs, Some geos ->
+              let geo g =
+                let gi name = Option.bind (Obs.Json.member name g) Obs.Json.to_int in
+                let gf name = Option.bind (Obs.Json.member name g) Obs.Json.to_num in
+                match
+                  ( Option.bind (Obs.Json.member "label" g) Obs.Json.to_str,
+                    gi "loops", gi "optimal", gi "bound", gi "exhausted",
+                    gf "greedy_optimal_pct", gf "mean_exact_ii", gf "mean_greedy_ii" )
+                with
+                | ( Some geo_label, Some geo_loops, Some optimal, Some bound,
+                    Some exhausted, Some greedy_optimal_pct, Some mean_exact_ii,
+                    Some mean_greedy_ii ) ->
+                    Some
+                      {
+                        geo_label; geo_loops; optimal; bound; exhausted;
+                        greedy_optimal_pct; mean_exact_ii; mean_greedy_ii;
+                      }
+                | _ -> None
+              in
+              let parsed = List.filter_map geo geos in
+              if List.length parsed = List.length geos then
+                Some { budget; max_vregs; geometries = parsed }
+              else None
+          | _ -> None)
+    in
     Ok
       {
         seed; loops; ideal_ipc; configs = List.rev configs;
@@ -95,6 +144,7 @@ let parse text =
         cache_hits = opt Obs.Json.to_int "cache_hits";
         wall_s = opt Obs.Json.to_num "wall_s";
         serve;
+        exact;
       }
 
 type thresholds = {
@@ -201,6 +251,54 @@ let diff ?(thresholds = default_thresholds) ~baseline ~current () =
         (* Additive: a document without quantiles (older baseline, plain
            bench run) simply isn't latency-gated. *)
         ());
+    let* () =
+      match (baseline.exact, current.exact) with
+      | Some b, Some c ->
+          (* Everything under "exact" is a deterministic, node-budgeted
+             computation, so the runs are only comparable at identical
+             budget and slice criterion — and once comparable, the gates
+             are strict: losing a proven optimum, running out of budget
+             where the baseline did not, or the proven mean II moving at
+             all means the solver (or the code it measures) changed. *)
+          if b.budget <> c.budget then
+            Error (Printf.sprintf "incomparable runs: exact budget %d vs %d" b.budget c.budget)
+          else if b.max_vregs <> c.max_vregs then
+            Error
+              (Printf.sprintf "incomparable runs: exact slice max_vregs %d vs %d"
+                 b.max_vregs c.max_vregs)
+          else
+            List.fold_left
+              (fun acc (bg : exact_geometry) ->
+                let* () = acc in
+                match
+                  List.find_opt (fun g -> g.geo_label = bg.geo_label) c.geometries
+                with
+                | None ->
+                    Error
+                      (Printf.sprintf "exact geometry %S missing from current run"
+                         bg.geo_label)
+                | Some cg ->
+                    let fi v = float_of_int v in
+                    let pfx = "exact:" ^ bg.geo_label in
+                    add pfx "loops" (fi bg.geo_loops) (fi cg.geo_loops)
+                      (cg.geo_loops <> bg.geo_loops);
+                    add pfx "optimal" (fi bg.optimal) (fi cg.optimal)
+                      (cg.optimal < bg.optimal);
+                    add pfx "exhausted" (fi bg.exhausted) (fi cg.exhausted)
+                      (cg.exhausted > bg.exhausted);
+                    add pfx "greedy_optimal_pct" bg.greedy_optimal_pct
+                      cg.greedy_optimal_pct
+                      (bg.greedy_optimal_pct -. cg.greedy_optimal_pct > t.pct_drop);
+                    add pfx "mean_exact_ii" bg.mean_exact_ii cg.mean_exact_ii
+                      (cg.mean_exact_ii -. bg.mean_exact_ii > 1e-9);
+                    add pfx "mean_greedy_ii" bg.mean_greedy_ii cg.mean_greedy_ii
+                      (cg.mean_greedy_ii -. bg.mean_greedy_ii > 1e-9);
+                    Ok ())
+              (Ok ()) b.geometries
+      | _ ->
+          (* Additive: pre-solver documents aren't exact-gated. *)
+          Ok ()
+    in
     Ok (List.rev !findings)
   end
 

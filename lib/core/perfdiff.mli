@@ -33,6 +33,23 @@ type serve_latency = {
       (** tail of the degraded (error/timeout/shed-retry) series *)
 }
 
+type exact_geometry = {
+  geo_label : string;     (** ["2x8"] etc. *)
+  geo_loops : int;        (** slice size for this geometry *)
+  optimal : int;          (** loops solved to proven optimality *)
+  bound : int;
+  exhausted : int;
+  greedy_optimal_pct : float;
+  mean_exact_ii : float;  (** over the proven-optimal loops *)
+  mean_greedy_ii : float;
+}
+
+type exact_metrics = {
+  budget : int;       (** solver node budget the run used *)
+  max_vregs : int;    (** slice criterion *)
+  geometries : exact_geometry list;
+}
+
 type doc = {
   seed : int;
   loops : int;
@@ -44,6 +61,13 @@ type doc = {
   serve : serve_latency option;
       (** service latency quantiles from [rbp bombard --json]; gated only
           when both compared documents carry them *)
+  exact : exact_metrics option;
+      (** heuristic-vs-optimal gap metrics from [rbp exact --json]; gated
+          only when both documents carry them, and only at identical
+          budget and slice criterion (otherwise incomparable, exit 2).
+          The gates are strict — the solver is deterministic, so a lost
+          optimum, new budget exhaustion or any movement of a proven
+          mean II is a real change *)
 }
 
 val parse : string -> (doc, string) result

@@ -131,12 +131,82 @@ let table2_md runs =
       row "Harm (ours)" cell harm;
     ]
 
-let paper_tables_md ~ideal_ipc runs =
+type gap_row = {
+  gap_label : string;
+  gap_loops : int;
+  gap_optimal : int;
+  gap_bound : int;
+  gap_exhausted : int;
+  gap_greedy_optimal : int;
+  gap_mean_greedy_ii : float;
+  gap_mean_exact_ii : float;
+  gap_mean_greedy_copies : float;
+  gap_mean_exact_copies : float;
+}
+
+let table3_heading =
+  "## Table 3 — greedy heuristic vs. provably optimal bank assignment (exact slice)"
+
+let table3_md rows =
+  let line (r : gap_row) =
+    (* "-" where a mean has no population: nothing proven optimal means
+       there is no like-for-like set to average over. *)
+    let f2 v = if r.gap_optimal = 0 then "-" else Printf.sprintf "%.2f" v in
+    let pct =
+      if r.gap_loops = 0 then "-"
+      else
+        Printf.sprintf "%.1f"
+          (100.0 *. float_of_int r.gap_greedy_optimal /. float_of_int r.gap_loops)
+    in
+    Printf.sprintf "| %-8s | %5d | %7d | %5d | %9d | %12s | %9s | %8s | %13s | %12s |"
+      r.gap_label r.gap_loops r.gap_optimal r.gap_bound r.gap_exhausted pct
+      (f2 r.gap_mean_greedy_ii) (f2 r.gap_mean_exact_ii)
+      (f2 r.gap_mean_greedy_copies) (f2 r.gap_mean_exact_copies)
+  in
   String.concat "\n"
-    [
-      table1_heading; ""; table1_md ~ideal_ipc runs; "";
-      table2_heading; ""; table2_md runs; "";
-    ]
+    ([
+       "| Geometry | Loops | Optimal | Bound | Exhausted | Greedy-opt % | Greedy II | Exact II | Greedy copies | Exact copies |";
+       "|----------|-------|---------|-------|-----------|--------------|-----------|----------|---------------|--------------|";
+     ]
+    @ List.map line rows)
+
+let table3 rows =
+  let t =
+    Util.Table.create ~title:"Table 3: greedy vs. provably optimal (exact slice)"
+      ~header:
+        [
+          "geometry"; "loops"; "optimal"; "bound"; "exhausted"; "greedy-opt %";
+          "greedy II"; "exact II"; "greedy copies"; "exact copies";
+        ]
+  in
+  List.iter
+    (fun (r : gap_row) ->
+      let f2 v = if r.gap_optimal = 0 then "-" else Printf.sprintf "%.2f" v in
+      let pct =
+        if r.gap_loops = 0 then "-"
+        else
+          Printf.sprintf "%.1f"
+            (100.0 *. float_of_int r.gap_greedy_optimal /. float_of_int r.gap_loops)
+      in
+      Util.Table.add_row t
+        [
+          r.gap_label; string_of_int r.gap_loops; string_of_int r.gap_optimal;
+          string_of_int r.gap_bound; string_of_int r.gap_exhausted; pct;
+          f2 r.gap_mean_greedy_ii; f2 r.gap_mean_exact_ii;
+          f2 r.gap_mean_greedy_copies; f2 r.gap_mean_exact_copies;
+        ])
+    rows;
+  t
+
+let paper_tables_md ?gap ~ideal_ipc runs =
+  String.concat "\n"
+    ([
+       table1_heading; ""; table1_md ~ideal_ipc runs; "";
+       table2_heading; ""; table2_md runs; "";
+     ]
+    @ match gap with
+      | None | Some [] -> []
+      | Some rows -> [ table3_heading; ""; table3_md rows; "" ])
 
 let paper_tables_json ~seed ~loops ~ideal_ipc runs =
   let num x = Obs.Json.Num x in
@@ -171,7 +241,7 @@ let contains_block ~block text =
   let rec go i = i + bl <= tl && (String.sub text i bl = block || go (i + 1)) in
   bl = 0 || go 0
 
-let check_tables_in ~ideal_ipc runs text =
+let check_tables_in ?gap ~ideal_ipc runs text =
   let block1 =
     String.concat "\n" [ table1_heading; ""; table1_md ~ideal_ipc runs; "" ]
   in
@@ -179,6 +249,11 @@ let check_tables_in ~ideal_ipc runs text =
   let missing = ref [] in
   if not (contains_block ~block:block1 text) then missing := "Table 1" :: !missing;
   if not (contains_block ~block:block2 text) then missing := "Table 2" :: !missing;
+  (match gap with
+  | None | Some [] -> ()
+  | Some rows ->
+      let block3 = String.concat "\n" [ table3_heading; ""; table3_md rows; "" ] in
+      if not (contains_block ~block:block3 text) then missing := "Table 3" :: !missing);
   match List.rev !missing with
   | [] -> Ok ()
   | m -> Error (String.concat ", " m)

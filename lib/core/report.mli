@@ -21,9 +21,35 @@ val table1_md : ideal_ipc:float -> Experiment.run list -> string
 
 val table2_md : Experiment.run list -> string
 
-val paper_tables_md : ideal_ipc:float -> Experiment.run list -> string
+type gap_row = {
+  gap_label : string;        (** geometry, e.g. ["2x8"] *)
+  gap_loops : int;           (** exact-slice size *)
+  gap_optimal : int;         (** solved to proven optimality *)
+  gap_bound : int;
+  gap_exhausted : int;
+  gap_greedy_optimal : int;  (** greedy matched a proven optimum *)
+  gap_mean_greedy_ii : float;    (** means over the proven-optimal loops *)
+  gap_mean_exact_ii : float;
+  gap_mean_greedy_copies : float;
+  gap_mean_exact_copies : float;
+}
+(** One Table-3 row. A plain record (not [Exact.Gap.row]) so this
+    library needs no dependency on the solver — the CLI converts. *)
+
+val table3_heading : string
+
+val table3_md : gap_row list -> string
+(** "Greedy heuristic vs. provably optimal bank assignment": per
+    geometry the status counts, the share of loops where greedy is
+    provably optimal, and like-for-like II / copy means over the loops
+    solved to optimality. Empty-population cells render as ["-"]. *)
+
+val table3 : gap_row list -> Util.Table.t
+(** The same data for terminal reading ([rbp report -f text]). *)
+
+val paper_tables_md : ?gap:gap_row list -> ideal_ipc:float -> Experiment.run list -> string
 (** Both tables with their EXPERIMENTS.md [##] headings — what
-    [rbp report -f md] prints. *)
+    [rbp report -f md] prints. [gap] (when non-empty) appends Table 3. *)
 
 val paper_tables_json :
   seed:int -> loops:int -> ideal_ipc:float -> Experiment.run list -> Obs.Json.t
@@ -32,11 +58,16 @@ val paper_tables_json :
     straight to {!Perfdiff}. *)
 
 val check_tables_in :
-  ideal_ipc:float -> Experiment.run list -> string -> (unit, string) result
-(** [check_tables_in ~ideal_ipc runs text] verifies both regenerated
-    table blocks (heading, blank line, table, trailing blank) appear
+  ?gap:gap_row list ->
+  ideal_ipc:float ->
+  Experiment.run list ->
+  string ->
+  (unit, string) result
+(** [check_tables_in ~ideal_ipc runs text] verifies every regenerated
+    table block (heading, blank line, table, trailing blank) appears
     verbatim in [text] — the [rbp report --check EXPERIMENTS.md]
-    freshness gate. [Error] names the missing tables. *)
+    freshness gate. [gap] (when non-empty) extends the gate to Table 3.
+    [Error] names the missing tables. *)
 
 val failures_summary : Experiment.run list -> string
 (** Human-readable list of loops that failed to pipeline (expected to be

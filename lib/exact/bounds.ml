@@ -1,0 +1,22 @@
+type leaf = { mii : int; copies : int }
+
+let static_lower ~machine ddg =
+  max
+    (Ddg.Minii.res_mii ~width:(Mach.Machine.width machine) (Ddg.Graph.size ddg))
+    (Ddg.Minii.rec_mii ddg)
+
+let leaf_exact ~machine ~loop assignment =
+  let m : Mach.Machine.t = machine in
+  let ins = Partition.Copies.insert_loop ~machine:m ~assignment loop in
+  let ddg' = Ddg.Graph.of_loop ~latency:m.latency ins.Partition.Copies.loop in
+  {
+    mii =
+      Sched.Modulo.clustered_mii ~machine:m
+        ~ops_per_cluster:ins.Partition.Copies.ops_per_cluster
+        ~copies_per_cluster:ins.Partition.Copies.copies_per_cluster ddg';
+    copies = ins.Partition.Copies.n_copies;
+  }
+
+let compare_score (m1, c1) (m2, c2) =
+  let c = compare (m1 : int) m2 in
+  if c <> 0 then c else compare (c1 : int) c2

@@ -1,0 +1,92 @@
+type op_info = {
+  op_id : int;
+  pin : int option;
+  uses : int array;
+  copy : bool;
+}
+
+type t = {
+  loop : Ir.Loop.t;
+  regs : Ir.Vreg.t array;
+  n : int;
+  ops : op_info array;
+  pinned_by : int list array;
+  used_by : int list array;
+  fixed_zero : int;
+}
+
+(* The register whose bank decides an op's cluster — mirror of
+   [Partition.Assign.cluster_of_op]: the destination, else the first
+   source, else none (cluster 0). *)
+let pin_reg op =
+  match Ir.Op.dst op with
+  | Some d -> Some d
+  | None -> ( match Ir.Op.srcs op with s :: _ -> Some s | [] -> None)
+
+let build loop =
+  let ops_l = Ir.Loop.ops loop in
+  let vregs = Ir.Vreg.Set.elements (Ir.Loop.vregs loop) in
+  let refs = Hashtbl.create 32 in
+  let bump r = Hashtbl.replace refs r (1 + Option.value ~default:0 (Hashtbl.find_opt refs r)) in
+  List.iter
+    (fun op ->
+      List.iter bump (Ir.Op.defs op);
+      List.iter bump (Ir.Op.uses op))
+    ops_l;
+  let count r = Option.value ~default:0 (Hashtbl.find_opt refs r) in
+  let regs =
+    List.sort
+      (fun a b ->
+        let c = compare (count b) (count a) in
+        if c <> 0 then c else compare (Ir.Vreg.id a) (Ir.Vreg.id b))
+      vregs
+    |> Array.of_list
+  in
+  let index = Hashtbl.create 32 in
+  Array.iteri (fun i r -> Hashtbl.replace index (Ir.Vreg.id r) i) regs;
+  let idx r = Hashtbl.find index (Ir.Vreg.id r) in
+  let fixed_zero = ref 0 in
+  let ops =
+    List.map
+      (fun op ->
+        let pin = Option.map idx (pin_reg op) in
+        let copy = Ir.Op.is_copy op in
+        if pin = None && not copy then incr fixed_zero;
+        let uses =
+          List.sort_uniq compare (List.map idx (Ir.Op.uses op)) |> Array.of_list
+        in
+        { op_id = Ir.Op.id op; pin; uses; copy })
+      ops_l
+    |> Array.of_list
+  in
+  let n = Array.length regs in
+  let pinned_by = Array.make (max n 1) [] in
+  let used_by = Array.make (max n 1) [] in
+  Array.iteri
+    (fun oi o ->
+      (match o.pin with
+      | Some r when not o.copy -> pinned_by.(r) <- oi :: pinned_by.(r)
+      | _ -> ());
+      Array.iter (fun u -> used_by.(u) <- oi :: used_by.(u)) o.uses)
+    ops;
+  (* Body order within each bucket, so incremental updates are stable. *)
+  Array.iteri (fun i l -> pinned_by.(i) <- List.rev l) pinned_by;
+  Array.iteri (fun i l -> used_by.(i) <- List.rev l) used_by;
+  { loop; regs; n; ops; pinned_by; used_by; fixed_zero = !fixed_zero }
+
+let to_assignment t banks =
+  if Array.length banks < t.n then invalid_arg "Space.to_assignment: short bank vector";
+  let acc = ref Ir.Vreg.Map.empty in
+  Array.iteri (fun i r -> acc := Ir.Vreg.Map.add r banks.(i) !acc) t.regs;
+  !acc
+
+let of_assignment t a =
+  let out = Array.make (max t.n 1) 0 in
+  let ok = ref true in
+  Array.iteri
+    (fun i r ->
+      match Partition.Assign.bank_opt a r with
+      | Some b -> out.(i) <- b
+      | None -> ok := false)
+    t.regs;
+  if !ok then Some (Array.sub out 0 t.n) else None

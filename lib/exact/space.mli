@@ -1,0 +1,47 @@
+(** The branch-and-bound search space: one decision variable per symbolic
+    register of the loop body, assigned in a fixed order.
+
+    The order is deterministic — registers sorted by decreasing number of
+    operand references (ties by register id) — so heavily-connected
+    registers are assigned first and the incremental bounds of
+    {!Search} tighten as early as possible.
+
+    Branching uses restricted-growth values: register [k] may only be
+    placed in banks [0 .. min (maxused + 1) (clusters - 1)], where
+    [maxused] is the highest bank used by registers [0 .. k-1]. Every
+    machine this repository builds has identical clusters
+    ({!Mach.Machine.paper_clustered} constructs them all from one
+    template), so each equivalence class of assignments under cluster
+    permutation is enumerated exactly once — the canonical member — and
+    the minimum over canonical assignments is the minimum over all. *)
+
+type op_info = {
+  op_id : int;          (** {!Ir.Op.id}, for diagnostics *)
+  pin : int option;
+      (** index (into {!field-regs}) of the register whose bank decides
+          the op's cluster — its destination, or a store's first source
+          ({!Partition.Assign.cluster_of_op}); [None] for register-free
+          ops, which execute on cluster 0 *)
+  uses : int array;     (** distinct source-register indices *)
+  copy : bool;          (** pre-existing copy op (excluded from op pinning) *)
+}
+
+type t = {
+  loop : Ir.Loop.t;
+  regs : Ir.Vreg.t array;       (** branching order *)
+  n : int;                      (** [Array.length regs] *)
+  ops : op_info array;          (** body order *)
+  pinned_by : int list array;   (** register index -> ops it pins *)
+  used_by : int list array;     (** register index -> ops reading it *)
+  fixed_zero : int;             (** register-free non-copy ops (always cluster 0) *)
+}
+
+val build : Ir.Loop.t -> t
+
+val to_assignment : t -> int array -> Partition.Assign.t
+(** Interpret a full bank vector (indexed like {!field-regs}) as an
+    assignment. Raises [Invalid_argument] on a short vector. *)
+
+val of_assignment : t -> Partition.Assign.t -> int array option
+(** Project an assignment over (at least) the loop's registers onto the
+    branching order; [None] when a register of the body is unassigned. *)

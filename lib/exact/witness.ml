@@ -1,0 +1,55 @@
+type t = {
+  assignment : Partition.Assign.t;
+  rewritten : Ir.Loop.t;
+  ddg : Ddg.Graph.t;
+  kernel : Sched.Kernel.t;
+  ii : int;
+  mii : int;
+  copies : int;
+}
+
+let realize ?budget_ratio ~machine ~loop assignment =
+  let m : Mach.Machine.t = machine in
+  match Partition.Copies.insert_loop ~machine:m ~assignment loop with
+  | exception Invalid_argument msg -> Error msg
+  | ins -> (
+      let ddg =
+        Ddg.Graph.of_loop ~latency:m.Mach.Machine.latency ins.Partition.Copies.loop
+      in
+      match Partition.Driver.cluster_map ins.Partition.Copies.assignment ins.Partition.Copies.loop with
+      | Error msg -> Error msg
+      | Ok cluster_of -> (
+          let mii =
+            Sched.Modulo.clustered_mii ~machine:m
+              ~ops_per_cluster:ins.Partition.Copies.ops_per_cluster
+              ~copies_per_cluster:ins.Partition.Copies.copies_per_cluster ddg
+          in
+          match Sched.Modulo.schedule ?budget_ratio ~cluster_of ~machine:m ~mii ddg with
+          | None ->
+              Error
+                (Printf.sprintf "no feasible II found for the clustered pipeline (MII %d)" mii)
+          | Some outcome ->
+              Ok
+                {
+                  assignment = ins.Partition.Copies.assignment;
+                  rewritten = ins.Partition.Copies.loop;
+                  ddg;
+                  kernel = outcome.Sched.Modulo.kernel;
+                  ii = outcome.Sched.Modulo.ii;
+                  mii;
+                  copies = ins.Partition.Copies.n_copies;
+                }))
+
+let check ~machine ~loop ~lower ~optimal w =
+  Verify.Exact_check.check ~machine
+    {
+      Verify.Exact_check.original = loop;
+      rewritten = w.rewritten;
+      assignment = w.assignment;
+      kernel = w.kernel;
+      ddg = w.ddg;
+      claimed_ii = w.ii;
+      claimed_copies = w.copies;
+      lower;
+      optimal;
+    }

@@ -84,8 +84,10 @@ let count_copy_pairs obs ~assignment ops =
 
 type scheduler = Rau | Swing
 
-let pipeline ?obs ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau) ?budget_ratio
-    ?(verify = false) ~machine loop =
+let deadline_code = "PIPE008"
+
+let pipeline ?obs ?(cancel = fun () -> false) ?(partitioner = Greedy Rcg.Weights.default)
+    ?(scheduler = Rau) ?budget_ratio ?(verify = false) ~machine loop =
   let m : Mach.Machine.t = machine in
   let subject = Ir.Loop.name loop in
   Obs.Trace.span obs "pipeline"
@@ -94,6 +96,13 @@ let pipeline ?obs ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau)
         ("partitioner", partitioner_name partitioner) ]
   @@ fun () ->
   let fail ?code stage message = Error (Verify.Stage_error.make ?code ~stage ~subject message) in
+  (* Cooperative deadline, polled at stage boundaries exactly as the
+     resilient ladder does: a fired token turns into an ordinary stage
+     failure carrying PIPE008, never an exception. *)
+  let deadline stage k =
+    if cancel () then fail ~code:deadline_code stage "deadline exceeded" else k ()
+  in
+  deadline Verify.Stage_error.Ideal_schedule @@ fun () ->
   let schedule_ideal ddg =
     Obs.Trace.span obs "schedule.ideal" @@ fun () ->
     match scheduler with
@@ -142,6 +151,7 @@ let pipeline ?obs ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau)
             ipc_clustered = ipc_ideal;
           }
       else begin
+        deadline Verify.Stage_error.Partitioning @@ fun () ->
         match
           Obs.Trace.span obs "partition" (fun () ->
               choose_partition ?obs partitioner ~machine:m ~ddg
@@ -165,6 +175,7 @@ let pipeline ?obs ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau)
           fail ~code:"PT002" Verify.Stage_error.Partitioning
             "assignment names a bank the machine lacks"
         else
+        deadline Verify.Stage_error.Copy_insertion @@ fun () ->
         match
           Obs.Trace.span obs "copies.insert" (fun () ->
               Copies.insert_loop ?obs ~machine:m ~assignment loop)
@@ -180,12 +191,11 @@ let pipeline ?obs ?(partitioner = Greedy Rcg.Weights.default) ?(scheduler = Rau)
         match cluster_map ins.Copies.assignment ins.Copies.loop with
         | Error msg -> fail ~code:"PT001" Verify.Stage_error.Partitioning msg
         | Ok cluster_of -> (
+        deadline Verify.Stage_error.Clustered_schedule @@ fun () ->
         let mii =
-          max
-            (Ddg.Minii.res_mii_clustered ~machine:m
-               ~ops_per_cluster:ins.Copies.ops_per_cluster
-               ~copies_per_cluster:ins.Copies.copies_per_cluster)
-            (Ddg.Minii.rec_mii ddg')
+          Sched.Modulo.clustered_mii ~machine:m
+            ~ops_per_cluster:ins.Copies.ops_per_cluster
+            ~copies_per_cluster:ins.Copies.copies_per_cluster ddg'
         in
         Obs.Trace.set_gauge obs Obs.Counter.Clustered_mii mii;
         match schedule_clustered ~cluster_of ~mii ddg' with

@@ -42,8 +42,13 @@ val partitioner_name : partitioner -> string
 (** ["greedy"], ["bug"], ["uas"] or ["custom"] — the label tracing and
     reports use. *)
 
+val deadline_code : string
+(** ["PIPE008"] — the code a fired [cancel] token surfaces as, the same
+    code the resilient ladder in [lib/robust] uses. *)
+
 val pipeline :
   ?obs:Obs.Trace.t ->
+  ?cancel:(unit -> bool) ->
   ?partitioner:partitioner ->
   ?scheduler:scheduler ->
   ?budget_ratio:int ->
@@ -52,7 +57,11 @@ val pipeline :
   Ir.Loop.t ->
   (result, Verify.Stage_error.t) Stdlib.result
 (** Runs the whole framework. [partitioner] defaults to
-    [Greedy Rcg.Weights.default], [scheduler] to [Rau]. Failures are
+    [Greedy Rcg.Weights.default], [scheduler] to [Rau]. [cancel]
+    (default never) is polled at every stage boundary — typically
+    {!Engine.Cancel.guard} of a deadline token; once it fires the
+    pipeline stops cooperatively with an [Error] carrying
+    {!deadline_code} at the stage it was about to enter. Failures are
     reported as structured {!Verify.Stage_error} values naming the
     framework stage and a diagnostic code — never raised, including on
     malformed assignments (unassigned registers, out-of-range banks)

@@ -222,6 +222,14 @@ let schedule ?obs ?cluster_of ?(budget_ratio = 10) ?max_ii ~machine ~mii ddg =
   in
   attempt mii
 
+let schedule_at ?obs ?cluster_of ?budget_ratio ~machine ~ii ddg =
+  schedule ?obs ?cluster_of ?budget_ratio ~machine ~mii:ii ~max_ii:ii ddg
+
+let clustered_mii ~machine ~ops_per_cluster ~copies_per_cluster ddg =
+  max
+    (Ddg.Minii.res_mii_clustered ~machine ~ops_per_cluster ~copies_per_cluster)
+    (Ddg.Minii.rec_mii ddg)
+
 let ideal ?obs ?budget_ratio ~machine ddg =
   let m : Mach.Machine.t = machine in
   let mono = Mach.Machine.monolithic_of m in

@@ -41,6 +41,32 @@ val schedule :
     [sched.placements] / [sched.evictions] / [sched.ii_escalations] /
     [sched.budget_exhausted] counters. *)
 
+val schedule_at :
+  ?obs:Obs.Trace.t ->
+  ?cluster_of:(int -> int) ->
+  ?budget_ratio:int ->
+  machine:Mach.Machine.t ->
+  ii:int ->
+  Ddg.Graph.t ->
+  outcome option
+(** One attempt at exactly [ii] — {!schedule} with escalation disabled
+    ([mii = max_ii = ii]). [None] means no schedule was found at that II
+    within the budget; nothing is implied about other IIs. The exact
+    solver uses this to realize a witness at a proven lower bound. *)
+
+val clustered_mii :
+  machine:Mach.Machine.t ->
+  ops_per_cluster:int array ->
+  copies_per_cluster:int array ->
+  Ddg.Graph.t ->
+  int
+(** MinII of a clustered pipeline: [max] of the cluster-aware resource
+    bound ({!Ddg.Minii.res_mii_clustered} over the given per-cluster op
+    and copy loads) and the recurrence bound of the rebuilt DDG. The
+    single definition both {!Partition.Driver.pipeline} and the exact
+    solver's leaf evaluation start from, so their MII arithmetic cannot
+    drift apart. *)
+
 val ideal :
   ?obs:Obs.Trace.t ->
   ?budget_ratio:int -> machine:Mach.Machine.t -> Ddg.Graph.t -> outcome option

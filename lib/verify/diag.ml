@@ -1,6 +1,6 @@
 type severity = Error | Warning | Info
 
-type stage = Ir | Sched | Partition | Alloc | Analysis | Pipe
+type stage = Ir | Sched | Partition | Alloc | Analysis | Exact | Pipe
 
 type t = {
   code : string;
@@ -23,6 +23,7 @@ let stage_name = function
   | Partition -> "partition"
   | Alloc -> "alloc"
   | Analysis -> "analysis"
+  | Exact -> "exact"
   | Pipe -> "pipeline"
 
 let to_string d =

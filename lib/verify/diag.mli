@@ -40,6 +40,16 @@
       a dataflow solve that hit its iteration budget without converging
       (AN007); rematerializable constant-valued ops (AN008, info,
       reported by [rbp analyze] only).
+    - [EX001]–[EX0xx] — optimality-witness validation ({!Exact_check}),
+      for solutions claimed by the branch-and-bound solver in
+      [lib/exact]: claimed II disagreeing with the witness kernel
+      (EX001); witness artifacts failing the independent schedule or
+      partition analyzers (EX002); the rewritten body not being the
+      original plus copies (EX003); claimed copy count disagreeing with
+      the copies actually present (EX004); an incoherent bound —
+      below 1 or above the claimed II (EX005); an [Optimal] claim whose
+      II exceeds its own lower bound or undercuts the
+      assignment-independent bound this library recomputes (EX006).
     - [PIPE001] — a pipeline stage failed outright, so downstream
       analyzers could not run. *)
 
@@ -51,6 +61,7 @@ type stage =
   | Partition  (** bank assignment + copy insertion *)
   | Alloc      (** per-bank register allocation *)
   | Analysis   (** independent dataflow analysis / DDG validation *)
+  | Exact      (** optimality-witness validation for the exact solver *)
   | Pipe       (** stage-to-stage plumbing *)
 
 type t = private {

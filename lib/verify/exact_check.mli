@@ -1,0 +1,41 @@
+(** Independent validation of optimality witnesses (codes EX001–EX006).
+
+    The branch-and-bound solver in [lib/exact] claims, for a loop and
+    machine, a lower bound on the initiation interval and — when it
+    proves optimality — a witness: a bank assignment, the rewritten
+    body with copies, and a clustered kernel achieving the bound. None
+    of that is taken on faith. A {!claim} is re-checked here from the
+    artifacts alone, reusing the independent {!Sched_check} and
+    {!Partition_check} analyzers plus bound recomputation — no code
+    from the solver:
+
+    - EX001 (error): the claimed II differs from the witness kernel's.
+    - EX002 (error): the witness kernel or rewritten body fails the
+      independent schedule / partition analyzers (the underlying SCH/PT
+      findings are included alongside).
+    - EX003 (error): the rewritten body with its copies removed is not
+      the original body — the "witness" solves a different loop.
+    - EX004 (error): the claimed copy count differs from the number of
+      copy ops actually present in the rewritten body.
+    - EX005 (error): an incoherent bound — below 1 or above the claimed
+      II it is supposed to bound from below.
+    - EX006 (error): an optimal claim that is not tight (claimed II
+      above its own lower bound) or that undercuts the
+      assignment-independent bound recomputed here from the original
+      loop (resource bound over the machine width, recurrence bound of
+      the original DDG). *)
+
+type claim = {
+  original : Ir.Loop.t;        (** pre-partitioning body *)
+  rewritten : Ir.Loop.t;       (** body with copies, as scheduled *)
+  assignment : int Ir.Vreg.Map.t;
+      (** bank per register, covering the rewritten body *)
+  kernel : Sched.Kernel.t;     (** witness clustered kernel *)
+  ddg : Ddg.Graph.t;           (** DDG of the rewritten body *)
+  claimed_ii : int;
+  claimed_copies : int;
+  lower : int;                 (** claimed lower bound on any II *)
+  optimal : bool;              (** solver says [claimed_ii = lower bound proven] *)
+}
+
+val check : machine:Mach.Machine.t -> claim -> Diag.t list

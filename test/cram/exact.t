@@ -1,0 +1,107 @@
+rbp exact runs the branch-and-bound solver: provably minimal II under
+the machine's resource and recurrence constraints, and among the
+minimal-II bank assignments the one with the fewest inter-cluster
+copies. On a single loop it prints the proof status next to the greedy
+pipeline's result.
+
+dot-u2 on 4 clusters is recurrence-bound, so spreading it buys nothing:
+the solver proves the all-zero assignment optimal from the static bound
+alone (one node), while the greedy partitioner pays three copies for
+the same II.
+
+  $ rbp exact dot-u2 -c 4
+  === dot-u2 on 4x4-embedded ===
+  registers 7 (slice limit 12), remat candidates 0
+  greedy  II 4, 3 copies
+  exact   II 4, 0 copies - proven optimal (search complete, verified)
+  search  1 nodes, 2 leaves, 1 pruned, 1 backjumps
+  verify  clean
+
+daxpy-u2 on 2 clusters genuinely needs one cross-bank move; here greedy
+already matches the optimum.
+
+  $ rbp exact daxpy-u2 -c 2
+  === daxpy-u2 on 2x8-embedded ===
+  registers 9 (slice limit 12), remat candidates 0
+  greedy  II 1, 1 copies
+  exact   II 1, 1 copies - proven optimal (search complete, verified)
+  search  37 nodes, 2 leaves, 19 pruned, 0 backjumps
+  verify  clean
+
+Without a loop argument the solver sweeps the tractable slice of the
+suite across the paper's three geometries and prints the gap table
+(Table 3 of the report).
+
+  $ rbp exact -n 60 -j 4
+  exact slice: 29 of 60 suite loops (<= 12 registers), budget 300000 nodes
+  
+  Table 3: greedy vs. provably optimal (exact slice)
+  +----------+-------+---------+-------+-----------+--------------+-----------+----------+---------------+--------------+
+  | geometry | loops | optimal | bound | exhausted | greedy-opt % | greedy II | exact II | greedy copies | exact copies |
+  +==========+=======+=========+=======+===========+==============+===========+==========+===============+==============+
+  | 2x8      | 29    | 28      | 1     | 0         | 37.9         | 3.64      | 3.64     | 1.07          | 0.29         |
+  | 4x4      | 29    | 26      | 3     | 0         | 31.0         | 3.38      | 3.19     | 1.96          | 0.77         |
+  | 8x2      | 29    | 21      | 8     | 0         | 34.5         | 3.52      | 3.00     | 2.33          | 1.14         |
+  +----------+-------+---------+-------+-----------+--------------+-----------+----------+---------------+--------------+
+
+
+The study is node-budgeted, never clock-budgeted, so the output is
+byte-identical at any parallelism level.
+
+  $ rbp exact -n 60 -j 1 > j1.out && rbp exact -n 60 -j 4 > j4.out
+  $ cmp j1.out j4.out
+
+--json writes rbp-bench/1 telemetry that perfdiff gates strictly: a
+document is never a regression against itself, and the checked-in CI
+baseline must match a fresh full-suite run metric for metric.
+
+  $ rbp exact -n 60 -j 4 --json exact.json
+  exact slice: 29 of 60 suite loops (<= 12 registers), budget 300000 nodes
+  
+  Table 3: greedy vs. provably optimal (exact slice)
+  +----------+-------+---------+-------+-----------+--------------+-----------+----------+---------------+--------------+
+  | geometry | loops | optimal | bound | exhausted | greedy-opt % | greedy II | exact II | greedy copies | exact copies |
+  +==========+=======+=========+=======+===========+==============+===========+==========+===============+==============+
+  | 2x8      | 29    | 28      | 1     | 0         | 37.9         | 3.64      | 3.64     | 1.07          | 0.29         |
+  | 4x4      | 29    | 26      | 3     | 0         | 31.0         | 3.38      | 3.19     | 1.96          | 0.77         |
+  | 8x2      | 29    | 21      | 8     | 0         | 34.5         | 3.52      | 3.00     | 2.33          | 1.14         |
+  +----------+-------+---------+-------+-----------+--------------+-----------+----------+---------------+--------------+
+  wrote exact.json
+
+  $ rbp perfdiff exact.json exact.json -q
+  no regressions
+
+The checked-in CI baseline (full suite) parses and gates against
+itself the same way.
+
+  $ rbp perfdiff "../../bench/baseline/BENCH_exact.json" \
+  >     "../../bench/baseline/BENCH_exact.json" -q
+  no regressions
+
+Documents solved under different budgets are incomparable — a larger
+budget can only prove more, so comparing them would be meaningless.
+
+  $ sed 's/"budget":300000/"budget":1000/' exact.json > other-budget.json
+  $ rbp perfdiff exact.json other-budget.json -q
+  rbp: incomparable runs: exact budget 300000 vs 1000
+  [2]
+
+A fired --deadline-ms stops cleanly: the search reports budget
+exhaustion with the static lower bound and whatever incumbent the
+seeds produced, rather than failing.
+
+  $ rbp exact daxpy-u2 -c 2 --deadline-ms 0
+  === daxpy-u2 on 2x8-embedded ===
+  registers 9 (slice limit 12), remat candidates 0
+  greedy  failed to pipeline
+  exact   budget exhausted; static lower bound II >= 1
+          incumbent: II 2, 0 copies (not proven optimal)
+  search  0 nodes, 1 leaves, 0 pruned, 0 backjumps
+  verify  clean
+
+The same flag on the pipeline itself is a hard deadline: the run stops
+at the next stage boundary with a structured PIPE008 error.
+
+  $ rbp pipeline daxpy-u8 -c 4 --deadline-ms 0
+  rbp: daxpy-u8: ideal-schedule [PIPE008]: deadline exceeded
+  [1]

@@ -23,6 +23,9 @@ fake clock, so the output is byte-stable.
   -- clustered modulo scheduling --
   scheduled at MII, first try
   
+  -- rematerializable values (AN008) --
+  (none: every cross-bank value must travel by copy)
+  
   modulo reservation table (II=1, 3 stages)
   slot | cluster 0        | cluster 1
   -----+------------------+-----------------

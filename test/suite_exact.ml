@@ -1,0 +1,333 @@
+open Testlib
+
+(* The exact branch-and-bound solver (lib/exact): pruning soundness
+   against brute force, the heuristic-dominance property the gap report
+   rests on, witness verification (EX001-EX006) under mutation, and the
+   determinism / cancellation contracts. *)
+
+let leaf_score ~machine ~loop assignment =
+  let l = Exact.Bounds.leaf_exact ~machine ~loop assignment in
+  (l.Exact.Bounds.mii, l.Exact.Bounds.copies)
+
+(* Brute force over the FULL bank-vector space (no symmetry reduction,
+   no bounds) — the independent oracle the search must match. *)
+let brute_force ~machine ~(space : Exact.Space.t) =
+  let c = machine.Mach.Machine.clusters in
+  let n = space.Exact.Space.n in
+  let banks = Array.make (max n 1) 0 in
+  let best = ref None in
+  let consider () =
+    let s = leaf_score ~machine ~loop:space.Exact.Space.loop
+        (Exact.Space.to_assignment space banks)
+    in
+    match !best with
+    | Some b when Exact.Bounds.compare_score b s <= 0 -> ()
+    | _ -> best := Some s
+  in
+  let rec go d = if d = n then consider () else
+    for b = 0 to c - 1 do
+      banks.(d) <- b;
+      go (d + 1)
+    done
+  in
+  go 0;
+  Option.get !best
+
+let solve_scores ~machine loop =
+  let s = Exact.Solve.solve ~machine loop in
+  match s.Exact.Solve.status with
+  | Exact.Solve.Budget_exhausted _ -> None
+  | _ -> Some (s.Exact.Solve.best_mii, s.Exact.Solve.best_copies)
+
+(* Tiny loops where c^n brute force stays cheap. *)
+let tiny_loops ~max_vregs =
+  List.filter
+    (fun l -> Ir.Vreg.Set.cardinal (Ir.Loop.vregs l) <= max_vregs)
+    (Workload.Suite.loops ~n:60 ())
+
+let search_tests =
+  [
+    slow_case "search-matches-brute-force-2x8" (fun () ->
+        let loops = tiny_loops ~max_vregs:7 in
+        check Alcotest.bool "have tiny loops" true (List.length loops >= 5);
+        List.iter
+          (fun loop ->
+            let space = Exact.Space.build loop in
+            let expect = brute_force ~machine:m2x8e ~space in
+            match solve_scores ~machine:m2x8e loop with
+            | None -> Alcotest.fail "budget exhausted on a tiny loop"
+            | Some got ->
+                check
+                  Alcotest.(pair int int)
+                  (Ir.Loop.name loop) expect got)
+          loops);
+    slow_case "search-matches-brute-force-4x4" (fun () ->
+        List.iter
+          (fun loop ->
+            let space = Exact.Space.build loop in
+            let expect = brute_force ~machine:m4x4e ~space in
+            match solve_scores ~machine:m4x4e loop with
+            | None -> Alcotest.fail "budget exhausted on a tiny loop"
+            | Some got ->
+                check
+                  Alcotest.(pair int int)
+                  (Ir.Loop.name loop) expect got)
+          (tiny_loops ~max_vregs:5));
+    slow_case "search-matches-brute-force-copy-unit" (fun () ->
+        List.iter
+          (fun loop ->
+            let space = Exact.Space.build loop in
+            let expect = brute_force ~machine:m4x4c ~space in
+            match solve_scores ~machine:m4x4c loop with
+            | None -> Alcotest.fail "budget exhausted on a tiny loop"
+            | Some got ->
+                check
+                  Alcotest.(pair int int)
+                  (Ir.Loop.name loop) expect got)
+          (tiny_loops ~max_vregs:5));
+    case "monolithic-machine-trivial-space" (fun () ->
+        (* One cluster: restricted growth admits only the all-zero
+           assignment, so the search is one leaf and always complete. *)
+        let loop = List.hd (sample_loops ~n:1 ()) in
+        let s = Exact.Solve.solve ~machine:ideal16 loop in
+        match s.Exact.Solve.status with
+        | Exact.Solve.Budget_exhausted _ -> Alcotest.fail "trivial space exhausted budget"
+        | _ -> check Alcotest.int "no copies on one bank" 0 s.Exact.Solve.best_copies);
+    case "prefired-cancel-budget-exhausted" (fun () ->
+        let t = Engine.Cancel.make ~clock:(fun () -> 0.0) () in
+        Engine.Cancel.cancel t;
+        let loop = List.hd (sample_loops ~n:1 ()) in
+        let s =
+          Exact.Solve.solve ~cancel:(Engine.Cancel.guard t) ~machine:m4x4e loop
+        in
+        match s.Exact.Solve.status with
+        | Exact.Solve.Budget_exhausted { best; _ } ->
+            (* The all-zero seed is evaluated before the search, so an
+               incumbent exists even when cancellation is immediate. *)
+            check Alcotest.bool "incumbent realized" true (best <> None)
+        | _ -> Alcotest.fail "expected Budget_exhausted under a fired token");
+    case "zero-budget-still-seeds" (fun () ->
+        let loop = List.hd (sample_loops ~n:3 ()) in
+        let s = Exact.Solve.solve ~budget:0 ~machine:m8x2e loop in
+        check Alcotest.bool "incumbent mii finite" true
+          (s.Exact.Solve.best_mii < max_int));
+    case "schedule-at-achieved-ii" (fun () ->
+        let loop = List.hd (sample_loops ~n:1 ()) in
+        let ddg = Ddg.Graph.of_loop loop in
+        match Sched.Modulo.schedule ~machine:ideal16 ~mii:1 ddg with
+        | None -> Alcotest.fail "ideal schedule failed"
+        | Some o -> (
+            match
+              Sched.Modulo.schedule_at ~machine:ideal16 ~ii:o.Sched.Modulo.ii ddg
+            with
+            | None -> Alcotest.fail "schedule_at rejects the achieved II"
+            | Some o' -> check Alcotest.int "same II" o.Sched.Modulo.ii o'.Sched.Modulo.ii));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic dominance: where the solver proves optimality, greedy can *)
+(* never do better — the inequality the gap table relies on.           *)
+(* ------------------------------------------------------------------ *)
+
+let dominance_tests =
+  let machines = [ m2x8e; m4x4e; m8x2e; m4x4c ] in
+  [
+    qcheck ~count:40 "greedy-never-beats-proven-optimum" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        if Ir.Vreg.Set.cardinal (Ir.Loop.vregs loop) > Exact.Solve.slice_max_vregs then
+          true
+        else
+          List.for_all
+            (fun machine ->
+              let e = Exact.Gap.one ~cancel:Engine.Cancel.never ~machine loop in
+              match e.Exact.Gap.solve.Exact.Solve.status with
+              | Exact.Solve.Optimal w when e.Exact.Gap.greedy_ii > 0 ->
+                  e.Exact.Gap.greedy_ii > w.Exact.Witness.ii
+                  || (e.Exact.Gap.greedy_ii = w.Exact.Witness.ii
+                      && e.Exact.Gap.greedy_copies >= w.Exact.Witness.copies)
+              | _ -> true)
+            machines);
+    qcheck ~count:40 "optimal-witness-verifies-clean" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        if Ir.Vreg.Set.cardinal (Ir.Loop.vregs loop) > Exact.Solve.slice_max_vregs then
+          true
+        else
+          let s = Exact.Solve.solve ~machine:m4x4e loop in
+          match s.Exact.Solve.status with
+          | Exact.Solve.Optimal _ ->
+              not (Verify.Diag.has_errors s.Exact.Solve.diags)
+          | _ -> true);
+    qcheck ~count:40 "lower-bound-below-any-witness" gen_loop_seed (fun seed ->
+        let loop = loop_of_seed seed in
+        if Ir.Vreg.Set.cardinal (Ir.Loop.vregs loop) > Exact.Solve.slice_max_vregs then
+          true
+        else
+          let s = Exact.Solve.solve ~machine:m2x8e loop in
+          match Exact.Solve.witness s with
+          | Some w -> Exact.Solve.lower s <= w.Exact.Witness.ii
+          | None -> true);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Witness mutation: every EX check must reject its corruption.        *)
+(* ------------------------------------------------------------------ *)
+
+(* A register whose bank flip is guaranteed visible: the source of a real
+   op with a different destination (the op's cluster is pinned by the
+   destination, so the flipped operand goes non-local). *)
+let corruptible (w : Exact.Witness.t) =
+  List.find_map
+    (fun op ->
+      if Ir.Op.is_copy op then None
+      else
+        match Ir.Op.dst op with
+        | None -> None
+        | Some d -> List.find_opt (fun s -> not (Ir.Vreg.equal s d)) (Ir.Op.srcs op))
+    (Ir.Loop.ops w.Exact.Witness.rewritten)
+
+(* A proven-optimal witness rich enough for every mutation to be
+   observable: II >= 2 (so lower can be understated) and a corruptible
+   source operand. *)
+let proven_witness () =
+  let rec find = function
+    | [] -> Alcotest.fail "no proven-optimal loop found in the slice"
+    | loop :: rest -> (
+        match (Exact.Solve.solve ~machine:m4x4e loop).Exact.Solve.status with
+        | Exact.Solve.Optimal w
+          when w.Exact.Witness.ii >= 2 && corruptible w <> None ->
+            (loop, w)
+        | _ -> find rest)
+  in
+  find (List.filter
+          (fun l -> Ir.Vreg.Set.cardinal (Ir.Loop.vregs l) <= Exact.Solve.slice_max_vregs)
+          (Workload.Suite.loops ()))
+
+let claim_of ~loop (w : Exact.Witness.t) ~lower ~optimal =
+  {
+    Verify.Exact_check.original = loop;
+    rewritten = w.Exact.Witness.rewritten;
+    assignment = w.Exact.Witness.assignment;
+    kernel = w.Exact.Witness.kernel;
+    ddg = w.Exact.Witness.ddg;
+    claimed_ii = w.Exact.Witness.ii;
+    claimed_copies = w.Exact.Witness.copies;
+    lower;
+    optimal;
+  }
+
+let mutation_tests =
+  [
+    case "pristine-claim-is-clean" (fun () ->
+        let loop, w = proven_witness () in
+        let ds =
+          Verify.Exact_check.check ~machine:m4x4e
+            (claim_of ~loop w ~lower:w.Exact.Witness.ii ~optimal:true)
+        in
+        check Alcotest.bool "clean" false (Verify.Diag.has_errors ds));
+    case "ex001-ii-mismatch" (fun () ->
+        let loop, w = proven_witness () in
+        let c = claim_of ~loop w ~lower:w.Exact.Witness.ii ~optimal:false in
+        let ds =
+          Verify.Exact_check.check ~machine:m4x4e
+            { c with Verify.Exact_check.claimed_ii = c.Verify.Exact_check.claimed_ii + 1 }
+        in
+        check Alcotest.bool "EX001" true (Verify.Diag.has_code "EX001" ds));
+    case "ex002-corrupted-assignment" (fun () ->
+        let loop, w = proven_witness () in
+        (* Move a register to another bank without re-inserting copies:
+           operand locality must then fail. *)
+        let r = Option.get (corruptible w) in
+        let b = Ir.Vreg.Map.find r w.Exact.Witness.assignment in
+        let corrupted =
+          Ir.Vreg.Map.add r ((b + 1) mod m4x4e.Mach.Machine.clusters)
+            w.Exact.Witness.assignment
+        in
+        let c = claim_of ~loop w ~lower:w.Exact.Witness.ii ~optimal:true in
+        let ds =
+          Verify.Exact_check.check ~machine:m4x4e
+            { c with Verify.Exact_check.assignment = corrupted }
+        in
+        check Alcotest.bool "EX002" true (Verify.Diag.has_code "EX002" ds));
+    case "ex003-wrong-original" (fun () ->
+        let loop, w = proven_witness () in
+        let truncated =
+          match Ir.Loop.ops loop with
+          | _ :: (_ :: _ as rest) -> Ir.Loop.with_ops loop rest
+          | _ -> Alcotest.fail "loop too small to truncate"
+        in
+        let c = claim_of ~loop w ~lower:w.Exact.Witness.ii ~optimal:false in
+        let ds =
+          Verify.Exact_check.check ~machine:m4x4e
+            { c with Verify.Exact_check.original = truncated }
+        in
+        check Alcotest.bool "EX003" true (Verify.Diag.has_code "EX003" ds));
+    case "ex004-copy-count-lie" (fun () ->
+        let loop, w = proven_witness () in
+        let c = claim_of ~loop w ~lower:w.Exact.Witness.ii ~optimal:false in
+        let ds =
+          Verify.Exact_check.check ~machine:m4x4e
+            { c with Verify.Exact_check.claimed_copies = c.Verify.Exact_check.claimed_copies + 1 }
+        in
+        check Alcotest.bool "EX004" true (Verify.Diag.has_code "EX004" ds));
+    case "ex005-incoherent-lower" (fun () ->
+        let loop, w = proven_witness () in
+        let ds =
+          Verify.Exact_check.check ~machine:m4x4e
+            (claim_of ~loop w ~lower:(w.Exact.Witness.ii + 1) ~optimal:false)
+        in
+        check Alcotest.bool "EX005" true (Verify.Diag.has_code "EX005" ds));
+    case "ex006-untight-optimal-claim" (fun () ->
+        let loop, w = proven_witness () in
+        (* Claiming optimality while admitting lower < II is self-refuting;
+           proven_witness guarantees II >= 2 so the understated lower is
+           still a legal bound (>= 1, catching EX005 would mask EX006). *)
+        let ds =
+          Verify.Exact_check.check ~machine:m4x4e
+            (claim_of ~loop w ~lower:(w.Exact.Witness.ii - 1) ~optimal:true)
+        in
+        check Alcotest.bool "EX006" true (Verify.Diag.has_code "EX006" ds));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Gap study determinism + pipeline deadline plumbing.                 *)
+(* ------------------------------------------------------------------ *)
+
+let harness_tests =
+  [
+    slow_case "gap-rows-identical-j1-j4" (fun () ->
+        let rows jobs =
+          List.map Exact.Gap.row_of (Exact.Gap.run ~jobs ~n:60 ())
+        in
+        let r1 = rows 1 and r4 = rows 4 in
+        check Alcotest.bool "same rows" true (r1 = r4));
+    case "gap-slice-nonempty" (fun () ->
+        check Alcotest.bool "at least 40 tractable loops" true
+          (List.length (Exact.Gap.slice ()) >= 40));
+    case "pipeline-deadline-pipe008" (fun () ->
+        let loop = List.hd (sample_loops ~n:1 ()) in
+        match
+          Partition.Driver.pipeline ~cancel:(fun () -> true) ~machine:m4x4e loop
+        with
+        | Ok _ -> Alcotest.fail "fired token must stop the pipeline"
+        | Error e ->
+            check Alcotest.string "code" Partition.Driver.deadline_code
+              e.Verify.Stage_error.code);
+    case "pipeline-never-cancel-unchanged" (fun () ->
+        let loop = List.hd (sample_loops ~n:1 ()) in
+        match
+          ( Partition.Driver.pipeline ~cancel:(fun () -> false) ~machine:m4x4e loop,
+            Partition.Driver.pipeline ~machine:m4x4e loop )
+        with
+        | Ok a, Ok b ->
+            check Alcotest.int "same II" a.Partition.Driver.clustered.Sched.Modulo.ii
+              b.Partition.Driver.clustered.Sched.Modulo.ii
+        | _ -> Alcotest.fail "pipeline failed");
+  ]
+
+let suite =
+  [
+    ("exact.search", search_tests);
+    ("exact.dominance", dominance_tests);
+    ("exact.mutation", mutation_tests);
+    ("exact.harness", harness_tests);
+  ]

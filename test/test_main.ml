@@ -8,4 +8,4 @@ let () =
    @ Suite_edges.suite @ Suite_typed_fu.suite @ Suite_final.suite @ Suite_closing.suite
    @ Suite_integration.suite @ Suite_verify.suite @ Suite_robust.suite
    @ Suite_obs.suite @ Suite_engine.suite @ Suite_analysis.suite
-   @ Suite_serve.suite)
+   @ Suite_serve.suite @ Suite_exact.suite)
